@@ -1,0 +1,385 @@
+(* The benchmark harness.
+
+   Usage: dune exec bench/main.exe -- [section ...] [--quick]
+
+   Sections (default: all):
+     fig8      Figure 8  - % of tuples sent vs update activity, q = 100/50/25%
+     fig9      Figure 9  - same for restrictive snapshots (q = 5/1%), log scale
+     churn     ablation  - insert/delete/qual-flip mixes
+     maint     ablation  - eager vs deferred annotation maintenance
+     asap      ablation  - ASAP propagation vs periodic differential refresh
+     logscan   ablation  - log-based refresh culling cost
+     tail      ablation  - unconditional tail vs high-water suppression
+     skew      ablation  - zipf-skewed update addresses
+     timing    Bechamel wall-clock benches (one per figure/experiment)
+
+   --quick shrinks the base table (n=2000) for a fast smoke run. *)
+
+open Snapdiff_figures
+module Text_table = Snapdiff_util.Text_table
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let requested =
+  let args =
+    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick")
+  in
+  if args = [] then
+    [ "fig8"; "fig9"; "churn"; "maint"; "asap"; "logscan"; "tail"; "skew"; "amort";
+      "cascade"; "wire"; "stepwise"; "timing" ]
+  else args
+
+let wants s = List.mem s requested
+
+let n_figure = if quick then 2_000 else 20_000
+let n_ablation = if quick then 2_000 else 10_000
+
+let header title =
+  let bar = String.make 74 '=' in
+  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8 and 9 *)
+
+let run_figure ~name ~log_scale sweeps =
+  header name;
+  List.iter (fun sweep -> print_string (Figures.render_sweep_table sweep)) sweeps;
+  print_newline ();
+  print_string (Figures.render_figure_chart ~log_scale ~title:name sweeps)
+
+let fig8 () =
+  run_figure
+    ~name:
+      (Printf.sprintf
+         "Figure 8: tuples sent (%% of base table) vs update activity, n=%d" n_figure)
+    ~log_scale:false
+    (Figures.figure8 ~n:n_figure ())
+
+let fig9 () =
+  run_figure
+    ~name:
+      (Printf.sprintf
+         "Figure 9: restrictive snapshots (1%%, 5%%), log scale, n=%d" n_figure)
+    ~log_scale:true
+    (Figures.figure9 ~n:n_figure ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let churn () =
+  header "Ablation: mutation mixes beyond the paper's update-only model (q=25%, u=20%)";
+  let t =
+    Text_table.create
+      [ ("mix", Text_table.Left); ("ops", Text_table.Right);
+        ("ideal msgs", Text_table.Right); ("diff msgs", Text_table.Right);
+        ("full msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ r.Figures.mix_name; string_of_int r.Figures.ops;
+          string_of_int r.Figures.ideal_msgs; string_of_int r.Figures.diff_msgs;
+          string_of_int r.Figures.full_msgs ])
+    (Figures.churn_ablation ~n:n_ablation ());
+  Text_table.print t
+
+let maint () =
+  header "Ablation: eager vs deferred annotation maintenance (who pays, and when)";
+  let t =
+    Text_table.create
+      [ ("mode", Text_table.Left); ("base ops", Text_table.Right);
+        ("clock ticks during ops", Text_table.Right);
+        ("annotation writes at refresh", Text_table.Right);
+        ("refresh data msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ r.Figures.maint_mode; string_of_int r.Figures.base_ops;
+          string_of_int r.Figures.clock_ticks;
+          string_of_int r.Figures.annotation_writes_at_refresh;
+          string_of_int r.Figures.refresh_data_msgs ])
+    (Figures.maintenance_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(eager pays clock draws + successor writes per op; deferred pays one\n\
+    \ fix-up write per disturbed entry, at refresh time)"
+
+let asap () =
+  header "Ablation: ASAP propagation vs periodic differential refresh";
+  let t =
+    Text_table.create
+      [ ("refresh interval (ops)", Text_table.Right); ("ASAP msgs", Text_table.Right);
+        ("periodic differential msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ string_of_int r.Figures.refresh_interval; string_of_int r.Figures.asap_msgs;
+          string_of_int r.Figures.periodic_diff_msgs ])
+    (Figures.asap_ablation ());
+  Text_table.print t;
+  print_endline
+    "(ASAP pays one message per qualifying change regardless; differential\n\
+    \ amortizes repeated changes to the same entries between refreshes)"
+
+let logscan () =
+  header "Ablation: log-based refresh culling cost";
+  let t =
+    Text_table.create
+      [ ("other tables", Text_table.Right); ("log records scanned", Text_table.Right);
+        ("relevant records", Text_table.Right); ("messages", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ string_of_int r.Figures.irrelevant_tables;
+          string_of_int r.Figures.log_records_scanned;
+          string_of_int r.Figures.relevant_records; string_of_int r.Figures.messages ])
+    (Figures.log_scan_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(the paper: \"only a small portion of the log will involve updates to\n\
+    \ the base table for a particular snapshot\")"
+
+let tail () =
+  header "Ablation: unconditional tail message vs high-water suppression";
+  let t =
+    Text_table.create
+      [ ("updated %", Text_table.Right); ("msgs (paper)", Text_table.Right);
+        ("msgs (suppressed tail)", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ Text_table.cell_float ~decimals:1 r.Figures.u_pct_tail;
+          string_of_int r.Figures.msgs_paper; string_of_int r.Figures.msgs_suppressed ])
+    (Figures.tail_ablation ~n:n_ablation ());
+  Text_table.print t
+
+let skew () =
+  header "Ablation: zipf-skewed update addresses";
+  let t =
+    Text_table.create
+      [ ("theta", Text_table.Right); ("ops", Text_table.Right);
+        ("ideal msgs", Text_table.Right); ("diff msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ Text_table.cell_float ~decimals:2 r.Figures.theta;
+          string_of_int r.Figures.ops_skew; string_of_int r.Figures.ideal_msgs_skew;
+          string_of_int r.Figures.diff_msgs_skew ])
+    (Figures.skew_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(repeated updates to hot tuples cost the annotation scheme nothing\n\
+    \ extra; a change-shipping log would grow with every operation)"
+
+let amort () =
+  header "Ablation: multi-snapshot amortization of annotation maintenance";
+  let t =
+    Text_table.create
+      [ ("snapshots on base", Text_table.Right);
+        ("fix-ups paid by first refresher", Text_table.Right);
+        ("fix-ups paid by the rest (total)", Text_table.Right);
+        ("total data msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ string_of_int r.Figures.snapshots_on_base;
+          string_of_int r.Figures.first_refresh_fixups;
+          string_of_int r.Figures.later_refresh_fixups;
+          string_of_int r.Figures.total_data_msgs ])
+    (Figures.amortization_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(\"multiple snapshots on a single base table do not require additional\n\
+    \ annotations and much of the extra work is amortized over the set of\n\
+    \ snapshots\")"
+
+let cascade () =
+  header "Ablation: cascaded snapshots vs independent snapshots on the base";
+  let t =
+    Text_table.create
+      [ ("children", Text_table.Right); ("parent refresh msgs", Text_table.Right);
+        ("forwarded to children", Text_table.Right);
+        ("independent children msgs", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ string_of_int r.Figures.fanout; string_of_int r.Figures.parent_msgs;
+          string_of_int r.Figures.cascade_msgs_total;
+          string_of_int r.Figures.independent_msgs_total ])
+    (Figures.cascade_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(cascaded children ride the parent's single base-table scan; independent\n\
+    \ children each rescan the base and each resend shared entries)"
+
+let stepwise () =
+  header "Ablation: the paper's stepwise algorithm generations on one script";
+  let t =
+    Text_table.create
+      [ ("generation", Text_table.Left); ("data msgs", Text_table.Right);
+        ("why", Text_table.Left) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ r.Figures.generation; string_of_int r.Figures.data_msgs; r.Figures.note ])
+    (Figures.stepwise_ablation ~n:(n_ablation / 2) ());
+  Text_table.print t
+
+let wire () =
+  header "Ablation: simulated transfer time per refresh on period links (q=25%, u=5%)";
+  let t =
+    Text_table.create
+      [ ("link", Text_table.Left); ("full refresh", Text_table.Right);
+        ("differential refresh", Text_table.Right); ("speedup", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let pretty s =
+        if s >= 1.0 then Printf.sprintf "%.1f s" s else Printf.sprintf "%.0f ms" (1000.0 *. s)
+      in
+      Text_table.add_row t
+        [ r.Figures.wire_name; pretty r.Figures.full_seconds; pretty r.Figures.diff_seconds;
+          Printf.sprintf "%.1fx" (r.Figures.full_seconds /. r.Figures.diff_seconds) ])
+    (Figures.wire_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(the paper's motivation: on 1986 wide-area links the message savings\n\
+    \ are minutes per refresh, not an abstraction)"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel wall-clock benches: one Test.make per figure/experiment. *)
+
+let timing () =
+  header "Wall-clock micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let n = if quick then 1_000 else 5_000 in
+  let prepared_refresh mode =
+    let clock = Snapdiff_txn.Clock.create () in
+    let base = Snapdiff_workload.Workload.make_base ~mode ~clock () in
+    let rng = Snapdiff_util.Rng.create 3 in
+    Snapdiff_workload.Workload.populate base ~rng ~n;
+    ignore
+      (Snapdiff_core.Fixup.run base ~fixup_time:(Snapdiff_txn.Clock.tick clock)
+        : Snapdiff_core.Fixup.stats);
+    let restrict =
+      Snapdiff_expr.Eval.compile Snapdiff_workload.Workload.schema
+        (Snapdiff_workload.Workload.restrict_fraction 0.25)
+    in
+    (base, restrict)
+  in
+  let base_d, restrict = prepared_refresh Snapdiff_core.Base_table.Deferred in
+  let sink = ref 0 in
+  let xmit m = if Snapdiff_core.Refresh_msg.is_data m then incr sink in
+  let t_diff =
+    Test.make ~name:"fig8 differential refresh scan (quiescent)"
+      (Staged.stage (fun () ->
+           ignore
+             (Snapdiff_core.Differential.refresh ~base:base_d
+                ~snaptime:(Snapdiff_txn.Clock.now (Snapdiff_core.Base_table.clock base_d))
+                ~restrict ~project:Fun.id ~xmit ()
+               : Snapdiff_core.Differential.report)))
+  in
+  let t_full =
+    Test.make ~name:"fig8 full refresh scan"
+      (Staged.stage (fun () ->
+           ignore
+             (Snapdiff_core.Full_refresh.refresh ~base:base_d ~restrict ~project:Fun.id
+                ~xmit ()
+               : Snapdiff_core.Full_refresh.report)))
+  in
+  let t_fixup =
+    Test.make ~name:"fig7 standalone fix-up pass (clean)"
+      (Staged.stage (fun () ->
+           ignore
+             (Snapdiff_core.Fixup.run base_d
+                ~fixup_time:
+                  (Snapdiff_txn.Clock.tick (Snapdiff_core.Base_table.clock base_d))
+               : Snapdiff_core.Fixup.stats)))
+  in
+  let mk_insert_bench name mode =
+    let clock = Snapdiff_txn.Clock.create () in
+    let base = Snapdiff_workload.Workload.make_base ~mode ~clock () in
+    let rng = Snapdiff_util.Rng.create 5 in
+    Snapdiff_workload.Workload.populate base ~rng ~n:1_000;
+    let i = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr i;
+           let row =
+             Snapdiff_storage.Tuple.make
+               [ Snapdiff_storage.Value.int !i; Snapdiff_storage.Value.str "bench";
+                 Snapdiff_storage.Value.int (!i mod 100_000);
+                 Snapdiff_storage.Value.int 0 ]
+           in
+           ignore (Snapdiff_core.Base_table.insert base row : Snapdiff_storage.Addr.t)))
+  in
+  let t_ins_deferred =
+    mk_insert_bench "maint base insert, deferred mode" Snapdiff_core.Base_table.Deferred
+  in
+  let t_ins_eager =
+    mk_insert_bench "maint base insert, eager mode" Snapdiff_core.Base_table.Eager
+  in
+  let tests =
+    Test.make_grouped ~name:"snapdiff"
+      [ t_diff; t_full; t_fixup; t_ins_deferred; t_ins_eager ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second (if quick then 0.25 else 1.0)) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let t =
+    Text_table.create
+      [ ("benchmark", Text_table.Left); ("time/run", Text_table.Right);
+        ("r^2", Text_table.Right) ]
+  in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan
+      in
+      let pretty =
+        if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+        else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+        else if est > 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+        else Printf.sprintf "%.0f ns" est
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "%.3f" r
+        | None -> "-"
+      in
+      Text_table.add_row t [ name; pretty; r2 ])
+    rows;
+  Text_table.print t;
+  ignore !sink
+
+let () =
+  Printf.printf "snapdiff benchmark harness%s\n" (if quick then " (--quick)" else "");
+  if wants "fig8" then fig8 ();
+  if wants "fig9" then fig9 ();
+  if wants "churn" then churn ();
+  if wants "maint" then maint ();
+  if wants "asap" then asap ();
+  if wants "logscan" then logscan ();
+  if wants "tail" then tail ();
+  if wants "skew" then skew ();
+  if wants "amort" then amort ();
+  if wants "cascade" then cascade ();
+  if wants "wire" then wire ();
+  if wants "stepwise" then stepwise ();
+  if wants "timing" then timing ()

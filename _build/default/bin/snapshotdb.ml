@@ -1,0 +1,173 @@
+(* snapshotdb — command-line front end.
+
+   snapshotdb shell                 interactive SQL shell
+   snapshotdb run FILE.sql          execute a SQL script
+   snapshotdb fig --id 8|9          regenerate a paper figure
+   snapshotdb model --q Q --u U     query the analytical model *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Info else Some Logs.Warning)
+module Database = Snapdiff_sql.Database
+module Parser = Snapdiff_sql.Parser
+module Figures = Snapdiff_figures.Figures
+module Model = Snapdiff_analysis.Model
+
+let print_result r = print_string (Database.render_result r)
+
+let handle_errors f =
+  match f () with
+  | () -> ()
+  | exception Database.Sql_error m -> Printf.printf "error: %s\n%!" m
+  | exception Parser.Parse_error { message; _ } -> Printf.printf "parse error: %s\n%!" message
+  | exception Snapdiff_sql.Lexer.Lex_error { message; _ } ->
+    Printf.printf "lex error: %s\n%!" message
+
+(* ------------------------------------------------------------------ *)
+(* shell *)
+
+let banner =
+  "snapshotdb - differential snapshot refresh (Lindsay et al., SIGMOD 1986)\n\
+   Statements end with ';'.  Try:\n\
+  \  CREATE TABLE emp (name STRING NOT NULL, salary INT NOT NULL);\n\
+  \  INSERT INTO emp VALUES ('Bruce', 15), ('Laura', 6);\n\
+  \  CREATE SNAPSHOT lowpay AS SELECT * FROM emp WHERE salary < 10 REFRESH DIFFERENTIAL;\n\
+  \  UPDATE emp SET salary = 7 WHERE name = 'Bruce';\n\
+  \  REFRESH SNAPSHOT lowpay;\n\
+  \  SELECT * FROM lowpay;\n\
+   Type 'quit;' or Ctrl-D to exit.\n"
+
+let shell_cmd verbose =
+  setup_logs verbose;
+  print_string banner;
+  let db = Database.create () in
+  let buf = Buffer.create 256 in
+  let rec loop () =
+    if Buffer.length buf = 0 then print_string "snapdiff> " else print_string "      ... ";
+    print_string "";
+    flush stdout;
+    match In_channel.input_line stdin with
+    | None -> print_newline ()
+    | Some line ->
+      let trimmed = String.trim line in
+      if trimmed = "quit;" || trimmed = "quit" || trimmed = "exit;" || trimmed = "exit" then ()
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        let text = Buffer.contents buf in
+        if String.contains text ';' then begin
+          Buffer.clear buf;
+          handle_errors (fun () ->
+              List.iter (fun (_, r) -> print_result r) (Database.run_script db text))
+        end;
+        loop ()
+      end
+  in
+  loop ();
+  0
+
+(* ------------------------------------------------------------------ *)
+(* run *)
+
+let run_cmd verbose echo file =
+  setup_logs verbose;
+  let text = In_channel.with_open_text file In_channel.input_all in
+  let db = Database.create () in
+  handle_errors (fun () ->
+      List.iter
+        (fun (stmt, r) ->
+          if echo then Format.printf "-- %a@." Snapdiff_sql.Ast.pp_stmt stmt;
+          print_result r)
+        (Database.run_script db text));
+  0
+
+(* ------------------------------------------------------------------ *)
+(* fig *)
+
+let fig_cmd id n =
+  (match id with
+  | 8 ->
+    let sweeps = Figures.figure8 ~n () in
+    List.iter (fun s -> print_string (Figures.render_sweep_table s)) sweeps;
+    print_string
+      (Figures.render_figure_chart ~log_scale:false
+         ~title:"Figure 8: tuples sent vs update activity" sweeps)
+  | 9 ->
+    let sweeps = Figures.figure9 ~n () in
+    List.iter (fun s -> print_string (Figures.render_sweep_table s)) sweeps;
+    print_string
+      (Figures.render_figure_chart ~log_scale:true
+         ~title:"Figure 9: restrictive snapshots (log scale)" sweeps)
+  | _ -> Printf.printf "unknown figure %d (the paper's evaluation has figures 8 and 9)\n" id);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* model *)
+
+let model_cmd n q u =
+  Printf.printf "n = %d, selectivity q = %.3f, update activity u = %.3f\n" n q u;
+  Printf.printf "  full:          %10.1f messages (%6.3f%% of table)\n"
+    (Model.full_messages ~n ~q)
+    (Model.pct_of_table ~n (Model.full_messages ~n ~q));
+  let d = Model.differential_messages ~n ~q ~u () in
+  Printf.printf "  differential:  %10.1f messages (%6.3f%% of table)\n" d
+    (Model.pct_of_table ~n d);
+  let i = Model.ideal_messages ~n ~q ~u in
+  Printf.printf "  ideal:         %10.1f messages (%6.3f%% of table)\n" i
+    (Model.pct_of_table ~n i);
+  Printf.printf "  superfluous fraction of differential: %.3f\n"
+    (Model.superfluous_fraction ~q ~u);
+  0
+
+(* ------------------------------------------------------------------ *)
+(* cmdliner wiring *)
+
+let verbose_t =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log refresh events to stderr.")
+
+let shell_t = Term.(const shell_cmd $ verbose_t)
+
+let run_t =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"SQL script to execute.")
+  in
+  let echo =
+    Arg.(value & flag & info [ "echo" ] ~doc:"Echo each statement before its result.")
+  in
+  Term.(const run_cmd $ verbose_t $ echo $ file)
+
+let fig_t =
+  let id =
+    Arg.(required & opt (some int) None & info [ "id" ] ~docv:"N" ~doc:"Figure number (8 or 9).")
+  in
+  let n =
+    Arg.(value & opt int 20000 & info [ "n" ] ~docv:"ROWS" ~doc:"Base table size.")
+  in
+  Term.(const fig_cmd $ id $ n)
+
+let model_t =
+  let n = Arg.(value & opt int 20000 & info [ "n" ] ~doc:"Base table size.") in
+  let q =
+    Arg.(required & opt (some float) None & info [ "q" ] ~doc:"Snapshot selectivity in [0,1].")
+  in
+  let u =
+    Arg.(required & opt (some float) None & info [ "u" ] ~doc:"Update activity in [0,1].")
+  in
+  Term.(const model_cmd $ n $ q $ u)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "shell" ~doc:"Interactive SQL shell with snapshot support.") shell_t;
+    Cmd.v (Cmd.info "run" ~doc:"Execute a SQL script file.") run_t;
+    Cmd.v (Cmd.info "fig" ~doc:"Regenerate a figure from the paper's evaluation.") fig_t;
+    Cmd.v (Cmd.info "model" ~doc:"Evaluate the analytical message-cost model.") model_t;
+  ]
+
+let () =
+  let info =
+    Cmd.info "snapshotdb"
+      ~doc:"A snapshot differential refresh engine (Lindsay et al., SIGMOD 1986)"
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

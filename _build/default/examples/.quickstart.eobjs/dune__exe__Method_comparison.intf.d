@@ -1,0 +1,1 @@
+examples/method_comparison.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr Base_table List Manager Printf Schema Snapdiff_core Snapdiff_expr Snapdiff_net Snapdiff_storage Snapdiff_txn Snapshot_table Tuple Value

@@ -1,0 +1,1 @@
+examples/reporting_warehouse.ml: Addr Array Base_table Int64 List Manager Printf Schema Snapdiff_core Snapdiff_expr Snapdiff_net Snapdiff_storage Snapdiff_txn Snapdiff_util Snapshot_table Tuple Value

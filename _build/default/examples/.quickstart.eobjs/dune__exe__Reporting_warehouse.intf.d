@@ -1,0 +1,1 @@
+examples/reporting_warehouse.mli:

@@ -1,0 +1,1 @@
+examples/sql_tour.ml: Format List Snapdiff_sql

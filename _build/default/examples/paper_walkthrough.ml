@@ -1,0 +1,165 @@
+(* The paper's worked examples, reproduced end to end.
+
+   Part 1 — the "simple solution" over a dense address space: Figure 1's
+   base table and refresh messages, Figure 2's snapshot before/after.
+
+   Part 2 — the final algorithm (deferred maintenance + combined fix-up and
+   refresh): Figure 5's base table before/after fix-up and Figure 6's
+   snapshot before/after, driven by the same employee story.
+
+   Run with: dune exec examples/paper_walkthrough.exe *)
+
+open Snapdiff_storage
+open Snapdiff_core
+module Clock = Snapdiff_txn.Clock
+module Text_table = Snapdiff_util.Text_table
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let salary t = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+
+let restrict t = salary t < 10  (* SnapRestrict = Salary < 10 *)
+
+let field t i = Value.to_string (Tuple.get t i)
+
+let print_messages msgs =
+  print_endline "refresh messages to snapshot table:";
+  List.iter (fun m -> Format.printf "  %a@." Refresh_msg.pp m) msgs
+
+let print_snapshot title snap =
+  let t = Text_table.create ~title [ ("BaseAddr", Text_table.Right);
+                                     ("Name", Text_table.Left);
+                                     ("Salary", Text_table.Right) ] in
+  List.iter
+    (fun (addr, tuple) ->
+      Text_table.add_row t [ string_of_int addr; field tuple 0; field tuple 1 ])
+    (Snapshot_table.contents snap);
+  Text_table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let part1_simple_dense () =
+  print_endline "=== Part 1: the simple (dense address space) algorithm — Figures 1 & 2 ===\n";
+  let clock = Clock.create () in
+  let d = Dense.create ~capacity:7 ~schema:emp_schema ~clock () in
+  let set_at ts addr t = Clock.advance_to clock (ts - 1); Dense.set d ~addr t in
+  let remove_at ts addr = Clock.advance_to clock (ts - 1); Dense.remove d ~addr in
+  (* History leading to Figure 1's timestamps (times as integers, 3:00 = 300). *)
+  set_at 100 7 (emp "Bob" 7);
+  set_at 150 4 (emp "Jack" 6);
+  set_at 200 6 (emp "Paul" 8);
+  set_at 230 5 (emp "Mohan" 9);
+  set_at 300 1 (emp "Bruce" 15);
+  set_at 310 3 (emp "Hamid" 9);
+
+  (* The snapshot is taken at SnapTime = 330. *)
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  List.iter
+    (fun (addr, t) ->
+      if restrict t then Snapshot_table.apply snap (Refresh_msg.Upsert { addr; values = t }))
+    (Dense.entries d);
+  Snapshot_table.apply snap (Refresh_msg.Snaptime 330);
+  print_snapshot "snapshot table BEFORE refresh (SnapTime = 330)" snap;
+
+  (* Changes after the snapshot (Figure 1's final state). *)
+  set_at 345 2 (emp "Laura" 6);   (* inserted *)
+  set_at 350 3 (emp "Hamid" 15);  (* "Hamid has had a raise" *)
+  remove_at 400 4;                (* Jack deleted *)
+  remove_at 410 7;                (* Bob deleted *)
+
+  let msgs = ref [] in
+  let report =
+    Dense.refresh d ~snaptime:330 ~restrict ~project:Fun.id
+      ~xmit:(fun m -> msgs := m :: !msgs)
+  in
+  print_messages (List.rev !msgs);
+  List.iter (Snapshot_table.apply snap) (List.rev !msgs);
+  print_snapshot
+    (Printf.sprintf "snapshot table AFTER refresh (SnapTime = %d)" report.Dense.new_snaptime)
+    snap;
+  Printf.printf
+    "note: %d of %d elements transmitted — the whole space was scanned, and the\n\
+     unqualified update (Hamid) still cost a message, as the paper observes.\n\n"
+    report.Dense.data_messages report.Dense.elements_scanned
+
+(* ------------------------------------------------------------------ *)
+
+let print_base title base =
+  let t =
+    Text_table.create ~title
+      [ ("Addr", Text_table.Right); ("PrevAddr", Text_table.Right);
+        ("TimeStamp", Text_table.Right); ("Name", Text_table.Left);
+        ("Salary", Text_table.Right) ]
+  in
+  List.iter
+    (fun (addr, user) ->
+      let ann = Option.get (Base_table.get_annotations base addr) in
+      let show = function None -> "NULL" | Some v -> string_of_int v in
+      Text_table.add_row t
+        [ string_of_int addr; show ann.Annotations.prev_addr;
+          show ann.Annotations.timestamp; field user 0; field user 1 ])
+    (Base_table.to_user_list base);
+  Text_table.print t
+
+let part2_deferred () =
+  print_endline "=== Part 2: deferred maintenance + combined fix-up/refresh — Figures 5 & 6 ===\n";
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let ins t = Base_table.insert base t in
+  let a_bruce = ins (emp "Bruce" 15) in
+  let a_hamid = ins (emp "Hamid" 9) in
+  let a_jack = ins (emp "Jack" 6) in
+  let _a_mohan = ins (emp "Mohan" 9) in
+  let _a_paul = ins (emp "Paul" 8) in
+  let a_bob = ins (emp "Bob" 8) in
+  ignore a_bruce;
+
+  (* Prime the annotations (what CREATE SNAPSHOT does), then take the
+     snapshot. *)
+  ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+  let snaptime = Clock.now clock in
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  List.iter
+    (fun (addr, t) ->
+      if restrict t then Snapshot_table.apply snap (Refresh_msg.Upsert { addr; values = t }))
+    (Base_table.to_user_list base);
+  Snapshot_table.apply snap (Refresh_msg.Snaptime snaptime);
+
+  (* The story: base operations just NULL the annotation fields. *)
+  Base_table.update base a_hamid (emp "Hamid" 15);  (* the raise *)
+  Base_table.delete base a_jack;
+  Base_table.delete base a_bob;
+  let a_laura = Base_table.insert base (emp "Laura" 6) in
+  Printf.printf "(Laura was hired into Jack's freed address %d)\n\n" a_laura;
+
+  print_base "base table BEFORE refresh (NULL = deferred annotation)" base;
+  print_snapshot (Printf.sprintf "snapshot table BEFORE refresh (SnapTime = %d)" snaptime) snap;
+
+  let msgs = ref [] in
+  let report =
+    Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id
+      ~xmit:(fun m -> msgs := m :: !msgs)
+      ()
+  in
+  print_messages (List.rev !msgs);
+  List.iter (Snapshot_table.apply snap) (List.rev !msgs);
+
+  print_base "base table AFTER combined fix-up + refresh" base;
+  print_snapshot
+    (Printf.sprintf "snapshot table AFTER refresh (SnapTime = %d)" report.Differential.new_snaptime)
+    snap;
+  Printf.printf
+    "%d data messages, %d entries scanned, %d annotation fields fixed up in the\n\
+     same pass.  Compare with Part 1: the deferred algorithm made every base\n\
+     operation free and still found all four kinds of change.\n"
+    report.Differential.data_messages report.Differential.entries_scanned
+    report.Differential.fixup_writes
+
+let () =
+  part1_simple_dense ();
+  part2_deferred ()

@@ -1,0 +1,87 @@
+(* The whole snapshot lifecycle through the SQL front end — what an R*
+   user would have typed.
+
+   Run with: dune exec examples/sql_tour.exe *)
+
+module Database = Snapdiff_sql.Database
+
+let script =
+  {sql|
+  CREATE TABLE emp (name STRING NOT NULL, dept STRING NOT NULL, salary INT NOT NULL);
+
+  INSERT INTO emp VALUES
+    ('Bruce', 'db',  15), ('Laura', 'db',   6), ('Hamid', 'db',   9),
+    ('Jack',  'os',   6), ('Mohan', 'db',   9), ('Paul',  'net',  8),
+    ('Bob',   'net',  8), ('Pat',   'os',  12), ('Dale',  'db',  11);
+
+  -- A restricted, projected snapshot, refreshed differentially.
+  CREATE SNAPSHOT lowpay AS
+    SELECT name, salary FROM emp WHERE salary < 10
+    REFRESH DIFFERENTIAL;
+
+  -- A second snapshot on the same base table: its own restriction and
+  -- refresh schedule, sharing the same base-table annotations.
+  CREATE SNAPSHOT dbstaff AS
+    SELECT * FROM emp WHERE dept = 'db'
+    REFRESH AUTO;
+
+  SELECT * FROM lowpay ORDER BY name;
+
+  -- Business happens.
+  UPDATE emp SET salary = 16 WHERE name = 'Hamid';   -- leaves lowpay
+  UPDATE emp SET salary = 7  WHERE name = 'Dale';    -- enters lowpay
+  DELETE FROM emp WHERE name = 'Jack';
+  INSERT INTO emp VALUES ('Eve', 'db', 5);
+
+  -- Snapshots are frozen until refreshed.
+  SELECT * FROM lowpay ORDER BY name;
+
+  REFRESH SNAPSHOT lowpay;
+  SELECT * FROM lowpay ORDER BY name;
+
+  EXPLAIN SNAPSHOT lowpay;
+
+  REFRESH SNAPSHOT dbstaff;
+  SELECT name FROM dbstaff WHERE salary BETWEEN 5 AND 10 ORDER BY name;
+
+  -- "Indices can be defined on a snapshot to accelerate access."
+  CREATE INDEX ON dbstaff (salary);
+  SELECT name FROM dbstaff WHERE salary = 9;
+
+  -- "Snapshots can serve as base tables for other snapshots": a cascaded
+  -- snapshot updates in lock-step with its parent's refreshes.
+  CREATE SNAPSHOT dbcheap AS SELECT name FROM dbstaff WHERE salary < 8;
+  SELECT * FROM dbcheap ORDER BY name;
+
+  -- Joins; and a multi-table snapshot is refreshed by re-evaluating its
+  -- query ("must, in general, be re-evaluated").
+  CREATE TABLE dept (dname STRING NOT NULL, floor INT NOT NULL);
+  INSERT INTO dept VALUES ('db', 3), ('os', 2), ('net', 1);
+  SELECT emp.name, dept.floor FROM emp, dept
+    WHERE emp.dept = dept.dname AND salary < 8 ORDER BY name;
+  CREATE SNAPSHOT lowfloor AS
+    SELECT name, floor FROM emp, dept WHERE dept = dname AND floor <= 2;
+  REFRESH SNAPSHOT lowfloor;
+
+  SHOW SNAPSHOTS;
+  EXPLAIN SNAPSHOT lowfloor;
+  EXPLAIN SNAPSHOT dbcheap;
+
+  -- Statistics: with histograms built, CREATE SNAPSHOT plans from them
+  -- instead of scanning the base table.
+  ANALYZE emp;
+
+  -- Reporting queries run against the frozen snapshot, not the live
+  -- table ("freeze portions of the database state for analysis,
+  -- planning, or reporting").
+  SELECT dept, COUNT(*), AVG(salary) FROM dbstaff GROUP BY dept;
+  SELECT COUNT(*), MIN(salary), MAX(salary) FROM lowpay;
+|sql}
+
+let () =
+  let db = Database.create () in
+  List.iter
+    (fun (stmt, result) ->
+      Format.printf "@.sql> %a@." Snapdiff_sql.Ast.pp_stmt stmt;
+      print_string (Database.render_result result))
+    (Database.run_script db script)

@@ -1,0 +1,46 @@
+type gap_model =
+  | Geometric
+  | Fixed_gap
+
+let check ~n ~q =
+  if n < 0 then invalid_arg "Model: n must be non-negative";
+  if q < 0.0 || q > 1.0 then invalid_arg "Model: q must be in [0,1]"
+
+let check_u u = if u < 0.0 || u > 1.0 then invalid_arg "Model: u must be in [0,1]"
+
+let full_messages ~n ~q =
+  check ~n ~q;
+  q *. float_of_int n
+
+let ideal_messages ~n ~q ~u =
+  check ~n ~q;
+  check_u u;
+  u *. q *. float_of_int n
+
+let transmit_probability ~model ~q ~u =
+  if q <= 0.0 then 0.0
+  else if u >= 1.0 then 1.0
+  else
+    match model with
+    | Geometric ->
+      (* Survival = E[(1-u)^(G+1)] with G ~ Geometric(q) counting the
+         unqualified entries in the gap. *)
+      let s = (1.0 -. u) *. q /. (1.0 -. ((1.0 -. q) *. (1.0 -. u))) in
+      1.0 -. s
+    | Fixed_gap -> 1.0 -. Float.pow (1.0 -. u) (1.0 /. q)
+
+let differential_messages ?(model = Geometric) ?(include_tail = true) ~n ~q ~u () =
+  check ~n ~q;
+  check_u u;
+  let entries = q *. float_of_int n *. transmit_probability ~model ~q ~u in
+  if include_tail && n > 0 then entries +. 1.0 else entries
+
+let pct_of_table ~n x =
+  if n = 0 then 0.0 else 100.0 *. x /. float_of_int n
+
+let superfluous_fraction ~q ~u =
+  check_u u;
+  if q < 0.0 || q > 1.0 then invalid_arg "Model: q must be in [0,1]";
+  let diff = q *. transmit_probability ~model:Geometric ~q ~u in
+  let ideal = u *. q in
+  if diff <= 0.0 then 0.0 else 1.0 -. (ideal /. diff)

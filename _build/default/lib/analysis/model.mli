@@ -1,0 +1,52 @@
+(** Closed-form expected message counts — the "analysis" half of the
+    paper's "both simulation and analysis show that the above hypothesis is
+    true".
+
+    Model assumptions (matching the Figure 8/9 experiment): a base table of
+    [n] entries; a fraction [u] of {e distinct} entries is updated between
+    refreshes, chosen uniformly; updates change payload fields only, so an
+    entry's qualification is stable; the restriction qualifies a fraction
+    [q] of entries, independently of position.
+
+    Derivations:
+
+    - {b Full} transmits every qualified entry: [q·n].
+    - {b Ideal} transmits exactly the updated entries that qualify:
+      [u·q·n].
+    - {b Differential} transmits a qualified entry iff it or anything in
+      the empty-address gap before it was modified.  With qualification
+      independent per entry, the number of unqualified entries between two
+      consecutive qualified ones is geometric: [P(G = g) = q·(1-q)^g].
+      An entry survives untransmitted with probability
+      [E[(1-u)^(G+1)] = (1-u)·q / (1 - (1-q)(1-u))], so
+
+      {v E[messages] = q·n·(1 - q(1-u)/(1 - (1-q)(1-u))) (+ 1 tail) v}
+
+      Sanity: at [q = 1] this is [u·n] (equals ideal — "when there is no
+      restriction, the differential refresh algorithm performs as well as
+      the ideal refresh"); at [u = 1] it is [q·n] (equals full).  The
+      coarser fixed-gap approximation [q·n·(1-(1-u)^(1/q))] is provided
+      for comparison. *)
+
+type gap_model =
+  | Geometric  (** exact under the independence assumption (default) *)
+  | Fixed_gap  (** every qualified entry covers exactly 1/q addresses *)
+
+val full_messages : n:int -> q:float -> float
+
+val ideal_messages : n:int -> q:float -> u:float -> float
+
+val differential_messages :
+  ?model:gap_model -> ?include_tail:bool -> n:int -> q:float -> u:float -> unit -> float
+(** [include_tail] (default true) adds the unconditional trailing delete
+    message. *)
+
+val pct_of_table : n:int -> float -> float
+(** Messages as a percentage of base-table size — the y-axis of Figures 8
+    and 9. *)
+
+val superfluous_fraction : q:float -> u:float -> float
+(** Fraction of differential's transmissions the ideal algorithm would not
+    have sent: [1 - ideal/differential] (0 when nothing is sent).  This is
+    the "relative number of superfluous messages" the paper's analysis
+    section discusses. *)

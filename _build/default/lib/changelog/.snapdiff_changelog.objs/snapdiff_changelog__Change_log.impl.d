@@ -1,0 +1,1 @@
+lib/changelog/change_log.ml: Addr Format Hashtbl List Printf Snapdiff_storage Tuple

@@ -1,0 +1,1 @@
+lib/changelog/change_log.mli: Addr Format Snapdiff_storage Tuple

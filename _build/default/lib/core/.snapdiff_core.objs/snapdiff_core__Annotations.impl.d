@@ -1,0 +1,1 @@
+lib/core/annotations.ml: Addr Array Format Int64 List Printf Schema Snapdiff_storage Snapdiff_txn Value

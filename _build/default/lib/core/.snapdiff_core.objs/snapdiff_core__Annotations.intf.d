@@ -1,0 +1,1 @@
+lib/core/annotations.mli: Addr Format Schema Snapdiff_storage Snapdiff_txn Tuple

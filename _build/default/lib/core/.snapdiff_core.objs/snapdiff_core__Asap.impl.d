@@ -1,0 +1,1 @@
+lib/core/asap.ml: Base_table Ideal Queue Refresh_msg Snapdiff_changelog Snapdiff_net

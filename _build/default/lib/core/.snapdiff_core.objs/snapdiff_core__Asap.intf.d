@@ -1,0 +1,1 @@
+lib/core/asap.mli: Base_table Snapdiff_net Snapdiff_storage Tuple

@@ -1,0 +1,1 @@
+lib/core/base_table.ml: Addr Annotations Clock Heap Int List Lock Option Schema Snapdiff_changelog Snapdiff_index Snapdiff_storage Snapdiff_txn Snapdiff_wal Tuple

@@ -1,0 +1,1 @@
+lib/core/base_table.mli: Addr Annotations Clock Lock Schema Snapdiff_changelog Snapdiff_storage Snapdiff_txn Snapdiff_wal Tuple

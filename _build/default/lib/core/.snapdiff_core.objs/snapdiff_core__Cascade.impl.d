@@ -1,0 +1,1 @@
+lib/core/cascade.ml: Array List Printf Refresh_msg Schema Snapdiff_net Snapdiff_storage Snapshot_table Tuple

@@ -1,0 +1,1 @@
+lib/core/cascade.mli: Snapdiff_net Snapdiff_storage Snapshot_table Tuple

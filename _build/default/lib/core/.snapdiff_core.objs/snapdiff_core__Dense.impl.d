@@ -1,0 +1,1 @@
+lib/core/dense.ml: Array Clock Refresh_msg Schema Snapdiff_storage Snapdiff_txn Tuple

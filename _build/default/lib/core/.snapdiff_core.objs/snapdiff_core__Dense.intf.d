@@ -1,0 +1,1 @@
+lib/core/dense.mli: Clock Refresh_msg Schema Snapdiff_storage Snapdiff_txn Tuple

@@ -1,0 +1,1 @@
+lib/core/differential.ml: Addr Annotations Base_table Clock Fixup Refresh_msg Snapdiff_storage Snapdiff_txn

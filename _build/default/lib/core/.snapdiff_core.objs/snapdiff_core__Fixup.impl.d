@@ -1,0 +1,1 @@
+lib/core/fixup.ml: Addr Annotations Base_table Snapdiff_storage

@@ -1,0 +1,1 @@
+lib/core/fixup.mli: Annotations Base_table Clock Snapdiff_storage Snapdiff_txn

@@ -1,0 +1,1 @@
+lib/core/full_refresh.ml: Annotations Base_table Clock Refresh_msg Snapdiff_txn

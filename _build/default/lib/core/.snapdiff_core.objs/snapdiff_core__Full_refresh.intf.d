@@ -1,0 +1,1 @@
+lib/core/full_refresh.mli: Base_table Clock Refresh_msg Snapdiff_storage Snapdiff_txn Tuple

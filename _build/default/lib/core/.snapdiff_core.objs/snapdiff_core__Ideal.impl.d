@@ -1,0 +1,1 @@
+lib/core/ideal.ml: Base_table Clock List Refresh_msg Snapdiff_changelog Snapdiff_storage Snapdiff_txn

@@ -1,0 +1,1 @@
+lib/core/ideal.mli: Base_table Clock Refresh_msg Snapdiff_changelog Snapdiff_storage Snapdiff_txn Tuple

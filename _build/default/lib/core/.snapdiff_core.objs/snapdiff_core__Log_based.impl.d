@@ -1,0 +1,1 @@
+lib/core/log_based.ml: Annotations Base_table Clock Ideal List Option Refresh_msg Snapdiff_txn Snapdiff_wal

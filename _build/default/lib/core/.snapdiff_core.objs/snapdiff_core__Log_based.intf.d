@@ -1,0 +1,1 @@
+lib/core/log_based.mli: Base_table Clock Refresh_msg Snapdiff_storage Snapdiff_txn Snapdiff_wal Tuple

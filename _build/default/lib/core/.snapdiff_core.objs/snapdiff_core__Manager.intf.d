@@ -1,0 +1,1 @@
+lib/core/manager.mli: Base_table Clock Snapdiff_changelog Snapdiff_expr Snapdiff_net Snapdiff_txn Snapshot_table

@@ -1,0 +1,1 @@
+lib/core/refresh_msg.ml: Addr Buffer Bytes Codec Format List Snapdiff_storage Snapdiff_txn String Tuple

@@ -1,0 +1,1 @@
+lib/core/refresh_msg.mli: Addr Format Snapdiff_storage Snapdiff_txn Tuple

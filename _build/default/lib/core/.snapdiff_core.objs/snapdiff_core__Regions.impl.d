@@ -1,0 +1,1 @@
+lib/core/regions.ml: Clock Int List Option Printf Refresh_msg Schema Snapdiff_index Snapdiff_storage Snapdiff_txn Tuple

@@ -1,0 +1,1 @@
+lib/core/regions.mli: Clock Refresh_msg Schema Snapdiff_storage Snapdiff_txn Tuple

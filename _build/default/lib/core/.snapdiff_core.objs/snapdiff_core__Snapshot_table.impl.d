@@ -1,0 +1,1 @@
+lib/core/snapshot_table.ml: Addr Array Clock Hashtbl Heap Int Int64 List Option Printf Refresh_msg Schema Snapdiff_index Snapdiff_storage Snapdiff_txn String Value

@@ -1,0 +1,1 @@
+lib/core/snapshot_table.mli: Addr Clock Refresh_msg Schema Snapdiff_storage Snapdiff_txn Tuple Value

@@ -1,0 +1,88 @@
+open Snapdiff_storage
+
+let prevaddr_col = "__prevaddr"
+let timestamp_col = "__timestamp"
+
+let columns =
+  [ Schema.col prevaddr_col Value.Tint; Schema.col timestamp_col Value.Tint ]
+
+let extend_schema schema =
+  if Schema.mem schema prevaddr_col || Schema.mem schema timestamp_col then
+    invalid_arg "Annotations.extend_schema: schema already annotated";
+  Schema.extend schema columns
+
+let is_annotated schema =
+  let n = Schema.arity schema in
+  n >= 3
+  && (Schema.column schema (n - 2)).Schema.name = prevaddr_col
+  && (Schema.column schema (n - 1)).Schema.name = timestamp_col
+
+let strip_schema schema =
+  if not (is_annotated schema) then
+    invalid_arg "Annotations.strip_schema: schema not annotated";
+  let user =
+    List.filteri (fun i _ -> i < Schema.arity schema - 2) (Schema.columns schema)
+  in
+  Schema.make user
+
+type t = {
+  prev_addr : Addr.t option;
+  timestamp : Snapdiff_txn.Clock.ts option;
+}
+
+let nulls = { prev_addr = None; timestamp = None }
+
+(* NULL is stored as an in-band sentinel rather than a SQL NULL so that the
+   two annotation fields have a fixed encoded width: the fix-up pass
+   rewrites them in place, and a tuple that grew (1-byte NULL tag -> 9-byte
+   integer) could fail to fit back into a tightly packed page.  R* had the
+   same constraint solved by its fixed-width field encoding. *)
+let null_sentinel = Int64.min_int
+
+let value_of_opt = function
+  | None -> Value.Int null_sentinel
+  | Some i -> Value.int i
+
+let opt_of_value ~what = function
+  | Value.Null -> None  (* tolerated on input (R*-style NULL extension) *)
+  | Value.Int i when i = null_sentinel -> None
+  | Value.Int i -> Some (Int64.to_int i)
+  | v ->
+    invalid_arg
+      (Printf.sprintf "Annotations: %s field holds %s" what (Value.to_string v))
+
+let annotate user ann =
+  let n = Array.length user in
+  Array.init (n + 2) (fun i ->
+      if i < n then user.(i)
+      else if i = n then value_of_opt ann.prev_addr
+      else value_of_opt ann.timestamp)
+
+let split stored =
+  let n = Array.length stored in
+  if n < 2 then invalid_arg "Annotations.split: tuple too short";
+  let user = Array.sub stored 0 (n - 2) in
+  let ann =
+    {
+      prev_addr = opt_of_value ~what:prevaddr_col stored.(n - 2);
+      timestamp = opt_of_value ~what:timestamp_col stored.(n - 1);
+    }
+  in
+  (user, ann)
+
+let user_part stored = fst (split stored)
+
+let with_annotations stored ann =
+  let n = Array.length stored in
+  if n < 2 then invalid_arg "Annotations.with_annotations: tuple too short";
+  let t = Array.copy stored in
+  t.(n - 2) <- value_of_opt ann.prev_addr;
+  t.(n - 1) <- value_of_opt ann.timestamp;
+  t
+
+let pp ppf t =
+  let pp_opt ppf = function
+    | None -> Format.pp_print_string ppf "NULL"
+    | Some i -> Format.pp_print_int ppf i
+  in
+  Format.fprintf ppf "{prev=%a; ts=%a}" pp_opt t.prev_addr pp_opt t.timestamp

@@ -1,0 +1,60 @@
+(** The base-table annotation fields.
+
+    "The differential refresh algorithm also requires extra fields in the
+    base table.  In the R* implementation, the extra fields are added
+    automatically to the base table when the first snapshot using
+    differential refresh is created.  The extra fields are given "funny"
+    names to distinguish them from user defined fields..."
+
+    We follow R*: the annotations are two hidden nullable columns appended
+    to the user schema —
+
+    - [__prevaddr] : the address of the preceding base table entry (every
+      address strictly between an entry's [__prevaddr] and its own address
+      is known-empty); NULL means "inserted since the last fix-up";
+    - [__timestamp] : the local time of the entry's last modification;
+      NULL means "updated since the last fix-up".
+
+    This module owns the column names and the (de)construction of annotated
+    tuples. *)
+
+open Snapdiff_storage
+
+val prevaddr_col : string
+(** ["__prevaddr"]. *)
+
+val timestamp_col : string
+(** ["__timestamp"]. *)
+
+val extend_schema : Schema.t -> Schema.t
+(** Append the two annotation columns.  Raises [Invalid_argument] if the
+    user schema already contains them. *)
+
+val strip_schema : Schema.t -> Schema.t
+(** Inverse of {!extend_schema}.  Raises [Invalid_argument] if the schema
+    does not end with the two annotation columns. *)
+
+val is_annotated : Schema.t -> bool
+
+type t = {
+  prev_addr : Addr.t option;  (** [None] = NULL *)
+  timestamp : Snapdiff_txn.Clock.ts option;  (** [None] = NULL *)
+}
+
+val nulls : t
+
+val annotate : Tuple.t -> t -> Tuple.t
+(** [annotate user_tuple ann] appends the two annotation values. *)
+
+val split : Tuple.t -> Tuple.t * t
+(** Inverse of {!annotate}: separates the user fields from the annotations
+    of a stored tuple.  Raises [Invalid_argument] on a tuple shorter than 2
+    fields or with ill-typed annotation values. *)
+
+val user_part : Tuple.t -> Tuple.t
+(** Just the user fields of a stored tuple. *)
+
+val with_annotations : Tuple.t -> t -> Tuple.t
+(** Replace the annotation fields of a stored (already annotated) tuple. *)
+
+val pp : Format.formatter -> t -> unit

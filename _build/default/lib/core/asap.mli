@@ -1,0 +1,48 @@
+(** ASAP (As Soon As Possible) update propagation — the "transmit changes
+    as they occur" alternative.
+
+    The paper's drawbacks, all reproduced here:
+
+    - "Since the snapshot is, more or less, continuously being updated, it
+      no longer captures the base table state as of a specific refresh
+      time" — no {!Refresh_msg.Snaptime} is ever sent;
+    - "if ... communication between the base table and the snapshot is
+      interrupted, the base table changes must be buffered or rejected" —
+      {!policy} picks which, and the counters expose the consequence
+      (unbounded buffer growth, or a silently diverged snapshot);
+    - "transmitting each base table change to the snapshot ASAP will
+      increase base table update costs" — every qualifying change pays a
+      message at operation time (see {!sent}). *)
+
+open Snapdiff_storage
+
+type policy =
+  | Buffer  (** queue changes while the link is down; {!flush} retries *)
+  | Reject  (** drop changes while the link is down (snapshot diverges) *)
+
+type t
+
+val attach :
+  base:Base_table.t ->
+  link:Snapdiff_net.Link.t ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  ?policy:policy ->
+  unit ->
+  t
+(** Subscribes to the base table; from now on every insert/update/delete
+    that affects the restricted view is pushed through [link].  [policy]
+    defaults to [Buffer]. *)
+
+val sent : t -> int
+(** Messages successfully pushed. *)
+
+val pending : t -> int
+(** Changes buffered while the link is down. *)
+
+val rejected : t -> int
+(** Changes dropped under the [Reject] policy. *)
+
+val flush : t -> unit
+(** Retry the buffer (e.g. after the link comes back up).  Stops at the
+    first failure, preserving order. *)

@@ -1,0 +1,209 @@
+open Snapdiff_storage
+open Snapdiff_txn
+module Change_log = Snapdiff_changelog.Change_log
+module Int_btree = Snapdiff_index.Btree.Make (Int)
+
+type mode = Eager | Deferred
+
+type t = {
+  table_name : string;
+  table_mode : mode;
+  table_clock : Clock.t;
+  user : Schema.t;
+  stored : Schema.t;
+  heap : Heap.t;
+  live : unit Int_btree.t;  (* live addresses, for successor/predecessor *)
+  mutable observers : (Change_log.change -> unit) list;
+  wal : Snapdiff_wal.Wal.t option;
+  mutable next_txn : int;
+  mutable mutation_count : int;
+}
+
+let of_heap ~mode ~wal ~name ~clock ~user_schema heap =
+  let live = Int_btree.create () in
+  Heap.iter heap (fun addr _ -> Int_btree.insert live addr ());
+  {
+    table_name = name;
+    table_mode = mode;
+    table_clock = clock;
+    user = user_schema;
+    stored = Heap.schema heap;
+    heap;
+    live;
+    observers = [];
+    wal;
+    next_txn = 1;
+    mutation_count = 0;
+  }
+
+let create ?(mode = Deferred) ?(page_size = 4096) ?(frames = 128) ?wal ~name ~clock
+    user_schema =
+  let stored = Annotations.extend_schema user_schema in
+  of_heap ~mode ~wal ~name ~clock ~user_schema (Heap.create ~page_size ~frames stored)
+
+let on_pool ?(mode = Deferred) ?wal ~name ~clock pool user_schema =
+  let stored = Annotations.extend_schema user_schema in
+  of_heap ~mode ~wal ~name ~clock ~user_schema (Heap.on_pool pool stored)
+
+let flush t = Heap.flush t.heap
+
+let name t = t.table_name
+let mode t = t.table_mode
+let wal t = t.wal
+let clock t = t.table_clock
+let user_schema t = t.user
+let stored_schema t = t.stored
+let count t = Heap.count t.heap
+let mutations t = t.mutation_count
+
+let subscribe t f = t.observers <- t.observers @ [ f ]
+
+let notify t change = List.iter (fun f -> f change) t.observers
+
+(* Each user operation is its own committed transaction in the WAL (the
+   SQL layer's autocommit); annotation maintenance writes are not logged. *)
+let log_op t mk =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+    let txn = t.next_txn in
+    t.next_txn <- txn + 1;
+    ignore (Snapdiff_wal.Wal.append wal (Snapdiff_wal.Record.Begin { txn }));
+    ignore (Snapdiff_wal.Wal.append wal (mk txn));
+    ignore (Snapdiff_wal.Wal.append wal (Snapdiff_wal.Record.Commit { txn }))
+
+let stored_of t addr =
+  match Heap.get t.heap addr with
+  | Some tuple -> tuple
+  | None -> raise Not_found
+
+let get t addr =
+  match Heap.get t.heap addr with
+  | Some tuple -> Some (Annotations.user_part tuple)
+  | None -> None
+
+let get_annotations t addr =
+  match Heap.get t.heap addr with
+  | Some tuple -> Some (snd (Annotations.split tuple))
+  | None -> None
+
+let successor t addr = Option.map fst (Int_btree.find_first t.live ~lo:(addr + 1))
+
+let predecessor t addr =
+  if addr <= 0 then None else Option.map fst (Int_btree.find_last t.live ~hi:(addr - 1))
+
+let set_stored t addr tuple = Heap.update t.heap addr tuple
+
+let insert t user_tuple =
+  (match Schema.validate_tuple t.user user_tuple with
+  | Ok () -> ()
+  | Error e -> raise (Heap.Tuple_error e));
+  let addr = Heap.insert t.heap (Annotations.annotate user_tuple Annotations.nulls) in
+  (match t.table_mode with
+  | Deferred ->
+    (* "Insert operations will set the PrevAddr and TimeStamp fields to
+       NULL" — already done. *)
+    ()
+  | Eager ->
+    (* "The PrevAddr of the new entry must be set to the value of the
+       PrevAddr from the next entry in the base table, and the PrevAddr in
+       the next entry must be set to the address of the new entry." *)
+    let now = Clock.tick t.table_clock in
+    let prev =
+      match successor t addr with
+      | Some succ_addr ->
+        let succ = stored_of t succ_addr in
+        let succ_user, succ_ann = Annotations.split succ in
+        ignore (succ_user : Tuple.t);
+        let inherited =
+          match succ_ann.Annotations.prev_addr with
+          | Some p -> p
+          | None -> Option.value (predecessor t addr) ~default:Addr.zero
+        in
+        set_stored t succ_addr
+          (Annotations.with_annotations succ
+             { succ_ann with Annotations.prev_addr = Some addr });
+        inherited
+      | None -> Option.value (predecessor t addr) ~default:Addr.zero
+    in
+    set_stored t addr
+      (Annotations.annotate user_tuple
+         { Annotations.prev_addr = Some prev; timestamp = Some now }));
+  Int_btree.insert t.live addr ();
+  t.mutation_count <- t.mutation_count + 1;
+  notify t (Change_log.Insert (addr, user_tuple));
+  log_op t (fun txn ->
+      Snapdiff_wal.Record.Insert
+        { txn; table = t.table_name; addr; tuple = Option.get (Heap.get t.heap addr) });
+  addr
+
+let update t addr user_tuple =
+  (match Schema.validate_tuple t.user user_tuple with
+  | Ok () -> ()
+  | Error e -> raise (Heap.Tuple_error e));
+  let old_stored = stored_of t addr in
+  let old_user, old_ann = Annotations.split old_stored in
+  let new_ann =
+    match t.table_mode with
+    | Deferred ->
+      (* "Update operations will simply set the TimeStamp field to NULL." *)
+      { old_ann with Annotations.timestamp = None }
+    | Eager -> { old_ann with Annotations.timestamp = Some (Clock.tick t.table_clock) }
+  in
+  Heap.update t.heap addr (Annotations.annotate user_tuple new_ann);
+  t.mutation_count <- t.mutation_count + 1;
+  notify t (Change_log.Update (addr, old_user, user_tuple));
+  log_op t (fun txn ->
+      Snapdiff_wal.Record.Update
+        {
+          txn;
+          table = t.table_name;
+          addr;
+          old_tuple = old_stored;
+          new_tuple = Option.get (Heap.get t.heap addr);
+        })
+
+let delete t addr =
+  let old_stored = stored_of t addr in
+  let old_user, old_ann = Annotations.split old_stored in
+  Heap.delete t.heap addr;
+  ignore (Int_btree.remove t.live addr : bool);
+  (match t.table_mode with
+  | Deferred ->
+    (* "Delete operations on the base table will be unaffected by the
+       snapshots - the base table entry is simply deleted." *)
+    ()
+  | Eager -> (
+    (* "The PrevAddr and TimeStamp fields of the succeeding base table
+       entry must be updated with the PrevAddr from the deleted entry and
+       the current time." *)
+    match successor t addr with
+    | Some succ_addr ->
+      let now = Clock.tick t.table_clock in
+      let succ = stored_of t succ_addr in
+      let _, succ_ann = Annotations.split succ in
+      ignore (succ_ann : Annotations.t);
+      set_stored t succ_addr
+        (Annotations.with_annotations succ
+           {
+             Annotations.prev_addr = old_ann.Annotations.prev_addr;
+             timestamp = Some now;
+           })
+    | None ->
+      (* Deletion at the end of the table leaves no annotation anywhere;
+         the refresh algorithm's unconditional tail message covers it. *)
+      ()));
+  t.mutation_count <- t.mutation_count + 1;
+  notify t (Change_log.Delete (addr, old_user));
+  log_op t (fun txn ->
+      Snapdiff_wal.Record.Delete
+        { txn; table = t.table_name; addr; old_tuple = old_stored })
+
+let to_user_list t =
+  List.map (fun (addr, tuple) -> (addr, Annotations.user_part tuple)) (Heap.to_list t.heap)
+
+let iter_stored t f = Heap.iter t.heap f
+
+let last_addr t = Option.value (Heap.last_addr t.heap) ~default:Addr.zero
+
+let lock_resource t = Lock.Table t.table_name

@@ -1,0 +1,118 @@
+(** Annotated base tables.
+
+    A base table is a heap of user tuples extended with the two annotation
+    fields of {!Annotations}, maintained in one of the two disciplines the
+    paper develops:
+
+    - {b Eager} ("Associating Empty Regions with Actual Entries"): every
+      insert/update/delete keeps [__prevaddr]/[__timestamp] exact.  Inserts
+      and deletes touch the *successor* entry too, which is the extra
+      base-operation cost (and the concurrency hazard) the paper
+      attributes to this scheme.
+    - {b Deferred} ("Batch Maintenance of Empty Regions and Timestamps"):
+      operations are oblivious to snapshots — inserts store NULL
+      annotations, updates NULL the timestamp, deletes just delete — and
+      the fix-up pass run during refresh ({!Fixup}) restores the fields.
+      "It is the snapshot refresh operations which *should* bear the costs
+      associated with maintaining the snapshot."
+
+    The table optionally publishes exact old/new change records to
+    subscribers (feeding the *ideal* algorithm's change log and ASAP
+    propagation) and writes conventional WAL records (feeding the
+    log-based alternative and crash recovery).  Those are competing
+    mechanisms from the paper's "alternative refresh methods" section —
+    a production system would enable only one. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type mode = Eager | Deferred
+
+type t
+
+val create :
+  ?mode:mode ->
+  ?page_size:int ->
+  ?frames:int ->
+  ?wal:Snapdiff_wal.Wal.t ->
+  name:string ->
+  clock:Clock.t ->
+  Schema.t ->
+  t
+(** [create ~name ~clock user_schema] builds an empty annotated table over
+    a private in-memory store.  [mode] defaults to [Deferred] (the paper's
+    final algorithm).  The user schema must not already contain annotation
+    columns. *)
+
+val on_pool :
+  ?mode:mode ->
+  ?wal:Snapdiff_wal.Wal.t ->
+  name:string ->
+  clock:Clock.t ->
+  Snapdiff_storage.Buffer_pool.t ->
+  Snapdiff_storage.Schema.t ->
+  t
+(** Attach to an existing (possibly populated, possibly file-backed)
+    store: existing entries — with whatever annotations they carry — are
+    adopted as-is, so a durable base table survives restarts and its next
+    differential refresh proceeds from the persisted annotations.  Pass
+    the same user schema the table was created with. *)
+
+val flush : t -> unit
+(** Flush the underlying buffer pool to the store. *)
+
+val name : t -> string
+
+val mode : t -> mode
+
+val wal : t -> Snapdiff_wal.Wal.t option
+
+val clock : t -> Clock.t
+
+val user_schema : t -> Schema.t
+
+val stored_schema : t -> Schema.t
+(** User schema + annotation columns (what {!iter_stored} yields). *)
+
+val count : t -> int
+
+val mutations : t -> int
+(** Total inserts+updates+deletes since creation (cost-model input). *)
+
+val subscribe : t -> (Snapdiff_changelog.Change_log.change -> unit) -> unit
+(** Change records carry {b user} tuples (annotations stripped). *)
+
+(** {1 Operations} (user-schema tuples) *)
+
+val insert : t -> Tuple.t -> Addr.t
+
+val update : t -> Addr.t -> Tuple.t -> unit
+(** Raises [Not_found] if no live entry at the address. *)
+
+val delete : t -> Addr.t -> unit
+(** Raises [Not_found] if no live entry at the address. *)
+
+val get : t -> Addr.t -> Tuple.t option
+
+val get_annotations : t -> Addr.t -> Annotations.t option
+
+val to_user_list : t -> (Addr.t * Tuple.t) list
+(** Live entries in address order. *)
+
+(** {1 Scan-level access} (refresh algorithms and fix-up) *)
+
+val iter_stored : t -> (Addr.t -> Tuple.t -> unit) -> unit
+(** Address-order scan of stored (annotated) tuples.  The callback may call
+    {!set_stored} on the entry it is visiting. *)
+
+val set_stored : t -> Addr.t -> Tuple.t -> unit
+(** Raw annotated-tuple write: used by the fix-up pass to restore
+    annotation fields.  Does not tick the clock, fire observers, or write
+    WAL (annotation maintenance is not a user change). *)
+
+val last_addr : t -> Addr.t
+(** Address of the last live entry, or {!Addr.zero} if empty. *)
+
+val lock_resource : t -> Lock.resource
+(** The table-level lock resource ("we must obtain a table level lock on
+    the base table during the fix up (and refresh) procedures"). *)

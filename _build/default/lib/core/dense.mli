@@ -1,0 +1,52 @@
+(** "Differential Refresh: A Simple Solution" — the paper's first,
+    deliberately impractical algorithm (Figures 1 and 2).
+
+    The base table is "embedded in a dense, ordered space ... each element
+    either contains a base table entry or is marked as empty", and every
+    element — occupied or empty — carries a timestamp of its last
+    modification.  Refresh scans the whole space and transmits every
+    element whose timestamp is newer than [SnapTime]: qualified entries as
+    upserts, empty or unqualified elements as removals.
+
+    Kept (and tested against the paper's worked example) because the three
+    later algorithms are refinements of it, and because faithfulness bugs
+    in the refined versions show up as divergence from this one. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type t
+
+val create : capacity:int -> schema:Schema.t -> clock:Clock.t -> unit -> t
+(** Addresses are [1 .. capacity]; all elements start empty with timestamp
+    {!Clock.never}. *)
+
+val capacity : t -> int
+
+val schema : t -> Schema.t
+
+val set : t -> addr:int -> Tuple.t -> unit
+(** Insert or update the element (stamps its timestamp).  Raises
+    [Invalid_argument] on a bad address or ill-typed tuple. *)
+
+val remove : t -> addr:int -> unit
+(** Mark the element empty (stamps its timestamp).  Idempotent. *)
+
+val get : t -> addr:int -> Tuple.t option
+
+val entries : t -> (int * Tuple.t) list
+(** Occupied elements in address order. *)
+
+type report = {
+  new_snaptime : Clock.ts;
+  elements_scanned : int;
+  data_messages : int;
+}
+
+val refresh :
+  t ->
+  snaptime:Clock.ts ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  xmit:(Refresh_msg.t -> unit) ->
+  report

@@ -1,0 +1,81 @@
+open Snapdiff_storage
+open Snapdiff_txn
+
+type report = {
+  new_snaptime : Clock.ts;
+  entries_scanned : int;
+  fixup_writes : int;
+  data_messages : int;
+  tail_suppressed : bool;
+}
+
+let refresh ?(tail_suppression = None) ~base ~snaptime ~restrict ~project ~xmit () =
+  let deferred = Base_table.mode base = Base_table.Deferred in
+  (* One fresh timestamp serves as both FixupTime and the new SnapTime;
+     the table lock guarantees no changes slip between them. *)
+  let now = Clock.tick (Base_table.clock base) in
+  let data_messages = ref 0 in
+  let send m =
+    if Refresh_msg.is_data m then incr data_messages;
+    xmit m
+  in
+  (* Fix-up state (deferred mode only). *)
+  let expect_prev = ref Addr.zero in
+  let last_addr = ref Addr.zero in
+  let fixup_writes = ref 0 in
+  (* Refresh state (Figure 3). *)
+  let last_qual = ref Addr.zero in
+  let deletion = ref false in
+  let scanned = ref 0 in
+  Base_table.iter_stored base (fun addr stored ->
+      incr scanned;
+      let user, ann = Annotations.split stored in
+      let ann =
+        if deferred then begin
+          let ann', expect_prev' =
+            Fixup.step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr
+              ~fixup_time:now ann
+          in
+          if ann' <> ann then begin
+            Base_table.set_stored base addr (Annotations.with_annotations stored ann');
+            incr fixup_writes
+          end;
+          expect_prev := expect_prev';
+          last_addr := addr;
+          ann'
+        end
+        else ann
+      in
+      (* A NULL timestamp cannot survive fix-up; in eager mode it would
+         mean corrupted annotations — treat it as "changed" to stay safe. *)
+      let changed =
+        match ann.Annotations.timestamp with
+        | None -> true
+        | Some ts -> ts > snaptime
+      in
+      if restrict user then begin
+        if changed || !deletion then
+          send (Refresh_msg.Entry { addr; prev_qual = !last_qual; values = project user });
+        last_qual := addr;
+        deletion := false
+      end
+      else if changed then
+        (* "Updated entry ==> may have qualified before update." *)
+        deletion := true);
+  (* "Handle deletions at end of BaseTable": unconditional in the paper;
+     optionally suppressed when the snapshot provably holds nothing above
+     LastQual. *)
+  let tail_suppressed =
+    match tail_suppression with
+    | Some high_water when high_water <= !last_qual -> true
+    | Some _ | None -> false
+  in
+  if not tail_suppressed then send (Refresh_msg.Tail { last_qual = !last_qual });
+  send (Refresh_msg.Snaptime now);
+  {
+    new_snaptime = now;
+    entries_scanned = !scanned;
+    fixup_writes = !fixup_writes;
+    data_messages = !data_messages;
+    tail_suppressed;
+  }

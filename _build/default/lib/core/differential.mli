@@ -1,0 +1,45 @@
+(** The differential snapshot refresh scan — the paper's contribution.
+
+    For an {e eager}-mode base table this is exactly Figure 3
+    ([BaseRefresh]): scan in address order; transmit a qualified entry if
+    its timestamp is newer than [SnapTime] {e or} a modified unqualified
+    entry was passed since the last qualified one (the [Deletion] flag);
+    each transmission carries the address of the preceding qualified entry,
+    which lets the snapshot delete everything between; finish with the
+    unconditional tail message and the new [SnapTime].
+
+    For a {e deferred}-mode base table the same scan is combined with the
+    Figure 7 fix-up: "for each base table entry, we first update the extra
+    fields, if needed.  Then, if necessary, the entry is transmitted."
+
+    [tail_suppression] implements one of the improvements the paper leaves
+    as an exercise ("the reader is invited to discover improvements which
+    reduce the message traffic"): if the snapshot reports the largest
+    [BaseAddr] it holds and that is not above the last qualified entry, the
+    tail message cannot delete anything and is skipped. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type report = {
+  new_snaptime : Clock.ts;
+  entries_scanned : int;
+  fixup_writes : int;  (** 0 in eager mode *)
+  data_messages : int;
+  tail_suppressed : bool;
+}
+
+val refresh :
+  ?tail_suppression:Addr.t option ->
+  base:Base_table.t ->
+  snaptime:Clock.ts ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  xmit:(Refresh_msg.t -> unit) ->
+  unit ->
+  report
+(** [restrict] and [project] operate on user-schema tuples (they are the
+    compiled [SnapRestrict] and projection).  [tail_suppression] is the
+    snapshot's current high-water [BaseAddr] ([None] disables the
+    optimization, reproducing the paper's algorithm verbatim).  The caller
+    holds the table lock. *)

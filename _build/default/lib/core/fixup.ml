@@ -1,0 +1,55 @@
+open Snapdiff_storage
+
+type stats = {
+  scanned : int;
+  writes : int;
+}
+
+(* Figure 7, body of the scan loop, for the entry at [addr] whose current
+   annotations are [ann].  [expect_prev] is the address of the last
+   non-newly-inserted entry seen; [last_addr] the address of the last entry
+   of any kind.  Returns the corrected annotations and the new ExpectPrev. *)
+let step ~addr ~expect_prev ~last_addr ~fixup_time (ann : Annotations.t) =
+  match ann.Annotations.prev_addr with
+  | None ->
+    (* Inserted entry: point it at its predecessor and stamp it.  It does
+       NOT become ExpectPrev — the next entry's stored PrevAddr still
+       refers to the pre-insertion neighbourhood. *)
+    ( { Annotations.prev_addr = Some last_addr; timestamp = Some fixup_time },
+      expect_prev )
+  | Some prev ->
+    let ts =
+      match ann.Annotations.timestamp with
+      | None -> Some fixup_time  (* updated entry *)
+      | some -> some
+    in
+    let prev_addr, ts =
+      if prev <> expect_prev then
+        (* Deletion(s) between ExpectPrev and this entry: the empty region
+           before this entry grew, so both fields change. *)
+        (Some last_addr, Some fixup_time)
+      else if prev <> last_addr then
+        (* Only insertions between: repoint without stamping. *)
+        (Some last_addr, ts)
+      else (Some prev, ts)
+    in
+    ({ Annotations.prev_addr; timestamp = ts }, addr)
+
+let run base ~fixup_time =
+  let expect_prev = ref Addr.zero in
+  let last_addr = ref Addr.zero in
+  let scanned = ref 0 in
+  let writes = ref 0 in
+  Base_table.iter_stored base (fun addr stored ->
+      incr scanned;
+      let _, ann = Annotations.split stored in
+      let ann', expect_prev' =
+        step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr ~fixup_time ann
+      in
+      if ann' <> ann then begin
+        Base_table.set_stored base addr (Annotations.with_annotations stored ann');
+        incr writes
+      end;
+      expect_prev := expect_prev';
+      last_addr := addr);
+  { scanned = !scanned; writes = !writes }

@@ -1,0 +1,48 @@
+(** The base-table fix-up algorithm (paper Figure 7).
+
+    Under deferred maintenance, base operations leave NULL annotations and
+    delete entries without a trace.  One address-order scan restores the
+    fields:
+
+    - NULL [PrevAddr] — the entry was {e inserted}: set [PrevAddr] to the
+      previous entry's address and stamp [TimeStamp];
+    - NULL [TimeStamp] (non-NULL [PrevAddr]) — the entry was {e updated}:
+      stamp [TimeStamp];
+    - [PrevAddr <> ExpectPrev] — one or more entries {e deleted} before
+      this one: repoint [PrevAddr] and stamp [TimeStamp] ("detecting
+      deletions ... by detecting anomalies in the empty region information
+      in the PrevAddr fields is central to the differential refresh
+      algorithm");
+    - [PrevAddr = ExpectPrev <> LastAddr] — entries were inserted just
+      before this one: repoint [PrevAddr] only (no stamp).
+
+    [ExpectPrev] tracks the last {e non-newly-inserted} entry, [LastAddr]
+    the last entry of any kind.
+
+    The standalone pass exists for tests and for offline "re-annotation";
+    refresh normally runs the combined single pass in {!Differential}. *)
+
+open Snapdiff_txn
+
+type stats = {
+  scanned : int;
+  writes : int;  (** entries whose annotation fields were rewritten *)
+}
+
+val run : Base_table.t -> fixup_time:Clock.ts -> stats
+(** One full pass.  [fixup_time] is the time stamped into every restored
+    [TimeStamp] ("only snapshot refresh events need to occur at distinct
+    times, [so] we can use the current (base table) time"). *)
+
+val step :
+  addr:Snapdiff_storage.Addr.t ->
+  expect_prev:Snapdiff_storage.Addr.t ->
+  last_addr:Snapdiff_storage.Addr.t ->
+  fixup_time:Clock.ts ->
+  Annotations.t ->
+  Annotations.t * Snapdiff_storage.Addr.t
+(** The per-entry state transition, exposed for the combined pass and for
+    direct unit testing against the pseudocode: returns the corrected
+    annotations and the new [ExpectPrev].  The caller passes the entry's
+    address and current annotations and is responsible for [LastAddr]
+    bookkeeping. *)

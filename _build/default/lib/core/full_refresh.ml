@@ -1,0 +1,22 @@
+open Snapdiff_txn
+
+type report = {
+  new_snaptime : Clock.ts;
+  entries_scanned : int;
+  data_messages : int;
+}
+
+let refresh ~base ~restrict ~project ~xmit () =
+  let now = Clock.tick (Base_table.clock base) in
+  let scanned = ref 0 in
+  let data = ref 0 in
+  xmit Refresh_msg.Clear;
+  Base_table.iter_stored base (fun addr stored ->
+      incr scanned;
+      let user = Annotations.user_part stored in
+      if restrict user then begin
+        incr data;
+        xmit (Refresh_msg.Upsert { addr; values = project user })
+      end);
+  xmit (Refresh_msg.Snaptime now);
+  { new_snaptime = now; entries_scanned = !scanned; data_messages = !data }

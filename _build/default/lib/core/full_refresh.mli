@@ -1,0 +1,25 @@
+(** Full refresh: "the simplest method is to transmit the (restricted &
+    projected) base table to the snapshot each time the snapshot is
+    refreshed.  The snapshot is first cleared and then the received data is
+    inserted."
+
+    Minimal impact on base-table operations, but it retransmits every
+    qualified entry whether or not anything changed — the baseline the
+    differential algorithm is measured against. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type report = {
+  new_snaptime : Clock.ts;
+  entries_scanned : int;
+  data_messages : int;
+}
+
+val refresh :
+  base:Base_table.t ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  xmit:(Refresh_msg.t -> unit) ->
+  unit ->
+  report

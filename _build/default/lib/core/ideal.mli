@@ -1,0 +1,50 @@
+(** The ideal refresh algorithm — the paper's lower bound.
+
+    "The ideal algorithm transmits only actual base table changes to the
+    (restricted) snapshot and only the most recent change to each entry
+    (since refresh).  The ideal algorithm uses old and new values of
+    changed entries to insure that changes to unqualified entries are not
+    transmitted."
+
+    It is "ideal" only in message count: it needs exact change capture
+    (a {!Snapdiff_changelog.Change_log} fed by a base-table subscription),
+    whose storage grows with update volume — the trade-off the paper's
+    annotation scheme avoids.
+
+    Decision per net-changed address, with [before]/[after] the values at
+    the snapshot's cursor and now:
+
+    - after exists and qualifies: transmit {!Refresh_msg.Upsert} unless the
+      entry also qualified before with an identical value;
+    - after missing or unqualified, but before qualified: transmit
+      {!Refresh_msg.Remove};
+    - neither qualifies: transmit nothing. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+module Change_log = Snapdiff_changelog.Change_log
+
+type report = {
+  new_snaptime : Clock.ts;
+  new_cursor : Change_log.seq;
+  net_changes : int;  (** addresses with a net change, before restriction *)
+  data_messages : int;
+}
+
+val decide :
+  restrict:(Tuple.t -> bool) ->
+  Tuple.t option ->
+  Tuple.t option ->
+  [ `Upsert of Tuple.t | `Remove | `Nothing ]
+(** [decide ~restrict before after] — the qualification-transition rule
+    above, shared with the log-based and ASAP methods. *)
+
+val refresh :
+  base:Base_table.t ->
+  log:Change_log.t ->
+  cursor:Change_log.seq ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  xmit:(Refresh_msg.t -> unit) ->
+  unit ->
+  report

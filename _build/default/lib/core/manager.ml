@@ -1,0 +1,463 @@
+open Snapdiff_storage
+open Snapdiff_txn
+module Expr = Snapdiff_expr.Expr
+module Eval = Snapdiff_expr.Eval
+module Typecheck = Snapdiff_expr.Typecheck
+module Selectivity = Snapdiff_expr.Selectivity
+module Change_log = Snapdiff_changelog.Change_log
+module Link = Snapdiff_net.Link
+module Model = Snapdiff_analysis.Model
+module Wal = Snapdiff_wal.Wal
+
+let log_src = Logs.Src.create "snapdiff.refresh" ~doc:"snapshot refresh events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type method_spec =
+  | Auto
+  | Full
+  | Differential
+  | Ideal
+  | Log_based
+
+type method_used = Used_full | Used_differential | Used_ideal | Used_log_based
+
+let method_name = function
+  | Used_full -> "full"
+  | Used_differential -> "differential"
+  | Used_ideal -> "ideal"
+  | Used_log_based -> "log-based"
+
+type refresh_report = {
+  snapshot : string;
+  method_used : method_used;
+  new_snaptime : Clock.ts;
+  entries_scanned : int;
+  fixup_writes : int;
+  data_messages : int;
+  link_messages : int;
+  link_bytes : int;
+  tail_suppressed : bool;
+  log_records_scanned : int;
+}
+
+exception Unknown_table of string
+exception Unknown_snapshot of string
+exception Duplicate_name of string
+exception Bad_definition of string
+
+type base_state = {
+  base_table : Base_table.t;
+  mutable capture : Change_log.t option;
+}
+
+type snapshot = {
+  snap_name : string;
+  base_name : string;
+  restrict_expr : Expr.t;
+  restrict : Tuple.t -> bool;
+  projection : string list;
+  project : Tuple.t -> Tuple.t;
+  table : Snapshot_table.t;
+  link : Link.t;
+  request_link : Link.t;  (* snapshot -> base control path *)
+  spec : method_spec;
+  tail_suppression : bool;
+  mutable selectivity : float;
+  mutable cursor_seq : Change_log.seq;
+  mutable cursor_lsn : Wal.lsn;
+  mutable mutations_at_refresh : int;
+}
+
+type t = {
+  bases : (string, base_state) Hashtbl.t;
+  snapshots : (string, snapshot) Hashtbl.t;
+  txns : Txn.manager;
+}
+
+let key = String.lowercase_ascii
+
+let create () =
+  { bases = Hashtbl.create 8; snapshots = Hashtbl.create 8; txns = Txn.create_manager () }
+
+let register_base t table =
+  let k = key (Base_table.name table) in
+  if Hashtbl.mem t.bases k then raise (Duplicate_name (Base_table.name table));
+  Hashtbl.replace t.bases k { base_table = table; capture = None }
+
+let snapshots_on t base_name =
+  Hashtbl.fold
+    (fun _ s acc -> if key s.base_name = key base_name then s.snap_name :: acc else acc)
+    t.snapshots []
+
+let unregister_base t name =
+  if not (Hashtbl.mem t.bases (key name)) then raise (Unknown_table name);
+  (match snapshots_on t name with
+  | [] -> ()
+  | s :: _ -> raise (Bad_definition (Printf.sprintf "snapshot %s depends on table %s" s name)));
+  Hashtbl.remove t.bases (key name)
+
+let base_state t name =
+  match Hashtbl.find_opt t.bases (key name) with
+  | Some b -> b
+  | None -> raise (Unknown_table name)
+
+let base t name = (base_state t name).base_table
+
+let base_names t = Hashtbl.fold (fun _ b acc -> Base_table.name b.base_table :: acc) t.bases []
+
+let snapshot t name =
+  match Hashtbl.find_opt t.snapshots (key name) with
+  | Some s -> s
+  | None -> raise (Unknown_snapshot name)
+
+let snapshot_names t = Hashtbl.fold (fun _ s acc -> s.snap_name :: acc) t.snapshots []
+
+let snapshot_table t name = (snapshot t name).table
+
+let snapshot_method t name = (snapshot t name).spec
+
+let snapshot_restrict t name = (snapshot t name).restrict_expr
+
+let snapshot_link t name = (snapshot t name).link
+
+let snapshot_request_link t name = (snapshot t name).request_link
+
+let selectivity_estimate t name = (snapshot t name).selectivity
+
+let change_log t name = (base_state t name).capture
+
+let ensure_capture t base_name =
+  let st = base_state t base_name in
+  match st.capture with
+  | Some log -> log
+  | None ->
+    let log = Change_log.create () in
+    Base_table.subscribe st.base_table (fun c -> ignore (Change_log.append log c : Change_log.seq));
+    st.capture <- Some log;
+    log
+
+(* Observed distinct-update activity is approximated by the operation count
+   since the snapshot's last refresh, capped at 1. *)
+let observed_update_fraction base s =
+  let n = Base_table.count base in
+  if n = 0 then 0.0
+  else
+    Float.min 1.0
+      (float_of_int (Base_table.mutations base - s.mutations_at_refresh) /. float_of_int n)
+
+let estimate t name =
+  let s = snapshot t name in
+  let b = base t s.base_name in
+  let n = Base_table.count b in
+  let q = s.selectivity in
+  let u = observed_update_fraction b s in
+  let full = Model.full_messages ~n ~q in
+  let diff = Model.differential_messages ~n ~q ~u () in
+  (full, diff)
+
+let estimate_refresh_messages t name =
+  let full, diff = estimate t name in
+  (`Full full, `Differential diff)
+
+let with_table_lock t base mode f =
+  let txn = Txn.begin_txn t.txns in
+  Fun.protect
+    ~finally:(fun () -> if Txn.is_active txn then ignore (Txn.commit txn : int list))
+    (fun () ->
+      Txn.lock txn (Base_table.lock_resource base) mode;
+      f ())
+
+let blank_report s method_used =
+  {
+    snapshot = s.snap_name;
+    method_used;
+    new_snaptime = Clock.never;
+    entries_scanned = 0;
+    fixup_writes = 0;
+    data_messages = 0;
+    link_messages = 0;
+    link_bytes = 0;
+    tail_suppressed = false;
+    log_records_scanned = 0;
+  }
+
+let rec run_method t s method_used =
+  let b = base t s.base_name in
+  let xmit msg = Link.send s.link (Refresh_msg.encode msg) in
+  match method_used with
+  | Used_full ->
+    let r = Full_refresh.refresh ~base:b ~restrict:s.restrict ~project:s.project ~xmit () in
+    {
+      (blank_report s method_used) with
+      new_snaptime = r.Full_refresh.new_snaptime;
+      entries_scanned = r.Full_refresh.entries_scanned;
+      data_messages = r.Full_refresh.data_messages;
+    }
+  | Used_differential ->
+    let tail_suppression =
+      if s.tail_suppression then Some (Snapshot_table.high_water s.table) else None
+    in
+    let r =
+      Differential.refresh ~tail_suppression ~base:b
+        ~snaptime:(Snapshot_table.snaptime s.table) ~restrict:s.restrict ~project:s.project
+        ~xmit ()
+    in
+    {
+      (blank_report s method_used) with
+      new_snaptime = r.Differential.new_snaptime;
+      entries_scanned = r.Differential.entries_scanned;
+      fixup_writes = r.Differential.fixup_writes;
+      data_messages = r.Differential.data_messages;
+      tail_suppressed = r.Differential.tail_suppressed;
+    }
+  | Used_ideal ->
+    let log = ensure_capture t s.base_name in
+    let r =
+      Ideal.refresh ~base:b ~log ~cursor:s.cursor_seq ~restrict:s.restrict ~project:s.project
+        ~xmit ()
+    in
+    s.cursor_seq <- r.Ideal.new_cursor;
+    (* Reclaim change-log space below the slowest ideal cursor on this
+       base — the buffer-management obligation the paper charges change
+       buffering with. *)
+    let min_cursor =
+      Hashtbl.fold
+        (fun _ other acc ->
+          if key other.base_name = key s.base_name && other.spec = Ideal then
+            min acc other.cursor_seq
+          else acc)
+        t.snapshots max_int
+    in
+    if min_cursor < max_int then Change_log.truncate_below log min_cursor;
+    {
+      (blank_report s method_used) with
+      new_snaptime = r.Ideal.new_snaptime;
+      entries_scanned = r.Ideal.net_changes;
+      data_messages = r.Ideal.data_messages;
+    }
+  | Used_log_based ->
+    let wal =
+      match Base_table.wal b with
+      | Some w -> w
+      | None -> raise (Bad_definition "log-based refresh requires a WAL on the base table")
+    in
+    if s.cursor_lsn < Wal.oldest_retained wal then begin
+      (* "One could bound the buffering required and transmit the entire
+         (restricted) base table if the last refresh of the snapshot
+         precedes the earliest retained changes." *)
+      Log.info (fun m ->
+          m "snapshot %s: log truncated past its cursor; falling back to full refresh"
+            s.snap_name);
+      let r = run_method t s Used_full in
+      s.cursor_lsn <- Wal.end_lsn wal;
+      r
+    end
+    else begin
+    let r =
+      Log_based.refresh ~base:b ~wal ~cursor:s.cursor_lsn ~restrict:s.restrict
+        ~project:s.project ~xmit ()
+    in
+    s.cursor_lsn <- r.Log_based.new_cursor;
+    {
+      (blank_report s method_used) with
+      new_snaptime = r.Log_based.new_snaptime;
+      entries_scanned = r.Log_based.data_messages;
+      data_messages = r.Log_based.data_messages;
+      log_records_scanned = r.Log_based.log_records_scanned;
+    }
+    end
+
+let choose_method t s =
+  match s.spec with
+  | Full -> Used_full
+  | Differential -> Used_differential
+  | Ideal -> Used_ideal
+  | Log_based -> Used_log_based
+  | Auto ->
+    let full, diff = estimate t s.snap_name in
+    if diff <= full then Used_differential else Used_full
+
+(* An Auto snapshot may alternate between full and differential refresh.
+   A full refresh synchronizes the snapshot's contents as of its new
+   SnapTime but does not touch annotations — so an entry inserted before
+   it (still carrying NULL PrevAddr, hence absent from the chain) could be
+   deleted afterwards without leaving any anomaly, and a later
+   differential refresh would miss the deletion.  Running the fix-up pass
+   alongside such a full refresh restores the invariant the differential
+   scan depends on: "the annotation state is current as of SnapTime". *)
+let needs_priming_fixup b s method_used =
+  method_used = Used_full && s.spec = Auto && Base_table.mode b = Base_table.Deferred
+
+(* Deferred-mode differential refresh (and a priming fix-up) rewrites
+   annotation fields, so it needs an exclusive table lock; every other
+   method only reads. *)
+let lock_mode_for b s = function
+  | Used_differential when Base_table.mode b = Base_table.Deferred -> Lock.X
+  | Used_full when needs_priming_fixup b s Used_full -> Lock.X
+  | Used_differential | Used_full | Used_ideal | Used_log_based -> Lock.S
+
+let refresh_snapshot t s =
+  let b = base t s.base_name in
+  (* "The refresh algorithm is initiated by sending the last snapshot
+     refresh time (SnapTime) ... to the base table." *)
+  Link.send s.request_link
+    (Refresh_msg.encode (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table }));
+  let method_used = choose_method t s in
+  with_table_lock t b
+    (lock_mode_for b s method_used)
+    (fun () ->
+      let before = Link.stats s.link in
+      let fixups =
+        if needs_priming_fixup b s method_used then
+          (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b))).Fixup.writes
+        else 0
+      in
+      let report = run_method t s method_used in
+      let after = Link.stats s.link in
+      s.mutations_at_refresh <- Base_table.mutations b;
+      let report =
+        {
+          report with
+          fixup_writes = report.fixup_writes + fixups;
+          link_messages = after.Link.messages - before.Link.messages;
+          link_bytes = after.Link.bytes - before.Link.bytes;
+        }
+      in
+      Log.info (fun m ->
+          m "refresh %s via %s: %d data msgs, %d bytes, %d fixups, snaptime %d"
+            report.snapshot (method_name report.method_used) report.data_messages
+            report.link_bytes report.fixup_writes report.new_snaptime);
+      report)
+
+let refresh t name = refresh_snapshot t (snapshot t name)
+
+let validate_projection user_schema projection =
+  List.iter
+    (fun col_name ->
+      match Schema.index_of user_schema col_name with
+      | None -> raise (Bad_definition (Printf.sprintf "unknown column %s in projection" col_name))
+      | Some i ->
+        if Schema.is_hidden (Schema.column user_schema i) then
+          raise (Bad_definition (Printf.sprintf "hidden column %s in projection" col_name)))
+    projection
+
+let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
+    ?(method_ = Auto) ?link ?(tail_suppression = false) ?selectivity () =
+  if Hashtbl.mem t.snapshots (key name) then raise (Duplicate_name name);
+  let bst = base_state t base_name in
+  let b = bst.base_table in
+  let user_schema = Base_table.user_schema b in
+  (match Typecheck.check_predicate user_schema restrict with
+  | Ok () -> ()
+  | Error e -> raise (Bad_definition (Format.asprintf "%a" Typecheck.pp_error e)));
+  (* "Compile" the restriction: simplify once at definition time. *)
+  let restrict = Snapdiff_expr.Simplify.simplify restrict in
+  let projection =
+    match projection with
+    | Some cols ->
+      validate_projection user_schema cols;
+      cols
+    | None -> List.map (fun c -> c.Schema.name) (Schema.columns user_schema)
+  in
+  let projected_schema = Schema.project user_schema projection in
+  let idx = Array.of_list (List.map (Schema.index_of_exn user_schema) projection) in
+  let identity = Array.length idx = Schema.arity user_schema
+                 && Array.for_all2 ( = ) idx (Array.init (Array.length idx) Fun.id) in
+  let project = if identity then Fun.id else fun tuple -> Tuple.project_idx tuple idx in
+  let restrict_fn = Eval.compile user_schema restrict in
+  (match method_ with
+  | Log_based when Base_table.wal b = None ->
+    raise (Bad_definition "log-based refresh requires a WAL on the base table")
+  | _ -> ());
+  let link =
+    match link with
+    | Some l -> l
+    | None -> Link.create ~name:(Printf.sprintf "%s->%s" base_name name) ()
+  in
+  let request_link = Link.create ~name:(Printf.sprintf "%s->%s" name base_name) () in
+  (* The base site consumes control messages; it already holds the compiled
+     definition, so receipt is just accounted. *)
+  Link.attach request_link (fun (_ : bytes) -> ());
+  let table = Snapshot_table.create ~name ~schema:projected_schema () in
+  Link.attach link (Snapshot_table.apply_bytes table);
+  (* CREATE SNAPSHOT ships the definition to the base site once. *)
+  Link.send request_link
+    (Refresh_msg.encode
+       (Refresh_msg.Register { restrict = Expr.to_string restrict; projection }));
+  (* Selectivity: measured when data exists (sampled above 10k entries),
+     System R heuristics otherwise. *)
+  let selectivity =
+    match selectivity with
+    | Some q -> Float.max 0.0 (Float.min 1.0 q)  (* caller-provided estimate *)
+    | None ->
+      if Base_table.count b = 0 then Selectivity.heuristic restrict
+      else begin
+        let heap_view = Base_table.to_user_list b in
+        let hits = List.length (List.filter (fun (_, u) -> restrict_fn u) heap_view) in
+        float_of_int hits /. float_of_int (List.length heap_view)
+      end
+  in
+  (* Change capture must be live before the initial population so that the
+     first ideal refresh misses nothing. *)
+  if method_ = Ideal then ignore (ensure_capture t base_name : Change_log.t);
+  let s =
+    {
+      snap_name = name;
+      base_name;
+      restrict_expr = restrict;
+      restrict = restrict_fn;
+      projection;
+      project;
+      table;
+      link;
+      request_link;
+      spec = method_;
+      tail_suppression;
+      selectivity;
+      cursor_seq = 0;
+      cursor_lsn = Wal.start_lsn;
+      mutations_at_refresh = 0;
+    }
+  in
+  Hashtbl.replace t.snapshots (key name) s;
+  (* Initial population is always a full transfer, under the table lock.
+     For a deferred-mode base that may later refresh differentially we also
+     prime the annotations now (one fix-up pass, like R* adding the funny
+     fields at CREATE SNAPSHOT time) so that the first differential refresh
+     does not mistake the whole table for freshly inserted. *)
+  let prime_fixup = Base_table.mode b = Base_table.Deferred
+                    && (method_ = Auto || method_ = Differential) in
+  let lock_mode = if prime_fixup then Lock.X else Lock.S in
+  let report =
+    with_table_lock t b lock_mode (fun () ->
+        if prime_fixup then
+          ignore (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b)) : Fixup.stats);
+        let before = Link.stats s.link in
+        let r = run_method t s Used_full in
+        let after = Link.stats s.link in
+        {
+          r with
+          link_messages = after.Link.messages - before.Link.messages;
+          link_bytes = after.Link.bytes - before.Link.bytes;
+        })
+  in
+  (* Cursors start "now": everything up to this point is already in the
+     snapshot. *)
+  (match bst.capture with
+  | Some log -> s.cursor_seq <- Change_log.current_seq log
+  | None -> ());
+  (match Base_table.wal b with
+  | Some wal -> s.cursor_lsn <- Wal.end_lsn wal
+  | None -> ());
+  s.mutations_at_refresh <- Base_table.mutations b;
+  Log.info (fun m ->
+      m "created snapshot %s on %s (%s, selectivity %.3f): %d entries shipped"
+        name base_name
+        (Expr.to_string restrict)
+        selectivity report.data_messages);
+  report
+
+let drop_snapshot t name =
+  if not (Hashtbl.mem t.snapshots (key name)) then raise (Unknown_snapshot name);
+  Hashtbl.remove t.snapshots (key name)

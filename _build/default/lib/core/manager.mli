@@ -1,0 +1,129 @@
+(** Snapshot catalog and refresh driver — the [CREATE SNAPSHOT] /
+    [REFRESH SNAPSHOT] layer (what R* exposed at the SQL level).
+
+    Responsibilities, following the paper's conclusions section:
+
+    - at snapshot definition time: type-check and "compile" the restriction
+      and projection against the base table's schema, create the snapshot
+      table (with its BaseAddr index) at the snapshot site, and populate it
+      with an initial full transfer over the site link;
+    - refresh-method selection: "an analysis of the query determines
+      whether the differential refresh algorithm or full refresh is to be
+      used"; with [Auto] the choice is re-evaluated per refresh from the
+      measured selectivity and the update activity observed since the last
+      refresh ({!Snapdiff_analysis.Model});
+    - at refresh time: take the table-level lock on the base table, run the
+      selected method, stream the messages through the snapshot's link, and
+      advance the snapshot's cursors;
+    - multiple snapshots per base table, each with its own restriction,
+      projection, link, and refresh schedule, all sharing one set of
+      base-table annotations. *)
+
+open Snapdiff_txn
+module Expr = Snapdiff_expr.Expr
+module Change_log = Snapdiff_changelog.Change_log
+module Link = Snapdiff_net.Link
+
+type method_spec =
+  | Auto  (** pick full vs differential per refresh from the cost model *)
+  | Full
+  | Differential
+  | Ideal  (** requires change capture; installed automatically *)
+  | Log_based  (** requires the base table to have been created with a WAL *)
+
+type method_used = Used_full | Used_differential | Used_ideal | Used_log_based
+
+val method_name : method_used -> string
+
+type refresh_report = {
+  snapshot : string;
+  method_used : method_used;
+  new_snaptime : Clock.ts;
+  entries_scanned : int;  (** base entries (or net-changed addresses) visited *)
+  fixup_writes : int;
+  data_messages : int;
+  link_messages : int;  (** total messages on the wire, incl. bracketing *)
+  link_bytes : int;
+  tail_suppressed : bool;
+  log_records_scanned : int;  (** log-based method only *)
+}
+
+exception Unknown_table of string
+exception Unknown_snapshot of string
+exception Duplicate_name of string
+exception Bad_definition of string
+
+type t
+
+val create : unit -> t
+
+val register_base : t -> Base_table.t -> unit
+(** Makes a base table eligible as a snapshot source.  Raises
+    {!Duplicate_name} if a table of that name is already registered. *)
+
+val unregister_base : t -> string -> unit
+(** Raises {!Unknown_table}, or {!Bad_definition} if snapshots still depend
+    on the table. *)
+
+val snapshots_on : t -> string -> string list
+(** Names of the snapshots defined over a base table. *)
+
+val base : t -> string -> Base_table.t
+(** Raises {!Unknown_table}. *)
+
+val base_names : t -> string list
+
+val create_snapshot :
+  t ->
+  name:string ->
+  base:string ->
+  ?restrict:Expr.t ->
+  ?projection:string list ->
+  ?method_:method_spec ->
+  ?link:Link.t ->
+  ?tail_suppression:bool ->
+  ?selectivity:float ->
+  unit ->
+  refresh_report
+(** Defines and initially populates a snapshot; the returned report is for
+    the initial (always full) population.  Defaults: [restrict] accepts
+    everything, [projection] keeps all user columns, [method_] is [Auto],
+    [link] is a fresh in-process link, [tail_suppression] false (the
+    paper's algorithm verbatim).  [selectivity] overrides the planner's
+    estimate (e.g. from table statistics); without it the restriction is
+    measured by scanning the base table once.  Raises {!Bad_definition} on an ill-typed
+    restriction, an unknown/hidden projection column, or [Log_based]
+    without a WAL; {!Duplicate_name}; {!Unknown_table}. *)
+
+val refresh : t -> string -> refresh_report
+(** [REFRESH SNAPSHOT]: runs the snapshot's method under the base-table
+    lock.  Raises {!Unknown_snapshot}. *)
+
+val drop_snapshot : t -> string -> unit
+
+val snapshot_names : t -> string list
+
+val snapshot_table : t -> string -> Snapshot_table.t
+(** Read access to the replica (to query it like any table). *)
+
+val snapshot_method : t -> string -> method_spec
+
+val snapshot_restrict : t -> string -> Expr.t
+
+val snapshot_link : t -> string -> Link.t
+
+val snapshot_request_link : t -> string -> Link.t
+(** The control path (snapshot site -> base site): carries the one-time
+    {!Refresh_msg.Register} at definition and a {!Refresh_msg.Request}
+    with the current SnapTime at every refresh, so the full protocol cost
+    is accounted. *)
+
+val selectivity_estimate : t -> string -> float
+(** The planner's current selectivity estimate for a snapshot. *)
+
+val estimate_refresh_messages : t -> string -> [ `Full of float ] * [ `Differential of float ]
+(** The cost model's prediction for the next refresh, given observed
+    update activity — exposed for the planner tests and the CLI. *)
+
+val change_log : t -> string -> Change_log.t option
+(** The change-capture log of a base table, if any snapshot installed one. *)

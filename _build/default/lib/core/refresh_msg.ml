@@ -1,0 +1,129 @@
+open Snapdiff_storage
+
+type t =
+  | Entry of { addr : Addr.t; prev_qual : Addr.t; values : Tuple.t }
+  | Tail of { last_qual : Addr.t }
+  | Region of { lo : Addr.t; hi : Addr.t }
+  | Upsert of { addr : Addr.t; values : Tuple.t }
+  | Remove of { addr : Addr.t }
+  | Clear
+  | Snaptime of Snapdiff_txn.Clock.ts
+  | Register of { restrict : string; projection : string list }
+  | Request of { snaptime : Snapdiff_txn.Clock.ts }
+
+let is_data = function
+  | Entry _ | Tail _ | Region _ | Upsert _ | Remove _ -> true
+  | Clear | Snaptime _ | Register _ | Request _ -> false
+
+let pp ppf = function
+  | Entry { addr; prev_qual; values } ->
+    Format.fprintf ppf "entry %a (prev %a) %a" Addr.pp addr Addr.pp prev_qual Tuple.pp values
+  | Tail { last_qual } -> Format.fprintf ppf "tail (last %a)" Addr.pp last_qual
+  | Region { lo; hi } -> Format.fprintf ppf "region [%a, %a]" Addr.pp lo Addr.pp hi
+  | Upsert { addr; values } -> Format.fprintf ppf "upsert %a %a" Addr.pp addr Tuple.pp values
+  | Remove { addr } -> Format.fprintf ppf "remove %a" Addr.pp addr
+  | Clear -> Format.pp_print_string ppf "clear"
+  | Snaptime ts -> Format.fprintf ppf "snaptime %d" ts
+  | Register { restrict; projection } ->
+    Format.fprintf ppf "register restrict=%s project=(%s)" restrict
+      (String.concat ", " projection)
+  | Request { snaptime } -> Format.fprintf ppf "request snaptime=%d" snaptime
+
+let encode msg =
+  let buf = Buffer.create 64 in
+  (match msg with
+  | Entry { addr; prev_qual; values } ->
+    Codec.add_u8 buf 1;
+    Codec.add_int buf addr;
+    Codec.add_int buf prev_qual;
+    Codec.add_tuple buf values
+  | Tail { last_qual } ->
+    Codec.add_u8 buf 2;
+    Codec.add_int buf last_qual
+  | Region { lo; hi } ->
+    Codec.add_u8 buf 3;
+    Codec.add_int buf lo;
+    Codec.add_int buf hi
+  | Upsert { addr; values } ->
+    Codec.add_u8 buf 4;
+    Codec.add_int buf addr;
+    Codec.add_tuple buf values
+  | Remove { addr } ->
+    Codec.add_u8 buf 5;
+    Codec.add_int buf addr
+  | Clear -> Codec.add_u8 buf 6
+  | Snaptime ts ->
+    Codec.add_u8 buf 7;
+    Codec.add_int buf ts
+  | Register { restrict; projection } ->
+    Codec.add_u8 buf 8;
+    Codec.add_string buf restrict;
+    Codec.add_u32 buf (List.length projection);
+    List.iter (Codec.add_string buf) projection
+  | Request { snaptime } ->
+    Codec.add_u8 buf 9;
+    Codec.add_int buf snaptime);
+  Buffer.to_bytes buf
+
+let decode b =
+  let tag, off = Codec.u8 b 0 in
+  let msg, off =
+    match tag with
+    | 1 ->
+      let addr, off = Codec.int b off in
+      let prev_qual, off = Codec.int b off in
+      let values, off = Codec.tuple b off in
+      (Entry { addr; prev_qual; values }, off)
+    | 2 ->
+      let last_qual, off = Codec.int b off in
+      (Tail { last_qual }, off)
+    | 3 ->
+      let lo, off = Codec.int b off in
+      let hi, off = Codec.int b off in
+      (Region { lo; hi }, off)
+    | 4 ->
+      let addr, off = Codec.int b off in
+      let values, off = Codec.tuple b off in
+      (Upsert { addr; values }, off)
+    | 5 ->
+      let addr, off = Codec.int b off in
+      (Remove { addr }, off)
+    | 6 -> (Clear, off)
+    | 7 ->
+      let ts, off = Codec.int b off in
+      (Snaptime ts, off)
+    | 8 ->
+      let restrict, off = Codec.string b off in
+      let n, off = Codec.u32 b off in
+      let projection = ref [] in
+      let off = ref off in
+      for _ = 1 to n do
+        let s, off' = Codec.string b !off in
+        projection := s :: !projection;
+        off := off'
+      done;
+      (Register { restrict; projection = List.rev !projection }, !off)
+    | 9 ->
+      let snaptime, off = Codec.int b off in
+      (Request { snaptime }, off)
+    | _ -> failwith "Refresh_msg.decode: bad tag"
+  in
+  if off <> Bytes.length b then failwith "Refresh_msg.decode: trailing bytes";
+  msg
+
+let equal a b =
+  match (a, b) with
+  | Entry x, Entry y ->
+    x.addr = y.addr && x.prev_qual = y.prev_qual && Tuple.equal x.values y.values
+  | Tail x, Tail y -> x.last_qual = y.last_qual
+  | Region x, Region y -> x.lo = y.lo && x.hi = y.hi
+  | Upsert x, Upsert y -> x.addr = y.addr && Tuple.equal x.values y.values
+  | Remove x, Remove y -> x.addr = y.addr
+  | Clear, Clear -> true
+  | Snaptime x, Snaptime y -> x = y
+  | Register x, Register y -> x.restrict = y.restrict && x.projection = y.projection
+  | Request x, Request y -> x.snaptime = y.snaptime
+  | ( ( Entry _ | Tail _ | Region _ | Upsert _ | Remove _ | Clear | Snaptime _
+      | Register _ | Request _ ),
+      _ ) ->
+    false

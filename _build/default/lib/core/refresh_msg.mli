@@ -1,0 +1,54 @@
+(** Messages sent from the base-table site to a snapshot site during
+    refresh.
+
+    One type covers every refresh method in the paper so that all methods
+    are measured with the same cost meter:
+
+    - {!Entry} and {!Tail} are the differential (PrevAddr) algorithm's
+      messages: an entry transmission carries "the address of the preceding
+      qualified entry and the value of the entry" (Figure 3), deleting
+      every snapshot entry strictly between them; the unconditional tail
+      message [Xmit(NULL, LastQual, NULL)] handles deletions at the end of
+      the base table.
+    - {!Region} is the empty-regions variant's message: the bounds of a
+      (possibly combined) empty region.
+    - {!Upsert}/{!Remove} are the per-address messages of the simple dense
+      algorithm, the ideal algorithm, ASAP propagation and the log-based
+      method.
+    - {!Clear} precedes a full refresh ("the snapshot is first cleared").
+    - {!Snaptime} closes every refresh: "the current (base table) time is
+      sent to the snapshot to become the new SnapTime".
+
+    Values carried are already restricted and projected: "this allows each
+    (remote) snapshot to extract only needed data from the base table". *)
+
+open Snapdiff_storage
+
+type t =
+  | Entry of { addr : Addr.t; prev_qual : Addr.t; values : Tuple.t }
+  | Tail of { last_qual : Addr.t }
+  | Region of { lo : Addr.t; hi : Addr.t }  (** inclusive bounds *)
+  | Upsert of { addr : Addr.t; values : Tuple.t }
+  | Remove of { addr : Addr.t }
+  | Clear
+  | Snaptime of Snapdiff_txn.Clock.ts
+  | Register of { restrict : string; projection : string list }
+      (** control, snapshot->base at CREATE SNAPSHOT: the restriction and
+          projection the base will compile (R* sends them once) *)
+  | Request of { snaptime : Snapdiff_txn.Clock.ts }
+      (** control, snapshot->base: "the simple differential refresh
+          algorithm is initiated by sending the last snapshot refresh time
+          (SnapTime) ... to the base table" *)
+
+val is_data : t -> bool
+(** Messages counted by the paper's evaluation metric (everything except
+    the fixed {!Clear}/{!Snaptime} bracketing). *)
+
+val pp : Format.formatter -> t -> unit
+
+val encode : t -> bytes
+
+val decode : bytes -> t
+(** Raises [Failure] on a corrupt image. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,66 @@
+(** "Differential Refresh: Empty Regions" — the paper's second stepwise
+    algorithm.
+
+    Entries live at sparse addresses; for every maximal run of unused
+    addresses the table keeps an {e empty region} record [(lo, hi,
+    timestamp)], split on insert and coalesced (with a fresh timestamp) on
+    delete.  Refresh merge-scans entries and regions in address order;
+    empty regions separated only by {e unqualified} entries are combined
+    before transmission, and a combined region is transmitted only if one
+    of its components changed since [SnapTime].
+
+    This variant has no unconditional tail message: the trailing empty
+    region is explicit, so deletions at the end of the table annotate it.
+    The price is eager region maintenance on every insert and delete. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type t
+
+val create : capacity:int -> schema:Schema.t -> clock:Clock.t -> unit -> t
+(** Address space [1 .. capacity], initially one empty region covering all
+    of it (timestamp {!Clock.never}). *)
+
+val capacity : t -> int
+
+val schema : t -> Schema.t
+
+val insert : t -> Tuple.t -> int
+(** Insert at the lowest empty address; returns it.  Raises [Failure] when
+    the space is full. *)
+
+val insert_at : t -> addr:int -> Tuple.t -> unit
+(** Raises [Invalid_argument] if the address is occupied or out of space. *)
+
+val update : t -> addr:int -> Tuple.t -> unit
+(** Raises [Not_found]. *)
+
+val delete : t -> addr:int -> unit
+(** Raises [Not_found]. *)
+
+val get : t -> addr:int -> Tuple.t option
+
+val entries : t -> (int * Tuple.t) list
+
+val regions : t -> (int * int * Clock.ts) list
+(** Empty regions as [(lo, hi, ts)], in address order — for tests of the
+    split/coalesce maintenance. *)
+
+val validate : t -> (unit, string) result
+(** Entries and regions must exactly tile [1 .. capacity] without overlap. *)
+
+type report = {
+  new_snaptime : Clock.ts;
+  items_scanned : int;  (** entries + region records *)
+  data_messages : int;
+  regions_combined : int;  (** region records merged away before transmit *)
+}
+
+val refresh :
+  t ->
+  snaptime:Clock.ts ->
+  restrict:(Tuple.t -> bool) ->
+  project:(Tuple.t -> Tuple.t) ->
+  xmit:(Refresh_msg.t -> unit) ->
+  report

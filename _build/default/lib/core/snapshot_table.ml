@@ -1,0 +1,272 @@
+open Snapdiff_storage
+open Snapdiff_txn
+module Int_btree = Snapdiff_index.Btree.Make (Int)
+
+module Value_btree = Snapdiff_index.Btree.Make (struct
+  type t = Value.t
+
+  let compare = Value.compare
+end)
+
+let baseaddr_col = "__baseaddr"
+
+(* A secondary index: column value -> set of BaseAddrs holding it. *)
+type secondary = {
+  sec_column : int;  (* position in the user schema *)
+  entries : (Addr.t, unit) Hashtbl.t Value_btree.t;
+}
+
+type t = {
+  snap_name : string;
+  user : Schema.t;
+  stored : Schema.t;  (* user + __baseaddr *)
+  heap : Heap.t;
+  index : Addr.t Int_btree.t;  (* BaseAddr -> heap rid *)
+  secondaries : (string, secondary) Hashtbl.t;  (* lowercased column name *)
+  mutable observers : (Refresh_msg.t -> unit) list;
+  mutable time : Clock.ts;
+}
+
+let create ?(page_size = 4096) ?(frames = 128) ~name ~schema () =
+  let stored =
+    Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
+  in
+  {
+    snap_name = name;
+    user = schema;
+    stored;
+    heap = Heap.create ~page_size ~frames stored;
+    index = Int_btree.create ();
+    secondaries = Hashtbl.create 4;
+    observers = [];
+    time = Clock.never;
+  }
+
+let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
+  let stored =
+    Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
+  in
+  let heap = Heap.on_pool pool stored in
+  let index = Int_btree.create () in
+  Heap.iter heap (fun rid tuple ->
+      match tuple.(Schema.arity schema) with
+      | Value.Int b -> Int_btree.insert index (Int64.to_int b) rid
+      | _ -> failwith "Snapshot_table.on_pool: corrupt __baseaddr");
+  {
+    snap_name = name;
+    user = schema;
+    stored;
+    heap;
+    index;
+    secondaries = Hashtbl.create 4;
+    observers = [];
+    time = snaptime;
+  }
+
+let flush t = Heap.flush t.heap
+
+let name t = t.snap_name
+let schema t = t.user
+let snaptime t = t.time
+let count t = Heap.count t.heap
+
+let stored_tuple t base_addr values =
+  let n = Array.length values in
+  if n <> Schema.arity t.user then
+    invalid_arg "Snapshot_table: tuple dimensions do not match snapshot schema";
+  Array.init (n + 1) (fun i -> if i < n then values.(i) else Value.int base_addr)
+
+(* Secondary index maintenance. *)
+let sec_add t base_addr values =
+  Hashtbl.iter
+    (fun _ sec ->
+      let key = values.(sec.sec_column) in
+      let set =
+        match Value_btree.find sec.entries key with
+        | Some set -> set
+        | None ->
+          let set = Hashtbl.create 4 in
+          Value_btree.insert sec.entries key set;
+          set
+      in
+      Hashtbl.replace set base_addr ())
+    t.secondaries
+
+let sec_remove t base_addr values =
+  Hashtbl.iter
+    (fun _ sec ->
+      let key = values.(sec.sec_column) in
+      match Value_btree.find sec.entries key with
+      | Some set ->
+        Hashtbl.remove set base_addr;
+        if Hashtbl.length set = 0 then ignore (Value_btree.remove sec.entries key : bool)
+      | None -> ())
+    t.secondaries
+
+let user_of_rid t rid =
+  Option.map
+    (fun stored -> Array.sub stored 0 (Schema.arity t.user))
+    (Heap.get t.heap rid)
+
+let upsert t base_addr values =
+  let stored = stored_tuple t base_addr values in
+  match Int_btree.find t.index base_addr with
+  | Some rid ->
+    (match user_of_rid t rid with
+    | Some old -> sec_remove t base_addr old
+    | None -> ());
+    Heap.update t.heap rid stored;
+    sec_add t base_addr values
+  | None ->
+    let rid = Heap.insert t.heap stored in
+    Int_btree.insert t.index base_addr rid;
+    sec_add t base_addr values
+
+let remove t base_addr =
+  match Int_btree.find t.index base_addr with
+  | Some rid ->
+    (match user_of_rid t rid with
+    | Some old -> sec_remove t base_addr old
+    | None -> ());
+    Heap.delete t.heap rid;
+    ignore (Int_btree.remove t.index base_addr : bool)
+  | None -> ()
+
+let remove_range t ~lo ~hi =
+  (* Inclusive bounds; collect first, then delete (the index must not be
+     mutated mid-iteration). *)
+  let victims = Int_btree.keys_in_range t.index ?lo ?hi () in
+  List.iter (remove t) victims
+
+let clear t =
+  let all = Int_btree.to_list t.index in
+  List.iter (fun (_, rid) -> Heap.delete t.heap rid) all;
+  Int_btree.clear t.index;
+  Hashtbl.iter (fun _ sec -> Value_btree.clear sec.entries) t.secondaries
+
+let subscribe t f = t.observers <- t.observers @ [ f ]
+
+let apply t (msg : Refresh_msg.t) =
+  List.iter (fun f -> f msg) t.observers;
+  match msg with
+  | Entry { addr; prev_qual; values } ->
+    (* Everything strictly between the previous qualified entry and this
+       one is gone from the base table's qualified set. *)
+    remove_range t ~lo:(Some (prev_qual + 1)) ~hi:(Some (addr - 1));
+    upsert t addr values
+  | Tail { last_qual } -> remove_range t ~lo:(Some (last_qual + 1)) ~hi:None
+  | Region { lo; hi } -> remove_range t ~lo:(Some lo) ~hi:(Some hi)
+  | Upsert { addr; values } -> upsert t addr values
+  | Remove { addr } -> remove t addr
+  | Clear -> clear t
+  | Snaptime ts -> t.time <- ts
+  | Register _ | Request _ ->
+    (* Control messages flow the other way (snapshot -> base); receiving
+       one here is harmless and means a loopback link. *)
+    ()
+
+let apply_bytes t b = apply t (Refresh_msg.decode b)
+
+let get t base_addr =
+  match Int_btree.find t.index base_addr with
+  | None -> None
+  | Some rid ->
+    Option.map (fun stored -> Array.sub stored 0 (Schema.arity t.user)) (Heap.get t.heap rid)
+
+let contents t =
+  List.rev
+    (Int_btree.fold t.index ~init:[] ~f:(fun acc base_addr rid ->
+         match Heap.get t.heap rid with
+         | Some stored -> (base_addr, Array.sub stored 0 (Schema.arity t.user)) :: acc
+         | None -> acc))
+
+let tuples t = List.map snd (contents t)
+
+let create_index t ~column =
+  match Schema.index_of t.user column with
+  | None -> invalid_arg (Printf.sprintf "Snapshot_table.create_index: unknown column %s" column)
+  | Some sec_column ->
+    let k = String.lowercase_ascii column in
+    if not (Hashtbl.mem t.secondaries k) then begin
+      let sec = { sec_column; entries = Value_btree.create () } in
+      (* Backfill from current contents. *)
+      Int_btree.iter t.index (fun base_addr rid ->
+          match user_of_rid t rid with
+          | Some values ->
+            let key = values.(sec_column) in
+            let set =
+              match Value_btree.find sec.entries key with
+              | Some set -> set
+              | None ->
+                let set = Hashtbl.create 4 in
+                Value_btree.insert sec.entries key set;
+                set
+            in
+            Hashtbl.replace set base_addr ()
+          | None -> ());
+      Hashtbl.replace t.secondaries k sec
+    end
+
+let indexed_columns t =
+  Hashtbl.fold
+    (fun _ sec acc -> (Schema.column t.user sec.sec_column).Schema.name :: acc)
+    t.secondaries []
+  |> List.sort compare
+
+let has_index t ~column = Hashtbl.mem t.secondaries (String.lowercase_ascii column)
+
+let addrs_of_set set = Hashtbl.fold (fun addr () acc -> addr :: acc) set []
+
+let lookup t ~column value =
+  match Hashtbl.find_opt t.secondaries (String.lowercase_ascii column) with
+  | None -> invalid_arg (Printf.sprintf "Snapshot_table.lookup: no index on %s" column)
+  | Some sec ->
+    let addrs =
+      match Value_btree.find sec.entries value with
+      | Some set -> addrs_of_set set
+      | None -> []
+    in
+    List.sort Addr.compare addrs
+
+let lookup_range t ~column ?lo ?hi () =
+  match Hashtbl.find_opt t.secondaries (String.lowercase_ascii column) with
+  | None -> invalid_arg (Printf.sprintf "Snapshot_table.lookup_range: no index on %s" column)
+  | Some sec ->
+    let acc = ref [] in
+    Value_btree.iter_range sec.entries ?lo ?hi (fun _ set -> acc := addrs_of_set set @ !acc);
+    List.sort Addr.compare !acc
+
+let high_water t =
+  match Int_btree.max_binding t.index with
+  | Some (k, _) -> k
+  | None -> Addr.zero
+
+let exists_in_range t ?lo ?hi ~f () =
+  let exception Found in
+  try
+    Int_btree.iter_range t.index ?lo ?hi (fun _ rid ->
+        match user_of_rid t rid with
+        | Some values -> if f values then raise Found
+        | None -> ());
+    false
+  with Found -> true
+
+let validate t =
+  if Int_btree.length t.index <> Heap.count t.heap then
+    Error
+      (Printf.sprintf "index has %d entries, heap has %d" (Int_btree.length t.index)
+         (Heap.count t.heap))
+  else begin
+    match Int_btree.validate t.index with
+    | Error e -> Error ("index: " ^ e)
+    | Ok () ->
+      let bad = ref None in
+      Int_btree.iter t.index (fun base_addr rid ->
+          match Heap.get t.heap rid with
+          | None -> bad := Some (Printf.sprintf "index %d points at dead rid" base_addr)
+          | Some stored -> (
+            match stored.(Schema.arity t.user) with
+            | Value.Int b when Int64.to_int b = base_addr -> ()
+            | _ -> bad := Some (Printf.sprintf "baseaddr mismatch at %d" base_addr)));
+      (match !bad with None -> Ok () | Some e -> Error e)
+  end

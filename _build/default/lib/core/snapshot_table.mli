@@ -1,0 +1,111 @@
+(** Snapshot tables — the read-only replica at the snapshot site.
+
+    "The snapshot table itself is stored more traditionally.  The entries
+    in the snapshot table are extended to include a field (BaseAddr)
+    containing the address of the corresponding entry in the base table."
+    Here that field is a hidden [__baseaddr] column, and — "clearly, a
+    snapshot index on BaseAddr will accelerate snapshot refresh
+    processing" — a B-tree on it drives every lookup and range deletion.
+
+    {!apply} implements the snapshot side of each refresh method
+    (Figure 4 for the differential messages):
+
+    - [Entry {addr; prev_qual; values}]: delete every snapshot entry with
+      [prev_qual < BaseAddr < addr], then upsert [addr];
+    - [Tail {last_qual}]: delete everything with [BaseAddr > last_qual];
+    - [Region {lo; hi}]: delete [lo <= BaseAddr <= hi];
+    - [Upsert]/[Remove]: exact-address upsert/delete;
+    - [Clear]: empty the snapshot (full refresh);
+    - [Snaptime ts]: record the new refresh time. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+
+type t
+
+val create :
+  ?page_size:int ->
+  ?frames:int ->
+  name:string ->
+  schema:Schema.t ->
+  unit ->
+  t
+(** [schema] is the (already projected) user schema of the snapshot's
+    contents. *)
+
+val on_pool :
+  ?snaptime:Clock.ts -> name:string -> schema:Schema.t -> Snapdiff_storage.Buffer_pool.t -> t
+(** Reattach to a persisted snapshot (e.g. a file-backed store at the
+    snapshot site after a restart): the BaseAddr index is rebuilt by
+    scanning.  Pass the [snaptime] recorded at the last refresh — together
+    they allow differential refresh to resume exactly where it left off.
+    Raises [Failure] on a corrupt [__baseaddr] column. *)
+
+val flush : t -> unit
+(** Flush the underlying buffer pool to the store. *)
+
+val name : t -> string
+
+val schema : t -> Schema.t
+
+val snaptime : t -> Clock.ts
+(** {!Clock.never} before the first refresh. *)
+
+val count : t -> int
+
+val apply : t -> Refresh_msg.t -> unit
+
+val apply_bytes : t -> bytes -> unit
+(** Decode then {!apply} — the receiver installed on the network link. *)
+
+val get : t -> Addr.t -> Tuple.t option
+(** Lookup by base address. *)
+
+val contents : t -> (Addr.t * Tuple.t) list
+(** (BaseAddr, tuple) in BaseAddr order. *)
+
+val tuples : t -> Tuple.t list
+
+val high_water : t -> Addr.t
+(** Largest BaseAddr held, {!Addr.zero} if empty (input to the
+    tail-suppression optimization). *)
+
+val exists_in_range :
+  t -> ?lo:Addr.t -> ?hi:Addr.t -> f:(Tuple.t -> bool) -> unit -> bool
+(** Does any entry with BaseAddr in the (inclusive) range satisfy [f]?
+    Early-exiting BaseAddr-index walk; used by {!Cascade} to decide whether
+    a deletion-covering message matters downstream. *)
+
+(** {1 Secondary indexes}
+
+    "Indices can be defined on a snapshot to accelerate access to its
+    contents."  Secondary indexes are maintained through every {!apply}
+    and can be created at any time (with backfill). *)
+
+val create_index : t -> column:string -> unit
+(** Idempotent.  Raises [Invalid_argument] on an unknown column. *)
+
+val indexed_columns : t -> string list
+
+val has_index : t -> column:string -> bool
+
+val lookup : t -> column:string -> Value.t -> Addr.t list
+(** BaseAddrs of entries whose column equals the value, ascending.
+    Raises [Invalid_argument] if the column has no index. *)
+
+val lookup_range :
+  t -> column:string -> ?lo:Value.t -> ?hi:Value.t -> unit -> Addr.t list
+
+(** {1 Message-stream subscription}
+
+    "[Snapshots] can serve as base tables for other snapshots": the applied
+    message stream of this snapshot is exactly a change feed over its
+    contents, which {!Cascade} transforms into the refresh stream of a
+    derived snapshot. *)
+
+val subscribe : t -> (Refresh_msg.t -> unit) -> unit
+(** The callback observes every message passed to {!apply}, before it is
+    applied. *)
+
+val validate : t -> (unit, string) result
+(** The BaseAddr index and the stored tuples must agree exactly. *)

@@ -1,0 +1,1 @@
+lib/expr/eval.ml: Array Expr Float Format Int64 List Schema Snapdiff_storage String Tuple Value

@@ -1,0 +1,1 @@
+lib/expr/eval.mli: Expr Schema Snapdiff_storage Tuple Value

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Format Hashtbl List Snapdiff_storage String Value

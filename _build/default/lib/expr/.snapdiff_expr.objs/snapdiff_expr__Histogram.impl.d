@@ -1,0 +1,1 @@
+lib/expr/histogram.ml: Array Eval Expr Float List Selectivity Snapdiff_storage Value

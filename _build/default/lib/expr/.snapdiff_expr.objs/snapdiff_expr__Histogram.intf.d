@@ -1,0 +1,1 @@
+lib/expr/histogram.mli: Expr Snapdiff_storage Value

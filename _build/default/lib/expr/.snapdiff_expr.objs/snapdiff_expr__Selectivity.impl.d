@@ -1,0 +1,1 @@
+lib/expr/selectivity.ml: Array Eval Expr Float Heap List Snapdiff_storage Snapdiff_util Value

@@ -1,0 +1,1 @@
+lib/expr/selectivity.mli: Expr Heap Snapdiff_storage

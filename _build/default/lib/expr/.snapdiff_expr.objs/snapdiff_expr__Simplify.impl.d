@@ -1,0 +1,1 @@
+lib/expr/simplify.ml: Eval Expr Int64 List Snapdiff_storage Value

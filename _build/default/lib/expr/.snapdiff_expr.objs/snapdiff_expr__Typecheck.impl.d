@@ -1,0 +1,1 @@
+lib/expr/typecheck.ml: Expr Format List Result Schema Snapdiff_storage Value

@@ -1,0 +1,192 @@
+open Snapdiff_storage
+
+type truth = True | False | Unknown
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun m -> raise (Eval_error m)) fmt
+
+(* SQL LIKE with '%' (any run) and '_' (any one char). *)
+let like_match s pat =
+  let ls = String.length s and lp = String.length pat in
+  let rec go si pi =
+    if pi = lp then si = ls
+    else
+      match pat.[pi] with
+      | '%' -> go si (pi + 1) || (si < ls && go (si + 1) pi)
+      | '_' -> si < ls && go (si + 1) (pi + 1)
+      | c -> si < ls && s.[si] = c && go (si + 1) (pi + 1)
+  in
+  go 0 0
+
+let truth_of_bool b = if b then True else False
+
+let truth_and a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let truth_or a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let truth_not = function True -> False | False -> True | Unknown -> Unknown
+
+(* Comparison with numeric widening; NULL handled by the caller. *)
+let compare_vals a b =
+  match (a, b) with
+  | Value.Int x, Value.Float y -> Float.compare (Int64.to_float x) y
+  | Value.Float x, Value.Int y -> Float.compare x (Int64.to_float y)
+  | _ -> Value.compare a b
+
+let apply_cmp op a b =
+  let c = compare_vals a b in
+  truth_of_bool
+    (match op with
+    | Expr.Eq -> c = 0
+    | Expr.Neq -> c <> 0
+    | Expr.Lt -> c < 0
+    | Expr.Le -> c <= 0
+    | Expr.Gt -> c > 0
+    | Expr.Ge -> c >= 0)
+
+let apply_arith op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> Value.Null
+  | Value.Int x, Value.Int y -> (
+    match op with
+    | Expr.Add -> Value.Int (Int64.add x y)
+    | Expr.Sub -> Value.Int (Int64.sub x y)
+    | Expr.Mul -> Value.Int (Int64.mul x y)
+    | Expr.Div -> if y = 0L then err "division by zero" else Value.Int (Int64.div x y)
+    | Expr.Mod -> if y = 0L then err "modulo by zero" else Value.Int (Int64.rem x y))
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    let f = function
+      | Value.Int x -> Int64.to_float x
+      | Value.Float x -> x
+      | _ -> assert false
+    in
+    let x = f a and y = f b in
+    (match op with
+    | Expr.Add -> Value.Float (x +. y)
+    | Expr.Sub -> Value.Float (x -. y)
+    | Expr.Mul -> Value.Float (x *. y)
+    | Expr.Div -> if y = 0.0 then err "division by zero" else Value.Float (x /. y)
+    | Expr.Mod -> err "modulo on FLOAT")
+  | _ -> err "arithmetic on non-numeric values %s, %s" (Value.to_string a) (Value.to_string b)
+
+(* Resolved expressions: columns are positional. *)
+type resolved =
+  | RConst of Value.t
+  | RCol of int
+  | RCmp of Expr.cmpop * resolved * resolved
+  | RAnd of resolved * resolved
+  | ROr of resolved * resolved
+  | RNot of resolved
+  | RIs_null of resolved
+  | RArith of Expr.binop * resolved * resolved
+  | RNeg of resolved
+  | RLike of resolved * string
+  | RIn of resolved * Value.t list
+  | RBetween of resolved * resolved * resolved
+
+let resolve schema e =
+  let rec go : Expr.t -> resolved = function
+    | Const v -> RConst v
+    | Col c -> (
+      match Schema.index_of schema c with
+      | Some i -> RCol i
+      | None -> err "unknown column %s" c)
+    | Cmp (op, a, b) -> RCmp (op, go a, go b)
+    | And (a, b) -> RAnd (go a, go b)
+    | Or (a, b) -> ROr (go a, go b)
+    | Not a -> RNot (go a)
+    | Is_null a -> RIs_null (go a)
+    | Arith (op, a, b) -> RArith (op, go a, go b)
+    | Neg a -> RNeg (go a)
+    | Like (a, p) -> RLike (go a, p)
+    | In_list (a, vs) -> RIn (go a, vs)
+    | Between (a, lo, hi) -> RBetween (go a, go lo, go hi)
+  in
+  go e
+
+let value_of_truth = function
+  | True -> Value.Bool true
+  | False -> Value.Bool false
+  | Unknown -> Value.Null
+
+let truth_of_value = function
+  | Value.Bool true -> True
+  | Value.Bool false -> False
+  | Value.Null -> Unknown
+  | v -> err "expected BOOL, got %s" (Value.to_string v)
+
+let rec eval_r tuple r =
+  match r with
+  | RConst v -> v
+  | RCol i ->
+    if i >= Array.length tuple then err "column index %d out of range" i else tuple.(i)
+  | RCmp (op, a, b) -> (
+    let va = eval_r tuple a and vb = eval_r tuple b in
+    match (va, vb) with
+    | Value.Null, _ | _, Value.Null -> Value.Null
+    | _ -> value_of_truth (apply_cmp op va vb))
+  | RAnd (a, b) ->
+    value_of_truth
+      (truth_and (truth_of_value (eval_r tuple a)) (truth_of_value (eval_r tuple b)))
+  | ROr (a, b) ->
+    value_of_truth
+      (truth_or (truth_of_value (eval_r tuple a)) (truth_of_value (eval_r tuple b)))
+  | RNot a -> value_of_truth (truth_not (truth_of_value (eval_r tuple a)))
+  | RIs_null a -> Value.Bool (Value.is_null (eval_r tuple a))
+  | RArith (op, a, b) -> apply_arith op (eval_r tuple a) (eval_r tuple b)
+  | RNeg a -> (
+    match eval_r tuple a with
+    | Value.Null -> Value.Null
+    | Value.Int x -> Value.Int (Int64.neg x)
+    | Value.Float x -> Value.Float (-.x)
+    | v -> err "unary minus on %s" (Value.to_string v))
+  | RLike (a, pat) -> (
+    match eval_r tuple a with
+    | Value.Null -> Value.Null
+    | Value.Str s -> Value.Bool (like_match s pat)
+    | v -> err "LIKE on %s" (Value.to_string v))
+  | RIn (a, vs) -> (
+    match eval_r tuple a with
+    | Value.Null -> Value.Null
+    | v -> Value.Bool (List.exists (fun x -> compare_vals v x = 0) vs))
+  | RBetween (a, lo, hi) ->
+    (* SQL defines BETWEEN as (lo <= x) AND (x <= hi), so e.g.
+       [0 BETWEEN NULL AND -1] is FALSE, not Unknown: Unknown AND False. *)
+    let v = eval_r tuple a and vlo = eval_r tuple lo and vhi = eval_r tuple hi in
+    let cmp_le x y =
+      if Value.is_null x || Value.is_null y then Unknown
+      else truth_of_bool (compare_vals x y <= 0)
+    in
+    value_of_truth (truth_and (cmp_le vlo v) (cmp_le v vhi))
+
+let eval schema tuple e = eval_r tuple (resolve schema e)
+
+let eval_pred schema tuple e = truth_of_value (eval schema tuple e)
+
+let qualifies schema tuple e = eval_pred schema tuple e = True
+
+let compare_values = compare_vals
+
+let fold_arith op a b =
+  match apply_arith op a b with
+  | v -> Some v
+  | exception Eval_error _ -> None
+
+type compiled = Tuple.t -> bool
+
+let compile schema e =
+  let r = resolve schema e in
+  fun tuple -> truth_of_value (eval_r tuple r) = True
+
+let compile_scalar schema e =
+  let r = resolve schema e in
+  fun tuple -> eval_r tuple r

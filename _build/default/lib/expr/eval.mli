@@ -1,0 +1,41 @@
+(** Expression evaluation with SQL three-valued logic.
+
+    Restrictions are *compiled* once per snapshot definition ({!compile}):
+    column names resolve to positions against the schema at compile time,
+    mirroring the R* approach of compiling the refresh query when the
+    snapshot is created, and evaluation is then allocation-light. *)
+
+open Snapdiff_storage
+
+type truth = True | False | Unknown
+
+exception Eval_error of string
+(** Runtime failures: division by zero, type confusion that escaped the
+    checker. *)
+
+val eval : Schema.t -> Tuple.t -> Expr.t -> Value.t
+(** Scalar evaluation; NULL operands propagate to NULL results. *)
+
+val eval_pred : Schema.t -> Tuple.t -> Expr.t -> truth
+
+val qualifies : Schema.t -> Tuple.t -> Expr.t -> bool
+(** WHERE-clause semantics: [Unknown] does not qualify. *)
+
+type compiled = Tuple.t -> bool
+
+val compile : Schema.t -> Expr.t -> compiled
+(** Raises [Eval_error] immediately if a referenced column is missing. *)
+
+val compile_scalar : Schema.t -> Expr.t -> Tuple.t -> Value.t
+
+(** {1 Building blocks} (shared with {!Simplify}) *)
+
+val compare_values : Value.t -> Value.t -> int
+(** {!Value.compare} with numeric widening between INT and FLOAT. *)
+
+val fold_arith : Expr.binop -> Value.t -> Value.t -> Value.t option
+(** Constant-fold one arithmetic operation; [None] when the operation
+    would raise (division by zero) or the operands are non-numeric. *)
+
+val like_match : string -> string -> bool
+(** [like_match s pattern] — SQL LIKE with [%] and [_]. *)

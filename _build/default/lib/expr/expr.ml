@@ -1,0 +1,129 @@
+open Snapdiff_storage
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Arith of binop * t * t
+  | Neg of t
+  | Like of t * string
+  | In_list of t * Value.t list
+  | Between of t * t * t
+
+let ttrue = Const (Value.Bool true)
+
+let col c = Col c
+let int i = Const (Value.int i)
+let str s = Const (Value.str s)
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( <. ) a b = Cmp (Lt, a, b)
+let ( <=. ) a b = Cmp (Le, a, b)
+let ( >. ) a b = Cmp (Gt, a, b)
+let ( >=. ) a b = Cmp (Ge, a, b)
+let ( =. ) a b = Cmp (Eq, a, b)
+let ( <>. ) a b = Cmp (Neq, a, b)
+
+let columns e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Const _ -> ()
+    | Col c ->
+      let k = String.lowercase_ascii c in
+      if not (Hashtbl.mem seen k) then begin
+        Hashtbl.replace seen k ();
+        out := c :: !out
+      end
+    | Cmp (_, a, b) | And (a, b) | Or (a, b) | Arith (_, a, b) ->
+      go a;
+      go b
+    | Not a | Is_null a | Neg a | Like (a, _) | In_list (a, _) -> go a
+    | Between (a, lo, hi) ->
+      go a;
+      go lo;
+      go hi
+  in
+  go e;
+  List.rev !out
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Col x, Col y -> String.lowercase_ascii x = String.lowercase_ascii y
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | And (a1, b1), And (a2, b2) | Or (a1, b1), Or (a2, b2) -> equal a1 a2 && equal b1 b2
+  | Not x, Not y | Is_null x, Is_null y | Neg x, Neg y -> equal x y
+  | Arith (o1, a1, b1), Arith (o2, a2, b2) -> o1 = o2 && equal a1 a2 && equal b1 b2
+  | Like (x, p1), Like (y, p2) -> p1 = p2 && equal x y
+  | In_list (x, l1), In_list (y, l2) ->
+    equal x y && List.length l1 = List.length l2 && List.for_all2 Value.equal l1 l2
+  | Between (x1, l1, h1), Between (x2, l2, h2) -> equal x1 x2 && equal l1 l2 && equal h1 h2
+  | ( ( Const _ | Col _ | Cmp _ | And _ | Or _ | Not _ | Is_null _ | Arith _ | Neg _
+      | Like _ | In_list _ | Between _ ),
+      _ ) ->
+    false
+
+let cmp_name = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+
+let rec pp ppf = function
+  | Const v -> Value.pp ppf v
+  | Col c -> Format.pp_print_string ppf c
+  | Cmp (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_atom a (cmp_name op) pp_atom b
+  | And (a, b) -> Format.fprintf ppf "%a AND %a" pp_conj a pp_conj b
+  | Or (a, b) -> Format.fprintf ppf "%a OR %a" pp_atom a pp_atom b
+  | Not a -> Format.fprintf ppf "NOT %a" pp_atom a
+  | Is_null a -> Format.fprintf ppf "%a IS NULL" pp_atom a
+  | Arith (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_atom a (binop_name op) pp_atom b
+  | Neg a -> (
+    (* Guard against "--", which the lexer reads as a comment. *)
+    match a with
+    | Const (Value.Int i) when i < 0L -> Format.fprintf ppf "-(%a)" pp a
+    | Const (Value.Float f) when f < 0.0 -> Format.fprintf ppf "-(%a)" pp a
+    | Neg _ -> Format.fprintf ppf "-(%a)" pp a
+    | _ -> Format.fprintf ppf "-%a" pp_atom a)
+  | Like (a, pat) -> Format.fprintf ppf "%a LIKE '%s'" pp_atom a pat
+  | In_list (a, vs) ->
+    Format.fprintf ppf "%a IN (%a)" pp_atom a
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         Value.pp)
+      vs
+  | Between (a, lo, hi) ->
+    Format.fprintf ppf "%a BETWEEN %a AND %a" pp_atom a pp_atom lo pp_atom hi
+
+(* Conjuncts chain without parentheses; anything lower-precedence gets
+   wrapped. *)
+and pp_conj ppf e =
+  match e with
+  | Or _ -> Format.fprintf ppf "(%a)" pp e
+  | _ -> pp ppf e
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Col _ | Is_null _ | Neg _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,52 @@
+(** Scalar expressions over tuples.
+
+    These are the [SnapRestrict] predicates of the paper: a snapshot is
+    defined by a restriction (and projection) of a single base table, e.g.
+    [Salary < 10].  The AST is shared by the mini-SQL front end, the
+    type checker, the evaluator, and the selectivity estimator. *)
+
+open Snapdiff_storage
+
+type cmpop = Eq | Neq | Lt | Le | Gt | Ge
+
+type binop = Add | Sub | Mul | Div | Mod
+
+type t =
+  | Const of Value.t
+  | Col of string
+  | Cmp of cmpop * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Is_null of t
+  | Arith of binop * t * t
+  | Neg of t
+  | Like of t * string  (** SQL LIKE: [%] = any run, [_] = any char *)
+  | In_list of t * Value.t list
+  | Between of t * t * t  (** [Between (e, lo, hi)] = [lo <= e <= hi] *)
+
+val ttrue : t
+(** The unrestricted predicate (qualifies everything). *)
+
+val col : string -> t
+val int : int -> t
+val str : string -> t
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( <. ) : t -> t -> t
+val ( <=. ) : t -> t -> t
+val ( >. ) : t -> t -> t
+val ( >=. ) : t -> t -> t
+val ( =. ) : t -> t -> t
+val ( <>. ) : t -> t -> t
+
+val columns : t -> string list
+(** Distinct column names referenced, in first-use order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** SQL-ish rendering, re-parseable by the SQL front end. *)
+
+val to_string : t -> string

@@ -1,0 +1,123 @@
+open Snapdiff_storage
+
+type t = {
+  sorted : Value.t array;  (* non-NULL sample, ascending *)
+  nulls : int;
+  total : int;
+}
+
+let build ?(buckets = 32) values =
+  (* With the full value list in hand, the "equi-depth histogram" is its
+     sorted form; [buckets] bounds the retained sample: we keep every
+     (n/buckets/8)-th value once the list is large, which preserves
+     equi-depth boundaries and duplicate mass well enough for planning. *)
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
+  let nulls = List.length values - List.length non_null in
+  let arr = Array.of_list non_null in
+  Array.sort Value.compare arr;
+  let n = Array.length arr in
+  let max_sample = max 2 (buckets * 8) in
+  let sorted =
+    if n <= max_sample then arr
+    else begin
+      let step = float_of_int n /. float_of_int max_sample in
+      Array.init max_sample (fun i ->
+          arr.(min (n - 1) (int_of_float (step *. float_of_int i))))
+    end
+  in
+  { sorted; nulls; total = List.length values }
+
+let count t = t.total
+
+let null_fraction t =
+  if t.total = 0 then 0.0 else float_of_int t.nulls /. float_of_int t.total
+
+(* First index with sorted.(i) >= v (lower bound) or > v (upper bound). *)
+let bound t ~upper v =
+  let lo = ref 0 and hi = ref (Array.length t.sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = Eval.compare_values t.sorted.(mid) v in
+    if c < 0 || (upper && c = 0) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let frac t i =
+  let n = Array.length t.sorted in
+  if n = 0 then 0.0 else float_of_int i /. float_of_int n
+
+let rank t v = frac t (bound t ~upper:false v)
+
+let non_null_fraction t = 1.0 -. null_fraction t
+
+let clamp x = Float.max 0.0 (Float.min 1.0 x)
+
+let selectivity_cmp t (op : Expr.cmpop) v =
+  if Value.is_null v then 0.0
+  else begin
+    let lo = frac t (bound t ~upper:false v) in
+    let hi = frac t (bound t ~upper:true v) in
+    let within_non_null =
+      match op with
+      | Expr.Eq -> hi -. lo
+      | Expr.Neq -> 1.0 -. (hi -. lo)
+      | Expr.Lt -> lo
+      | Expr.Le -> hi
+      | Expr.Gt -> 1.0 -. hi
+      | Expr.Ge -> 1.0 -. lo
+    in
+    clamp (within_non_null *. non_null_fraction t)
+  end
+
+let selectivity_between t lo hi =
+  if Value.is_null lo || Value.is_null hi then 0.0
+  else begin
+    let a = frac t (bound t ~upper:false lo) in
+    let b = frac t (bound t ~upper:true hi) in
+    clamp ((b -. a) *. non_null_fraction t)
+  end
+
+let selectivity_in t vs =
+  clamp (List.fold_left (fun acc v -> acc +. selectivity_cmp t Expr.Eq v) 0.0 vs)
+
+let estimate lookup e =
+  let rec go (e : Expr.t) =
+    match e with
+    | Expr.Const (Value.Bool true) -> 1.0
+    | Expr.Const (Value.Bool false) -> 0.0
+    | Expr.And (a, b) -> clamp (go a *. go b)
+    | Expr.Or (a, b) ->
+      let sa = go a and sb = go b in
+      clamp (sa +. sb -. (sa *. sb))
+    | Expr.Not a -> clamp (1.0 -. go a)
+    | Expr.Cmp (op, Expr.Col c, Expr.Const v) -> leaf_cmp c op v e
+    | Expr.Cmp (op, Expr.Const v, Expr.Col c) ->
+      (* v op col  <=>  col (flip op) v *)
+      let flip : Expr.cmpop -> Expr.cmpop = function
+        | Expr.Eq -> Expr.Eq
+        | Expr.Neq -> Expr.Neq
+        | Expr.Lt -> Expr.Gt
+        | Expr.Le -> Expr.Ge
+        | Expr.Gt -> Expr.Lt
+        | Expr.Ge -> Expr.Le
+      in
+      leaf_cmp c (flip op) v e
+    | Expr.Between (Expr.Col c, Expr.Const lo, Expr.Const hi) -> (
+      match lookup c with
+      | Some h -> selectivity_between h lo hi
+      | None -> Selectivity.heuristic e)
+    | Expr.In_list (Expr.Col c, vs) -> (
+      match lookup c with
+      | Some h -> selectivity_in h vs
+      | None -> Selectivity.heuristic e)
+    | Expr.Is_null (Expr.Col c) -> (
+      match lookup c with
+      | Some h -> null_fraction h
+      | None -> Selectivity.heuristic e)
+    | _ -> Selectivity.heuristic e
+  and leaf_cmp c op v orig =
+    match lookup c with
+    | Some h -> selectivity_cmp h op v
+    | None -> Selectivity.heuristic orig
+  in
+  clamp (go e)

@@ -1,0 +1,45 @@
+(** Equi-depth column histograms for selectivity estimation.
+
+    The refresh-method planner needs the restriction's selectivity ("the
+    degree to which the base table is restricted by the snapshot").  A
+    full scan measures it exactly but costs what a refresh costs; System R
+    style magic numbers ({!Selectivity.heuristic}) are free but crude.
+    Histograms are the middle ground every DBMS ended up with: build once
+    from a (sample of a) column, then estimate any range/equality
+    restriction in O(log buckets). *)
+
+open Snapdiff_storage
+
+type t
+
+val build : ?buckets:int -> Value.t list -> t
+(** [build values] — equi-depth buckets over the non-NULL values
+    ([buckets] defaults to 32; fewer if there are fewer values).  NULLs
+    are counted separately ({!null_fraction}).  An empty input yields a
+    histogram that estimates 0 everywhere. *)
+
+val count : t -> int
+(** Values the histogram was built from (including NULLs). *)
+
+val null_fraction : t -> float
+
+val rank : t -> Value.t -> float
+(** Estimated fraction of non-NULL values strictly below the given value. *)
+
+val selectivity_cmp : t -> Expr.cmpop -> Value.t -> float
+(** Estimated fraction of {e all} rows satisfying [col op v] (NULLs never
+    qualify).  Equality uses the rank width of [v]'s duplicates in the
+    sample, so heavy hitters estimate well. *)
+
+val selectivity_between : t -> Value.t -> Value.t -> float
+
+val selectivity_in : t -> Value.t list -> float
+
+(** {1 Expression-level estimation} *)
+
+val estimate :
+  (string -> t option) -> Expr.t -> float
+(** [estimate lookup e] walks a predicate: [col op const] leaves use the
+    column's histogram when [lookup] provides one (falling back to
+    {!Selectivity.heuristic} rules otherwise); AND multiplies, OR uses
+    inclusion-exclusion, NOT complements.  Result clamped to [\[0, 1\]]. *)

@@ -1,0 +1,50 @@
+open Snapdiff_storage
+
+let clamp x = Float.max 0.0 (Float.min 1.0 x)
+
+let rec heuristic (e : Expr.t) =
+  match e with
+  | Const (Value.Bool true) -> 1.0
+  | Const (Value.Bool false) -> 0.0
+  | Const _ | Col _ -> 0.5
+  | Cmp (Eq, _, _) -> 0.10
+  | Cmp (Neq, _, _) -> 0.90
+  | Cmp ((Lt | Le | Gt | Ge), _, _) -> 1.0 /. 3.0
+  | And (a, b) -> clamp (heuristic a *. heuristic b)
+  | Or (a, b) ->
+    let sa = heuristic a and sb = heuristic b in
+    clamp (sa +. sb -. (sa *. sb))
+  | Not a -> clamp (1.0 -. heuristic a)
+  | Is_null _ -> 0.05
+  | Arith _ | Neg _ -> 0.5
+  | Like _ -> 0.25
+  | In_list (_, vs) -> clamp (0.10 *. float_of_int (List.length vs))
+  | Between _ -> 0.25
+
+let measure ?sample ?(seed = 42) heap e =
+  let pred = Eval.compile (Heap.schema heap) e in
+  match sample with
+  | None ->
+    let total = Heap.count heap in
+    if total = 0 then 0.0
+    else begin
+      let hits =
+        Heap.fold heap ~init:0 ~f:(fun acc _ tuple -> if pred tuple then acc + 1 else acc)
+      in
+      float_of_int hits /. float_of_int total
+    end
+  | Some n ->
+    let entries = Array.of_list (Heap.to_list heap) in
+    let total = Array.length entries in
+    if total = 0 then 0.0
+    else begin
+      let k = min n total in
+      let rng = Snapdiff_util.Rng.create seed in
+      let idx = Snapdiff_util.Rng.sample_without_replacement rng k total in
+      let hits =
+        Array.fold_left
+          (fun acc i -> if pred (snd entries.(i)) then acc + 1 else acc)
+          0 idx
+      in
+      float_of_int hits /. float_of_int k
+    end

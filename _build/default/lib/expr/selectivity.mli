@@ -1,0 +1,22 @@
+(** Predicate selectivity estimation.
+
+    Used by the refresh-method planner: the paper points out that "the
+    expected costs of differential refresh and full refresh can be computed
+    when the snapshot is defined and the appropriate refresh method can be
+    selected".  Two estimators are provided: the System R style rule-based
+    guess (no data access) and an exact measurement by sampling/scanning
+    the table. *)
+
+open Snapdiff_storage
+
+val heuristic : Expr.t -> float
+(** Rule-based estimate in [\[0, 1\]]: equality 0.10, ranges 1/3,
+    LIKE 0.25, IN k*0.10 (capped), AND multiplies, OR adds
+    (inclusion-exclusion), NOT complements.  The unrestricted predicate is
+    1.0. *)
+
+val measure :
+  ?sample:int -> ?seed:int -> Heap.t -> Expr.t -> float
+(** Fraction of live tuples qualifying.  With [sample] = n, measures on a
+    uniform sample of at most n tuples (default: full scan).  Returns 0 on
+    an empty table. *)

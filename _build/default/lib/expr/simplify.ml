@@ -1,0 +1,99 @@
+open Snapdiff_storage
+
+let bool_true = Expr.Const (Value.Bool true)
+let bool_false = Expr.Const (Value.Bool false)
+
+let negate_cmp : Expr.cmpop -> Expr.cmpop = function
+  | Expr.Eq -> Expr.Neq
+  | Expr.Neq -> Expr.Eq
+  | Expr.Lt -> Expr.Ge
+  | Expr.Le -> Expr.Gt
+  | Expr.Gt -> Expr.Le
+  | Expr.Ge -> Expr.Lt
+
+let fold_cmp op a b =
+  (* NULL operands -> Unknown, represented as Const NULL. *)
+  if Value.is_null a || Value.is_null b then Expr.Const Value.Null
+  else begin
+    let c = Eval.compare_values a b in
+    let r =
+      match op with
+      | Expr.Eq -> c = 0
+      | Expr.Neq -> c <> 0
+      | Expr.Lt -> c < 0
+      | Expr.Le -> c <= 0
+      | Expr.Gt -> c > 0
+      | Expr.Ge -> c >= 0
+    in
+    Expr.Const (Value.Bool r)
+  end
+
+let rec simplify (e : Expr.t) : Expr.t =
+  match e with
+  | Expr.Const _ | Expr.Col _ -> e
+  | Expr.Cmp (op, a, b) -> (
+    match (simplify a, simplify b) with
+    | Expr.Const va, Expr.Const vb -> fold_cmp op va vb
+    | a', b' -> Expr.Cmp (op, a', b'))
+  | Expr.And (a, b) -> (
+    match (simplify a, simplify b) with
+    (* TRUE is the AND identity; FALSE absorbs even Unknown. *)
+    | Expr.Const (Value.Bool true), x | x, Expr.Const (Value.Bool true) -> x
+    | Expr.Const (Value.Bool false), _ | _, Expr.Const (Value.Bool false) -> bool_false
+    | Expr.Const Value.Null, Expr.Const Value.Null -> Expr.Const Value.Null
+    | a', b' -> Expr.And (a', b'))
+  | Expr.Or (a, b) -> (
+    match (simplify a, simplify b) with
+    | Expr.Const (Value.Bool true), _ | _, Expr.Const (Value.Bool true) -> bool_true
+    | Expr.Const (Value.Bool false), x | x, Expr.Const (Value.Bool false) -> x
+    | Expr.Const Value.Null, Expr.Const Value.Null -> Expr.Const Value.Null
+    | a', b' -> Expr.Or (a', b'))
+  | Expr.Not a -> (
+    match simplify a with
+    | Expr.Const (Value.Bool b) -> Expr.Const (Value.Bool (not b))
+    | Expr.Const Value.Null -> Expr.Const Value.Null  (* NOT Unknown = Unknown *)
+    | Expr.Not inner -> inner  (* valid in 3VL: NOT NOT x = x for T, F, U *)
+    | Expr.Cmp (op, x, y) -> Expr.Cmp (negate_cmp op, x, y)
+      (* valid in 3VL: both sides are Unknown exactly on NULL operands *)
+    | Expr.And (x, y) -> simplify (Expr.Or (Expr.Not x, Expr.Not y))  (* De Morgan *)
+    | Expr.Or (x, y) -> simplify (Expr.And (Expr.Not x, Expr.Not y))
+    | a' -> Expr.Not a')
+  | Expr.Is_null a -> (
+    match simplify a with
+    | Expr.Const Value.Null -> bool_true
+    | Expr.Const _ -> bool_false
+    | a' -> Expr.Is_null a')
+  | Expr.Arith (op, a, b) -> (
+    match (simplify a, simplify b) with
+    | Expr.Const va, Expr.Const vb -> (
+      match Eval.fold_arith op va vb with
+      | Some v -> Expr.Const v
+      | None -> Expr.Arith (op, Expr.Const va, Expr.Const vb))
+    | a', b' -> Expr.Arith (op, a', b'))
+  | Expr.Neg a -> (
+    match simplify a with
+    | Expr.Const (Value.Int i) -> Expr.Const (Value.Int (Int64.neg i))
+    | Expr.Const (Value.Float f) -> Expr.Const (Value.Float (-.f))
+    | Expr.Const Value.Null -> Expr.Const Value.Null
+    | Expr.Neg inner -> inner
+    | a' -> Expr.Neg a')
+  | Expr.Like (a, pat) -> (
+    match simplify a with
+    | Expr.Const (Value.Str s) -> Expr.Const (Value.Bool (Eval.like_match s pat))
+    | Expr.Const Value.Null -> Expr.Const Value.Null
+    | a' -> Expr.Like (a', pat))
+  | Expr.In_list (a, vs) -> (
+    match simplify a with
+    | Expr.Const Value.Null -> Expr.Const Value.Null
+    | Expr.Const v ->
+      Expr.Const (Value.Bool (List.exists (fun x -> Eval.compare_values v x = 0) vs))
+    | a' -> (
+      match vs with
+      | [ single ] -> Expr.Cmp (Expr.Eq, a', Expr.Const single)
+      | _ -> Expr.In_list (a', vs)))
+  | Expr.Between (a, lo, hi) -> (
+    match (simplify a, simplify lo, simplify hi) with
+    | (Expr.Const _ as a'), (Expr.Const _ as lo'), (Expr.Const _ as hi') ->
+      simplify
+        (Expr.And (Expr.Cmp (Expr.Le, lo', a'), Expr.Cmp (Expr.Le, a', hi')))
+    | a', lo', hi' -> Expr.Between (a', lo', hi'))

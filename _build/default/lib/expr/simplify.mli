@@ -1,0 +1,15 @@
+(** Expression simplification — the rewrite half of "compiling" a snapshot
+    restriction at CREATE SNAPSHOT time.
+
+    Performs constant folding (over total operations only: no folding that
+    could raise, e.g. division by zero), three-valued boolean identities
+    ([e AND TRUE = e], [e OR TRUE = TRUE], double negation, De Morgan
+    push-down of NOT), comparison-of-constants folding, and [BETWEEN]/[IN]
+    degenerate-case rewrites.
+
+    Simplification is semantics-preserving under SQL three-valued logic:
+    note that [e AND FALSE] only folds to [FALSE] because [Unknown AND
+    FALSE = FALSE], whereas [e OR FALSE] folds to [e], not to a constant. *)
+
+val simplify : Expr.t -> Expr.t
+(** Idempotent: [simplify (simplify e) = simplify e]. *)

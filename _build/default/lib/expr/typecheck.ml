@@ -1,0 +1,97 @@
+open Snapdiff_storage
+
+type error = {
+  expr : Expr.t;
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "type error in %a: %s" Expr.pp e.expr e.message
+
+let err expr fmt = Format.kasprintf (fun message -> Error { expr; message }) fmt
+
+let ( let* ) r f = Result.bind r f
+
+let rec infer schema (e : Expr.t) =
+  match e with
+  | Const Value.Null -> err e "untyped NULL constant; compare with IS NULL"
+  | Const v -> (
+    match Value.type_of v with
+    | Some ty -> Ok ty
+    | None -> err e "untyped constant")
+  | Col c -> (
+    match Schema.index_of schema c with
+    | Some i -> Ok (Schema.column schema i).Schema.ty
+    | None -> err e "unknown column %s" c)
+  | Cmp (_, a, b) ->
+    let* ta = infer schema a in
+    let* tb = infer schema b in
+    if ta = tb then Ok Value.Tbool
+    else err e "cannot compare %s with %s" (Value.ty_name ta) (Value.ty_name tb)
+  | And (a, b) | Or (a, b) ->
+    let* () = boolean schema a in
+    let* () = boolean schema b in
+    Ok Value.Tbool
+  | Not a ->
+    let* () = boolean schema a in
+    Ok Value.Tbool
+  | Is_null a -> (
+    match a with
+    | Col _ ->
+      (* IS NULL applies to columns; arbitrary expressions would always be
+         non-null or null-propagating anyway. *)
+      let* (_ : Value.ty) = infer schema a in
+      Ok Value.Tbool
+    | _ ->
+      let* (_ : Value.ty) = infer schema a in
+      Ok Value.Tbool)
+  | Arith (op, a, b) ->
+    let* ta = infer schema a in
+    let* tb = infer schema b in
+    (match (ta, tb) with
+    | Value.Tint, Value.Tint -> Ok Value.Tint
+    | Value.Tfloat, Value.Tfloat -> Ok Value.Tfloat
+    | (Value.Tint | Value.Tfloat), (Value.Tint | Value.Tfloat) ->
+      Ok Value.Tfloat  (* implicit widening *)
+    | _ ->
+      err e "operator %s needs numeric operands, got %s and %s"
+        (match op with
+        | Add -> "+"
+        | Sub -> "-"
+        | Mul -> "*"
+        | Div -> "/"
+        | Mod -> "%")
+        (Value.ty_name ta) (Value.ty_name tb))
+  | Neg a ->
+    let* ta = infer schema a in
+    (match ta with
+    | Value.Tint | Value.Tfloat -> Ok ta
+    | _ -> err e "unary minus needs a numeric operand, got %s" (Value.ty_name ta))
+  | Like (a, _) ->
+    let* ta = infer schema a in
+    if ta = Value.Tstring then Ok Value.Tbool
+    else err e "LIKE needs a STRING operand, got %s" (Value.ty_name ta)
+  | In_list (a, vs) ->
+    let* ta = infer schema a in
+    let bad =
+      List.find_opt (fun v -> not (Value.has_type v ta) || Value.is_null v) vs
+    in
+    (match bad with
+    | None -> Ok Value.Tbool
+    | Some v -> err e "IN list element %s does not match %s" (Value.to_string v) (Value.ty_name ta))
+  | Between (a, lo, hi) ->
+    let* ta = infer schema a in
+    let* tlo = infer schema lo in
+    let* thi = infer schema hi in
+    if ta = tlo && ta = thi then Ok Value.Tbool
+    else err e "BETWEEN operands must share a type"
+
+and boolean schema a =
+  let* ta = infer schema a in
+  if ta = Value.Tbool then Ok ()
+  else err a "expected BOOL, got %s" (Value.ty_name ta)
+
+let check_predicate schema e =
+  let* ty = infer schema e in
+  if ty = Value.Tbool then Ok ()
+  else err e "predicate must be BOOL, got %s" (Value.ty_name ty)

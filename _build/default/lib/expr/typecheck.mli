@@ -1,0 +1,20 @@
+(** Static typing of expressions against a schema.
+
+    Run once when a snapshot (or query) is defined — the R* implementation
+    the paper describes compiles the refresh query at [CREATE SNAPSHOT]
+    time, and this is the front half of that compilation. *)
+
+open Snapdiff_storage
+
+type error = {
+  expr : Expr.t;  (** offending subexpression *)
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val infer : Schema.t -> Expr.t -> (Value.ty, error) result
+(** Type of a scalar expression. *)
+
+val check_predicate : Schema.t -> Expr.t -> (unit, error) result
+(** Predicates must type as BOOL and reference only schema columns. *)

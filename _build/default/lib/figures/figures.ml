@@ -1,0 +1,713 @@
+open Snapdiff_txn
+open Snapdiff_core
+module Rng = Snapdiff_util.Rng
+module Text_table = Snapdiff_util.Text_table
+module Ascii_chart = Snapdiff_util.Ascii_chart
+module Eval = Snapdiff_expr.Eval
+module Expr = Snapdiff_expr.Expr
+module Change_log = Snapdiff_changelog.Change_log
+module Link = Snapdiff_net.Link
+module Model = Snapdiff_analysis.Model
+module Workload = Snapdiff_workload.Workload
+
+type point = {
+  u_pct : float;
+  ideal_sim : float;
+  ideal_model : float;
+  diff_sim : float;
+  diff_model : float;
+  full_sim : float;
+}
+
+type sweep = {
+  q : float;
+  n : int;
+  points : point list;
+}
+
+let count_data f =
+  let c = ref 0 in
+  f (fun m -> if Refresh_msg.is_data m then incr c);
+  !c
+
+(* One experiment cell: a fresh base table, identically populated, a
+   snapshot boundary, u*n distinct payload updates, then each algorithm
+   measured over the same mutated table. *)
+let run_cell ~seed ~n ~q ~u ~mix =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create seed in
+  Workload.populate base ~rng ~n;
+  (* Change capture must watch the window the ideal algorithm reports on. *)
+  let log = Change_log.create () in
+  Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq));
+  ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+  let snaptime = Clock.now clock in
+  let cursor = Change_log.current_seq log in
+  let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+  ignore (Workload.update_fraction base ~rng ~u ~mix : int);
+  let ideal =
+    count_data (fun xmit ->
+        ignore
+          (Ideal.refresh ~base ~log ~cursor ~restrict ~project:Fun.id ~xmit () : Ideal.report))
+  in
+  let full =
+    count_data (fun xmit ->
+        ignore
+          (Full_refresh.refresh ~base ~restrict ~project:Fun.id ~xmit () : Full_refresh.report))
+  in
+  (* Differential last: its combined fix-up writes annotations. *)
+  let diff =
+    count_data (fun xmit ->
+        ignore
+          (Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id ~xmit ()
+            : Differential.report))
+  in
+  (ideal, diff, full)
+
+let message_sweep ?(seed = 20011986) ~n ~q ~u_list () =
+  let pct x = Model.pct_of_table ~n (float_of_int x) in
+  let points =
+    List.map
+      (fun u ->
+        let ideal, diff, full =
+          run_cell ~seed ~n ~q ~u ~mix:Workload.payload_updates_only
+        in
+        {
+          u_pct = 100.0 *. u;
+          ideal_sim = pct ideal;
+          ideal_model = Model.pct_of_table ~n (Model.ideal_messages ~n ~q ~u);
+          diff_sim = pct diff;
+          diff_model = Model.pct_of_table ~n (Model.differential_messages ~n ~q ~u ());
+          full_sim = pct full;
+        })
+      u_list
+  in
+  { q; n; points }
+
+let paper_u_list =
+  [ 0.01; 0.02; 0.05; 0.10; 0.15; 0.20; 0.30; 0.40; 0.50; 0.60; 0.70; 0.80; 0.90; 1.0 ]
+
+let figure8 ?seed ?(n = 20_000) () =
+  List.map (fun q -> message_sweep ?seed ~n ~q ~u_list:paper_u_list ()) [ 1.0; 0.5; 0.25 ]
+
+let figure9 ?seed ?(n = 20_000) () =
+  List.map (fun q -> message_sweep ?seed ~n ~q ~u_list:paper_u_list ()) [ 0.05; 0.01 ]
+
+let render_sweep_table sweep =
+  let open Text_table in
+  let t =
+    create
+      ~title:
+        (Printf.sprintf "selectivity q = %.0f%%  (base table: %d tuples)" (100.0 *. sweep.q)
+           sweep.n)
+      [
+        ("updated %", Right); ("full %", Right); ("diff % (sim)", Right);
+        ("diff % (model)", Right); ("ideal % (sim)", Right); ("ideal % (model)", Right);
+      ]
+  in
+  List.iter
+    (fun p ->
+      add_row t
+        [
+          cell_float ~decimals:1 p.u_pct;
+          cell_float ~decimals:3 p.full_sim;
+          cell_float ~decimals:3 p.diff_sim;
+          cell_float ~decimals:3 p.diff_model;
+          cell_float ~decimals:3 p.ideal_sim;
+          cell_float ~decimals:3 p.ideal_model;
+        ])
+    sweep.points;
+  render t
+
+let render_figure_chart ?(log_scale = false) ~title sweeps =
+  let glyphs_diff = [| 'D'; 'd'; '2'; '3'; '4' |] in
+  let glyphs_ideal = [| 'I'; 'i'; '!'; ':'; ';' |] in
+  let glyphs_full = [| 'F'; 'f'; '='; '-'; '_' |] in
+  let series =
+    List.concat
+      (List.mapi
+         (fun i sweep ->
+           let pct = Printf.sprintf "q=%.0f%%" (100.0 *. sweep.q) in
+           let pts f = List.map (fun p -> (p.u_pct, f p)) sweep.points in
+           [
+             { Ascii_chart.label = "diff " ^ pct; glyph = glyphs_diff.(i);
+               points = pts (fun p -> p.diff_sim) };
+             { Ascii_chart.label = "ideal " ^ pct; glyph = glyphs_ideal.(i);
+               points = pts (fun p -> p.ideal_sim) };
+             { Ascii_chart.label = "full " ^ pct; glyph = glyphs_full.(i);
+               points = pts (fun p -> p.full_sim) };
+           ])
+         sweeps)
+  in
+  Ascii_chart.render ~width:68 ~height:22 ~title
+    ~x_label:"% of tuples updated between refreshes"
+    ~y_label:"tuples sent, % of base table"
+    ~y_scale:(if log_scale then Ascii_chart.Log10 else Ascii_chart.Linear)
+    series
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+type mix_row = {
+  mix_name : string;
+  ops : int;
+  diff_msgs : int;
+  ideal_msgs : int;
+  full_msgs : int;
+}
+
+let churn_ablation ?(seed = 7) ?(n = 10_000) () =
+  let mixes =
+    [
+      ("updates, payload only", Workload.payload_updates_only);
+      ("updates with qual flips",
+       { Workload.update_weight = 1; insert_weight = 0; delete_weight = 0; qual_flip = true });
+      ("60/20/20 churn", Workload.churn);
+      ("delete heavy",
+       { Workload.update_weight = 1; insert_weight = 1; delete_weight = 3; qual_flip = true });
+      ("insert heavy",
+       { Workload.update_weight = 1; insert_weight = 3; delete_weight = 1; qual_flip = true });
+    ]
+  in
+  List.map
+    (fun (mix_name, mix) ->
+      let ideal, diff, full = run_cell ~seed ~n ~q:0.25 ~u:0.2 ~mix in
+      { mix_name; ops = int_of_float (0.2 *. float_of_int n); diff_msgs = diff;
+        ideal_msgs = ideal; full_msgs = full })
+    mixes
+
+type maintenance_row = {
+  maint_mode : string;
+  base_ops : int;
+  clock_ticks : int;
+  annotation_writes_at_refresh : int;
+  refresh_data_msgs : int;
+}
+
+let maintenance_ablation ?(seed = 11) ?(n = 10_000) ?(u = 0.1) () =
+  let run mode name =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~mode ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    (match mode with
+    | Base_table.Deferred -> ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats)
+    | Base_table.Eager -> ());
+    let snaptime = Clock.now clock in
+    let ticks_before = Clock.now clock in
+    let ops = Workload.update_fraction base ~rng ~u ~mix:Workload.churn in
+    let ticks = Clock.now clock - ticks_before in
+    let restrict = Eval.compile Workload.schema (Workload.restrict_fraction 0.25) in
+    let msgs = ref 0 in
+    let r =
+      Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id
+        ~xmit:(fun m -> if Refresh_msg.is_data m then incr msgs)
+        ()
+    in
+    {
+      maint_mode = name;
+      base_ops = ops;
+      clock_ticks = ticks;
+      annotation_writes_at_refresh = r.Differential.fixup_writes;
+      refresh_data_msgs = !msgs;
+    }
+  in
+  [ run Base_table.Eager "eager"; run Base_table.Deferred "deferred" ]
+
+type asap_row = {
+  refresh_interval : int;
+  asap_msgs : int;
+  periodic_diff_msgs : int;
+}
+
+let asap_ablation ?(seed = 13) ?(n = 2_000) ?(ops = 2_000) () =
+  let q = 0.25 in
+  let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+  let run interval =
+    (* ASAP site. *)
+    let clock_a = Clock.create () in
+    let base_a = Workload.make_base ~clock:clock_a () in
+    let rng_a = Rng.create seed in
+    Workload.populate base_a ~rng:rng_a ~n;
+    let link = Link.create ~name:"asap" () in
+    let snap_a = Snapshot_table.create ~name:"sa" ~schema:Workload.schema () in
+    Link.attach link (Snapshot_table.apply_bytes snap_a);
+    let asap = Asap.attach ~base:base_a ~link ~restrict ~project:Fun.id () in
+    Workload.mutate_zipf base_a ~rng:rng_a ~ops ~theta:0.0 ~mix:Workload.churn;
+    (* Periodic differential site, same script. *)
+    let clock_p = Clock.create () in
+    let base_p = Workload.make_base ~clock:clock_p () in
+    let rng_p = Rng.create seed in
+    Workload.populate base_p ~rng:rng_p ~n;
+    ignore (Fixup.run base_p ~fixup_time:(Clock.tick clock_p) : Fixup.stats);
+    let snap_p = Snapshot_table.create ~name:"sp" ~schema:Workload.schema () in
+    let diff_msgs = ref 0 in
+    let refresh () =
+      let msgs = ref [] in
+      ignore
+        (Differential.refresh ~base:base_p ~snaptime:(Snapshot_table.snaptime snap_p)
+           ~restrict ~project:Fun.id
+           ~xmit:(fun m -> msgs := m :: !msgs)
+           ()
+          : Differential.report);
+      List.iter
+        (fun m ->
+          if Refresh_msg.is_data m then incr diff_msgs;
+          Snapshot_table.apply snap_p m)
+        (List.rev !msgs)
+    in
+    refresh ();
+    let done_ops = ref 0 in
+    while !done_ops < ops do
+      let batch = min interval (ops - !done_ops) in
+      Workload.mutate_zipf base_p ~rng:rng_p ~ops:batch ~theta:0.0 ~mix:Workload.churn;
+      done_ops := !done_ops + batch;
+      refresh ()
+    done;
+    { refresh_interval = interval; asap_msgs = Asap.sent asap; periodic_diff_msgs = !diff_msgs }
+  in
+  List.map run [ 10; 100; 500; 2000 ]
+
+type log_scan_row = {
+  irrelevant_tables : int;
+  log_records_scanned : int;
+  relevant_records : int;
+  messages : int;
+}
+
+let log_scan_ablation ?(seed = 17) ?(n = 5_000) () =
+  let run irrelevant_tables =
+    let wal = Snapdiff_wal.Wal.create () in
+    let clock = Clock.create () in
+    let base = Base_table.create ~wal ~name:"emp" ~clock Workload.schema in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let others =
+      List.init irrelevant_tables (fun i ->
+          let b =
+            Base_table.create ~wal ~name:(Printf.sprintf "other%d" i) ~clock Workload.schema
+          in
+          Workload.populate b ~rng ~n:100;
+          b)
+    in
+    let cursor = Snapdiff_wal.Wal.end_lsn wal in
+    (* 5% activity on the snapshot's table... *)
+    ignore
+      (Workload.update_fraction base ~rng ~u:0.05 ~mix:Workload.payload_updates_only : int);
+    (* ...drowned in activity on the others. *)
+    List.iter
+      (fun b ->
+        ignore (Workload.update_fraction b ~rng ~u:1.0 ~mix:Workload.churn : int);
+        ignore (Workload.update_fraction b ~rng ~u:1.0 ~mix:Workload.churn : int))
+      others;
+    let restrict = Eval.compile Workload.schema (Workload.restrict_fraction 0.25) in
+    let msgs = ref 0 in
+    let r =
+      Log_based.refresh ~base ~wal ~cursor ~restrict ~project:Fun.id
+        ~xmit:(fun m -> if Refresh_msg.is_data m then incr msgs)
+        ()
+    in
+    {
+      irrelevant_tables;
+      log_records_scanned = r.Log_based.log_records_scanned;
+      relevant_records = r.Log_based.log_records_relevant;
+      messages = !msgs;
+    }
+  in
+  List.map run [ 0; 1; 4; 16 ]
+
+type tail_row = {
+  u_pct_tail : float;
+  msgs_paper : int;
+  msgs_suppressed : int;
+}
+
+let tail_ablation ?(seed = 19) ?(n = 10_000) ?(q = 0.25) () =
+  let run u =
+    let build () =
+      let clock = Clock.create () in
+      let base = Workload.make_base ~clock () in
+      let rng = Rng.create seed in
+      Workload.populate base ~rng ~n;
+      ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+      let snaptime = Clock.now clock in
+      let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+      (* A fully synced snapshot provides the high water. *)
+      let snap = Snapshot_table.create ~name:"s" ~schema:Workload.schema () in
+      List.iter
+        (fun (addr, user) ->
+          if restrict user then
+            Snapshot_table.apply snap (Refresh_msg.Upsert { addr; values = user }))
+        (Base_table.to_user_list base);
+      ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+      (base, snaptime, restrict, snap)
+    in
+    let base, snaptime, restrict, snap = build () in
+    let paper =
+      count_data (fun xmit ->
+          ignore
+            (Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id ~xmit ()
+              : Differential.report))
+    in
+    let base, snaptime, restrict, snap2 = build () in
+    ignore snap;
+    let suppressed =
+      count_data (fun xmit ->
+          ignore
+            (Differential.refresh
+               ~tail_suppression:(Some (Snapshot_table.high_water snap2))
+               ~base ~snaptime ~restrict ~project:Fun.id ~xmit ()
+              : Differential.report))
+    in
+    { u_pct_tail = 100.0 *. u; msgs_paper = paper; msgs_suppressed = suppressed }
+  in
+  List.map run [ 0.0; 0.001; 0.01; 0.05 ]
+
+type amortization_row = {
+  snapshots_on_base : int;
+  first_refresh_fixups : int;
+  later_refresh_fixups : int;  (** summed over the remaining snapshots *)
+  total_data_msgs : int;
+}
+
+(* "Multiple snapshots on a single base table do not require additional
+   annotations and much of the extra work is amortized over the set of
+   snapshots": the first snapshot refreshed after a batch of changes pays
+   the fix-up writes; the rest find the annotations already restored. *)
+let amortization_ablation ?(seed = 29) ?(n = 5_000) ?(u = 0.1) () =
+  let run k =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let mgr = Snapdiff_core.Manager.create () in
+    Snapdiff_core.Manager.register_base mgr base;
+    for i = 0 to k - 1 do
+      (* Different restrictions per site, all differential. *)
+      let q = 0.1 +. (0.8 *. float_of_int i /. float_of_int (max 1 (k - 1))) in
+      ignore
+        (Snapdiff_core.Manager.create_snapshot mgr
+           ~name:(Printf.sprintf "s%d" i)
+           ~base:"emp"
+           ~restrict:(Workload.restrict_fraction (Float.min 0.9 q))
+           ~method_:Snapdiff_core.Manager.Differential ()
+          : Snapdiff_core.Manager.refresh_report)
+    done;
+    ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+    let reports =
+      List.init k (fun i -> Snapdiff_core.Manager.refresh mgr (Printf.sprintf "s%d" i))
+    in
+    match reports with
+    | [] -> assert false
+    | first :: rest ->
+      {
+        snapshots_on_base = k;
+        first_refresh_fixups = first.Snapdiff_core.Manager.fixup_writes;
+        later_refresh_fixups =
+          List.fold_left (fun acc r -> acc + r.Snapdiff_core.Manager.fixup_writes) 0 rest;
+        total_data_msgs =
+          List.fold_left
+            (fun acc r -> acc + r.Snapdiff_core.Manager.data_messages)
+            0 reports;
+      }
+  in
+  List.map run [ 1; 2; 4; 8 ]
+
+type stepwise_row = {
+  generation : string;
+  data_msgs : int;
+  note : string;
+}
+
+(* The paper's stepwise development, quantified: apply one random script of
+   updates/deletes/inserts identically to each algorithm generation and
+   count what each transmits.  All three reuse the lowest free address on
+   insert, so the address layouts coincide. *)
+let stepwise_ablation ?(seed = 41) ?(n = 2_000) ?(u = 0.10) () =
+  let module S = Snapdiff_storage in
+  let schema =
+    S.Schema.make
+      [ S.Schema.col ~nullable:false "id" S.Value.Tint;
+        S.Schema.col ~nullable:false "qual" S.Value.Tint ]
+  in
+  let row id qual = S.Tuple.make [ S.Value.int id; S.Value.int qual ] in
+  let rng0 = Rng.create seed in
+  let init = List.init n (fun i -> (i, Rng.int rng0 100)) in
+  (* One script over entry slots 1..n: 60% update / 20% delete / 20%
+     reinsert; indexes are 1-based addresses in the dense space. *)
+  let rng = Rng.create (seed + 1) in
+  let ops = int_of_float (u *. float_of_int n) in
+  let script =
+    List.init ops (fun _ ->
+        let slot = 1 + Rng.int rng n in
+        match Rng.int rng 5 with
+        | 0 -> `Delete slot
+        | 1 -> `Reinsert (slot, Rng.int rng 100)
+        | _ -> `Update (slot, Rng.int rng 100))
+  in
+  let restrict t =
+    match S.Tuple.get t 1 with S.Value.Int q -> Int64.to_int q < 25 | _ -> false
+  in
+  let count_stream f =
+    let c = ref 0 in
+    f (fun m -> if Refresh_msg.is_data m then incr c);
+    !c
+  in
+  (* Generation 1: dense. *)
+  let dense_msgs =
+    let clock = Clock.create () in
+    let d = Dense.create ~capacity:n ~schema ~clock () in
+    List.iteri (fun i (id, q) -> Dense.set d ~addr:(i + 1) (row id q)) init;
+    let snaptime = Clock.now clock in
+    List.iter
+      (fun op ->
+        match op with
+        | `Update (a, q) | `Reinsert (a, q) -> Dense.set d ~addr:a (row a q)
+        | `Delete a -> Dense.remove d ~addr:a)
+      script;
+    count_stream (fun xmit ->
+        ignore (Dense.refresh d ~snaptime ~restrict ~project:Fun.id ~xmit : Dense.report))
+  in
+  (* Generation 2: empty regions. *)
+  let regions_msgs =
+    let clock = Clock.create () in
+    let r = Regions.create ~capacity:n ~schema ~clock () in
+    List.iteri (fun i (id, q) -> Regions.insert_at r ~addr:(i + 1) (row id q)) init;
+    let snaptime = Clock.now clock in
+    List.iter
+      (fun op ->
+        match op with
+        | `Update (a, q) -> (
+          try Regions.update r ~addr:a (row a q)
+          with Not_found -> Regions.insert_at r ~addr:a (row a q))
+        | `Delete a -> ( try Regions.delete r ~addr:a with Not_found -> ())
+        | `Reinsert (a, q) -> (
+          try Regions.update r ~addr:a (row a q)
+          with Not_found -> Regions.insert_at r ~addr:a (row a q)))
+      script;
+    count_stream (fun xmit ->
+        ignore (Regions.refresh r ~snaptime ~restrict ~project:Fun.id ~xmit : Regions.report))
+  in
+  (* Generations 3/4: PrevAddr annotations over the real heap (eager and
+     deferred transmit identically; run deferred). *)
+  let prevaddr_msgs =
+    let clock = Clock.create () in
+    let base = Base_table.create ~name:"t" ~clock schema in
+    let addrs =
+      Array.of_list (List.map (fun (id, q) -> Base_table.insert base (row id q)) init)
+    in
+    ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+    let snaptime = Clock.now clock in
+    List.iter
+      (fun op ->
+        let addr_of slot = addrs.(slot - 1) in
+        match op with
+        | `Update (a, q) -> (
+          try Base_table.update base (addr_of a) (row a q) with Not_found -> ())
+        | `Delete a -> ( try Base_table.delete base (addr_of a) with Not_found -> ())
+        | `Reinsert (a, q) -> (
+          match Base_table.get base (addr_of a) with
+          | Some _ -> Base_table.update base (addr_of a) (row a q)
+          | None -> ignore (Base_table.insert base (row a q) : S.Addr.t)))
+      script;
+    count_stream (fun xmit ->
+        ignore
+          (Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id ~xmit ()
+            : Differential.report))
+  in
+  [
+    { generation = "1. simple dense space"; data_msgs = dense_msgs;
+      note = "every changed address, one message each" };
+    { generation = "2. explicit empty regions"; data_msgs = regions_msgs;
+      note = "deletion runs combined; no tail needed" };
+    { generation = "3/4. PrevAddr annotations"; data_msgs = prevaddr_msgs;
+      note = "regions folded into entries + 1 tail" };
+  ]
+
+type wire_row = {
+  wire_name : string;
+  bytes_per_sec : float;
+  latency_us : float;
+  full_seconds : float;
+  diff_seconds : float;
+}
+
+(* What the message savings buy in wall-clock terms on period-appropriate
+   links: replay one refresh's byte stream through links with different
+   bandwidth/latency and read the simulated transfer clock. *)
+let wire_ablation ?(seed = 37) ?(n = 10_000) ?(u = 0.05) () =
+  let q = 0.25 in
+  (* Produce the two message streams once. *)
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create seed in
+  Workload.populate base ~rng ~n;
+  ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+  let snaptime = Clock.now clock in
+  let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+  ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+  let full_stream = ref [] in
+  ignore
+    (Full_refresh.refresh ~base ~restrict ~project:Fun.id
+       ~xmit:(fun m -> full_stream := m :: !full_stream)
+       ()
+      : Full_refresh.report);
+  let diff_stream = ref [] in
+  ignore
+    (Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id
+       ~xmit:(fun m -> diff_stream := m :: !diff_stream)
+       ()
+      : Differential.report);
+  let wires =
+    [
+      (* 9600 baud leased line, painful per-message turnaround. *)
+      ("9600 baud (1986 WAN)", 1_200.0, 30_000.0);
+      (* 10 Mbps shared Ethernet. *)
+      ("10 Mbps LAN (1986 LAN)", 1.25e6, 500.0);
+      (* 1 Gbps datacenter link. *)
+      ("1 Gbps (modern)", 1.25e8, 50.0);
+    ]
+  in
+  List.map
+    (fun (wire_name, bytes_per_sec, latency_us) ->
+      let replay stream =
+        let link = Link.create ~bytes_per_sec ~latency_us () in
+        Link.attach link (fun (_ : bytes) -> ());
+        List.iter (fun m -> Link.send link (Refresh_msg.encode m)) (List.rev stream);
+        Link.simulated_time_us link /. 1e6
+      in
+      {
+        wire_name;
+        bytes_per_sec;
+        latency_us;
+        full_seconds = replay !full_stream;
+        diff_seconds = replay !diff_stream;
+      })
+    wires
+
+type cascade_row = {
+  fanout : int;  (** cascaded children per parent *)
+  parent_msgs : int;  (** parent refresh data messages *)
+  cascade_msgs_total : int;  (** forwarded to all children *)
+  independent_msgs_total : int;
+      (** the same children defined directly on the base table instead *)
+}
+
+(* Cascading children off a parent snapshot versus defining each child as
+   its own snapshot on the base table: the cascade forwards a (filtered)
+   copy of the parent's stream and costs the base table nothing extra. *)
+let cascade_ablation ?(seed = 31) ?(n = 5_000) ?(u = 0.1) () =
+  let module Manager = Snapdiff_core.Manager in
+  let module Cascade = Snapdiff_core.Cascade in
+  let module Snapshot_table = Snapdiff_core.Snapshot_table in
+  let child_restrict i tuple =
+    match Snapdiff_storage.Tuple.get tuple 2 with
+    | Snapdiff_storage.Value.Int q ->
+      Int64.to_int q mod 10 = i  (* disjoint slices of the parent *)
+    | _ -> false
+  in
+  let run fanout =
+    (* Cascaded setup. *)
+    let clock = Clock.create () in
+    let base = Workload.make_base ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let mgr = Manager.create () in
+    Manager.register_base mgr base;
+    ignore
+      (Manager.create_snapshot mgr ~name:"parent" ~base:"emp"
+         ~restrict:(Workload.restrict_fraction 0.5) ~method_:Manager.Differential ()
+        : Manager.refresh_report);
+    let children =
+      List.init fanout (fun i ->
+          Cascade.attach
+            ~upstream:(Manager.snapshot_table mgr "parent")
+            ~name:(Printf.sprintf "c%d" i) ~restrict:(child_restrict i) ())
+    in
+    let forwarded_before =
+      List.fold_left (fun acc c -> acc + Cascade.messages_forwarded c) 0 children
+    in
+    ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+    let parent_report = Manager.refresh mgr "parent" in
+    let cascade_msgs_total =
+      List.fold_left (fun acc c -> acc + Cascade.messages_forwarded c) 0 children
+      - forwarded_before
+    in
+    (* Independent setup: same children directly on the base. *)
+    let clock2 = Clock.create () in
+    let base2 = Workload.make_base ~clock:clock2 () in
+    let rng2 = Rng.create seed in
+    Workload.populate base2 ~rng:rng2 ~n;
+    let mgr2 = Manager.create () in
+    Manager.register_base mgr2 base2;
+    let parent_pred = Eval.compile Workload.schema (Workload.restrict_fraction 0.5) in
+    for i = 0 to fanout - 1 do
+      (* Child predicate = parent restriction AND slice; expressed directly. *)
+      let qual_slice =
+        Expr.(
+          Cmp (Eq, Arith (Mod, Col "qual", Const (Snapdiff_storage.Value.int 10)),
+               Const (Snapdiff_storage.Value.int i)))
+      in
+      ignore
+        (Manager.create_snapshot mgr2
+           ~name:(Printf.sprintf "d%d" i)
+           ~base:"emp"
+           ~restrict:Expr.(And (Workload.restrict_fraction 0.5, qual_slice))
+           ~method_:Manager.Differential ()
+          : Manager.refresh_report)
+    done;
+    ignore parent_pred;
+    ignore (Workload.update_fraction base2 ~rng:rng2 ~u ~mix:Workload.payload_updates_only : int);
+    let independent_msgs_total =
+      List.fold_left
+        (fun acc i ->
+          acc + (Manager.refresh mgr2 (Printf.sprintf "d%d" i)).Manager.data_messages)
+        0
+        (List.init fanout Fun.id)
+    in
+    {
+      fanout;
+      parent_msgs = parent_report.Manager.data_messages;
+      cascade_msgs_total;
+      independent_msgs_total;
+    }
+  in
+  List.map run [ 1; 2; 4; 8 ]
+
+type skew_row = {
+  theta : float;
+  ops_skew : int;
+  diff_msgs_skew : int;
+  ideal_msgs_skew : int;
+}
+
+let skew_ablation ?(seed = 23) ?(n = 10_000) ?(ops = 5_000) () =
+  let q = 0.25 in
+  let run theta =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let log = Change_log.create () in
+    Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq));
+    ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+    let snaptime = Clock.now clock in
+    let cursor = Change_log.current_seq log in
+    let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+    Workload.mutate_zipf base ~rng ~ops ~theta ~mix:Workload.payload_updates_only;
+    let ideal =
+      count_data (fun xmit ->
+          ignore
+            (Ideal.refresh ~base ~log ~cursor ~restrict ~project:Fun.id ~xmit ()
+              : Ideal.report))
+    in
+    let diff =
+      count_data (fun xmit ->
+          ignore
+            (Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id ~xmit ()
+              : Differential.report))
+    in
+    { theta; ops_skew = ops; diff_msgs_skew = diff; ideal_msgs_skew = ideal }
+  in
+  List.map run [ 0.0; 0.5; 0.9; 0.99 ]

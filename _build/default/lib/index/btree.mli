@@ -1,0 +1,66 @@
+(** In-memory B-trees (CLRS variant: key/value pairs in every node).
+
+    The paper: "Clearly, a snapshot index on BaseAddr will accelerate
+    snapshot refresh processing."  Snapshot tables keep exactly that index
+    (see {!Snapdiff_core.Snapshot_table}): BaseAddr -> snapshot rid, and the
+    refresh message application does all its lookups, upserts and range
+    deletions through it. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Key : ORDERED) : sig
+  type 'v t
+
+  val create : ?degree:int -> unit -> 'v t
+  (** [degree] is the minimum degree [d] (max [2d-1] keys per node);
+      defaults to 16.  Raises [Invalid_argument] if [< 2]. *)
+
+  val length : 'v t -> int
+
+  val is_empty : 'v t -> bool
+
+  val find : 'v t -> Key.t -> 'v option
+
+  val mem : 'v t -> Key.t -> bool
+
+  val insert : 'v t -> Key.t -> 'v -> unit
+  (** Replaces the binding if the key is already present. *)
+
+  val remove : 'v t -> Key.t -> bool
+  (** Returns whether the key was present. *)
+
+  val min_binding : 'v t -> (Key.t * 'v) option
+  val max_binding : 'v t -> (Key.t * 'v) option
+
+  val iter : 'v t -> (Key.t -> 'v -> unit) -> unit
+  (** Ascending key order. *)
+
+  val iter_range : 'v t -> ?lo:Key.t -> ?hi:Key.t -> (Key.t -> 'v -> unit) -> unit
+  (** Bindings with [lo <= k <= hi] (either bound may be omitted), ascending.
+      The callback must not modify the tree. *)
+
+  val keys_in_range : 'v t -> ?lo:Key.t -> ?hi:Key.t -> unit -> Key.t list
+
+  val find_first : 'v t -> lo:Key.t -> (Key.t * 'v) option
+  (** Smallest binding with key >= [lo] (successor lookup). *)
+
+  val find_last : 'v t -> hi:Key.t -> (Key.t * 'v) option
+  (** Largest binding with key <= [hi] (predecessor lookup). *)
+
+  val fold : 'v t -> init:'a -> f:('a -> Key.t -> 'v -> 'a) -> 'a
+
+  val to_list : 'v t -> (Key.t * 'v) list
+
+  val of_list : ?degree:int -> (Key.t * 'v) list -> 'v t
+
+  val clear : 'v t -> unit
+
+  val validate : 'v t -> (unit, string) result
+  (** Checks ordering, key-count bounds and uniform leaf depth. *)
+
+  val height : 'v t -> int
+end

@@ -1,0 +1,86 @@
+exception Link_down of string
+
+type stats = {
+  messages : int;
+  bytes : int;
+  payload_bytes : int;
+  dropped : int;
+}
+
+let zero_stats = { messages = 0; bytes = 0; payload_bytes = 0; dropped = 0 }
+
+let add_stats a b =
+  {
+    messages = a.messages + b.messages;
+    bytes = a.bytes + b.bytes;
+    payload_bytes = a.payload_bytes + b.payload_bytes;
+    dropped = a.dropped + b.dropped;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d msgs, %d bytes (%d payload), %d dropped" s.messages s.bytes
+    s.payload_bytes s.dropped
+
+type t = {
+  link_name : string;
+  header_bytes : int;
+  latency_us : float;
+  bytes_per_sec : float;
+  mutable receiver : (bytes -> unit) option;
+  mutable up : bool;
+  mutable stats : stats;
+  mutable simulated_us : float;
+}
+
+let create ?(name = "link") ?(header_bytes = 32) ?(latency_us = 0.0)
+    ?(bytes_per_sec = infinity) () =
+  {
+    link_name = name;
+    header_bytes;
+    latency_us;
+    bytes_per_sec;
+    receiver = None;
+    up = true;
+    stats = zero_stats;
+    simulated_us = 0.0;
+  }
+
+let simulated_time_us t = t.simulated_us
+
+let name t = t.link_name
+
+let attach t f = t.receiver <- Some f
+
+let is_up t = t.up
+
+let set_up t up = t.up <- up
+
+let stats t = t.stats
+
+let reset_stats t = t.stats <- zero_stats
+
+let send t payload =
+  if not t.up then begin
+    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+    raise (Link_down t.link_name)
+  end;
+  match t.receiver with
+  | None -> failwith (Printf.sprintf "Link %s: no receiver attached" t.link_name)
+  | Some f ->
+    let n = Bytes.length payload in
+    t.stats <-
+      {
+        t.stats with
+        messages = t.stats.messages + 1;
+        bytes = t.stats.bytes + t.header_bytes + n;
+        payload_bytes = t.stats.payload_bytes + n;
+      };
+    t.simulated_us <-
+      t.simulated_us +. t.latency_us
+      +. (1_000_000.0 *. float_of_int (t.header_bytes + n) /. t.bytes_per_sec);
+    f payload
+
+let try_send t payload =
+  match send t payload with
+  | () -> true
+  | exception Link_down _ -> false

@@ -1,0 +1,66 @@
+(** Simulated communication links between database sites.
+
+    The paper's evaluation metric is message traffic between the base-table
+    site and (remote) snapshot sites, so the "network" here is an exact
+    cost-accounting device: every {!send} counts one message and
+    [header + payload] bytes, and delivers the payload synchronously to the
+    receiver installed with {!attach}.
+
+    Links can be taken down ({!set_up}) to exercise the failure behaviour
+    the paper holds against ASAP propagation: "if communication between the
+    base table and the snapshot is interrupted, the base table changes must
+    be buffered or rejected". *)
+
+exception Link_down of string
+
+type stats = {
+  messages : int;
+  bytes : int;  (** includes per-message header overhead *)
+  payload_bytes : int;
+  dropped : int;  (** sends attempted while the link was down *)
+}
+
+val zero_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+val create :
+  ?name:string ->
+  ?header_bytes:int ->
+  ?latency_us:float ->
+  ?bytes_per_sec:float ->
+  unit ->
+  t
+(** [header_bytes] is the fixed per-message overhead (default 32, a
+    plausible transport header).  [latency_us] (per message, default 0)
+    and [bytes_per_sec] (default infinite) feed the simulated transfer
+    clock: the evaluation metric is message count, but the simulated time
+    makes "how long would this refresh take on a 1986 line" computable. *)
+
+val simulated_time_us : t -> float
+(** Accumulated transfer time of everything sent:
+    [messages * latency + bytes / bandwidth], in microseconds. *)
+
+val name : t -> string
+
+val attach : t -> (bytes -> unit) -> unit
+(** Install the receiving end.  Replaces any previous receiver. *)
+
+val send : t -> bytes -> unit
+(** Deliver synchronously.  Raises {!Link_down} (after counting the drop)
+    if the link is down; raises [Failure] if no receiver is attached. *)
+
+val try_send : t -> bytes -> bool
+(** Like {!send} but returns [false] instead of raising when down. *)
+
+val is_up : t -> bool
+
+val set_up : t -> bool -> unit
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

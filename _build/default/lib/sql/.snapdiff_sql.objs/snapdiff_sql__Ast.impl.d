@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Format Schema Snapdiff_expr Snapdiff_storage String Value

@@ -1,0 +1,1 @@
+lib/sql/ast.mli: Format Schema Snapdiff_expr Snapdiff_storage Value

@@ -1,0 +1,1 @@
+lib/sql/database.mli: Ast Schema Snapdiff_core Snapdiff_storage Snapdiff_txn Tuple

@@ -1,0 +1,1 @@
+lib/sql/lexer.ml: Buffer Format Hashtbl Int64 List String

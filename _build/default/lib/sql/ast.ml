@@ -1,0 +1,147 @@
+open Snapdiff_storage
+module Expr = Snapdiff_expr.Expr
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Col_item of string
+  | Agg_item of agg_fn * string option
+
+type select_columns =
+  | Star
+  | Items of select_item list
+
+type order_by = {
+  column : string;
+  descending : bool;
+}
+
+type refresh_method =
+  | Auto
+  | Full
+  | Differential
+  | Ideal
+  | Log_based
+
+type stmt =
+  | Create_table of { table : string; columns : Schema.column list }
+  | Drop_table of { table : string }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      rows : Value.t list list;
+    }
+  | Update of {
+      table : string;
+      assignments : (string * Expr.t) list;
+      where : Expr.t option;
+    }
+  | Delete of { table : string; where : Expr.t option }
+  | Select of {
+      tables : string list;
+      columns : select_columns;
+      where : Expr.t option;
+      group_by : string list;
+      order_by : order_by option;
+      limit : int option;
+    }
+  | Create_snapshot of {
+      snapshot : string;
+      bases : string list;
+      columns : select_columns;
+      where : Expr.t option;
+      method_ : refresh_method;
+    }
+  | Create_index of { target : string; column : string }
+  | Refresh_snapshot of { snapshot : string }
+  | Drop_snapshot of { snapshot : string }
+  | Show_tables
+  | Show_snapshots
+  | Dump
+  | Analyze of { table : string option }
+  | Explain_snapshot of { snapshot : string }
+
+let method_name = function
+  | Auto -> "AUTO"
+  | Full -> "FULL"
+  | Differential -> "DIFFERENTIAL"
+  | Ideal -> "IDEAL"
+  | Log_based -> "LOGBASED"
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let pp_item ppf = function
+  | Col_item c -> Format.pp_print_string ppf c
+  | Agg_item (fn, None) -> Format.fprintf ppf "%s(*)" (agg_name fn)
+  | Agg_item (fn, Some c) -> Format.fprintf ppf "%s(%s)" (agg_name fn) c
+
+let pp_columns ppf = function
+  | Star -> Format.pp_print_string ppf "*"
+  | Items items ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      pp_item ppf items
+
+let pp_where ppf = function
+  | None -> ()
+  | Some e -> Format.fprintf ppf " WHERE %a" Expr.pp e
+
+let pp_stmt ppf = function
+  | Create_table { table; columns } ->
+    Format.fprintf ppf "CREATE TABLE %s %a" table Schema.pp (Schema.make columns)
+  | Drop_table { table } -> Format.fprintf ppf "DROP TABLE %s" table
+  | Insert { table; columns; rows } ->
+    Format.fprintf ppf "INSERT INTO %s%a VALUES %a" table
+      (fun ppf -> function
+        | None -> ()
+        | Some cs ->
+          Format.fprintf ppf " (%a)"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Format.pp_print_string)
+            cs)
+      columns
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf row ->
+           Format.fprintf ppf "(%a)"
+             (Format.pp_print_list
+                ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+                Value.pp)
+             row))
+      rows
+  | Update { table; assignments; where } ->
+    Format.fprintf ppf "UPDATE %s SET %a%a" table
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c Expr.pp e))
+      assignments pp_where where
+  | Delete { table; where } -> Format.fprintf ppf "DELETE FROM %s%a" table pp_where where
+  | Select { tables; columns; where; group_by; order_by; limit } ->
+    Format.fprintf ppf "SELECT %a FROM %s%a" pp_columns columns
+      (String.concat ", " tables) pp_where where;
+    if group_by <> [] then
+      Format.fprintf ppf " GROUP BY %s" (String.concat ", " group_by);
+    (match order_by with
+    | Some { column; descending } ->
+      Format.fprintf ppf " ORDER BY %s%s" column (if descending then " DESC" else "")
+    | None -> ());
+    (match limit with Some k -> Format.fprintf ppf " LIMIT %d" k | None -> ())
+  | Create_snapshot { snapshot; bases; columns; where; method_ } ->
+    Format.fprintf ppf "CREATE SNAPSHOT %s AS SELECT %a FROM %s%a REFRESH %s" snapshot
+      pp_columns columns (String.concat ", " bases) pp_where where (method_name method_)
+  | Create_index { target; column } ->
+    Format.fprintf ppf "CREATE INDEX ON %s (%s)" target column
+  | Refresh_snapshot { snapshot } -> Format.fprintf ppf "REFRESH SNAPSHOT %s" snapshot
+  | Drop_snapshot { snapshot } -> Format.fprintf ppf "DROP SNAPSHOT %s" snapshot
+  | Show_tables -> Format.pp_print_string ppf "SHOW TABLES"
+  | Show_snapshots -> Format.pp_print_string ppf "SHOW SNAPSHOTS"
+  | Dump -> Format.pp_print_string ppf "DUMP"
+  | Analyze { table = Some t } -> Format.fprintf ppf "ANALYZE %s" t
+  | Analyze { table = None } -> Format.pp_print_string ppf "ANALYZE"
+  | Explain_snapshot { snapshot } -> Format.fprintf ppf "EXPLAIN SNAPSHOT %s" snapshot

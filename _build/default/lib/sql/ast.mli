@@ -1,0 +1,83 @@
+(** Abstract syntax of the mini-SQL dialect, including the R*-style
+    [CREATE SNAPSHOT] / [REFRESH SNAPSHOT] statements the paper's system
+    exposed. *)
+
+open Snapdiff_storage
+module Expr = Snapdiff_expr.Expr
+
+type agg_fn = Count | Sum | Avg | Min | Max
+
+type select_item =
+  | Col_item of string  (** possibly qualified column reference *)
+  | Agg_item of agg_fn * string option  (** [None] means count-all *)
+
+type select_columns =
+  | Star
+  | Items of select_item list
+
+type order_by = {
+  column : string;
+  descending : bool;
+}
+
+type refresh_method =
+  | Auto
+  | Full
+  | Differential
+  | Ideal
+  | Log_based
+
+type stmt =
+  | Create_table of { table : string; columns : Schema.column list }
+  | Drop_table of { table : string }
+  | Insert of {
+      table : string;
+      columns : string list option;
+      rows : Value.t list list;
+    }
+  | Update of {
+      table : string;
+      assignments : (string * Expr.t) list;
+      where : Expr.t option;
+    }
+  | Delete of { table : string; where : Expr.t option }
+  | Select of {
+      tables : string list;
+          (** several tables = cross product restricted by [where] *)
+      columns : select_columns;
+      where : Expr.t option;
+      group_by : string list;  (** empty = no grouping *)
+      order_by : order_by option;
+      limit : int option;
+    }
+  | Create_snapshot of {
+      snapshot : string;
+      bases : string list;
+          (** one base table = the paper's differential machinery; several
+              tables, or a snapshot source = query re-evaluation ("when the
+              snapshot is derived from several tables, the snapshot query
+              must, in general, be re-evaluated") or a cascade *)
+      columns : select_columns;
+      where : Expr.t option;
+      method_ : refresh_method;  (** defaults to [Auto] *)
+    }
+  | Create_index of { target : string; column : string }
+      (** secondary index on a snapshot ("indices can be defined on a
+          snapshot") *)
+  | Refresh_snapshot of { snapshot : string }
+  | Drop_snapshot of { snapshot : string }
+  | Show_tables
+  | Show_snapshots
+  | Dump
+      (** emit a SQL script that recreates the database (schema, data,
+          snapshot definitions) *)
+  | Analyze of { table : string option }
+      (** build per-column equi-depth histograms for one table (or all);
+          CREATE SNAPSHOT then plans from statistics instead of scanning *)
+  | Explain_snapshot of { snapshot : string }
+
+val pp_stmt : Format.formatter -> stmt -> unit
+
+val method_name : refresh_method -> string
+
+val agg_name : agg_fn -> string

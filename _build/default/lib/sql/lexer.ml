@@ -1,0 +1,132 @@
+type token =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string
+  | Symbol of string
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %s" s
+  | Int_lit i -> Format.fprintf ppf "integer %Ld" i
+  | Float_lit f -> Format.fprintf ppf "float %g" f
+  | String_lit s -> Format.fprintf ppf "string '%s'" s
+  | Keyword k -> Format.fprintf ppf "keyword %s" k
+  | Symbol s -> Format.fprintf ppf "symbol %s" s
+  | Eof -> Format.pp_print_string ppf "end of input"
+
+exception Lex_error of { pos : int; message : string }
+
+let keywords =
+  [
+    "CREATE"; "TABLE"; "SNAPSHOT"; "DROP"; "INSERT"; "INTO"; "VALUES"; "UPDATE";
+    "SET"; "DELETE"; "FROM"; "SELECT"; "WHERE"; "AS"; "REFRESH"; "SHOW"; "TABLES";
+    "SNAPSHOTS"; "EXPLAIN"; "AND"; "OR"; "NOT"; "NULL"; "IS"; "IN"; "BETWEEN";
+    "LIKE"; "TRUE"; "FALSE"; "INT"; "FLOAT"; "STRING"; "BOOL"; "ORDER"; "BY";
+    "ASC"; "DESC"; "LIMIT"; "FULL"; "DIFFERENTIAL"; "IDEAL"; "LOGBASED"; "AUTO";
+    "INDEX"; "ON"; "DUMP"; "GROUP"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ANALYZE";
+  ]
+
+let keyword_set =
+  let h = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace h k ()) keywords;
+  h
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let error pos fmt = Format.kasprintf (fun message -> raise (Lex_error { pos; message })) fmt
+
+let tokenize input =
+  let n = String.length input in
+  let out = ref [] in
+  let emit tok pos = out := (tok, pos) :: !out in
+  let i = ref 0 in
+  while !i < n do
+    let c = input.[!i] in
+    let start = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && input.[!i + 1] = '-' then begin
+      (* comment to end of line *)
+      while !i < n && input.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char input.[!j] do
+        incr j
+      done;
+      let word = String.sub input !i (!j - !i) in
+      let upper = String.uppercase_ascii word in
+      if Hashtbl.mem keyword_set upper then emit (Keyword upper) start
+      else emit (Ident word) start;
+      i := !j
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit input.[!j] do
+        incr j
+      done;
+      let is_float =
+        !j < n && input.[!j] = '.' && !j + 1 < n && is_digit input.[!j + 1]
+      in
+      if is_float then begin
+        incr j;
+        while !j < n && is_digit input.[!j] do
+          incr j
+        done;
+        let text = String.sub input !i (!j - !i) in
+        emit (Float_lit (float_of_string text)) start
+      end
+      else begin
+        let text = String.sub input !i (!j - !i) in
+        match Int64.of_string_opt text with
+        | Some v -> emit (Int_lit v) start
+        | None -> error start "integer literal out of range: %s" text
+      end;
+      i := !j
+    end
+    else if c = '\'' then begin
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if input.[!j] = '\'' then
+          if !j + 1 < n && input.[!j + 1] = '\'' then begin
+            Buffer.add_char buf '\'';
+            j := !j + 2
+          end
+          else begin
+            closed := true;
+            incr j
+          end
+        else begin
+          Buffer.add_char buf input.[!j];
+          incr j
+        end
+      done;
+      if not !closed then error start "unterminated string literal";
+      emit (String_lit (Buffer.contents buf)) start;
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub input !i 2 else "" in
+      match two with
+      | "<>" | "<=" | ">=" | "!=" ->
+        emit (Symbol (if two = "!=" then "<>" else two)) start;
+        i := !i + 2
+      | _ -> (
+        match c with
+        | '(' | ')' | ',' | ';' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | '.' ->
+          emit (Symbol (String.make 1 c)) start;
+          incr i
+        | _ -> error start "unexpected character %C" c)
+    end
+  done;
+  emit Eof n;
+  List.rev !out

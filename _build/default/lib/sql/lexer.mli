@@ -1,0 +1,25 @@
+(** Hand-written lexer for the mini-SQL dialect.
+
+    Keywords are case-insensitive; identifiers keep their spelling.
+    Strings use single quotes with [''] as the escaped quote.  [--]
+    comments run to end of line. *)
+
+type token =
+  | Ident of string
+  | Int_lit of int64
+  | Float_lit of float
+  | String_lit of string
+  | Keyword of string  (** uppercased *)
+  | Symbol of string  (** one of ( ) , ; * = <> < <= > >= + - / % . *)
+  | Eof
+
+val pp_token : Format.formatter -> token -> unit
+
+exception Lex_error of { pos : int; message : string }
+
+val tokenize : string -> (token * int) list
+(** Token stream with starting offsets, ending with [Eof].  Raises
+    {!Lex_error}. *)
+
+val keywords : string list
+(** Every word treated as a keyword (everything else is an identifier). *)

@@ -1,0 +1,433 @@
+open Snapdiff_storage
+module Expr = Snapdiff_expr.Expr
+
+exception Parse_error of { pos : int; message : string }
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+}
+
+let error pos fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+let peek st =
+  match st.toks with
+  | (tok, pos) :: _ -> (tok, pos)
+  | [] -> (Lexer.Eof, 0)
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let next st =
+  let tok, pos = peek st in
+  advance st;
+  (tok, pos)
+
+let expect_keyword st kw =
+  match next st with
+  | Lexer.Keyword k, _ when k = kw -> ()
+  | tok, pos -> error pos "expected %s, found %a" kw Lexer.pp_token tok
+
+let expect_symbol st sym =
+  match next st with
+  | Lexer.Symbol s, _ when s = sym -> ()
+  | tok, pos -> error pos "expected '%s', found %a" sym Lexer.pp_token tok
+
+let accept_keyword st kw =
+  match peek st with
+  | Lexer.Keyword k, _ when k = kw ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_symbol st sym =
+  match peek st with
+  | Lexer.Symbol s, _ when s = sym ->
+    advance st;
+    true
+  | _ -> false
+
+let ident st =
+  match next st with
+  | Lexer.Ident name, _ -> name
+  | tok, pos -> error pos "expected an identifier, found %a" Lexer.pp_token tok
+
+let comma_separated st f =
+  let first = f st in
+  let rec more acc = if accept_symbol st "," then more (f st :: acc) else List.rev acc in
+  more [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let literal st =
+  match next st with
+  | Lexer.Int_lit i, _ -> Value.Int i
+  | Lexer.Float_lit f, _ -> Value.Float f
+  | Lexer.String_lit s, _ -> Value.Str s
+  | Lexer.Keyword "NULL", _ -> Value.Null
+  | Lexer.Keyword "TRUE", _ -> Value.Bool true
+  | Lexer.Keyword "FALSE", _ -> Value.Bool false
+  | Lexer.Symbol "-", _ -> (
+    match next st with
+    | Lexer.Int_lit i, _ -> Value.Int (Int64.neg i)
+    | Lexer.Float_lit f, _ -> Value.Float (-.f)
+    | tok, pos -> error pos "expected a number after '-', found %a" Lexer.pp_token tok)
+  | tok, pos -> error pos "expected a literal, found %a" Lexer.pp_token tok
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let left = and_expr st in
+  if accept_keyword st "OR" then Expr.Or (left, or_expr st) else left
+
+and and_expr st =
+  let left = not_expr st in
+  if accept_keyword st "AND" then Expr.And (left, and_expr st) else left
+
+and not_expr st =
+  if accept_keyword st "NOT" then Expr.Not (not_expr st) else predicate st
+
+and predicate st =
+  let left = additive st in
+  match peek st with
+  | Lexer.Symbol "=", _ ->
+    advance st;
+    Expr.Cmp (Expr.Eq, left, additive st)
+  | Lexer.Symbol "<>", _ ->
+    advance st;
+    Expr.Cmp (Expr.Neq, left, additive st)
+  | Lexer.Symbol "<", _ ->
+    advance st;
+    Expr.Cmp (Expr.Lt, left, additive st)
+  | Lexer.Symbol "<=", _ ->
+    advance st;
+    Expr.Cmp (Expr.Le, left, additive st)
+  | Lexer.Symbol ">", _ ->
+    advance st;
+    Expr.Cmp (Expr.Gt, left, additive st)
+  | Lexer.Symbol ">=", _ ->
+    advance st;
+    Expr.Cmp (Expr.Ge, left, additive st)
+  | Lexer.Keyword "IS", _ ->
+    advance st;
+    let negated = accept_keyword st "NOT" in
+    expect_keyword st "NULL";
+    let e = Expr.Is_null left in
+    if negated then Expr.Not e else e
+  | Lexer.Keyword "IN", _ ->
+    advance st;
+    expect_symbol st "(";
+    let vs = comma_separated st literal in
+    expect_symbol st ")";
+    Expr.In_list (left, vs)
+  | Lexer.Keyword "BETWEEN", _ ->
+    advance st;
+    let lo = additive st in
+    expect_keyword st "AND";
+    let hi = additive st in
+    Expr.Between (left, lo, hi)
+  | Lexer.Keyword "LIKE", _ -> (
+    advance st;
+    match next st with
+    | Lexer.String_lit pat, _ -> Expr.Like (left, pat)
+    | tok, pos -> error pos "expected a pattern string after LIKE, found %a" Lexer.pp_token tok)
+  | Lexer.Keyword "NOT", _ -> (
+    advance st;
+    (* x NOT IN / NOT BETWEEN / NOT LIKE *)
+    match peek st with
+    | Lexer.Keyword "IN", _ ->
+      advance st;
+      expect_symbol st "(";
+      let vs = comma_separated st literal in
+      expect_symbol st ")";
+      Expr.Not (Expr.In_list (left, vs))
+    | Lexer.Keyword "BETWEEN", _ ->
+      advance st;
+      let lo = additive st in
+      expect_keyword st "AND";
+      let hi = additive st in
+      Expr.Not (Expr.Between (left, lo, hi))
+    | Lexer.Keyword "LIKE", _ -> (
+      advance st;
+      match next st with
+      | Lexer.String_lit pat, _ -> Expr.Not (Expr.Like (left, pat))
+      | tok, pos -> error pos "expected a pattern string, found %a" Lexer.pp_token tok)
+    | tok, pos -> error pos "expected IN, BETWEEN or LIKE after NOT, found %a" Lexer.pp_token tok)
+  | _ -> left
+
+and additive st =
+  let rec go left =
+    if accept_symbol st "+" then go (Expr.Arith (Expr.Add, left, multiplicative st))
+    else if accept_symbol st "-" then go (Expr.Arith (Expr.Sub, left, multiplicative st))
+    else left
+  in
+  go (multiplicative st)
+
+and multiplicative st =
+  let rec go left =
+    if accept_symbol st "*" then go (Expr.Arith (Expr.Mul, left, unary st))
+    else if accept_symbol st "/" then go (Expr.Arith (Expr.Div, left, unary st))
+    else if accept_symbol st "%" then go (Expr.Arith (Expr.Mod, left, unary st))
+    else left
+  in
+  go (unary st)
+
+and unary st =
+  if accept_symbol st "-" then Expr.Neg (unary st) else primary st
+
+and primary st =
+  match peek st with
+  | Lexer.Symbol "(", _ ->
+    advance st;
+    let e = expr st in
+    expect_symbol st ")";
+    e
+  | Lexer.Ident name, _ ->
+    advance st;
+    let name = if accept_symbol st "." then name ^ "." ^ ident st else name in
+    Expr.Col name
+  | Lexer.Int_lit i, _ ->
+    advance st;
+    Expr.Const (Value.Int i)
+  | Lexer.Float_lit f, _ ->
+    advance st;
+    Expr.Const (Value.Float f)
+  | Lexer.String_lit s, _ ->
+    advance st;
+    Expr.Const (Value.Str s)
+  | Lexer.Keyword "NULL", _ ->
+    advance st;
+    Expr.Const Value.Null
+  | Lexer.Keyword "TRUE", _ ->
+    advance st;
+    Expr.Const (Value.Bool true)
+  | Lexer.Keyword "FALSE", _ ->
+    advance st;
+    Expr.Const (Value.Bool false)
+  | tok, pos -> error pos "expected an expression, found %a" Lexer.pp_token tok
+
+(* ------------------------------------------------------------------ *)
+(* Statements *)
+
+let column_type st =
+  match next st with
+  | Lexer.Keyword "INT", _ -> Value.Tint
+  | Lexer.Keyword "FLOAT", _ -> Value.Tfloat
+  | Lexer.Keyword "STRING", _ -> Value.Tstring
+  | Lexer.Keyword "BOOL", _ -> Value.Tbool
+  | tok, pos -> error pos "expected a column type, found %a" Lexer.pp_token tok
+
+let column_def st =
+  let name = ident st in
+  let ty = column_type st in
+  let nullable =
+    if accept_keyword st "NOT" then begin
+      expect_keyword st "NULL";
+      false
+    end
+    else true
+  in
+  Schema.col ~nullable name ty
+
+let where_clause st = if accept_keyword st "WHERE" then Some (expr st) else None
+
+(* Column references may be qualified: name or table.name. *)
+let qualified_ident st =
+  let first = ident st in
+  if accept_symbol st "." then first ^ "." ^ ident st else first
+
+let agg_fn st =
+  match peek st with
+  | Lexer.Keyword "COUNT", _ -> advance st; Some Ast.Count
+  | Lexer.Keyword "SUM", _ -> advance st; Some Ast.Sum
+  | Lexer.Keyword "AVG", _ -> advance st; Some Ast.Avg
+  | Lexer.Keyword "MIN", _ -> advance st; Some Ast.Min
+  | Lexer.Keyword "MAX", _ -> advance st; Some Ast.Max
+  | _ -> None
+
+let select_item st =
+  match agg_fn st with
+  | Some fn ->
+    expect_symbol st "(";
+    let arg = if accept_symbol st "*" then None else Some (qualified_ident st) in
+    expect_symbol st ")";
+    Ast.Agg_item (fn, arg)
+  | None -> Ast.Col_item (qualified_ident st)
+
+let select_columns st =
+  if accept_symbol st "*" then Ast.Star
+  else Ast.Items (comma_separated st select_item)
+
+let select_body st =
+  let columns = select_columns st in
+  expect_keyword st "FROM";
+  let tables = comma_separated st ident in
+  let where = where_clause st in
+  (columns, tables, where)
+
+let refresh_method st =
+  if accept_keyword st "REFRESH" then begin
+    match next st with
+    | Lexer.Keyword "AUTO", _ -> Ast.Auto
+    | Lexer.Keyword "FULL", _ -> Ast.Full
+    | Lexer.Keyword "DIFFERENTIAL", _ -> Ast.Differential
+    | Lexer.Keyword "IDEAL", _ -> Ast.Ideal
+    | Lexer.Keyword "LOGBASED", _ -> Ast.Log_based
+    | tok, pos -> error pos "expected a refresh method, found %a" Lexer.pp_token tok
+  end
+  else Ast.Auto
+
+let statement st =
+  match next st with
+  | Lexer.Keyword "CREATE", pos -> (
+    match next st with
+    | Lexer.Keyword "TABLE", _ ->
+      let table = ident st in
+      expect_symbol st "(";
+      let columns = comma_separated st column_def in
+      expect_symbol st ")";
+      Ast.Create_table { table; columns }
+    | Lexer.Keyword "SNAPSHOT", _ ->
+      let snapshot = ident st in
+      expect_keyword st "AS";
+      expect_keyword st "SELECT";
+      let columns, bases, where = select_body st in
+      let method_ = refresh_method st in
+      Ast.Create_snapshot { snapshot; bases; columns; where; method_ }
+    | Lexer.Keyword "INDEX", _ ->
+      expect_keyword st "ON";
+      let target = ident st in
+      expect_symbol st "(";
+      let column = qualified_ident st in
+      expect_symbol st ")";
+      Ast.Create_index { target; column }
+    | tok, pos' ->
+      ignore pos;
+      error pos' "expected TABLE or SNAPSHOT after CREATE, found %a" Lexer.pp_token tok)
+  | Lexer.Keyword "DROP", _ -> (
+    match next st with
+    | Lexer.Keyword "TABLE", _ -> Ast.Drop_table { table = ident st }
+    | Lexer.Keyword "SNAPSHOT", _ -> Ast.Drop_snapshot { snapshot = ident st }
+    | tok, pos -> error pos "expected TABLE or SNAPSHOT after DROP, found %a" Lexer.pp_token tok)
+  | Lexer.Keyword "INSERT", _ ->
+    expect_keyword st "INTO";
+    let table = ident st in
+    let columns =
+      if accept_symbol st "(" then begin
+        let cs = comma_separated st ident in
+        expect_symbol st ")";
+        Some cs
+      end
+      else None
+    in
+    expect_keyword st "VALUES";
+    let row st =
+      expect_symbol st "(";
+      let vs = comma_separated st literal in
+      expect_symbol st ")";
+      vs
+    in
+    let rows = comma_separated st row in
+    Ast.Insert { table; columns; rows }
+  | Lexer.Keyword "UPDATE", _ ->
+    let table = ident st in
+    expect_keyword st "SET";
+    let assignment st =
+      let col = ident st in
+      expect_symbol st "=";
+      (col, expr st)
+    in
+    let assignments = comma_separated st assignment in
+    let where = where_clause st in
+    Ast.Update { table; assignments; where }
+  | Lexer.Keyword "DELETE", _ ->
+    expect_keyword st "FROM";
+    let table = ident st in
+    let where = where_clause st in
+    Ast.Delete { table; where }
+  | Lexer.Keyword "SELECT", _ ->
+    let columns, tables, where = select_body st in
+    let group_by =
+      if accept_keyword st "GROUP" then begin
+        expect_keyword st "BY";
+        comma_separated st qualified_ident
+      end
+      else []
+    in
+    let order_by =
+      if accept_keyword st "ORDER" then begin
+        expect_keyword st "BY";
+        let column = qualified_ident st in
+        let descending =
+          if accept_keyword st "DESC" then true
+          else begin
+            ignore (accept_keyword st "ASC" : bool);
+            false
+          end
+        in
+        Some { Ast.column; descending }
+      end
+      else None
+    in
+    let limit =
+      if accept_keyword st "LIMIT" then begin
+        match next st with
+        | Lexer.Int_lit k, _ when k >= 0L -> Some (Int64.to_int k)
+        | tok, pos -> error pos "expected a row count after LIMIT, found %a" Lexer.pp_token tok
+      end
+      else None
+    in
+    Ast.Select { tables; columns; where; group_by; order_by; limit }
+  | Lexer.Keyword "REFRESH", _ ->
+    expect_keyword st "SNAPSHOT";
+    Ast.Refresh_snapshot { snapshot = ident st }
+  | Lexer.Keyword "SHOW", _ -> (
+    match next st with
+    | Lexer.Keyword "TABLES", _ -> Ast.Show_tables
+    | Lexer.Keyword "SNAPSHOTS", _ -> Ast.Show_snapshots
+    | tok, pos -> error pos "expected TABLES or SNAPSHOTS, found %a" Lexer.pp_token tok)
+  | Lexer.Keyword "DUMP", _ -> Ast.Dump
+  | Lexer.Keyword "ANALYZE", _ ->
+    let table =
+      match peek st with
+      | Lexer.Ident _, _ -> Some (ident st)
+      | _ -> None
+    in
+    Ast.Analyze { table }
+  | Lexer.Keyword "EXPLAIN", _ ->
+    expect_keyword st "SNAPSHOT";
+    Ast.Explain_snapshot { snapshot = ident st }
+  | tok, pos -> error pos "expected a statement, found %a" Lexer.pp_token tok
+
+let parse input =
+  let st = { toks = Lexer.tokenize input } in
+  let rec go acc =
+    match peek st with
+    | Lexer.Eof, _ -> List.rev acc
+    | Lexer.Symbol ";", _ ->
+      advance st;
+      go acc
+    | _ ->
+      let s = statement st in
+      (match peek st with
+      | Lexer.Symbol ";", _ | Lexer.Eof, _ -> ()
+      | tok, pos -> error pos "expected ';' or end of input, found %a" Lexer.pp_token tok);
+      go (s :: acc)
+  in
+  go []
+
+let parse_one input =
+  match parse input with
+  | [ s ] -> s
+  | [] -> raise (Parse_error { pos = 0; message = "empty input" })
+  | _ -> raise (Parse_error { pos = 0; message = "expected exactly one statement" })
+
+let parse_expr input =
+  let st = { toks = Lexer.tokenize input } in
+  let e = expr st in
+  match peek st with
+  | Lexer.Eof, _ -> e
+  | tok, pos -> error pos "trailing input after expression: %a" Lexer.pp_token tok

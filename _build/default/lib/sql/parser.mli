@@ -1,0 +1,41 @@
+(** Recursive-descent parser for the mini-SQL dialect.
+
+    Statement grammar (case-insensitive keywords):
+
+    {v
+    CREATE TABLE t (col TYPE [NOT NULL], ...)
+    DROP TABLE t
+    INSERT INTO t [(col, ...)] VALUES (lit, ...) [, (lit, ...)]*
+    UPDATE t SET col = expr [, col = expr]* [WHERE pred]
+    DELETE FROM t [WHERE pred]
+    SELECT * | item [, item]* FROM t [, t2]* [WHERE pred]
+        [GROUP BY col [, col]*] [ORDER BY col [ASC|DESC]] [LIMIT n]
+      where item := col | COUNT( * ) | COUNT(col) | SUM(col) | AVG(col)
+                  | MIN(col) | MAX(col)
+      (columns may be qualified as table.col in multi-table queries)
+    CREATE SNAPSHOT s AS SELECT * | col,... FROM t [, t2]* [WHERE pred]
+        [REFRESH AUTO|FULL|DIFFERENTIAL|IDEAL|LOGBASED]
+    CREATE INDEX ON s (col)
+    ANALYZE [t]
+    DUMP
+    REFRESH SNAPSHOT s
+    DROP SNAPSHOT s
+    SHOW TABLES | SHOW SNAPSHOTS
+    EXPLAIN SNAPSHOT s
+    v}
+
+    Expressions support AND/OR/NOT, comparisons, [IS \[NOT\] NULL],
+    [\[NOT\] IN (...)], [\[NOT\] BETWEEN .. AND ..], [\[NOT\] LIKE '...'],
+    arithmetic with standard precedence, and parentheses. *)
+
+exception Parse_error of { pos : int; message : string }
+
+val parse : string -> Ast.stmt list
+(** Parse a ';'-separated script.  Raises {!Parse_error} or
+    {!Lexer.Lex_error}. *)
+
+val parse_one : string -> Ast.stmt
+(** Parse exactly one statement. *)
+
+val parse_expr : string -> Snapdiff_expr.Expr.t
+(** Parse a standalone predicate/expression (used by tests and the CLI). *)

@@ -1,0 +1,1 @@
+lib/storage/addr.mli: Format

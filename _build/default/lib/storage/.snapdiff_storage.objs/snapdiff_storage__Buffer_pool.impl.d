@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Fun Hashtbl Page Page_store Queue

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Addr Buffer_pool Bytes Hashtbl List Page Page_store Printf Schema Tuple

@@ -1,0 +1,1 @@
+lib/storage/tuple.ml: Array Buffer Bytes Char Format List Schema Value

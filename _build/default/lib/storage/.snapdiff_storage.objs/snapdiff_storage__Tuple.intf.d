@@ -1,0 +1,1 @@
+lib/storage/tuple.mli: Buffer Format Schema Value

@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Buffer Bytes Char Float Format Int Int64 String

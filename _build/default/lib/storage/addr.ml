@@ -1,0 +1,21 @@
+type t = int
+
+let slot_bits = 16
+let max_slot = (1 lsl slot_bits) - 1
+
+let zero = 0
+
+let make ~page ~slot =
+  if page < 1 then invalid_arg "Addr.make: page must be >= 1";
+  if slot < 0 || slot > max_slot then invalid_arg "Addr.make: bad slot";
+  (page lsl slot_bits) lor slot
+
+let page t = t lsr slot_bits
+let slot t = t land max_slot
+
+let compare = Int.compare
+let equal = Int.equal
+
+let pp ppf t = Format.fprintf ppf "%d.%d" (page t) (slot t)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,33 @@
+(** Base-table entry addresses.
+
+    The refresh algorithm requires that every entry has an address, that
+    addresses are totally ordered, and that an address-order scan of the
+    table is possible.  Here an address packs a (page, slot) record id into
+    a positive integer, so address order is exactly heap scan order (pages
+    ascending, slots ascending within a page).
+
+    Address [0] is reserved: the paper uses it as the "beginning of table"
+    sentinel ([LastQual = 0], [ExpectPrev = 0]).  Data pages are numbered
+    from 1, so no real entry has address 0. *)
+
+type t = int
+
+val zero : t
+(** The beginning-of-table sentinel. *)
+
+val make : page:int -> slot:int -> t
+(** Raises [Invalid_argument] if [page < 1], [slot < 0], or [slot] exceeds
+    {!max_slot}. *)
+
+val page : t -> int
+val slot : t -> int
+
+val max_slot : int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [page.slot]. *)
+
+val to_string : t -> string

@@ -1,0 +1,147 @@
+type policy = Lru | Second_chance
+
+type frame = {
+  page_no : int;
+  page : Page.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_used : int;  (* logical tick for LRU *)
+  mutable referenced : bool;  (* second-chance bit *)
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+type t = {
+  store : Page_store.t;
+  capacity : int;
+  policy : policy;
+  frames : (int, frame) Hashtbl.t;  (* page_no -> frame *)
+  clock_ring : int Queue.t;  (* page numbers, second-chance order *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable writebacks : int;
+}
+
+let create ?(frames = 128) ?(policy = Lru) store =
+  if frames < 1 then invalid_arg "Buffer_pool.create: need at least one frame";
+  {
+    store;
+    capacity = frames;
+    policy;
+    frames = Hashtbl.create (2 * frames);
+    clock_ring = Queue.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    writebacks = 0;
+  }
+
+let store t = t.store
+
+let writeback t frame =
+  if frame.dirty then begin
+    Page_store.write t.store frame.page_no (Page.bytes frame.page);
+    frame.dirty <- false;
+    t.writebacks <- t.writebacks + 1
+  end
+
+let evict_lru t =
+  (* Choose the least-recently-used unpinned frame. *)
+  let victim =
+    Hashtbl.fold
+      (fun _ f best ->
+        if f.pins > 0 then best
+        else
+          match best with
+          | None -> Some f
+          | Some b -> if f.last_used < b.last_used then Some f else best)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned"
+  | Some f ->
+    writeback t f;
+    Hashtbl.remove t.frames f.page_no;
+    t.evictions <- t.evictions + 1
+
+let evict_second_chance t =
+  (* Sweep the ring: a referenced or pinned frame gets a second chance. *)
+  let budget = ref (2 * (Queue.length t.clock_ring + 1)) in
+  let rec sweep () =
+    if Queue.is_empty t.clock_ring || !budget <= 0 then
+      failwith "Buffer_pool: all frames pinned"
+    else begin
+      decr budget;
+      let page_no = Queue.pop t.clock_ring in
+      match Hashtbl.find_opt t.frames page_no with
+      | None -> sweep ()  (* stale ring entry *)
+      | Some f ->
+        if f.pins > 0 || f.referenced then begin
+          f.referenced <- false;
+          Queue.add page_no t.clock_ring;
+          sweep ()
+        end
+        else begin
+          writeback t f;
+          Hashtbl.remove t.frames page_no;
+          t.evictions <- t.evictions + 1
+        end
+    end
+  in
+  sweep ()
+
+let evict_one t =
+  match t.policy with Lru -> evict_lru t | Second_chance -> evict_second_chance t
+
+let get_frame t n =
+  match Hashtbl.find_opt t.frames n with
+  | Some f ->
+    t.hits <- t.hits + 1;
+    f
+  | None ->
+    t.misses <- t.misses + 1;
+    if Hashtbl.length t.frames >= t.capacity then evict_one t;
+    let image = Page_store.read t.store n in
+    let f =
+      { page_no = n; page = Page.of_bytes image; dirty = false; pins = 0; last_used = 0;
+        referenced = false }
+    in
+    Hashtbl.replace t.frames n f;
+    if t.policy = Second_chance then Queue.add n t.clock_ring;
+    f
+
+let with_page t n f =
+  let frame = get_frame t n in
+  frame.pins <- frame.pins + 1;
+  t.tick <- t.tick + 1;
+  frame.last_used <- t.tick;
+  frame.referenced <- true;
+  Fun.protect
+    ~finally:(fun () -> frame.pins <- frame.pins - 1)
+    (fun () ->
+      let status, result = f frame.page in
+      (match status with `Dirty -> frame.dirty <- true | `Clean -> ());
+      result)
+
+let allocate_page t = Page_store.allocate t.store
+
+let flush_all t = Hashtbl.iter (fun _ f -> writeback t f) t.frames
+
+let invalidate t =
+  Hashtbl.iter
+    (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.invalidate: pinned frame")
+    t.frames;
+  flush_all t;
+  Hashtbl.reset t.frames;
+  Queue.clear t.clock_ring
+
+let stats t =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions; writebacks = t.writebacks }

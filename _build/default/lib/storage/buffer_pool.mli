@@ -1,0 +1,43 @@
+(** Buffer pool: a fixed-capacity LRU cache of page frames over a
+    {!Page_store}.
+
+    Callers obtain a {!Page.t} view of a frame with {!with_page} (pin,
+    use, unpin) and mark it dirty if they modified it; dirty frames are
+    written back on eviction or {!flush_all}. *)
+
+type t
+
+type policy =
+  | Lru  (** exact least-recently-used (default) *)
+  | Second_chance  (** clock sweep with reference bits — cheaper bookkeeping *)
+
+val create : ?frames:int -> ?policy:policy -> Page_store.t -> t
+(** [frames] defaults to 128.  Raises [Invalid_argument] if [frames < 1]. *)
+
+val store : t -> Page_store.t
+
+val with_page : t -> int -> (Page.t -> [ `Clean | `Dirty ] * 'a) -> 'a
+(** [with_page t n f] pins page [n], applies [f] to its in-frame image, and
+    unpins.  If [f] returns [`Dirty] the frame is marked dirty.  Nested
+    [with_page] on distinct pages is allowed; re-entering the same page is
+    allowed and pins are counted.  Raises [Page_store.Bad_page] for an
+    unknown page and [Failure] if every frame is pinned. *)
+
+val allocate_page : t -> int
+(** Allocate a fresh page in the store and return its number. *)
+
+val flush_all : t -> unit
+(** Write back every dirty frame (frames stay cached). *)
+
+val invalidate : t -> unit
+(** Drop all frames (must be none pinned); dirty frames are flushed first.
+    Used by crash-recovery tests to simulate losing volatile state. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  writebacks : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,56 @@
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let add_u16 buf v =
+  add_u8 buf v;
+  add_u8 buf (v lsr 8)
+
+let add_u32 buf v =
+  add_u16 buf v;
+  add_u16 buf (v lsr 16)
+
+let add_i64 buf i =
+  for k = 0 to 7 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical i (8 * k)))
+  done
+
+let add_int buf i = add_i64 buf (Int64.of_int i)
+
+let add_string buf s =
+  add_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let add_tuple = Tuple.encode
+
+let need b off n = if off + n > Bytes.length b then failwith "Codec: truncated"
+
+let u8 b off =
+  need b off 1;
+  (Char.code (Bytes.get b off), off + 1)
+
+let u16 b off =
+  need b off 2;
+  (Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8), off + 2)
+
+let u32 b off =
+  let lo, off = u16 b off in
+  let hi, off = u16 b off in
+  (lo lor (hi lsl 16), off)
+
+let i64 b off =
+  need b off 8;
+  let acc = ref 0L in
+  for k = 7 downto 0 do
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (Char.code (Bytes.get b (off + k))))
+  done;
+  (!acc, off + 8)
+
+let int b off =
+  let v, off = i64 b off in
+  (Int64.to_int v, off)
+
+let string b off =
+  let len, off = u32 b off in
+  need b off len;
+  (Bytes.sub_string b off len, off + len)
+
+let tuple = Tuple.decode

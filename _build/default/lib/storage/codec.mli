@@ -1,0 +1,26 @@
+(** Little-endian binary encoding helpers shared by the WAL record format
+    and the network message format. *)
+
+val add_u8 : Buffer.t -> int -> unit
+val add_u16 : Buffer.t -> int -> unit
+val add_u32 : Buffer.t -> int -> unit
+val add_i64 : Buffer.t -> int64 -> unit
+
+val add_int : Buffer.t -> int -> unit
+(** OCaml int as i64. *)
+
+val add_string : Buffer.t -> string -> unit
+(** u32 length + bytes. *)
+
+val add_tuple : Buffer.t -> Tuple.t -> unit
+
+(** Readers take [bytes] and an offset and return the value with the offset
+    just past it; they raise [Failure _] on truncation. *)
+
+val u8 : bytes -> int -> int * int
+val u16 : bytes -> int -> int * int
+val u32 : bytes -> int -> int * int
+val i64 : bytes -> int -> int64 * int
+val int : bytes -> int -> int * int
+val string : bytes -> int -> string * int
+val tuple : bytes -> int -> Tuple.t * int

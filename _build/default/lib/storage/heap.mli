@@ -1,0 +1,72 @@
+(** Heap tables: schema-typed tuples in slotted pages behind a buffer pool.
+
+    Entry addresses are {!Addr.t} (page, slot) pairs; {!iter} visits live
+    entries in strictly increasing address order, which is the address-order
+    scan the refresh algorithms require.  Insertion is lowest-first-fit, so
+    freed addresses are naturally reused ("insert the entry into some empty
+    address of the base table").
+
+    The callback of {!iter} may [update] or [delete] the entry it is
+    currently visiting (the combined fix-up + refresh scan needs this); it
+    must not insert. *)
+
+type t
+
+val create : ?page_size:int -> ?frames:int -> ?fill_factor:float -> Schema.t -> t
+(** Fresh heap over a private in-memory store.  [fill_factor] (default
+    0.9) stops first-fit insertion from packing a page completely, keeping
+    headroom so in-place updates that grow a record (or annotation
+    stamping) do not overflow the page. *)
+
+val on_pool : ?fill_factor:float -> Buffer_pool.t -> Schema.t -> t
+(** Attach to an existing (possibly non-empty) store: page 0 is the header,
+    data pages follow; live entries are discovered by scanning.  A fresh
+    store is initialized. *)
+
+val schema : t -> Schema.t
+
+val pool : t -> Buffer_pool.t
+
+val count : t -> int
+(** Number of live entries. *)
+
+val data_pages : t -> int
+
+exception Tuple_error of string
+(** Raised when a tuple does not validate against the schema, or is too
+    large for a page. *)
+
+val insert : t -> Tuple.t -> Addr.t
+
+val insert_at : t -> Addr.t -> Tuple.t -> unit
+(** Place a tuple at an exact address (physical redo recovery), allocating
+    intervening pages if needed.  Raises [Tuple_error] if the address is
+    occupied or the record cannot fit in that page. *)
+
+val get : t -> Addr.t -> Tuple.t option
+
+val mem : t -> Addr.t -> bool
+
+val update : t -> Addr.t -> Tuple.t -> unit
+(** Replace the entry at [addr], keeping its address.  Raises [Not_found]
+    if there is no live entry there; [Tuple_error] if the new tuple cannot
+    fit in the entry's page. *)
+
+val delete : t -> Addr.t -> unit
+(** Raises [Not_found] if there is no live entry at [addr]. *)
+
+val iter : t -> (Addr.t -> Tuple.t -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> Addr.t -> Tuple.t -> 'a) -> 'a
+
+val to_list : t -> (Addr.t * Tuple.t) list
+(** In address order. *)
+
+val first_addr : t -> Addr.t option
+val last_addr : t -> Addr.t option
+
+val flush : t -> unit
+(** Flush the buffer pool to the store. *)
+
+val validate : t -> (unit, string) result
+(** Structural check of every data page plus tuple decodability. *)

@@ -1,0 +1,225 @@
+type t = { data : bytes; size : int }
+
+let min_page_size = 64
+let max_page_size = 32768
+
+let header_size = 4
+let slot_entry_size = 4
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let nslots t = get_u16 t.data 0
+let free_ptr t = get_u16 t.data 2
+let set_nslots t v = set_u16 t.data 0 v
+let set_free_ptr t v = set_u16 t.data 2 v
+
+let slot_off i = header_size + (slot_entry_size * i)
+let slot_offset t i = get_u16 t.data (slot_off i)
+let slot_length t i = get_u16 t.data (slot_off i + 2)
+
+let set_slot t i ~off ~len =
+  set_u16 t.data (slot_off i) off;
+  set_u16 t.data (slot_off i + 2) len
+
+let create ~page_size =
+  if page_size < min_page_size || page_size > max_page_size then
+    invalid_arg "Page.create: bad page size";
+  let t = { data = Bytes.make page_size '\000'; size = page_size } in
+  set_nslots t 0;
+  set_free_ptr t page_size;
+  t
+
+let page_size t = t.size
+
+let of_bytes data =
+  let t = { data; size = Bytes.length data } in
+  if t.size < min_page_size || t.size > max_page_size then
+    failwith "Page.of_bytes: bad page size";
+  (* A freshly-allocated page arrives zeroed: normalize it to a valid empty
+     page (free_ptr = page end). *)
+  if nslots t = 0 && free_ptr t = 0 then set_free_ptr t t.size;
+  let n = nslots t in
+  if header_size + (slot_entry_size * n) > free_ptr t || free_ptr t > t.size then
+    failwith "Page.of_bytes: corrupt header";
+  t
+
+let bytes t = t.data
+
+let slot_is_live t i = i >= 0 && i < nslots t && slot_offset t i <> 0
+
+let live_records t =
+  let n = ref 0 in
+  for i = 0 to nslots t - 1 do
+    if slot_offset t i <> 0 then incr n
+  done;
+  !n
+
+let dir_end t = header_size + (slot_entry_size * nslots t)
+
+let live_bytes t =
+  let total = ref 0 in
+  for i = 0 to nslots t - 1 do
+    if slot_offset t i <> 0 then total := !total + slot_length t i
+  done;
+  !total
+
+let first_empty_slot t =
+  let n = nslots t in
+  let rec go i = if i >= n then None else if slot_offset t i = 0 then Some i else go (i + 1) in
+  go 0
+
+let free_space_for_insert t =
+  let slack = t.size - dir_end t - live_bytes t in
+  let need_dir = match first_empty_slot t with Some _ -> 0 | None -> slot_entry_size in
+  max 0 (slack - need_dir)
+
+let compact t =
+  (* Copy live records, highest offset first, back to the end of the page. *)
+  let live =
+    let acc = ref [] in
+    for i = 0 to nslots t - 1 do
+      if slot_offset t i <> 0 then acc := (i, slot_offset t i, slot_length t i) :: !acc
+    done;
+    List.sort (fun (_, o1, _) (_, o2, _) -> Int.compare o2 o1) !acc
+  in
+  let ptr = ref t.size in
+  List.iter
+    (fun (i, off, len) ->
+      let record = Bytes.sub t.data off len in
+      ptr := !ptr - len;
+      Bytes.blit record 0 t.data !ptr len;
+      set_slot t i ~off:!ptr ~len)
+    live;
+  set_free_ptr t !ptr
+
+let contiguous_free t = free_ptr t - dir_end t
+
+let insert t record =
+  let len = Bytes.length record in
+  if len = 0 then invalid_arg "Page.insert: empty record";
+  if len > t.size - header_size - slot_entry_size then
+    invalid_arg "Page.insert: record larger than page capacity";
+  let slot, dir_need =
+    match first_empty_slot t with
+    | Some i -> (i, 0)
+    | None -> (nslots t, slot_entry_size)
+  in
+  if slot > 0xffff then None
+  else if t.size - dir_end t - live_bytes t - dir_need < len then None
+  else begin
+    if contiguous_free t - dir_need < len then compact t;
+    if dir_need > 0 then set_nslots t (nslots t + 1);
+    let off = free_ptr t - len in
+    Bytes.blit record 0 t.data off len;
+    set_free_ptr t off;
+    set_slot t slot ~off ~len;
+    Some slot
+  end
+
+let insert_at t slot record =
+  let len = Bytes.length record in
+  if len = 0 then invalid_arg "Page.insert_at: empty record";
+  if slot < 0 || slot > 0xffff then invalid_arg "Page.insert_at: bad slot";
+  if slot_is_live t slot then false
+  else begin
+    let extra_slots = max 0 (slot + 1 - nslots t) in
+    let dir_need = slot_entry_size * extra_slots in
+    if t.size - dir_end t - live_bytes t - dir_need < len then false
+    else begin
+      if contiguous_free t - dir_need < len then compact t;
+      if extra_slots > 0 then begin
+        (* New directory entries must be zeroed (empty). *)
+        for i = nslots t to slot do
+          set_slot t i ~off:0 ~len:0
+        done;
+        set_nslots t (slot + 1)
+      end;
+      let off = free_ptr t - len in
+      Bytes.blit record 0 t.data off len;
+      set_free_ptr t off;
+      set_slot t slot ~off ~len;
+      true
+    end
+  end
+
+let read t i =
+  if slot_is_live t i then Some (Bytes.sub t.data (slot_offset t i) (slot_length t i))
+  else None
+
+let delete t i =
+  if slot_is_live t i then begin
+    set_slot t i ~off:0 ~len:0;
+    true
+  end
+  else false
+
+let update t i record =
+  if not (slot_is_live t i) then false
+  else begin
+    let len = Bytes.length record in
+    if len = 0 then invalid_arg "Page.update: empty record";
+    let old_len = slot_length t i in
+    if len <= old_len then begin
+      (* Rewrite in place; the record shrinks at its original offset. *)
+      let off = slot_offset t i in
+      Bytes.blit record 0 t.data off len;
+      set_slot t i ~off ~len;
+      true
+    end
+    else begin
+      let slack = t.size - dir_end t - live_bytes t in
+      if slack < len - old_len then false
+      else begin
+        set_slot t i ~off:0 ~len:0;
+        if contiguous_free t < len then compact t;
+        let off = free_ptr t - len in
+        Bytes.blit record 0 t.data off len;
+        set_free_ptr t off;
+        set_slot t i ~off ~len;
+        true
+      end
+    end
+  end
+
+let iter_live t f =
+  for i = 0 to nslots t - 1 do
+    match read t i with Some r -> f i r | None -> ()
+  done
+
+let fold_live t ~init ~f =
+  let acc = ref init in
+  iter_live t (fun i r -> acc := f !acc i r);
+  !acc
+
+let validate t =
+  let n = nslots t in
+  let fp = free_ptr t in
+  if header_size + (slot_entry_size * n) > fp then Error "directory overlaps records"
+  else if fp > t.size then Error "free_ptr out of bounds"
+  else begin
+    let spans = ref [] in
+    let bad = ref None in
+    for i = 0 to n - 1 do
+      let off = slot_offset t i and len = slot_length t i in
+      if off <> 0 then begin
+        if off < fp || off + len > t.size then
+          bad := Some (Printf.sprintf "slot %d out of record area" i)
+        else spans := (off, len) :: !spans
+      end
+    done;
+    (match !bad with
+    | Some _ -> ()
+    | None ->
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) !spans in
+      let rec overlap = function
+        | (o1, l1) :: ((o2, _) :: _ as rest) ->
+          if o1 + l1 > o2 then bad := Some "overlapping records" else overlap rest
+        | _ -> ()
+      in
+      overlap sorted);
+    match !bad with None -> Ok () | Some e -> Error e
+  end

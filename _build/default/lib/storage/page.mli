@@ -1,0 +1,81 @@
+(** Slotted pages.
+
+    Classic layout over a fixed-size byte array:
+
+    {v
+    +--------+----------------------+--------······--------+
+    | header | slot directory ----> |  free  <---- records |
+    +--------+----------------------+--------······--------+
+    v}
+
+    The header is 4 bytes: [u16 nslots] and [u16 free_ptr] (offset of the
+    lowest used record byte; records are allocated downward from the page
+    end).  Each slot directory entry is 4 bytes: [u16 offset] (0 = empty
+    slot) and [u16 length].  Slot numbers are stable for the lifetime of
+    the page — deletion tombstones the slot, it may later be reused by an
+    insertion — which is what makes (page, slot) a usable {!Addr.t}.
+
+    Offsets are 16-bit, so [page_size] must be at most 65536. *)
+
+type t
+
+val min_page_size : int
+val max_page_size : int
+
+val create : page_size:int -> t
+(** A fresh, empty page.  Raises [Invalid_argument] on a bad size. *)
+
+val of_bytes : bytes -> t
+(** Adopt (not copy) an existing page image.  Raises [Failure] if the
+    header is structurally invalid. *)
+
+val bytes : t -> bytes
+(** The backing array (shared, not a copy). *)
+
+val page_size : t -> int
+
+val nslots : t -> int
+(** Size of the slot directory, including empty slots. *)
+
+val live_records : t -> int
+
+val slot_is_live : t -> int -> bool
+(** False for empty slots and out-of-range slot numbers. *)
+
+val free_space_for_insert : t -> int
+(** Length of the largest record currently insertable (accounting for a new
+    directory entry if no empty slot is available, and assuming compaction). *)
+
+val insert : t -> bytes -> int option
+(** [insert t record] places the record in the lowest-numbered empty slot
+    (or a fresh slot) and returns the slot number, or [None] if it cannot
+    fit even after compaction.  Raises [Invalid_argument] on an empty
+    record or one longer than the page can ever hold. *)
+
+val insert_at : t -> int -> bytes -> bool
+(** [insert_at t slot record] places the record in exactly [slot] (used by
+    physical redo recovery to restore a record at its original rid),
+    extending the slot directory with empty slots if needed.  Returns
+    [false] if the slot is live or the record cannot fit. *)
+
+val read : t -> int -> bytes option
+(** Copy of the record in the slot; [None] if empty or out of range. *)
+
+val delete : t -> int -> bool
+(** Tombstone the slot.  Returns whether it was live. *)
+
+val update : t -> int -> bytes -> bool
+(** Replace the record in a live slot, compacting if needed; the slot number
+    is preserved.  Returns [false] (leaving the page unchanged) if the slot
+    is not live or the new record cannot fit. *)
+
+val iter_live : t -> (int -> bytes -> unit) -> unit
+(** Live slots in ascending slot order. *)
+
+val fold_live : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
+
+val compact : t -> unit
+(** Defragment the record area.  Slot numbers and contents are unchanged. *)
+
+val validate : t -> (unit, string) result
+(** Structural integrity check (offsets in bounds, no overlaps). *)

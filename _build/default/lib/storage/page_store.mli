@@ -1,0 +1,44 @@
+(** Page stores: the "disk".
+
+    A page store holds numbered fixed-size pages.  Two implementations are
+    provided: an in-memory store (the default for simulation — the paper's
+    evaluation metric is message traffic, not I/O) and a Unix-file-backed
+    store for durability tests together with the WAL. *)
+
+type t
+
+exception Bad_page of int
+
+val page_size : t -> int
+
+val page_count : t -> int
+(** Pages are numbered [0 .. page_count - 1].  Page 0 is conventionally a
+    header page owned by the structure stored in the file (heap, log...). *)
+
+val read : t -> int -> bytes
+(** A copy of the page image.  Raises [Bad_page] if out of range. *)
+
+val write : t -> int -> bytes -> unit
+(** Raises [Bad_page] if out of range, [Invalid_argument] on a wrong-size
+    image. *)
+
+val allocate : t -> int
+(** Append a zeroed page; returns its number. *)
+
+val sync : t -> unit
+(** Force to stable storage (no-op for the memory store). *)
+
+val close : t -> unit
+
+val reads_performed : t -> int
+val writes_performed : t -> int
+(** I/O counters for cost accounting in benchmarks. *)
+
+val in_memory : ?page_size:int -> unit -> t
+(** Fresh empty memory store ([page_size] defaults to 4096). *)
+
+val open_file : ?page_size:int -> string -> t
+(** Open or create a file-backed store.  If the file exists its recorded
+    page size must match [page_size] when both are given; an existing
+    store's page size wins otherwise.  Raises [Failure] on a corrupt or
+    mismatched file. *)

@@ -1,0 +1,56 @@
+(** Table schemas: ordered, named, typed, nullable columns.
+
+    The differential refresh machinery extends user schemas with two hidden
+    "funny"-named columns (like the R* implementation the paper describes);
+    {!is_hidden} lets front ends filter them out of [SELECT *]. *)
+
+type column = {
+  name : string;
+  ty : Value.ty;
+  nullable : bool;
+}
+
+type t
+
+val make : column list -> t
+(** Raises [Invalid_argument] on duplicate column names (case-insensitive)
+    or an empty column list. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val column : t -> int -> column
+(** Raises [Invalid_argument] if out of bounds. *)
+
+val index_of : t -> string -> int option
+(** Case-insensitive lookup. *)
+
+val index_of_exn : t -> string -> int
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+
+val extend : t -> column list -> t
+(** Append columns; same duplicate rules as {!make}. *)
+
+val project : t -> string list -> t
+(** Schema of the named columns, in the given order.  Raises [Not_found] on
+    an unknown name. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val hidden_prefix : string
+(** ["__"] — columns whose name starts with this are system columns. *)
+
+val is_hidden : column -> bool
+
+val visible_columns : t -> column list
+
+val col : ?nullable:bool -> string -> Value.ty -> column
+(** Constructor helper; [nullable] defaults to [true]. *)
+
+val validate_tuple : t -> Value.t array -> (unit, string) result
+(** Checks arity, types, and NULLs against nullability. *)

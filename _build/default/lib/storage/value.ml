@@ -1,0 +1,140 @@
+type ty = Tint | Tfloat | Tstring | Tbool
+
+type t =
+  | Null
+  | Int of int64
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+let type_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstring
+  | Bool _ -> Some Tbool
+
+let ty_name = function
+  | Tint -> "INT"
+  | Tfloat -> "FLOAT"
+  | Tstring -> "STRING"
+  | Tbool -> "BOOL"
+
+let has_type v ty =
+  match type_of v with None -> true | Some ty' -> ty = ty'
+
+let is_null = function Null -> true | _ -> false
+
+let type_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Float _ -> 3
+  | Str _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int64.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Int.compare (type_rank a) (type_rank b)
+
+let equal a b = compare a b = 0
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "NULL"
+  | Int i -> Format.fprintf ppf "%Ld" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s ->
+    (* SQL-style quoting with '' escaping, so printed literals re-parse. *)
+    Format.fprintf ppf "'%s'" (String.concat "''" (String.split_on_char '\'' s))
+  | Bool b -> Format.pp_print_string ppf (if b then "TRUE" else "FALSE")
+
+let to_string v = Format.asprintf "%a" pp v
+
+let int i = Int (Int64.of_int i)
+let str s = Str s
+
+(* Codec tags. *)
+let tag_null = '\000'
+let tag_int = '\001'
+let tag_float = '\002'
+let tag_str = '\003'
+let tag_bool = '\004'
+
+let encoded_size = function
+  | Null -> 1
+  | Int _ -> 9
+  | Float _ -> 9
+  | Bool _ -> 2
+  | Str s -> 5 + String.length s
+
+let add_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+let add_i64 buf i =
+  for k = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical i (8 * k)) 0xffL)))
+  done
+
+let encode buf v =
+  match v with
+  | Null -> Buffer.add_char buf tag_null
+  | Int i ->
+    Buffer.add_char buf tag_int;
+    add_i64 buf i
+  | Float f ->
+    Buffer.add_char buf tag_float;
+    add_i64 buf (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_char buf tag_str;
+    add_u32 buf (String.length s);
+    Buffer.add_string buf s
+  | Bool b ->
+    Buffer.add_char buf tag_bool;
+    Buffer.add_char buf (if b then '\001' else '\000')
+
+let need b off n =
+  if off + n > Bytes.length b then failwith "Value.decode: truncated"
+
+let get_u32 b off =
+  need b off 4;
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let get_i64 b off =
+  need b off 8;
+  let acc = ref 0L in
+  for k = 7 downto 0 do
+    acc :=
+      Int64.logor
+        (Int64.shift_left !acc 8)
+        (Int64.of_int (Char.code (Bytes.get b (off + k))))
+  done;
+  !acc
+
+let decode b off =
+  need b off 1;
+  let tag = Bytes.get b off in
+  let off = off + 1 in
+  if tag = tag_null then (Null, off)
+  else if tag = tag_int then (Int (get_i64 b off), off + 8)
+  else if tag = tag_float then (Float (Int64.float_of_bits (get_i64 b off)), off + 8)
+  else if tag = tag_str then begin
+    let len = get_u32 b off in
+    need b (off + 4) len;
+    (Str (Bytes.sub_string b (off + 4) len), off + 4 + len)
+  end
+  else if tag = tag_bool then begin
+    need b off 1;
+    (Bool (Bytes.get b off <> '\000'), off + 1)
+  end
+  else failwith "Value.decode: bad tag"

@@ -1,0 +1,1 @@
+lib/txn/lock.ml: Format Hashtbl Int List Snapdiff_storage

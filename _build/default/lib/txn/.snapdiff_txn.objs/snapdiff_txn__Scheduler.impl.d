@@ -1,0 +1,1 @@
+lib/txn/scheduler.ml: Format List Lock Txn

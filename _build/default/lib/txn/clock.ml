@@ -1,0 +1,18 @@
+type ts = int
+
+type t = { mutable current : ts }
+
+let never = 0
+
+let create ?(start = never) () = { current = start }
+
+let now t = t.current
+
+let tick t =
+  t.current <- t.current + 1;
+  t.current
+
+let advance_to t ts = if ts > t.current then t.current <- ts
+
+let pp_ts ppf ts =
+  if ts = never then Format.pp_print_string ppf "-∞" else Format.pp_print_int ppf ts

@@ -1,0 +1,242 @@
+type mode = IS | IX | S | SIX | X
+
+let mode_name = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | X -> "X"
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _ -> false
+
+let rank = function IS -> 0 | IX -> 1 | S -> 2 | SIX -> 3 | X -> 4
+
+let supremum a b =
+  match (a, b) with
+  | x, y when x = y -> x
+  | (IS, m) | (m, IS) -> m
+  | (IX, S) | (S, IX) | (IX, SIX) | (SIX, IX) | (S, SIX) | (SIX, S) -> SIX
+  | (X, _) | (_, X) -> X
+  | _ -> if rank a >= rank b then a else b
+
+let covers held wanted =
+  supremum held wanted = held
+
+type resource =
+  | Table of string
+  | Entry of string * Snapdiff_storage.Addr.t
+
+let pp_resource ppf = function
+  | Table t -> Format.fprintf ppf "table:%s" t
+  | Entry (t, a) -> Format.fprintf ppf "entry:%s/%a" t Snapdiff_storage.Addr.pp a
+
+type txn_id = int
+
+type request = { txn : txn_id; mode : mode }
+
+type t = {
+  granted : (resource, (txn_id, mode) Hashtbl.t) Hashtbl.t;
+  queues : (resource, request list ref) Hashtbl.t;  (* FIFO: head first *)
+  held : (txn_id, (resource, unit) Hashtbl.t) Hashtbl.t;
+  waits : (txn_id, resource) Hashtbl.t;  (* queued requests, possibly several *)
+}
+
+let create () =
+  {
+    granted = Hashtbl.create 64;
+    queues = Hashtbl.create 16;
+    held = Hashtbl.create 16;
+    waits = Hashtbl.create 16;
+  }
+
+let holders_tbl t res =
+  match Hashtbl.find_opt t.granted res with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 4 in
+    Hashtbl.replace t.granted res h;
+    h
+
+let queue_ref t res =
+  match Hashtbl.find_opt t.queues res with
+  | Some q -> q
+  | None ->
+    let q = ref [] in
+    Hashtbl.replace t.queues res q;
+    q
+
+let holders t res =
+  match Hashtbl.find_opt t.granted res with
+  | None -> []
+  | Some h -> Hashtbl.fold (fun txn mode acc -> (txn, mode) :: acc) h []
+
+let waiting t res =
+  match Hashtbl.find_opt t.queues res with
+  | None -> []
+  | Some q -> List.map (fun r -> (r.txn, r.mode)) !q
+
+let holds t txn res =
+  match Hashtbl.find_opt t.granted res with
+  | None -> None
+  | Some h -> Hashtbl.find_opt h txn
+
+let note_held t txn res =
+  let set =
+    match Hashtbl.find_opt t.held txn with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.replace t.held txn s;
+      s
+  in
+  Hashtbl.replace set res ()
+
+(* Transactions blocking [txn]'s queued request on [res]: incompatible
+   holders plus everything queued ahead of it. *)
+let blockers t txn res mode =
+  let hs =
+    List.filter_map
+      (fun (other, m) ->
+        if other <> txn && not (compatible mode m) then Some other else None)
+      (holders t res)
+  in
+  let ahead =
+    match Hashtbl.find_opt t.queues res with
+    | None -> []
+    | Some q ->
+      let rec take acc = function
+        | [] -> acc
+        | r :: _ when r.txn = txn -> acc
+        | r :: rest -> take (r.txn :: acc) rest
+      in
+      take [] !q
+  in
+  List.sort_uniq Int.compare (hs @ ahead)
+
+(* Would adding edge [txn -> blockers(res)] close a cycle?  Walk the
+   waits-for graph: a waiting transaction points at the blockers of its
+   queued requests. *)
+let creates_deadlock t txn res mode =
+  let visited = Hashtbl.create 16 in
+  let rec reaches_txn from =
+    if from = txn then true
+    else if Hashtbl.mem visited from then false
+    else begin
+      Hashtbl.replace visited from ();
+      let next =
+        Hashtbl.fold
+          (fun waiter wres acc ->
+            if waiter = from then
+              let wmode =
+                match Hashtbl.find_opt t.queues wres with
+                | None -> None
+                | Some q ->
+                  List.find_map (fun r -> if r.txn = waiter then Some r.mode else None) !q
+              in
+              match wmode with
+              | None -> acc
+              | Some m -> blockers t waiter wres m @ acc
+            else acc)
+          t.waits []
+      in
+      List.exists reaches_txn next
+    end
+  in
+  List.exists reaches_txn (blockers t txn res mode)
+
+let grantable t txn res mode =
+  List.for_all
+    (fun (other, m) -> other = txn || compatible mode m)
+    (holders t res)
+
+let enqueue t txn res mode =
+  let q = queue_ref t res in
+  if not (List.exists (fun r -> r.txn = txn && r.mode = mode) !q) then
+    q := !q @ [ { txn; mode } ];
+  Hashtbl.replace t.waits txn res
+
+let acquire t txn res mode =
+  let target =
+    match holds t txn res with
+    | Some held -> supremum held mode
+    | None -> mode
+  in
+  match holds t txn res with
+  | Some held when covers held mode -> `Granted
+  | _ ->
+    let queue_empty_for_us =
+      match Hashtbl.find_opt t.queues res with
+      | None -> true
+      | Some q -> List.for_all (fun r -> r.txn = txn) !q
+    in
+    if grantable t txn res target && queue_empty_for_us then begin
+      Hashtbl.replace (holders_tbl t res) txn target;
+      note_held t txn res;
+      `Granted
+    end
+    else if creates_deadlock t txn res target then `Deadlock
+    else begin
+      enqueue t txn res target;
+      `Would_block (blockers t txn res target)
+    end
+
+let try_grant_queued t res =
+  (* Grant from the head of the queue while compatible. *)
+  match Hashtbl.find_opt t.queues res with
+  | None -> []
+  | Some q ->
+    let granted = ref [] in
+    let rec go () =
+      match !q with
+      | [] -> ()
+      | r :: rest ->
+        let target =
+          match holds t r.txn res with
+          | Some held -> supremum held r.mode
+          | None -> r.mode
+        in
+        if grantable t r.txn res target then begin
+          Hashtbl.replace (holders_tbl t res) r.txn target;
+          note_held t r.txn res;
+          q := rest;
+          if not (List.exists (fun r' -> r'.txn = r.txn) rest) then
+            Hashtbl.remove t.waits r.txn;
+          granted := r.txn :: !granted;
+          go ()
+        end
+    in
+    go ();
+    List.rev !granted
+
+let release_all t txn =
+  let resources =
+    match Hashtbl.find_opt t.held txn with
+    | None -> []
+    | Some s -> Hashtbl.fold (fun res () acc -> res :: acc) s []
+  in
+  List.iter
+    (fun res ->
+      match Hashtbl.find_opt t.granted res with
+      | Some h ->
+        Hashtbl.remove h txn;
+        if Hashtbl.length h = 0 then Hashtbl.remove t.granted res
+      | None -> ())
+    resources;
+  Hashtbl.remove t.held txn;
+  (* Drop queued requests of this txn everywhere. *)
+  Hashtbl.iter (fun _ q -> q := List.filter (fun r -> r.txn <> txn) !q) t.queues;
+  Hashtbl.remove t.waits txn;
+  let woken = List.concat_map (fun res -> try_grant_queued t res) resources in
+  List.sort_uniq Int.compare woken
+
+let cancel_waits t txn =
+  Hashtbl.iter (fun _ q -> q := List.filter (fun r -> r.txn <> txn) !q) t.queues;
+  Hashtbl.remove t.waits txn
+
+let lock_count t =
+  Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.granted 0

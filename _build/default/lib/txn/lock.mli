@@ -1,0 +1,63 @@
+(** Hierarchical lock manager (System R style).
+
+    The refresh algorithm needs "a table level lock on the base table during
+    the fix up (and refresh) procedures" to obtain a transaction-consistent
+    view.  Ordinary base-table operations take intention locks on the table
+    and exclusive locks on entries; refresh takes a table-level lock that
+    excludes writers.
+
+    The manager is cooperative (the whole system is a single-threaded
+    simulation): {!acquire} never blocks, it either grants, queues the
+    request and reports [`Would_block], or refuses with [`Deadlock] when
+    granting the wait would close a cycle in the waits-for graph.  A queued
+    request is granted during some later {!release_all} and surfaced through
+    that call's result. *)
+
+type mode = IS | IX | S | SIX | X
+
+val mode_name : mode -> string
+
+val compatible : mode -> mode -> bool
+(** Standard compatibility matrix. *)
+
+val supremum : mode -> mode -> mode
+(** Least mode covering both; used for lock upgrades (e.g. [S + IX = SIX]). *)
+
+val covers : mode -> mode -> bool
+(** [covers held wanted]: a holder of [held] needs no new lock for
+    [wanted]. *)
+
+type resource =
+  | Table of string
+  | Entry of string * Snapdiff_storage.Addr.t
+
+val pp_resource : Format.formatter -> resource -> unit
+
+type txn_id = int
+
+type t
+
+val create : unit -> t
+
+val acquire :
+  t -> txn_id -> resource -> mode ->
+  [ `Granted | `Would_block of txn_id list | `Deadlock ]
+(** Re-entrant; an upgrade request replaces the held mode with the
+    supremum.  [`Would_block holders] lists the transactions standing in
+    the way; the request stays queued. *)
+
+val release_all : t -> txn_id -> txn_id list
+(** Drop every lock and queued request of the transaction; returns the
+    transactions whose queued requests became granted as a result. *)
+
+val cancel_waits : t -> txn_id -> unit
+(** Drop only the queued (not yet granted) requests of a transaction. *)
+
+val holds : t -> txn_id -> resource -> mode option
+
+val holders : t -> resource -> (txn_id * mode) list
+
+val waiting : t -> resource -> (txn_id * mode) list
+
+val lock_count : t -> int
+(** Total granted locks, for leak tests. *)

@@ -1,0 +1,118 @@
+type step =
+  | Lock of Lock.resource * Lock.mode
+  | Work of string * (unit -> unit)
+  | Commit
+  | Abort
+
+type outcome =
+  | Committed
+  | Aborted_by_user
+  | Aborted_deadlock
+
+type session = {
+  name : string;
+  txn : Txn.t;
+  mutable steps : step list;
+  mutable blocked : bool;
+  mutable result : outcome option;
+}
+
+type t = {
+  mgr : Txn.manager;
+  mutable sessions : session list;  (* in spawn order *)
+  mutable events : string list;  (* reversed *)
+}
+
+exception Stuck of string list
+
+let create mgr = { mgr; sessions = []; events = [] }
+
+let note t fmt = Format.kasprintf (fun s -> t.events <- s :: t.events) fmt
+
+let spawn t ~name steps =
+  let s =
+    { name; txn = Txn.begin_txn t.mgr; steps; blocked = false; result = None }
+  in
+  t.sessions <- t.sessions @ [ s ];
+  s
+
+let outcome s = s.result
+
+let txn_id s = Txn.id s.txn
+
+let trace t = List.rev t.events
+
+let finish t s result =
+  s.result <- Some result;
+  s.steps <- [];
+  let woken =
+    match result with
+    | Committed -> Txn.commit s.txn
+    | Aborted_by_user | Aborted_deadlock -> Txn.abort s.txn
+  in
+  note t "%s: %s" s.name
+    (match result with
+    | Committed -> "committed"
+    | Aborted_by_user -> "aborted"
+    | Aborted_deadlock -> "deadlock victim");
+  (* Sessions whose queued lock requests were granted become runnable. *)
+  List.iter
+    (fun sess ->
+      if sess.result = None && List.mem (Txn.id sess.txn) woken then begin
+        sess.blocked <- false;
+        note t "%s: unblocked" sess.name
+      end)
+    t.sessions
+
+(* Run one step of a session; returns whether it made progress. *)
+let step_session t s =
+  match s.steps with
+  | [] ->
+    finish t s Committed;
+    true
+  | Lock (res, mode) :: rest -> (
+    match Txn.try_lock s.txn res mode with
+    | `Granted ->
+      s.steps <- rest;
+      if s.blocked then s.blocked <- false;
+      note t "%s: locked %s %s" s.name
+        (Format.asprintf "%a" Lock.pp_resource res)
+        (Lock.mode_name mode);
+      true
+    | `Would_block _ ->
+      if not s.blocked then begin
+        s.blocked <- true;
+        note t "%s: blocked" s.name
+      end;
+      false
+    | `Deadlock ->
+      finish t s Aborted_deadlock;
+      true)
+  | Work (what, f) :: rest ->
+    f ();
+    s.steps <- rest;
+    note t "%s: work %s" s.name what;
+    true
+  | Commit :: _ ->
+    finish t s Committed;
+    true
+  | Abort :: _ ->
+    finish t s Aborted_by_user;
+    true
+
+let run t =
+  let live () = List.filter (fun s -> s.result = None) t.sessions in
+  let rec loop () =
+    match live () with
+    | [] -> ()
+    | sessions ->
+      let progressed =
+        List.fold_left
+          (fun acc s -> if s.result = None then step_session t s || acc else acc)
+          false sessions
+      in
+      if not progressed then
+        raise (Stuck (List.map (fun s -> s.name) (live ())));
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,54 @@
+(** Cooperative execution of interleaved transaction programs.
+
+    The whole system is a single-threaded simulation, so "concurrency" is
+    an interleaving: each session is a list of steps, and the scheduler
+    round-robins one step at a time.  A {!Lock} conflict leaves the session
+    blocked (its request stays queued in the lock manager) until the
+    holder finishes; a wait that would close a waits-for cycle aborts the
+    requesting session (deadlock victim), running its undo actions.
+
+    This is the machinery behind the paper's concurrency remarks: ordinary
+    writers take IX on the table + X on entries, while refresh takes the
+    "table level lock on the base table" — the scheduler makes the
+    resulting waiting and transaction-consistency observable and
+    testable. *)
+
+type step =
+  | Lock of Lock.resource * Lock.mode
+  | Work of string * (unit -> unit)
+      (** named side effect, run once when reached (locks already held) *)
+  | Commit
+  | Abort
+
+type outcome =
+  | Committed
+  | Aborted_by_user
+  | Aborted_deadlock
+
+type session
+
+type t
+
+exception Stuck of string list
+(** All live sessions blocked with nothing runnable — impossible while
+    deadlock detection works; the payload is the stuck session names. *)
+
+val create : Txn.manager -> t
+
+val spawn : t -> name:string -> step list -> session
+(** Register a program.  A session without a trailing [Commit]/[Abort]
+    commits implicitly when its steps run out. *)
+
+val run : t -> unit
+(** Round-robin until every session finishes.  Raises {!Stuck}. *)
+
+val outcome : session -> outcome option
+(** [None] while still live. *)
+
+val txn_id : session -> int
+
+val trace : t -> string list
+(** Scheduling events in order: "name: locked table:emp X",
+    "name: blocked", "name: work payday", "name: committed",
+    "name: deadlock victim"... — the raw material for interleaving
+    assertions. *)

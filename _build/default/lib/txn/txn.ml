@@ -1,0 +1,66 @@
+type manager = {
+  locks : Lock.t;
+  mutable next_id : int;
+  mutable active : int;
+}
+
+type state = Active | Committed | Aborted
+
+type t = {
+  mgr : manager;
+  txn_id : int;
+  mutable state : state;
+  mutable undo : (unit -> unit) list;  (* most recent first *)
+}
+
+exception Would_block of { txn : int; blockers : int list }
+exception Deadlock of { txn : int }
+exception Not_active
+
+let create_manager () = { locks = Lock.create (); next_id = 1; active = 0 }
+
+let lock_table m = m.locks
+
+let begin_txn m =
+  let txn_id = m.next_id in
+  m.next_id <- m.next_id + 1;
+  m.active <- m.active + 1;
+  { mgr = m; txn_id; state = Active; undo = [] }
+
+let id t = t.txn_id
+
+let is_active t = t.state = Active
+
+let check_active t = if t.state <> Active then raise Not_active
+
+let try_lock t res mode =
+  check_active t;
+  Lock.acquire t.mgr.locks t.txn_id res mode
+
+let lock t res mode =
+  match try_lock t res mode with
+  | `Granted -> ()
+  | `Would_block blockers -> raise (Would_block { txn = t.txn_id; blockers })
+  | `Deadlock -> raise (Deadlock { txn = t.txn_id })
+
+let on_abort t f =
+  check_active t;
+  t.undo <- f :: t.undo
+
+let finish t final =
+  t.state <- final;
+  t.mgr.active <- t.mgr.active - 1;
+  Lock.release_all t.mgr.locks t.txn_id
+
+let commit t =
+  check_active t;
+  t.undo <- [];
+  finish t Committed
+
+let abort t =
+  check_active t;
+  List.iter (fun f -> f ()) t.undo;
+  t.undo <- [];
+  finish t Aborted
+
+let active_count m = m.active

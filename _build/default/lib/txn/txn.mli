@@ -1,0 +1,50 @@
+(** Transaction manager.
+
+    Coordinates transaction identity, two-phase locking via {!Lock}, and
+    undo actions for abort.  Updates register an undo closure (physical
+    before-image restoration is done by the caller, which knows the table);
+    commit releases locks, abort runs the undo chain in reverse then
+    releases.
+
+    The simulation is cooperative: a lock conflict raises {!Would_block}
+    (carrying the blockers) or {!Deadlock}; drivers — tests and the
+    concurrency examples — catch these to implement waiting or victim
+    abort. *)
+
+type manager
+
+type t
+(** A live transaction handle. *)
+
+exception Would_block of { txn : int; blockers : int list }
+exception Deadlock of { txn : int }
+exception Not_active
+
+val create_manager : unit -> manager
+
+val lock_table : manager -> Lock.t
+
+val begin_txn : manager -> t
+
+val id : t -> int
+
+val is_active : t -> bool
+
+val lock : t -> Lock.resource -> Lock.mode -> unit
+(** Acquire or upgrade; raises {!Would_block} / {!Deadlock} on conflict.
+    On [`Would_block] the request remains queued: when the blockers
+    release, {!commit}/{!abort} of those transactions re-grants and the
+    driver may retry [lock], which will then find the lock held. *)
+
+val try_lock : t -> Lock.resource -> Lock.mode ->
+  [ `Granted | `Would_block of int list | `Deadlock ]
+
+val on_abort : t -> (unit -> unit) -> unit
+(** Register an undo action (run in reverse order on abort). *)
+
+val commit : t -> int list
+(** Returns transactions whose queued lock requests were granted. *)
+
+val abort : t -> int list
+
+val active_count : manager -> int

@@ -1,0 +1,123 @@
+type scale = Linear | Log10
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;
+}
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "") ?(y_label = "")
+    ?(y_scale = Linear) ?title series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(empty chart)\n"
+  else begin
+    let xs = List.map fst all_points in
+    let ys = List.map snd all_points in
+    let min_pos_y =
+      List.fold_left
+        (fun acc y -> if y > 0.0 && y < acc then y else acc)
+        infinity ys
+    in
+    let transform_y y =
+      match y_scale with
+      | Linear -> y
+      | Log10 ->
+        let y = if y <= 0.0 then (if min_pos_y = infinity then 1e-12 else min_pos_y) else y in
+        Float.log10 y
+    in
+    let x_min = List.fold_left Float.min (List.hd xs) xs in
+    let x_max = List.fold_left Float.max (List.hd xs) xs in
+    let tys = List.map transform_y ys in
+    let y_min = List.fold_left Float.min (List.hd tys) tys in
+    let y_max = List.fold_left Float.max (List.hd tys) tys in
+    let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+    let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let plot s =
+      let pts =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) s.points
+      in
+      (* Mark each sample point, then connect consecutive samples with a
+         coarse linear interpolation so curves read as lines. *)
+      let to_cell (x, y) =
+        let cx =
+          int_of_float
+            (Float.round ((x -. x_min) /. x_span *. float_of_int (width - 1)))
+        in
+        let cy =
+          int_of_float
+            (Float.round
+               ((transform_y y -. y_min) /. y_span *. float_of_int (height - 1)))
+        in
+        (max 0 (min (width - 1) cx), max 0 (min (height - 1) cy))
+      in
+      let put (cx, cy) =
+        let row = height - 1 - cy in
+        grid.(row).(cx) <- s.glyph
+      in
+      let rec walk = function
+        | [] -> ()
+        | [ p ] -> put (to_cell p)
+        | p :: (q :: _ as rest) ->
+          let (x0, y0) = to_cell p and (x1, y1) = to_cell q in
+          let steps = max (abs (x1 - x0)) (abs (y1 - y0)) in
+          for i = 0 to steps do
+            let f = if steps = 0 then 0.0 else float_of_int i /. float_of_int steps in
+            let cx = x0 + int_of_float (Float.round (f *. float_of_int (x1 - x0))) in
+            let cy = y0 + int_of_float (Float.round (f *. float_of_int (y1 - y0))) in
+            put (cx, cy)
+          done;
+          walk rest
+      in
+      walk pts
+    in
+    List.iter plot series;
+    let buf = Buffer.create ((width + 16) * (height + 6)) in
+    (match title with
+    | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+    | None -> ());
+    if y_label <> "" then begin
+      Buffer.add_string buf y_label;
+      (match y_scale with
+      | Log10 -> Buffer.add_string buf " (log scale)"
+      | Linear -> ());
+      Buffer.add_char buf '\n'
+    end;
+    let y_of_row row =
+      let cy = height - 1 - row in
+      let t = y_min +. (float_of_int cy /. float_of_int (height - 1) *. y_span) in
+      match y_scale with Linear -> t | Log10 -> Float.pow 10.0 t
+    in
+    for row = 0 to height - 1 do
+      let label =
+        if row mod 4 = 0 || row = height - 1 then
+          Printf.sprintf "%10.3f |" (y_of_row row)
+        else String.make 10 ' ' ^ " |"
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf (String.init width (fun c -> grid.(row).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.3f%s%10.3f\n" (String.make 12 ' ') x_min
+         (String.make (max 1 (width - 20)) ' ')
+         x_max);
+    if x_label <> "" then
+      Buffer.add_string buf (Printf.sprintf "%*s%s\n" ((width / 2) + 12 - (String.length x_label / 2)) "" x_label);
+    Buffer.add_string buf "legend: ";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Buffer.add_string buf "   ";
+        Buffer.add_char buf s.glyph;
+        Buffer.add_string buf " = ";
+        Buffer.add_string buf s.label)
+      series;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+  end

@@ -1,0 +1,26 @@
+(** Terminal line charts.
+
+    The benchmark harness uses these to render Figure 8 / Figure 9 style
+    plots (message traffic vs. update activity, one glyph per series)
+    directly in the terminal, alongside the numeric tables. *)
+
+type scale = Linear | Log10
+
+type series = {
+  label : string;
+  glyph : char;
+  points : (float * float) list;  (** (x, y), need not be sorted *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?y_scale:scale ->
+  ?title:string ->
+  series list ->
+  string
+(** Plots all series on shared axes.  With [Log10], non-positive y values are
+    clamped to the smallest positive value in the data.  [width]/[height]
+    are the plotting-area dimensions in characters (default 64 x 20). *)

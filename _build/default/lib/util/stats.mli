@@ -1,0 +1,40 @@
+(** Small descriptive-statistics helpers used by the benchmark harness and
+    the analytical model validation. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1 denominator) *)
+  min : float;
+  max : float;
+}
+
+val summary : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val stddev : float list -> float
+
+val percentile : float list -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation between
+    order statistics.  Raises [Invalid_argument] on the empty list or [p]
+    out of range. *)
+
+val relative_error : actual:float -> expected:float -> float
+(** [|actual - expected| / max 1e-12 |expected|]. *)
+
+module Accumulator : sig
+  (** Streaming accumulator (Welford) for when the sample is too large to
+      retain. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val n : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end

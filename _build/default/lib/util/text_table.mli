@@ -1,0 +1,27 @@
+(** Aligned plain-text tables, used to print the benchmark harness output in
+    the same row/column layout as the paper's tables and figure series. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create cols] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with box-drawing in ASCII ([+-|]). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper ([decimals] defaults to 2). *)
+
+val cell_pct : ?decimals:int -> float -> string
+(** Like [cell_float] with a ["%"] suffix. *)

@@ -1,0 +1,1 @@
+lib/wal/record.ml: Addr Buffer Codec Format List Snapdiff_storage Tuple

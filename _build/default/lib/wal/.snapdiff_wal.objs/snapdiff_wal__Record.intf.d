@@ -1,0 +1,1 @@
+lib/wal/record.mli: Buffer Format Snapdiff_storage

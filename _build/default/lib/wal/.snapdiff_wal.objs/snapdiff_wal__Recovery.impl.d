@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Addr Hashtbl Heap List Record Snapdiff_storage Tuple Wal

@@ -1,0 +1,1 @@
+lib/wal/recovery.mli: Addr Heap Snapdiff_storage Tuple Wal

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Buffer Bytes Fun Int64 List Record String

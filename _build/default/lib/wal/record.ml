@@ -1,0 +1,115 @@
+open Snapdiff_storage
+
+type txn_id = int
+
+type t =
+  | Begin of { txn : txn_id }
+  | Commit of { txn : txn_id }
+  | Abort of { txn : txn_id }
+  | Insert of { txn : txn_id; table : string; addr : Addr.t; tuple : Tuple.t }
+  | Delete of { txn : txn_id; table : string; addr : Addr.t; old_tuple : Tuple.t }
+  | Update of { txn : txn_id; table : string; addr : Addr.t;
+                old_tuple : Tuple.t; new_tuple : Tuple.t }
+  | Checkpoint of { active : txn_id list }
+
+let txn_of = function
+  | Begin { txn } | Commit { txn } | Abort { txn } -> Some txn
+  | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } -> Some txn
+  | Checkpoint _ -> None
+
+let table_of = function
+  | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> Some table
+  | Begin _ | Commit _ | Abort _ | Checkpoint _ -> None
+
+let pp ppf = function
+  | Begin { txn } -> Format.fprintf ppf "BEGIN(%d)" txn
+  | Commit { txn } -> Format.fprintf ppf "COMMIT(%d)" txn
+  | Abort { txn } -> Format.fprintf ppf "ABORT(%d)" txn
+  | Insert { txn; table; addr; tuple } ->
+    Format.fprintf ppf "INSERT(%d, %s, %a, %a)" txn table Addr.pp addr Tuple.pp tuple
+  | Delete { txn; table; addr; old_tuple } ->
+    Format.fprintf ppf "DELETE(%d, %s, %a, %a)" txn table Addr.pp addr Tuple.pp old_tuple
+  | Update { txn; table; addr; old_tuple; new_tuple } ->
+    Format.fprintf ppf "UPDATE(%d, %s, %a, %a -> %a)" txn table Addr.pp addr
+      Tuple.pp old_tuple Tuple.pp new_tuple
+  | Checkpoint { active } ->
+    Format.fprintf ppf "CHECKPOINT(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      active
+
+let tag = function
+  | Begin _ -> 1
+  | Commit _ -> 2
+  | Abort _ -> 3
+  | Insert _ -> 4
+  | Delete _ -> 5
+  | Update _ -> 6
+  | Checkpoint _ -> 7
+
+let encode buf r =
+  Codec.add_u8 buf (tag r);
+  match r with
+  | Begin { txn } | Commit { txn } | Abort { txn } -> Codec.add_int buf txn
+  | Insert { txn; table; addr; tuple } ->
+    Codec.add_int buf txn;
+    Codec.add_string buf table;
+    Codec.add_int buf addr;
+    Codec.add_tuple buf tuple
+  | Delete { txn; table; addr; old_tuple } ->
+    Codec.add_int buf txn;
+    Codec.add_string buf table;
+    Codec.add_int buf addr;
+    Codec.add_tuple buf old_tuple
+  | Update { txn; table; addr; old_tuple; new_tuple } ->
+    Codec.add_int buf txn;
+    Codec.add_string buf table;
+    Codec.add_int buf addr;
+    Codec.add_tuple buf old_tuple;
+    Codec.add_tuple buf new_tuple
+  | Checkpoint { active } ->
+    Codec.add_u32 buf (List.length active);
+    List.iter (Codec.add_int buf) active
+
+let decode b off =
+  let t, off = Codec.u8 b off in
+  match t with
+  | 1 | 2 | 3 ->
+    let txn, off = Codec.int b off in
+    let r =
+      if t = 1 then Begin { txn } else if t = 2 then Commit { txn } else Abort { txn }
+    in
+    (r, off)
+  | 4 | 5 ->
+    let txn, off = Codec.int b off in
+    let table, off = Codec.string b off in
+    let addr, off = Codec.int b off in
+    let tuple, off = Codec.tuple b off in
+    let r =
+      if t = 4 then Insert { txn; table; addr; tuple }
+      else Delete { txn; table; addr; old_tuple = tuple }
+    in
+    (r, off)
+  | 6 ->
+    let txn, off = Codec.int b off in
+    let table, off = Codec.string b off in
+    let addr, off = Codec.int b off in
+    let old_tuple, off = Codec.tuple b off in
+    let new_tuple, off = Codec.tuple b off in
+    (Update { txn; table; addr; old_tuple; new_tuple }, off)
+  | 7 ->
+    let n, off = Codec.u32 b off in
+    let active = ref [] in
+    let off = ref off in
+    for _ = 1 to n do
+      let txn, off' = Codec.int b !off in
+      active := txn :: !active;
+      off := off'
+    done;
+    (Checkpoint { active = List.rev !active }, !off)
+  | _ -> failwith "Wal.Record.decode: bad tag"
+
+let encoded_size r =
+  let buf = Buffer.create 64 in
+  encode buf r;
+  Buffer.length buf

@@ -1,0 +1,37 @@
+(** Write-ahead log records.
+
+    The log exists for two reasons.  First, ordinary durability: physical
+    redo of committed work (see {!Recovery}).  Second, the paper's
+    "buffer the changes in the recovery log" *alternative* refresh method
+    needs a log to cull committed, table-relevant changes from — we
+    implement that method faithfully (including its costs) to compare it
+    against base-table annotation. *)
+
+type txn_id = int
+
+type t =
+  | Begin of { txn : txn_id }
+  | Commit of { txn : txn_id }
+  | Abort of { txn : txn_id }
+  | Insert of { txn : txn_id; table : string; addr : Snapdiff_storage.Addr.t;
+                tuple : Snapdiff_storage.Tuple.t }
+  | Delete of { txn : txn_id; table : string; addr : Snapdiff_storage.Addr.t;
+                old_tuple : Snapdiff_storage.Tuple.t }
+  | Update of { txn : txn_id; table : string; addr : Snapdiff_storage.Addr.t;
+                old_tuple : Snapdiff_storage.Tuple.t;
+                new_tuple : Snapdiff_storage.Tuple.t }
+  | Checkpoint of { active : txn_id list }
+
+val txn_of : t -> txn_id option
+(** [None] for [Checkpoint]. *)
+
+val table_of : t -> string option
+
+val pp : Format.formatter -> t -> unit
+
+val encode : Buffer.t -> t -> unit
+
+val decode : bytes -> int -> t * int
+
+val encoded_size : t -> int
+(** Exact size {!encode} will produce. *)

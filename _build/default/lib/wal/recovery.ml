@@ -1,0 +1,86 @@
+open Snapdiff_storage
+
+let committed_txns log from =
+  let set = Hashtbl.create 64 in
+  Wal.iter_from log from (fun _ r ->
+      match r with
+      | Record.Commit { txn } -> Hashtbl.replace set txn ()
+      | _ -> ());
+  set
+
+let redo log resolve =
+  let from = Wal.oldest_retained log in
+  let committed = committed_txns log from in
+  let is_committed txn = Hashtbl.mem committed txn in
+  Wal.iter_from log from (fun _ r ->
+      let apply table f =
+        match resolve table with Some heap -> f heap | None -> ()
+      in
+      match r with
+      | Record.Insert { txn; table; addr; tuple } when is_committed txn ->
+        apply table (fun heap -> Heap.insert_at heap addr tuple)
+      | Record.Delete { txn; table; addr; _ } when is_committed txn ->
+        apply table (fun heap -> Heap.delete heap addr)
+      | Record.Update { txn; table; addr; new_tuple; _ } when is_committed txn ->
+        apply table (fun heap -> Heap.update heap addr new_tuple)
+      | Record.Insert _ | Record.Delete _ | Record.Update _
+      | Record.Begin _ | Record.Commit _ | Record.Abort _ | Record.Checkpoint _ ->
+        ())
+
+type net = {
+  before : Tuple.t option;
+  after : Tuple.t option;
+}
+
+type scan_stats = {
+  records_scanned : int;
+  bytes_scanned : int;
+  relevant : int;
+}
+
+let net_changes log ~table ~since =
+  let committed = committed_txns log since in
+  let is_committed txn = Hashtbl.mem committed txn in
+  let states : (Addr.t, net) Hashtbl.t = Hashtbl.create 256 in
+  let records = ref 0 in
+  let relevant = ref 0 in
+  (* [before] is pinned at first sight of the address; [after] tracks the
+     latest committed state. *)
+  let step addr old_v new_v =
+    incr relevant;
+    match Hashtbl.find_opt states addr with
+    | None -> Hashtbl.replace states addr { before = old_v; after = new_v }
+    | Some st -> Hashtbl.replace states addr { st with after = new_v }
+  in
+  Wal.iter_from log since (fun _ r ->
+      incr records;
+      match r with
+      | Record.Insert { txn; table = t; addr; tuple } when t = table && is_committed txn ->
+        step addr None (Some tuple)
+      | Record.Delete { txn; table = t; addr; old_tuple } when t = table && is_committed txn ->
+        step addr (Some old_tuple) None
+      | Record.Update { txn; table = t; addr; old_tuple; new_tuple }
+        when t = table && is_committed txn ->
+        step addr (Some old_tuple) (Some new_tuple)
+      | _ -> ());
+  let out =
+    Hashtbl.fold
+      (fun addr st acc ->
+        let unchanged =
+          match (st.before, st.after) with
+          | None, None -> true
+          | Some b, Some a -> Tuple.equal b a
+          | _ -> false
+        in
+        if unchanged then acc else (addr, st) :: acc)
+      states []
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> Addr.compare a b) out in
+  let stats =
+    {
+      records_scanned = !records;
+      bytes_scanned = Wal.end_lsn log - since;
+      relevant = !relevant;
+    }
+  in
+  (sorted, stats)

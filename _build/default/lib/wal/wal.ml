@@ -1,0 +1,114 @@
+type lsn = int
+
+type t = {
+  mutable buf : Buffer.t;
+  mutable count : int;
+  mutable base : lsn;  (* LSN of the first retained byte *)
+}
+
+let start_lsn = 0
+
+let create () = { buf = Buffer.create 4096; count = 0; base = 0 }
+
+let append t r =
+  let at = t.base + Buffer.length t.buf in
+  Record.encode t.buf r;
+  t.count <- t.count + 1;
+  at
+
+let end_lsn t = t.base + Buffer.length t.buf
+
+let oldest_retained t = t.base
+
+let record_count t = t.count
+
+let byte_size t = Buffer.length t.buf
+
+let image t = Buffer.to_bytes t.buf
+
+let read t lsn =
+  let b = image t in
+  if lsn < t.base || lsn >= t.base + Bytes.length b then failwith "Wal.read: bad LSN";
+  let r, off = Record.decode b (lsn - t.base) in
+  (r, off + t.base)
+
+let iter_from t lsn f =
+  let b = image t in
+  let len = Bytes.length b in
+  if lsn < t.base || lsn > t.base + len then failwith "Wal.iter_from: bad LSN";
+  let rec go off =
+    if off < len then begin
+      let r, off' = Record.decode b off in
+      f (off + t.base) r;
+      go off'
+    end
+  in
+  go (lsn - t.base)
+
+let truncate_before t lsn =
+  if lsn < t.base || lsn > end_lsn t then failwith "Wal.truncate_before: bad LSN";
+  if lsn > t.base then begin
+    let b = image t in
+    (* Count the discarded records and verify the boundary by decoding. *)
+    let rec skip off dropped =
+      if off < lsn - t.base then begin
+        let _, off' = Record.decode b off in
+        skip off' (dropped + 1)
+      end
+      else if off = lsn - t.base then dropped
+      else failwith "Wal.truncate_before: LSN is not a record boundary"
+    in
+    let dropped = skip 0 0 in
+    let fresh = Buffer.create (max 4096 (Bytes.length b - (lsn - t.base))) in
+    Buffer.add_subbytes fresh b (lsn - t.base) (Bytes.length b - (lsn - t.base));
+    t.buf <- fresh;
+    t.count <- t.count - dropped;
+    t.base <- lsn
+  end
+
+let fold_from t lsn ~init ~f =
+  let acc = ref init in
+  iter_from t lsn (fun l r -> acc := f !acc l r);
+  !acc
+
+let to_list t =
+  List.rev (fold_from t t.base ~init:[] ~f:(fun acc l r -> (l, r) :: acc))
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "WALLOG01";
+      let base = Bytes.create 8 in
+      Bytes.set_int64_le base 0 (Int64.of_int t.base);
+      output_bytes oc base;
+      output_bytes oc (image t))
+
+let load path =
+  let ic = open_in_bin path in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  if String.length b < 16 || String.sub b 0 8 <> "WALLOG01" then
+    failwith "Wal.load: bad log image";
+  let base = Int64.to_int (Bytes.get_int64_le (Bytes.of_string b) 8) in
+  let b = String.sub b 16 (String.length b - 16) in
+  let t = create () in
+  t.base <- base;
+  Buffer.add_string t.buf b;
+  (* Rebuild the record count by decoding the image; this also validates
+     it. *)
+  let bb = Buffer.to_bytes t.buf in
+  let len = Bytes.length bb in
+  let rec go off =
+    if off < len then begin
+      let _, off' = Record.decode bb off in
+      t.count <- t.count + 1;
+      go off'
+    end
+  in
+  go 0;
+  t

@@ -1,0 +1,54 @@
+(** The write-ahead log manager.
+
+    Records are appended to a single logical log; an LSN is the byte offset
+    of a record in the log image.  The log lives in memory as a growing
+    byte buffer (every record is stored encoded, so LSNs and sizes are
+    real); it can be persisted to and reloaded from a file for crash tests. *)
+
+type t
+
+type lsn = int
+
+val start_lsn : lsn
+(** LSN of the first record (0). *)
+
+val create : unit -> t
+
+val append : t -> Record.t -> lsn
+(** Returns the LSN assigned to this record. *)
+
+val end_lsn : t -> lsn
+(** One past the last record: the LSN the next append will get. *)
+
+val oldest_retained : t -> lsn
+(** Smallest LSN still in the log ({!start_lsn} until the first
+    {!truncate_before}).  A reader whose cursor is below this cannot be
+    served — the paper: "one could bound the buffering required and
+    transmit the entire (restricted) base table if the last refresh of the
+    snapshot precedes the earliest retained changes". *)
+
+val truncate_before : t -> lsn -> unit
+(** Discard records below the given LSN (which must be a record boundary
+    previously returned by {!append}/iteration).  LSNs of retained records
+    are unchanged.  Raises [Failure] on a bad or mid-record LSN. *)
+
+val record_count : t -> int
+
+val byte_size : t -> int
+
+val read : t -> lsn -> Record.t * lsn
+(** The record at an exact LSN and the next LSN.  Raises [Failure] on a
+    bad LSN. *)
+
+val iter_from : t -> lsn -> (lsn -> Record.t -> unit) -> unit
+(** All records with LSN >= the given one, in order. *)
+
+val fold_from : t -> lsn -> init:'a -> f:('a -> lsn -> Record.t -> 'a) -> 'a
+
+val to_list : t -> (lsn * Record.t) list
+
+val save : t -> string -> unit
+(** Write the log image to a file. *)
+
+val load : string -> t
+(** Raises [Failure] on a corrupt image. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Addr Array Float Hashtbl Int64 List Printf Schema Snapdiff_core Snapdiff_expr Snapdiff_storage Snapdiff_util Tuple Value

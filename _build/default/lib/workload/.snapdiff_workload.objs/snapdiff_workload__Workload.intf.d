@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Clock Schema Snapdiff_core Snapdiff_expr Snapdiff_storage Snapdiff_txn Snapdiff_util Snapdiff_wal

@@ -1,0 +1,116 @@
+open Snapdiff_storage
+module Expr = Snapdiff_expr.Expr
+module Rng = Snapdiff_util.Rng
+module Base_table = Snapdiff_core.Base_table
+
+let schema =
+  Schema.make
+    [
+      Schema.col ~nullable:false "id" Value.Tint;
+      Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "qual" Value.Tint;
+      Schema.col ~nullable:false "payload" Value.Tint;
+    ]
+
+let qual_domain = 100_000
+
+let restrict_fraction q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Workload.restrict_fraction";
+  let threshold = int_of_float (Float.round (q *. float_of_int qual_domain)) in
+  Expr.(col "qual" <. int threshold)
+
+let make_base ?mode ?wal ?(name = "emp") ?page_size ~clock () =
+  Base_table.create ?mode ?page_size ?wal ~name ~clock schema
+
+let row ~id ~qual ~payload =
+  Tuple.make
+    [ Value.int id; Value.str (Printf.sprintf "emp%06d" id); Value.int qual;
+      Value.int payload ]
+
+let populate base ~rng ~n =
+  for id = 0 to n - 1 do
+    ignore
+      (Base_table.insert base (row ~id ~qual:(Rng.int rng qual_domain) ~payload:0)
+        : Addr.t)
+  done
+
+type mutation_mix = {
+  update_weight : int;
+  insert_weight : int;
+  delete_weight : int;
+  qual_flip : bool;
+}
+
+let payload_updates_only =
+  { update_weight = 1; insert_weight = 0; delete_weight = 0; qual_flip = false }
+
+let churn = { update_weight = 3; insert_weight = 1; delete_weight = 1; qual_flip = true }
+
+let pick_op rng mix =
+  let total = mix.update_weight + mix.insert_weight + mix.delete_weight in
+  if total <= 0 then invalid_arg "Workload: empty mutation mix";
+  let r = Rng.int rng total in
+  if r < mix.update_weight then `Update
+  else if r < mix.update_weight + mix.insert_weight then `Insert
+  else `Delete
+
+let int_field tuple i =
+  match Tuple.get tuple i with
+  | Value.Int v -> Int64.to_int v
+  | _ -> invalid_arg "Workload: non-int field"
+
+let apply_update base rng mix addr =
+  match Base_table.get base addr with
+  | None -> ()
+  | Some tuple ->
+    let qual =
+      if mix.qual_flip then Rng.int rng qual_domain else int_field tuple 2
+    in
+    let updated =
+      row ~id:(int_field tuple 0) ~qual ~payload:(int_field tuple 3 + 1)
+    in
+    Base_table.update base addr updated
+
+let apply_insert base rng =
+  (* Ids are labels, not keys: a random one keeps runs reproducible from
+     the generator seed alone. *)
+  let id = 1_000_000 + Rng.int rng 1_000_000_000 in
+  ignore
+    (Base_table.insert base (row ~id ~qual:(Rng.int rng qual_domain) ~payload:0) : Addr.t)
+
+let update_fraction base ~rng ~u ~mix =
+  if u < 0.0 || u > 1.0 then invalid_arg "Workload.update_fraction: u out of range";
+  let addrs = Array.of_list (List.map fst (Base_table.to_user_list base)) in
+  let n = Array.length addrs in
+  let k = int_of_float (Float.round (u *. float_of_int n)) in
+  let chosen = Rng.sample_without_replacement rng k n in
+  let ops = ref 0 in
+  Array.iter
+    (fun i ->
+      incr ops;
+      match pick_op rng mix with
+      | `Update -> apply_update base rng mix addrs.(i)
+      | `Delete -> (
+        match Base_table.get base addrs.(i) with
+        | Some _ -> Base_table.delete base addrs.(i)
+        | None -> ())
+      | `Insert -> apply_insert base rng)
+    chosen;
+  !ops
+
+let mutate_zipf base ~rng ~ops ~theta ~mix =
+  let addrs = Array.of_list (List.map fst (Base_table.to_user_list base)) in
+  if Array.length addrs = 0 then invalid_arg "Workload.mutate_zipf: empty table";
+  let deleted = Hashtbl.create 64 in
+  for _ = 1 to ops do
+    let i = Rng.zipf rng ~n:(Array.length addrs) ~theta in
+    let addr = addrs.(i) in
+    match pick_op rng mix with
+    | `Update -> if not (Hashtbl.mem deleted addr) then apply_update base rng mix addr
+    | `Delete ->
+      if not (Hashtbl.mem deleted addr) then begin
+        Base_table.delete base addr;
+        Hashtbl.replace deleted addr ()
+      end
+    | `Insert -> apply_insert base rng
+  done

@@ -1,0 +1,65 @@
+(** Synthetic workloads for the evaluation.
+
+    The paper's two experiment parameters are "the amount of update
+    activity on the base table since the last refresh, and the degree to
+    which the base table is restricted by the snapshot".  This module
+    provides the standard employee-style table whose [qual] column is
+    uniform in [0, 100000), so a predicate [qual < q * 100000] has exact
+    selectivity [q]; {!update_fraction} then touches a chosen fraction of
+    {e distinct} tuples between refreshes. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+module Expr = Snapdiff_expr.Expr
+module Rng = Snapdiff_util.Rng
+module Base_table = Snapdiff_core.Base_table
+
+val schema : Schema.t
+(** [(id INT NOT NULL, name STRING NOT NULL, qual INT NOT NULL,
+     payload INT NOT NULL)]. *)
+
+val qual_domain : int
+(** 100000 — [qual] is uniform in [\[0, qual_domain)]. *)
+
+val restrict_fraction : float -> Expr.t
+(** [restrict_fraction q] qualifies a [q] fraction of tuples. *)
+
+val make_base :
+  ?mode:Base_table.mode ->
+  ?wal:Snapdiff_wal.Wal.t ->
+  ?name:string ->
+  ?page_size:int ->
+  clock:Clock.t ->
+  unit ->
+  Base_table.t
+
+val populate : Base_table.t -> rng:Rng.t -> n:int -> unit
+(** Insert [n] rows with uniform [qual] and sequential ids. *)
+
+type mutation_mix = {
+  update_weight : int;
+  insert_weight : int;
+  delete_weight : int;
+  qual_flip : bool;
+      (** if true, updates re-randomize [qual] (entries can enter/leave the
+          snapshot); if false, updates touch only [payload] (the Figure 8/9
+          model) *)
+}
+
+val payload_updates_only : mutation_mix
+(** Updates only, payload only — the paper's evaluation model. *)
+
+val churn : mutation_mix
+(** 60% updates (with qual flips), 20% inserts, 20% deletes. *)
+
+val update_fraction :
+  Base_table.t -> rng:Rng.t -> u:float -> mix:mutation_mix -> int
+(** Touch [u * count] distinct live tuples (rounded); each touched tuple
+    receives one mutation drawn from [mix] (an insert adds a fresh tuple
+    instead of touching one).  Returns the number of operations performed.
+    Address selection is uniform. *)
+
+val mutate_zipf :
+  Base_table.t -> rng:Rng.t -> ops:int -> theta:float -> mix:mutation_mix -> unit
+(** [ops] mutations with zipf-skewed (not necessarily distinct) address
+    selection — the skew ablation. *)

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Eval Expr Float Heap List Printf Schema Selectivity Snapdiff_expr Snapdiff_storage Tuple Typecheck Value

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Expr Float Histogram List QCheck2 QCheck_alcotest Selectivity Snapdiff_expr Snapdiff_storage Value

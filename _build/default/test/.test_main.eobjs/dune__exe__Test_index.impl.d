@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Int List Map QCheck2 QCheck_alcotest Snapdiff_index

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Int64 List Printf Snapdiff_core Snapdiff_sql Snapdiff_storage Snapdiff_util String Tuple Value

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Addr Alcotest Array Base_table Clock List Lock Printf Scheduler Schema Snapdiff_core Snapdiff_expr Snapdiff_storage Snapdiff_txn Snapdiff_util Tuple Txn Value

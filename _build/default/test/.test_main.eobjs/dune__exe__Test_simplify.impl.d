@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Eval Expr List Printf QCheck2 QCheck_alcotest Schema Simplify Snapdiff_expr Snapdiff_sql Snapdiff_storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Database Float Lexer List Parser Printf Schema Snapdiff_core Snapdiff_expr Snapdiff_sql Snapdiff_storage String Tuple Value

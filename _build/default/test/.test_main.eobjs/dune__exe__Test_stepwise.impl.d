@@ -1,0 +1,1 @@
+test/test_stepwise.ml: Alcotest Clock Dense Fun Int64 List Refresh_msg Regions Schema Snapdiff_core Snapdiff_storage Snapdiff_txn Snapshot_table Tuple Value

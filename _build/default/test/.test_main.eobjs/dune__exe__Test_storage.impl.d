@@ -1,0 +1,1 @@
+test/test_storage.ml: Addr Alcotest Buffer Buffer_pool Bytes Filename Fun Heap Int64 List Option Page Page_store Printf Schema Snapdiff_storage String Sys Tuple Value

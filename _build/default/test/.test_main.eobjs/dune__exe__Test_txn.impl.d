@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Clock List Lock Printf Snapdiff_storage Snapdiff_txn Txn

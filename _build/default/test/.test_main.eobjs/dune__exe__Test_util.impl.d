@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii_chart List Printf Rng Snapdiff_util Stats String Text_table

@@ -1,0 +1,1 @@
+test/test_wal.ml: Addr Alcotest Buffer Filename Fun Heap List Option Record Recovery Schema Snapdiff_storage Snapdiff_wal Sys Tuple Value Wal

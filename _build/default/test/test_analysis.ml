@@ -1,0 +1,216 @@
+(* Tests for the analytical model and the workload generator, including the
+   crucial agreement check: the closed-form expectation must match the
+   measured message counts of the actual algorithms. *)
+
+open Snapdiff_txn
+open Snapdiff_core
+module Model = Snapdiff_analysis.Model
+module Workload = Snapdiff_workload.Workload
+module Rng = Snapdiff_util.Rng
+module Expr = Snapdiff_expr.Expr
+module Eval = Snapdiff_expr.Eval
+
+let checkb = Alcotest.(check bool)
+let feq eps = Alcotest.(check (float eps))
+
+let test_model_boundaries () =
+  let n = 10_000 in
+  (* q = 1 (no restriction): differential = ideal for every u. *)
+  List.iter
+    (fun u ->
+      feq 1e-6 "diff = ideal at q=1"
+        (Model.ideal_messages ~n ~q:1.0 ~u)
+        (Model.differential_messages ~include_tail:false ~n ~q:1.0 ~u ()))
+    [ 0.0; 0.1; 0.5; 0.9; 1.0 ];
+  (* u = 1: differential = full. *)
+  List.iter
+    (fun q ->
+      feq 1e-6 "diff = full at u=1" (Model.full_messages ~n ~q)
+        (Model.differential_messages ~include_tail:false ~n ~q ~u:1.0 ()))
+    [ 0.01; 0.25; 1.0 ];
+  (* u = 0: nothing but the tail. *)
+  feq 1e-9 "only tail at u=0" 1.0 (Model.differential_messages ~n ~q:0.25 ~u:0.0 ())
+
+let test_model_ordering () =
+  let n = 10_000 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun u ->
+          let ideal = Model.ideal_messages ~n ~q ~u in
+          let diff = Model.differential_messages ~include_tail:false ~n ~q ~u () in
+          let full = Model.full_messages ~n ~q in
+          checkb
+            (Printf.sprintf "ideal <= diff <= full at q=%g u=%g" q u)
+            true
+            (ideal <= diff +. 1e-9 && diff <= full +. 1e-9))
+        [ 0.01; 0.05; 0.2; 0.5; 0.8; 1.0 ])
+    [ 0.01; 0.05; 0.25; 0.5; 1.0 ]
+
+let test_model_monotone_in_u () =
+  let n = 10_000 and q = 0.25 in
+  let prev = ref (-1.0) in
+  List.iter
+    (fun u ->
+      let d = Model.differential_messages ~n ~q ~u () in
+      checkb "monotone" true (d >= !prev);
+      prev := d)
+    [ 0.0; 0.05; 0.1; 0.2; 0.4; 0.8; 1.0 ]
+
+let test_model_superfluous_grows_with_restriction () =
+  let u = 0.05 in
+  let s1 = Model.superfluous_fraction ~q:0.01 ~u in
+  let s25 = Model.superfluous_fraction ~q:0.25 ~u in
+  let s100 = Model.superfluous_fraction ~q:1.0 ~u in
+  checkb "more restrictive = more superfluous" true (s1 > s25 && s25 > s100);
+  feq 1e-9 "none without restriction" 0.0 s100
+
+let test_model_gap_variants_close () =
+  let n = 10_000 in
+  List.iter
+    (fun (q, u) ->
+      let g = Model.differential_messages ~model:Model.Geometric ~n ~q ~u () in
+      let f = Model.differential_messages ~model:Model.Fixed_gap ~n ~q ~u () in
+      checkb
+        (Printf.sprintf "variants within 20%% at q=%g u=%g (%g vs %g)" q u g f)
+        true
+        (Snapdiff_util.Stats.relative_error ~actual:f ~expected:g < 0.2))
+    [ (0.25, 0.1); (0.5, 0.3); (1.0, 0.7) ]
+
+let test_pct_of_table () =
+  feq 1e-9 "pct" 12.5 (Model.pct_of_table ~n:200 25.0);
+  feq 1e-9 "empty table" 0.0 (Model.pct_of_table ~n:0 25.0)
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_selectivity_exact () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 1 in
+  Workload.populate base ~rng ~n:5000;
+  let q = 0.25 in
+  let pred = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+  let hits =
+    List.length (List.filter (fun (_, u) -> pred u) (Base_table.to_user_list base))
+  in
+  let measured = float_of_int hits /. 5000.0 in
+  checkb
+    (Printf.sprintf "selectivity %.3f close to 0.25" measured)
+    true
+    (Float.abs (measured -. q) < 0.03)
+
+let test_workload_update_fraction_distinct () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 2 in
+  Workload.populate base ~rng ~n:1000;
+  let before = Base_table.mutations base in
+  let ops =
+    Workload.update_fraction base ~rng ~u:0.2 ~mix:Workload.payload_updates_only
+  in
+  Alcotest.(check int) "200 ops" 200 ops;
+  Alcotest.(check int) "mutation count grew by ops" (before + 200) (Base_table.mutations base);
+  Alcotest.(check int) "count unchanged (updates only)" 1000 (Base_table.count base)
+
+let test_workload_payload_updates_keep_qualification () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 3 in
+  Workload.populate base ~rng ~n:500;
+  let quals_before =
+    List.map (fun (a, u) -> (a, Snapdiff_storage.Tuple.get u 2)) (Base_table.to_user_list base)
+  in
+  ignore (Workload.update_fraction base ~rng ~u:1.0 ~mix:Workload.payload_updates_only : int);
+  let quals_after =
+    List.map (fun (a, u) -> (a, Snapdiff_storage.Tuple.get u 2)) (Base_table.to_user_list base)
+  in
+  checkb "qual column untouched" true (quals_before = quals_after)
+
+let test_workload_churn_changes_population () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 4 in
+  Workload.populate base ~rng ~n:500;
+  ignore (Workload.update_fraction base ~rng ~u:0.5 ~mix:Workload.churn : int);
+  checkb "some churn happened" true (Base_table.mutations base > 500)
+
+let test_workload_zipf_runs () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 5 in
+  Workload.populate base ~rng ~n:300;
+  Workload.mutate_zipf base ~rng ~ops:200 ~theta:0.9 ~mix:Workload.payload_updates_only;
+  checkb "ops accounted" true (Base_table.mutations base >= 400)
+
+(* The headline agreement test: run the actual differential algorithm over
+   the Figure 8 workload and compare with the closed-form expectation. *)
+let test_model_matches_simulation () =
+  let n = 4000 in
+  List.iter
+    (fun (q, u) ->
+      let clock = Clock.create () in
+      let base = Workload.make_base ~clock () in
+      let rng = Rng.create 42 in
+      Workload.populate base ~rng ~n;
+      ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+      let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+      let snaptime = Clock.now clock in
+      ignore
+        (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+      let count = ref 0 in
+      let r =
+        Differential.refresh ~base ~snaptime ~restrict ~project:Fun.id
+          ~xmit:(fun m -> if Refresh_msg.is_data m then incr count)
+          ()
+      in
+      ignore r;
+      let expected = Model.differential_messages ~n ~q ~u () in
+      let actual = float_of_int !count in
+      (* Within 12% relative or 10 messages absolute (sampling noise). *)
+      let err = Snapdiff_util.Stats.relative_error ~actual ~expected in
+      checkb
+        (Printf.sprintf "q=%g u=%g: sim %g vs model %g (err %.3f)" q u actual expected err)
+        true
+        (err < 0.12 || Float.abs (actual -. expected) < 10.0))
+    [ (0.25, 0.05); (0.25, 0.5); (0.5, 0.2); (1.0, 0.3); (0.05, 0.1) ]
+
+let test_ideal_matches_model () =
+  let n = 4000 in
+  let q = 0.25 and u = 0.2 in
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  let rng = Rng.create 7 in
+  Workload.populate base ~rng ~n;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp"
+       ~restrict:(Workload.restrict_fraction q) ~method_:Manager.Ideal ()
+      : Manager.refresh_report);
+  ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+  let r = Manager.refresh m "s" in
+  let expected = Model.ideal_messages ~n ~q ~u in
+  let actual = float_of_int r.Manager.data_messages in
+  checkb
+    (Printf.sprintf "ideal sim %g vs model %g" actual expected)
+    true
+    (Snapdiff_util.Stats.relative_error ~actual ~expected < 0.12)
+
+let suite =
+  [
+    Alcotest.test_case "model boundaries" `Quick test_model_boundaries;
+    Alcotest.test_case "model ordering" `Quick test_model_ordering;
+    Alcotest.test_case "model monotone" `Quick test_model_monotone_in_u;
+    Alcotest.test_case "model superfluous" `Quick test_model_superfluous_grows_with_restriction;
+    Alcotest.test_case "model gap variants" `Quick test_model_gap_variants_close;
+    Alcotest.test_case "pct of table" `Quick test_pct_of_table;
+    Alcotest.test_case "workload selectivity" `Quick test_workload_selectivity_exact;
+    Alcotest.test_case "workload update fraction" `Quick test_workload_update_fraction_distinct;
+    Alcotest.test_case "workload payload-only" `Quick
+      test_workload_payload_updates_keep_qualification;
+    Alcotest.test_case "workload churn" `Quick test_workload_churn_changes_population;
+    Alcotest.test_case "workload zipf" `Quick test_workload_zipf_runs;
+    Alcotest.test_case "model = simulation (differential)" `Quick test_model_matches_simulation;
+    Alcotest.test_case "model = simulation (ideal)" `Quick test_ideal_matches_model;
+  ]

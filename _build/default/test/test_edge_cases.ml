@@ -1,0 +1,201 @@
+(* Nasty corners: empty tables, total deletion, boundary addresses,
+   adversarial bytes into the codecs, degenerate restrictions. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Expr = Snapdiff_expr.Expr
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let salary t = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+
+(* ------------------------------------------------------------------ *)
+(* Empty and emptied base tables, all methods. *)
+
+let refresh_diff base snap restrict =
+  let msgs = ref [] in
+  ignore
+    (Differential.refresh ~base ~snaptime:(Snapshot_table.snaptime snap) ~restrict
+       ~project:Fun.id
+       ~xmit:(fun m -> msgs := m :: !msgs)
+       ()
+      : Differential.report);
+  List.iter (Snapshot_table.apply snap) (List.rev !msgs);
+  List.length (List.filter Refresh_msg.is_data !msgs)
+
+let test_empty_base_table () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  let data = refresh_diff base snap (fun _ -> true) in
+  (* Empty scan: LastQual = 0, unconditional Tail {0} clears everything. *)
+  checki "one tail message" 1 data;
+  checki "snapshot empty" 0 (Snapshot_table.count snap);
+  checkb "snaptime advanced" true (Snapshot_table.snaptime snap > Clock.never)
+
+let test_fully_emptied_table () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let addrs = List.init 10 (fun i -> Base_table.insert base (emp (string_of_int i) i)) in
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  ignore (refresh_diff base snap (fun _ -> true) : int);
+  checki "populated" 10 (Snapshot_table.count snap);
+  (* Delete EVERYTHING; the tail message alone must clear the snapshot. *)
+  List.iter (Base_table.delete base) addrs;
+  let data = refresh_diff base snap (fun _ -> true) in
+  checki "just the tail" 1 data;
+  checki "snapshot cleared" 0 (Snapshot_table.count snap)
+
+let test_single_entry_lifecycle () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  ignore (refresh_diff base snap (fun _ -> true) : int);
+  let a = Base_table.insert base (emp "only" 1) in
+  ignore (refresh_diff base snap (fun _ -> true) : int);
+  checki "one row" 1 (Snapshot_table.count snap);
+  Base_table.delete base a;
+  ignore (refresh_diff base snap (fun _ -> true) : int);
+  checki "gone" 0 (Snapshot_table.count snap)
+
+let test_degenerate_restrictions () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  for i = 0 to 9 do
+    ignore (Base_table.insert base (emp (string_of_int i) i) : Addr.t)
+  done;
+  let none = Snapshot_table.create ~name:"none" ~schema:emp_schema () in
+  let all = Snapshot_table.create ~name:"all" ~schema:emp_schema () in
+  ignore (refresh_diff base none (fun _ -> false) : int);
+  ignore (refresh_diff base all (fun _ -> true) : int);
+  checki "nothing qualifies" 0 (Snapshot_table.count none);
+  checki "everything qualifies" 10 (Snapshot_table.count all);
+  (* Updates under the empty restriction never produce entry messages. *)
+  Base_table.update base (fst (List.hd (Base_table.to_user_list base))) (emp "u" 99);
+  let data = refresh_diff base none (fun _ -> false) in
+  checki "only the tail under FALSE restriction" 1 data
+
+(* ------------------------------------------------------------------ *)
+(* Address and page boundaries. *)
+
+let test_addr_slot_boundary () =
+  let a = Addr.make ~page:7 ~slot:Addr.max_slot in
+  checki "slot preserved" Addr.max_slot (Addr.slot a);
+  checki "page preserved" 7 (Addr.page a);
+  Alcotest.check_raises "slot overflow" (Invalid_argument "Addr.make: bad slot") (fun () ->
+      ignore (Addr.make ~page:1 ~slot:(Addr.max_slot + 1)))
+
+let test_page_single_giant_record () =
+  let p = Page.create ~page_size:256 in
+  (* Largest record that can ever fit: page minus header minus one slot. *)
+  let max_len = 256 - 4 - 4 in
+  let slot = Page.insert p (Bytes.make max_len 'x') in
+  checkb "fits exactly" true (slot <> None);
+  checkb "nothing else fits" true (Page.insert p (Bytes.of_string "y") = None);
+  Alcotest.check_raises "oversized rejected"
+    (Invalid_argument "Page.insert: record larger than page capacity") (fun () ->
+      ignore (Page.insert (Page.create ~page_size:256) (Bytes.make (max_len + 1) 'x')))
+
+let test_heap_tuple_too_large () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  Alcotest.check_raises "tuple too large" (Heap.Tuple_error "tuple too large for a page")
+    (fun () -> ignore (Heap.insert h (emp (String.make 500 'n') 1) : Addr.t))
+
+(* ------------------------------------------------------------------ *)
+(* Codec fuzz: adversarial bytes must raise Failure, never crash or loop. *)
+
+let prop_value_decode_total =
+  QCheck2.Test.make ~name:"value decode total on garbage" ~count:500
+    Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Value.decode (Bytes.of_string s) 0 with
+      | (_ : Value.t * int) -> true
+      | exception Failure _ -> true)
+
+let prop_msg_decode_total =
+  QCheck2.Test.make ~name:"refresh msg decode total on garbage" ~count:500
+    Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Refresh_msg.decode (Bytes.of_string s) with
+      | (_ : Refresh_msg.t) -> true
+      | exception Failure _ -> true)
+
+let prop_wal_decode_total =
+  QCheck2.Test.make ~name:"wal record decode total on garbage" ~count:500
+    Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Snapdiff_wal.Record.decode (Bytes.of_string s) 0 with
+      | (_ : Snapdiff_wal.Record.t * int) -> true
+      | exception Failure _ -> true)
+
+(* Snapshot apply must tolerate pathological-but-wellformed messages. *)
+let test_snapshot_apply_pathological () =
+  let s = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  Snapshot_table.apply s (Refresh_msg.Region { lo = 10; hi = 5 });  (* inverted: no-op *)
+  Snapshot_table.apply s (Refresh_msg.Tail { last_qual = 0 });  (* empty: no-op *)
+  Snapshot_table.apply s (Refresh_msg.Entry { addr = 1; prev_qual = 1; values = emp "x" 1 });
+  (* prev_qual = addr: empty delete range, plain upsert. *)
+  checki "one entry" 1 (Snapshot_table.count s);
+  Snapshot_table.apply s (Refresh_msg.Snaptime 0);
+  checkb "valid" true (Snapshot_table.validate s = Ok ());
+  (* Arity mismatch is rejected loudly. *)
+  Alcotest.check_raises "bad arity"
+    (Invalid_argument "Snapshot_table: tuple dimensions do not match snapshot schema")
+    (fun () ->
+      Snapshot_table.apply s (Refresh_msg.Upsert { addr = 2; values = Tuple.make [ Value.int 1 ] }))
+
+(* Refreshing with a FUTURE snaptime (clock anomaly) must not send data. *)
+let test_future_snaptime () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  ignore (Base_table.insert base (emp "a" 1) : Addr.t);
+  ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
+  let count = ref 0 in
+  ignore
+    (Differential.refresh ~base ~snaptime:1_000_000
+       ~restrict:(fun _ -> true)
+       ~project:Fun.id
+       ~xmit:(fun m ->
+         if Refresh_msg.is_data m then incr count)
+       ()
+      : Differential.report);
+  checki "only the tail" 1 !count
+
+let test_mixed_restriction_boundaries () =
+  (* Entries sitting exactly on the threshold. *)
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  ignore (Base_table.insert base (emp "under" 9) : Addr.t);
+  ignore (Base_table.insert base (emp "exact" 10) : Addr.t);
+  ignore (Base_table.insert base (emp "over" 11) : Addr.t);
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  ignore (refresh_diff base snap (fun t -> salary t < 10) : int);
+  Alcotest.(check (list string)) "strictly below" [ "'under'" ]
+    (List.map (fun t -> Value.to_string (Tuple.get t 0)) (Snapshot_table.tuples snap))
+
+let suite =
+  [
+    Alcotest.test_case "empty base table" `Quick test_empty_base_table;
+    Alcotest.test_case "fully emptied table" `Quick test_fully_emptied_table;
+    Alcotest.test_case "single entry lifecycle" `Quick test_single_entry_lifecycle;
+    Alcotest.test_case "degenerate restrictions" `Quick test_degenerate_restrictions;
+    Alcotest.test_case "addr slot boundary" `Quick test_addr_slot_boundary;
+    Alcotest.test_case "page giant record" `Quick test_page_single_giant_record;
+    Alcotest.test_case "heap tuple too large" `Quick test_heap_tuple_too_large;
+    Alcotest.test_case "snapshot apply pathological" `Quick test_snapshot_apply_pathological;
+    Alcotest.test_case "future snaptime" `Quick test_future_snaptime;
+    Alcotest.test_case "restriction boundaries" `Quick test_mixed_restriction_boundaries;
+    QCheck_alcotest.to_alcotest prop_value_decode_total;
+    QCheck_alcotest.to_alcotest prop_msg_decode_total;
+    QCheck_alcotest.to_alcotest prop_wal_decode_total;
+  ]

@@ -1,0 +1,363 @@
+(* Tests for the paper-mandated extensions: secondary indexes on snapshots,
+   cascaded snapshots (snapshots as base tables for other snapshots),
+   multi-table query snapshots (full re-evaluation), and the SQL surface
+   for all three. *)
+
+open Snapdiff_storage
+open Snapdiff_core
+module Clock = Snapdiff_txn.Clock
+module Expr = Snapdiff_expr.Expr
+module Database = Snapdiff_sql.Database
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes on snapshot tables *)
+
+let filled_snapshot () =
+  let s = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  List.iteri
+    (fun i (n, sal) ->
+      Snapshot_table.apply s (Refresh_msg.Upsert { addr = i + 1; values = emp n sal }))
+    [ ("a", 5); ("b", 9); ("c", 5); ("d", 7); ("e", 9) ];
+  s
+
+let test_index_lookup () =
+  let s = filled_snapshot () in
+  Snapshot_table.create_index s ~column:"salary";
+  Alcotest.(check (list int)) "two with salary 5" [ 1; 3 ]
+    (Snapshot_table.lookup s ~column:"salary" (Value.int 5));
+  Alcotest.(check (list int)) "none with salary 6" []
+    (Snapshot_table.lookup s ~column:"salary" (Value.int 6));
+  Alcotest.(check (list int)) "range 6..9" [ 2; 4; 5 ]
+    (Snapshot_table.lookup_range s ~column:"salary" ~lo:(Value.int 6) ~hi:(Value.int 9) ());
+  checkb "has index" true (Snapshot_table.has_index s ~column:"salary");
+  Alcotest.(check (list string)) "listed" [ "salary" ] (Snapshot_table.indexed_columns s)
+
+let test_index_maintained_through_apply () =
+  let s = filled_snapshot () in
+  Snapshot_table.create_index s ~column:"salary";
+  (* Update: entry 1 moves from salary 5 to 9. *)
+  Snapshot_table.apply s (Refresh_msg.Upsert { addr = 1; values = emp "a" 9 });
+  Alcotest.(check (list int)) "5 bucket shrank" [ 3 ]
+    (Snapshot_table.lookup s ~column:"salary" (Value.int 5));
+  Alcotest.(check (list int)) "9 bucket grew" [ 1; 2; 5 ]
+    (Snapshot_table.lookup s ~column:"salary" (Value.int 9));
+  (* Range deletion via an Entry message. *)
+  Snapshot_table.apply s (Refresh_msg.Entry { addr = 4; prev_qual = 1; values = emp "d" 7 });
+  Alcotest.(check (list int)) "2,3 deleted from buckets" [ 1; 5 ]
+    (Snapshot_table.lookup s ~column:"salary" (Value.int 9));
+  (* Clear wipes the index too. *)
+  Snapshot_table.apply s Refresh_msg.Clear;
+  Alcotest.(check (list int)) "empty" [] (Snapshot_table.lookup s ~column:"salary" (Value.int 7))
+
+let test_index_backfill_and_errors () =
+  let s = filled_snapshot () in
+  (* Created after the data exists: backfilled. *)
+  Snapshot_table.create_index s ~column:"name";
+  Alcotest.(check (list int)) "backfilled" [ 3 ]
+    (Snapshot_table.lookup s ~column:"name" (Value.str "c"));
+  (* Idempotent. *)
+  Snapshot_table.create_index s ~column:"name";
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Snapshot_table.create_index: unknown column ghost") (fun () ->
+      Snapshot_table.create_index s ~column:"ghost");
+  Alcotest.check_raises "lookup without index"
+    (Invalid_argument "Snapshot_table.lookup: no index on salary") (fun () ->
+      ignore (Snapshot_table.lookup s ~column:"salary" (Value.int 5)))
+
+(* ------------------------------------------------------------------ *)
+(* Cascaded snapshots *)
+
+let salary t = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+
+(* Base -> snapshot (salary < 10) -> cascade (salary < 8, name only). *)
+let cascade_setup () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  List.iter
+    (fun (n, s) -> ignore (Base_table.insert base (emp n s) : Addr.t))
+    [ ("Bruce", 15); ("Hamid", 9); ("Jack", 6); ("Mohan", 9); ("Paul", 8) ];
+  ignore
+    (Manager.create_snapshot m ~name:"lowpay" ~base:"emp"
+       ~restrict:Expr.(col "salary" <. int 10)
+       ~method_:Manager.Differential ()
+      : Manager.refresh_report);
+  let parent = Manager.snapshot_table m "lowpay" in
+  let casc =
+    Cascade.attach ~upstream:parent ~name:"verylow"
+      ~restrict:(fun t -> salary t < 8)
+      ~projection:[ "name" ] ()
+  in
+  (base, m, parent, casc)
+
+let names_of table =
+  List.map (fun t -> Value.to_string (Tuple.get t 0)) (Snapshot_table.tuples table)
+
+let test_cascade_initial_sync () =
+  let _, _, _, casc = cascade_setup () in
+  Alcotest.(check (list string)) "initial" [ "'Jack'" ] (names_of (Cascade.table casc));
+  checkb "projected to one column" true
+    (List.for_all (fun t -> Array.length t = 1) (Snapshot_table.tuples (Cascade.table casc)))
+
+let test_cascade_tracks_parent_refreshes () =
+  let base, m, parent, casc = cascade_setup () in
+  let find name =
+    fst (List.find (fun (_, u) -> Tuple.get u 0 = Value.str name) (Base_table.to_user_list base))
+  in
+  (* Paul drops to 5 (enters cascade), Jack rises to 9 (leaves cascade but
+     stays in parent), Mohan leaves both. *)
+  Base_table.update base (find "Paul") (emp "Paul" 5);
+  Base_table.update base (find "Jack") (emp "Jack" 9);
+  Base_table.update base (find "Mohan") (emp "Mohan" 20);
+  (* Cascade updates in lock-step with the PARENT's refresh. *)
+  Alcotest.(check (list string)) "stale before parent refresh" [ "'Jack'" ]
+    (names_of (Cascade.table casc));
+  ignore (Manager.refresh m "lowpay" : Manager.refresh_report);
+  Alcotest.(check (list string)) "parent state" [ "'Hamid'"; "'Jack'"; "'Paul'" ]
+    (List.sort compare (names_of parent));
+  Alcotest.(check (list string)) "cascade state" [ "'Paul'" ] (names_of (Cascade.table casc));
+  checki "snaptime inherited" (Snapshot_table.snaptime parent)
+    (Snapshot_table.snaptime (Cascade.table casc));
+  checkb "valid" true (Snapshot_table.validate (Cascade.table casc) = Ok ())
+
+let test_cascade_of_cascade () =
+  let base, m, _, casc = cascade_setup () in
+  let level2 =
+    Cascade.attach ~upstream:(Cascade.table casc) ~name:"level2"
+      ~restrict:(fun t -> Tuple.get t 0 <> Value.str "Jack")
+      ()
+  in
+  checki "initially empty (only Jack qualified upstream)" 0
+    (Snapshot_table.count (Cascade.table level2));
+  let find name =
+    fst (List.find (fun (_, u) -> Tuple.get u 0 = Value.str name) (Base_table.to_user_list base))
+  in
+  Base_table.update base (find "Paul") (emp "Paul" 3);
+  ignore (Manager.refresh m "lowpay" : Manager.refresh_report);
+  Alcotest.(check (list string)) "propagated two levels" [ "'Paul'" ]
+    (names_of (Cascade.table level2))
+
+let test_cascade_property_faithful =
+  QCheck2.Test.make ~name:"cascade = restriction of parent" ~count:100
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 40)
+           (pair (int_range 0 3) (pair (int_range 0 1000) (int_range 0 19))))
+        (int_range 0 20))
+    (fun (script, threshold) ->
+      let clock = Clock.create () in
+      let base = Base_table.create ~name:"emp" ~clock emp_schema in
+      let m = Manager.create () in
+      Manager.register_base m base;
+      for i = 0 to 5 do
+        ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3)) : Addr.t)
+      done;
+      ignore
+        (Manager.create_snapshot m ~name:"parent" ~base:"emp"
+           ~restrict:Expr.(col "salary" <. int 14)
+           ~method_:Manager.Differential ()
+          : Manager.refresh_report);
+      let casc =
+        Cascade.attach
+          ~upstream:(Manager.snapshot_table m "parent")
+          ~name:"child"
+          ~restrict:(fun t -> salary t < threshold)
+          ()
+      in
+      let n = ref 0 in
+      List.iter
+        (fun (op, (pick, sal)) ->
+          incr n;
+          let live = Base_table.to_user_list base in
+          match op with
+          | 0 -> ignore (Base_table.insert base (emp (Printf.sprintf "x%d" !n) sal) : Addr.t)
+          | 1 when live <> [] ->
+            let addr = fst (List.nth live (pick mod List.length live)) in
+            Base_table.update base addr (emp (Printf.sprintf "u%d" !n) sal)
+          | 2 when live <> [] ->
+            let addr = fst (List.nth live (pick mod List.length live)) in
+            Base_table.delete base addr
+          | _ -> ignore (Manager.refresh m "parent" : Manager.refresh_report))
+        script;
+      ignore (Manager.refresh m "parent" : Manager.refresh_report);
+      let parent = Manager.snapshot_table m "parent" in
+      let expected =
+        List.filter (fun (_, t) -> salary t < threshold) (Snapshot_table.contents parent)
+      in
+      Snapshot_table.contents (Cascade.table casc) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* SQL: joins, query snapshots, cascades, CREATE INDEX *)
+
+let setup_db () =
+  let db = Database.create () in
+  let exec s =
+    match Database.run db s with
+    | r -> r
+    | exception Database.Sql_error m -> Alcotest.failf "%s failed: %s" s m
+  in
+  ignore (exec "CREATE TABLE emp (name STRING NOT NULL, dept STRING NOT NULL, salary INT NOT NULL)");
+  ignore (exec "CREATE TABLE dept (dname STRING NOT NULL, floor INT NOT NULL)");
+  ignore
+    (exec
+       "INSERT INTO emp VALUES ('Bruce','db',15), ('Laura','db',6), ('Hamid','os',9), \
+        ('Paul','net',8)");
+  ignore (exec "INSERT INTO dept VALUES ('db',3), ('os',2), ('net',1)");
+  (db, exec)
+
+let rows_of = function
+  | Database.Rows (_, rows) -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let test_sql_join () =
+  let _, exec = setup_db () in
+  let rows =
+    rows_of
+      (exec
+         "SELECT name, floor FROM emp, dept WHERE dept = dname AND salary < 10 ORDER BY name")
+  in
+  checki "three joined" 3 (List.length rows);
+  (match rows with
+  | first :: _ ->
+    Alcotest.check tuple "Hamid on floor 2" (Tuple.make [ Value.str "Hamid"; Value.int 2 ]) first
+  | [] -> Alcotest.fail "empty");
+  (* Qualified references disambiguate. *)
+  let rows = rows_of (exec "SELECT emp.name FROM emp, dept WHERE emp.dept = dept.dname") in
+  checki "qualified join" 4 (List.length rows)
+
+let test_sql_join_ambiguity () =
+  let db, exec = setup_db () in
+  ignore (exec "CREATE TABLE emp2 (name STRING NOT NULL, x INT)");
+  match Database.run db "SELECT name FROM emp, emp2" with
+  | exception Database.Sql_error m ->
+    checkb "mentions ambiguity" true
+      (String.length m > 0)
+  | _ -> Alcotest.fail "ambiguous column accepted"
+
+let test_sql_query_snapshot () =
+  let db, exec = setup_db () in
+  (match
+     exec
+       "CREATE SNAPSHOT roster AS SELECT name, floor FROM emp, dept \
+        WHERE dept = dname AND salary < 10"
+   with
+  | Database.Refreshed r ->
+    checki "three rows shipped" 3 r.Database.Manager.data_messages
+  | _ -> Alcotest.fail "create");
+  checki "queryable" 3 (List.length (rows_of (exec "SELECT * FROM roster")));
+  (* Base changes; refresh re-evaluates the query. *)
+  ignore (exec "UPDATE emp SET salary = 5 WHERE name = 'Bruce'");
+  (match exec "REFRESH SNAPSHOT roster" with
+  | Database.Refreshed r ->
+    checkb "full re-evaluation" true
+      (r.Database.Manager.method_used = Snapdiff_core.Manager.Used_full);
+    checki "four now" 4 r.Database.Manager.data_messages
+  | _ -> Alcotest.fail "refresh");
+  checki "caught up" 4 (List.length (rows_of (exec "SELECT * FROM roster")));
+  (* Differential refresh over several tables is refused, per the paper. *)
+  (match
+     Database.run db
+       "CREATE SNAPSHOT bad AS SELECT name FROM emp, dept REFRESH DIFFERENTIAL"
+   with
+  | exception Database.Sql_error _ -> ()
+  | _ -> Alcotest.fail "multi-table differential accepted");
+  (* Dropping a table a query snapshot uses is refused. *)
+  match Database.run db "DROP TABLE dept" with
+  | exception Database.Sql_error _ -> ()
+  | _ -> Alcotest.fail "dangling query snapshot"
+
+let test_sql_cascade () =
+  let db, exec = setup_db () in
+  ignore (exec "CREATE SNAPSHOT lowpay AS SELECT * FROM emp WHERE salary < 10 REFRESH DIFFERENTIAL");
+  ignore (exec "CREATE SNAPSHOT verylow AS SELECT name FROM lowpay WHERE salary < 8");
+  checki "initial cascade" 1 (List.length (rows_of (exec "SELECT * FROM verylow")));
+  ignore (exec "UPDATE emp SET salary = 4 WHERE name = 'Hamid'");
+  (* Refreshing the cascade refreshes its root and propagates. *)
+  ignore (exec "REFRESH SNAPSHOT verylow");
+  Alcotest.(check (list string)) "propagated" [ "'Hamid'"; "'Laura'" ]
+    (List.sort compare
+       (List.map (fun r -> Value.to_string (Tuple.get r 0)) (rows_of (exec "SELECT * FROM verylow"))));
+  (* Cannot drop a parent that feeds a cascade. *)
+  (match Database.run db "DROP SNAPSHOT lowpay" with
+  | exception Database.Sql_error _ -> ()
+  | _ -> Alcotest.fail "dropped a cascade parent");
+  ignore (exec "DROP SNAPSHOT verylow");
+  match Database.run db "DROP SNAPSHOT lowpay" with
+  | Database.Dropped _ -> ()
+  | _ -> Alcotest.fail "drop after child gone"
+
+let test_sql_create_index_and_fast_path () =
+  let db, exec = setup_db () in
+  ignore (exec "CREATE SNAPSHOT s AS SELECT * FROM emp REFRESH DIFFERENTIAL");
+  ignore (exec "CREATE INDEX ON s (dept)");
+  checki "no index scans yet" 0 (Database.index_scans db);
+  let rows = rows_of (exec "SELECT name FROM s WHERE dept = 'db' ORDER BY name") in
+  checki "two in db" 2 (List.length rows);
+  checki "served by the index" 1 (Database.index_scans db);
+  (* Index stays correct across refreshes. *)
+  ignore (exec "UPDATE emp SET dept = 'os' WHERE name = 'Laura'");
+  ignore (exec "REFRESH SNAPSHOT s");
+  let rows = rows_of (exec "SELECT name FROM s WHERE dept = 'db'") in
+  checki "one left in db" 1 (List.length rows);
+  checki "index scan again" 2 (Database.index_scans db);
+  (* Errors. *)
+  (match Database.run db "CREATE INDEX ON emp (dept)" with
+  | exception Database.Sql_error _ -> ()
+  | _ -> Alcotest.fail "index on base table accepted");
+  match Database.run db "CREATE INDEX ON s (ghost)" with
+  | exception Database.Sql_error _ -> ()
+  | _ -> Alcotest.fail "index on ghost column accepted"
+
+let test_sql_show_explain_extended () =
+  let _, exec = setup_db () in
+  ignore (exec "CREATE SNAPSHOT lowpay AS SELECT * FROM emp WHERE salary < 10");
+  ignore (exec "CREATE SNAPSHOT roster AS SELECT name, floor FROM emp, dept WHERE dept = dname");
+  ignore (exec "CREATE SNAPSHOT sub AS SELECT * FROM lowpay");
+  (match exec "SHOW SNAPSHOTS" with
+  | Database.Info lines -> checki "three listed" 3 (List.length lines)
+  | _ -> Alcotest.fail "show");
+  (match exec "EXPLAIN SNAPSHOT roster" with
+  | Database.Info lines ->
+    checkb "mentions re-evaluation" true
+      (List.exists
+         (fun l ->
+           let has_sub needle hay =
+             let ln = String.length needle and lh = String.length hay in
+             let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+             go 0
+           in
+           has_sub "re-evaluation" l)
+         lines)
+  | _ -> Alcotest.fail "explain roster");
+  match exec "EXPLAIN SNAPSHOT sub" with
+  | Database.Info lines -> checkb "cascade explained" true (List.length lines >= 4)
+  | _ -> Alcotest.fail "explain sub"
+
+let suite =
+  [
+    Alcotest.test_case "index lookup" `Quick test_index_lookup;
+    Alcotest.test_case "index maintained" `Quick test_index_maintained_through_apply;
+    Alcotest.test_case "index backfill + errors" `Quick test_index_backfill_and_errors;
+    Alcotest.test_case "cascade initial sync" `Quick test_cascade_initial_sync;
+    Alcotest.test_case "cascade tracks parent" `Quick test_cascade_tracks_parent_refreshes;
+    Alcotest.test_case "cascade of cascade" `Quick test_cascade_of_cascade;
+    QCheck_alcotest.to_alcotest test_cascade_property_faithful;
+    Alcotest.test_case "sql join" `Quick test_sql_join;
+    Alcotest.test_case "sql join ambiguity" `Quick test_sql_join_ambiguity;
+    Alcotest.test_case "sql query snapshot" `Quick test_sql_query_snapshot;
+    Alcotest.test_case "sql cascade" `Quick test_sql_cascade;
+    Alcotest.test_case "sql index fast path" `Quick test_sql_create_index_and_fast_path;
+    Alcotest.test_case "sql show/explain extended" `Quick test_sql_show_explain_extended;
+  ]

@@ -1,0 +1,105 @@
+(* Tests for equi-depth histograms and expression-level selectivity
+   estimation, including a property against exact measurement. *)
+
+open Snapdiff_storage
+open Snapdiff_expr
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+let feq eps = Alcotest.(check (float eps))
+
+let ints xs = List.map Value.int xs
+
+let uniform n = ints (List.init n (fun i -> i))
+
+let test_rank_uniform () =
+  let h = Histogram.build (uniform 1000) in
+  feq 0.02 "rank of 0" 0.0 (Histogram.rank h (Value.int 0));
+  feq 0.02 "rank of 500" 0.5 (Histogram.rank h (Value.int 500));
+  feq 0.02 "rank of 999" 0.999 (Histogram.rank h (Value.int 999))
+
+let test_cmp_selectivities () =
+  let h = Histogram.build (uniform 1000) in
+  feq 0.02 "lt 250" 0.25 (Histogram.selectivity_cmp h Expr.Lt (Value.int 250));
+  feq 0.02 "ge 900" 0.1 (Histogram.selectivity_cmp h Expr.Ge (Value.int 900));
+  feq 0.02 "between" 0.30 (Histogram.selectivity_between h (Value.int 100) (Value.int 400));
+  checkb "eq small" true (Histogram.selectivity_cmp h Expr.Eq (Value.int 7) < 0.05);
+  feq 0.02 "neq" 1.0 (Histogram.selectivity_cmp h Expr.Neq (Value.int 7))
+
+let test_heavy_hitters () =
+  (* 60% of the column is the value 42: equality on it must estimate high. *)
+  let values = ints (List.init 600 (fun _ -> 42) @ List.init 400 (fun i -> i + 1000)) in
+  let h = Histogram.build values in
+  checkb "heavy hitter found" true (Histogram.selectivity_cmp h Expr.Eq (Value.int 42) > 0.45);
+  checkb "cold value low" true (Histogram.selectivity_cmp h Expr.Eq (Value.int 1001) < 0.1)
+
+let test_nulls () =
+  let values = Value.Null :: Value.Null :: ints [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let h = Histogram.build values in
+  feq 1e-9 "null fraction" 0.2 (Histogram.null_fraction h);
+  (* NULLs never satisfy a comparison: everything scales by 0.8. *)
+  feq 0.05 "lt scaled" 0.8 (Histogram.selectivity_cmp h Expr.Lt (Value.int 100));
+  feq 1e-9 "cmp with NULL" 0.0 (Histogram.selectivity_cmp h Expr.Lt Value.Null)
+
+let test_empty_and_tiny () =
+  let h = Histogram.build [] in
+  feq 1e-9 "empty" 0.0 (Histogram.selectivity_cmp h Expr.Lt (Value.int 5));
+  let h1 = Histogram.build (ints [ 7 ]) in
+  feq 1e-9 "singleton eq" 1.0 (Histogram.selectivity_cmp h1 Expr.Eq (Value.int 7));
+  feq 1e-9 "singleton lt" 0.0 (Histogram.selectivity_cmp h1 Expr.Lt (Value.int 7))
+
+let test_strings () =
+  let h = Histogram.build (List.map Value.str [ "a"; "b"; "c"; "d" ]) in
+  feq 0.01 "lt c" 0.5 (Histogram.selectivity_cmp h Expr.Lt (Value.str "c"))
+
+let test_estimate_composition () =
+  let h = Histogram.build (uniform 1000) in
+  let lookup = function "x" -> Some h | _ -> None in
+  let est e = Histogram.estimate lookup e in
+  feq 0.03 "leaf" 0.25 (est Expr.(col "x" <. int 250));
+  feq 0.03 "flipped leaf (const op col)" 0.25 (est Expr.(Cmp (Gt, int 250, col "x")));
+  feq 0.05 "and" (0.25 *. 0.5) (est Expr.(col "x" <. int 250 &&& (col "x" <. int 500)));
+  feq 0.05 "not" 0.75 (est Expr.(Not (col "x" <. int 250)));
+  feq 0.05 "between via estimate" 0.2 (est Expr.(Between (col "x", int 100, int 300)));
+  (* Unknown column falls back to the heuristic. *)
+  feq 1e-9 "fallback" (Selectivity.heuristic Expr.(col "y" <. int 1))
+    (est Expr.(col "y" <. int 1))
+
+(* Property: the histogram estimate of a random range predicate over a
+   random integer column is close to the exact measured fraction. *)
+let prop_close_to_exact =
+  QCheck2.Test.make ~name:"histogram tracks exact selectivity" ~count:200
+    Gen.(
+      pair
+        (list_size (int_range 50 500) (int_range 0 100))
+        (pair (int_range 0 100) (oneofl [ `Lt; `Le; `Gt; `Eq ])))
+    (fun (data, (threshold, op)) ->
+      let values = ints data in
+      let h = Histogram.build values in
+      let pred v =
+        match op with
+        | `Lt -> v < threshold
+        | `Le -> v <= threshold
+        | `Gt -> v > threshold
+        | `Eq -> v = threshold
+      in
+      let exact =
+        float_of_int (List.length (List.filter pred data)) /. float_of_int (List.length data)
+      in
+      let cmpop =
+        match op with `Lt -> Expr.Lt | `Le -> Expr.Le | `Gt -> Expr.Gt | `Eq -> Expr.Eq
+      in
+      let est = Histogram.selectivity_cmp h cmpop (Value.int threshold) in
+      Float.abs (est -. exact) < 0.08)
+
+let suite =
+  [
+    Alcotest.test_case "rank uniform" `Quick test_rank_uniform;
+    Alcotest.test_case "cmp selectivities" `Quick test_cmp_selectivities;
+    Alcotest.test_case "heavy hitters" `Quick test_heavy_hitters;
+    Alcotest.test_case "nulls" `Quick test_nulls;
+    Alcotest.test_case "empty/tiny" `Quick test_empty_and_tiny;
+    Alcotest.test_case "strings" `Quick test_strings;
+    Alcotest.test_case "estimate composition" `Quick test_estimate_composition;
+    QCheck_alcotest.to_alcotest prop_close_to_exact;
+  ]

@@ -1,0 +1,165 @@
+(* One long, realistic end-to-end scenario through the SQL engine,
+   exercising everything together: DDL, DML, statistics, every refresh
+   method, indexes, joins, query snapshots, cascades, aggregates, dump —
+   with faithfulness asserted after every refresh. *)
+
+open Snapdiff_storage
+module Database = Snapdiff_sql.Database
+module Manager = Snapdiff_core.Manager
+module Snapshot_table = Snapdiff_core.Snapshot_table
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_full_scenario () =
+  let db = Database.create () in
+  let exec s =
+    match Database.run db s with
+    | r -> r
+    | exception Database.Sql_error m -> Alcotest.failf "%s\n  failed: %s" s m
+  in
+  let rows s =
+    match exec s with
+    | Database.Rows (_, rows) -> rows
+    | _ -> Alcotest.failf "%s: expected rows" s
+  in
+  let int1 s =
+    match rows s with
+    | [ r ] -> (match Tuple.get r 0 with Value.Int i -> Int64.to_int i | _ -> -1)
+    | _ -> Alcotest.failf "%s: expected one row" s
+  in
+  (* The snapshot-vs-live faithfulness oracle, via SQL itself. *)
+  let assert_matches_live ~snap ~live_query msg =
+    let got = rows (Printf.sprintf "SELECT * FROM %s ORDER BY id" snap) in
+    let want = rows (live_query ^ " ORDER BY id") in
+    if got <> want then
+      Alcotest.failf "%s: snapshot %s has %d rows, live view has %d" msg snap
+        (List.length got) (List.length want)
+  in
+
+  (* --- Schema and initial data ------------------------------------ *)
+  ignore (exec "CREATE TABLE accounts (id INT NOT NULL, region STRING NOT NULL, \
+                balance INT NOT NULL, flagged BOOL NOT NULL)");
+  ignore (exec "CREATE TABLE regions (rname STRING NOT NULL, manager STRING NOT NULL)");
+  ignore (exec "INSERT INTO regions VALUES ('eu','Laura'), ('us','Bruce'), ('apac','Mohan')");
+  let seed = Snapdiff_util.Rng.create 77 in
+  let regions = [| "eu"; "us"; "apac" |] in
+  for batch = 0 to 7 do
+    let values =
+      String.concat ", "
+        (List.init 50 (fun i ->
+             let id = (batch * 50) + i in
+             Printf.sprintf "(%d, '%s', %d, %s)" id
+               regions.(Snapdiff_util.Rng.int seed 3)
+               (Snapdiff_util.Rng.int seed 10_000)
+               (if Snapdiff_util.Rng.bernoulli seed 0.1 then "TRUE" else "FALSE")))
+    in
+    ignore (exec (Printf.sprintf "INSERT INTO accounts VALUES %s" values))
+  done;
+  checki "400 accounts" 400 (int1 "SELECT COUNT(*) FROM accounts");
+
+  (* --- Statistics + snapshots of every stripe --------------------- *)
+  ignore (exec "ANALYZE");
+  ignore (exec "CREATE SNAPSHOT rich AS SELECT * FROM accounts WHERE balance >= 5000 \
+                REFRESH DIFFERENTIAL");
+  ignore (exec "CREATE SNAPSHOT eu_accts AS SELECT * FROM accounts WHERE region = 'eu' \
+                REFRESH AUTO");
+  ignore (exec "CREATE SNAPSHOT audit AS SELECT * FROM accounts WHERE flagged \
+                REFRESH LOGBASED");
+  ignore (exec "CREATE SNAPSHOT watched AS SELECT * FROM accounts WHERE balance < 100 \
+                REFRESH IDEAL");
+  ignore (exec "CREATE INDEX ON rich (region)");
+  ignore (exec "CREATE SNAPSHOT rich_eu AS SELECT id, balance FROM rich WHERE region = 'eu'");
+  ignore (exec "CREATE SNAPSHOT managed AS SELECT id, manager FROM accounts, regions \
+                WHERE region = rname AND flagged");
+
+  (* --- Weeks of activity, refreshing and checking every round ----- *)
+  for week = 1 to 6 do
+    (* Some deposits/withdrawals, new accounts, closures, flag churn. *)
+    ignore (exec (Printf.sprintf
+        "UPDATE accounts SET balance = balance + %d WHERE id %% 7 = %d"
+        (100 * week) (week mod 7)));
+    ignore (exec (Printf.sprintf
+        "UPDATE accounts SET flagged = TRUE WHERE balance > %d AND id %% 11 = %d"
+        (9000 - (week * 200)) (week mod 11)));
+    ignore (exec (Printf.sprintf "DELETE FROM accounts WHERE id %% 53 = %d" (week * 7 mod 53)));
+    ignore (exec (Printf.sprintf "INSERT INTO accounts VALUES (%d, 'eu', %d, FALSE), \
+                                  (%d, 'us', %d, TRUE)"
+        (1000 + week) (week * 123) (2000 + week) (week * 321)));
+    (* Refresh everything. *)
+    List.iter
+      (fun s -> ignore (exec (Printf.sprintf "REFRESH SNAPSHOT %s" s)))
+      [ "rich"; "eu_accts"; "audit"; "watched"; "managed" ];
+    (* Faithfulness of every single-table snapshot. *)
+    assert_matches_live ~snap:"rich"
+      ~live_query:"SELECT * FROM accounts WHERE balance >= 5000"
+      (Printf.sprintf "week %d" week);
+    assert_matches_live ~snap:"eu_accts"
+      ~live_query:"SELECT * FROM accounts WHERE region = 'eu'"
+      (Printf.sprintf "week %d" week);
+    assert_matches_live ~snap:"audit" ~live_query:"SELECT * FROM accounts WHERE flagged"
+      (Printf.sprintf "week %d" week);
+    assert_matches_live ~snap:"watched"
+      ~live_query:"SELECT * FROM accounts WHERE balance < 100"
+      (Printf.sprintf "week %d" week);
+    (* The cascade follows its parent. *)
+    let casc = rows "SELECT * FROM rich_eu ORDER BY id" in
+    let want = rows "SELECT id, balance FROM rich WHERE region = 'eu' ORDER BY id" in
+    checkb (Printf.sprintf "week %d cascade" week) true (casc = want);
+    (* The query snapshot equals its re-evaluated join. *)
+    let qsnap = rows "SELECT * FROM managed ORDER BY id" in
+    let want =
+      rows "SELECT id, manager FROM accounts, regions WHERE region = rname AND flagged \
+            ORDER BY id"
+    in
+    checkb (Printf.sprintf "week %d query snapshot" week) true (qsnap = want)
+  done;
+
+  (* --- Aggregate reporting over the frozen state ------------------ *)
+  let report =
+    rows "SELECT region, COUNT(*), SUM(balance) FROM eu_accts GROUP BY region"
+  in
+  checki "eu report is one group" 1 (List.length report);
+  checkb "aggregates over a snapshot work" true
+    (int1 "SELECT COUNT(*) FROM rich" > 0);
+
+  (* The index fast path is live on the rich snapshot. *)
+  let before = Database.index_scans db in
+  ignore (rows "SELECT id FROM rich WHERE region = 'us'");
+  checki "indexed select" (before + 1) (Database.index_scans db);
+
+  (* --- Snapshot internals stayed consistent ----------------------- *)
+  let mgr = Database.manager db in
+  List.iter
+    (fun name ->
+      match Snapshot_table.validate (Manager.snapshot_table mgr name) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "snapshot %s invariant: %s" name e)
+    (Manager.snapshot_names mgr);
+
+  (* --- Dump / restore the whole zoo and compare everything -------- *)
+  let script =
+    match exec "DUMP" with
+    | Database.Info lines -> String.concat "\n" lines
+    | _ -> Alcotest.fail "dump"
+  in
+  let db2 = Database.create () in
+  (match Database.run_script db2 script with
+  | (_ : (Snapdiff_sql.Ast.stmt * Database.result) list) -> ()
+  | exception Database.Sql_error m -> Alcotest.failf "restore failed: %s" m);
+  List.iter
+    (fun q ->
+      let a = match Database.run db q with Database.Rows (_, r) -> r | _ -> [] in
+      let b = match Database.run db2 q with Database.Rows (_, r) -> r | _ -> [] in
+      checkb (Printf.sprintf "restored: %s" q) true (a = b))
+    [
+      "SELECT * FROM accounts ORDER BY id";
+      "SELECT * FROM rich ORDER BY id";
+      "SELECT * FROM eu_accts ORDER BY id";
+      "SELECT * FROM audit ORDER BY id";
+      "SELECT * FROM watched ORDER BY id";
+      "SELECT * FROM rich_eu ORDER BY id";
+      "SELECT * FROM managed ORDER BY id";
+    ]
+
+let suite = [ Alcotest.test_case "full scenario" `Quick test_full_scenario ]

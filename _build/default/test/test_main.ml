@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "snapdiff"
+    [
+      ("util", Test_util.suite);
+      ("storage", Test_storage.suite);
+      ("index", Test_index.suite);
+      ("txn", Test_txn.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("wal", Test_wal.suite);
+      ("expr", Test_expr.suite);
+      ("simplify", Test_simplify.suite);
+      ("histogram", Test_histogram.suite);
+      ("core", Test_core.suite);
+      ("stepwise", Test_stepwise.suite);
+      ("methods", Test_methods.suite);
+      ("properties", Test_properties.suite);
+      ("analysis", Test_analysis.suite);
+      ("sql", Test_sql.suite);
+      ("extensions", Test_extensions.suite);
+      ("durability", Test_durability.suite);
+      ("persistence", Test_persistence.suite);
+      ("edge-cases", Test_edge_cases.suite);
+      ("failures", Test_failures.suite);
+      ("integration", Test_integration.suite);
+    ]

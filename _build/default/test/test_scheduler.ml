@@ -1,0 +1,185 @@
+(* Tests for the cooperative transaction scheduler: interleaving, blocking
+   on the paper's table-level refresh lock, deadlock victims, and
+   transaction-consistent refresh under concurrency. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Expr = Snapdiff_expr.Expr
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let index_of_event t needle =
+  let rec go i = function
+    | [] -> None
+    | e :: rest -> if e = needle then Some i else go (i + 1) rest
+  in
+  go 0 (Scheduler.trace t)
+
+let before t a b =
+  match (index_of_event t a, index_of_event t b) with
+  | Some i, Some j -> i < j
+  | _ -> false
+
+let test_independent_sessions_interleave () =
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let log = ref [] in
+  let mk name res =
+    Scheduler.spawn t ~name
+      [
+        Scheduler.Lock (Lock.Table res, Lock.X);
+        Scheduler.Work ("a", fun () -> log := (name ^ ".a") :: !log);
+        Scheduler.Work ("b", fun () -> log := (name ^ ".b") :: !log);
+        Scheduler.Commit;
+      ]
+  in
+  let s1 = mk "t1" "r1" in
+  let s2 = mk "t2" "r2" in
+  Scheduler.run t;
+  checkb "both committed" true
+    (Scheduler.outcome s1 = Some Scheduler.Committed
+    && Scheduler.outcome s2 = Some Scheduler.Committed);
+  (* Round-robin: t2's first work lands between t1's two works. *)
+  Alcotest.(check (list string)) "interleaved"
+    [ "t1.a"; "t2.a"; "t1.b"; "t2.b" ]
+    (List.rev !log)
+
+let test_writer_blocks_refresher () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  ignore (Base_table.insert base (emp "Bruce" 15) : Addr.t);
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let table = Base_table.lock_resource base in
+  let writer =
+    Scheduler.spawn t ~name:"writer"
+      [
+        Scheduler.Lock (table, Lock.IX);
+        Scheduler.Work ("hire", fun () -> ignore (Base_table.insert base (emp "Laura" 6) : Addr.t));
+        Scheduler.Work ("hire2", fun () -> ignore (Base_table.insert base (emp "Mohan" 9) : Addr.t));
+        Scheduler.Commit;
+      ]
+  in
+  let seen = ref (-1) in
+  let refresher =
+    Scheduler.spawn t ~name:"refresher"
+      [
+        Scheduler.Lock (table, Lock.X);
+        Scheduler.Work ("scan", fun () -> seen := Base_table.count base);
+        Scheduler.Commit;
+      ]
+  in
+  Scheduler.run t;
+  checkb "both finished" true
+    (Scheduler.outcome writer = Some Scheduler.Committed
+    && Scheduler.outcome refresher = Some Scheduler.Committed);
+  (* The refresher blocked, and once it ran it saw BOTH of the writer's
+     inserts: a transaction-consistent view, never a half-done one. *)
+  checkb "refresher blocked first" true (before t "refresher: blocked" "writer: committed");
+  checkb "unblocked by commit" true (before t "writer: committed" "refresher: work scan");
+  checki "saw all of the writer's work" 3 !seen
+
+let test_readers_share () =
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let res = Lock.Table "emp" in
+  let r1 = Scheduler.spawn t ~name:"r1" [ Scheduler.Lock (res, Lock.S); Scheduler.Commit ] in
+  let r2 = Scheduler.spawn t ~name:"r2" [ Scheduler.Lock (res, Lock.S); Scheduler.Commit ] in
+  Scheduler.run t;
+  checkb "no blocking" true (index_of_event t "r1: blocked" = None && index_of_event t "r2: blocked" = None);
+  ignore (r1, r2)
+
+let test_deadlock_victim_aborts_and_other_commits () =
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let a = Lock.Table "a" and b = Lock.Table "b" in
+  let s1 =
+    Scheduler.spawn t ~name:"s1"
+      [
+        Scheduler.Lock (a, Lock.X);
+        Scheduler.Lock (b, Lock.X);
+        Scheduler.Commit;
+      ]
+  in
+  let s2 =
+    Scheduler.spawn t ~name:"s2"
+      [
+        Scheduler.Lock (b, Lock.X);
+        Scheduler.Work ("undoable", fun () -> ());
+        Scheduler.Lock (a, Lock.X);
+        Scheduler.Commit;
+      ]
+  in
+  Scheduler.run t;
+  (* One of them is the deadlock victim, the other commits. *)
+  let outcomes = (Scheduler.outcome s1, Scheduler.outcome s2) in
+  checkb "one victim, one commit" true
+    (match outcomes with
+    | Some Scheduler.Committed, Some Scheduler.Aborted_deadlock
+    | Some Scheduler.Aborted_deadlock, Some Scheduler.Committed -> true
+    | _ -> false)
+
+let test_explicit_abort () =
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let ran_after_abort = ref false in
+  let s =
+    Scheduler.spawn t ~name:"s"
+      [
+        Scheduler.Lock (Lock.Table "a", Lock.X);
+        Scheduler.Abort;
+        Scheduler.Work ("never", fun () -> ran_after_abort := true);
+      ]
+  in
+  (* Its lock frees immediately for others. *)
+  let s2 =
+    Scheduler.spawn t ~name:"s2" [ Scheduler.Lock (Lock.Table "a", Lock.X); Scheduler.Commit ]
+  in
+  Scheduler.run t;
+  checkb "aborted" true (Scheduler.outcome s = Some Scheduler.Aborted_by_user);
+  checkb "steps after abort skipped" false !ran_after_abort;
+  checkb "lock released to s2" true (Scheduler.outcome s2 = Some Scheduler.Committed)
+
+let test_stuck_never_with_detection () =
+  (* Heavy random-ish lock workloads always terminate (commit or victim). *)
+  let mgr = Txn.create_manager () in
+  let t = Scheduler.create mgr in
+  let resources = [| Lock.Table "a"; Lock.Table "b"; Lock.Table "c" |] in
+  let rng = Snapdiff_util.Rng.create 99 in
+  let sessions =
+    List.init 8 (fun i ->
+        let steps =
+          List.concat
+            (List.init 3 (fun _ ->
+                 [
+                   Scheduler.Lock
+                     ( resources.(Snapdiff_util.Rng.int rng 3),
+                       if Snapdiff_util.Rng.bool rng then Lock.S else Lock.X );
+                   Scheduler.Work ("w", fun () -> ());
+                 ]))
+          @ [ Scheduler.Commit ]
+        in
+        Scheduler.spawn t ~name:(Printf.sprintf "s%d" i) steps)
+  in
+  Scheduler.run t;
+  checkb "all resolved" true
+    (List.for_all (fun s -> Scheduler.outcome s <> None) sessions)
+
+let suite =
+  [
+    Alcotest.test_case "sessions interleave" `Quick test_independent_sessions_interleave;
+    Alcotest.test_case "writer blocks refresher" `Quick test_writer_blocks_refresher;
+    Alcotest.test_case "readers share" `Quick test_readers_share;
+    Alcotest.test_case "deadlock victim" `Quick test_deadlock_victim_aborts_and_other_commits;
+    Alcotest.test_case "explicit abort" `Quick test_explicit_abort;
+    Alcotest.test_case "lock storm terminates" `Quick test_stuck_never_with_detection;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the expression simplifier, including the property that
+   simplification never changes WHERE-clause semantics under SQL
+   three-valued logic. *)
+
+open Snapdiff_storage
+open Snapdiff_expr
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+
+let expr_t = Alcotest.testable Expr.pp Expr.equal
+
+let sal = Expr.col "salary"
+
+let test_boolean_identities () =
+  let cases =
+    [
+      (Expr.And (Expr.ttrue, sal), sal);
+      (Expr.And (sal, Expr.ttrue), sal);
+      (Expr.And (Expr.Const (Value.Bool false), sal), Expr.Const (Value.Bool false));
+      (Expr.Or (Expr.Const (Value.Bool false), sal), sal);
+      (Expr.Or (sal, Expr.ttrue), Expr.ttrue);
+      (Expr.Not (Expr.Not sal), sal);
+      (Expr.Not Expr.ttrue, Expr.Const (Value.Bool false));
+    ]
+  in
+  List.iter
+    (fun (input, want) -> Alcotest.check expr_t (Expr.to_string input) want (Simplify.simplify input))
+    cases
+
+let test_constant_folding () =
+  let cases =
+    [
+      (Expr.(Cmp (Lt, int 3, int 5)), Expr.ttrue);
+      (Expr.(Cmp (Eq, str "a", str "b")), Expr.Const (Value.Bool false));
+      (Expr.(Arith (Add, int 2, int 3)), Expr.int 5);
+      (Expr.(Arith (Mul, Arith (Add, int 1, int 2), int 4)), Expr.int 12);
+      (Expr.(Neg (int 7)), Expr.Const (Value.Int (-7L)));
+      (Expr.(Like (str "Bruce", "Br%")), Expr.ttrue);
+      (Expr.(In_list (int 2, [ Value.int 1; Value.int 2 ])), Expr.ttrue);
+      (Expr.(Is_null (int 1)), Expr.Const (Value.Bool false));
+      (Expr.(Is_null (Const Value.Null)), Expr.ttrue);
+      (* Comparison with NULL folds to Unknown (Const NULL). *)
+      (Expr.(Cmp (Lt, Const Value.Null, int 1)), Expr.Const Value.Null);
+      (* Division by zero must NOT fold. *)
+      (Expr.(Arith (Div, int 1, int 0)), Expr.(Arith (Div, int 1, int 0)));
+    ]
+  in
+  List.iter
+    (fun (input, want) -> Alcotest.check expr_t (Expr.to_string input) want (Simplify.simplify input))
+    cases
+
+let test_not_pushdown () =
+  Alcotest.check expr_t "NOT <" Expr.(sal >=. int 10) (Simplify.simplify Expr.(Not (sal <. int 10)));
+  Alcotest.check expr_t "De Morgan"
+    Expr.(Or (Cmp (Ge, sal, int 1), Cmp (Le, sal, int 2)))
+    (Simplify.simplify Expr.(Not (And (Cmp (Lt, sal, int 1), Cmp (Gt, sal, int 2)))))
+
+let test_in_singleton_becomes_eq () =
+  Alcotest.check expr_t "IN (x)" Expr.(Cmp (Eq, sal, int 5))
+    (Simplify.simplify Expr.(In_list (sal, [ Value.int 5 ])))
+
+let schema =
+  Schema.make
+    [ Schema.col "a" Value.Tint; Schema.col "b" Value.Tint; Schema.col "s" Value.Tstring ]
+
+(* Random well-typed-ish boolean expressions over the schema. *)
+let gen_expr =
+  let open Gen in
+  let int_term =
+    oneof
+      [ pure (Expr.col "a"); pure (Expr.col "b");
+        map (fun i -> Expr.int i) (int_range (-5) 5); pure (Expr.Const Value.Null) ]
+  in
+  let num_expr =
+    oneof
+      [ int_term;
+        map2 (fun x y -> Expr.Arith (Expr.Add, x, y)) int_term int_term;
+        map2 (fun x y -> Expr.Arith (Expr.Mul, x, y)) int_term int_term;
+        map (fun x -> Expr.Neg x) int_term ]
+  in
+  let atom =
+    oneof
+      [
+        map2 (fun x y -> Expr.Cmp (Expr.Lt, x, y)) num_expr num_expr;
+        map2 (fun x y -> Expr.Cmp (Expr.Eq, x, y)) num_expr num_expr;
+        map (fun x -> Expr.Is_null x) num_expr;
+        map (fun p -> Expr.Like (Expr.col "s", p)) (oneofl [ "x%"; "%y"; "_" ]);
+        map (fun vs -> Expr.In_list (Expr.col "a", List.map Value.int vs))
+          (list_size (int_range 1 3) (int_range (-3) 3));
+        map3 (fun x lo hi -> Expr.Between (x, lo, hi)) num_expr num_expr num_expr;
+        pure Expr.ttrue;
+        pure (Expr.Const (Value.Bool false));
+      ]
+  in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        oneof
+          [
+            atom;
+            map2 (fun x y -> Expr.And (x, y)) (self (depth - 1)) (self (depth - 1));
+            map2 (fun x y -> Expr.Or (x, y)) (self (depth - 1)) (self (depth - 1));
+            map (fun x -> Expr.Not x) (self (depth - 1));
+          ])
+    3
+
+let gen_row =
+  let open Gen in
+  let v = oneof [ pure Value.Null; map Value.int (int_range (-5) 5) ] in
+  map2
+    (fun (a, b) s -> Tuple.make [ a; b; Value.str s ])
+    (pair v v)
+    (oneofl [ "x"; "xy"; "zy"; "" ])
+
+let print_case (e, row) =
+  Printf.sprintf "expr: %s | simplified: %s | row: %s" (Expr.to_string e)
+    (Expr.to_string (Simplify.simplify e))
+    (Tuple.to_string row)
+
+let prop_semantics_preserved =
+  QCheck2.Test.make ~name:"simplify preserves 3VL semantics" ~count:1000
+    ~print:print_case
+    (Gen.pair gen_expr gen_row)
+    (fun (e, row) ->
+      let run e =
+        match Eval.eval_pred schema row e with
+        | t -> `Truth t
+        | exception Eval.Eval_error _ -> `Error
+      in
+      run e = run (Simplify.simplify e))
+
+let prop_idempotent =
+  QCheck2.Test.make ~name:"simplify idempotent" ~count:1000 gen_expr (fun e ->
+      let once = Simplify.simplify e in
+      Expr.equal once (Simplify.simplify once))
+
+(* The printer and the SQL parser agree: pretty-printing an arbitrary
+   expression and re-parsing it preserves semantics on arbitrary rows
+   (AST equality is too strict: "-5" parses as a literal, not Neg 5). *)
+let prop_pp_parse_semantic_roundtrip =
+  QCheck2.Test.make ~name:"pp/parse semantic roundtrip" ~count:500
+    ~print:print_case
+    (Gen.pair gen_expr gen_row)
+    (fun (e, row) ->
+      let reparsed = Snapdiff_sql.Parser.parse_expr (Expr.to_string e) in
+      let run e =
+        match Eval.eval_pred schema row e with
+        | t -> `Truth t
+        | exception Eval.Eval_error _ -> `Error
+      in
+      run e = run reparsed)
+
+let suite =
+  [
+    Alcotest.test_case "boolean identities" `Quick test_boolean_identities;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "NOT pushdown" `Quick test_not_pushdown;
+    Alcotest.test_case "IN singleton" `Quick test_in_singleton_becomes_eq;
+    QCheck_alcotest.to_alcotest prop_semantics_preserved;
+    QCheck_alcotest.to_alcotest prop_idempotent;
+    QCheck_alcotest.to_alcotest prop_pp_parse_semantic_roundtrip;
+  ]

@@ -1,0 +1,545 @@
+(* Tests for snapdiff_storage: value/tuple codecs, schemas, slotted pages,
+   page stores, buffer pool, heap tables. *)
+
+open Snapdiff_storage
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let value = Alcotest.testable Value.pp Value.equal
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+(* ------------------------------------------------------------------ *)
+(* Values *)
+
+let sample_values =
+  [
+    Value.Null;
+    Value.Int 0L;
+    Value.Int Int64.max_int;
+    Value.Int Int64.min_int;
+    Value.Int (-42L);
+    Value.Float 3.14159;
+    Value.Float (-0.0);
+    Value.Float infinity;
+    Value.Str "";
+    Value.Str "hello world";
+    Value.Str (String.make 1000 'x');
+    Value.Bool true;
+    Value.Bool false;
+  ]
+
+let test_value_roundtrip () =
+  List.iter
+    (fun v ->
+      let buf = Buffer.create 16 in
+      Value.encode buf v;
+      checki "encoded_size exact" (Value.encoded_size v) (Buffer.length buf);
+      let v', off = Value.decode (Buffer.to_bytes buf) 0 in
+      Alcotest.check value "roundtrip" v v';
+      checki "consumed all" (Buffer.length buf) off)
+    sample_values
+
+let test_value_decode_garbage () =
+  Alcotest.check_raises "bad tag" (Failure "Value.decode: bad tag") (fun () ->
+      ignore (Value.decode (Bytes.of_string "\255") 0));
+  Alcotest.check_raises "truncated" (Failure "Value.decode: truncated") (fun () ->
+      ignore (Value.decode (Bytes.of_string "\001\000") 0))
+
+let test_value_compare_order () =
+  checkb "null first" true (Value.compare Value.Null (Value.Int 0L) < 0);
+  checkb "int order" true (Value.compare (Value.Int 1L) (Value.Int 2L) < 0);
+  checkb "str order" true (Value.compare (Value.Str "a") (Value.Str "b") < 0);
+  checki "equal" 0 (Value.compare (Value.Bool true) (Value.Bool true))
+
+let test_value_types () =
+  checkb "null has every type" true (Value.has_type Value.Null Value.Tint);
+  checkb "int is int" true (Value.has_type (Value.Int 1L) Value.Tint);
+  checkb "int is not string" false (Value.has_type (Value.Int 1L) Value.Tstring)
+
+(* ------------------------------------------------------------------ *)
+(* Schemas *)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring; Schema.col "salary" Value.Tint ]
+
+let test_schema_lookup () =
+  checki "arity" 2 (Schema.arity emp_schema);
+  Alcotest.(check (option int)) "name idx" (Some 0) (Schema.index_of emp_schema "name");
+  Alcotest.(check (option int)) "case-insensitive" (Some 1) (Schema.index_of emp_schema "SALARY");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of emp_schema "age")
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Schema.make: duplicate column \"A\"")
+    (fun () -> ignore (Schema.make [ Schema.col "a" Value.Tint; Schema.col "A" Value.Tint ]))
+
+let test_schema_extend_project () =
+  let ext = Schema.extend emp_schema [ Schema.col "__timestamp" Value.Tint ] in
+  checki "extended arity" 3 (Schema.arity ext);
+  checkb "hidden detected" true (Schema.is_hidden (Schema.column ext 2));
+  checki "visible" 2 (List.length (Schema.visible_columns ext));
+  let proj = Schema.project ext [ "salary" ] in
+  checki "projected arity" 1 (Schema.arity proj)
+
+let test_schema_validate_tuple () =
+  let ok = Schema.validate_tuple emp_schema [| Value.str "Bruce"; Value.int 15 |] in
+  checkb "valid" true (ok = Ok ());
+  checkb "null in not-null" true
+    (Schema.validate_tuple emp_schema [| Value.Null; Value.int 1 |] <> Ok ());
+  checkb "wrong type" true
+    (Schema.validate_tuple emp_schema [| Value.str "x"; Value.str "y" |] <> Ok ());
+  checkb "wrong arity" true (Schema.validate_tuple emp_schema [| Value.str "x" |] <> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Tuples *)
+
+let test_tuple_roundtrip () =
+  let t = Tuple.make [ Value.str "Bruce"; Value.int 15; Value.Null; Value.Bool false ] in
+  let b = Tuple.encode_to_bytes t in
+  Alcotest.check tuple "roundtrip" t (Tuple.decode_exactly b);
+  checki "size exact" (Tuple.encoded_size t) (Bytes.length b)
+
+let test_tuple_ops () =
+  let t = Tuple.make [ Value.str "a"; Value.int 1 |> fun v -> v ] in
+  let t2 = Tuple.set t 1 (Value.int 2) in
+  Alcotest.check value "set" (Value.int 2) (Tuple.get t2 1);
+  Alcotest.check value "original untouched" (Value.int 1) (Tuple.get t 1);
+  Alcotest.check value "by name" (Value.str "a") (Tuple.get_by_name emp_schema t "name");
+  let p = Tuple.project emp_schema t [ "salary"; "name" ] in
+  Alcotest.check tuple "project reorders" (Tuple.make [ Value.int 1; Value.str "a" ]) p
+
+let test_tuple_compare () =
+  let a = Tuple.make [ Value.int 1; Value.str "x" ] in
+  let b = Tuple.make [ Value.int 1; Value.str "y" ] in
+  checkb "lex" true (Tuple.compare a b < 0);
+  checkb "prefix shorter" true (Tuple.compare (Tuple.make [ Value.int 1 ]) a < 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pages *)
+
+let record s = Bytes.of_string s
+
+let test_page_insert_read () =
+  let p = Page.create ~page_size:256 in
+  let s0 = Option.get (Page.insert p (record "alpha")) in
+  let s1 = Option.get (Page.insert p (record "beta")) in
+  checki "slots sequential" 0 s0;
+  checki "slots sequential" 1 s1;
+  checks "read back" "alpha" (Bytes.to_string (Option.get (Page.read p 0)));
+  checks "read back" "beta" (Bytes.to_string (Option.get (Page.read p 1)));
+  checkb "missing slot" true (Page.read p 2 = None);
+  checkb "validate" true (Page.validate p = Ok ())
+
+let test_page_delete_and_slot_reuse () =
+  let p = Page.create ~page_size:256 in
+  ignore (Page.insert p (record "a"));
+  ignore (Page.insert p (record "b"));
+  ignore (Page.insert p (record "c"));
+  checkb "delete live" true (Page.delete p 1);
+  checkb "delete dead" false (Page.delete p 1);
+  checkb "slot dead" false (Page.slot_is_live p 1);
+  checki "live count" 2 (Page.live_records p);
+  (* The lowest empty slot is reused. *)
+  checki "reuse slot 1" 1 (Option.get (Page.insert p (record "B2")));
+  checks "new content" "B2" (Bytes.to_string (Option.get (Page.read p 1)))
+
+let test_page_fill_and_compact () =
+  let p = Page.create ~page_size:128 in
+  (* Fill the page with small records until refusal. *)
+  let inserted = ref 0 in
+  (try
+     while true do
+       match Page.insert p (record "0123456789") with
+       | Some _ -> incr inserted
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  checkb "held several" true (!inserted >= 5);
+  checkb "full refuses" true (Page.insert p (record "0123456789") = None);
+  (* Delete two, then a record of double size must fit via compaction. *)
+  checkb "del 0" true (Page.delete p 0);
+  checkb "del 2" true (Page.delete p 2);
+  checkb "compacted insert fits" true (Page.insert p (record "01234567890123456789") <> None);
+  checkb "validate after compaction" true (Page.validate p = Ok ())
+
+let test_page_update_in_place_and_grow () =
+  let p = Page.create ~page_size:256 in
+  let s = Option.get (Page.insert p (record "short")) in
+  checkb "shrink" true (Page.update p s (record "sh"));
+  checks "shrunk" "sh" (Bytes.to_string (Option.get (Page.read p s)));
+  checkb "grow" true (Page.update p s (record (String.make 50 'z')));
+  checks "grown" (String.make 50 'z') (Bytes.to_string (Option.get (Page.read p s)));
+  checkb "update dead slot" false (Page.update p 99 (record "x"));
+  checkb "validate" true (Page.validate p = Ok ())
+
+let test_page_update_too_big_fails_cleanly () =
+  let p = Page.create ~page_size:128 in
+  let s = Option.get (Page.insert p (record "aaaa")) in
+  ignore (Page.insert p (record (String.make 80 'b')));
+  checkb "no room to grow" false (Page.update p s (record (String.make 60 'c')));
+  checks "original intact" "aaaa" (Bytes.to_string (Option.get (Page.read p s)))
+
+let test_page_insert_at () =
+  let p = Page.create ~page_size:256 in
+  checkb "place at 3" true (Page.insert_at p 3 (record "three"));
+  checki "directory grew" 4 (Page.nslots p);
+  checkb "slots 0-2 empty" true (not (Page.slot_is_live p 0));
+  checkb "occupied refused" false (Page.insert_at p 3 (record "again"));
+  checkb "fill another" true (Page.insert_at p 0 (record "zero"));
+  checks "read 3" "three" (Bytes.to_string (Option.get (Page.read p 3)));
+  checkb "validate" true (Page.validate p = Ok ())
+
+let test_page_of_bytes_roundtrip () =
+  let p = Page.create ~page_size:256 in
+  ignore (Page.insert p (record "persist me"));
+  let q = Page.of_bytes (Bytes.copy (Page.bytes p)) in
+  checks "round trip" "persist me" (Bytes.to_string (Option.get (Page.read q 0)))
+
+let test_page_zeroed_is_empty () =
+  let q = Page.of_bytes (Bytes.make 256 '\000') in
+  checki "no slots" 0 (Page.nslots q);
+  checkb "can insert" true (Page.insert q (record "x") <> None)
+
+let test_page_iter_order () =
+  let p = Page.create ~page_size:512 in
+  for i = 0 to 9 do
+    ignore (Page.insert p (record (string_of_int i)))
+  done;
+  ignore (Page.delete p 4);
+  let seen = Page.fold_live p ~init:[] ~f:(fun acc slot _ -> slot :: acc) in
+  Alcotest.(check (list int)) "ascending slots" [ 0; 1; 2; 3; 5; 6; 7; 8; 9 ] (List.rev seen)
+
+(* ------------------------------------------------------------------ *)
+(* Page stores *)
+
+let test_mem_store_basics () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  checki "empty" 0 (Page_store.page_count s);
+  let p0 = Page_store.allocate s in
+  checki "first page" 0 p0;
+  let img = Bytes.make 256 'A' in
+  Page_store.write s p0 img;
+  checks "read back" (Bytes.to_string img) (Bytes.to_string (Page_store.read s p0));
+  (* Stores copy on write: mutating the caller's buffer must not leak in. *)
+  Bytes.fill img 0 256 'B';
+  checks "isolated" (String.make 256 'A') (Bytes.to_string (Page_store.read s p0));
+  Alcotest.check_raises "bad page" (Page_store.Bad_page 7) (fun () ->
+      ignore (Page_store.read s 7))
+
+let with_tmp_file f =
+  let path = Filename.temp_file "snapdiff_test" ".db" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_file_store_persists () =
+  with_tmp_file (fun path ->
+      let s = Page_store.open_file ~page_size:256 path in
+      let p = Page_store.allocate s in
+      Page_store.write s p (Bytes.make 256 'Z');
+      Page_store.sync s;
+      Page_store.close s;
+      let s2 = Page_store.open_file path in
+      checki "page size recovered" 256 (Page_store.page_size s2);
+      checki "page count recovered" 1 (Page_store.page_count s2);
+      checks "data recovered" (String.make 256 'Z') (Bytes.to_string (Page_store.read s2 p));
+      Page_store.close s2)
+
+let test_file_store_rejects_mismatch () =
+  with_tmp_file (fun path ->
+      let s = Page_store.open_file ~page_size:256 path in
+      Page_store.close s;
+      Alcotest.check_raises "mismatch" (Failure "Page_store.open_file: page size mismatch")
+        (fun () -> ignore (Page_store.open_file ~page_size:512 path)))
+
+(* ------------------------------------------------------------------ *)
+(* Buffer pool *)
+
+let test_buffer_pool_caching () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~frames:2 s in
+  let p0 = Buffer_pool.allocate_page bp in
+  let p1 = Buffer_pool.allocate_page bp in
+  let p2 = Buffer_pool.allocate_page bp in
+  let touch n =
+    Buffer_pool.with_page bp n (fun page ->
+        ignore (Page.nslots page);
+        (`Clean, ()))
+  in
+  touch p0;
+  touch p0;
+  let st = Buffer_pool.stats bp in
+  checki "one miss" 1 st.Buffer_pool.misses;
+  checki "one hit" 1 st.Buffer_pool.hits;
+  touch p1;
+  touch p2;
+  (* Capacity 2: loading p2 must evict someone. *)
+  checkb "evicted" true ((Buffer_pool.stats bp).Buffer_pool.evictions >= 1)
+
+let test_buffer_pool_writeback () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~frames:4 s in
+  let p0 = Buffer_pool.allocate_page bp in
+  Buffer_pool.with_page bp p0 (fun page ->
+      ignore (Page.insert page (Bytes.of_string "dirty data"));
+      (`Dirty, ()));
+  (* Not yet written back. *)
+  let raw = Page_store.read s p0 in
+  checkb "store still clean" true (Page.read (Page.of_bytes raw) 0 = None);
+  Buffer_pool.flush_all bp;
+  let raw = Page_store.read s p0 in
+  checks "flushed" "dirty data" (Bytes.to_string (Option.get (Page.read (Page.of_bytes raw) 0)))
+
+let test_buffer_pool_eviction_preserves_data () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~frames:2 s in
+  let pages = List.init 6 (fun _ -> Buffer_pool.allocate_page bp) in
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page bp p (fun page ->
+          ignore (Page.insert page (Bytes.of_string (Printf.sprintf "page %d" i)));
+          (`Dirty, ())))
+    pages;
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page bp p (fun page ->
+          checks "data survived eviction"
+            (Printf.sprintf "page %d" i)
+            (Bytes.to_string (Option.get (Page.read page 0)));
+          (`Clean, ())))
+    pages
+
+let test_buffer_pool_invalidate () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~frames:4 s in
+  let p0 = Buffer_pool.allocate_page bp in
+  Buffer_pool.with_page bp p0 (fun page ->
+      ignore (Page.insert page (Bytes.of_string "x"));
+      (`Dirty, ()));
+  Buffer_pool.invalidate bp;
+  Buffer_pool.with_page bp p0 (fun page ->
+      checkb "flushed then dropped: data still there" true (Page.read page 0 <> None);
+      (`Clean, ()))
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let mk_emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let test_heap_insert_get () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  let a = Heap.insert h (mk_emp "Bruce" 15) in
+  let b = Heap.insert h (mk_emp "Laura" 6) in
+  checkb "distinct addrs" true (not (Addr.equal a b));
+  Alcotest.check (Alcotest.option tuple) "get a" (Some (mk_emp "Bruce" 15)) (Heap.get h a);
+  Alcotest.check (Alcotest.option tuple) "get b" (Some (mk_emp "Laura" 6)) (Heap.get h b);
+  checki "count" 2 (Heap.count h);
+  checkb "validate" true (Heap.validate h = Ok ())
+
+let test_heap_rejects_bad_tuple () =
+  let h = Heap.create emp_schema in
+  Alcotest.check_raises "type error" (Heap.Tuple_error "column salary expects INT, got 'oops'")
+    (fun () -> ignore (Heap.insert h (Tuple.make [ Value.str "x"; Value.str "oops" ])))
+
+let test_heap_update_delete () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  let a = Heap.insert h (mk_emp "Hamid" 9) in
+  Heap.update h a (mk_emp "Hamid" 15);
+  Alcotest.check (Alcotest.option tuple) "updated" (Some (mk_emp "Hamid" 15)) (Heap.get h a);
+  Heap.delete h a;
+  checkb "gone" true (Heap.get h a = None);
+  checki "count" 0 (Heap.count h);
+  Alcotest.check_raises "double delete" Not_found (fun () -> Heap.delete h a);
+  Alcotest.check_raises "update missing" Not_found (fun () -> Heap.update h a (mk_emp "x" 1))
+
+let test_heap_scan_order () =
+  let h = Heap.create ~page_size:128 emp_schema in
+  (* Enough tuples to span several pages. *)
+  let addrs = List.init 40 (fun i -> Heap.insert h (mk_emp (Printf.sprintf "e%02d" i) i)) in
+  checkb "multiple pages" true (Heap.data_pages h > 1);
+  let scanned = List.map fst (Heap.to_list h) in
+  checki "all scanned" 40 (List.length scanned);
+  let sorted = List.sort Addr.compare scanned in
+  checkb "address order" true (scanned = sorted);
+  checkb "same set" true (List.sort Addr.compare addrs = sorted)
+
+let test_heap_address_reuse () =
+  let h = Heap.create ~page_size:128 emp_schema in
+  let addrs = List.init 20 (fun i -> Heap.insert h (mk_emp (Printf.sprintf "e%02d" i) i)) in
+  let victim = List.nth addrs 3 in
+  Heap.delete h victim;
+  let fresh = Heap.insert h (mk_emp "reuser" 99) in
+  checkb "lowest empty address reused" true (Addr.equal fresh victim)
+
+let test_heap_insert_at () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  let addr = Addr.make ~page:3 ~slot:2 in
+  Heap.insert_at h addr (mk_emp "placed" 1);
+  Alcotest.check (Alcotest.option tuple) "get placed" (Some (mk_emp "placed" 1)) (Heap.get h addr);
+  checki "count" 1 (Heap.count h);
+  Alcotest.check_raises "occupied" (Heap.Tuple_error "Heap.insert_at: slot live or page full")
+    (fun () -> Heap.insert_at h addr (mk_emp "again" 2));
+  (* Scan still works with the gap pages. *)
+  checki "scan finds it" 1 (List.length (Heap.to_list h))
+
+let test_heap_update_during_iter () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  let _ = List.init 10 (fun i -> Heap.insert h (mk_emp (Printf.sprintf "e%d" i) i)) in
+  (* Give everyone a raise mid-scan (what the fix-up pass does). *)
+  Heap.iter h (fun addr t ->
+      let salary = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> 0 in
+      Heap.update h addr (Tuple.set t 1 (Value.int (salary + 100))));
+  Heap.iter h (fun _ t ->
+      match Tuple.get t 1 with
+      | Value.Int s -> checkb "raised" true (Int64.to_int s >= 100)
+      | _ -> Alcotest.fail "bad salary")
+
+let test_heap_first_last () =
+  let h = Heap.create ~page_size:256 emp_schema in
+  checkb "empty first" true (Heap.first_addr h = None);
+  let a = Heap.insert h (mk_emp "a" 1) in
+  let b = Heap.insert h (mk_emp "b" 2) in
+  Alcotest.(check (option int)) "first" (Some a) (Heap.first_addr h);
+  Alcotest.(check (option int)) "last" (Some b) (Heap.last_addr h)
+
+let test_heap_large_population () =
+  let h = Heap.create ~page_size:1024 ~frames:8 emp_schema in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    ignore (Heap.insert h (mk_emp (Printf.sprintf "emp%04d" i) (i mod 100)))
+  done;
+  checki "count" n (Heap.count h);
+  checki "scan" n (List.length (Heap.to_list h));
+  checkb "validate" true (Heap.validate h = Ok ());
+  (* Delete every third, count again. *)
+  let deleted = ref 0 in
+  List.iteri
+    (fun i (addr, _) ->
+      if i mod 3 = 0 then begin
+        Heap.delete h addr;
+        incr deleted
+      end)
+    (Heap.to_list h);
+  checki "count after deletes" (n - !deleted) (Heap.count h)
+
+let test_heap_persists_through_pool () =
+  with_tmp_file (fun path ->
+      let store = Page_store.open_file ~page_size:512 path in
+      let pool = Buffer_pool.create ~frames:4 store in
+      let h = Heap.on_pool pool emp_schema in
+      let a = Heap.insert h (mk_emp "durable" 7) in
+      Heap.flush h;
+      Page_store.close store;
+      let store2 = Page_store.open_file path in
+      let pool2 = Buffer_pool.create ~frames:4 store2 in
+      let h2 = Heap.on_pool pool2 emp_schema in
+      checki "count recovered" 1 (Heap.count h2);
+      Alcotest.check (Alcotest.option tuple) "tuple recovered" (Some (mk_emp "durable" 7))
+        (Heap.get h2 a);
+      Page_store.close store2)
+
+let test_addr_packing () =
+  let a = Addr.make ~page:5 ~slot:7 in
+  checki "page" 5 (Addr.page a);
+  checki "slot" 7 (Addr.slot a);
+  checkb "order by page then slot" true
+    (Addr.compare (Addr.make ~page:1 ~slot:9) (Addr.make ~page:2 ~slot:0) < 0);
+  checkb "zero below all" true (Addr.compare Addr.zero (Addr.make ~page:1 ~slot:0) < 0);
+  Alcotest.check_raises "page 0 reserved" (Invalid_argument "Addr.make: page must be >= 1")
+    (fun () -> ignore (Addr.make ~page:0 ~slot:0))
+
+let suite =
+  [
+    Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
+    Alcotest.test_case "value decode garbage" `Quick test_value_decode_garbage;
+    Alcotest.test_case "value compare" `Quick test_value_compare_order;
+    Alcotest.test_case "value types" `Quick test_value_types;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "schema dup rejected" `Quick test_schema_duplicate_rejected;
+    Alcotest.test_case "schema extend/project" `Quick test_schema_extend_project;
+    Alcotest.test_case "schema validate tuple" `Quick test_schema_validate_tuple;
+    Alcotest.test_case "tuple roundtrip" `Quick test_tuple_roundtrip;
+    Alcotest.test_case "tuple ops" `Quick test_tuple_ops;
+    Alcotest.test_case "tuple compare" `Quick test_tuple_compare;
+    Alcotest.test_case "page insert/read" `Quick test_page_insert_read;
+    Alcotest.test_case "page delete + slot reuse" `Quick test_page_delete_and_slot_reuse;
+    Alcotest.test_case "page fill + compact" `Quick test_page_fill_and_compact;
+    Alcotest.test_case "page update" `Quick test_page_update_in_place_and_grow;
+    Alcotest.test_case "page update too big" `Quick test_page_update_too_big_fails_cleanly;
+    Alcotest.test_case "page insert_at" `Quick test_page_insert_at;
+    Alcotest.test_case "page of_bytes" `Quick test_page_of_bytes_roundtrip;
+    Alcotest.test_case "page zeroed" `Quick test_page_zeroed_is_empty;
+    Alcotest.test_case "page iter order" `Quick test_page_iter_order;
+    Alcotest.test_case "mem store" `Quick test_mem_store_basics;
+    Alcotest.test_case "file store persists" `Quick test_file_store_persists;
+    Alcotest.test_case "file store mismatch" `Quick test_file_store_rejects_mismatch;
+    Alcotest.test_case "buffer pool caching" `Quick test_buffer_pool_caching;
+    Alcotest.test_case "buffer pool writeback" `Quick test_buffer_pool_writeback;
+    Alcotest.test_case "buffer pool eviction" `Quick test_buffer_pool_eviction_preserves_data;
+    Alcotest.test_case "buffer pool invalidate" `Quick test_buffer_pool_invalidate;
+    Alcotest.test_case "heap insert/get" `Quick test_heap_insert_get;
+    Alcotest.test_case "heap rejects bad tuple" `Quick test_heap_rejects_bad_tuple;
+    Alcotest.test_case "heap update/delete" `Quick test_heap_update_delete;
+    Alcotest.test_case "heap scan order" `Quick test_heap_scan_order;
+    Alcotest.test_case "heap address reuse" `Quick test_heap_address_reuse;
+    Alcotest.test_case "heap insert_at" `Quick test_heap_insert_at;
+    Alcotest.test_case "heap update during iter" `Quick test_heap_update_during_iter;
+    Alcotest.test_case "heap first/last" `Quick test_heap_first_last;
+    Alcotest.test_case "heap large population" `Quick test_heap_large_population;
+    Alcotest.test_case "heap persistence" `Quick test_heap_persists_through_pool;
+    Alcotest.test_case "addr packing" `Quick test_addr_packing;
+  ]
+
+(* Appended: second-chance eviction policy. *)
+let test_buffer_pool_second_chance () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let bp = Buffer_pool.create ~frames:2 ~policy:Buffer_pool.Second_chance s in
+  let pages = List.init 6 (fun _ -> Buffer_pool.allocate_page bp) in
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page bp p (fun page ->
+          ignore (Page.insert page (Bytes.of_string (Printf.sprintf "sc %d" i)));
+          (`Dirty, ())))
+    pages;
+  (* Everything still readable after evictions under the clock sweep. *)
+  List.iteri
+    (fun i p ->
+      Buffer_pool.with_page bp p (fun page ->
+          checks "second-chance preserved data"
+            (Printf.sprintf "sc %d" i)
+            (Bytes.to_string (Option.get (Page.read page 0)));
+          (`Clean, ())))
+    pages;
+  checkb "evictions happened" true ((Buffer_pool.stats bp).Buffer_pool.evictions >= 4);
+  Buffer_pool.invalidate bp;
+  Buffer_pool.with_page bp (List.hd pages) (fun page ->
+      checkb "usable after invalidate" true (Page.read page 0 <> None);
+      (`Clean, ()))
+
+let test_heap_on_second_chance_pool () =
+  let store = Page_store.in_memory ~page_size:512 () in
+  let pool = Buffer_pool.create ~frames:3 ~policy:Buffer_pool.Second_chance store in
+  let h = Heap.on_pool pool emp_schema in
+  let n = 300 in
+  for i = 0 to n - 1 do
+    ignore (Heap.insert h (mk_emp (Printf.sprintf "emp%03d" i) i) : Addr.t)
+  done;
+  checki "count" n (Heap.count h);
+  checkb "validate" true (Heap.validate h = Ok ());
+  checki "scan" n (List.length (Heap.to_list h))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "buffer pool second chance" `Quick test_buffer_pool_second_chance;
+      Alcotest.test_case "heap on second-chance pool" `Quick test_heap_on_second_chance_pool;
+    ]
+
+let test_page_insert_at_full () =
+  let p = Page.create ~page_size:128 in
+  ignore (Page.insert p (Bytes.make 100 'a'));
+  (* No room for another 100-byte record at slot 5. *)
+  checkb "full refused" false (Page.insert_at p 5 (Bytes.make 100 'b'));
+  checkb "page unharmed" true (Page.validate p = Ok ())
+
+let suite = suite @ [ Alcotest.test_case "page insert_at full" `Quick test_page_insert_at_full ]

@@ -1,0 +1,181 @@
+(* Tests for clocks, lock modes, the lock manager, and the transaction
+   manager. *)
+
+open Snapdiff_txn
+module Addr = Snapdiff_storage.Addr
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_clock_monotonic () =
+  let c = Clock.create () in
+  checki "starts at never" Clock.never (Clock.now c);
+  let a = Clock.tick c in
+  let b = Clock.tick c in
+  checkb "strictly increasing" true (b > a);
+  checki "now = last tick" b (Clock.now c);
+  Clock.advance_to c 100;
+  checki "advanced" 100 (Clock.now c);
+  Clock.advance_to c 50;
+  checki "never goes back" 100 (Clock.now c)
+
+let test_mode_compatibility_matrix () =
+  let open Lock in
+  (* Reference matrix, row = held, column = requested. *)
+  let expected =
+    [
+      (IS, IS, true); (IS, IX, true); (IS, S, true); (IS, SIX, true); (IS, X, false);
+      (IX, IS, true); (IX, IX, true); (IX, S, false); (IX, SIX, false); (IX, X, false);
+      (S, IS, true); (S, IX, false); (S, S, true); (S, SIX, false); (S, X, false);
+      (SIX, IS, true); (SIX, IX, false); (SIX, S, false); (SIX, SIX, false); (SIX, X, false);
+      (X, IS, false); (X, IX, false); (X, S, false); (X, SIX, false); (X, X, false);
+    ]
+  in
+  List.iter
+    (fun (a, b, want) ->
+      checkb
+        (Printf.sprintf "%s vs %s" (mode_name a) (mode_name b))
+        want (compatible a b))
+    expected
+
+let test_mode_supremum () =
+  let open Lock in
+  checkb "S+IX=SIX" true (supremum S IX = SIX);
+  checkb "IS+X=X" true (supremum IS X = X);
+  checkb "S+S=S" true (supremum S S = S);
+  checkb "covers reflexive" true (covers SIX S);
+  checkb "S does not cover X" false (covers S X)
+
+let tbl = Lock.Table "emp"
+
+let test_lock_grant_and_conflict () =
+  let lm = Lock.create () in
+  checkb "t1 S" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  checkb "t2 S shares" true (Lock.acquire lm 2 tbl Lock.S = `Granted);
+  (match Lock.acquire lm 3 tbl Lock.X with
+  | `Would_block blockers ->
+    Alcotest.(check (list int)) "blockers" [ 1; 2 ] (List.sort compare blockers)
+  | _ -> Alcotest.fail "X should block");
+  ignore (Lock.release_all lm 1);
+  let woken = Lock.release_all lm 2 in
+  Alcotest.(check (list int)) "t3 woken" [ 3 ] woken;
+  checkb "t3 now holds X" true (Lock.holds lm 3 tbl = Some Lock.X)
+
+let test_lock_reentrant_and_upgrade () =
+  let lm = Lock.create () in
+  checkb "S" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  checkb "S again" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  checkb "upgrade to X alone" true (Lock.acquire lm 1 tbl Lock.X = `Granted);
+  checkb "holds X" true (Lock.holds lm 1 tbl = Some Lock.X);
+  checki "single lock" 1 (Lock.lock_count lm)
+
+let test_lock_fifo_fairness () =
+  let lm = Lock.create () in
+  checkb "t1 X" true (Lock.acquire lm 1 tbl Lock.X = `Granted);
+  (match Lock.acquire lm 2 tbl Lock.S with `Would_block _ -> () | _ -> Alcotest.fail "blocks");
+  (* t3 requests S, compatible with t2's queued S but must queue behind. *)
+  (match Lock.acquire lm 3 tbl Lock.S with `Would_block _ -> () | _ -> Alcotest.fail "blocks");
+  let woken = Lock.release_all lm 1 in
+  Alcotest.(check (list int)) "both readers woken" [ 2; 3 ] (List.sort compare woken)
+
+let test_lock_deadlock_detected () =
+  let lm = Lock.create () in
+  let r1 = Lock.Table "a" and r2 = Lock.Table "b" in
+  checkb "t1 holds a" true (Lock.acquire lm 1 r1 Lock.X = `Granted);
+  checkb "t2 holds b" true (Lock.acquire lm 2 r2 Lock.X = `Granted);
+  (match Lock.acquire lm 1 r2 Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t1 waits for b");
+  (match Lock.acquire lm 2 r1 Lock.X with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "cycle must be detected")
+
+let test_lock_upgrade_deadlock () =
+  let lm = Lock.create () in
+  checkb "t1 S" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  checkb "t2 S" true (Lock.acquire lm 2 tbl Lock.S = `Granted);
+  (match Lock.acquire lm 1 tbl Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "upgrade must wait");
+  (match Lock.acquire lm 2 tbl Lock.X with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "dual upgrade is a deadlock")
+
+let test_lock_entry_resources_independent () =
+  let lm = Lock.create () in
+  let e1 = Lock.Entry ("emp", Addr.make ~page:1 ~slot:0) in
+  let e2 = Lock.Entry ("emp", Addr.make ~page:1 ~slot:1) in
+  checkb "t1 X e1" true (Lock.acquire lm 1 e1 Lock.X = `Granted);
+  checkb "t2 X e2" true (Lock.acquire lm 2 e2 Lock.X = `Granted);
+  checkb "t2 blocked on e1" true
+    (match Lock.acquire lm 2 e1 Lock.X with `Would_block _ -> true | _ -> false)
+
+let test_lock_release_clears_queue () =
+  let lm = Lock.create () in
+  checkb "t1 X" true (Lock.acquire lm 1 tbl Lock.X = `Granted);
+  (match Lock.acquire lm 2 tbl Lock.X with `Would_block _ -> () | _ -> Alcotest.fail "blocks");
+  ignore (Lock.release_all lm 2);  (* waiter gives up *)
+  checki "queue empty" 0 (List.length (Lock.waiting lm tbl));
+  ignore (Lock.release_all lm 1);
+  checki "no locks" 0 (Lock.lock_count lm)
+
+let test_txn_commit_releases () =
+  let m = Txn.create_manager () in
+  let t1 = Txn.begin_txn m in
+  Txn.lock t1 tbl Lock.X;
+  let t2 = Txn.begin_txn m in
+  (try
+     Txn.lock t2 tbl Lock.S;
+     Alcotest.fail "expected block"
+   with Txn.Would_block { blockers; _ } ->
+     Alcotest.(check (list int)) "blocked by t1" [ Txn.id t1 ] blockers);
+  let woken = Txn.commit t1 in
+  Alcotest.(check (list int)) "t2 woken" [ Txn.id t2 ] woken;
+  checkb "t2 holds S now" true (Lock.holds (Txn.lock_table m) (Txn.id t2) tbl = Some Lock.S);
+  checkb "t1 inactive" false (Txn.is_active t1);
+  Alcotest.check_raises "no ops after commit" Txn.Not_active (fun () ->
+      Txn.lock t1 tbl Lock.S)
+
+let test_txn_abort_runs_undo_in_reverse () =
+  let m = Txn.create_manager () in
+  let t = Txn.begin_txn m in
+  let trace = ref [] in
+  Txn.on_abort t (fun () -> trace := "first" :: !trace);
+  Txn.on_abort t (fun () -> trace := "second" :: !trace);
+  ignore (Txn.abort t);
+  Alcotest.(check (list string)) "reverse order" [ "first"; "second" ] !trace
+
+let test_txn_commit_skips_undo () =
+  let m = Txn.create_manager () in
+  let t = Txn.begin_txn m in
+  let ran = ref false in
+  Txn.on_abort t (fun () -> ran := true);
+  ignore (Txn.commit t);
+  checkb "undo not run" false !ran
+
+let test_txn_active_count () =
+  let m = Txn.create_manager () in
+  let a = Txn.begin_txn m in
+  let b = Txn.begin_txn m in
+  checki "two active" 2 (Txn.active_count m);
+  ignore (Txn.commit a);
+  ignore (Txn.abort b);
+  checki "none active" 0 (Txn.active_count m)
+
+let suite =
+  [
+    Alcotest.test_case "clock monotonic" `Quick test_clock_monotonic;
+    Alcotest.test_case "mode compatibility" `Quick test_mode_compatibility_matrix;
+    Alcotest.test_case "mode supremum" `Quick test_mode_supremum;
+    Alcotest.test_case "grant and conflict" `Quick test_lock_grant_and_conflict;
+    Alcotest.test_case "reentrant + upgrade" `Quick test_lock_reentrant_and_upgrade;
+    Alcotest.test_case "fifo fairness" `Quick test_lock_fifo_fairness;
+    Alcotest.test_case "deadlock detected" `Quick test_lock_deadlock_detected;
+    Alcotest.test_case "upgrade deadlock" `Quick test_lock_upgrade_deadlock;
+    Alcotest.test_case "entry locks independent" `Quick test_lock_entry_resources_independent;
+    Alcotest.test_case "release clears queue" `Quick test_lock_release_clears_queue;
+    Alcotest.test_case "txn commit releases" `Quick test_txn_commit_releases;
+    Alcotest.test_case "txn abort undo order" `Quick test_txn_abort_runs_undo_in_reverse;
+    Alcotest.test_case "txn commit skips undo" `Quick test_txn_commit_skips_undo;
+    Alcotest.test_case "txn active count" `Quick test_txn_active_count;
+  ]

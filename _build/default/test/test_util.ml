@@ -1,0 +1,229 @@
+(* Tests for snapdiff_util: RNG determinism and distributions, statistics,
+   text tables. *)
+
+open Snapdiff_util
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_changes_stream () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let sa = List.init 10 (fun _ -> Rng.bits64 a) in
+  let sb = List.init 10 (fun _ -> Rng.bits64 b) in
+  checkb "different seeds differ" true (sa <> sb)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 3 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues same" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    checkb "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-3) 3 in
+    checkb "in closed range" true (v >= -3 && v <= 3)
+  done
+
+let test_rng_uniformity () =
+  (* Chi-square-lite: every bucket of 10 should get 800-1200 of 10_000. *)
+  let r = Rng.create 99 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n -> checkb (Printf.sprintf "bucket %d balanced (%d)" i n) true (n > 800 && n < 1200))
+    buckets
+
+let test_rng_float_range () =
+  let r = Rng.create 21 in
+  for _ = 1 to 1000 do
+    let v = Rng.float r 2.5 in
+    checkb "in [0,2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_rng_bernoulli () =
+  let r = Rng.create 13 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  checkb "p=0.3 plausible" true (!hits > 2700 && !hits < 3300)
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 17 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check Alcotest.(array int) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_rng_sample_without_replacement () =
+  let r = Rng.create 23 in
+  (* Small k relative to n exercises the hashtable path, large k the
+     shuffle path. *)
+  List.iter
+    (fun (k, n) ->
+      let s = Rng.sample_without_replacement r k n in
+      checki "size" k (Array.length s);
+      let distinct = List.sort_uniq compare (Array.to_list s) in
+      checki "distinct" k (List.length distinct);
+      Array.iter (fun v -> checkb "in range" true (v >= 0 && v < n)) s)
+    [ (5, 1000); (900, 1000); (0, 10); (10, 10) ]
+
+let test_rng_zipf_skew () =
+  let r = Rng.create 31 in
+  let n = 1000 in
+  let counts = Array.make n 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.zipf r ~n ~theta:0.99 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Head elements must dominate the tail under heavy skew. *)
+  let head = counts.(0) + counts.(1) + counts.(2) in
+  let tail = counts.(n - 1) + counts.(n - 2) + counts.(n - 3) in
+  checkb (Printf.sprintf "zipf head %d >> tail %d" head tail) true (head > 10 * max 1 tail)
+
+let test_rng_zipf_uniform_theta0 () =
+  let r = Rng.create 37 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Rng.zipf r ~n:10 ~theta:0.0 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter (fun c -> checkb "roughly uniform" true (c > 800 && c < 1200)) counts
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_stats_mean_stddev () =
+  feq "mean" 3.0 (Stats.mean [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "stddev" (sqrt 2.5) (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ]);
+  feq "stddev singleton" 0.0 (Stats.stddev [ 42.0 ])
+
+let test_stats_summary () =
+  let s = Stats.summary [ 2.0; 4.0; 6.0 ] in
+  checki "n" 3 s.Stats.n;
+  feq "mean" 4.0 s.Stats.mean;
+  feq "min" 2.0 s.Stats.min;
+  feq "max" 6.0 s.Stats.max;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summary: empty") (fun () ->
+      ignore (Stats.summary []))
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0 ] in
+  feq "p0" 1.0 (Stats.percentile xs 0.0);
+  feq "p100" 4.0 (Stats.percentile xs 100.0);
+  feq "p50" 2.5 (Stats.percentile xs 50.0)
+
+let test_stats_accumulator_matches_batch () =
+  let xs = List.init 100 (fun i -> float_of_int (i * i) /. 7.0) in
+  let acc = Stats.Accumulator.create () in
+  List.iter (Stats.Accumulator.add acc) xs;
+  let s = Stats.summary xs in
+  Alcotest.(check (float 1e-6)) "mean" s.Stats.mean (Stats.Accumulator.mean acc);
+  Alcotest.(check (float 1e-6)) "stddev" s.Stats.stddev (Stats.Accumulator.stddev acc);
+  feq "min" s.Stats.min (Stats.Accumulator.min acc);
+  feq "max" s.Stats.max (Stats.Accumulator.max acc)
+
+let test_text_table_render () =
+  let t = Text_table.create ~title:"T" [ ("a", Text_table.Left); ("b", Text_table.Right) ] in
+  Text_table.add_row t [ "x"; "1" ];
+  Text_table.add_row t [ "longer"; "22" ];
+  let s = Text_table.render t in
+  checkb "has title" true (String.length s > 0 && String.sub s 0 1 = "T");
+  checkb "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0 && l.[0] = '|'));
+  Alcotest.check_raises "bad width" (Invalid_argument "Text_table.add_row: row width mismatch")
+    (fun () -> Text_table.add_row t [ "only one" ])
+
+let test_text_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Text_table.cell_float ~decimals:2 3.14159);
+  Alcotest.(check string) "pct" "12.5%" (Text_table.cell_pct ~decimals:1 12.53)
+
+let test_ascii_chart_smoke () =
+  let s =
+    Ascii_chart.render ~title:"demo" ~y_label:"y" ~x_label:"x"
+      [
+        { Ascii_chart.label = "lin"; glyph = '*'; points = [ (0.0, 0.0); (1.0, 1.0) ] };
+        { Ascii_chart.label = "flat"; glyph = 'o'; points = [ (0.0, 0.5); (1.0, 0.5) ] };
+      ]
+  in
+  checkb "mentions legend" true
+    (String.length s > 0
+    && List.exists
+         (fun line ->
+           String.length line >= 7 && String.sub line 0 7 = "legend:")
+         (String.split_on_char '\n' s));
+  checkb "plots glyphs" true (String.contains s '*' && String.contains s 'o')
+
+let test_ascii_chart_log_scale () =
+  let s =
+    Ascii_chart.render ~y_scale:Ascii_chart.Log10
+      [ { Ascii_chart.label = "s"; glyph = '#'; points = [ (0.0, 0.01); (1.0, 100.0) ] } ]
+  in
+  checkb "renders" true (String.contains s '#')
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng seeds differ" `Quick test_rng_seed_changes_stream;
+    Alcotest.test_case "rng copy" `Quick test_rng_copy_independent;
+    Alcotest.test_case "rng int bounds" `Quick test_rng_int_bounds;
+    Alcotest.test_case "rng int_in" `Quick test_rng_int_in;
+    Alcotest.test_case "rng uniformity" `Quick test_rng_uniformity;
+    Alcotest.test_case "rng float" `Quick test_rng_float_range;
+    Alcotest.test_case "rng bernoulli" `Quick test_rng_bernoulli;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutation;
+    Alcotest.test_case "rng sample w/o replacement" `Quick test_rng_sample_without_replacement;
+    Alcotest.test_case "rng zipf skew" `Quick test_rng_zipf_skew;
+    Alcotest.test_case "rng zipf theta=0" `Quick test_rng_zipf_uniform_theta0;
+    Alcotest.test_case "stats mean/stddev" `Quick test_stats_mean_stddev;
+    Alcotest.test_case "stats summary" `Quick test_stats_summary;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats accumulator" `Quick test_stats_accumulator_matches_batch;
+    Alcotest.test_case "text table render" `Quick test_text_table_render;
+    Alcotest.test_case "text table cells" `Quick test_text_table_cells;
+    Alcotest.test_case "ascii chart smoke" `Quick test_ascii_chart_smoke;
+    Alcotest.test_case "ascii chart log" `Quick test_ascii_chart_log_scale;
+  ]
+
+(* Appended: small gap-fillers. *)
+let test_text_table_separator () =
+  let t = Text_table.create [ ("a", Text_table.Left) ] in
+  Text_table.add_row t [ "1" ];
+  Text_table.add_separator t;
+  Text_table.add_row t [ "2" ];
+  let lines = String.split_on_char '\n' (Text_table.render t) in
+  (* top, header, header-rule, row, separator, row, bottom (+ trailing "") *)
+  checki "rule lines" 4
+    (List.length (List.filter (fun l -> String.length l > 0 && l.[0] = '+') lines))
+
+let test_stats_relative_error () =
+  Alcotest.(check (float 1e-9)) "simple" 0.5 (Stats.relative_error ~actual:1.5 ~expected:1.0);
+  checkb "zero expected uses floor" true
+    (Stats.relative_error ~actual:1.0 ~expected:0.0 > 1e9)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "text table separator" `Quick test_text_table_separator;
+      Alcotest.test_case "stats relative error" `Quick test_stats_relative_error;
+    ]

@@ -1,0 +1,251 @@
+(* Tests for WAL records, the log manager, redo recovery and net-change
+   extraction. *)
+
+open Snapdiff_storage
+open Snapdiff_wal
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tuple = Alcotest.testable Tuple.pp Tuple.equal
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let a1 = Addr.make ~page:1 ~slot:0
+let a2 = Addr.make ~page:1 ~slot:1
+let a3 = Addr.make ~page:2 ~slot:0
+
+let sample_records =
+  [
+    Record.Begin { txn = 1 };
+    Record.Commit { txn = 1 };
+    Record.Abort { txn = 9 };
+    Record.Insert { txn = 1; table = "emp"; addr = a1; tuple = emp "Bruce" 15 };
+    Record.Delete { txn = 2; table = "emp"; addr = a2; old_tuple = emp "Jack" 6 };
+    Record.Update
+      { txn = 3; table = "emp"; addr = a3; old_tuple = emp "Hamid" 9; new_tuple = emp "Hamid" 15 };
+    Record.Checkpoint { active = [ 1; 2; 3 ] };
+    Record.Checkpoint { active = [] };
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      let buf = Buffer.create 64 in
+      Record.encode buf r;
+      let r', consumed = Record.decode (Buffer.to_bytes buf) 0 in
+      checki "consumed" (Buffer.length buf) consumed;
+      checkb "roundtrip" true (r = r'))
+    sample_records
+
+let test_record_metadata () =
+  Alcotest.(check (option int)) "txn of begin" (Some 1) (Record.txn_of (List.nth sample_records 0));
+  Alcotest.(check (option int)) "txn of checkpoint" None
+    (Record.txn_of (Record.Checkpoint { active = [] }));
+  Alcotest.(check (option string)) "table of insert" (Some "emp")
+    (Record.table_of (List.nth sample_records 3));
+  Alcotest.(check (option string)) "table of commit" None
+    (Record.table_of (Record.Commit { txn = 1 }))
+
+let test_wal_append_iter () =
+  let log = Wal.create () in
+  let lsns = List.map (Wal.append log) sample_records in
+  checki "count" (List.length sample_records) (Wal.record_count log);
+  checkb "lsns strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length lsns - 1) lsns) (List.tl lsns));
+  let replayed = List.map snd (Wal.to_list log) in
+  checkb "replay equals input" true (replayed = sample_records);
+  (* iter_from a mid LSN yields the suffix. *)
+  let third = List.nth lsns 2 in
+  let suffix = Wal.fold_from log third ~init:0 ~f:(fun acc _ _ -> acc + 1) in
+  checki "suffix" (List.length sample_records - 2) suffix
+
+let test_wal_read_exact () =
+  let log = Wal.create () in
+  let l1 = Wal.append log (Record.Begin { txn = 5 }) in
+  let l2 = Wal.append log (Record.Commit { txn = 5 }) in
+  let r, next = Wal.read log l1 in
+  checkb "first" true (r = Record.Begin { txn = 5 });
+  checki "next lsn" l2 next;
+  Alcotest.check_raises "bad lsn" (Failure "Wal.read: bad LSN") (fun () ->
+      ignore (Wal.read log 999_999))
+
+let test_wal_save_load () =
+  let path = Filename.temp_file "snapdiff_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let log = Wal.create () in
+      List.iter (fun r -> ignore (Wal.append log r)) sample_records;
+      Wal.save log path;
+      let log2 = Wal.load path in
+      checki "count" (Wal.record_count log) (Wal.record_count log2);
+      checkb "contents" true (Wal.to_list log = Wal.to_list log2))
+
+let schema =
+  Schema.make [ Schema.col ~nullable:false "name" Value.Tstring; Schema.col "salary" Value.Tint ]
+
+(* A scripted history: t1 commits inserts, t2 aborts (implicitly - no commit
+   record), t3 commits an update and a delete. *)
+let scripted_log () =
+  let log = Wal.create () in
+  let app r = ignore (Wal.append log r) in
+  app (Record.Begin { txn = 1 });
+  app (Record.Insert { txn = 1; table = "emp"; addr = a1; tuple = emp "Bruce" 15 });
+  app (Record.Insert { txn = 1; table = "emp"; addr = a2; tuple = emp "Laura" 6 });
+  app (Record.Insert { txn = 1; table = "emp"; addr = a3; tuple = emp "Jack" 6 });
+  app (Record.Commit { txn = 1 });
+  app (Record.Begin { txn = 2 });
+  app (Record.Insert { txn = 2; table = "emp"; addr = Addr.make ~page:2 ~slot:1;
+                       tuple = emp "Ghost" 1 });
+  app (Record.Abort { txn = 2 });
+  app (Record.Begin { txn = 3 });
+  app (Record.Update { txn = 3; table = "emp"; addr = a1; old_tuple = emp "Bruce" 15;
+                       new_tuple = emp "Bruce" 16 });
+  app (Record.Delete { txn = 3; table = "emp"; addr = a3; old_tuple = emp "Jack" 6 });
+  app (Record.Commit { txn = 3 });
+  log
+
+let test_redo_rebuilds_committed_state () =
+  let log = scripted_log () in
+  let heap = Heap.create ~page_size:512 schema in
+  Recovery.redo log (function "emp" -> Some heap | _ -> None);
+  checki "two live" 2 (Heap.count heap);
+  Alcotest.check (Alcotest.option tuple) "updated Bruce" (Some (emp "Bruce" 16))
+    (Heap.get heap a1);
+  Alcotest.check (Alcotest.option tuple) "Laura" (Some (emp "Laura" 6)) (Heap.get heap a2);
+  checkb "Jack deleted" true (Heap.get heap a3 = None);
+  checkb "aborted txn invisible" true (Heap.get heap (Addr.make ~page:2 ~slot:1) = None)
+
+let test_redo_skips_unresolved_tables () =
+  let log = scripted_log () in
+  (* Resolving nothing must not raise. *)
+  Recovery.redo log (fun _ -> None)
+
+let test_net_changes_full_window () =
+  let log = scripted_log () in
+  let changes, stats = Recovery.net_changes log ~table:"emp" ~since:Wal.start_lsn in
+  (* Net effect: a1 present (16), a2 present; a3 was inserted AND deleted
+     inside the window -> nets out entirely. *)
+  checki "two net changes" 2 (List.length changes);
+  (match List.assoc_opt a1 changes with
+  | Some { Recovery.before; after = Some t } ->
+    Alcotest.check tuple "a1 final" (emp "Bruce" 16) t;
+    checkb "a1 did not exist at window start" true (before = None)
+  | _ -> Alcotest.fail "a1 must be present");
+  (match List.assoc_opt a2 changes with
+  | Some { Recovery.after = Some t; _ } -> Alcotest.check tuple "a2 final" (emp "Laura" 6) t
+  | _ -> Alcotest.fail "a2 must be present");
+  checkb "a3 netted out" true (List.assoc_opt a3 changes = None);
+  checkb "scanned everything" true (stats.Recovery.records_scanned = Wal.record_count log);
+  checkb "only committed emp records relevant" true (stats.Recovery.relevant = 5)
+
+let test_net_changes_since_mid_log () =
+  let log = scripted_log () in
+  (* Find the LSN of t3's Begin: changes before it are invisible. *)
+  let since =
+    Wal.fold_from log Wal.start_lsn ~init:None ~f:(fun acc lsn r ->
+        match (acc, r) with
+        | None, Record.Begin { txn = 3 } -> Some lsn
+        | acc, _ -> acc)
+    |> Option.get
+  in
+  let changes, _ = Recovery.net_changes log ~table:"emp" ~since in
+  checki "two changes" 2 (List.length changes);
+  (match List.assoc_opt a1 changes with
+  | Some { Recovery.before = Some b; after = Some t } ->
+    Alcotest.check tuple "a1 updated" (emp "Bruce" 16) t;
+    Alcotest.check tuple "a1 before pinned at window start" (emp "Bruce" 15) b
+  | _ -> Alcotest.fail "a1 present");
+  (* a3 pre-existed this window, so its delete IS a net change now. *)
+  (match List.assoc_opt a3 changes with
+  | Some { Recovery.before = Some b; after = None } ->
+    Alcotest.check tuple "a3 old value" (emp "Jack" 6) b
+  | _ -> Alcotest.fail "a3 must be a net delete")
+
+let test_net_changes_other_table_ignored () =
+  let log = scripted_log () in
+  let changes, stats = Recovery.net_changes log ~table:"dept" ~since:Wal.start_lsn in
+  checki "none" 0 (List.length changes);
+  checki "none relevant" 0 stats.Recovery.relevant;
+  checkb "but the whole log was scanned (the paper's point)" true
+    (stats.Recovery.records_scanned = Wal.record_count log)
+
+let test_net_changes_address_order () =
+  let log = Wal.create () in
+  let app r = ignore (Wal.append log r) in
+  app (Record.Begin { txn = 1 });
+  app (Record.Insert { txn = 1; table = "t"; addr = a3; tuple = emp "z" 1 });
+  app (Record.Insert { txn = 1; table = "t"; addr = a1; tuple = emp "a" 1 });
+  app (Record.Commit { txn = 1 });
+  let changes, _ = Recovery.net_changes log ~table:"t" ~since:Wal.start_lsn in
+  Alcotest.(check (list int)) "sorted by address" [ a1; a3 ] (List.map fst changes)
+
+let test_truncation () =
+  let log = Wal.create () in
+  let lsns = List.map (Wal.append log) sample_records in
+  let cut = List.nth lsns 3 in
+  Wal.truncate_before log cut;
+  checki "oldest moved" cut (Wal.oldest_retained log);
+  checki "count shrank" (List.length sample_records - 3) (Wal.record_count log);
+  (* Retained records keep their LSNs and contents. *)
+  let r, _ = Wal.read log cut in
+  checkb "boundary record intact" true (r = List.nth sample_records 3);
+  let suffix = List.map snd (Wal.to_list log) in
+  checkb "suffix preserved" true
+    (suffix = List.filteri (fun i _ -> i >= 3) sample_records);
+  (* Reading below the truncation point fails. *)
+  Alcotest.check_raises "below retention" (Failure "Wal.read: bad LSN") (fun () ->
+      ignore (Wal.read log (List.nth lsns 1)));
+  (* Truncating at a non-boundary fails. *)
+  Alcotest.check_raises "mid-record" (Failure "Wal.truncate_before: LSN is not a record boundary")
+    (fun () -> Wal.truncate_before log (cut + 1));
+  (* Appending continues with monotone LSNs; save/load keeps the base. *)
+  let next = Wal.append log (Record.Begin { txn = 99 }) in
+  checkb "monotone" true (next > cut);
+  let path = Filename.temp_file "snapdiff_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Wal.save log path;
+      let log2 = Wal.load path in
+      checki "base persisted" cut (Wal.oldest_retained log2);
+      checkb "contents persisted" true (Wal.to_list log = Wal.to_list log2))
+
+let test_redo_after_truncation_replays_suffix () =
+  let log = scripted_log () in
+  (* Find t3's Begin and truncate everything before it. *)
+  let cut =
+    Wal.fold_from log Wal.start_lsn ~init:None ~f:(fun acc lsn r ->
+        match (acc, r) with
+        | None, Record.Begin { txn = 3 } -> Some lsn
+        | acc, _ -> acc)
+    |> Option.get
+  in
+  Wal.truncate_before log cut;
+  (* Redo onto a heap restored "from a checkpoint": t1's committed state. *)
+  let heap = Heap.create ~page_size:512 schema in
+  Heap.insert_at heap a1 (emp "Bruce" 15);
+  Heap.insert_at heap a2 (emp "Laura" 6);
+  Heap.insert_at heap a3 (emp "Jack" 6);
+  Recovery.redo log (function "emp" -> Some heap | _ -> None);
+  Alcotest.check (Alcotest.option tuple) "t3 update replayed" (Some (emp "Bruce" 16))
+    (Heap.get heap a1);
+  checkb "t3 delete replayed" true (Heap.get heap a3 = None)
+
+let suite =
+  [
+    Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
+    Alcotest.test_case "wal truncation" `Quick test_truncation;
+    Alcotest.test_case "redo after truncation" `Quick test_redo_after_truncation_replays_suffix;
+    Alcotest.test_case "record metadata" `Quick test_record_metadata;
+    Alcotest.test_case "wal append/iter" `Quick test_wal_append_iter;
+    Alcotest.test_case "wal read exact" `Quick test_wal_read_exact;
+    Alcotest.test_case "wal save/load" `Quick test_wal_save_load;
+    Alcotest.test_case "redo committed state" `Quick test_redo_rebuilds_committed_state;
+    Alcotest.test_case "redo unresolved tables" `Quick test_redo_skips_unresolved_tables;
+    Alcotest.test_case "net changes full window" `Quick test_net_changes_full_window;
+    Alcotest.test_case "net changes mid log" `Quick test_net_changes_since_mid_log;
+    Alcotest.test_case "net changes other table" `Quick test_net_changes_other_table_ignored;
+    Alcotest.test_case "net changes ordered" `Quick test_net_changes_address_order;
+  ]
