@@ -11,6 +11,7 @@
      logscan   ablation  - log-based refresh culling cost
      tail      ablation  - unconditional tail vs high-water suppression
      skew      ablation  - zipf-skewed update addresses
+     faults    ablation  - fault-injecting links: retry tax and atomicity
      timing    Bechamel wall-clock benches (one per figure/experiment)
 
    --quick shrinks the base table (n=2000) for a fast smoke run. *)
@@ -26,7 +27,7 @@ let requested =
   in
   if args = [] then
     [ "fig8"; "fig9"; "churn"; "maint"; "asap"; "logscan"; "tail"; "skew"; "amort";
-      "cascade"; "wire"; "stepwise"; "timing" ]
+      "cascade"; "wire"; "stepwise"; "faults"; "timing" ]
   else args
 
 let wants s = List.mem s requested
@@ -254,6 +255,32 @@ let wire () =
     "(the paper's motivation: on 1986 wide-area links the message savings\n\
     \ are minutes per refresh, not an abstraction)"
 
+let faults () =
+  header "Ablation: fault-injecting links -- retry tax and atomic apply (q=25%)";
+  let t =
+    Text_table.create
+      [ ("fault plan", Text_table.Left); ("refreshes", Text_table.Right);
+        ("attempts", Text_table.Right); ("aborted streams", Text_table.Right);
+        ("escalations", Text_table.Right); ("failed", Text_table.Right);
+        ("wire msgs", Text_table.Right); ("converged", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      Text_table.add_row t
+        [ r.Figures.fault_name; string_of_int r.Figures.refresh_rounds;
+          string_of_int r.Figures.attempts_total;
+          string_of_int r.Figures.aborted_streams;
+          string_of_int r.Figures.escalations;
+          string_of_int r.Figures.refreshes_failed;
+          string_of_int r.Figures.wire_messages;
+          (if r.Figures.converged then "yes" else "NO") ])
+    (Figures.faults_ablation ~n:n_ablation ());
+  Text_table.print t;
+  print_endline
+    "(a failed refresh is atomic: the snapshot keeps its old image and\n\
+    \ SnapTime, so one refresh on a healed line covers the whole gap;\n\
+    \ wire msgs against the clean-line row is the retry tax)"
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches: one Test.make per figure/experiment. *)
 
@@ -382,4 +409,5 @@ let () =
   if wants "cascade" then cascade ();
   if wants "wire" then wire ();
   if wants "stepwise" then stepwise ();
+  if wants "faults" then faults ();
   if wants "timing" then timing ()

@@ -35,17 +35,19 @@ let flush t =
 
 let attach ~base ~link ~restrict ~project ?(policy = Buffer) () =
   let t = { link; policy; queue = Queue.create (); sent = 0; rejected = 0 } in
-  Base_table.subscribe base (fun change ->
-      let addr, before, after =
-        match change with
-        | Change_log.Insert (addr, v) -> (addr, None, Some v)
-        | Change_log.Delete (addr, old) -> (addr, Some old, None)
-        | Change_log.Update (addr, old, v) -> (addr, Some old, Some v)
-      in
-      match Ideal.decide ~restrict before after with
-      | `Upsert v -> push t (Refresh_msg.Upsert { addr; values = project v })
-      | `Remove -> push t (Refresh_msg.Remove { addr })
-      | `Nothing -> ());
+  ignore
+    (Base_table.subscribe base (fun change ->
+         let addr, before, after =
+           match change with
+           | Change_log.Insert (addr, v) -> (addr, None, Some v)
+           | Change_log.Delete (addr, old) -> (addr, Some old, None)
+           | Change_log.Update (addr, old, v) -> (addr, Some old, Some v)
+         in
+         match Ideal.decide ~restrict before after with
+         | `Upsert v -> push t (Refresh_msg.Upsert { addr; values = project v })
+         | `Remove -> push t (Refresh_msg.Remove { addr })
+         | `Nothing -> ())
+      : Base_table.subscription);
   t
 
 let sent t = t.sent

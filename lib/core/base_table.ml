@@ -5,6 +5,8 @@ module Int_btree = Snapdiff_index.Btree.Make (Int)
 
 type mode = Eager | Deferred
 
+type subscription = int
+
 type t = {
   table_name : string;
   table_mode : mode;
@@ -13,7 +15,8 @@ type t = {
   stored : Schema.t;
   heap : Heap.t;
   live : unit Int_btree.t;  (* live addresses, for successor/predecessor *)
-  mutable observers : (Change_log.change -> unit) list;
+  mutable observers : (subscription * (Change_log.change -> unit)) list;
+  mutable next_sub : subscription;
   wal : Snapdiff_wal.Wal.t option;
   mutable next_txn : int;
   mutable mutation_count : int;
@@ -31,6 +34,7 @@ let of_heap ~mode ~wal ~name ~clock ~user_schema heap =
     heap;
     live;
     observers = [];
+    next_sub = 1;
     wal;
     next_txn = 1;
     mutation_count = 0;
@@ -56,9 +60,15 @@ let stored_schema t = t.stored
 let count t = Heap.count t.heap
 let mutations t = t.mutation_count
 
-let subscribe t f = t.observers <- t.observers @ [ f ]
+let subscribe t f =
+  let id = t.next_sub in
+  t.next_sub <- id + 1;
+  t.observers <- t.observers @ [ (id, f) ];
+  id
 
-let notify t change = List.iter (fun f -> f change) t.observers
+let unsubscribe t id = t.observers <- List.filter (fun (i, _) -> i <> id) t.observers
+
+let notify t change = List.iter (fun (_, f) -> f change) t.observers
 
 (* Each user operation is its own committed transaction in the WAL (the
    SQL layer's autocommit); annotation maintenance writes are not logged. *)

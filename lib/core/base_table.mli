@@ -79,8 +79,15 @@ val count : t -> int
 val mutations : t -> int
 (** Total inserts+updates+deletes since creation (cost-model input). *)
 
-val subscribe : t -> (Snapdiff_changelog.Change_log.change -> unit) -> unit
+type subscription
+(** Handle to an observer registration, for {!unsubscribe}. *)
+
+val subscribe : t -> (Snapdiff_changelog.Change_log.change -> unit) -> subscription
 (** Change records carry {b user} tuples (annotations stripped). *)
+
+val unsubscribe : t -> subscription -> unit
+(** Detach a previously registered observer.  Unknown handles are
+    ignored. *)
 
 (** {1 Operations} (user-schema tuples) *)
 

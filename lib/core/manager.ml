@@ -39,16 +39,43 @@ type refresh_report = {
   link_bytes : int;
   tail_suppressed : bool;
   log_records_scanned : int;
+  attempts : int;  (* stream attempts, including the one that committed *)
+  aborts : int;  (* attempts that failed or whose stream was discarded *)
+  escalated : bool;  (* degraded to full refresh after repeated failures *)
+  backoff_us : float;  (* simulated retry backoff accumulated *)
 }
+
+(* Retry discipline for refresh streams.  Backoff is simulated time
+   (charged to the link's transfer clock), not wall-clock sleep. *)
+type retry_policy = {
+  max_attempts : int;
+  backoff_us : float;  (* first retry's base delay *)
+  backoff_multiplier : float;
+  max_backoff_us : float;
+  jitter : float;  (* fraction of the delay randomized, in [0, 1] *)
+  escalate_after : int;  (* consecutive failures before forcing full refresh *)
+}
+
+let default_retry_policy =
+  {
+    max_attempts = 8;
+    backoff_us = 1_000.0;
+    backoff_multiplier = 2.0;
+    max_backoff_us = 1_000_000.0;
+    jitter = 0.5;
+    escalate_after = 3;
+  }
 
 exception Unknown_table of string
 exception Unknown_snapshot of string
 exception Duplicate_name of string
 exception Bad_definition of string
 
+exception Refresh_failed of { snapshot : string; attempts : int; reason : string }
+
 type base_state = {
   base_table : Base_table.t;
-  mutable capture : Change_log.t option;
+  mutable capture : (Change_log.t * Base_table.subscription) option;
 }
 
 type snapshot = {
@@ -67,18 +94,31 @@ type snapshot = {
   mutable cursor_seq : Change_log.seq;
   mutable cursor_lsn : Wal.lsn;
   mutable mutations_at_refresh : int;
+  mutable next_epoch : int;  (* every stream attempt gets a fresh epoch *)
 }
 
 type t = {
   bases : (string, base_state) Hashtbl.t;
   snapshots : (string, snapshot) Hashtbl.t;
   txns : Txn.manager;
+  mutable retry : retry_policy;
+  rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
 }
 
 let key = String.lowercase_ascii
 
-let create () =
-  { bases = Hashtbl.create 8; snapshots = Hashtbl.create 8; txns = Txn.create_manager () }
+let create ?(retry = default_retry_policy) ?(seed = 0x5EED) () =
+  {
+    bases = Hashtbl.create 8;
+    snapshots = Hashtbl.create 8;
+    txns = Txn.create_manager ();
+    retry;
+    rng = Snapdiff_util.Rng.create seed;
+  }
+
+let retry_policy t = t.retry
+
+let set_retry_policy t p = t.retry <- p
 
 let register_base t table =
   let k = key (Base_table.name table) in
@@ -125,17 +165,28 @@ let snapshot_request_link t name = (snapshot t name).request_link
 
 let selectivity_estimate t name = (snapshot t name).selectivity
 
-let change_log t name = (base_state t name).capture
+let change_log t name = Option.map fst (base_state t name).capture
 
 let ensure_capture t base_name =
   let st = base_state t base_name in
   match st.capture with
-  | Some log -> log
+  | Some (log, _) -> log
   | None ->
     let log = Change_log.create () in
-    Base_table.subscribe st.base_table (fun c -> ignore (Change_log.append log c : Change_log.seq));
-    st.capture <- Some log;
+    let sub =
+      Base_table.subscribe st.base_table (fun c ->
+          ignore (Change_log.append log c : Change_log.seq))
+    in
+    st.capture <- Some (log, sub);
     log
+
+let drop_capture t base_name =
+  let st = base_state t base_name in
+  match st.capture with
+  | None -> ()
+  | Some (_, sub) ->
+    Base_table.unsubscribe st.base_table sub;
+    st.capture <- None
 
 (* Observed distinct-update activity is approximated by the operation count
    since the snapshot's last refresh, capped at 1. *)
@@ -180,20 +231,40 @@ let blank_report s method_used =
     link_bytes = 0;
     tail_suppressed = false;
     log_records_scanned = 0;
+    attempts = 1;
+    aborts = 0;
+    escalated = false;
+    backoff_us = 0.0;
   }
 
-let rec run_method t s method_used =
+(* Run one refresh stream for [s] under [epoch].  Every message is framed
+   with the epoch and a sequence number so the receiver can detect gaps,
+   truncation, and corruption, and apply the stream atomically at its
+   Snaptime commit marker.  Returns the report plus an [on_commit] hook
+   that advances the snapshot's change cursors — which must only happen
+   once the receiver has actually committed the epoch, or an aborted
+   stream would silently lose the changes between the old and new cursor
+   on retry. *)
+let rec run_method t s ~epoch method_used =
   let b = base t s.base_name in
-  let xmit msg = Link.send s.link (Refresh_msg.encode msg) in
+  let xmit =
+    let seq = ref 0 in
+    fun msg ->
+      let framed = Refresh_msg.encode_framed ~epoch ~seq:!seq msg in
+      incr seq;
+      Link.send s.link framed
+  in
+  let nop_commit () = () in
   match method_used with
   | Used_full ->
     let r = Full_refresh.refresh ~base:b ~restrict:s.restrict ~project:s.project ~xmit () in
-    {
-      (blank_report s method_used) with
-      new_snaptime = r.Full_refresh.new_snaptime;
-      entries_scanned = r.Full_refresh.entries_scanned;
-      data_messages = r.Full_refresh.data_messages;
-    }
+    ( {
+        (blank_report s method_used) with
+        new_snaptime = r.Full_refresh.new_snaptime;
+        entries_scanned = r.Full_refresh.entries_scanned;
+        data_messages = r.Full_refresh.data_messages;
+      },
+      nop_commit )
   | Used_differential ->
     let tail_suppression =
       if s.tail_suppression then Some (Snapshot_table.high_water s.table) else None
@@ -203,39 +274,45 @@ let rec run_method t s method_used =
         ~snaptime:(Snapshot_table.snaptime s.table) ~restrict:s.restrict ~project:s.project
         ~xmit ()
     in
-    {
-      (blank_report s method_used) with
-      new_snaptime = r.Differential.new_snaptime;
-      entries_scanned = r.Differential.entries_scanned;
-      fixup_writes = r.Differential.fixup_writes;
-      data_messages = r.Differential.data_messages;
-      tail_suppressed = r.Differential.tail_suppressed;
-    }
+    ( {
+        (blank_report s method_used) with
+        new_snaptime = r.Differential.new_snaptime;
+        entries_scanned = r.Differential.entries_scanned;
+        fixup_writes = r.Differential.fixup_writes;
+        data_messages = r.Differential.data_messages;
+        tail_suppressed = r.Differential.tail_suppressed;
+      },
+      nop_commit )
   | Used_ideal ->
     let log = ensure_capture t s.base_name in
     let r =
       Ideal.refresh ~base:b ~log ~cursor:s.cursor_seq ~restrict:s.restrict ~project:s.project
         ~xmit ()
     in
-    s.cursor_seq <- r.Ideal.new_cursor;
-    (* Reclaim change-log space below the slowest ideal cursor on this
-       base — the buffer-management obligation the paper charges change
-       buffering with. *)
-    let min_cursor =
-      Hashtbl.fold
-        (fun _ other acc ->
-          if key other.base_name = key s.base_name && other.spec = Ideal then
-            min acc other.cursor_seq
-          else acc)
-        t.snapshots max_int
+    let on_commit () =
+      s.cursor_seq <- r.Ideal.new_cursor;
+      (* Reclaim change-log space below the slowest ideal cursor on this
+         base — the buffer-management obligation the paper charges change
+         buffering with.  Strictly after commit: truncating below the new
+         cursor while the stream could still abort is permanent loss. *)
+      let min_cursor =
+        Hashtbl.fold
+          (fun _ other acc ->
+            if key other.base_name = key s.base_name && other.spec = Ideal then
+              min acc other.cursor_seq
+            else acc)
+          t.snapshots max_int
+      in
+      let min_cursor = min min_cursor r.Ideal.new_cursor in
+      if min_cursor < max_int then Change_log.truncate_below log min_cursor
     in
-    if min_cursor < max_int then Change_log.truncate_below log min_cursor;
-    {
-      (blank_report s method_used) with
-      new_snaptime = r.Ideal.new_snaptime;
-      entries_scanned = r.Ideal.net_changes;
-      data_messages = r.Ideal.data_messages;
-    }
+    ( {
+        (blank_report s method_used) with
+        new_snaptime = r.Ideal.new_snaptime;
+        entries_scanned = r.Ideal.net_changes;
+        data_messages = r.Ideal.data_messages;
+      },
+      on_commit )
   | Used_log_based ->
     let wal =
       match Base_table.wal b with
@@ -249,23 +326,22 @@ let rec run_method t s method_used =
       Log.info (fun m ->
           m "snapshot %s: log truncated past its cursor; falling back to full refresh"
             s.snap_name);
-      let r = run_method t s Used_full in
-      s.cursor_lsn <- Wal.end_lsn wal;
-      r
+      let r, commit_full = run_method t s ~epoch Used_full in
+      (r, fun () -> commit_full (); s.cursor_lsn <- Wal.end_lsn wal)
     end
     else begin
-    let r =
-      Log_based.refresh ~base:b ~wal ~cursor:s.cursor_lsn ~restrict:s.restrict
-        ~project:s.project ~xmit ()
-    in
-    s.cursor_lsn <- r.Log_based.new_cursor;
-    {
-      (blank_report s method_used) with
-      new_snaptime = r.Log_based.new_snaptime;
-      entries_scanned = r.Log_based.data_messages;
-      data_messages = r.Log_based.data_messages;
-      log_records_scanned = r.Log_based.log_records_scanned;
-    }
+      let r =
+        Log_based.refresh ~base:b ~wal ~cursor:s.cursor_lsn ~restrict:s.restrict
+          ~project:s.project ~xmit ()
+      in
+      ( {
+          (blank_report s method_used) with
+          new_snaptime = r.Log_based.new_snaptime;
+          entries_scanned = r.Log_based.data_messages;
+          data_messages = r.Log_based.data_messages;
+          log_records_scanned = r.Log_based.log_records_scanned;
+        },
+        fun () -> s.cursor_lsn <- r.Log_based.new_cursor )
     end
 
 let choose_method t s =
@@ -297,40 +373,147 @@ let lock_mode_for b s = function
   | Used_full when needs_priming_fixup b s Used_full -> Lock.X
   | Used_differential | Used_full | Used_ideal | Used_log_based -> Lock.S
 
-let refresh_snapshot t s =
+(* One complete stream attempt: initiate, lock, optionally prime
+   annotations, stream the epoch.  Raises Link.Link_down on an outage. *)
+let attempt_refresh t s ~epoch ~prime ~send_request method_used =
   let b = base t s.base_name in
   (* "The refresh algorithm is initiated by sending the last snapshot
      refresh time (SnapTime) ... to the base table." *)
-  Link.send s.request_link
-    (Refresh_msg.encode (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table }));
-  let method_used = choose_method t s in
-  with_table_lock t b
-    (lock_mode_for b s method_used)
-    (fun () ->
+  if send_request then
+    Link.send s.request_link
+      (Refresh_msg.encode (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table }));
+  let lock_mode = if prime then Lock.X else lock_mode_for b s method_used in
+  with_table_lock t b lock_mode (fun () ->
       let before = Link.stats s.link in
       let fixups =
-        if needs_priming_fixup b s method_used then
+        if prime then begin
+          (* Idempotent, so re-running it on a retried attempt is safe. *)
+          ignore (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b)) : Fixup.stats);
+          0
+        end
+        else if needs_priming_fixup b s method_used then
           (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b))).Fixup.writes
         else 0
       in
-      let report = run_method t s method_used in
+      let report, on_commit = run_method t s ~epoch method_used in
       let after = Link.stats s.link in
-      s.mutations_at_refresh <- Base_table.mutations b;
-      let report =
-        {
+      ( {
           report with
           fixup_writes = report.fixup_writes + fixups;
           link_messages = after.Link.messages - before.Link.messages;
           link_bytes = after.Link.bytes - before.Link.bytes;
-        }
+        },
+        on_commit ))
+
+let backoff_delay t ~failures =
+  let p = t.retry in
+  let raw = p.backoff_us *. Float.pow p.backoff_multiplier (float_of_int (failures - 1)) in
+  let capped = Float.min p.max_backoff_us raw in
+  if p.jitter <= 0.0 then capped
+  else capped *. (1.0 -. (p.jitter /. 2.0) +. Snapdiff_util.Rng.float t.rng p.jitter)
+
+(* Refresh [s] with retry: each attempt streams a fresh epoch; a failed
+   attempt (link outage mid-stream, or a stream the receiver refused to
+   commit because of loss/corruption/truncation) is discarded wholesale
+   on the snapshot side and retried after exponential backoff with
+   jitter.  After [escalate_after] consecutive failures the method
+   degrades to a full refresh — the stream that needs the least shared
+   state to converge.  [choose] picks the method for each attempt. *)
+let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () =
+  let p = t.retry in
+  let backoff_total = ref 0.0 in
+  let rec go attempt =
+    let failures = attempt - 1 in
+    let escalated = p.escalate_after > 0 && failures >= p.escalate_after in
+    let method_used = if escalated then Used_full else choose t s in
+    let epoch = s.next_epoch in
+    s.next_epoch <- epoch + 1;
+    let outcome =
+      match attempt_refresh t s ~epoch ~prime ~send_request method_used with
+      | report, on_commit ->
+        if Snapshot_table.last_committed_epoch s.table = epoch then Ok (report, on_commit)
+        else
+          Error
+            (Option.value (Snapshot_table.last_abort s.table)
+               ~default:"stream not committed by receiver")
+      | exception Link.Link_down l -> Error (Printf.sprintf "link %s down mid-stream" l)
+    in
+    match outcome with
+    | Ok (report, on_commit) ->
+      on_commit ();
+      s.mutations_at_refresh <- Base_table.mutations (base t s.base_name);
+      let report =
+        { report with attempts = attempt; aborts = failures; escalated;
+          backoff_us = !backoff_total }
       in
       Log.info (fun m ->
-          m "refresh %s via %s: %d data msgs, %d bytes, %d fixups, snaptime %d"
+          m "refresh %s via %s: %d data msgs, %d bytes, %d fixups, snaptime %d%s"
             report.snapshot (method_name report.method_used) report.data_messages
-            report.link_bytes report.fixup_writes report.new_snaptime);
-      report)
+            report.link_bytes report.fixup_writes report.new_snaptime
+            (if report.attempts > 1 then
+               Printf.sprintf " (%d attempts%s)" report.attempts
+                 (if report.escalated then ", escalated to full" else "")
+             else ""));
+      report
+    | Error reason ->
+      Snapshot_table.discard_stage s.table ~reason;
+      Log.info (fun m ->
+          m "refresh %s attempt %d/%d failed: %s" s.snap_name attempt p.max_attempts reason);
+      if attempt >= p.max_attempts then
+        raise (Refresh_failed { snapshot = s.snap_name; attempts = attempt; reason })
+      else begin
+        let d = backoff_delay t ~failures:(failures + 1) in
+        backoff_total := !backoff_total +. d;
+        Link.advance_time s.link d;
+        (* The transport layer re-establishes a dead link after backoff;
+           an armed fault plan stays armed and may kill it again. *)
+        if not (Link.is_up s.link) then Link.set_up s.link true;
+        go (attempt + 1)
+      end
+  in
+  go 1
+
+let refresh_snapshot t s =
+  refresh_with_retries t s
+    ~choose:(fun t s -> choose_method t s)
+    ()
 
 let refresh t name = refresh_snapshot t (snapshot t name)
+
+(* Selectivity measurement for CREATE SNAPSHOT.  Small tables get the
+   exact single-pass scan; above [sample_threshold] entries we draw a
+   fixed-size uniform reservoir sample instead of materializing and
+   scanning the whole table. *)
+let sample_threshold = 10_000
+let sample_size = 1_000
+
+let measure_selectivity t b ~restrict_expr restrict_fn =
+  let n = Base_table.count b in
+  if n = 0 then Selectivity.heuristic restrict_expr
+  else if n <= sample_threshold then begin
+    let hits = ref 0 in
+    Base_table.iter_stored b (fun _ stored ->
+        if restrict_fn (Annotations.user_part stored) then incr hits);
+    float_of_int !hits /. float_of_int n
+  end
+  else begin
+    let reservoir = Array.make sample_size (Tuple.make []) in
+    let seen = ref 0 in
+    Base_table.iter_stored b (fun _ stored ->
+        let u = Annotations.user_part stored in
+        if !seen < sample_size then reservoir.(!seen) <- u
+        else begin
+          let j = Snapdiff_util.Rng.int t.rng (!seen + 1) in
+          if j < sample_size then reservoir.(j) <- u
+        end;
+        incr seen);
+    let k = min sample_size !seen in
+    let hits = ref 0 in
+    for i = 0 to k - 1 do
+      if restrict_fn reservoir.(i) then incr hits
+    done;
+    float_of_int !hits /. float_of_int k
+  end
 
 let validate_projection user_schema projection =
   List.iter
@@ -390,16 +573,11 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
   let selectivity =
     match selectivity with
     | Some q -> Float.max 0.0 (Float.min 1.0 q)  (* caller-provided estimate *)
-    | None ->
-      if Base_table.count b = 0 then Selectivity.heuristic restrict
-      else begin
-        let heap_view = Base_table.to_user_list b in
-        let hits = List.length (List.filter (fun (_, u) -> restrict_fn u) heap_view) in
-        float_of_int hits /. float_of_int (List.length heap_view)
-      end
+    | None -> measure_selectivity t b ~restrict_expr:restrict restrict_fn
   in
   (* Change capture must be live before the initial population so that the
      first ideal refresh misses nothing. *)
+  let created_capture = method_ = Ideal && bst.capture = None in
   if method_ = Ideal then ignore (ensure_capture t base_name : Change_log.t);
   let s =
     {
@@ -418,9 +596,9 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
       cursor_seq = 0;
       cursor_lsn = Wal.start_lsn;
       mutations_at_refresh = 0;
+      next_epoch = 1;
     }
   in
-  Hashtbl.replace t.snapshots (key name) s;
   (* Initial population is always a full transfer, under the table lock.
      For a deferred-mode base that may later refresh differentially we also
      prime the annotations now (one fix-up pass, like R* adding the funny
@@ -428,24 +606,25 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
      does not mistake the whole table for freshly inserted. *)
   let prime_fixup = Base_table.mode b = Base_table.Deferred
                     && (method_ = Auto || method_ = Differential) in
-  let lock_mode = if prime_fixup then Lock.X else Lock.S in
   let report =
-    with_table_lock t b lock_mode (fun () ->
-        if prime_fixup then
-          ignore (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b)) : Fixup.stats);
-        let before = Link.stats s.link in
-        let r = run_method t s Used_full in
-        let after = Link.stats s.link in
-        {
-          r with
-          link_messages = after.Link.messages - before.Link.messages;
-          link_bytes = after.Link.bytes - before.Link.bytes;
-        })
+    try
+      refresh_with_retries t s
+        ~choose:(fun _ _ -> Used_full)
+        ~prime:prime_fixup ~send_request:false ()
+    with e ->
+      (* The populating transfer failed for good: leave no trace.  The
+         snapshot was never registered, so no half-populated table with
+         stale cursors survives; a capture subscription opened for it is
+         rolled back too. *)
+      if created_capture then drop_capture t base_name;
+      raise e
   in
+  (* Register only after the populating transfer has succeeded. *)
+  Hashtbl.replace t.snapshots (key name) s;
   (* Cursors start "now": everything up to this point is already in the
      snapshot. *)
   (match bst.capture with
-  | Some log -> s.cursor_seq <- Change_log.current_seq log
+  | Some (log, _) -> s.cursor_seq <- Change_log.current_seq log
   | None -> ());
   (match Base_table.wal b with
   | Some wal -> s.cursor_lsn <- Wal.end_lsn wal
@@ -459,5 +638,30 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
   report
 
 let drop_snapshot t name =
-  if not (Hashtbl.mem t.snapshots (key name)) then raise (Unknown_snapshot name);
-  Hashtbl.remove t.snapshots (key name)
+  let s =
+    match Hashtbl.find_opt t.snapshots (key name) with
+    | Some s -> s
+    | None -> raise (Unknown_snapshot name)
+  in
+  Hashtbl.remove t.snapshots (key name);
+  let bst = base_state t s.base_name in
+  match bst.capture with
+  | None -> ()
+  | Some (log, _) -> (
+    (* Change capture only serves Ideal snapshots.  Dropping the last one
+       on this base must detach the subscription and free the log, or the
+       Change_log grows without bound (nothing would ever truncate it
+       again); with Ideal snapshots remaining, reclaim up to the slowest
+       surviving cursor in case the dropped one was the laggard. *)
+    let remaining_ideal =
+      Hashtbl.fold
+        (fun _ other acc ->
+          if key other.base_name = key s.base_name && other.spec = Ideal then other :: acc
+          else acc)
+        t.snapshots []
+    in
+    match remaining_ideal with
+    | [] -> drop_capture t s.base_name
+    | rest ->
+      let min_cursor = List.fold_left (fun acc o -> min acc o.cursor_seq) max_int rest in
+      Change_log.truncate_below log min_cursor)

@@ -46,7 +46,35 @@ type refresh_report = {
   link_bytes : int;
   tail_suppressed : bool;
   log_records_scanned : int;  (** log-based method only *)
+  attempts : int;  (** refresh attempts, including the successful one *)
+  aborts : int;  (** streams the receiver discarded before success *)
+  escalated : bool;  (** differential abandoned for full after repeated failures *)
+  backoff_us : float;  (** simulated time spent backing off between attempts *)
 }
+
+(** {1 Retry policy}
+
+    A refresh whose stream is lost mid-flight (link outage, dropped or
+    corrupted messages) leaves the receiver on its previous consistent
+    image; the manager retries with a fresh epoch under exponential
+    backoff, and after [escalate_after] consecutive failures abandons
+    the differential stream for a full refresh (shorter streams survive
+    lossy links better, and a full stream needs no prior state). *)
+
+type retry_policy = {
+  max_attempts : int;  (** total attempts before {!Refresh_failed} *)
+  backoff_us : float;  (** initial backoff *)
+  backoff_multiplier : float;
+  max_backoff_us : float;
+  jitter : float;  (** fraction of the delay randomized, in [0, 1] *)
+  escalate_after : int;  (** consecutive failures before forcing full; 0 disables *)
+}
+
+val default_retry_policy : retry_policy
+
+exception Refresh_failed of { snapshot : string; attempts : int; reason : string }
+(** The retry budget was exhausted without a committed stream.  The
+    snapshot still holds its last consistent image. *)
 
 exception Unknown_table of string
 exception Unknown_snapshot of string
@@ -55,7 +83,13 @@ exception Bad_definition of string
 
 type t
 
-val create : unit -> t
+val create : ?retry:retry_policy -> ?seed:int -> unit -> t
+(** [seed] feeds the manager's private RNG (backoff jitter, selectivity
+    sampling), keeping runs reproducible. *)
+
+val retry_policy : t -> retry_policy
+
+val set_retry_policy : t -> retry_policy -> unit
 
 val register_base : t -> Base_table.t -> unit
 (** Makes a base table eligible as a snapshot source.  Raises

@@ -111,6 +111,62 @@ let decode b =
   if off <> Bytes.length b then failwith "Refresh_msg.decode: trailing bytes";
   msg
 
+(* ------------------------------------------------------------------ *)
+(* Epoch framing.
+
+   A refresh stream is a sequence of messages that is only meaningful as a
+   whole: applying a prefix (link crash), a subsequence (silent loss), or
+   a garbled member (corruption) yields a snapshot state that is neither
+   the old nor the new consistent image.  Each framed message therefore
+   carries the stream's epoch, its position in the stream, and a checksum
+   over the payload; the stream commits with its final Snaptime marker.
+   The frame tag byte is disjoint from every raw message tag, so framed
+   and legacy raw encodings coexist on the same links. *)
+
+type frame = { epoch : int; seq : int; msg : t }
+
+exception Corrupt of string
+
+let frame_tag = 0xF7
+
+(* FNV-1a over the payload, folded with epoch and seq so a frame whose
+   header was garbled fails the check even if the payload survived. *)
+let checksum ~epoch ~seq payload =
+  let h = ref 0x811C9DC5 in
+  let feed byte = h := (!h lxor byte) * 0x01000193 land 0xFFFFFFFF in
+  Bytes.iter (fun c -> feed (Char.code c)) payload;
+  for k = 0 to 7 do
+    feed ((epoch lsr (8 * k)) land 0xFF);
+    feed ((seq lsr (8 * k)) land 0xFF)
+  done;
+  !h
+
+let encode_framed ~epoch ~seq msg =
+  if epoch < 0 || seq < 0 then invalid_arg "Refresh_msg.encode_framed: negative header";
+  let payload = encode msg in
+  let buf = Buffer.create (Bytes.length payload + 21) in
+  Codec.add_u8 buf frame_tag;
+  Codec.add_int buf epoch;
+  Codec.add_int buf seq;
+  Codec.add_u32 buf (checksum ~epoch ~seq payload);
+  Buffer.add_bytes buf payload;
+  Buffer.to_bytes buf
+
+let is_framed b = Bytes.length b > 0 && Char.code (Bytes.get b 0) = frame_tag
+
+let decode_framed b =
+  try
+    let tag, off = Codec.u8 b 0 in
+    if tag <> frame_tag then failwith "not a framed message";
+    let epoch, off = Codec.int b off in
+    let seq, off = Codec.int b off in
+    let sum, off = Codec.u32 b off in
+    if epoch < 0 || seq < 0 then failwith "negative frame header";
+    let payload = Bytes.sub b off (Bytes.length b - off) in
+    if checksum ~epoch ~seq payload <> sum then failwith "checksum mismatch";
+    { epoch; seq; msg = decode payload }
+  with Failure reason | Invalid_argument reason -> raise (Corrupt reason)
+
 let equal a b =
   match (a, b) with
   | Entry x, Entry y ->

@@ -52,3 +52,26 @@ val decode : bytes -> t
 (** Raises [Failure] on a corrupt image. *)
 
 val equal : t -> t -> bool
+
+(** {1 Epoch framing}
+
+    A refresh stream is only meaningful as a whole: applying a prefix
+    (link crash), a subsequence (silent loss), or a garbled member
+    (corruption) leaves the snapshot in a state that is neither the old
+    nor the new consistent image.  Framed messages carry the stream's
+    epoch, a sequence number, and a payload checksum so the receiver can
+    detect all three and apply the stream atomically at its {!Snaptime}
+    commit marker.  The frame tag byte is disjoint from every raw message
+    tag, so framed and legacy raw encodings coexist on the same links. *)
+
+type frame = { epoch : int; seq : int; msg : t }
+
+exception Corrupt of string
+
+val encode_framed : epoch:int -> seq:int -> t -> bytes
+
+val is_framed : bytes -> bool
+
+val decode_framed : bytes -> frame
+(** Raises {!Corrupt} on a checksum mismatch, an undecodable payload, or
+    a truncated frame. *)

@@ -16,6 +16,17 @@ type secondary = {
   entries : (Addr.t, unit) Hashtbl.t Value_btree.t;
 }
 
+(* An in-flight framed refresh stream.  Messages are staged here and only
+   touch the table when the stream's commit marker (Snaptime) arrives with
+   no gap, truncation, or corruption; a bad stream is discarded wholesale,
+   leaving the previous consistent image intact. *)
+type stage = {
+  mutable stage_epoch : int;  (* -1 until a well-formed frame names it *)
+  mutable expected_seq : int;
+  mutable staged : Refresh_msg.t list;  (* newest first *)
+  mutable poison : string option;
+}
+
 type t = {
   snap_name : string;
   user : Schema.t;
@@ -25,6 +36,11 @@ type t = {
   secondaries : (string, secondary) Hashtbl.t;  (* lowercased column name *)
   mutable observers : (Refresh_msg.t -> unit) list;
   mutable time : Clock.ts;
+  mutable stage : stage option;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable last_abort : string option;
+  mutable committed_epoch : int;  (* -1 before any framed commit *)
 }
 
 let create ?(page_size = 4096) ?(frames = 128) ~name ~schema () =
@@ -40,6 +56,11 @@ let create ?(page_size = 4096) ?(frames = 128) ~name ~schema () =
     secondaries = Hashtbl.create 4;
     observers = [];
     time = Clock.never;
+    stage = None;
+    commits = 0;
+    aborts = 0;
+    last_abort = None;
+    committed_epoch = -1;
   }
 
 let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
@@ -61,6 +82,11 @@ let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
     secondaries = Hashtbl.create 4;
     observers = [];
     time = snaptime;
+    stage = None;
+    commits = 0;
+    aborts = 0;
+    last_abort = None;
+    committed_epoch = -1;
   }
 
 let flush t = Heap.flush t.heap
@@ -165,7 +191,87 @@ let apply t (msg : Refresh_msg.t) =
        one here is harmless and means a loopback link. *)
     ()
 
-let apply_bytes t b = apply t (Refresh_msg.decode b)
+(* ------------------------------------------------------------------ *)
+(* Atomic application of framed streams. *)
+
+let fresh_stage epoch = { stage_epoch = epoch; expected_seq = 0; staged = []; poison = None }
+
+let discard_stage t ~reason =
+  match t.stage with
+  | None -> ()
+  | Some _ ->
+    t.stage <- None;
+    t.aborts <- t.aborts + 1;
+    t.last_abort <- Some reason
+
+(* Mark the in-flight stream bad; it will be discarded at its commit
+   marker (or when the next epoch supersedes it).  Corruption can garble
+   the frame header itself, so with no stream in flight we open an
+   anonymous stage that the next well-formed frame adopts. *)
+let poison_stage t reason =
+  match t.stage with
+  | Some st -> if st.poison = None then st.poison <- Some reason
+  | None -> t.stage <- Some { (fresh_stage (-1)) with poison = Some reason }
+
+let apply_framed t { Refresh_msg.epoch; seq; msg } =
+  let st =
+    match t.stage with
+    | Some st when st.stage_epoch = epoch -> st
+    | Some st when st.stage_epoch = -1 ->
+      st.stage_epoch <- epoch;
+      st
+    | Some st ->
+      (* A frame from a different epoch means the previous stream was
+         truncated before its commit marker: discard it wholesale. *)
+      discard_stage t
+        ~reason:
+          (Printf.sprintf "epoch %d truncated (superseded by epoch %d)" st.stage_epoch epoch);
+      let st = fresh_stage epoch in
+      t.stage <- Some st;
+      st
+    | None ->
+      let st = fresh_stage epoch in
+      t.stage <- Some st;
+      st
+  in
+  if seq <> st.expected_seq && st.poison = None then
+    st.poison <-
+      Some (Printf.sprintf "sequence gap in epoch %d: expected %d, got %d" epoch st.expected_seq seq);
+  st.expected_seq <- seq + 1;
+  match msg with
+  | Refresh_msg.Snaptime _ -> (
+    (* The commit marker: apply everything or nothing. *)
+    match st.poison with
+    | Some reason -> discard_stage t ~reason
+    | None ->
+      t.stage <- None;
+      List.iter (apply t) (List.rev st.staged);
+      apply t msg;
+      t.commits <- t.commits + 1;
+      t.committed_epoch <- epoch)
+  | _ -> st.staged <- msg :: st.staged
+
+let apply_bytes t b =
+  if Refresh_msg.is_framed b then
+    match Refresh_msg.decode_framed b with
+    | frame -> apply_framed t frame
+    | exception Refresh_msg.Corrupt reason -> poison_stage t ("corrupt frame: " ^ reason)
+  else
+    match Refresh_msg.decode b with
+    | msg ->
+      if t.stage <> None then
+        (* Raw bytes mid-stream can only be a frame whose tag byte was
+           garbled in flight. *)
+        poison_stage t "unframed bytes inside a framed stream"
+      else apply t msg
+    | exception Failure reason -> poison_stage t ("undecodable message: " ^ reason)
+
+let epochs_committed t = t.commits
+let epochs_aborted t = t.aborts
+let last_abort t = t.last_abort
+let last_committed_epoch t = t.committed_epoch
+let stream_pending t = t.stage <> None
+let staged_depth t = match t.stage with None -> 0 | Some st -> List.length st.staged
 
 let get t base_addr =
   match Int_btree.find t.index base_addr with

@@ -54,9 +54,40 @@ val snaptime : t -> Clock.ts
 val count : t -> int
 
 val apply : t -> Refresh_msg.t -> unit
+(** Immediate (legacy) application of a raw message. *)
 
 val apply_bytes : t -> bytes -> unit
-(** Decode then {!apply} — the receiver installed on the network link. *)
+(** The receiver installed on the network link.  Raw messages are decoded
+    and applied immediately; framed messages go through the atomic staging
+    path ({!apply_framed}).  Undecodable bytes never raise — they poison
+    the in-flight stream (or open a poisoned one), so the corruption is
+    detected at the stream's commit marker. *)
+
+(** {1 Atomic stream application}
+
+    Messages of a framed refresh stream are staged per epoch and applied
+    only when the stream's {!Refresh_msg.Snaptime} commit marker arrives
+    with no sequence gap, truncation, or corruption.  A bad stream is
+    discarded wholesale — the previous consistent image stays intact. *)
+
+val apply_framed : t -> Refresh_msg.frame -> unit
+
+val discard_stage : t -> reason:string -> unit
+(** Abort the in-flight stream, if any (the sender saw its link die). *)
+
+val epochs_committed : t -> int
+
+val epochs_aborted : t -> int
+
+val last_abort : t -> string option
+
+val last_committed_epoch : t -> int
+(** Epoch of the most recently committed framed stream; [-1] before any. *)
+
+val stream_pending : t -> bool
+
+val staged_depth : t -> int
+(** Messages currently staged for the in-flight stream. *)
 
 val get : t -> Addr.t -> Tuple.t option
 (** Lookup by base address. *)

@@ -40,7 +40,9 @@ let run_cell ~seed ~n ~q ~u ~mix =
   Workload.populate base ~rng ~n;
   (* Change capture must watch the window the ideal algorithm reports on. *)
   let log = Change_log.create () in
-  Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq));
+  ignore
+    (Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq))
+      : Base_table.subscription);
   ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
   let snaptime = Clock.now clock in
   let cursor = Change_log.current_seq log in
@@ -690,7 +692,9 @@ let skew_ablation ?(seed = 23) ?(n = 10_000) ?(ops = 5_000) () =
     let rng = Rng.create seed in
     Workload.populate base ~rng ~n;
     let log = Change_log.create () in
-    Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq));
+    ignore
+    (Base_table.subscribe base (fun c -> ignore (Change_log.append log c : Change_log.seq))
+      : Base_table.subscription);
     ignore (Fixup.run base ~fixup_time:(Clock.tick clock) : Fixup.stats);
     let snaptime = Clock.now clock in
     let cursor = Change_log.current_seq log in
@@ -711,3 +715,85 @@ let skew_ablation ?(seed = 23) ?(n = 10_000) ?(ops = 5_000) () =
     { theta; ops_skew = ops; diff_msgs_skew = diff; ideal_msgs_skew = ideal }
   in
   List.map run [ 0.0; 0.5; 0.9; 0.99 ]
+
+type faults_row = {
+  fault_name : string;
+  refresh_rounds : int;
+  attempts_total : int;
+  aborted_streams : int;
+  escalations : int;
+  refreshes_failed : int;
+  wire_messages : int;
+  converged : bool;
+}
+
+(* The refresh transport under adversarial links: every fault plan either
+   converges (possibly escalating to a full refresh) or fails the refresh
+   atomically -- the snapshot keeps its previous image and SnapTime, so a
+   later round on a healed line covers the whole gap.  Wire messages
+   (against the clean-line row) measure the retry tax. *)
+let faults_ablation ?(seed = 41) ?(n = 10_000) ?(q = 0.25) ?(rounds = 6) () =
+  let module Manager = Snapdiff_core.Manager in
+  let run (fault_name, arm) =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let mgr = Manager.create ~seed () in
+    Manager.register_base mgr base;
+    ignore
+      (Manager.create_snapshot mgr ~name:"s" ~base:"emp"
+         ~restrict:(Workload.restrict_fraction q) ~method_:Manager.Differential ()
+        : Manager.refresh_report);
+    let link = Manager.snapshot_link mgr "s" in
+    Link.reset_stats link;
+    let attempts = ref 0 and aborted = ref 0 and escal = ref 0 and failed = ref 0 in
+    for round = 1 to rounds do
+      ignore (Workload.update_fraction base ~rng ~u:0.02 ~mix:Workload.churn : int);
+      arm link ~round;
+      match Manager.refresh mgr "s" with
+      | r ->
+        attempts := !attempts + r.Manager.attempts;
+        aborted := !aborted + r.Manager.aborts;
+        if r.Manager.escalated then incr escal
+      | exception Manager.Refresh_failed { attempts = a; _ } ->
+        attempts := !attempts + a;
+        aborted := !aborted + a;
+        incr failed
+    done;
+    let wire_messages = (Link.stats link).Link.messages in
+    (* SnapTime only advances on commit, so one refresh on a clean line
+       converges no matter how many rounds failed. *)
+    Link.clear_faults link;
+    ignore (Manager.refresh mgr "s" : Manager.refresh_report);
+    let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
+    let expected = List.filter (fun (_, u) -> restrict u) (Base_table.to_user_list base) in
+    let snap = Manager.snapshot_table mgr "s" in
+    {
+      fault_name;
+      refresh_rounds = rounds;
+      attempts_total = !attempts;
+      aborted_streams = !aborted;
+      escalations = !escal;
+      refreshes_failed = !failed;
+      wire_messages;
+      converged =
+        Snapshot_table.contents snap = expected && Snapshot_table.validate snap = Ok ();
+    }
+  in
+  List.map run
+    [
+      ("clean line", fun _ ~round:_ -> ());
+      ( "drop 5%",
+        fun l ~round -> Link.inject_faults l ~drop_prob:0.05 ~seed:(seed + round) () );
+      ( "drop 5%, round 1 burst",
+        fun l ~round ->
+          if round = 1 then Link.inject_faults l ~drop_prob:0.05 ~seed ()
+          else Link.clear_faults l );
+      ( "corrupt 5%",
+        fun l ~round -> Link.inject_faults l ~corrupt_prob:0.05 ~seed:(seed + round) () );
+      ( "crash after 3 msgs",
+        fun l ~round -> Link.inject_faults l ~fail_after:3 ~seed:(seed + round) () );
+      ( "partition, sends 4-12",
+        fun l ~round -> if round = 1 then Link.inject_faults l ~partitions:[ (4, 12) ] ~seed () );
+    ]

@@ -148,3 +148,22 @@ val skew_ablation : ?seed:int -> ?n:int -> ?ops:int -> unit -> skew_row list
 (** Zipf-skewed update addresses: repeated updates to hot tuples cost the
     differential algorithm nothing extra (annotations absorb them), unlike
     a change-shipping scheme whose log grows with every operation. *)
+
+type faults_row = {
+  fault_name : string;
+  refresh_rounds : int;
+  attempts_total : int;  (** refresh attempts summed over all rounds *)
+  aborted_streams : int;  (** streams the receiver discarded *)
+  escalations : int;  (** rounds where differential was abandoned for full *)
+  refreshes_failed : int;  (** rounds that exhausted the retry budget *)
+  wire_messages : int;  (** total messages sent, including wasted streams *)
+  converged : bool;  (** faithful image after one refresh on a healed line *)
+}
+
+val faults_ablation :
+  ?seed:int -> ?n:int -> ?q:float -> ?rounds:int -> unit -> faults_row list
+(** Refresh rounds driven over fault-injecting links (silent loss,
+    corruption, crashes, partitions): attempts, aborted streams and
+    escalations measure the retry tax; [converged] checks the atomicity
+    guarantee — a failed refresh keeps the old image and SnapTime, so a
+    healed line always catches up in one refresh. *)

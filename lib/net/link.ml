@@ -5,9 +5,21 @@ type stats = {
   bytes : int;
   payload_bytes : int;
   dropped : int;
+  injected_drops : int;
+  injected_corruptions : int;
+  injected_failures : int;
 }
 
-let zero_stats = { messages = 0; bytes = 0; payload_bytes = 0; dropped = 0 }
+let zero_stats =
+  {
+    messages = 0;
+    bytes = 0;
+    payload_bytes = 0;
+    dropped = 0;
+    injected_drops = 0;
+    injected_corruptions = 0;
+    injected_failures = 0;
+  }
 
 let add_stats a b =
   {
@@ -15,11 +27,33 @@ let add_stats a b =
     bytes = a.bytes + b.bytes;
     payload_bytes = a.payload_bytes + b.payload_bytes;
     dropped = a.dropped + b.dropped;
+    injected_drops = a.injected_drops + b.injected_drops;
+    injected_corruptions = a.injected_corruptions + b.injected_corruptions;
+    injected_failures = a.injected_failures + b.injected_failures;
   }
 
 let pp_stats ppf s =
   Format.fprintf ppf "%d msgs, %d bytes (%d payload), %d dropped" s.messages s.bytes
-    s.payload_bytes s.dropped
+    s.payload_bytes s.dropped;
+  if s.injected_drops + s.injected_corruptions + s.injected_failures > 0 then
+    Format.fprintf ppf " [faults: %d lost, %d corrupted, %d outages]" s.injected_drops
+      s.injected_corruptions s.injected_failures
+
+module Rng = Snapdiff_util.Rng
+
+type fault_plan = {
+  drop_prob : float;
+  corrupt_prob : float;
+  fail_after : int option;
+  partitions : (int * int) list;
+}
+
+type faults = {
+  plan : fault_plan;
+  frng : Rng.t;
+  mutable attempts : int;  (* sends seen since the plan was armed *)
+  mutable fail_pending : int option;  (* one-shot outage threshold *)
+}
 
 type t = {
   link_name : string;
@@ -30,6 +64,7 @@ type t = {
   mutable up : bool;
   mutable stats : stats;
   mutable simulated_us : float;
+  mutable faults : faults option;
 }
 
 let create ?(name = "link") ?(header_bytes = 32) ?(latency_us = 0.0)
@@ -43,9 +78,12 @@ let create ?(name = "link") ?(header_bytes = 32) ?(latency_us = 0.0)
     up = true;
     stats = zero_stats;
     simulated_us = 0.0;
+    faults = None;
   }
 
 let simulated_time_us t = t.simulated_us
+
+let advance_time t us = if us > 0.0 then t.simulated_us <- t.simulated_us +. us
 
 let name t = t.link_name
 
@@ -59,26 +97,94 @@ let stats t = t.stats
 
 let reset_stats t = t.stats <- zero_stats
 
+let inject_faults t ?(drop_prob = 0.0) ?(corrupt_prob = 0.0) ?fail_after
+    ?(partitions = []) ~seed () =
+  if drop_prob < 0.0 || drop_prob > 1.0 then invalid_arg "Link.inject_faults: drop_prob";
+  if corrupt_prob < 0.0 || corrupt_prob > 1.0 then
+    invalid_arg "Link.inject_faults: corrupt_prob";
+  t.faults <-
+    Some
+      {
+        plan = { drop_prob; corrupt_prob; fail_after; partitions };
+        frng = Rng.create seed;
+        attempts = 0;
+        fail_pending = fail_after;
+      }
+
+let clear_faults t = t.faults <- None
+
+let faults_active t = t.faults <> None
+
+let count_drop t = t.stats <- { t.stats with dropped = t.stats.dropped + 1 }
+
+(* Decide this send's fate under the armed fault plan.  Outages (one-shot
+   fail-after and partition windows) surface to the sender as Link_down;
+   loss and corruption are silent, which is exactly what the epoch/seq
+   framing on the receiver side exists to detect. *)
+let consult_faults t =
+  match t.faults with
+  | None -> `Deliver
+  | Some f ->
+    f.attempts <- f.attempts + 1;
+    let in_partition =
+      List.exists (fun (lo, hi) -> f.attempts >= lo && f.attempts <= hi) f.plan.partitions
+    in
+    let crashed =
+      match f.fail_pending with
+      | Some n when f.attempts > n ->
+        f.fail_pending <- None;  (* transient: exactly one outage *)
+        true
+      | _ -> false
+    in
+    if in_partition || crashed then `Outage
+    else if f.plan.drop_prob > 0.0 && Rng.bernoulli f.frng f.plan.drop_prob then `Lose
+    else if f.plan.corrupt_prob > 0.0 && Rng.bernoulli f.frng f.plan.corrupt_prob then
+      `Corrupt (Rng.int f.frng max_int)
+    else `Deliver
+
+let account t n =
+  t.stats <-
+    {
+      t.stats with
+      messages = t.stats.messages + 1;
+      bytes = t.stats.bytes + t.header_bytes + n;
+      payload_bytes = t.stats.payload_bytes + n;
+    };
+  t.simulated_us <-
+    t.simulated_us +. t.latency_us
+    +. (1_000_000.0 *. float_of_int (t.header_bytes + n) /. t.bytes_per_sec)
+
 let send t payload =
   if not t.up then begin
-    t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+    count_drop t;
     raise (Link_down t.link_name)
   end;
   match t.receiver with
   | None -> failwith (Printf.sprintf "Link %s: no receiver attached" t.link_name)
-  | Some f ->
-    let n = Bytes.length payload in
-    t.stats <-
-      {
-        t.stats with
-        messages = t.stats.messages + 1;
-        bytes = t.stats.bytes + t.header_bytes + n;
-        payload_bytes = t.stats.payload_bytes + n;
-      };
-    t.simulated_us <-
-      t.simulated_us +. t.latency_us
-      +. (1_000_000.0 *. float_of_int (t.header_bytes + n) /. t.bytes_per_sec);
-    f payload
+  | Some f -> (
+    match consult_faults t with
+    | `Outage ->
+      count_drop t;
+      t.stats <- { t.stats with injected_failures = t.stats.injected_failures + 1 };
+      raise (Link_down t.link_name)
+    | `Lose ->
+      (* The message occupied the wire but never arrived. *)
+      account t (Bytes.length payload);
+      count_drop t;
+      t.stats <- { t.stats with injected_drops = t.stats.injected_drops + 1 }
+    | `Corrupt salt ->
+      account t (Bytes.length payload);
+      t.stats <- { t.stats with injected_corruptions = t.stats.injected_corruptions + 1 };
+      let garbled = Bytes.copy payload in
+      if Bytes.length garbled > 0 then begin
+        let i = salt mod Bytes.length garbled in
+        Bytes.set garbled i
+          (Char.chr (Char.code (Bytes.get garbled i) lxor (1 + (salt lsr 8) mod 255)))
+      end;
+      f garbled
+    | `Deliver ->
+      account t (Bytes.length payload);
+      f payload)
 
 let try_send t payload =
   match send t payload with

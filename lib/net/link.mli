@@ -7,9 +7,10 @@
     receiver installed with {!attach}.
 
     Links can be taken down ({!set_up}) to exercise the failure behaviour
-    the paper holds against ASAP propagation: "if communication between the
-    base table and the snapshot is interrupted, the base table changes must
-    be buffered or rejected". *)
+    the paper holds against ASAP propagation, and can be armed with a
+    seeded fault plan ({!inject_faults}) that loses, corrupts, or outages
+    messages mid-stream — the adversary the epoch-framed refresh transport
+    is built to survive. *)
 
 exception Link_down of string
 
@@ -17,7 +18,10 @@ type stats = {
   messages : int;
   bytes : int;  (** includes per-message header overhead *)
   payload_bytes : int;
-  dropped : int;  (** sends attempted while the link was down *)
+  dropped : int;  (** sends that did not reach the receiver, any cause *)
+  injected_drops : int;  (** fault plan: silently lost messages *)
+  injected_corruptions : int;  (** fault plan: payload bytes garbled in flight *)
+  injected_failures : int;  (** fault plan: outages surfaced as {!Link_down} *)
 }
 
 val zero_stats : stats
@@ -45,6 +49,10 @@ val simulated_time_us : t -> float
 (** Accumulated transfer time of everything sent:
     [messages * latency + bytes / bandwidth], in microseconds. *)
 
+val advance_time : t -> float -> unit
+(** Add [us] microseconds of non-transfer time (e.g. retry backoff) to the
+    simulated clock.  Negative values are ignored. *)
+
 val name : t -> string
 
 val attach : t -> (bytes -> unit) -> unit
@@ -52,7 +60,10 @@ val attach : t -> (bytes -> unit) -> unit
 
 val send : t -> bytes -> unit
 (** Deliver synchronously.  Raises {!Link_down} (after counting the drop)
-    if the link is down; raises [Failure] if no receiver is attached. *)
+    if the link is down or an injected outage fires; raises [Failure] if
+    no receiver is attached.  Under an armed fault plan the message may
+    also be silently lost or delivered corrupted — the sender cannot
+    tell, which is the point. *)
 
 val try_send : t -> bytes -> bool
 (** Like {!send} but returns [false] instead of raising when down. *)
@@ -60,6 +71,27 @@ val try_send : t -> bytes -> bool
 val is_up : t -> bool
 
 val set_up : t -> bool -> unit
+
+val inject_faults :
+  t ->
+  ?drop_prob:float ->
+  ?corrupt_prob:float ->
+  ?fail_after:int ->
+  ?partitions:(int * int) list ->
+  seed:int ->
+  unit ->
+  unit
+(** Arm a deterministic fault plan, replacing any previous one.
+    [drop_prob] / [corrupt_prob] apply independently per message from a
+    {!Snapdiff_util.Rng} seeded with [seed].  [fail_after:n] raises
+    {!Link_down} on the (n+1)-th send and then disarms (a transient
+    crash).  [partitions] are inclusive [(lo, hi)] windows of send
+    indices (1-based, counted from arming) during which every send raises
+    {!Link_down}. *)
+
+val clear_faults : t -> unit
+
+val faults_active : t -> bool
 
 val stats : t -> stats
 

@@ -504,6 +504,10 @@ let populate_query_snapshot t qs =
     link_bytes = after.Link.bytes - before.Link.bytes;
     tail_suppressed = false;
     log_records_scanned = 0;
+    attempts = 1;
+    aborts = 0;
+    escalated = false;
+    backoff_us = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -758,6 +762,10 @@ let execute t (stmt : Ast.stmt) =
             link_bytes = stats.Link.bytes;
             tail_suppressed = false;
             log_records_scanned = 0;
+            attempts = 1;
+            aborts = 0;
+            escalated = false;
+            backoff_us = 0.0;
           }
       | exception Invalid_argument m -> err "%s" m)
     | [ b ] -> err "unknown table %s" b
@@ -1046,11 +1054,16 @@ let render_result = function
   | Dropped n -> Printf.sprintf "dropped %s\n" n
   | Refreshed r ->
     Printf.sprintf
-      "refreshed %s via %s: %d data message(s), %d bytes on the wire%s\n"
+      "refreshed %s via %s: %d data message(s), %d bytes on the wire%s%s\n"
       r.Manager.snapshot
       (Manager.method_name r.Manager.method_used)
       r.Manager.data_messages r.Manager.link_bytes
       (if r.Manager.fixup_writes > 0 then
          Printf.sprintf " (%d annotation fix-ups)" r.Manager.fixup_writes
+       else "")
+      (if r.Manager.attempts > 1 then
+         Printf.sprintf " (%d attempts, %d aborted stream(s)%s)" r.Manager.attempts
+           r.Manager.aborts
+           (if r.Manager.escalated then ", escalated to full" else "")
        else "")
   | Info lines -> String.concat "\n" lines ^ "\n"

@@ -169,7 +169,7 @@ let test_mutation_counter () =
 let test_observers_see_user_tuples () =
   let base, _ = mk_base () in
   let seen = ref [] in
-  Base_table.subscribe base (fun c -> seen := c :: !seen);
+  ignore (Base_table.subscribe base (fun c -> seen := c :: !seen) : Base_table.subscription);
   let a = Base_table.insert base (emp "a" 1) in
   Base_table.update base a (emp "a" 2);
   Base_table.delete base a;

@@ -1,11 +1,16 @@
-(* Failure injection: a refresh interrupted mid-stream leaves a usable
-   state, and simply retrying produces a faithful snapshot.
+(* Failure injection: a refresh stream that is cut, thinned, or garbled
+   mid-flight must never leave the snapshot between images.
 
-   This works because of two properties of the paper's protocol: the new
+   The paper's protocol gives the *sender* the right properties — the new
    SnapTime is transmitted LAST, so an interrupted snapshot keeps its old
-   SnapTime and the retry re-covers the whole window; and the messages are
-   idempotent (upserts and range-deletes), so the delivered prefix applied
-   twice is harmless. *)
+   SnapTime and the retry re-covers the whole window, and the messages are
+   idempotent — but eager application on the receiver still exposes a
+   partially-applied stream: neither the old image nor the new one.  The
+   epoch-framed transport stages each stream and applies it atomically at
+   its Snaptime commit marker, and the manager retries aborted streams
+   with backoff (escalating to full refresh when differential keeps
+   dying).  These tests drive all of that through the fault-injecting
+   links. *)
 
 open Snapdiff_storage
 open Snapdiff_txn
@@ -15,6 +20,7 @@ module Link = Snapdiff_net.Link
 module Gen = QCheck2.Gen
 
 let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
 
 let emp_schema =
   Schema.make
@@ -30,22 +36,13 @@ let expected_restricted base threshold =
     (fun (addr, u) -> if salary u < threshold then Some (addr, u) else None)
     (Base_table.to_user_list base)
 
-let run_one ~method_ (script, threshold, fail_after) =
-  let clock = Clock.create () in
-  let base = Base_table.create ~name:"emp" ~clock emp_schema in
-  let m = Manager.create () in
-  Manager.register_base m base;
-  for i = 0 to 9 do
-    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
-  done;
-  (* Build the snapshot on a healthy link first. *)
-  ignore
-    (Manager.create_snapshot m ~name:"s" ~base:"emp"
-       ~restrict:Expr.(col "salary" <. int threshold)
-       ~method_ ()
-      : Manager.refresh_report);
-  let snap = Manager.snapshot_table m "s" in
-  (* Mutations. *)
+(* ------------------------------------------------------------------ *)
+(* Shared scaffolding: a populated base, a snapshot built over a healthy
+   link, then a batch of mutations for the next refresh to cover. *)
+
+type fop = [ `Ins of int | `Upd of int * int | `Del of int ]
+
+let apply_script base script =
   let n = ref 0 in
   List.iter
     (fun op ->
@@ -60,75 +57,363 @@ let run_one ~method_ (script, threshold, fail_after) =
         let addr = fst (List.nth live (i mod List.length live)) in
         Base_table.delete base addr
       | _ -> ())
-    script;
-  (* Break the snapshot's own link mid-stream: swap in a flaky receiver. *)
-  let real_link = Manager.snapshot_link m "s" in
-  let delivered = ref 0 in
-  Link.attach real_link (fun b ->
-      Snapshot_table.apply_bytes snap b;
-      incr delivered;
-      if !delivered = fail_after then Link.set_up real_link false);
-  let first_attempt_failed =
-    match Manager.refresh m "s" with
-    | (_ : Manager.refresh_report) -> false
-    | exception Link.Link_down _ -> true
+    script
+
+let setup ~method_ ?retry (script, threshold) =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let m = Manager.create ?retry () in
+  Manager.register_base m base;
+  for i = 0 to 9 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp"
+       ~restrict:Expr.(col "salary" <. int threshold)
+       ~method_ ()
+      : Manager.refresh_report);
+  apply_script base script;
+  (m, base)
+
+let faithful m base threshold =
+  let snap = Manager.snapshot_table m "s" in
+  Snapshot_table.contents snap = expected_restricted base threshold
+  && Snapshot_table.validate snap = Ok ()
+
+let script_gen : fop list Gen.t =
+  Gen.list_size (Gen.int_range 5 40)
+    (Gen.oneof
+       [
+         Gen.map (fun s -> (`Ins s : fop)) (Gen.int_range 0 19);
+         Gen.map2 (fun i s -> (`Upd (i, s) : fop)) (Gen.int_range 0 1000) (Gen.int_range 0 19);
+         Gen.map (fun i -> (`Del i : fop)) (Gen.int_range 0 1000);
+       ])
+
+let threshold_gen = Gen.int_range 1 20
+let seed_gen = Gen.int_range 0 100_000
+
+(* ------------------------------------------------------------------ *)
+(* The bug itself, at the receiver: a truncated stream applied eagerly
+   (the pre-framing behaviour) produces a state that is neither the old
+   image nor the new one; the same truncated stream framed leaves the old
+   image untouched, and the retried epoch commits the new one. *)
+
+let a1 = Addr.make ~page:1 ~slot:0
+let a2 = Addr.make ~page:1 ~slot:1
+let a3 = Addr.make ~page:1 ~slot:2
+
+let mk_snap () =
+  let snap = Snapshot_table.create ~name:"s" ~schema:emp_schema () in
+  Snapshot_table.apply snap (Refresh_msg.Upsert { addr = a1; values = emp "a" 1 });
+  Snapshot_table.apply snap (Refresh_msg.Upsert { addr = a2; values = emp "b" 2 });
+  Snapshot_table.apply snap (Refresh_msg.Snaptime 10);
+  snap
+
+let stream =
+  [ Refresh_msg.Remove { addr = a1 };
+    Refresh_msg.Upsert { addr = a3; values = emp "c" 3 };
+    Refresh_msg.Snaptime 20 ]
+
+let test_partial_stream_neither_image () =
+  let old_image = Snapshot_table.contents (mk_snap ()) in
+  let new_image =
+    let snap = mk_snap () in
+    List.iter (Snapshot_table.apply snap) stream;
+    Snapshot_table.contents snap
   in
-  (* Recover the line and retry. *)
-  Link.set_up real_link true;
-  delivered := -1_000_000;  (* no more injected failures *)
+  (* Legacy eager application of the truncated prefix: the deletion landed
+     but the insertion never arrived — a state no consistent base ever
+     had. *)
+  let legacy = mk_snap () in
+  Snapshot_table.apply legacy (List.hd stream);
+  let got = Snapshot_table.contents legacy in
+  checkb "legacy partial apply is neither old nor new image" true
+    (got <> old_image && got <> new_image);
+  (* Framed, the same truncated prefix only stages: the old image
+     survives intact. *)
+  let framed = mk_snap () in
+  Snapshot_table.apply_bytes framed
+    (Refresh_msg.encode_framed ~epoch:1 ~seq:0 (List.hd stream));
+  checkb "framed partial stream leaves the old image" true
+    (Snapshot_table.contents framed = old_image);
+  checkb "stream pending" true (Snapshot_table.stream_pending framed);
+  checki "one message staged" 1 (Snapshot_table.staged_depth framed);
+  (* The retry arrives as a fresh epoch: it supersedes (aborts) the
+     truncated stream and commits atomically at its marker. *)
+  List.iteri
+    (fun i msg ->
+      Snapshot_table.apply_bytes framed (Refresh_msg.encode_framed ~epoch:2 ~seq:i msg))
+    stream;
+  checkb "retried epoch commits the new image" true
+    (Snapshot_table.contents framed = new_image);
+  checki "one abort" 1 (Snapshot_table.epochs_aborted framed);
+  checki "one commit" 1 (Snapshot_table.epochs_committed framed);
+  checki "epoch 2 committed" 2 (Snapshot_table.last_committed_epoch framed);
+  checkb "abort reason recorded" true (Snapshot_table.last_abort framed <> None)
+
+let test_gap_and_corruption_detected () =
+  (* A silently lost frame (sequence gap) poisons the stream. *)
+  let snap = mk_snap () in
+  let old_image = Snapshot_table.contents snap in
+  Snapshot_table.apply_bytes snap
+    (Refresh_msg.encode_framed ~epoch:1 ~seq:0 (List.nth stream 0));
+  (* seq 1 lost in flight *)
+  Snapshot_table.apply_bytes snap
+    (Refresh_msg.encode_framed ~epoch:1 ~seq:2 (List.nth stream 2));
+  checkb "gapped stream aborted at its marker" true
+    (Snapshot_table.contents snap = old_image
+    && Snapshot_table.epochs_aborted snap = 1
+    && Snapshot_table.epochs_committed snap = 0);
+  (* A garbled frame (any byte) fails the checksum and poisons the
+     stream; the marker then discards it. *)
+  let snap = mk_snap () in
+  let garbled = Refresh_msg.encode_framed ~epoch:1 ~seq:0 (List.nth stream 0) in
+  let i = Bytes.length garbled - 1 in
+  Bytes.set garbled i (Char.chr (Char.code (Bytes.get garbled i) lxor 0x40));
+  Snapshot_table.apply_bytes snap garbled;
+  List.iteri
+    (fun i msg ->
+      if i > 0 then
+        Snapshot_table.apply_bytes snap (Refresh_msg.encode_framed ~epoch:1 ~seq:i msg))
+    stream;
+  checkb "corrupted stream aborted, old image kept" true
+    (Snapshot_table.contents snap = old_image
+    && Snapshot_table.epochs_aborted snap = 1
+    && Snapshot_table.epochs_committed snap = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Manager-level determinism: outage mid-stream with no retry budget
+   keeps the old image; with budget the refresh converges. *)
+
+let burst = [ `Upd (0, 1); `Upd (1, 2); `Del 2; `Ins 5 ]
+
+let test_outage_keeps_old_image_then_recovers () =
+  let m, base =
+    setup ~method_:Manager.Differential
+      ~retry:{ Manager.default_retry_policy with max_attempts = 1 }
+      (burst, 20)
+  in
+  let snap = Manager.snapshot_table m "s" in
+  let pre = Snapshot_table.contents snap in
+  let link = Manager.snapshot_link m "s" in
+  Link.inject_faults link ~fail_after:1 ~seed:42 ();
+  (match Manager.refresh m "s" with
+  | (_ : Manager.refresh_report) -> Alcotest.fail "expected Refresh_failed"
+  | exception Manager.Refresh_failed { attempts; _ } -> checki "budget of one" 1 attempts);
+  checkb "outage fired" true ((Link.stats link).Link.injected_failures > 0);
+  checkb "old image kept after exhausted budget" true
+    (Snapshot_table.contents snap = pre && Snapshot_table.validate snap = Ok ());
+  (* The transient is gone (fail_after is one-shot); a retry with the
+     normal budget converges. *)
+  Manager.set_retry_policy m Manager.default_retry_policy;
+  let r = Manager.refresh m "s" in
+  checki "clean attempt" 1 r.Manager.attempts;
+  checkb "faithful after recovery" true (faithful m base 20)
+
+let test_partition_window_heals () =
+  let m, base = setup ~method_:Manager.Differential (burst, 20) in
+  let link = Manager.snapshot_link m "s" in
+  Link.inject_faults link ~partitions:[ (2, 6) ] ~seed:7 ();
+  let r = Manager.refresh m "s" in
+  checkb "retried through the partition" true (r.Manager.attempts > 1);
+  checkb "aborted streams counted" true (r.Manager.aborts = r.Manager.attempts - 1);
+  checkb "backoff accrued" true (r.Manager.backoff_us > 0.0);
+  checkb "faithful once the window passed" true (faithful m base 20)
+
+let test_escalates_to_full () =
+  let m, base =
+    setup ~method_:Manager.Differential
+      ~retry:{ Manager.default_retry_policy with escalate_after = 1 }
+      (burst, 20)
+  in
+  let link = Manager.snapshot_link m "s" in
+  Link.inject_faults link ~partitions:[ (1, 2) ] ~seed:3 ();
+  let r = Manager.refresh m "s" in
+  checkb "escalated" true r.Manager.escalated;
+  checkb "full method used" true (r.Manager.method_used = Manager.Used_full);
+  checkb "faithful after escalation" true (faithful m base 20)
+
+let test_corruption_exhausts_then_recovers () =
+  let m, base =
+    setup ~method_:Manager.Differential
+      ~retry:{ Manager.default_retry_policy with max_attempts = 2 }
+      (burst, 20)
+  in
+  let snap = Manager.snapshot_table m "s" in
+  let pre = Snapshot_table.contents snap in
+  let link = Manager.snapshot_link m "s" in
+  Link.inject_faults link ~corrupt_prob:1.0 ~seed:11 ();
+  (match Manager.refresh m "s" with
+  | (_ : Manager.refresh_report) -> Alcotest.fail "expected Refresh_failed"
+  | exception Manager.Refresh_failed { attempts; _ } -> checki "budget spent" 2 attempts);
+  checkb "corruptions injected" true ((Link.stats link).Link.injected_corruptions > 0);
+  checkb "old image kept under total corruption" true
+    (Snapshot_table.contents snap = pre && Snapshot_table.validate snap = Ok ());
+  Link.clear_faults link;
+  Manager.set_retry_policy m Manager.default_retry_policy;
   ignore (Manager.refresh m "s" : Manager.refresh_report);
-  let faithful =
-    Snapshot_table.contents snap = expected_restricted base threshold
-    && Snapshot_table.validate snap = Ok ()
+  checkb "faithful on a clean line" true (faithful m base 20)
+
+(* ------------------------------------------------------------------ *)
+(* Properties over random scenarios and fault seeds. *)
+
+(* A single transient outage: the retry loop always converges. *)
+let prop_transient_outage ~method_ name =
+  QCheck2.Test.make ~name ~count:60
+    (Gen.quad script_gen threshold_gen (Gen.int_range 0 5) seed_gen)
+    (fun (script, threshold, k, seed) ->
+      let m, base = setup ~method_ (script, threshold) in
+      Link.inject_faults (Manager.snapshot_link m "s") ~fail_after:k ~seed ();
+      ignore (Manager.refresh m "s" : Manager.refresh_report);
+      faithful m base threshold)
+
+(* Silent loss at up to 20%: every outcome is atomic (committed faithful
+   image, or the old image untouched), and a clean line converges. *)
+let prop_atomic_under_faults ~method_ ~fault name =
+  QCheck2.Test.make ~name ~count:60
+    (Gen.quad script_gen threshold_gen (Gen.float_bound_inclusive 0.2) seed_gen)
+    (fun (script, threshold, p, seed) ->
+      let m, base = setup ~method_ (script, threshold) in
+      let snap = Manager.snapshot_table m "s" in
+      let pre = Snapshot_table.contents snap in
+      let link = Manager.snapshot_link m "s" in
+      (match fault with
+      | `Drop -> Link.inject_faults link ~drop_prob:p ~seed ()
+      | `Corrupt -> Link.inject_faults link ~corrupt_prob:p ~seed ());
+      let atomic =
+        match Manager.refresh m "s" with
+        | (_ : Manager.refresh_report) -> faithful m base threshold
+        | exception Manager.Refresh_failed _ -> Snapshot_table.contents snap = pre
+      in
+      Link.clear_faults link;
+      ignore (Manager.refresh m "s" : Manager.refresh_report);
+      atomic && faithful m base threshold)
+
+(* Partition windows always heal: the send index moves on every attempt,
+   so a bounded window cannot outlast a big enough retry budget. *)
+let prop_partition_converges =
+  QCheck2.Test.make ~name:"partition window converges (differential)" ~count:60
+    (Gen.quad script_gen threshold_gen (Gen.int_range 1 5) (Gen.int_range 0 8))
+    (fun (script, threshold, lo, width) ->
+      let m, base =
+        setup ~method_:Manager.Differential
+          ~retry:{ Manager.default_retry_policy with max_attempts = 16 }
+          (script, threshold)
+      in
+      let link = Manager.snapshot_link m "s" in
+      Link.inject_faults link ~partitions:[ (lo, lo + width) ] ~seed:0 ();
+      let r = Manager.refresh m "s" in
+      faithful m base threshold
+      && (r.Manager.attempts = 1 || (Link.stats link).Link.injected_failures > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Regressions on the manager's bookkeeping around failures. *)
+
+let test_failed_create_leaves_no_trace () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let m =
+    Manager.create ~retry:{ Manager.default_retry_policy with max_attempts = 2 } ()
   in
-  (first_attempt_failed, faithful)
+  Manager.register_base m base;
+  for i = 0 to 9 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) i) : Addr.t)
+  done;
+  (* A link that loses everything: the populating transfer can never
+     commit, so CREATE SNAPSHOT must fail... *)
+  let link = Link.create ~name:"lossy" () in
+  Link.inject_faults link ~drop_prob:1.0 ~seed:1 ();
+  (match Manager.create_snapshot m ~name:"s" ~base:"emp" ~method_:Manager.Ideal ~link () with
+  | (_ : Manager.refresh_report) -> Alcotest.fail "expected Refresh_failed"
+  | exception Manager.Refresh_failed _ -> ());
+  (* ...without registering the snapshot or leaking its change capture. *)
+  checkb "snapshot not registered" true (Manager.snapshot_names m = []);
+  checkb "capture rolled back" true (Manager.change_log m "emp" = None);
+  (* The name is immediately reusable on a healthy line. *)
+  Link.clear_faults link;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp" ~method_:Manager.Ideal ~link ()
+      : Manager.refresh_report);
+  checkb "name reusable after failed create" true (Manager.snapshot_names m = [ "s" ]);
+  checkb "capture live for the successful create" true (Manager.change_log m "emp" <> None)
 
-type fop = [ `Ins of int | `Upd of int * int | `Del of int ]
+let test_drop_last_ideal_detaches_capture () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  for i = 0 to 9 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) i) : Addr.t)
+  done;
+  ignore (Manager.create_snapshot m ~name:"s1" ~base:"emp" ~method_:Manager.Ideal ()
+           : Manager.refresh_report);
+  ignore (Manager.create_snapshot m ~name:"s2" ~base:"emp" ~method_:Manager.Ideal ()
+           : Manager.refresh_report);
+  checkb "capture installed" true (Manager.change_log m "emp" <> None);
+  Manager.drop_snapshot m "s1";
+  checkb "capture survives while an ideal snapshot remains" true
+    (Manager.change_log m "emp" <> None);
+  Manager.drop_snapshot m "s2";
+  checkb "capture detached with the last ideal snapshot" true
+    (Manager.change_log m "emp" = None);
+  (* The observer really is unsubscribed: further base activity runs
+     against no change log at all. *)
+  ignore (Base_table.insert base (emp "after" 1) : Addr.t);
+  checkb "still detached" true (Manager.change_log m "emp" = None)
 
-let scenario : (fop list * int * int) Gen.t =
-  Gen.triple
-    (Gen.list_size (Gen.int_range 5 40)
-       (Gen.oneof
-          [
-            Gen.map (fun s -> (`Ins s : fop)) (Gen.int_range 0 19);
-            Gen.map2 (fun i s -> (`Upd (i, s) : fop)) (Gen.int_range 0 1000) (Gen.int_range 0 19);
-            Gen.map (fun i -> (`Del i : fop)) (Gen.int_range 0 1000);
-          ]))
-    (Gen.int_range 1 20)
-    (Gen.int_range 1 6)
-
-let prop_retry_faithful_differential =
-  QCheck2.Test.make ~name:"retry after link failure (differential)" ~count:100 scenario
-    (fun sc ->
-      let _, faithful = run_one ~method_:Manager.Differential sc in
-      faithful)
-
-let prop_retry_faithful_ideal =
-  QCheck2.Test.make ~name:"retry after link failure (ideal)" ~count:100 scenario
-    (fun sc ->
-      let _, faithful = run_one ~method_:Manager.Ideal sc in
-      faithful)
-
-let prop_retry_faithful_full =
-  QCheck2.Test.make ~name:"retry after link failure (full)" ~count:100 scenario
-    (fun sc ->
-      let _, faithful = run_one ~method_:Manager.Full sc in
-      faithful)
-
-let test_failure_actually_injected () =
-  (* Sanity: with fail_after = 1 and guaranteed changes, the first attempt
-     really does die mid-stream. *)
-  let failed, faithful =
-    run_one ~method_:Manager.Full
-      ([ `Upd (0, 1); `Upd (1, 2); `Upd (2, 3) ], 20, 1)
-  in
-  checkb "first attempt failed" true failed;
-  checkb "retry recovered" true faithful
+let test_sampled_selectivity_above_threshold () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"big" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  (* 12 000 entries, exactly half under the threshold: past the 10k scan
+     limit the planner samples instead of scanning. *)
+  for i = 0 to 11_999 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "e%d" i) (i mod 100)) : Addr.t)
+  done;
+  ignore
+    (Manager.create_snapshot m ~name:"half" ~base:"big"
+       ~restrict:Expr.(col "salary" <. int 50)
+       ~method_:Manager.Full ()
+      : Manager.refresh_report);
+  let q = Manager.selectivity_estimate m "half" in
+  checkb
+    (Printf.sprintf "sampled estimate %.3f within 0.05 of true 0.5" q)
+    true
+    (Float.abs (q -. 0.5) <= 0.05);
+  checkb "snapshot itself is exact regardless" true
+    (Snapshot_table.count (Manager.snapshot_table m "half") = 6_000)
 
 let suite =
   [
-    Alcotest.test_case "failure injected" `Quick test_failure_actually_injected;
-    QCheck_alcotest.to_alcotest prop_retry_faithful_differential;
-    QCheck_alcotest.to_alcotest prop_retry_faithful_ideal;
-    QCheck_alcotest.to_alcotest prop_retry_faithful_full;
+    Alcotest.test_case "partial stream is neither image (legacy) vs old image (framed)"
+      `Quick test_partial_stream_neither_image;
+    Alcotest.test_case "gap and corruption poison the stream" `Quick
+      test_gap_and_corruption_detected;
+    Alcotest.test_case "outage keeps old image, retry recovers" `Quick
+      test_outage_keeps_old_image_then_recovers;
+    Alcotest.test_case "partition window heals under backoff" `Quick
+      test_partition_window_heals;
+    Alcotest.test_case "repeated failures escalate to full" `Quick test_escalates_to_full;
+    Alcotest.test_case "total corruption exhausts budget atomically" `Quick
+      test_corruption_exhausts_then_recovers;
+    QCheck_alcotest.to_alcotest (prop_transient_outage ~method_:Manager.Differential
+                                   "transient outage converges (differential)");
+    QCheck_alcotest.to_alcotest (prop_transient_outage ~method_:Manager.Ideal
+                                   "transient outage converges (ideal)");
+    QCheck_alcotest.to_alcotest (prop_transient_outage ~method_:Manager.Full
+                                   "transient outage converges (full)");
+    QCheck_alcotest.to_alcotest (prop_atomic_under_faults ~method_:Manager.Differential
+                                   ~fault:`Drop "atomic under silent loss (differential)");
+    QCheck_alcotest.to_alcotest (prop_atomic_under_faults ~method_:Manager.Ideal
+                                   ~fault:`Drop "atomic under silent loss (ideal)");
+    QCheck_alcotest.to_alcotest (prop_atomic_under_faults ~method_:Manager.Differential
+                                   ~fault:`Corrupt "atomic under corruption (differential)");
+    QCheck_alcotest.to_alcotest prop_partition_converges;
+    Alcotest.test_case "failed create leaves no trace" `Quick
+      test_failed_create_leaves_no_trace;
+    Alcotest.test_case "dropping last ideal snapshot detaches capture" `Quick
+      test_drop_last_ideal_detaches_capture;
+    Alcotest.test_case "selectivity sampled above 10k entries" `Quick
+      test_sampled_selectivity_above_threshold;
   ]
