@@ -1,39 +1,85 @@
 (* The benchmark harness.
 
-   Usage: dune exec bench/main.exe -- [section ...] [--quick]
+   Usage: dune exec bench/main.exe -- [section ...] [--quick] [--json]
 
-   Sections (default: all):
-     fig8      Figure 8  - % of tuples sent vs update activity, q = 100/50/25%
-     fig9      Figure 9  - same for restrictive snapshots (q = 5/1%), log scale
-     churn     ablation  - insert/delete/qual-flip mixes
-     maint     ablation  - eager vs deferred annotation maintenance
-     asap      ablation  - ASAP propagation vs periodic differential refresh
-     logscan   ablation  - log-based refresh culling cost
-     tail      ablation  - unconditional tail vs high-water suppression
-     skew      ablation  - zipf-skewed update addresses
-     faults    ablation  - fault-injecting links: retry tax and atomicity
-     timing    Bechamel wall-clock benches (one per figure/experiment)
+   The section list, the usage text, and the default run order are all
+   derived from the single [sections] table near the bottom of this file,
+   so they cannot drift apart; run with --help to see the generated list.
 
-   --quick shrinks the base table (n=2000) for a fast smoke run. *)
+   --quick shrinks the base tables for a fast smoke run (CI).
+   --json additionally writes every table row to BENCH_refresh.json as
+   (section, params, entries_scanned, messages, bytes, wall_ns) records
+   for the experiment log. *)
 
 open Snapdiff_figures
 module Text_table = Snapdiff_util.Text_table
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
-
-let requested =
-  let args =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick")
-  in
-  if args = [] then
-    [ "fig8"; "fig9"; "churn"; "maint"; "asap"; "logscan"; "tail"; "skew"; "amort";
-      "cascade"; "wire"; "stepwise"; "faults"; "timing" ]
-  else args
-
-let wants s = List.mem s requested
+let json_mode = Array.exists (( = ) "--json") Sys.argv
+let want_help = Array.exists (fun a -> a = "--help" || a = "-h") Sys.argv
 
 let n_figure = if quick then 2_000 else 20_000
 let n_ablation = if quick then 2_000 else 10_000
+
+(* ------------------------------------------------------------------ *)
+(* JSON experiment log *)
+
+type json_record = {
+  jr_section : string;
+  jr_params : (string * string) list;
+  jr_entries_scanned : int;
+  jr_messages : int;
+  jr_bytes : int;
+  mutable jr_wall_ns : float;  (* stamped with the section's wall time *)
+}
+
+let json_records : json_record list ref = ref []
+let current_section = ref "-"
+
+let emit ?(params = []) ?(entries_scanned = 0) ?(messages = 0) ?(bytes = 0) () =
+  if json_mode then
+    json_records :=
+      { jr_section = !current_section; jr_params = params;
+        jr_entries_scanned = entries_scanned; jr_messages = messages;
+        jr_bytes = bytes; jr_wall_ns = 0.0 }
+      :: !json_records
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Printf.bprintf buf "  {\"section\": \"%s\", \"params\": {"
+        (json_escape r.jr_section);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
+        r.jr_params;
+      Printf.bprintf buf
+        "}, \"entries_scanned\": %d, \"messages\": %d, \"bytes\": %d, \
+         \"wall_ns\": %.0f}"
+        r.jr_entries_scanned r.jr_messages r.jr_bytes r.jr_wall_ns)
+    (List.rev !json_records);
+  Buffer.add_string buf "\n]\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %d records to %s\n" (List.length !json_records) path
 
 let header title =
   let bar = String.make 74 '=' in
@@ -46,7 +92,23 @@ let run_figure ~name ~log_scale sweeps =
   header name;
   List.iter (fun sweep -> print_string (Figures.render_sweep_table sweep)) sweeps;
   print_newline ();
-  print_string (Figures.render_figure_chart ~log_scale ~title:name sweeps)
+  print_string (Figures.render_figure_chart ~log_scale ~title:name sweeps);
+  List.iter
+    (fun sw ->
+      List.iter
+        (fun p ->
+          let msgs pct = int_of_float (Float.round (pct *. float sw.Figures.n /. 100.0)) in
+          emit
+            ~params:
+              [ ("q", Printf.sprintf "%.2f" sw.Figures.q);
+                ("u_pct", Printf.sprintf "%.2f" p.Figures.u_pct);
+                ("n", string_of_int sw.Figures.n);
+                ("ideal_msgs", string_of_int (msgs p.Figures.ideal_sim));
+                ("full_msgs", string_of_int (msgs p.Figures.full_sim)) ]
+            ~entries_scanned:sw.Figures.n
+            ~messages:(msgs p.Figures.diff_sim) ())
+        sw.Figures.points)
+    sweeps
 
 let fig8 () =
   run_figure
@@ -77,6 +139,12 @@ let churn () =
   in
   List.iter
     (fun r ->
+      emit
+        ~params:
+          [ ("mix", r.Figures.mix_name); ("ops", string_of_int r.Figures.ops);
+            ("ideal_msgs", string_of_int r.Figures.ideal_msgs);
+            ("full_msgs", string_of_int r.Figures.full_msgs) ]
+        ~messages:r.Figures.diff_msgs ();
       Text_table.add_row t
         [ r.Figures.mix_name; string_of_int r.Figures.ops;
           string_of_int r.Figures.ideal_msgs; string_of_int r.Figures.diff_msgs;
@@ -234,6 +302,51 @@ let stepwise () =
     (Figures.stepwise_ablation ~n:(n_ablation / 2) ());
   Text_table.print t
 
+let prune () =
+  header "Ablation: page-summary scan pruning -- decode cost tracks change volume";
+  let u_list = if quick then [ 0.01; 0.05 ] else [ 0.001; 0.01; 0.05; 0.2 ] in
+  let t =
+    Text_table.create
+      [ ("page B", Text_table.Right); ("updated %", Text_table.Right);
+        ("pages", Text_table.Right); ("decoded", Text_table.Right);
+        ("skipped", Text_table.Right); ("decoded %", Text_table.Right);
+        ("msgs (pruned)", Text_table.Right); ("msgs (unpruned)", Text_table.Right);
+        ("identical", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      let decoded_pct =
+        100.0 *. float_of_int r.Figures.pruned_scanned
+        /. float_of_int (max 1 r.Figures.prune_n)
+      in
+      emit
+        ~params:
+          [ ("page_size", string_of_int r.Figures.prune_page_size);
+            ("u_pct", Printf.sprintf "%.2f" r.Figures.prune_u_pct);
+            ("n", string_of_int r.Figures.prune_n);
+            ("pages", string_of_int r.Figures.prune_pages);
+            ("entries_skipped", string_of_int r.Figures.pruned_skipped);
+            ("unpruned_msgs", string_of_int r.Figures.unpruned_msgs);
+            ("identical", string_of_bool r.Figures.prune_identical) ]
+        ~entries_scanned:r.Figures.pruned_scanned ~messages:r.Figures.pruned_msgs ();
+      Text_table.add_row t
+        [ string_of_int r.Figures.prune_page_size;
+          Text_table.cell_float ~decimals:2 r.Figures.prune_u_pct;
+          string_of_int r.Figures.prune_pages;
+          string_of_int r.Figures.pruned_scanned;
+          string_of_int r.Figures.pruned_skipped;
+          Text_table.cell_float ~decimals:1 decoded_pct;
+          string_of_int r.Figures.pruned_msgs;
+          string_of_int r.Figures.unpruned_msgs;
+          (if r.Figures.prune_identical then "yes" else "NO") ])
+    (Figures.prune_ablation ~n:n_figure ~u_list ());
+  Text_table.print t;
+  print_endline
+    "(page summaries prove quiescent pages irrelevant without decoding an\n\
+    \ entry; the transmitted stream -- hence the snapshot contents -- is\n\
+    \ byte-identical with and without pruning, so decode count is pure CPU\n\
+    \ saved and tracks change volume, not table size)"
+
 let wire () =
   header "Ablation: simulated transfer time per refresh on period links (q=25%, u=5%)";
   let t =
@@ -246,6 +359,12 @@ let wire () =
       let pretty s =
         if s >= 1.0 then Printf.sprintf "%.1f s" s else Printf.sprintf "%.0f ms" (1000.0 *. s)
       in
+      emit
+        ~params:
+          [ ("link", r.Figures.wire_name);
+            ("full_seconds", Printf.sprintf "%.3f" r.Figures.full_seconds);
+            ("diff_seconds", Printf.sprintf "%.3f" r.Figures.diff_seconds) ]
+        ();
       Text_table.add_row t
         [ r.Figures.wire_name; pretty r.Figures.full_seconds; pretty r.Figures.diff_seconds;
           Printf.sprintf "%.1fx" (r.Figures.full_seconds /. r.Figures.diff_seconds) ])
@@ -253,7 +372,51 @@ let wire () =
   Text_table.print t;
   print_endline
     "(the paper's motivation: on 1986 wide-area links the message savings\n\
-    \ are minutes per refresh, not an abstraction)"
+    \ are minutes per refresh, not an abstraction)";
+  header "Ablation: batched refresh transport (q=100%, low churn)";
+  let u_list = if quick then [ 0.01 ] else [ 0.01; 0.05 ] in
+  let rows = Figures.wire_batching_ablation ~n:n_ablation ~u_list () in
+  let baseline_frames u =
+    match
+      List.find_opt
+        (fun r -> r.Figures.batch_u_pct = u && r.Figures.batch_threshold = 1)
+        rows
+    with
+    | Some r -> r.Figures.batch_frames
+    | None -> 0
+  in
+  let t =
+    Text_table.create
+      [ ("updated %", Text_table.Right); ("batch", Text_table.Right);
+        ("data msgs", Text_table.Right); ("logical msgs", Text_table.Right);
+        ("frames", Text_table.Right); ("frame cut", Text_table.Right);
+        ("bytes", Text_table.Right) ]
+  in
+  List.iter
+    (fun r ->
+      emit
+        ~params:
+          [ ("u_pct", Printf.sprintf "%.2f" r.Figures.batch_u_pct);
+            ("batch", string_of_int r.Figures.batch_threshold);
+            ("data_msgs", string_of_int r.Figures.batch_data_msgs);
+            ("logical_msgs", string_of_int r.Figures.batch_logical) ]
+        ~messages:r.Figures.batch_frames ~bytes:r.Figures.batch_bytes ();
+      Text_table.add_row t
+        [ Text_table.cell_float ~decimals:1 r.Figures.batch_u_pct;
+          string_of_int r.Figures.batch_threshold;
+          string_of_int r.Figures.batch_data_msgs;
+          string_of_int r.Figures.batch_logical;
+          string_of_int r.Figures.batch_frames;
+          Printf.sprintf "%.1fx"
+            (float_of_int (baseline_frames r.Figures.batch_u_pct)
+            /. float_of_int (max 1 r.Figures.batch_frames));
+          string_of_int r.Figures.batch_bytes ])
+    rows;
+  Text_table.print t;
+  print_endline
+    "(each frame pays one header + checksum; batching coalesces data\n\
+    \ messages while the logical stream -- and the receiver's atomic\n\
+    \ staging -- is unchanged)"
 
 let faults () =
   header "Ablation: fault-injecting links -- retry tax and atomic apply (q=25%)";
@@ -306,13 +469,30 @@ let timing () =
   let base_d, restrict = prepared_refresh Snapdiff_core.Base_table.Deferred in
   let sink = ref 0 in
   let xmit m = if Snapdiff_core.Refresh_msg.is_data m then incr sink in
+  let snaptime () =
+    Snapdiff_txn.Clock.now (Snapdiff_core.Base_table.clock base_d)
+  in
   let t_diff =
-    Test.make ~name:"fig8 differential refresh scan (quiescent)"
+    Test.make ~name:"fig8 differential refresh scan (quiescent, unpruned)"
       (Staged.stage (fun () ->
            ignore
-             (Snapdiff_core.Differential.refresh ~base:base_d
-                ~snaptime:(Snapdiff_txn.Clock.now (Snapdiff_core.Base_table.clock base_d))
+             (Snapdiff_core.Differential.refresh ~base:base_d ~snaptime:(snaptime ())
                 ~restrict ~project:Fun.id ~xmit ()
+               : Snapdiff_core.Differential.report)))
+  in
+  let prune_cache = Snapdiff_core.Differential.Prune_cache.create () in
+  (* One warm refresh records the page summaries and the qualification
+     cache; the bench then measures the steady quiescent state. *)
+  ignore
+    (Snapdiff_core.Differential.refresh ~prune:prune_cache ~base:base_d
+       ~snaptime:(snaptime ()) ~restrict ~project:Fun.id ~xmit ()
+      : Snapdiff_core.Differential.report);
+  let t_pruned =
+    Test.make ~name:"prune differential refresh scan (quiescent, pruned)"
+      (Staged.stage (fun () ->
+           ignore
+             (Snapdiff_core.Differential.refresh ~prune:prune_cache ~base:base_d
+                ~snaptime:(snaptime ()) ~restrict ~project:Fun.id ~xmit ()
                : Snapdiff_core.Differential.report)))
   in
   let t_full =
@@ -357,7 +537,7 @@ let timing () =
   in
   let tests =
     Test.make_grouped ~name:"snapdiff"
-      [ t_diff; t_full; t_fixup; t_ins_deferred; t_ins_eager ]
+      [ t_diff; t_pruned; t_full; t_fixup; t_ins_deferred; t_ins_eager ]
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second (if quick then 0.25 else 1.0)) () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
@@ -395,19 +575,73 @@ let timing () =
   Text_table.print t;
   ignore !sink
 
+(* ------------------------------------------------------------------ *)
+(* The section table: the single source of truth for the usage text,
+   the default run list, and dispatch. *)
+
+let sections : (string * string * (unit -> unit)) list =
+  [ ("fig8", "Figure 8  - % of tuples sent vs update activity, q = 100/50/25%", fig8);
+    ("fig9", "Figure 9  - same for restrictive snapshots (q = 5/1%), log scale", fig9);
+    ("churn", "ablation  - insert/delete/qual-flip mixes", churn);
+    ("maint", "ablation  - eager vs deferred annotation maintenance", maint);
+    ("asap", "ablation  - ASAP propagation vs periodic differential refresh", asap);
+    ("logscan", "ablation  - log-based refresh culling cost", logscan);
+    ("tail", "ablation  - unconditional tail vs high-water suppression", tail);
+    ("skew", "ablation  - zipf-skewed update addresses", skew);
+    ("amort", "ablation  - multi-snapshot amortization of maintenance", amort);
+    ("cascade", "ablation  - cascaded vs independent snapshots", cascade);
+    ("prune", "ablation  - page-summary scan pruning (decode cost vs change volume)",
+     prune);
+    ("wire", "ablation  - simulated link transfer time + batched transport", wire);
+    ("stepwise", "ablation  - the paper's stepwise algorithm generations", stepwise);
+    ("faults", "ablation  - fault-injecting links: retry tax and atomicity", faults);
+    ("timing", "Bechamel wall-clock benches (one per figure/experiment)", timing) ]
+
+let usage () =
+  print_endline "Usage: dune exec bench/main.exe -- [section ...] [--quick] [--json]";
+  print_newline ();
+  print_endline "Sections (default: all, in this order):";
+  List.iter (fun (name, desc, _) -> Printf.printf "  %-9s %s\n" name desc) sections;
+  print_newline ();
+  print_endline "  --quick   shrink the base tables for a fast smoke run";
+  print_endline "  --json    also write every table row to BENCH_refresh.json";
+  print_endline "  --help    print this text"
+
+let run_section (name, _desc, fn) =
+  current_section := name;
+  let before = !json_records in
+  let t0 = Unix.gettimeofday () in
+  fn ();
+  let wall_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  emit ~params:[ ("kind", "section-total") ] ();
+  let rec stamp l =
+    if l != before then
+      match l with
+      | r :: tl ->
+        r.jr_wall_ns <- wall_ns;
+        stamp tl
+      | [] -> ()
+  in
+  stamp !json_records
+
 let () =
+  if want_help then (usage (); exit 0);
+  let args =
+    Array.to_list Sys.argv |> List.tl
+    |> List.filter (fun a -> String.length a = 0 || a.[0] <> '-')
+  in
+  let known name = List.exists (fun (n, _, _) -> n = name) sections in
+  List.iter
+    (fun name ->
+      if not (known name) then begin
+        Printf.eprintf "unknown section %S\n\n" name;
+        usage ();
+        exit 2
+      end)
+    args;
+  let requested = if args = [] then List.map (fun (n, _, _) -> n) sections else args in
   Printf.printf "snapdiff benchmark harness%s\n" (if quick then " (--quick)" else "");
-  if wants "fig8" then fig8 ();
-  if wants "fig9" then fig9 ();
-  if wants "churn" then churn ();
-  if wants "maint" then maint ();
-  if wants "asap" then asap ();
-  if wants "logscan" then logscan ();
-  if wants "tail" then tail ();
-  if wants "skew" then skew ();
-  if wants "amort" then amort ();
-  if wants "cascade" then cascade ();
-  if wants "wire" then wire ();
-  if wants "stepwise" then stepwise ();
-  if wants "faults" then faults ();
-  if wants "timing" then timing ()
+  List.iter
+    (fun ((name, _, _) as s) -> if List.mem name requested then run_section s)
+    sections;
+  if json_mode then write_json "BENCH_refresh.json"

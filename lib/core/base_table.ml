@@ -7,6 +7,20 @@ type mode = Eager | Deferred
 
 type subscription = int
 
+type page_summary = {
+  sum_live : int;
+  sum_first_live : Addr.t;
+  sum_last_live : Addr.t;
+  sum_first_prev : Addr.t;
+  sum_max_ts : Clock.ts;
+  sum_token : int;
+}
+
+(* Tokens are drawn from a process-wide counter so a summary rebuilt after
+   an [on_pool] restart can never collide with a token some refresher
+   cached against the previous table instance. *)
+let token_counter = ref 0
+
 type t = {
   table_name : string;
   table_mode : mode;
@@ -15,6 +29,7 @@ type t = {
   stored : Schema.t;
   heap : Heap.t;
   live : unit Int_btree.t;  (* live addresses, for successor/predecessor *)
+  summaries : (int, page_summary) Hashtbl.t;  (* data page -> exact summary *)
   mutable observers : (subscription * (Change_log.change -> unit)) list;
   mutable next_sub : subscription;
   wal : Snapdiff_wal.Wal.t option;
@@ -33,6 +48,9 @@ let of_heap ~mode ~wal ~name ~clock ~user_schema heap =
     stored = Heap.schema heap;
     heap;
     live;
+    (* Summaries are in-memory acceleration state: a table adopted from an
+       existing store starts with none and the first scan rebuilds them. *)
+    summaries = Hashtbl.create 64;
     observers = [];
     next_sub = 1;
     wal;
@@ -102,13 +120,52 @@ let successor t addr = Option.map fst (Int_btree.find_first t.live ~lo:(addr + 1
 let predecessor t addr =
   if addr <= 0 then None else Option.map fst (Int_btree.find_last t.live ~hi:(addr - 1))
 
-let set_stored t addr tuple = Heap.update t.heap addr tuple
+(* ---- page summaries ------------------------------------------------ *)
+
+let invalidate_summary t addr = Hashtbl.remove t.summaries (Addr.page addr)
+
+let data_pages t = Heap.data_pages t.heap
+
+let page_summary t page = Hashtbl.find_opt t.summaries page
+
+let record_page_summary t ~page ~live ~first_live ~last_live ~first_prev ~max_ts =
+  match Hashtbl.find_opt t.summaries page with
+  | Some s
+    when s.sum_live = live && s.sum_first_live = first_live && s.sum_last_live = last_live
+         && s.sum_first_prev = first_prev && s.sum_max_ts = max_ts ->
+    (* Unchanged content keeps its token, so other snapshots' qualification
+       caches against this page stay valid. *)
+    s.sum_token
+  | _ ->
+    incr token_counter;
+    let token = !token_counter in
+    Hashtbl.replace t.summaries page
+      {
+        sum_live = live;
+        sum_first_live = first_live;
+        sum_last_live = last_live;
+        sum_first_prev = first_prev;
+        sum_max_ts = max_ts;
+        sum_token = token;
+      };
+    token
+
+let summarized_pages t = Hashtbl.length t.summaries
+
+let iter_page_stored t ~page f = Heap.iter_page t.heap ~page f
+
+(* -------------------------------------------------------------------- *)
+
+let set_stored t addr tuple =
+  invalidate_summary t addr;
+  Heap.update t.heap addr tuple
 
 let insert t user_tuple =
   (match Schema.validate_tuple t.user user_tuple with
   | Ok () -> ()
   | Error e -> raise (Heap.Tuple_error e));
   let addr = Heap.insert t.heap (Annotations.annotate user_tuple Annotations.nulls) in
+  invalidate_summary t addr;
   (match t.table_mode with
   | Deferred ->
     (* "Insert operations will set the PrevAddr and TimeStamp fields to
@@ -160,6 +217,7 @@ let update t addr user_tuple =
       { old_ann with Annotations.timestamp = None }
     | Eager -> { old_ann with Annotations.timestamp = Some (Clock.tick t.table_clock) }
   in
+  invalidate_summary t addr;
   Heap.update t.heap addr (Annotations.annotate user_tuple new_ann);
   t.mutation_count <- t.mutation_count + 1;
   notify t (Change_log.Update (addr, old_user, user_tuple));
@@ -176,6 +234,7 @@ let update t addr user_tuple =
 let delete t addr =
   let old_stored = stored_of t addr in
   let old_user, old_ann = Annotations.split old_stored in
+  invalidate_summary t addr;
   Heap.delete t.heap addr;
   ignore (Int_btree.remove t.live addr : bool);
   (match t.table_mode with

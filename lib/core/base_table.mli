@@ -112,6 +112,58 @@ val iter_stored : t -> (Addr.t -> Tuple.t -> unit) -> unit
 (** Address-order scan of stored (annotated) tuples.  The callback may call
     {!set_stored} on the entry it is visiting. *)
 
+(** {2 Page summaries}
+
+    Per-page acceleration metadata for the pruned refresh scan: a summary
+    is recorded by a scan that just decoded the whole page (so it is exact
+    by construction), and removed — never patched — by any mutation that
+    touches the page.  A present summary therefore {e proves} facts about
+    the page: its live-entry count and address bounds, the stored PrevAddr
+    of its first live entry, and the maximum annotation timestamp, with no
+    NULL annotations anywhere on the page (pages with NULLs are simply not
+    summarized).  Summaries live beside the buffer pool, like the heap's
+    free-space map, so frame eviction does not lose them; they are {e not}
+    persisted, so a table adopted with {!on_pool} starts bare and the
+    first post-restart scan rebuilds them. *)
+
+type page_summary = {
+  sum_live : int;  (** live entries on the page *)
+  sum_first_live : Addr.t;  (** lowest live address; meaningless if empty *)
+  sum_last_live : Addr.t;  (** highest live address; meaningless if empty *)
+  sum_first_prev : Addr.t;
+      (** stored PrevAddr annotation of the first live entry — the hook for
+          detecting a PrevAddr-chain anomaly at the page boundary *)
+  sum_max_ts : Clock.ts;  (** max annotation timestamp on the page *)
+  sum_token : int;
+      (** identity of this summary's content, unique across table
+          instances; a cached token that still matches proves the page is
+          unchanged since the cache entry was made *)
+}
+
+val data_pages : t -> int
+
+val page_summary : t -> int -> page_summary option
+
+val record_page_summary :
+  t ->
+  page:int ->
+  live:int ->
+  first_live:Addr.t ->
+  last_live:Addr.t ->
+  first_prev:Addr.t ->
+  max_ts:Clock.ts ->
+  int
+(** Install the summary a full decode of [page] just established and
+    return its token.  If an identical summary is already recorded its
+    existing token is returned unchanged, so concurrent snapshots'
+    qualification caches survive each other's refreshes. *)
+
+val summarized_pages : t -> int
+(** How many data pages currently carry a summary (observability). *)
+
+val iter_page_stored : t -> page:int -> (Addr.t -> Tuple.t -> unit) -> unit
+(** {!iter_stored} restricted to one data page (see {!Heap.iter_page}). *)
+
 val set_stored : t -> Addr.t -> Tuple.t -> unit
 (** Raw annotated-tuple write: used by the fix-up pass to restore
     annotation fields.  Does not tick the clock, fire observers, or write

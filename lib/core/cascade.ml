@@ -58,8 +58,12 @@ let attach ~upstream ~name ?(restrict = fun _ -> true) ?projection ?link () =
   let child_has_range lo hi =
     lo <= hi && Snapshot_table.exists_in_range upstream ~lo ~hi ~f:restrict ()
   in
-  let forward (msg : Refresh_msg.t) =
+  let rec forward (msg : Refresh_msg.t) =
     match msg with
+    | Batch ms ->
+      (* Parents unbatch before notifying observers, so this is defensive:
+         forward the logical stream, never the transport framing. *)
+      List.iter forward ms
     | Upsert { addr; values } ->
       if restrict values then send (Upsert { addr; values = project values })
       else if child_had addr then send (Remove { addr })

@@ -1,15 +1,29 @@
 open Snapdiff_storage
 open Snapdiff_txn
 
+module Prune_cache = struct
+  type entry = { token : int; page_last_qual : Addr.t option }
+
+  type t = (int, entry) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+
+  let size = Hashtbl.length
+end
+
 type report = {
   new_snaptime : Clock.ts;
   entries_scanned : int;
+  entries_skipped : int;
+  pages_decoded : int;
+  pages_skipped : int;
   fixup_writes : int;
   data_messages : int;
   tail_suppressed : bool;
 }
 
-let refresh ?(tail_suppression = None) ~base ~snaptime ~restrict ~project ~xmit () =
+let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project ~xmit ()
+    =
   let deferred = Base_table.mode base = Base_table.Deferred in
   (* One fresh timestamp serves as both FixupTime and the new SnapTime;
      the table lock guarantees no changes slip between them. *)
@@ -27,41 +41,129 @@ let refresh ?(tail_suppression = None) ~base ~snaptime ~restrict ~project ~xmit 
   let last_qual = ref Addr.zero in
   let deletion = ref false in
   let scanned = ref 0 in
-  Base_table.iter_stored base (fun addr stored ->
-      incr scanned;
-      let user, ann = Annotations.split stored in
-      let ann =
-        if deferred then begin
-          let ann', expect_prev' =
-            Fixup.step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr
-              ~fixup_time:now ann
+  let skipped = ref 0 in
+  let pages_decoded = ref 0 in
+  let pages_skipped = ref 0 in
+  (* A page may be skipped without decoding when its summary (exact by
+     construction — any mutation would have removed it) proves that a full
+     decode would neither write a fix-up nor transmit an entry, and the
+     scan state can be advanced as if the decode had happened:
+
+     - [sum_max_ts <= snaptime]: no entry on the page is changed;
+     - deferred mode additionally needs [ExpectPrev = LastAddr] (a pending
+       insertion before the page would force a repoint of its first entry,
+       and — worse — silently re-align the chain so a later deletion of
+       that insertion became undetectable) and [sum_first_prev =
+       ExpectPrev] (no deletion anomaly at the page boundary);
+     - a valid qualification-cache entry (same summary token) tells us the
+       last qualifying address on the page, which is what [LastQual] must
+       become; with the [Deletion] flag pending the page may hold no
+       qualifying entry at all, since that entry would have to be
+       transmitted. *)
+  let try_skip page =
+    match prune with
+    | None -> None
+    | Some cache -> (
+      match Base_table.page_summary base page with
+      | None -> None
+      | Some s ->
+        if s.Base_table.sum_live = 0 then Some None
+        else if s.Base_table.sum_max_ts > snaptime then None
+        else if
+          deferred
+          && not (!expect_prev = !last_addr && s.Base_table.sum_first_prev = !expect_prev)
+        then None
+        else (
+          match Hashtbl.find_opt cache page with
+          | Some { Prune_cache.token; page_last_qual }
+            when token = s.Base_table.sum_token
+                 && not (!deletion && page_last_qual <> None) ->
+            Some (Some (s, page_last_qual))
+          | _ -> None))
+  in
+  for page = 1 to Base_table.data_pages base do
+    match try_skip page with
+    | Some None -> incr pages_skipped  (* provably empty page *)
+    | Some (Some (s, page_last_qual)) ->
+      incr pages_skipped;
+      skipped := !skipped + s.Base_table.sum_live;
+      if deferred then begin
+        expect_prev := s.Base_table.sum_last_live;
+        last_addr := s.Base_table.sum_last_live
+      end;
+      (match page_last_qual with Some l -> last_qual := l | None -> ())
+    | None ->
+      incr pages_decoded;
+      let live = ref 0 in
+      let first_live = ref Addr.zero in
+      let page_last_live = ref Addr.zero in
+      let first_prev = ref Addr.zero in
+      let max_ts = ref Clock.never in
+      let any_null = ref false in
+      let page_last_qual = ref None in
+      Base_table.iter_page_stored base ~page (fun addr stored ->
+          incr scanned;
+          let user, ann = Annotations.split stored in
+          let ann =
+            if deferred then begin
+              let ann', expect_prev' =
+                Fixup.step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr
+                  ~fixup_time:now ann
+              in
+              if ann' <> ann then begin
+                Base_table.set_stored base addr (Annotations.with_annotations stored ann');
+                incr fixup_writes
+              end;
+              expect_prev := expect_prev';
+              last_addr := addr;
+              ann'
+            end
+            else ann
           in
-          if ann' <> ann then begin
-            Base_table.set_stored base addr (Annotations.with_annotations stored ann');
-            incr fixup_writes
+          if !live = 0 then begin
+            first_live := addr;
+            first_prev := Option.value ann.Annotations.prev_addr ~default:Addr.zero
           end;
-          expect_prev := expect_prev';
-          last_addr := addr;
-          ann'
-        end
-        else ann
-      in
-      (* A NULL timestamp cannot survive fix-up; in eager mode it would
-         mean corrupted annotations — treat it as "changed" to stay safe. *)
-      let changed =
-        match ann.Annotations.timestamp with
-        | None -> true
-        | Some ts -> ts > snaptime
-      in
-      if restrict user then begin
-        if changed || !deletion then
-          send (Refresh_msg.Entry { addr; prev_qual = !last_qual; values = project user });
-        last_qual := addr;
-        deletion := false
+          incr live;
+          page_last_live := addr;
+          (match ann.Annotations.timestamp with
+          | Some ts -> if ts > !max_ts then max_ts := ts
+          | None -> any_null := true);
+          if ann.Annotations.prev_addr = None then any_null := true;
+          (* A NULL timestamp cannot survive fix-up; in eager mode it would
+             mean corrupted annotations — treat it as "changed" to stay safe. *)
+          let changed =
+            match ann.Annotations.timestamp with
+            | None -> true
+            | Some ts -> ts > snaptime
+          in
+          if restrict user then begin
+            if changed || !deletion then
+              send
+                (Refresh_msg.Entry { addr; prev_qual = !last_qual; values = project user });
+            last_qual := addr;
+            page_last_qual := Some addr;
+            deletion := false
+          end
+          else if changed then
+            (* "Updated entry ==> may have qualified before update." *)
+            deletion := true);
+      if not !any_null then begin
+        let token =
+          Base_table.record_page_summary base ~page ~live:!live ~first_live:!first_live
+            ~last_live:!page_last_live
+            ~first_prev:(if !live = 0 then Addr.zero else !first_prev)
+            ~max_ts:!max_ts
+        in
+        match prune with
+        | Some cache ->
+          Hashtbl.replace cache page
+            { Prune_cache.token; page_last_qual = !page_last_qual }
+        | None -> ()
       end
-      else if changed then
-        (* "Updated entry ==> may have qualified before update." *)
-        deletion := true);
+      else
+        match prune with Some cache -> Hashtbl.remove cache page | None -> ()
+  done;
   (* "Handle deletions at end of BaseTable": unconditional in the paper;
      optionally suppressed when the snapshot provably holds nothing above
      LastQual. *)
@@ -75,6 +177,9 @@ let refresh ?(tail_suppression = None) ~base ~snaptime ~restrict ~project ~xmit 
   {
     new_snaptime = now;
     entries_scanned = !scanned;
+    entries_skipped = !skipped;
+    pages_decoded = !pages_decoded;
+    pages_skipped = !pages_skipped;
     fixup_writes = !fixup_writes;
     data_messages = !data_messages;
     tail_suppressed;

@@ -21,9 +21,30 @@
 open Snapdiff_storage
 open Snapdiff_txn
 
+(** Per-snapshot page-qualification cache, the companion of the base
+    table's page summaries: for each page last seen clean it remembers the
+    last {e qualifying} address on the page (or that there is none), keyed
+    by the summary token it was recorded against.  A token mismatch — the
+    page changed, or its summary was rebuilt — silently invalidates the
+    entry and the page is decoded again.  The cache is bound to one
+    snapshot's restriction: never share a cache between snapshots with
+    different [restrict] predicates. *)
+module Prune_cache : sig
+  type entry = { token : int; page_last_qual : Addr.t option }
+
+  type t = (int, entry) Hashtbl.t
+
+  val create : unit -> t
+
+  val size : t -> int
+end
+
 type report = {
   new_snaptime : Clock.ts;
-  entries_scanned : int;
+  entries_scanned : int;  (** entries decoded by this scan *)
+  entries_skipped : int;  (** entries proven irrelevant by page summaries *)
+  pages_decoded : int;
+  pages_skipped : int;
   fixup_writes : int;  (** 0 in eager mode *)
   data_messages : int;
   tail_suppressed : bool;
@@ -31,6 +52,7 @@ type report = {
 
 val refresh :
   ?tail_suppression:Addr.t option ->
+  ?prune:Prune_cache.t ->
   base:Base_table.t ->
   snaptime:Clock.ts ->
   restrict:(Tuple.t -> bool) ->
@@ -42,4 +64,21 @@ val refresh :
     compiled [SnapRestrict] and projection).  [tail_suppression] is the
     snapshot's current high-water [BaseAddr] ([None] disables the
     optimization, reproducing the paper's algorithm verbatim).  The caller
-    holds the table lock. *)
+    holds the table lock.
+
+    With [prune], the scan runs page-wise and skips decoding any page
+    whose {!Base_table.page_summary} plus cache entry prove the decode
+    would transmit nothing and write nothing: [sum_max_ts <= snaptime]
+    (nothing changed), in deferred mode no PrevAddr-chain anomaly at the
+    page boundary ([ExpectPrev = LastAddr] and [sum_first_prev =
+    ExpectPrev]), and a token-valid cache entry supplying the page's last
+    qualifying address so [LastQual] — hence the receiver's
+    delete-between semantics — advances exactly as an unpruned scan
+    would.  A page whose cache entry says it holds qualifying entries is
+    never skipped while the [Deletion] flag is pending (the next
+    qualifying entry must be transmitted).  Every page the scan does
+    decode gets its summary recorded and its cache entry refreshed, so
+    the first pruned refresh pays one full scan and subsequent ones cost
+    O(changed pages).  Skipping never changes the transmitted stream or
+    the resulting annotations: pruned and unpruned refresh are
+    message-for-message identical. *)

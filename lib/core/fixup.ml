@@ -1,7 +1,9 @@
 open Snapdiff_storage
+open Snapdiff_txn
 
 type stats = {
   scanned : int;
+  skipped : int;
   writes : int;
 }
 
@@ -35,21 +37,63 @@ let step ~addr ~expect_prev ~last_addr ~fixup_time (ann : Annotations.t) =
     in
     ({ Annotations.prev_addr; timestamp = ts }, addr)
 
+(* A page with a summary may be skipped when doing so provably leaves the
+   same annotation state a full decode would: the summary's existence means
+   no NULL annotations and an internally intact PrevAddr chain (it was
+   recorded by a scan that had just restored the page, and any mutation
+   since would have removed it), so no step on the page can write — as long
+   as the scan state at the page boundary matches what the page's entries
+   expect.  [ExpectPrev = LastAddr] rules out a pending insertion before
+   the page (which would require repointing the first entry), and
+   [first_prev = ExpectPrev] rules out a deletion anomaly at the boundary. *)
+let can_skip (s : Base_table.page_summary) ~expect_prev ~last_addr =
+  s.Base_table.sum_live = 0
+  || (expect_prev = last_addr && s.Base_table.sum_first_prev = expect_prev)
+
 let run base ~fixup_time =
   let expect_prev = ref Addr.zero in
   let last_addr = ref Addr.zero in
   let scanned = ref 0 in
+  let skipped = ref 0 in
   let writes = ref 0 in
-  Base_table.iter_stored base (fun addr stored ->
-      incr scanned;
-      let _, ann = Annotations.split stored in
-      let ann', expect_prev' =
-        step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr ~fixup_time ann
-      in
-      if ann' <> ann then begin
-        Base_table.set_stored base addr (Annotations.with_annotations stored ann');
-        incr writes
-      end;
-      expect_prev := expect_prev';
-      last_addr := addr);
-  { scanned = !scanned; writes = !writes }
+  for page = 1 to Base_table.data_pages base do
+    match Base_table.page_summary base page with
+    | Some s when can_skip s ~expect_prev:!expect_prev ~last_addr:!last_addr ->
+      skipped := !skipped + s.Base_table.sum_live;
+      if s.Base_table.sum_live > 0 then begin
+        expect_prev := s.Base_table.sum_last_live;
+        last_addr := s.Base_table.sum_last_live
+      end
+    | _ ->
+      let entry_last_addr = !last_addr in
+      let live = ref 0 in
+      let first_live = ref Addr.zero in
+      let max_ts = ref Clock.never in
+      Base_table.iter_page_stored base ~page (fun addr stored ->
+          incr scanned;
+          let _, ann = Annotations.split stored in
+          let ann', expect_prev' =
+            step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr ~fixup_time ann
+          in
+          if ann' <> ann then begin
+            Base_table.set_stored base addr (Annotations.with_annotations stored ann');
+            incr writes
+          end;
+          expect_prev := expect_prev';
+          last_addr := addr;
+          if !live = 0 then first_live := addr;
+          incr live;
+          (match ann'.Annotations.timestamp with
+          | Some ts when ts > !max_ts -> max_ts := ts
+          | _ -> ()));
+      (* The page was just fully restored, so this summary is exact; the
+         first entry's corrected PrevAddr always equals LastAddr as it
+         stood at the page boundary. *)
+      ignore
+        (Base_table.record_page_summary base ~page ~live:!live ~first_live:!first_live
+           ~last_live:(if !live = 0 then Addr.zero else !last_addr)
+           ~first_prev:(if !live = 0 then Addr.zero else entry_last_addr)
+           ~max_ts:!max_ts
+          : int)
+  done;
+  { scanned = !scanned; skipped = !skipped; writes = !writes }

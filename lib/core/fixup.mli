@@ -25,14 +25,24 @@
 open Snapdiff_txn
 
 type stats = {
-  scanned : int;
+  scanned : int;  (** entries decoded *)
+  skipped : int;  (** entries proven clean by a page summary, not decoded *)
   writes : int;  (** entries whose annotation fields were rewritten *)
 }
 
 val run : Base_table.t -> fixup_time:Clock.ts -> stats
 (** One full pass.  [fixup_time] is the time stamped into every restored
     [TimeStamp] ("only snapshot refresh events need to occur at distinct
-    times, [so] we can use the current (base table) time"). *)
+    times, [so] we can use the current (base table) time").
+
+    The pass is page-wise: a page whose {!Base_table.page_summary} is
+    still present (hence exact, with no NULL annotations and an intact
+    internal PrevAddr chain) is skipped without decoding when the scan
+    state at its boundary matches — [ExpectPrev = LastAddr] (no pending
+    insertion repoint) and the page's [sum_first_prev] equals
+    [ExpectPrev] (no pending deletion anomaly).  Pages it does decode get
+    a fresh summary recorded, so repeated fix-ups over a quiescent table
+    cost O(pages), not O(entries). *)
 
 val step :
   addr:Snapdiff_storage.Addr.t ->

@@ -33,9 +33,11 @@ type refresh_report = {
   method_used : method_used;
   new_snaptime : Clock.ts;
   entries_scanned : int;
+  entries_skipped : int;  (* proven irrelevant by page summaries, not decoded *)
   fixup_writes : int;
   data_messages : int;
-  link_messages : int;
+  link_messages : int;  (* physical frames *)
+  link_logical_messages : int;  (* protocol messages carried by those frames *)
   link_bytes : int;
   tail_suppressed : bool;
   log_records_scanned : int;
@@ -90,6 +92,7 @@ type snapshot = {
   request_link : Link.t;  (* snapshot -> base control path *)
   spec : method_spec;
   tail_suppression : bool;
+  prune : Differential.Prune_cache.t option;  (* page-qualification cache *)
   mutable selectivity : float;
   mutable cursor_seq : Change_log.seq;
   mutable cursor_lsn : Wal.lsn;
@@ -102,23 +105,29 @@ type t = {
   snapshots : (string, snapshot) Hashtbl.t;
   txns : Txn.manager;
   mutable retry : retry_policy;
+  mutable batch : int;  (* flush threshold for batched transport; <= 1 = off *)
   rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
 }
 
 let key = String.lowercase_ascii
 
-let create ?(retry = default_retry_policy) ?(seed = 0x5EED) () =
+let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1) () =
   {
     bases = Hashtbl.create 8;
     snapshots = Hashtbl.create 8;
     txns = Txn.create_manager ();
     retry;
+    batch = max 1 batch_size;
     rng = Snapdiff_util.Rng.create seed;
   }
 
 let retry_policy t = t.retry
 
 let set_retry_policy t p = t.retry <- p
+
+let batch_size t = t.batch
+
+let set_batch_size t n = t.batch <- max 1 n
 
 let register_base t table =
   let k = key (Base_table.name table) in
@@ -225,9 +234,11 @@ let blank_report s method_used =
     method_used;
     new_snaptime = Clock.never;
     entries_scanned = 0;
+    entries_skipped = 0;
     fixup_writes = 0;
     data_messages = 0;
     link_messages = 0;
+    link_logical_messages = 0;
     link_bytes = 0;
     tail_suppressed = false;
     log_records_scanned = 0;
@@ -247,12 +258,43 @@ let blank_report s method_used =
    on retry. *)
 let rec run_method t s ~epoch method_used =
   let b = base t s.base_name in
+  (* Batched transport: buffer batchable (data) messages and frame up to
+     [t.batch] of them as one Batch under a single header, sequence number
+     and checksum.  Control messages flush the buffer first and travel
+     alone — Snaptime is among them, so the stream's trailing batch is
+     always on the wire before the commit marker. *)
   let xmit =
     let seq = ref 0 in
-    fun msg ->
+    let buffered = ref [] in  (* newest first *)
+    let buffered_n = ref 0 in
+    let send_framed msg =
+      let logical = Refresh_msg.logical_count msg in
       let framed = Refresh_msg.encode_framed ~epoch ~seq:!seq msg in
       incr seq;
-      Link.send s.link framed
+      Link.send s.link ~logical framed
+    in
+    let flush () =
+      match !buffered with
+      | [] -> ()
+      | [ m ] ->
+        buffered := [];
+        buffered_n := 0;
+        send_framed m
+      | ms ->
+        buffered := [];
+        buffered_n := 0;
+        send_framed (Refresh_msg.Batch (List.rev ms))
+    in
+    fun msg ->
+      if t.batch > 1 && Refresh_msg.batchable msg then begin
+        buffered := msg :: !buffered;
+        incr buffered_n;
+        if !buffered_n >= t.batch then flush ()
+      end
+      else begin
+        flush ();
+        send_framed msg
+      end
   in
   let nop_commit () = () in
   match method_used with
@@ -270,7 +312,7 @@ let rec run_method t s ~epoch method_used =
       if s.tail_suppression then Some (Snapshot_table.high_water s.table) else None
     in
     let r =
-      Differential.refresh ~tail_suppression ~base:b
+      Differential.refresh ~tail_suppression ?prune:s.prune ~base:b
         ~snaptime:(Snapshot_table.snaptime s.table) ~restrict:s.restrict ~project:s.project
         ~xmit ()
     in
@@ -278,6 +320,7 @@ let rec run_method t s ~epoch method_used =
         (blank_report s method_used) with
         new_snaptime = r.Differential.new_snaptime;
         entries_scanned = r.Differential.entries_scanned;
+        entries_skipped = r.Differential.entries_skipped;
         fixup_writes = r.Differential.fixup_writes;
         data_messages = r.Differential.data_messages;
         tail_suppressed = r.Differential.tail_suppressed;
@@ -401,6 +444,8 @@ let attempt_refresh t s ~epoch ~prime ~send_request method_used =
           report with
           fixup_writes = report.fixup_writes + fixups;
           link_messages = after.Link.messages - before.Link.messages;
+          link_logical_messages =
+            after.Link.logical_messages - before.Link.logical_messages;
           link_bytes = after.Link.bytes - before.Link.bytes;
         },
         on_commit ))
@@ -526,7 +571,7 @@ let validate_projection user_schema projection =
     projection
 
 let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
-    ?(method_ = Auto) ?link ?(tail_suppression = false) ?selectivity () =
+    ?(method_ = Auto) ?link ?(tail_suppression = false) ?(prune = true) ?selectivity () =
   if Hashtbl.mem t.snapshots (key name) then raise (Duplicate_name name);
   let bst = base_state t base_name in
   let b = bst.base_table in
@@ -592,6 +637,7 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
       request_link;
       spec = method_;
       tail_suppression;
+      prune = (if prune then Some (Differential.Prune_cache.create ()) else None);
       selectivity;
       cursor_seq = 0;
       cursor_lsn = Wal.start_lsn;

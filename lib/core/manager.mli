@@ -40,9 +40,15 @@ type refresh_report = {
   method_used : method_used;
   new_snaptime : Clock.ts;
   entries_scanned : int;  (** base entries (or net-changed addresses) visited *)
+  entries_skipped : int;
+      (** entries the pruned differential scan proved irrelevant via page
+          summaries and never decoded *)
   fixup_writes : int;
   data_messages : int;
-  link_messages : int;  (** total messages on the wire, incl. bracketing *)
+  link_messages : int;  (** physical frames on the wire, incl. bracketing *)
+  link_logical_messages : int;
+      (** protocol messages those frames carried — the paper's metric;
+          equals [link_messages] unless batching is on *)
   link_bytes : int;
   tail_suppressed : bool;
   log_records_scanned : int;  (** log-based method only *)
@@ -83,13 +89,24 @@ exception Bad_definition of string
 
 type t
 
-val create : ?retry:retry_policy -> ?seed:int -> unit -> t
+val create : ?retry:retry_policy -> ?seed:int -> ?batch_size:int -> unit -> t
 (** [seed] feeds the manager's private RNG (backoff jitter, selectivity
-    sampling), keeping runs reproducible. *)
+    sampling), keeping runs reproducible.  [batch_size] (default 1 = off)
+    is the batched-transport flush threshold: with [batch_size = k > 1],
+    up to [k] consecutive data messages of a refresh stream are coalesced
+    into one {!Refresh_msg.Batch} frame — one link header, one sequence
+    number, one checksum — cutting physical message count up to [k]-fold
+    while the logical stream (and the receiver's atomic staging) is
+    unchanged. *)
 
 val retry_policy : t -> retry_policy
 
 val set_retry_policy : t -> retry_policy -> unit
+
+val batch_size : t -> int
+
+val set_batch_size : t -> int -> unit
+(** Takes effect from the next refresh stream; values below 1 clamp to 1. *)
 
 val register_base : t -> Base_table.t -> unit
 (** Makes a base table eligible as a snapshot source.  Raises
@@ -116,6 +133,7 @@ val create_snapshot :
   ?method_:method_spec ->
   ?link:Link.t ->
   ?tail_suppression:bool ->
+  ?prune:bool ->
   ?selectivity:float ->
   unit ->
   refresh_report
@@ -123,7 +141,9 @@ val create_snapshot :
     the initial (always full) population.  Defaults: [restrict] accepts
     everything, [projection] keeps all user columns, [method_] is [Auto],
     [link] is a fresh in-process link, [tail_suppression] false (the
-    paper's algorithm verbatim).  [selectivity] overrides the planner's
+    paper's algorithm verbatim), [prune] true (differential refreshes use
+    the page-summary pruned scan; the transmitted stream is identical
+    either way, so this only affects scan CPU).  [selectivity] overrides the planner's
     estimate (e.g. from table statistics); without it the restriction is
     measured by scanning the base table once.  Raises {!Bad_definition} on an ill-typed
     restriction, an unknown/hidden projection column, or [Log_based]

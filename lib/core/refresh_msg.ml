@@ -10,12 +10,25 @@ type t =
   | Snaptime of Snapdiff_txn.Clock.ts
   | Register of { restrict : string; projection : string list }
   | Request of { snaptime : Snapdiff_txn.Clock.ts }
+  | Batch of t list
 
-let is_data = function
+let rec is_data = function
   | Entry _ | Tail _ | Region _ | Upsert _ | Remove _ -> true
   | Clear | Snaptime _ | Register _ | Request _ -> false
+  | Batch ms -> List.exists is_data ms
 
-let pp ppf = function
+(* Only the per-entry data messages are worth coalescing; the bracketing
+   control messages are rare and, in the case of Snaptime, must stand
+   alone so a trailing batch is always flushed before the commit marker. *)
+let batchable = function
+  | Entry _ | Tail _ | Region _ | Upsert _ | Remove _ -> true
+  | Clear | Snaptime _ | Register _ | Request _ | Batch _ -> false
+
+let rec logical_count = function
+  | Batch ms -> List.fold_left (fun acc m -> acc + logical_count m) 0 ms
+  | _ -> 1
+
+let rec pp ppf = function
   | Entry { addr; prev_qual; values } ->
     Format.fprintf ppf "entry %a (prev %a) %a" Addr.pp addr Addr.pp prev_qual Tuple.pp values
   | Tail { last_qual } -> Format.fprintf ppf "tail (last %a)" Addr.pp last_qual
@@ -28,8 +41,12 @@ let pp ppf = function
     Format.fprintf ppf "register restrict=%s project=(%s)" restrict
       (String.concat ", " projection)
   | Request { snaptime } -> Format.fprintf ppf "request snaptime=%d" snaptime
+  | Batch ms ->
+    Format.fprintf ppf "batch[%d](%a)" (List.length ms)
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ") pp)
+      ms
 
-let encode msg =
+let rec encode msg =
   let buf = Buffer.create 64 in
   (match msg with
   | Entry { addr; prev_qual; values } ->
@@ -62,10 +79,19 @@ let encode msg =
     List.iter (Codec.add_string buf) projection
   | Request { snaptime } ->
     Codec.add_u8 buf 9;
-    Codec.add_int buf snaptime);
+    Codec.add_int buf snaptime
+  | Batch ms ->
+    Codec.add_u8 buf 10;
+    Codec.add_u32 buf (List.length ms);
+    List.iter
+      (fun m ->
+        let b = encode m in
+        Codec.add_u32 buf (Bytes.length b);
+        Buffer.add_bytes buf b)
+      ms);
   Buffer.to_bytes buf
 
-let decode b =
+let rec decode b =
   let tag, off = Codec.u8 b 0 in
   let msg, off =
     match tag with
@@ -106,6 +132,17 @@ let decode b =
     | 9 ->
       let snaptime, off = Codec.int b off in
       (Request { snaptime }, off)
+    | 10 ->
+      let n, off = Codec.u32 b off in
+      let ms = ref [] in
+      let off = ref off in
+      for _ = 1 to n do
+        let len, off' = Codec.u32 b !off in
+        if off' + len > Bytes.length b then failwith "Refresh_msg.decode: truncated batch";
+        ms := decode (Bytes.sub b off' len) :: !ms;
+        off := off' + len
+      done;
+      (Batch (List.rev !ms), !off)
     | _ -> failwith "Refresh_msg.decode: bad tag"
   in
   if off <> Bytes.length b then failwith "Refresh_msg.decode: trailing bytes";
@@ -167,7 +204,7 @@ let decode_framed b =
     { epoch; seq; msg = decode payload }
   with Failure reason | Invalid_argument reason -> raise (Corrupt reason)
 
-let equal a b =
+let rec equal a b =
   match (a, b) with
   | Entry x, Entry y ->
     x.addr = y.addr && x.prev_qual = y.prev_qual && Tuple.equal x.values y.values
@@ -179,7 +216,8 @@ let equal a b =
   | Snaptime x, Snaptime y -> x = y
   | Register x, Register y -> x.restrict = y.restrict && x.projection = y.projection
   | Request x, Request y -> x.snaptime = y.snaptime
+  | Batch x, Batch y -> List.length x = List.length y && List.for_all2 equal x y
   | ( ( Entry _ | Tail _ | Region _ | Upsert _ | Remove _ | Clear | Snaptime _
-      | Register _ | Request _ ),
+      | Register _ | Request _ | Batch _ ),
       _ ) ->
     false

@@ -39,10 +39,26 @@ type t =
       (** control, snapshot->base: "the simple differential refresh
           algorithm is initiated by sending the last snapshot refresh time
           (SnapTime) ... to the base table" *)
+  | Batch of t list
+      (** transport coalescing: many data messages under one link header
+          and checksum.  The receiver unbatches before applying, so batch
+          boundaries never have protocol meaning; the commit-marking
+          {!Snaptime} is never batched. *)
 
 val is_data : t -> bool
 (** Messages counted by the paper's evaluation metric (everything except
-    the fixed {!Clear}/{!Snaptime} bracketing). *)
+    the fixed {!Clear}/{!Snaptime} bracketing).  A {!Batch} is data iff it
+    carries any data message. *)
+
+val batchable : t -> bool
+(** Messages a sender may coalesce into a {!Batch}: exactly the per-entry
+    data messages.  Control messages — in particular the commit-marking
+    {!Snaptime} — always travel alone, which guarantees any buffered
+    batch is flushed before the stream can commit. *)
+
+val logical_count : t -> int
+(** Number of protocol messages this value represents: the batch size for
+    a {!Batch} (recursively), 1 otherwise. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -172,7 +172,15 @@ let clear t =
 
 let subscribe t f = t.observers <- t.observers @ [ f ]
 
-let apply t (msg : Refresh_msg.t) =
+let rec apply t (msg : Refresh_msg.t) =
+  match msg with
+  | Refresh_msg.Batch ms ->
+    (* Unbatch before notifying: observers (cascades, message meters) see
+       the logical stream, never the transport coalescing. *)
+    List.iter (apply t) ms
+  | _ -> apply_single t msg
+
+and apply_single t (msg : Refresh_msg.t) =
   List.iter (fun f -> f msg) t.observers;
   match msg with
   | Entry { addr; prev_qual; values } ->
@@ -190,6 +198,9 @@ let apply t (msg : Refresh_msg.t) =
     (* Control messages flow the other way (snapshot -> base); receiving
        one here is harmless and means a loopback link. *)
     ()
+  | Batch ms ->
+    (* Unreachable via [apply], which unbatches first. *)
+    List.iter (apply t) ms
 
 (* ------------------------------------------------------------------ *)
 (* Atomic application of framed streams. *)

@@ -797,3 +797,117 @@ let faults_ablation ?(seed = 41) ?(n = 10_000) ?(q = 0.25) ?(rounds = 6) () =
       ( "partition, sends 4-12",
         fun l ~round -> if round = 1 then Link.inject_faults l ~partitions:[ (4, 12) ] ~seed () );
     ]
+
+type prune_row = {
+  prune_page_size : int;
+  prune_u_pct : float;
+  prune_n : int;
+  prune_pages : int;
+  pruned_scanned : int;
+  pruned_skipped : int;
+  pruned_msgs : int;
+  unpruned_scanned : int;
+  unpruned_msgs : int;
+  prune_identical : bool;
+}
+
+(* Scan pruning: the same update activity refreshed by a pruned and an
+   unpruned differential snapshot on one base table.  The unpruned scan
+   decodes every entry every time; the pruned scan decodes only pages
+   whose summary cannot prove them irrelevant, so its cost tracks change
+   volume.  Page size is swept because it is the pruning granularity: one
+   update dirties a whole page, so smaller pages isolate changes better. *)
+let prune_ablation ?(seed = 43) ?(n = 20_000) ?(u_list = [ 0.001; 0.01; 0.05; 0.2 ]) ()
+    =
+  let module Manager = Snapdiff_core.Manager in
+  let q = 0.25 in
+  let encode_contents snap =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun (addr, values) ->
+        Buffer.add_bytes buf
+          (Refresh_msg.encode (Refresh_msg.Upsert { addr; values })))
+      (Snapshot_table.contents snap);
+    Buffer.contents buf
+  in
+  let run_page_size page_size =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~page_size ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let mgr = Manager.create () in
+    Manager.register_base mgr base;
+    let mk name prune =
+      ignore
+        (Manager.create_snapshot mgr ~name ~base:"emp"
+           ~restrict:(Workload.restrict_fraction q) ~method_:Manager.Differential ~prune ()
+          : Manager.refresh_report)
+    in
+    mk "pruned" true;
+    mk "plain" false;
+    (* Warm-up refresh: the first pruned refresh pays one full decode to
+       build summaries and the qualification cache. *)
+    ignore (Manager.refresh mgr "pruned" : Manager.refresh_report);
+    ignore (Manager.refresh mgr "plain" : Manager.refresh_report);
+    List.map
+      (fun u ->
+        ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+        let rp = Manager.refresh mgr "pruned" in
+        let ru = Manager.refresh mgr "plain" in
+        let identical =
+          encode_contents (Manager.snapshot_table mgr "pruned")
+          = encode_contents (Manager.snapshot_table mgr "plain")
+        in
+        {
+          prune_page_size = page_size;
+          prune_u_pct = 100.0 *. u;
+          prune_n = n;
+          prune_pages = Base_table.data_pages base;
+          pruned_scanned = rp.Manager.entries_scanned;
+          pruned_skipped = rp.Manager.entries_skipped;
+          pruned_msgs = rp.Manager.data_messages;
+          unpruned_scanned = ru.Manager.entries_scanned;
+          unpruned_msgs = ru.Manager.data_messages;
+          prune_identical = identical;
+        })
+      u_list
+  in
+  List.concat_map run_page_size [ 4096; 512 ]
+
+type wire_batch_row = {
+  batch_u_pct : float;
+  batch_threshold : int;
+  batch_data_msgs : int;  (** logical data messages — the paper's metric *)
+  batch_frames : int;  (** physical frames on the wire *)
+  batch_logical : int;  (** logical messages carried, incl. bracketing *)
+  batch_bytes : int;
+}
+
+(* Batched transport at full selectivity and low churn: the per-message
+   framing overhead (link header + epoch/seq/checksum) dominates short
+   streams, and coalescing k data messages per frame divides the physical
+   message count by up to k without touching the logical stream. *)
+let wire_batching_ablation ?(seed = 47) ?(n = 20_000) ?(u_list = [ 0.01; 0.05 ]) () =
+  let module Manager = Snapdiff_core.Manager in
+  let run u threshold =
+    let clock = Clock.create () in
+    let base = Workload.make_base ~clock () in
+    let rng = Rng.create seed in
+    Workload.populate base ~rng ~n;
+    let mgr = Manager.create ~batch_size:threshold () in
+    Manager.register_base mgr base;
+    ignore
+      (Manager.create_snapshot mgr ~name:"s" ~base:"emp" ~method_:Manager.Differential ()
+        : Manager.refresh_report);
+    ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+    let r = Manager.refresh mgr "s" in
+    {
+      batch_u_pct = 100.0 *. u;
+      batch_threshold = threshold;
+      batch_data_msgs = r.Manager.data_messages;
+      batch_frames = r.Manager.link_messages;
+      batch_logical = r.Manager.link_logical_messages;
+      batch_bytes = r.Manager.link_bytes;
+    }
+  in
+  List.concat_map (fun u -> List.map (run u) [ 1; 8; 64 ]) u_list

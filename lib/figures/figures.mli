@@ -167,3 +167,39 @@ val faults_ablation :
     escalations measure the retry tax; [converged] checks the atomicity
     guarantee — a failed refresh keeps the old image and SnapTime, so a
     healed line always catches up in one refresh. *)
+
+type prune_row = {
+  prune_page_size : int;  (** pruning granularity under sweep *)
+  prune_u_pct : float;
+  prune_n : int;
+  prune_pages : int;
+  pruned_scanned : int;  (** entries the pruned refresh decoded *)
+  pruned_skipped : int;  (** entries proven irrelevant by page summaries *)
+  pruned_msgs : int;
+  unpruned_scanned : int;  (** always the full table *)
+  unpruned_msgs : int;
+  prune_identical : bool;  (** snapshot contents byte-identical after both *)
+}
+
+val prune_ablation :
+  ?seed:int -> ?n:int -> ?u_list:float list -> unit -> prune_row list
+(** Page-summary scan pruning: a pruned and an unpruned differential
+    snapshot over the same base table refresh after each activity burst;
+    the pruned scan's decode count tracks change volume while the
+    transmitted stream — hence snapshot contents — stays identical.  Page
+    size is swept because it is the pruning granularity. *)
+
+type wire_batch_row = {
+  batch_u_pct : float;
+  batch_threshold : int;  (** messages coalesced per frame (1 = batching off) *)
+  batch_data_msgs : int;  (** logical data messages — the paper's metric *)
+  batch_frames : int;  (** physical frames on the wire *)
+  batch_logical : int;  (** logical messages carried, incl. bracketing *)
+  batch_bytes : int;
+}
+
+val wire_batching_ablation :
+  ?seed:int -> ?n:int -> ?u_list:float list -> unit -> wire_batch_row list
+(** Batched refresh transport at 100% selectivity and low churn: physical
+    frame count falls up to [batch_threshold]-fold while the logical
+    data-message count is unchanged. *)

@@ -2,6 +2,7 @@ exception Link_down of string
 
 type stats = {
   messages : int;
+  logical_messages : int;
   bytes : int;
   payload_bytes : int;
   dropped : int;
@@ -13,6 +14,7 @@ type stats = {
 let zero_stats =
   {
     messages = 0;
+    logical_messages = 0;
     bytes = 0;
     payload_bytes = 0;
     dropped = 0;
@@ -24,6 +26,7 @@ let zero_stats =
 let add_stats a b =
   {
     messages = a.messages + b.messages;
+    logical_messages = a.logical_messages + b.logical_messages;
     bytes = a.bytes + b.bytes;
     payload_bytes = a.payload_bytes + b.payload_bytes;
     dropped = a.dropped + b.dropped;
@@ -33,8 +36,8 @@ let add_stats a b =
   }
 
 let pp_stats ppf s =
-  Format.fprintf ppf "%d msgs, %d bytes (%d payload), %d dropped" s.messages s.bytes
-    s.payload_bytes s.dropped;
+  Format.fprintf ppf "%d msgs (%d logical), %d bytes (%d payload), %d dropped" s.messages
+    s.logical_messages s.bytes s.payload_bytes s.dropped;
   if s.injected_drops + s.injected_corruptions + s.injected_failures > 0 then
     Format.fprintf ppf " [faults: %d lost, %d corrupted, %d outages]" s.injected_drops
       s.injected_corruptions s.injected_failures
@@ -142,11 +145,12 @@ let consult_faults t =
       `Corrupt (Rng.int f.frng max_int)
     else `Deliver
 
-let account t n =
+let account t ~logical n =
   t.stats <-
     {
       t.stats with
       messages = t.stats.messages + 1;
+      logical_messages = t.stats.logical_messages + logical;
       bytes = t.stats.bytes + t.header_bytes + n;
       payload_bytes = t.stats.payload_bytes + n;
     };
@@ -154,7 +158,7 @@ let account t n =
     t.simulated_us +. t.latency_us
     +. (1_000_000.0 *. float_of_int (t.header_bytes + n) /. t.bytes_per_sec)
 
-let send t payload =
+let send t ?(logical = 1) payload =
   if not t.up then begin
     count_drop t;
     raise (Link_down t.link_name)
@@ -169,11 +173,11 @@ let send t payload =
       raise (Link_down t.link_name)
     | `Lose ->
       (* The message occupied the wire but never arrived. *)
-      account t (Bytes.length payload);
+      account t ~logical (Bytes.length payload);
       count_drop t;
       t.stats <- { t.stats with injected_drops = t.stats.injected_drops + 1 }
     | `Corrupt salt ->
-      account t (Bytes.length payload);
+      account t ~logical (Bytes.length payload);
       t.stats <- { t.stats with injected_corruptions = t.stats.injected_corruptions + 1 };
       let garbled = Bytes.copy payload in
       if Bytes.length garbled > 0 then begin
@@ -183,10 +187,10 @@ let send t payload =
       end;
       f garbled
     | `Deliver ->
-      account t (Bytes.length payload);
+      account t ~logical (Bytes.length payload);
       f payload)
 
-let try_send t payload =
-  match send t payload with
+let try_send t ?logical payload =
+  match send t ?logical payload with
   | () -> true
   | exception Link_down _ -> false

@@ -15,7 +15,10 @@
 exception Link_down of string
 
 type stats = {
-  messages : int;
+  messages : int;  (** physical frames put on the wire *)
+  logical_messages : int;
+      (** refresh-protocol messages carried by those frames; equals
+          [messages] unless senders batch (see {!Snapdiff_core.Refresh_msg.Batch}) *)
   bytes : int;  (** includes per-message header overhead *)
   payload_bytes : int;
   dropped : int;  (** sends that did not reach the receiver, any cause *)
@@ -58,14 +61,16 @@ val name : t -> string
 val attach : t -> (bytes -> unit) -> unit
 (** Install the receiving end.  Replaces any previous receiver. *)
 
-val send : t -> bytes -> unit
+val send : t -> ?logical:int -> bytes -> unit
 (** Deliver synchronously.  Raises {!Link_down} (after counting the drop)
     if the link is down or an injected outage fires; raises [Failure] if
     no receiver is attached.  Under an armed fault plan the message may
     also be silently lost or delivered corrupted — the sender cannot
-    tell, which is the point. *)
+    tell, which is the point.  [logical] (default 1) is the number of
+    protocol messages this frame carries, for the paper's message-count
+    metric when frames are batched. *)
 
-val try_send : t -> bytes -> bool
+val try_send : t -> ?logical:int -> bytes -> bool
 (** Like {!send} but returns [false] instead of raising when down. *)
 
 val is_up : t -> bool

@@ -498,9 +498,11 @@ let populate_query_snapshot t qs =
     method_used = Manager.Used_full;
     new_snaptime = now;
     entries_scanned = List.length rows;
+    entries_skipped = 0;
     fixup_writes = 0;
     data_messages = List.length rows;
     link_messages = after.Link.messages - before.Link.messages;
+    link_logical_messages = after.Link.logical_messages - before.Link.logical_messages;
     link_bytes = after.Link.bytes - before.Link.bytes;
     tail_suppressed = false;
     log_records_scanned = 0;
@@ -756,9 +758,11 @@ let execute t (stmt : Ast.stmt) =
             method_used = Manager.Used_full;
             new_snaptime = Snapshot_table.snaptime (Cascade.table cascade);
             entries_scanned = Snapshot_table.count parent;
+            entries_skipped = 0;
             fixup_writes = 0;
             data_messages = Cascade.messages_forwarded cascade;
             link_messages = stats.Link.messages;
+            link_logical_messages = stats.Link.logical_messages;
             link_bytes = stats.Link.bytes;
             tail_suppressed = false;
             log_records_scanned = 0;

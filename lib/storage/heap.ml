@@ -160,18 +160,24 @@ let delete t addr =
     if Addr.page addr < t.insert_hint then t.insert_hint <- Addr.page addr
   | None -> raise Not_found
 
+let iter_page t ~page:p f =
+  let store = Buffer_pool.store t.pool in
+  if p < 1 || p >= Page_store.page_count store then
+    invalid_arg "Heap.iter_page: no such data page";
+  (* Snapshot the live slots first so the callback may mutate the page
+     (the combined fix-up/refresh scan updates the entry it visits). *)
+  let slots =
+    Buffer_pool.with_page t.pool p (fun page ->
+        (`Clean, Page.fold_live page ~init:[] ~f:(fun acc slot record -> (slot, record) :: acc)))
+  in
+  List.iter
+    (fun (slot, record) -> f (Addr.make ~page:p ~slot) (Tuple.decode_exactly record))
+    (List.rev slots)
+
 let iter t f =
   let store = Buffer_pool.store t.pool in
   for p = 1 to Page_store.page_count store - 1 do
-    (* Snapshot the live slots first so the callback may mutate the page
-       (the combined fix-up/refresh scan updates the entry it visits). *)
-    let slots =
-      Buffer_pool.with_page t.pool p (fun page ->
-          (`Clean, Page.fold_live page ~init:[] ~f:(fun acc slot record -> (slot, record) :: acc)))
-    in
-    List.iter
-      (fun (slot, record) -> f (Addr.make ~page:p ~slot) (Tuple.decode_exactly record))
-      (List.rev slots)
+    iter_page t ~page:p f
   done
 
 let fold t ~init ~f =

@@ -57,6 +57,13 @@ val delete : t -> Addr.t -> unit
 
 val iter : t -> (Addr.t -> Tuple.t -> unit) -> unit
 
+val iter_page : t -> page:int -> (Addr.t -> Tuple.t -> unit) -> unit
+(** Visit the live entries of one data page in slot order — {!iter}
+    restricted to page [page] ([1 <= page <= data_pages]).  The page-wise
+    scans of the pruned refresh path drive this directly so they can skip
+    whole pages without decoding them.  Raises [Invalid_argument] for a
+    page outside the store. *)
+
 val fold : t -> init:'a -> f:('a -> Addr.t -> Tuple.t -> 'a) -> 'a
 
 val to_list : t -> (Addr.t * Tuple.t) list
