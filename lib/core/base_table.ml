@@ -2,6 +2,11 @@ open Snapdiff_storage
 open Snapdiff_txn
 module Change_log = Snapdiff_changelog.Change_log
 module Int_btree = Snapdiff_index.Btree.Make (Int)
+module Metrics = Snapdiff_obs.Metrics
+
+let m_inserts = Metrics.counter Metrics.global "basetable.inserts"
+let m_updates = Metrics.counter Metrics.global "basetable.updates"
+let m_deletes = Metrics.counter Metrics.global "basetable.deletes"
 
 type mode = Eager | Deferred
 
@@ -198,6 +203,7 @@ let insert t user_tuple =
          { Annotations.prev_addr = Some prev; timestamp = Some now }));
   Int_btree.insert t.live addr ();
   t.mutation_count <- t.mutation_count + 1;
+  Metrics.incr m_inserts;
   notify t (Change_log.Insert (addr, user_tuple));
   log_op t (fun txn ->
       Snapdiff_wal.Record.Insert
@@ -220,6 +226,7 @@ let update t addr user_tuple =
   invalidate_summary t addr;
   Heap.update t.heap addr (Annotations.annotate user_tuple new_ann);
   t.mutation_count <- t.mutation_count + 1;
+  Metrics.incr m_updates;
   notify t (Change_log.Update (addr, old_user, user_tuple));
   log_op t (fun txn ->
       Snapdiff_wal.Record.Update
@@ -263,6 +270,7 @@ let delete t addr =
          the refresh algorithm's unconditional tail message covers it. *)
       ()));
   t.mutation_count <- t.mutation_count + 1;
+  Metrics.incr m_deletes;
   notify t (Change_log.Delete (addr, old_user));
   log_op t (fun txn ->
       Snapdiff_wal.Record.Delete

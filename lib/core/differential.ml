@@ -1,5 +1,12 @@
 open Snapdiff_storage
 open Snapdiff_txn
+module Metrics = Snapdiff_obs.Metrics
+
+let m_entries_decoded = Metrics.counter Metrics.global "refresh.entries_decoded"
+let m_entries_pruned = Metrics.counter Metrics.global "refresh.entries_pruned"
+let m_pages_decoded = Metrics.counter Metrics.global "refresh.pages_decoded"
+let m_pages_skipped = Metrics.counter Metrics.global "refresh.pages_skipped"
+let m_fixup_writes = Metrics.counter Metrics.global "refresh.fixup_writes"
 
 module Prune_cache = struct
   type entry = { token : int; page_last_qual : Addr.t option }
@@ -174,6 +181,11 @@ let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project
   in
   if not tail_suppressed then send (Refresh_msg.Tail { last_qual = !last_qual });
   send (Refresh_msg.Snaptime now);
+  Metrics.add m_entries_decoded !scanned;
+  Metrics.add m_entries_pruned !skipped;
+  Metrics.add m_pages_decoded !pages_decoded;
+  Metrics.add m_pages_skipped !pages_skipped;
+  Metrics.add m_fixup_writes !fixup_writes;
   {
     new_snaptime = now;
     entries_scanned = !scanned;

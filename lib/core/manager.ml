@@ -8,6 +8,18 @@ module Change_log = Snapdiff_changelog.Change_log
 module Link = Snapdiff_net.Link
 module Model = Snapdiff_analysis.Model
 module Wal = Snapdiff_wal.Wal
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+
+let m_refreshes = Metrics.counter Metrics.global "refresh.refreshes"
+let m_attempts = Metrics.counter Metrics.global "refresh.attempts"
+let m_aborted_streams = Metrics.counter Metrics.global "refresh.aborted_streams"
+let m_escalations = Metrics.counter Metrics.global "refresh.escalations"
+let m_failures = Metrics.counter Metrics.global "refresh.failures"
+let m_data_messages = Metrics.counter Metrics.global "refresh.data_messages"
+let m_entries_scanned = Metrics.counter Metrics.global "refresh.entries_scanned"
+let h_duration = Metrics.histogram Metrics.global "refresh.duration_us"
+let h_backoff = Metrics.histogram Metrics.global "refresh.backoff_us"
 
 let log_src = Logs.Src.create "snapdiff.refresh" ~doc:"snapshot refresh events"
 
@@ -423,22 +435,29 @@ let attempt_refresh t s ~epoch ~prime ~send_request method_used =
   (* "The refresh algorithm is initiated by sending the last snapshot
      refresh time (SnapTime) ... to the base table." *)
   if send_request then
-    Link.send s.request_link
-      (Refresh_msg.encode (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table }));
+    Trace.with_span "refresh.request" ~attrs:[ ("snapshot", s.snap_name) ] (fun () ->
+        Link.send s.request_link
+          (Refresh_msg.encode
+             (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table })));
   let lock_mode = if prime then Lock.X else lock_mode_for b s method_used in
   with_table_lock t b lock_mode (fun () ->
       let before = Link.stats s.link in
       let fixups =
-        if prime then begin
-          (* Idempotent, so re-running it on a retried attempt is safe. *)
-          ignore (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b)) : Fixup.stats);
-          0
-        end
-        else if needs_priming_fixup b s method_used then
-          (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b))).Fixup.writes
+        if prime || needs_priming_fixup b s method_used then
+          Trace.with_span "refresh.fixup" ~attrs:[ ("snapshot", s.snap_name) ] (fun () ->
+              let writes =
+                (Fixup.run b ~fixup_time:(Clock.tick (Base_table.clock b))).Fixup.writes
+              in
+              (* A priming fix-up is idempotent (safe to re-run on a retried
+                 attempt) and its writes are not charged to the report. *)
+              if prime then 0 else writes)
         else 0
       in
-      let report, on_commit = run_method t s ~epoch method_used in
+      let report, on_commit =
+        Trace.with_span "refresh.scan"
+          ~attrs:[ ("snapshot", s.snap_name); ("method", method_name method_used) ]
+          (fun () -> run_method t s ~epoch method_used)
+      in
       let after = Link.stats s.link in
       ( {
           report with
@@ -467,9 +486,12 @@ let backoff_delay t ~failures =
 let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () =
   let p = t.retry in
   let backoff_total = ref 0.0 in
+  let t_start = Trace.now_us () in
   let rec go attempt =
+    Metrics.incr m_attempts;
     let failures = attempt - 1 in
     let escalated = p.escalate_after > 0 && failures >= p.escalate_after in
+    if escalated && failures = p.escalate_after then Metrics.incr m_escalations;
     let method_used = if escalated then Used_full else choose t s in
     let epoch = s.next_epoch in
     s.next_epoch <- epoch + 1;
@@ -491,6 +513,10 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () 
         { report with attempts = attempt; aborts = failures; escalated;
           backoff_us = !backoff_total }
       in
+      Metrics.incr m_refreshes;
+      Metrics.add m_data_messages report.data_messages;
+      Metrics.add m_entries_scanned report.entries_scanned;
+      Metrics.observe h_duration (Trace.now_us () -. t_start);
       Log.info (fun m ->
           m "refresh %s via %s: %d data msgs, %d bytes, %d fixups, snaptime %d%s"
             report.snapshot (method_name report.method_used) report.data_messages
@@ -502,13 +528,24 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () 
       report
     | Error reason ->
       Snapshot_table.discard_stage s.table ~reason;
+      Metrics.incr m_aborted_streams;
       Log.info (fun m ->
           m "refresh %s attempt %d/%d failed: %s" s.snap_name attempt p.max_attempts reason);
-      if attempt >= p.max_attempts then
+      if attempt >= p.max_attempts then begin
+        Metrics.incr m_failures;
+        Metrics.observe h_duration (Trace.now_us () -. t_start);
         raise (Refresh_failed { snapshot = s.snap_name; attempts = attempt; reason })
+      end
       else begin
         let d = backoff_delay t ~failures:(failures + 1) in
         backoff_total := !backoff_total +. d;
+        Metrics.observe h_backoff d;
+        Trace.event "refresh.retry"
+          ~attrs:
+            [ ("snapshot", s.snap_name);
+              ("attempt", string_of_int attempt);
+              ("reason", reason);
+              ("backoff_us", Printf.sprintf "%.0f" d) ];
         Link.advance_time s.link d;
         (* The transport layer re-establishes a dead link after backoff;
            an armed fault plan stays armed and may kill it again. *)
@@ -516,7 +553,7 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () 
         go (attempt + 1)
       end
   in
-  go 1
+  Trace.with_span "refresh" ~attrs:[ ("snapshot", s.snap_name) ] (fun () -> go 1)
 
 let refresh_snapshot t s =
   refresh_with_retries t s

@@ -1,6 +1,11 @@
 open Snapdiff_storage
 open Snapdiff_txn
 module Int_btree = Snapdiff_index.Btree.Make (Int)
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+
+let m_stream_commits = Metrics.counter Metrics.global "snapshot.stream_commits"
+let m_stream_aborts = Metrics.counter Metrics.global "snapshot.stream_aborts"
 
 module Value_btree = Snapdiff_index.Btree.Make (struct
   type t = Value.t
@@ -213,7 +218,10 @@ let discard_stage t ~reason =
   | Some _ ->
     t.stage <- None;
     t.aborts <- t.aborts + 1;
-    t.last_abort <- Some reason
+    t.last_abort <- Some reason;
+    Metrics.incr m_stream_aborts;
+    Trace.event "refresh.discard"
+      ~attrs:[ ("snapshot", t.snap_name); ("reason", reason) ]
 
 (* Mark the in-flight stream bad; it will be discarded at its commit
    marker (or when the next epoch supersedes it).  Corruption can garble
@@ -256,10 +264,14 @@ let apply_framed t { Refresh_msg.epoch; seq; msg } =
     | Some reason -> discard_stage t ~reason
     | None ->
       t.stage <- None;
-      List.iter (apply t) (List.rev st.staged);
-      apply t msg;
+      Trace.with_span "refresh.apply"
+        ~attrs:[ ("snapshot", t.snap_name); ("epoch", string_of_int epoch) ]
+        (fun () ->
+          List.iter (apply t) (List.rev st.staged);
+          apply t msg);
       t.commits <- t.commits + 1;
-      t.committed_epoch <- epoch)
+      t.committed_epoch <- epoch;
+      Metrics.incr m_stream_commits)
   | _ -> st.staged <- msg :: st.staged
 
 let apply_bytes t b =

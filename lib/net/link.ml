@@ -1,3 +1,14 @@
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+
+let m_frames = Metrics.counter Metrics.global "link.frames"
+let m_logical = Metrics.counter Metrics.global "link.logical_messages"
+let m_bytes = Metrics.counter Metrics.global "link.bytes"
+let m_dropped = Metrics.counter Metrics.global "link.dropped"
+let m_fault_drops = Metrics.counter Metrics.global "link.fault_drops"
+let m_fault_corruptions = Metrics.counter Metrics.global "link.fault_corruptions"
+let m_fault_outages = Metrics.counter Metrics.global "link.fault_outages"
+
 exception Link_down of string
 
 type stats = {
@@ -118,7 +129,9 @@ let clear_faults t = t.faults <- None
 
 let faults_active t = t.faults <> None
 
-let count_drop t = t.stats <- { t.stats with dropped = t.stats.dropped + 1 }
+let count_drop t =
+  t.stats <- { t.stats with dropped = t.stats.dropped + 1 };
+  Metrics.incr m_dropped
 
 (* Decide this send's fate under the armed fault plan.  Outages (one-shot
    fail-after and partition windows) surface to the sender as Link_down;
@@ -154,6 +167,9 @@ let account t ~logical n =
       bytes = t.stats.bytes + t.header_bytes + n;
       payload_bytes = t.stats.payload_bytes + n;
     };
+  Metrics.incr m_frames;
+  Metrics.add m_logical logical;
+  Metrics.add m_bytes (t.header_bytes + n);
   t.simulated_us <-
     t.simulated_us +. t.latency_us
     +. (1_000_000.0 *. float_of_int (t.header_bytes + n) /. t.bytes_per_sec)
@@ -170,15 +186,21 @@ let send t ?(logical = 1) payload =
     | `Outage ->
       count_drop t;
       t.stats <- { t.stats with injected_failures = t.stats.injected_failures + 1 };
+      Metrics.incr m_fault_outages;
+      Trace.event "link.fault" ~attrs:[ ("link", t.link_name); ("kind", "outage") ];
       raise (Link_down t.link_name)
     | `Lose ->
       (* The message occupied the wire but never arrived. *)
       account t ~logical (Bytes.length payload);
       count_drop t;
-      t.stats <- { t.stats with injected_drops = t.stats.injected_drops + 1 }
+      t.stats <- { t.stats with injected_drops = t.stats.injected_drops + 1 };
+      Metrics.incr m_fault_drops;
+      Trace.event "link.fault" ~attrs:[ ("link", t.link_name); ("kind", "drop") ]
     | `Corrupt salt ->
       account t ~logical (Bytes.length payload);
       t.stats <- { t.stats with injected_corruptions = t.stats.injected_corruptions + 1 };
+      Metrics.incr m_fault_corruptions;
+      Trace.event "link.fault" ~attrs:[ ("link", t.link_name); ("kind", "corrupt") ];
       let garbled = Bytes.copy payload in
       if Bytes.length garbled > 0 then begin
         let i = salt mod Bytes.length garbled in

@@ -1,0 +1,209 @@
+module Stats = Snapdiff_util.Stats
+
+type counter = { mutable count : int }
+
+type gauge = { mutable level : float }
+
+(* Bucket 0 holds values in [0, 1); bucket i >= 1 holds [2^(i-1), 2^i).
+   40 power-of-two buckets span sub-microsecond to ~9 simulated minutes,
+   which covers every latency this system can produce. *)
+let bucket_count = 40
+
+type histogram = {
+  buckets : int array;
+  mutable acc : Stats.Accumulator.t;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type t = { metrics : (string, metric) Hashtbl.t }
+
+exception Kind_mismatch of string
+
+let create () = { metrics = Hashtbl.create 64 }
+
+(* The process-global registry every component attaches to. *)
+let global = create ()
+
+let counter t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Counter c) -> c
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.replace t.metrics name (Counter c);
+    c
+
+let gauge t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Gauge g) -> g
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+    let g = { level = 0.0 } in
+    Hashtbl.replace t.metrics name (Gauge g);
+    g
+
+let histogram t name =
+  match Hashtbl.find_opt t.metrics name with
+  | Some (Histogram h) -> h
+  | Some _ -> raise (Kind_mismatch name)
+  | None ->
+    let h = { buckets = Array.make bucket_count 0; acc = Stats.Accumulator.create () } in
+    Hashtbl.replace t.metrics name (Histogram h);
+    h
+
+let incr c = c.count <- c.count + 1
+
+let add c n = c.count <- c.count + n
+
+let value c = c.count
+
+let set g v = g.level <- v
+
+let shift g d = g.level <- g.level +. d
+
+let level g = g.level
+
+let bucket_of v =
+  if v < 1.0 then 0
+  else begin
+    let i = 1 + int_of_float (Float.log2 v) in
+    if i < 1 then 1 else if i >= bucket_count then bucket_count - 1 else i
+  end
+
+let observe h v =
+  let v = Float.max 0.0 v in
+  let i = bucket_of v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  Stats.Accumulator.add h.acc v
+
+let observations h = Stats.Accumulator.n h.acc
+
+let hist_mean h = Stats.Accumulator.mean h.acc
+
+let hist_max h = Stats.Accumulator.max h.acc
+
+let hist_min h = Stats.Accumulator.min h.acc
+
+(* Quantile estimate from the log buckets: find the bucket holding the
+   target rank and interpolate linearly inside it.  Clamped to the exact
+   observed min/max so single-sample and narrow histograms stay honest. *)
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of range";
+  let n = Stats.Accumulator.n h.acc in
+  if n = 0 then 0.0
+  else begin
+    let target = q *. float_of_int n in
+    let rec walk i cum =
+      if i >= bucket_count then Stats.Accumulator.max h.acc
+      else begin
+        let c = h.buckets.(i) in
+        if c > 0 && float_of_int (cum + c) >= target then begin
+          let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
+          let hi = Float.pow 2.0 (float_of_int i) in
+          let frac = Float.max 0.0 (target -. float_of_int cum) /. float_of_int c in
+          let est = lo +. (frac *. (hi -. lo)) in
+          Float.min (Stats.Accumulator.max h.acc)
+            (Float.max (Stats.Accumulator.min h.acc) est)
+        end
+        else walk (i + 1) (cum + c)
+      end
+    in
+    walk 0 0
+  end
+
+let counter_value t name =
+  match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.count | _ -> 0
+
+let gauge_level t name =
+  match Hashtbl.find_opt t.metrics name with Some (Gauge g) -> g.level | _ -> 0.0
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [])
+
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.count <- 0
+      | Gauge g -> g.level <- 0.0
+      | Histogram h ->
+        Array.fill h.buckets 0 bucket_count 0;
+        h.acc <- Stats.Accumulator.create ())
+    t.metrics
+
+let sorted_items t =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.metrics [])
+
+let dump ppf t =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c -> Format.fprintf ppf "%-40s %d@." name c.count
+      | Gauge g -> Format.fprintf ppf "%-40s %.1f@." name g.level
+      | Histogram h ->
+        if observations h = 0 then Format.fprintf ppf "%-40s (no samples)@." name
+        else
+          Format.fprintf ppf
+            "%-40s n=%d mean=%.1fus p50=%.1f p95=%.1f p99=%.1f max=%.1f@." name
+            (observations h) (hist_mean h) (quantile h 0.5) (quantile h 0.95)
+            (quantile h 0.99) (hist_max h))
+    (sorted_items t)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let dump_json t =
+  let buf = Buffer.create 1024 in
+  let section kind keep emit =
+    Printf.bprintf buf "\"%s\": {" kind;
+    let first = ref true in
+    List.iter
+      (fun (name, m) ->
+        if keep m then begin
+          if not !first then Buffer.add_string buf ", ";
+          first := false;
+          Printf.bprintf buf "\"%s\": " (json_escape name);
+          emit m
+        end)
+      (sorted_items t);
+    Buffer.add_char buf '}'
+  in
+  Buffer.add_char buf '{';
+  section "counters"
+    (function Counter _ -> true | _ -> false)
+    (function Counter c -> Printf.bprintf buf "%d" c.count | _ -> ());
+  Buffer.add_string buf ", ";
+  section "gauges"
+    (function Gauge _ -> true | _ -> false)
+    (function Gauge g -> Printf.bprintf buf "%.3f" g.level | _ -> ());
+  Buffer.add_string buf ", ";
+  section "histograms"
+    (function Histogram _ -> true | _ -> false)
+    (function
+      | Histogram h ->
+        if observations h = 0 then Buffer.add_string buf "{\"n\": 0}"
+        else
+          Printf.bprintf buf
+            "{\"n\": %d, \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, \"p99\": \
+             %.3f, \"min\": %.3f, \"max\": %.3f}"
+            (observations h) (hist_mean h) (quantile h 0.5) (quantile h 0.95)
+            (quantile h 0.99) (hist_min h) (hist_max h)
+      | _ -> ());
+  Buffer.add_char buf '}';
+  Buffer.contents buf

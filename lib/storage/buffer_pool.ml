@@ -1,3 +1,12 @@
+module Metrics = Snapdiff_obs.Metrics
+
+(* Per-pool stats stay on the pool (see {!stats}); these global handles
+   aggregate across every pool in the process for [snapshotdb stats]. *)
+let m_hits = Metrics.counter Metrics.global "bufferpool.hits"
+let m_misses = Metrics.counter Metrics.global "bufferpool.misses"
+let m_evictions = Metrics.counter Metrics.global "bufferpool.evictions"
+let m_writebacks = Metrics.counter Metrics.global "bufferpool.writebacks"
+
 type policy = Lru | Second_chance
 
 type frame = {
@@ -50,7 +59,8 @@ let writeback t frame =
   if frame.dirty then begin
     Page_store.write t.store frame.page_no (Page.bytes frame.page);
     frame.dirty <- false;
-    t.writebacks <- t.writebacks + 1
+    t.writebacks <- t.writebacks + 1;
+    Metrics.incr m_writebacks
   end
 
 let evict_lru t =
@@ -70,7 +80,8 @@ let evict_lru t =
   | Some f ->
     writeback t f;
     Hashtbl.remove t.frames f.page_no;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Metrics.incr m_evictions
 
 let evict_second_chance t =
   (* Sweep the ring: a referenced or pinned frame gets a second chance. *)
@@ -92,7 +103,8 @@ let evict_second_chance t =
         else begin
           writeback t f;
           Hashtbl.remove t.frames page_no;
-          t.evictions <- t.evictions + 1
+          t.evictions <- t.evictions + 1;
+          Metrics.incr m_evictions
         end
     end
   in
@@ -105,9 +117,11 @@ let get_frame t n =
   match Hashtbl.find_opt t.frames n with
   | Some f ->
     t.hits <- t.hits + 1;
+    Metrics.incr m_hits;
     f
   | None ->
     t.misses <- t.misses + 1;
+    Metrics.incr m_misses;
     if Hashtbl.length t.frames >= t.capacity then evict_one t;
     let image = Page_store.read t.store n in
     let f =

@@ -1,3 +1,13 @@
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+
+let m_acquires = Metrics.counter Metrics.global "lock.acquires"
+let m_grants = Metrics.counter Metrics.global "lock.grants"
+let m_waits = Metrics.counter Metrics.global "lock.waits"
+let m_deadlocks = Metrics.counter Metrics.global "lock.deadlocks"
+let m_wakeups = Metrics.counter Metrics.global "lock.wakeups"
+let m_queue_depth = Metrics.gauge Metrics.global "lock.queue_depth"
+
 type mode = IS | IX | S | SIX | X
 
 let mode_name = function
@@ -43,7 +53,10 @@ type t = {
   granted : (resource, (txn_id, mode) Hashtbl.t) Hashtbl.t;
   queues : (resource, request list ref) Hashtbl.t;  (* FIFO: head first *)
   held : (txn_id, (resource, unit) Hashtbl.t) Hashtbl.t;
-  waits : (txn_id, resource) Hashtbl.t;  (* queued requests, possibly several *)
+  waits : (txn_id, (resource, unit) Hashtbl.t) Hashtbl.t;
+      (* every resource the txn has a queued request on — a txn blocked on
+         one resource can go on to queue on others, and the deadlock
+         detector must see all of its outgoing edges *)
 }
 
 let create () =
@@ -80,6 +93,9 @@ let waiting t res =
   | None -> []
   | Some q -> List.map (fun r -> (r.txn, r.mode)) !q
 
+let queued_resources t =
+  Hashtbl.fold (fun res q acc -> if !q <> [] then res :: acc else acc) t.queues []
+
 let holds t txn res =
   match Hashtbl.find_opt t.granted res with
   | None -> None
@@ -95,6 +111,29 @@ let note_held t txn res =
       s
   in
   Hashtbl.replace set res ()
+
+let note_wait t txn res =
+  let set =
+    match Hashtbl.find_opt t.waits txn with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 4 in
+      Hashtbl.replace t.waits txn s;
+      s
+  in
+  Hashtbl.replace set res ()
+
+let forget_wait t txn res =
+  match Hashtbl.find_opt t.waits txn with
+  | None -> ()
+  | Some s ->
+    Hashtbl.remove s res;
+    if Hashtbl.length s = 0 then Hashtbl.remove t.waits txn
+
+let waited_resources t txn =
+  match Hashtbl.find_opt t.waits txn with
+  | None -> []
+  | Some s -> Hashtbl.fold (fun res () acc -> res :: acc) s []
 
 (* Transactions blocking [txn]'s queued request on [res]: incompatible
    holders plus everything queued ahead of it. *)
@@ -119,8 +158,8 @@ let blockers t txn res mode =
   List.sort_uniq Int.compare (hs @ ahead)
 
 (* Would adding edge [txn -> blockers(res)] close a cycle?  Walk the
-   waits-for graph: a waiting transaction points at the blockers of its
-   queued requests. *)
+   waits-for graph: a waiting transaction points at the blockers of every
+   one of its queued requests, not just the most recent one. *)
 let creates_deadlock t txn res mode =
   let visited = Hashtbl.create 16 in
   let rec reaches_txn from =
@@ -129,20 +168,16 @@ let creates_deadlock t txn res mode =
     else begin
       Hashtbl.replace visited from ();
       let next =
-        Hashtbl.fold
-          (fun waiter wres acc ->
-            if waiter = from then
-              let wmode =
-                match Hashtbl.find_opt t.queues wres with
-                | None -> None
-                | Some q ->
-                  List.find_map (fun r -> if r.txn = waiter then Some r.mode else None) !q
-              in
-              match wmode with
-              | None -> acc
-              | Some m -> blockers t waiter wres m @ acc
-            else acc)
-          t.waits []
+        List.concat_map
+          (fun wres ->
+            let wmode =
+              match Hashtbl.find_opt t.queues wres with
+              | None -> None
+              | Some q ->
+                List.find_map (fun r -> if r.txn = from then Some r.mode else None) !q
+            in
+            match wmode with None -> [] | Some m -> blockers t from wres m)
+          (waited_resources t from)
       in
       List.exists reaches_txn next
     end
@@ -156,18 +191,23 @@ let grantable t txn res mode =
 
 let enqueue t txn res mode =
   let q = queue_ref t res in
-  if not (List.exists (fun r -> r.txn = txn && r.mode = mode) !q) then
+  if not (List.exists (fun r -> r.txn = txn && r.mode = mode) !q) then begin
     q := !q @ [ { txn; mode } ];
-  Hashtbl.replace t.waits txn res
+    Metrics.shift m_queue_depth 1.0
+  end;
+  note_wait t txn res
 
 let acquire t txn res mode =
+  Metrics.incr m_acquires;
   let target =
     match holds t txn res with
     | Some held -> supremum held mode
     | None -> mode
   in
   match holds t txn res with
-  | Some held when covers held mode -> `Granted
+  | Some held when covers held mode ->
+    Metrics.incr m_grants;
+    `Granted
   | _ ->
     let queue_empty_for_us =
       match Hashtbl.find_opt t.queues res with
@@ -177,11 +217,20 @@ let acquire t txn res mode =
     if grantable t txn res target && queue_empty_for_us then begin
       Hashtbl.replace (holders_tbl t res) txn target;
       note_held t txn res;
+      Metrics.incr m_grants;
       `Granted
     end
-    else if creates_deadlock t txn res target then `Deadlock
+    else if creates_deadlock t txn res target then begin
+      Metrics.incr m_deadlocks;
+      Trace.event "lock.deadlock"
+        ~attrs:
+          [ ("txn", string_of_int txn);
+            ("resource", Format.asprintf "%a" pp_resource res) ];
+      `Deadlock
+    end
     else begin
       enqueue t txn res target;
+      Metrics.incr m_waits;
       `Would_block (blockers t txn res target)
     end
 
@@ -204,14 +253,32 @@ let try_grant_queued t res =
           Hashtbl.replace (holders_tbl t res) r.txn target;
           note_held t r.txn res;
           q := rest;
+          Metrics.shift m_queue_depth (-1.0);
           if not (List.exists (fun r' -> r'.txn = r.txn) rest) then
-            Hashtbl.remove t.waits r.txn;
+            forget_wait t r.txn res;
+          Metrics.incr m_wakeups;
           granted := r.txn :: !granted;
           go ()
         end
     in
     go ();
     List.rev !granted
+
+(* Drop every queued request of [txn] and report which queues actually
+   shortened — each of those may now have a grantable head (the departing
+   request could have been the only thing ahead of it). *)
+let remove_queued t txn =
+  Hashtbl.fold
+    (fun res q acc ->
+      let before = List.length !q in
+      q := List.filter (fun r -> r.txn <> txn) !q;
+      let removed = before - List.length !q in
+      if removed > 0 then begin
+        Metrics.shift m_queue_depth (float_of_int (-removed));
+        res :: acc
+      end
+      else acc)
+    t.queues []
 
 let release_all t txn =
   let resources =
@@ -228,15 +295,20 @@ let release_all t txn =
       | None -> ())
     resources;
   Hashtbl.remove t.held txn;
-  (* Drop queued requests of this txn everywhere. *)
-  Hashtbl.iter (fun _ q -> q := List.filter (fun r -> r.txn <> txn) !q) t.queues;
+  let shortened = remove_queued t txn in
   Hashtbl.remove t.waits txn;
-  let woken = List.concat_map (fun res -> try_grant_queued t res) resources in
+  (* Re-drive grant on every queue this departure could unblock: resources
+     the txn held AND resources where its queued requests stood ahead of
+     other waiters. *)
+  let candidates = List.sort_uniq compare (resources @ shortened) in
+  let woken = List.concat_map (fun res -> try_grant_queued t res) candidates in
   List.sort_uniq Int.compare woken
 
 let cancel_waits t txn =
-  Hashtbl.iter (fun _ q -> q := List.filter (fun r -> r.txn <> txn) !q) t.queues;
-  Hashtbl.remove t.waits txn
+  let shortened = remove_queued t txn in
+  Hashtbl.remove t.waits txn;
+  let woken = List.concat_map (fun res -> try_grant_queued t res) shortened in
+  List.sort_uniq Int.compare woken
 
 let lock_count t =
   Hashtbl.fold (fun _ h acc -> acc + Hashtbl.length h) t.granted 0

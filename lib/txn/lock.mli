@@ -50,14 +50,21 @@ val release_all : t -> txn_id -> txn_id list
 (** Drop every lock and queued request of the transaction; returns the
     transactions whose queued requests became granted as a result. *)
 
-val cancel_waits : t -> txn_id -> unit
-(** Drop only the queued (not yet granted) requests of a transaction. *)
+val cancel_waits : t -> txn_id -> txn_id list
+(** Drop only the queued (not yet granted) requests of a transaction.
+    Every queue this shortens is re-driven, exactly as in {!release_all};
+    returns the transactions whose queued requests became granted. *)
 
 val holds : t -> txn_id -> resource -> mode option
 
 val holders : t -> resource -> (txn_id * mode) list
 
 val waiting : t -> resource -> (txn_id * mode) list
+
+val queued_resources : t -> resource list
+(** Resources with a non-empty wait queue (any order); for invariant
+    checks — after any release no grantable request may sit at a queue
+    head. *)
 
 val lock_count : t -> int
 (** Total granted locks, for leak tests. *)

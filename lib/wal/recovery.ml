@@ -39,7 +39,12 @@ type scan_stats = {
 }
 
 let net_changes log ~table ~since =
-  let committed = committed_txns log since in
+  (* [since] may predate [oldest_retained] once the log has been truncated
+     (or exceed [end_lsn] on a stale caller); clamp to the range that is
+     actually scannable so iteration succeeds and [bytes_scanned] reports
+     the bytes really read, not a negative or inflated figure. *)
+  let from = min (max since (Wal.oldest_retained log)) (Wal.end_lsn log) in
+  let committed = committed_txns log from in
   let is_committed txn = Hashtbl.mem committed txn in
   let states : (Addr.t, net) Hashtbl.t = Hashtbl.create 256 in
   let records = ref 0 in
@@ -52,7 +57,7 @@ let net_changes log ~table ~since =
     | None -> Hashtbl.replace states addr { before = old_v; after = new_v }
     | Some st -> Hashtbl.replace states addr { st with after = new_v }
   in
-  Wal.iter_from log since (fun _ r ->
+  Wal.iter_from log from (fun _ r ->
       incr records;
       match r with
       | Record.Insert { txn; table = t; addr; tuple } when t = table && is_committed txn ->
@@ -79,7 +84,7 @@ let net_changes log ~table ~since =
   let stats =
     {
       records_scanned = !records;
-      bytes_scanned = Wal.end_lsn log - since;
+      bytes_scanned = Wal.end_lsn log - from;
       relevant = !relevant;
     }
   in

@@ -29,6 +29,9 @@ type net = {
 type scan_stats = {
   records_scanned : int;  (** log records examined *)
   bytes_scanned : int;
+      (** log bytes actually read — measured from [since] clamped into
+          [{!Wal.oldest_retained}, {!Wal.end_lsn}], so truncation can never
+          make this negative or overstate the scan *)
   relevant : int;  (** committed records touching the requested table *)
 }
 
@@ -39,4 +42,7 @@ val net_changes :
     inside the window) are omitted.  Uncommitted and aborted transactions
     are excluded (a commit record must appear in the log).  The before
     value is what lets a refresh method decide whether a deleted or
-    updated entry *used to* qualify for a snapshot. *)
+    updated entry *used to* qualify for a snapshot.  A [since] older than
+    {!Wal.oldest_retained} (the log was truncated since the snapshot's
+    last refresh) scans from the oldest retained record instead of
+    failing. *)

@@ -1,3 +1,10 @@
+module Metrics = Snapdiff_obs.Metrics
+
+let m_appends = Metrics.counter Metrics.global "wal.appends"
+let m_append_bytes = Metrics.counter Metrics.global "wal.append_bytes"
+let m_truncations = Metrics.counter Metrics.global "wal.truncations"
+let m_fsyncs = Metrics.counter Metrics.global "wal.fsyncs"
+
 type lsn = int
 
 type t = {
@@ -14,6 +21,8 @@ let append t r =
   let at = t.base + Buffer.length t.buf in
   Record.encode t.buf r;
   t.count <- t.count + 1;
+  Metrics.incr m_appends;
+  Metrics.add m_append_bytes (t.base + Buffer.length t.buf - at);
   at
 
 let end_lsn t = t.base + Buffer.length t.buf
@@ -63,7 +72,8 @@ let truncate_before t lsn =
     Buffer.add_subbytes fresh b (lsn - t.base) (Bytes.length b - (lsn - t.base));
     t.buf <- fresh;
     t.count <- t.count - dropped;
-    t.base <- lsn
+    t.base <- lsn;
+    Metrics.incr m_truncations
   end
 
 let fold_from t lsn ~init ~f =
@@ -83,7 +93,9 @@ let save t path =
       let base = Bytes.create 8 in
       Bytes.set_int64_le base 0 (Int64.of_int t.base);
       output_bytes oc base;
-      output_bytes oc (image t))
+      output_bytes oc (image t);
+      flush oc;
+      Metrics.incr m_fsyncs)
 
 let load path =
   let ic = open_in_bin path in

@@ -5,6 +5,7 @@ let () =
       ("storage", Test_storage.suite);
       ("index", Test_index.suite);
       ("txn", Test_txn.suite);
+      ("obs", Test_obs.suite);
       ("scheduler", Test_scheduler.suite);
       ("wal", Test_wal.suite);
       ("expr", Test_expr.suite);

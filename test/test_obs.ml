@@ -1,0 +1,307 @@
+(* Observability tests: the metrics registry and the trace ring on their
+   own, then the two guarantees the instrumentation must uphold — the
+   refresh wire stream is byte-identical with tracing on or off, and every
+   instrumented subsystem actually reports into the global registry. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+module Expr = Snapdiff_expr.Expr
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---------- Metrics ---------- *)
+
+let test_metrics_counters_gauges () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "counter accumulates" 5 (Metrics.value c);
+  checki "same name shares the metric" 5 (Metrics.value (Metrics.counter t "c"));
+  let g = Metrics.gauge t "g" in
+  Metrics.set g 2.0;
+  Metrics.shift g (-3.0);
+  checkb "gauge shifts below zero" true (Metrics.level g = -1.0);
+  checki "counter_value by name" 5 (Metrics.counter_value t "c");
+  checki "absent name reads zero" 0 (Metrics.counter_value t "nope");
+  Alcotest.(check (list string)) "names sorted" [ "c"; "g" ] (Metrics.names t);
+  (match Metrics.gauge t "c" with
+  | exception Metrics.Kind_mismatch _ -> ()
+  | _ -> Alcotest.fail "reusing a counter name as a gauge must raise");
+  Metrics.reset t;
+  checki "reset zeroes" 0 (Metrics.value c);
+  Metrics.incr c;
+  checki "old handles stay live across reset" 1 (Metrics.counter_value t "c")
+
+let test_metrics_quantiles () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t "h" in
+  List.iter (fun v -> Metrics.observe h (float_of_int v)) [ 1; 2; 3; 100; 1000 ];
+  checki "n" 5 (Metrics.observations h);
+  checkb "p0 is the min" true (Metrics.quantile h 0.0 = 1.0);
+  checkb "p100 is the max" true (Metrics.quantile h 1.0 = 1000.0);
+  let p50 = Metrics.quantile h 0.5 in
+  (* The median sample is 3; log bucketing allows at most one octave. *)
+  checkb "p50 within the median's octave" true (p50 >= 2.0 && p50 <= 4.0);
+  checkb "quantiles clamp to observed range" true
+    (Metrics.quantile h 0.99 <= 1000.0 && Metrics.quantile h 0.01 >= 1.0);
+  Metrics.observe h (-5.0);
+  checkb "negative samples clamp to zero" true (Metrics.hist_min h = 0.0);
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.quantile: q out of range") (fun () ->
+      ignore (Metrics.quantile h 1.5))
+
+let test_metrics_dump_json () =
+  let t = Metrics.create () in
+  Metrics.incr (Metrics.counter t "hits");
+  Metrics.set (Metrics.gauge t "depth") 2.5;
+  Metrics.observe (Metrics.histogram t "lat\"us") 7.0;
+  let j = Metrics.dump_json t in
+  checkb "counters section" true (contains j "\"counters\": {\"hits\": 1}");
+  checkb "gauges section" true (contains j "\"depth\": 2.5");
+  checkb "histogram quote escaped" true (contains j "lat\\\"us");
+  checkb "histogram stats present" true (contains j "\"n\": 1" && contains j "\"p99\":")
+
+(* ---------- Trace ---------- *)
+
+let test_trace_ring () =
+  Trace.enable ~capacity:4 Trace.Memory;
+  for i = 1 to 6 do
+    Trace.event (Printf.sprintf "e%d" i)
+  done;
+  checki "ring holds capacity" 4 (Trace.record_count ());
+  checki "overflow counted" 2 (Trace.dropped ());
+  Alcotest.(check (list string)) "oldest records overwritten first"
+    [ "e3"; "e4"; "e5"; "e6" ]
+    (List.map (fun r -> r.Trace.name) (Trace.recent ()));
+  Trace.disable ();
+  checkb "ring survives disable" true (Trace.record_count () = 4)
+
+let test_trace_spans_and_pause () =
+  Trace.enable Trace.Memory;
+  let r =
+    Trace.with_span "outer" (fun () ->
+        Trace.with_span "inner" (fun () -> ());
+        41 + 1)
+  in
+  checki "span returns the thunk's value" 42 r;
+  (match List.map (fun x -> x.Trace.name) (Trace.recent ()) with
+  | [ "inner"; "outer" ] -> ()
+  | names -> Alcotest.failf "child must precede parent, got [%s]" (String.concat "; " names));
+  (match Trace.recent () with
+  | [ inner; outer ] ->
+    checkb "spans have kind Span" true (inner.Trace.kind = Trace.Span);
+    checkb "parent spans the child" true (outer.Trace.dur_us >= inner.Trace.dur_us)
+  | _ -> Alcotest.fail "two records expected");
+  (* Pause keeps the sink; resume picks recording back up. *)
+  Trace.pause ();
+  checkb "paused" true (not (Trace.enabled ()));
+  Trace.event "invisible";
+  checki "paused events not recorded" 2 (Trace.record_count ());
+  Trace.resume ();
+  Trace.event "visible";
+  checki "resumed events recorded" 3 (Trace.record_count ());
+  (* An exception inside a span is recorded, tagged, and re-raised. *)
+  (match Trace.with_span "boom" (fun () -> failwith "kaput") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception must propagate");
+  (match List.rev (Trace.recent ()) with
+  | last :: _ ->
+    checkb "error attr recorded" true (List.mem_assoc "error" last.Trace.attrs)
+  | [] -> Alcotest.fail "span expected");
+  Trace.disable ();
+  checkb "resume after disable is a no-op" true
+    (Trace.resume ();
+     not (Trace.enabled ()))
+
+let test_trace_disabled_is_passthrough () =
+  Trace.disable ();
+  let hit = ref false in
+  let v = Trace.with_span "off" (fun () -> hit := true; 7) in
+  Trace.event "off-event";
+  checkb "thunk ran" true !hit;
+  checki "value passed through" 7 v
+
+(* ---------- Byte-identical refresh stream, tracing on vs off ---------- *)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+type op = Ins of int | Upd of int * int | Del of int | Refresh
+
+let op_gen =
+  Gen.frequency
+    [ (4, Gen.map (fun s -> Ins s) (Gen.int_range 0 20));
+      (2, Gen.map2 (fun i s -> Upd (i, s)) (Gen.int_range 0 30) (Gen.int_range 0 20));
+      (2, Gen.map (fun i -> Del i) (Gen.int_range 0 30));
+      (2, Gen.pure Refresh) ]
+
+let print_op = function
+  | Ins s -> Printf.sprintf "I%d" s
+  | Upd (i, s) -> Printf.sprintf "U%d:%d" i s
+  | Del i -> Printf.sprintf "D%d" i
+  | Refresh -> "R"
+
+let pick_live base i =
+  match Base_table.to_user_list base with
+  | [] -> None
+  | live -> Some (fst (List.nth live (i mod List.length live)))
+
+(* Run one deterministic scenario and return (wire bytes, final snapshot
+   contents).  The snapshot's link receiver is re-attached to capture every
+   frame on its way into [apply_bytes]. *)
+let run_scenario (script, threshold) =
+  let clock = Clock.create () in
+  let base = Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema in
+  let m = Manager.create ~batch_size:4 () in
+  Manager.register_base m base;
+  for i = 0 to 5 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  let link = Snapdiff_net.Link.create ~name:"wire" () in
+  let restrict = Expr.(col "salary" <. int threshold) in
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp" ~restrict
+       ~method_:Manager.Differential ~link ()
+      : Manager.refresh_report);
+  let wire = Buffer.create 256 in
+  let st = Manager.snapshot_table m "s" in
+  Snapdiff_net.Link.attach link (fun b ->
+      Buffer.add_bytes wire b;
+      Snapshot_table.apply_bytes st b);
+  let n = ref 0 in
+  List.iter
+    (fun op ->
+      incr n;
+      match op with
+      | Ins s -> ignore (Base_table.insert base (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+      | Upd (i, s) -> (
+        match pick_live base i with
+        | Some a -> Base_table.update base a (emp (Printf.sprintf "u%d" !n) s)
+        | None -> ())
+      | Del i -> (
+        match pick_live base i with Some a -> Base_table.delete base a | None -> ())
+      | Refresh -> ignore (Manager.refresh m "s" : Manager.refresh_report))
+    script;
+  ignore (Manager.refresh m "s" : Manager.refresh_report);
+  (Buffer.contents wire, Snapshot_table.contents st)
+
+let prop_stream_identical_traced =
+  QCheck2.Test.make ~name:"refresh stream byte-identical with tracing on/off" ~count:60
+    ~print:(fun (ops, th) ->
+      Printf.sprintf "th=%d [%s]" th (String.concat " " (List.map print_op ops)))
+    (Gen.pair (Gen.list_size (Gen.int_range 0 30) op_gen) (Gen.int_range 0 20))
+    (fun scenario ->
+      Trace.disable ();
+      let bytes_off, contents_off = run_scenario scenario in
+      Trace.enable Trace.Memory;
+      let bytes_on, contents_on =
+        Fun.protect ~finally:Trace.disable (fun () -> run_scenario scenario)
+      in
+      if bytes_off <> bytes_on then
+        QCheck2.Test.fail_report
+          (Printf.sprintf "wire diverged: %d bytes untraced, %d traced"
+             (String.length bytes_off) (String.length bytes_on));
+      contents_off = contents_on)
+
+(* ---------- Coverage: every subsystem reports into the registry ---------- *)
+
+let counter_delta name f =
+  let before = Metrics.counter_value Metrics.global name in
+  f ();
+  Metrics.counter_value Metrics.global name - before
+
+let test_subsystem_coverage () =
+  (* WAL. *)
+  let d =
+    counter_delta "wal.appends" (fun () ->
+        let log = Snapdiff_wal.Wal.create () in
+        ignore (Snapdiff_wal.Wal.append log (Snapdiff_wal.Record.Begin { txn = 1 })
+                 : Snapdiff_wal.Wal.lsn))
+  in
+  checkb "wal.appends counted" true (d > 0);
+  (* Locks. *)
+  let d =
+    counter_delta "lock.acquires" (fun () ->
+        let lm = Snapdiff_txn.Lock.create () in
+        ignore (Snapdiff_txn.Lock.acquire lm 1 (Snapdiff_txn.Lock.Table "t") Snapdiff_txn.Lock.S))
+  in
+  checkb "lock.acquires counted" true (d > 0);
+  (* Link. *)
+  let d =
+    counter_delta "link.frames" (fun () ->
+        let l = Snapdiff_net.Link.create ~name:"obs-test" () in
+        Snapdiff_net.Link.attach l (fun _ -> ());
+        Snapdiff_net.Link.send l (Bytes.of_string "x"))
+  in
+  checkb "link.frames counted" true (d > 0);
+  (* Buffer pool, via a pool-backed base table. *)
+  let hits =
+    counter_delta "bufferpool.hits" (fun () ->
+        let store = Page_store.in_memory ~page_size:256 () in
+        let pool = Buffer_pool.create ~frames:2 ~policy:Buffer_pool.Lru store in
+        let clock = Clock.create () in
+        let base = Base_table.on_pool ~name:"emp" ~clock pool emp_schema in
+        for i = 0 to 9 do
+          ignore (Base_table.insert base (emp (Printf.sprintf "p%d" i) i) : Addr.t)
+        done)
+  in
+  checkb "bufferpool.hits counted" true (hits > 0);
+  (* Base table mutations + refresh, end to end through the Manager. *)
+  let ins = ref 0 and refr = ref 0 and dec = ref 0 in
+  let d =
+    counter_delta "snapshot.stream_commits" (fun () ->
+        ins :=
+          counter_delta "basetable.inserts" (fun () ->
+              refr :=
+                counter_delta "refresh.refreshes" (fun () ->
+                    dec :=
+                      counter_delta "refresh.entries_decoded" (fun () ->
+                          let clock = Clock.create () in
+                          let base =
+                            Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema
+                          in
+                          let m = Manager.create () in
+                          Manager.register_base m base;
+                          ignore
+                            (Manager.create_snapshot m ~name:"cov" ~base:"emp"
+                               ~restrict:Expr.(col "salary" <. int 50)
+                               ~method_:Manager.Differential ()
+                              : Manager.refresh_report);
+                          for i = 0 to 4 do
+                            ignore
+                              (Base_table.insert base (emp (Printf.sprintf "c%d" i) i)
+                                : Addr.t)
+                          done;
+                          ignore (Manager.refresh m "cov" : Manager.refresh_report)))))
+  in
+  checkb "basetable.inserts counted" true (!ins > 0);
+  checkb "refresh.refreshes counted" true (!refr > 0);
+  checkb "refresh.entries_decoded counted" true (!dec > 0);
+  checkb "snapshot.stream_commits counted" true (d > 0)
+
+let suite =
+  [
+    Alcotest.test_case "metrics counters/gauges" `Quick test_metrics_counters_gauges;
+    Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantiles;
+    Alcotest.test_case "metrics dump_json" `Quick test_metrics_dump_json;
+    Alcotest.test_case "trace ring" `Quick test_trace_ring;
+    Alcotest.test_case "trace spans + pause/resume" `Quick test_trace_spans_and_pause;
+    Alcotest.test_case "trace disabled passthrough" `Quick test_trace_disabled_is_passthrough;
+    Alcotest.test_case "subsystem coverage" `Quick test_subsystem_coverage;
+    QCheck_alcotest.to_alcotest prop_stream_identical_traced;
+  ]

@@ -119,6 +119,118 @@ let test_lock_release_clears_queue () =
   ignore (Lock.release_all lm 1);
   checki "no locks" 0 (Lock.lock_count lm)
 
+(* Regression: a txn queued on a resource it does not hold departs.  The
+   queues it was filtered out of must be re-driven — a waiter queued
+   behind it may now be grantable — and those wakeups must be reported. *)
+let test_stranded_waiter_woken () =
+  let lm = Lock.create () in
+  checkb "t1 S" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  (match Lock.acquire lm 2 tbl Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t2 X blocks behind t1's S");
+  (* t3's S is compatible with t1's S but must queue behind t2's X. *)
+  (match Lock.acquire lm 3 tbl Lock.S with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t3 queues behind t2");
+  (* t2 holds nothing; its departure must still unblock t3. *)
+  let woken = Lock.release_all lm 2 in
+  Alcotest.(check (list int)) "t3 woken by t2's departure" [ 3 ] woken;
+  checkb "t3 holds S" true (Lock.holds lm 3 tbl = Some Lock.S);
+  checki "queue drained" 0 (List.length (Lock.waiting lm tbl))
+
+(* Same scenario through cancel_waits: dropping only the queued requests
+   must re-drive the shortened queues and report the wakeups too. *)
+let test_cancel_waits_wakes_stranded () =
+  let lm = Lock.create () in
+  checkb "t1 S" true (Lock.acquire lm 1 tbl Lock.S = `Granted);
+  (match Lock.acquire lm 2 tbl Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t2 blocks");
+  (match Lock.acquire lm 3 tbl Lock.S with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t3 queues behind t2");
+  let woken = Lock.cancel_waits lm 2 in
+  Alcotest.(check (list int)) "t3 woken by cancel" [ 3 ] woken;
+  checkb "t3 holds S" true (Lock.holds lm 3 tbl = Some Lock.S)
+
+(* Regression: a txn can be queued on several resources at once, and the
+   deadlock detector must follow ALL of its outgoing wait edges — not just
+   the most recent.  Here the cycle runs through t1's FIRST wait. *)
+let test_deadlock_through_first_wait () =
+  let lm = Lock.create () in
+  let r0 = Lock.Table "a" and r1 = Lock.Table "b" and r2 = Lock.Table "c" in
+  checkb "t1 holds a" true (Lock.acquire lm 1 r0 Lock.X = `Granted);
+  checkb "t2 holds b" true (Lock.acquire lm 2 r1 Lock.X = `Granted);
+  checkb "t3 holds c" true (Lock.acquire lm 3 r2 Lock.X = `Granted);
+  (match Lock.acquire lm 1 r1 Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t1 waits for b (first wait)");
+  (match Lock.acquire lm 1 r2 Lock.X with
+  | `Would_block _ -> ()
+  | _ -> Alcotest.fail "t1 waits for c (second wait)");
+  (* t2 -> t1 (holder of a) -> t2 (holder of b, t1's first wait): cycle. *)
+  (match Lock.acquire lm 2 r0 Lock.X with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "cycle through the first wait must be detected")
+
+(* Property: after any script of acquires/releases/cancels, no grantable
+   request is left sitting at the head of a wait queue — every release
+   path must have re-driven the queues it shortened. *)
+let lock_resources = [| Lock.Table "a"; Lock.Table "b"; Lock.Table "c" |]
+
+type lock_op = Op_acquire of int * int * Lock.mode | Op_release of int | Op_cancel of int
+
+let lock_op_gen =
+  let open QCheck2.Gen in
+  let txn = int_range 1 4 in
+  frequency
+    [
+      ( 5,
+        map3
+          (fun t r m -> Op_acquire (t, r, m))
+          txn (int_range 0 2)
+          (oneofl Lock.[ IS; IX; S; SIX; X ]) );
+      (2, map (fun t -> Op_release t) txn);
+      (1, map (fun t -> Op_cancel t) txn);
+    ]
+
+let print_lock_op = function
+  | Op_acquire (t, r, m) -> Printf.sprintf "acquire t%d %s %d" t (Lock.mode_name m) r
+  | Op_release t -> Printf.sprintf "release_all t%d" t
+  | Op_cancel t -> Printf.sprintf "cancel_waits t%d" t
+
+let no_grantable_head lm =
+  List.for_all
+    (fun res ->
+      match Lock.waiting lm res with
+      | [] -> true
+      | (txn, mode) :: _ ->
+        let target =
+          match Lock.holds lm txn res with
+          | Some held -> Lock.supremum held mode
+          | None -> mode
+        in
+        not
+          (List.for_all
+             (fun (other, m) -> other = txn || Lock.compatible target m)
+             (Lock.holders lm res)))
+    (Lock.queued_resources lm)
+
+let prop_no_grantable_head =
+  QCheck2.Test.make ~name:"no grantable request stranded at a queue head" ~count:300
+    ~print:(fun ops -> String.concat "; " (List.map print_lock_op ops))
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 0 40) lock_op_gen)
+    (fun ops ->
+      let lm = Lock.create () in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Op_acquire (t, r, m) -> ignore (Lock.acquire lm t lock_resources.(r) m)
+          | Op_release t -> ignore (Lock.release_all lm t : Lock.txn_id list)
+          | Op_cancel t -> ignore (Lock.cancel_waits lm t : Lock.txn_id list));
+          no_grantable_head lm)
+        ops)
+
 let test_txn_commit_releases () =
   let m = Txn.create_manager () in
   let t1 = Txn.begin_txn m in
@@ -174,6 +286,10 @@ let suite =
     Alcotest.test_case "upgrade deadlock" `Quick test_lock_upgrade_deadlock;
     Alcotest.test_case "entry locks independent" `Quick test_lock_entry_resources_independent;
     Alcotest.test_case "release clears queue" `Quick test_lock_release_clears_queue;
+    Alcotest.test_case "stranded waiter woken" `Quick test_stranded_waiter_woken;
+    Alcotest.test_case "cancel_waits wakes stranded" `Quick test_cancel_waits_wakes_stranded;
+    Alcotest.test_case "deadlock through first wait" `Quick test_deadlock_through_first_wait;
+    QCheck_alcotest.to_alcotest prop_no_grantable_head;
     Alcotest.test_case "txn commit releases" `Quick test_txn_commit_releases;
     Alcotest.test_case "txn abort undo order" `Quick test_txn_abort_runs_undo_in_reverse;
     Alcotest.test_case "txn commit skips undo" `Quick test_txn_commit_skips_undo;

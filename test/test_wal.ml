@@ -181,6 +181,37 @@ let test_net_changes_address_order () =
   let changes, _ = Recovery.net_changes log ~table:"t" ~since:Wal.start_lsn in
   Alcotest.(check (list int)) "sorted by address" [ a1; a3 ] (List.map fst changes)
 
+(* Regression: when [since] predates the truncation point, the scan starts
+   at [oldest_retained], and [bytes_scanned] must reflect the bytes actually
+   iterated — not [end_lsn - since], which overcounts (and can even go
+   negative when [since] exceeds [end_lsn]). *)
+let test_net_changes_clamped_after_truncation () =
+  let log = scripted_log () in
+  let cut =
+    Wal.fold_from log Wal.start_lsn ~init:None ~f:(fun acc lsn r ->
+        match (acc, r) with
+        | None, Record.Begin { txn = 3 } -> Some lsn
+        | acc, _ -> acc)
+    |> Option.get
+  in
+  Wal.truncate_before log cut;
+  (* since = start_lsn is now below retention; the scan must clamp up. *)
+  let changes, stats = Recovery.net_changes log ~table:"emp" ~since:Wal.start_lsn in
+  checki "bytes = retained window" (Wal.end_lsn log - Wal.oldest_retained log)
+    stats.Recovery.bytes_scanned;
+  checki "records = retained suffix" (Wal.record_count log) stats.Recovery.records_scanned;
+  (* t3's changes are all that is visible. *)
+  (match List.assoc_opt a1 changes with
+  | Some { Recovery.after = Some t; _ } -> Alcotest.check tuple "a1 updated" (emp "Bruce" 16) t
+  | _ -> Alcotest.fail "a1 present");
+  (* since beyond the log end clamps down: empty scan, never negative. *)
+  let changes2, stats2 =
+    Recovery.net_changes log ~table:"emp" ~since:(Wal.end_lsn log + 100)
+  in
+  checki "no changes past the end" 0 (List.length changes2);
+  checki "no bytes past the end" 0 stats2.Recovery.bytes_scanned;
+  checkb "never negative" true (stats2.Recovery.bytes_scanned >= 0)
+
 let test_truncation () =
   let log = Wal.create () in
   let lsns = List.map (Wal.append log) sample_records in
@@ -248,4 +279,6 @@ let suite =
     Alcotest.test_case "net changes mid log" `Quick test_net_changes_since_mid_log;
     Alcotest.test_case "net changes other table" `Quick test_net_changes_other_table_ignored;
     Alcotest.test_case "net changes ordered" `Quick test_net_changes_address_order;
+    Alcotest.test_case "net changes clamp after truncation" `Quick
+      test_net_changes_clamped_after_truncation;
   ]
