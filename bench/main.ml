@@ -30,6 +30,18 @@ let trace_path =
   in
   find (Array.to_list Sys.argv)
 
+let json_path =
+  let rec find = function
+    | "--json-file" :: path :: _ -> path
+    | _ :: tl -> find tl
+    | [] -> "BENCH_refresh.json"
+  in
+  find (Array.to_list Sys.argv)
+
+(* Set when a section detects an invariant violation (the group section's
+   monotonic check); the process then exits nonzero so CI fails. *)
+let violations : string list ref = ref []
+
 let n_figure = if quick then 2_000 else 20_000
 let n_ablation = if quick then 2_000 else 10_000
 
@@ -462,6 +474,212 @@ let faults () =
     \ wire msgs against the clean-line row is the retry tax)"
 
 (* ------------------------------------------------------------------ *)
+(* Group refresh: one physical scan demultiplexed into N snapshot
+   streams, against N solo scans over a twin universe.  Both universes
+   are seeded identically, so the solo column is a true baseline, not a
+   model.  The monotonic check — group decodes never exceed the solo
+   sum — is an invariant, and a violation fails the run. *)
+
+let group () =
+  header "Group refresh: one base-table scan amortized across N snapshots";
+  let module D = Snapdiff_core.Differential in
+  let module Snapshot_table = Snapdiff_core.Snapshot_table in
+  let module W = Snapdiff_workload.Workload in
+  let n = if quick then 2_000 else 10_000 in
+  let fractions = [| 0.1; 0.25; 0.5; 0.75; 0.15; 0.35; 0.6; 0.9 |] in
+  (* One universe: a populated base plus [nsubs] subscribers, each with
+     its own snapshot, restriction, and prune cache.  Fully seeded, so
+     two calls build twins. *)
+  let build nsubs =
+    let clock = Snapdiff_txn.Clock.create () in
+    let base = W.make_base ~page_size:512 ~clock () in
+    let rng = Snapdiff_util.Rng.create 42 in
+    W.populate base ~rng ~n;
+    let snaps =
+      Array.init nsubs (fun i ->
+          ( Snapshot_table.create ~name:(Printf.sprintf "g%d" i) ~schema:W.schema (),
+            Snapdiff_expr.Eval.compile W.schema
+              (W.restrict_fraction fractions.(i mod Array.length fractions)),
+            D.Prune_cache.create () ))
+    in
+    (base, rng, snaps)
+  in
+  let refresh_group base snaps =
+    let outs = Array.map (fun _ -> ref []) snaps in
+    let gsubs =
+      Array.mapi
+        (fun i (snap, restrict, cache) ->
+          { D.sub_snaptime = Snapshot_table.snaptime snap;
+            sub_restrict = restrict; sub_project = Fun.id;
+            sub_tail_suppression = None; sub_prune = Some cache;
+            sub_xmit = (fun m -> outs.(i) := m :: !(outs.(i))) })
+        snaps
+    in
+    let g = D.refresh_group ~base gsubs in
+    Array.iteri
+      (fun i (snap, _, _) ->
+        List.iter (Snapshot_table.apply snap) (List.rev !(outs.(i))))
+      snaps;
+    g
+  in
+  let refresh_solo base (snap, restrict, cache) =
+    let out = ref [] in
+    let r =
+      D.refresh ~prune:cache ~base ~snaptime:(Snapshot_table.snaptime snap)
+        ~restrict ~project:Fun.id
+        ~xmit:(fun m -> out := m :: !out) ()
+    in
+    List.iter (Snapshot_table.apply snap) (List.rev !out);
+    r
+  in
+  let t =
+    Text_table.create
+      [ ("workload", Text_table.Left); ("N", Text_table.Right);
+        ("pages", Text_table.Right); ("group decoded", Text_table.Right);
+        ("solo decoded (sum)", Text_table.Right); ("saved", Text_table.Right);
+        ("vs N=1", Text_table.Right); ("group us", Text_table.Right);
+        ("solo us", Text_table.Right) ]
+  in
+  let baseline1 = Hashtbl.create 4 in
+  List.iter
+    (fun (wname, u) ->
+      List.iter
+        (fun nsubs ->
+          (* Group universe: warm every cache with a cold group refresh,
+             churn, then measure the steady-state group scan. *)
+          let base_g, rng_g, snaps_g = build nsubs in
+          ignore (refresh_group base_g snaps_g : D.group_report);
+          if u > 0.0 then
+            ignore
+              (W.update_fraction base_g ~rng:rng_g ~u ~mix:W.payload_updates_only
+                : int);
+          let t0 = Unix.gettimeofday () in
+          let g = refresh_group base_g snaps_g in
+          let group_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+          (* Solo twin: identical construction and churn (same seeds, same
+             draw history); N sequential solo refreshes over it.  Warm the
+             same way -- a solo refresh is a group of one, so cache and
+             clock state match the group universe exactly. *)
+          let base_s, rng_s, snaps_s = build nsubs in
+          Array.iter (fun s -> ignore (refresh_solo base_s s : D.report)) snaps_s;
+          if u > 0.0 then
+            ignore
+              (W.update_fraction base_s ~rng:rng_s ~u ~mix:W.payload_updates_only
+                : int);
+          let t1 = Unix.gettimeofday () in
+          let solo_decoded =
+            Array.fold_left
+              (fun acc s -> acc + (refresh_solo base_s s).D.pages_decoded)
+              0 snaps_s
+          in
+          let solo_us = (Unix.gettimeofday () -. t1) *. 1e6 in
+          if nsubs = 1 then
+            Hashtbl.replace baseline1 wname g.D.group_pages_decoded;
+          let base1 = try Hashtbl.find baseline1 wname with Not_found -> 0 in
+          let ratio =
+            float_of_int g.D.group_pages_decoded /. float_of_int (max 1 base1)
+          in
+          let monotonic = g.D.group_pages_decoded <= solo_decoded in
+          if not monotonic then
+            violations :=
+              Printf.sprintf
+                "group %s N=%d decoded %d pages > solo sum %d" wname nsubs
+                g.D.group_pages_decoded solo_decoded
+              :: !violations;
+          let msgs =
+            Array.fold_left (fun a r -> a + r.D.data_messages) 0 g.D.sub_reports
+          in
+          let scanned =
+            Array.fold_left (fun a r -> a + r.D.entries_scanned) 0 g.D.sub_reports
+          in
+          emit
+            ~params:
+              [ ("workload", wname); ("subs", string_of_int nsubs);
+                ("pages", string_of_int g.D.group_pages);
+                ("group_decoded", string_of_int g.D.group_pages_decoded);
+                ("solo_decoded", string_of_int solo_decoded);
+                ("decodes_saved", string_of_int g.D.group_decodes_saved);
+                ("ratio_vs_n1", Printf.sprintf "%.3f" ratio);
+                ("monotonic", if monotonic then "ok" else "VIOLATED");
+                ("group_us", Printf.sprintf "%.1f" group_us);
+                ("solo_us", Printf.sprintf "%.1f" solo_us) ]
+            ~entries_scanned:scanned ~messages:msgs ();
+          Text_table.add_row t
+            [ wname; string_of_int nsubs; string_of_int g.D.group_pages;
+              string_of_int g.D.group_pages_decoded;
+              string_of_int solo_decoded;
+              string_of_int g.D.group_decodes_saved;
+              Printf.sprintf "%.2fx" ratio;
+              Printf.sprintf "%.0f" group_us; Printf.sprintf "%.0f" solo_us ])
+        [ 1; 2; 4; 8 ])
+    [ ("quiescent", 0.0); ("churn 1%", 0.01) ];
+  Text_table.print t;
+  print_endline
+    "(a page is decoded at most once per group scan, iff any subscriber's\n\
+    \ summary/cache conditions require it; each subscriber's stream is\n\
+    \ byte-identical to its solo refresh.  'vs N=1' is the headline: the\n\
+    \ group's physical decodes against a single-snapshot scan of the same\n\
+    \ workload -- the acceptance bar is <= 1.25x at N=8)";
+  (* Eviction policy under a group scan: a pool far smaller than the
+     table, both policies fed the identical scan. *)
+  let pt =
+    Text_table.create
+      [ ("policy", Text_table.Left); ("hits", Text_table.Right);
+        ("misses", Text_table.Right); ("evictions", Text_table.Right);
+        ("hit rate", Text_table.Right); ("group decoded", Text_table.Right) ]
+  in
+  List.iter
+    (fun (pname, policy) ->
+      let store = Snapdiff_storage.Page_store.in_memory ~page_size:512 () in
+      let pool = Snapdiff_storage.Buffer_pool.create ~frames:8 ~policy store in
+      let clock = Snapdiff_txn.Clock.create () in
+      let base =
+        Snapdiff_core.Base_table.on_pool ~name:"grp_pool" ~clock pool W.schema
+      in
+      let rng = Snapdiff_util.Rng.create 42 in
+      W.populate base ~rng ~n:(n / 2);
+      let snaps =
+        Array.init 4 (fun i ->
+            ( Snapshot_table.create ~name:(Printf.sprintf "p%d" i) ~schema:W.schema (),
+              Snapdiff_expr.Eval.compile W.schema
+                (W.restrict_fraction fractions.(i)),
+              D.Prune_cache.create () ))
+      in
+      ignore (refresh_group base snaps : D.group_report);
+      ignore
+        (W.update_fraction base ~rng ~u:0.01 ~mix:W.payload_updates_only : int);
+      let before = Snapdiff_storage.Buffer_pool.stats pool in
+      let g = refresh_group base snaps in
+      let after = Snapdiff_storage.Buffer_pool.stats pool in
+      let hits = after.Snapdiff_storage.Buffer_pool.hits - before.Snapdiff_storage.Buffer_pool.hits in
+      let misses = after.Snapdiff_storage.Buffer_pool.misses - before.Snapdiff_storage.Buffer_pool.misses in
+      let evictions =
+        after.Snapdiff_storage.Buffer_pool.evictions
+        - before.Snapdiff_storage.Buffer_pool.evictions
+      in
+      let rate =
+        100.0 *. float_of_int hits /. float_of_int (max 1 (hits + misses))
+      in
+      emit
+        ~params:
+          [ ("policy", pname); ("hits", string_of_int hits);
+            ("misses", string_of_int misses);
+            ("evictions", string_of_int evictions);
+            ("hit_rate_pct", Printf.sprintf "%.1f" rate);
+            ("group_decoded", string_of_int g.D.group_pages_decoded) ]
+        ();
+      Text_table.add_row pt
+        [ pname; string_of_int hits; string_of_int misses;
+          string_of_int evictions; Printf.sprintf "%.1f%%" rate;
+          string_of_int g.D.group_pages_decoded ])
+    [ ("lru", Snapdiff_storage.Buffer_pool.Lru);
+      ("second-chance", Snapdiff_storage.Buffer_pool.Second_chance) ];
+  Text_table.print pt;
+  print_endline
+    "(the refresh stream is policy-independent -- the parity test pins the\n\
+    \ bytes; the pool stats show what each policy pays for one group scan)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel wall-clock benches: one Test.make per figure/experiment. *)
 
 let timing () =
@@ -685,6 +903,7 @@ let sections : (string * string * (unit -> unit)) list =
     ("wire", "ablation  - simulated link transfer time + batched transport", wire);
     ("stepwise", "ablation  - the paper's stepwise algorithm generations", stepwise);
     ("faults", "ablation  - fault-injecting links: retry tax and atomicity", faults);
+    ("group", "group refresh - one scan for N snapshots vs N solo scans", group);
     ("obs", "observability - tracing overhead, disabled vs enabled", obs);
     ("timing", "Bechamel wall-clock benches (one per figure/experiment)", timing) ]
 
@@ -695,10 +914,11 @@ let usage () =
   print_endline "Sections (default: all, in this order):";
   List.iter (fun (name, desc, _) -> Printf.printf "  %-9s %s\n" name desc) sections;
   print_newline ();
-  print_endline "  --quick       shrink the base tables for a fast smoke run";
-  print_endline "  --json        also write every table row to BENCH_refresh.json";
-  print_endline "  --trace FILE  stream engine spans/events to FILE as JSON lines";
-  print_endline "  --help        print this text"
+  print_endline "  --quick           shrink the base tables for a fast smoke run";
+  print_endline "  --json            also write every table row to the JSON log";
+  print_endline "  --json-file FILE  JSON log path (default: BENCH_refresh.json)";
+  print_endline "  --trace FILE      stream engine spans/events to FILE as JSON lines";
+  print_endline "  --help            print this text"
 
 let run_section (name, _desc, fn) =
   current_section := name;
@@ -724,6 +944,7 @@ let () =
     (* Flags and --trace's FILE operand are not section names. *)
     let rec strip = function
       | "--trace" :: _ :: tl -> strip tl
+      | "--json-file" :: _ :: tl -> strip tl
       | a :: tl when String.length a > 0 && a.[0] = '-' -> strip tl
       | a :: tl -> a :: strip tl
       | [] -> []
@@ -744,5 +965,9 @@ let () =
   List.iter
     (fun ((name, _, _) as s) -> if List.mem name requested then run_section s)
     sections;
-  if json_mode then write_json "BENCH_refresh.json";
-  Trace.flush ()
+  if json_mode then write_json json_path;
+  Trace.flush ();
+  if !violations <> [] then begin
+    List.iter (Printf.eprintf "INVARIANT VIOLATED: %s\n") (List.rev !violations);
+    exit 1
+  end

@@ -35,6 +35,28 @@ let differential_messages ?(model = Geometric) ?(include_tail = true) ~n ~q ~u (
   let entries = q *. float_of_int n *. transmit_probability ~model ~q ~u in
   if include_tail && n > 0 then entries +. 1.0 else entries
 
+(* Page-decode cost of serving [subs] snapshots of one table: a page is
+   touched (holds at least one updated entry) with probability
+   [1 - (1-u)^epp]; a pruned solo scan decodes the touched pages, so
+   [subs] solo scans decode [subs] times that, while one group scan
+   decodes each touched page once no matter how many subscribers consume
+   it.  (First refresh after a summary invalidation decodes everything;
+   this models the steady state.) *)
+let pages_touched ~pages ~entries_per_page ~u =
+  if pages < 0 then invalid_arg "Model: pages must be non-negative";
+  if entries_per_page < 0 then invalid_arg "Model: entries_per_page must be non-negative";
+  check_u u;
+  float_of_int pages
+  *. (1.0 -. Float.pow (1.0 -. u) (float_of_int entries_per_page))
+
+let solo_scan_pages ~pages ~entries_per_page ~u ~subs =
+  if subs < 0 then invalid_arg "Model: subs must be non-negative";
+  float_of_int subs *. pages_touched ~pages ~entries_per_page ~u
+
+let group_scan_pages ~pages ~entries_per_page ~u ~subs =
+  if subs < 0 then invalid_arg "Model: subs must be non-negative";
+  if subs = 0 then 0.0 else pages_touched ~pages ~entries_per_page ~u
+
 let pct_of_table ~n x =
   if n = 0 then 0.0 else 100.0 *. x /. float_of_int n
 

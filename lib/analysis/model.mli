@@ -41,6 +41,23 @@ val differential_messages :
 (** [include_tail] (default true) adds the unconditional trailing delete
     message. *)
 
+val pages_touched : pages:int -> entries_per_page:int -> u:float -> float
+(** Expected pages holding at least one updated entry:
+    [pages·(1 - (1-u)^epp)] — what one pruned differential scan decodes
+    in steady state. *)
+
+val solo_scan_pages : pages:int -> entries_per_page:int -> u:float -> subs:int -> float
+(** Page decodes for [subs] snapshots refreshed by independent solo
+    scans: [subs · pages_touched]. *)
+
+val group_scan_pages : pages:int -> entries_per_page:int -> u:float -> subs:int -> float
+(** Page decodes for the same [subs] snapshots served by one group scan:
+    a touched page is decoded once regardless of how many subscribers
+    consume it, so the cost is flat in [subs] — the amortization
+    {!Snapdiff_core.Differential.refresh_group} exists to realize.
+    (Assumes subscribers share SnapTime-comparable staleness; a straggler
+    whose cache is cold forces extra decodes toward the solo bound.) *)
+
 val pct_of_table : n:int -> float -> float
 (** Messages as a percentage of base-table size — the y-axis of Figures 8
     and 9. *)

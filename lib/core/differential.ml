@@ -7,6 +7,9 @@ let m_entries_pruned = Metrics.counter Metrics.global "refresh.entries_pruned"
 let m_pages_decoded = Metrics.counter Metrics.global "refresh.pages_decoded"
 let m_pages_skipped = Metrics.counter Metrics.global "refresh.pages_skipped"
 let m_fixup_writes = Metrics.counter Metrics.global "refresh.fixup_writes"
+let m_group_scans = Metrics.counter Metrics.global "refresh.group_scans"
+let m_group_subscribers = Metrics.counter Metrics.global "refresh.group_subscribers"
+let m_group_decodes_saved = Metrics.counter Metrics.global "refresh.group_decodes_saved"
 
 module Prune_cache = struct
   type entry = { token : int; page_last_qual : Addr.t option }
@@ -29,93 +32,167 @@ type report = {
   tail_suppressed : bool;
 }
 
-let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project ~xmit ()
-    =
+type subscriber = {
+  sub_snaptime : Clock.ts;
+  sub_restrict : Tuple.t -> bool;
+  sub_project : Tuple.t -> Tuple.t;
+  sub_tail_suppression : Addr.t option;
+  sub_prune : Prune_cache.t option;
+  sub_xmit : Refresh_msg.t -> unit;
+}
+
+type group_report = {
+  group_pages : int;
+  group_pages_decoded : int;
+  group_decodes_saved : int;
+  group_fixup_writes : int;
+  sub_reports : report array;
+}
+
+(* Per-subscriber scan state: exactly the refs a solo refresh keeps, minus
+   the fix-up state, which belongs to the base table and is shared. *)
+type sub_state = {
+  sub : subscriber;
+  mutable new_snaptime : Clock.ts;
+  mutable last_qual : Addr.t;
+  mutable deletion : bool;
+  mutable scanned : int;
+  mutable skipped : int;
+  mutable st_pages_decoded : int;
+  mutable st_pages_skipped : int;
+  mutable data_messages : int;
+  mutable page_last_qual : Addr.t option;  (* on the page being decoded *)
+}
+
+(* What one subscriber does with the current page. *)
+type page_decision =
+  | Decode
+  | Skip_empty  (* summary proves the page holds no live entries *)
+  | Skip_cached of Base_table.page_summary * Addr.t option
+      (* summary + cached last qualifying address prove the decode moot *)
+
+let refresh_group ~base subs =
+  let n_subs = Array.length subs in
+  if n_subs = 0 then invalid_arg "Differential.refresh_group: empty group";
   let deferred = Base_table.mode base = Base_table.Deferred in
-  (* One fresh timestamp serves as both FixupTime and the new SnapTime;
-     the table lock guarantees no changes slip between them. *)
-  let now = Clock.tick (Base_table.clock base) in
-  let data_messages = ref 0 in
-  let send m =
-    if Refresh_msg.is_data m then incr data_messages;
-    xmit m
+  let states =
+    Array.map
+      (fun sub ->
+        { sub; new_snaptime = Clock.never; last_qual = Addr.zero; deletion = false;
+          scanned = 0; skipped = 0; st_pages_decoded = 0; st_pages_skipped = 0;
+          data_messages = 0; page_last_qual = None })
+      subs
   in
-  (* Fix-up state (deferred mode only). *)
+  (* One clock tick per subscriber, in subscriber order: subscriber [i]'s
+     new SnapTime is exactly the timestamp the i-th of a sequence of solo
+     refreshes (same order, same table lock) would have drawn.  The first
+     tick doubles as the shared FixupTime — in a solo sequence the first
+     refresher is the one whose fix-up pass stamps every disturbed entry,
+     and later refreshers find the fields already restored. *)
+  for i = 0 to n_subs - 1 do
+    states.(i).new_snaptime <- Clock.tick (Base_table.clock base)
+  done;
+  let fixup_time = states.(0).new_snaptime in
+  let send st m =
+    if Refresh_msg.is_data m then st.data_messages <- st.data_messages + 1;
+    st.sub.sub_xmit m
+  in
+  (* Shared fix-up state (deferred mode only): it tracks the base table's
+     annotation chain, not any one subscriber, so one copy serves the whole
+     group.  After a decoded page's chain is repaired — or a skipped page's
+     summary proves it intact — the state lands on the page's last live
+     address either way, which is why per-subscriber skip decisions can all
+     read the same refs. *)
   let expect_prev = ref Addr.zero in
   let last_addr = ref Addr.zero in
   let fixup_writes = ref 0 in
-  (* Refresh state (Figure 3). *)
-  let last_qual = ref Addr.zero in
-  let deletion = ref false in
-  let scanned = ref 0 in
-  let skipped = ref 0 in
   let pages_decoded = ref 0 in
-  let pages_skipped = ref 0 in
-  (* A page may be skipped without decoding when its summary (exact by
-     construction — any mutation would have removed it) proves that a full
-     decode would neither write a fix-up nor transmit an entry, and the
-     scan state can be advanced as if the decode had happened:
-
-     - [sum_max_ts <= snaptime]: no entry on the page is changed;
-     - deferred mode additionally needs [ExpectPrev = LastAddr] (a pending
-       insertion before the page would force a repoint of its first entry,
-       and — worse — silently re-align the chain so a later deletion of
-       that insertion became undetectable) and [sum_first_prev =
-       ExpectPrev] (no deletion anomaly at the page boundary);
-     - a valid qualification-cache entry (same summary token) tells us the
-       last qualifying address on the page, which is what [LastQual] must
-       become; with the [Deletion] flag pending the page may hold no
-       qualifying entry at all, since that entry would have to be
-       transmitted. *)
-  let try_skip page =
-    match prune with
-    | None -> None
-    | Some cache -> (
-      match Base_table.page_summary base page with
-      | None -> None
-      | Some s ->
-        if s.Base_table.sum_live = 0 then Some None
-        else if s.Base_table.sum_max_ts > snaptime then None
-        else if
-          deferred
-          && not (!expect_prev = !last_addr && s.Base_table.sum_first_prev = !expect_prev)
-        then None
-        else (
-          match Hashtbl.find_opt cache page with
-          | Some { Prune_cache.token; page_last_qual }
-            when token = s.Base_table.sum_token
-                 && not (!deletion && page_last_qual <> None) ->
-            Some (Some (s, page_last_qual))
-          | _ -> None))
+  let pages = Base_table.data_pages base in
+  (* A subscriber may skip a page under exactly the solo conditions: the
+     summary proves nothing on the page is newer than its SnapTime, the
+     (shared) chain state shows no anomaly pending at the boundary, and its
+     own qualification cache supplies the page's last qualifying address.
+     The page is decoded iff any subscriber cannot skip it. *)
+  let decide st =
+    fun page ->
+      match st.sub.sub_prune with
+      | None -> Decode
+      | Some cache -> (
+        match Base_table.page_summary base page with
+        | None -> Decode
+        | Some s ->
+          if s.Base_table.sum_live = 0 then Skip_empty
+          else if s.Base_table.sum_max_ts > st.sub.sub_snaptime then Decode
+          else if
+            deferred
+            && not
+                 (!expect_prev = !last_addr
+                 && s.Base_table.sum_first_prev = !expect_prev)
+          then Decode
+          else (
+            match Hashtbl.find_opt cache page with
+            | Some { Prune_cache.token; page_last_qual }
+              when token = s.Base_table.sum_token
+                   && not (st.deletion && page_last_qual <> None) ->
+              Skip_cached (s, page_last_qual)
+            | _ -> Decode))
   in
-  for page = 1 to Base_table.data_pages base do
-    match try_skip page with
-    | Some None -> incr pages_skipped  (* provably empty page *)
-    | Some (Some (s, page_last_qual)) ->
-      incr pages_skipped;
-      skipped := !skipped + s.Base_table.sum_live;
-      if deferred then begin
-        expect_prev := s.Base_table.sum_last_live;
-        last_addr := s.Base_table.sum_last_live
-      end;
-      (match page_last_qual with Some l -> last_qual := l | None -> ())
-    | None ->
+  let apply_skip st = function
+    | Skip_empty -> st.st_pages_skipped <- st.st_pages_skipped + 1
+    | Skip_cached (s, page_last_qual) ->
+      st.st_pages_skipped <- st.st_pages_skipped + 1;
+      st.skipped <- st.skipped + s.Base_table.sum_live;
+      (match page_last_qual with Some l -> st.last_qual <- l | None -> ())
+    | Decode -> assert false
+  in
+  for page = 1 to pages do
+    let decisions = Array.map (fun st -> decide st page) states in
+    let need_decode =
+      Array.exists (function Decode -> true | _ -> false) decisions
+    in
+    if not need_decode then begin
+      (* Nobody needs the page decoded; advance every subscriber's state by
+         its own skip rule and the shared chain state once from the summary
+         (all cached skips saw the same summary). *)
+      Array.iteri (fun i st -> apply_skip st decisions.(i)) states;
+      (* All skip decisions on one page agree on the summary (it is shared
+         state): either the page is provably empty — chain untouched — or
+         every subscriber saw the same cached-skip summary, whose last live
+         address is where an actual decode would have left the chain. *)
+      if deferred then
+        match
+          Array.find_opt (function Skip_cached _ -> true | _ -> false) decisions
+        with
+        | Some (Skip_cached (s, _)) ->
+          expect_prev := s.Base_table.sum_last_live;
+          last_addr := s.Base_table.sum_last_live
+        | _ -> ()
+    end
+    else begin
+      (* Decode once; feed the entries to exactly the subscribers that need
+         them, while the skippers advance by their fast path. *)
       incr pages_decoded;
+      Array.iteri
+        (fun i st ->
+          match decisions.(i) with
+          | Decode ->
+            st.st_pages_decoded <- st.st_pages_decoded + 1;
+            st.page_last_qual <- None
+          | d -> apply_skip st d)
+        states;
       let live = ref 0 in
       let first_live = ref Addr.zero in
       let page_last_live = ref Addr.zero in
       let first_prev = ref Addr.zero in
       let max_ts = ref Clock.never in
       let any_null = ref false in
-      let page_last_qual = ref None in
       Base_table.iter_page_stored base ~page (fun addr stored ->
-          incr scanned;
           let user, ann = Annotations.split stored in
           let ann =
             if deferred then begin
               let ann', expect_prev' =
                 Fixup.step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr
-                  ~fixup_time:now ann
+                  ~fixup_time ann
               in
               if ann' <> ann then begin
                 Base_table.set_stored base addr (Annotations.with_annotations stored ann');
@@ -137,24 +214,33 @@ let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project
           | Some ts -> if ts > !max_ts then max_ts := ts
           | None -> any_null := true);
           if ann.Annotations.prev_addr = None then any_null := true;
-          (* A NULL timestamp cannot survive fix-up; in eager mode it would
-             mean corrupted annotations — treat it as "changed" to stay safe. *)
-          let changed =
-            match ann.Annotations.timestamp with
-            | None -> true
-            | Some ts -> ts > snaptime
-          in
-          if restrict user then begin
-            if changed || !deletion then
-              send
-                (Refresh_msg.Entry { addr; prev_qual = !last_qual; values = project user });
-            last_qual := addr;
-            page_last_qual := Some addr;
-            deletion := false
-          end
-          else if changed then
-            (* "Updated entry ==> may have qualified before update." *)
-            deletion := true);
+          Array.iteri
+            (fun i st ->
+              match decisions.(i) with
+              | Decode ->
+                st.scanned <- st.scanned + 1;
+                (* A NULL timestamp cannot survive fix-up; in eager mode it
+                   would mean corrupted annotations — treat as changed. *)
+                let changed =
+                  match ann.Annotations.timestamp with
+                  | None -> true
+                  | Some ts -> ts > st.sub.sub_snaptime
+                in
+                if st.sub.sub_restrict user then begin
+                  if changed || st.deletion then
+                    send st
+                      (Refresh_msg.Entry
+                         { addr; prev_qual = st.last_qual;
+                           values = st.sub.sub_project user });
+                  st.last_qual <- addr;
+                  st.page_last_qual <- Some addr;
+                  st.deletion <- false
+                end
+                else if changed then
+                  (* "Updated entry ==> may have qualified before update." *)
+                  st.deletion <- true
+              | _ -> ())
+            states);
       if not !any_null then begin
         let token =
           Base_table.record_page_summary base ~page ~live:!live ~first_live:!first_live
@@ -162,37 +248,87 @@ let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project
             ~first_prev:(if !live = 0 then Addr.zero else !first_prev)
             ~max_ts:!max_ts
         in
-        match prune with
-        | Some cache ->
-          Hashtbl.replace cache page
-            { Prune_cache.token; page_last_qual = !page_last_qual }
-        | None -> ()
+        Array.iteri
+          (fun i st ->
+            match (decisions.(i), st.sub.sub_prune) with
+            | Decode, Some cache ->
+              Hashtbl.replace cache page
+                { Prune_cache.token; page_last_qual = st.page_last_qual }
+            | _ -> ())
+          states
       end
       else
-        match prune with Some cache -> Hashtbl.remove cache page | None -> ()
+        Array.iteri
+          (fun i st ->
+            match (decisions.(i), st.sub.sub_prune) with
+            | Decode, Some cache -> Hashtbl.remove cache page
+            | _ -> ())
+          states
+    end
   done;
-  (* "Handle deletions at end of BaseTable": unconditional in the paper;
-     optionally suppressed when the snapshot provably holds nothing above
-     LastQual. *)
-  let tail_suppressed =
-    match tail_suppression with
-    | Some high_water when high_water <= !last_qual -> true
-    | Some _ | None -> false
+  let sub_reports =
+    Array.mapi
+      (fun i st ->
+        (* "Handle deletions at end of BaseTable": unconditional in the
+           paper; optionally suppressed when the snapshot provably holds
+           nothing above LastQual. *)
+        let tail_suppressed =
+          match st.sub.sub_tail_suppression with
+          | Some high_water when high_water <= st.last_qual -> true
+          | Some _ | None -> false
+        in
+        if not tail_suppressed then
+          send st (Refresh_msg.Tail { last_qual = st.last_qual });
+        send st (Refresh_msg.Snaptime st.new_snaptime);
+        {
+          new_snaptime = st.new_snaptime;
+          entries_scanned = st.scanned;
+          entries_skipped = st.skipped;
+          pages_decoded = st.st_pages_decoded;
+          pages_skipped = st.st_pages_skipped;
+          (* The group's fix-up writes are charged to the first subscriber:
+             in the equivalent solo sequence the first refresher's pass is
+             the one that restores every disturbed annotation, and the rest
+             find nothing left to write. *)
+          fixup_writes = (if i = 0 then !fixup_writes else 0);
+          data_messages = st.data_messages;
+          tail_suppressed;
+        })
+      states
   in
-  if not tail_suppressed then send (Refresh_msg.Tail { last_qual = !last_qual });
-  send (Refresh_msg.Snaptime now);
-  Metrics.add m_entries_decoded !scanned;
-  Metrics.add m_entries_pruned !skipped;
+  let per_sub_decodes =
+    Array.fold_left (fun acc st -> acc + st.st_pages_decoded) 0 states
+  in
+  let decodes_saved = per_sub_decodes - !pages_decoded in
+  Metrics.add m_entries_decoded
+    (Array.fold_left (fun acc st -> acc + st.scanned) 0 states);
+  Metrics.add m_entries_pruned
+    (Array.fold_left (fun acc st -> acc + st.skipped) 0 states);
   Metrics.add m_pages_decoded !pages_decoded;
-  Metrics.add m_pages_skipped !pages_skipped;
+  Metrics.add m_pages_skipped (pages - !pages_decoded);
   Metrics.add m_fixup_writes !fixup_writes;
+  if n_subs > 1 then begin
+    Metrics.incr m_group_scans;
+    Metrics.add m_group_subscribers n_subs;
+    Metrics.add m_group_decodes_saved decodes_saved
+  end;
   {
-    new_snaptime = now;
-    entries_scanned = !scanned;
-    entries_skipped = !skipped;
-    pages_decoded = !pages_decoded;
-    pages_skipped = !pages_skipped;
-    fixup_writes = !fixup_writes;
-    data_messages = !data_messages;
-    tail_suppressed;
+    group_pages = pages;
+    group_pages_decoded = !pages_decoded;
+    group_decodes_saved = decodes_saved;
+    group_fixup_writes = !fixup_writes;
+    sub_reports;
   }
+
+(* The solo scan is a group of one: same code path, so the "group stream =
+   solo stream" invariant is structural for the degenerate case and the two
+   can never drift apart. *)
+let refresh ?(tail_suppression = None) ?prune ~base ~snaptime ~restrict ~project ~xmit ()
+    =
+  let g =
+    refresh_group ~base
+      [| { sub_snaptime = snaptime; sub_restrict = restrict; sub_project = project;
+           sub_tail_suppression = tail_suppression; sub_prune = prune;
+           sub_xmit = xmit } |]
+  in
+  g.sub_reports.(0)

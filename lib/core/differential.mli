@@ -50,6 +50,48 @@ type report = {
   tail_suppressed : bool;
 }
 
+type subscriber = {
+  sub_snaptime : Clock.ts;  (** the snapshot's current [SnapTime] *)
+  sub_restrict : Tuple.t -> bool;  (** compiled [SnapRestrict] *)
+  sub_project : Tuple.t -> Tuple.t;
+  sub_tail_suppression : Addr.t option;
+      (** the snapshot's high-water [BaseAddr]; [None] disables *)
+  sub_prune : Prune_cache.t option;
+      (** this snapshot's own qualification cache — never shared *)
+  sub_xmit : Refresh_msg.t -> unit;  (** this snapshot's own link *)
+}
+(** One consumer of a group scan: everything a solo {!refresh} takes,
+    minus the base table, which the group shares. *)
+
+type group_report = {
+  group_pages : int;  (** data pages in the base table *)
+  group_pages_decoded : int;  (** physical decodes this scan performed *)
+  group_decodes_saved : int;
+      (** sum over subscribers of pages each consumed minus
+          [group_pages_decoded] — the amortization win *)
+  group_fixup_writes : int;
+  sub_reports : report array;  (** one per subscriber, in order *)
+}
+
+val refresh_group : base:Base_table.t -> subscriber array -> group_report
+(** One page-pruned, address-ordered pass over [base], demultiplexed into
+    per-subscriber streams.  Each subscriber keeps its own [SnapTime],
+    restriction, projection, [Deletion] flag, qualification cache, and
+    tail-suppression cursor; a page is decoded at most once per scan —
+    decoded iff {e any} subscriber's summary/prune conditions require it,
+    then fed to exactly the subscribers that need it — and in deferred
+    mode the Figure-7 fix-up writes happen once per scan.
+
+    The clock ticks once per subscriber, in array order, and the first
+    tick is the shared [FixupTime]; consequently subscriber [i]'s stream
+    (including its trailing [Snaptime]) is byte-identical to the [i]-th
+    of a sequence of solo {!refresh} calls over the same table in the
+    same order.  Fix-up writes are charged to subscriber 0's report, as
+    the first solo refresher's pass would have performed all of them.
+    The caller holds the table lock; [sub_xmit] exceptions propagate, so
+    callers wanting failure isolation must absorb link errors inside the
+    subscriber's own [sub_xmit]. *)
+
 val refresh :
   ?tail_suppression:Addr.t option ->
   ?prune:Prune_cache.t ->

@@ -20,6 +20,7 @@ let m_data_messages = Metrics.counter Metrics.global "refresh.data_messages"
 let m_entries_scanned = Metrics.counter Metrics.global "refresh.entries_scanned"
 let h_duration = Metrics.histogram Metrics.global "refresh.duration_us"
 let h_backoff = Metrics.histogram Metrics.global "refresh.backoff_us"
+let h_group_size = Metrics.histogram Metrics.global "refresh.group_size"
 
 let log_src = Logs.Src.create "snapdiff.refresh" ~doc:"snapshot refresh events"
 
@@ -46,6 +47,7 @@ type refresh_report = {
   new_snaptime : Clock.ts;
   entries_scanned : int;
   entries_skipped : int;  (* proven irrelevant by page summaries, not decoded *)
+  pages_decoded : int;  (* pages this stream consumed; differential scans only *)
   fixup_writes : int;
   data_messages : int;
   link_messages : int;  (* physical frames *)
@@ -57,6 +59,7 @@ type refresh_report = {
   aborts : int;  (* attempts that failed or whose stream was discarded *)
   escalated : bool;  (* degraded to full refresh after repeated failures *)
   backoff_us : float;  (* simulated retry backoff accumulated *)
+  group_size : int;  (* subscribers sharing the scan that served this; 1 = solo *)
 }
 
 (* Retry discipline for refresh streams.  Backoff is simulated time
@@ -247,6 +250,7 @@ let blank_report s method_used =
     new_snaptime = Clock.never;
     entries_scanned = 0;
     entries_skipped = 0;
+    pages_decoded = 0;
     fixup_writes = 0;
     data_messages = 0;
     link_messages = 0;
@@ -258,7 +262,47 @@ let blank_report s method_used =
     aborts = 0;
     escalated = false;
     backoff_us = 0.0;
+    group_size = 1;
   }
+
+(* Batched transport: buffer batchable (data) messages and frame up to
+   [t.batch] of them as one Batch under a single header, sequence number
+   and checksum.  Control messages flush the buffer first and travel
+   alone — Snaptime is among them, so the stream's trailing batch is
+   always on the wire before the commit marker.  One such closure per
+   stream: it owns the epoch's sequence-number counter. *)
+let make_stream_xmit t ~epoch ~link =
+  let seq = ref 0 in
+  let buffered = ref [] in  (* newest first *)
+  let buffered_n = ref 0 in
+  let send_framed msg =
+    let logical = Refresh_msg.logical_count msg in
+    let framed = Refresh_msg.encode_framed ~epoch ~seq:!seq msg in
+    incr seq;
+    Link.send link ~logical framed
+  in
+  let flush () =
+    match !buffered with
+    | [] -> ()
+    | [ m ] ->
+      buffered := [];
+      buffered_n := 0;
+      send_framed m
+    | ms ->
+      buffered := [];
+      buffered_n := 0;
+      send_framed (Refresh_msg.Batch (List.rev ms))
+  in
+  fun msg ->
+    if t.batch > 1 && Refresh_msg.batchable msg then begin
+      buffered := msg :: !buffered;
+      incr buffered_n;
+      if !buffered_n >= t.batch then flush ()
+    end
+    else begin
+      flush ();
+      send_framed msg
+    end
 
 (* Run one refresh stream for [s] under [epoch].  Every message is framed
    with the epoch and a sequence number so the receiver can detect gaps,
@@ -270,44 +314,7 @@ let blank_report s method_used =
    on retry. *)
 let rec run_method t s ~epoch method_used =
   let b = base t s.base_name in
-  (* Batched transport: buffer batchable (data) messages and frame up to
-     [t.batch] of them as one Batch under a single header, sequence number
-     and checksum.  Control messages flush the buffer first and travel
-     alone — Snaptime is among them, so the stream's trailing batch is
-     always on the wire before the commit marker. *)
-  let xmit =
-    let seq = ref 0 in
-    let buffered = ref [] in  (* newest first *)
-    let buffered_n = ref 0 in
-    let send_framed msg =
-      let logical = Refresh_msg.logical_count msg in
-      let framed = Refresh_msg.encode_framed ~epoch ~seq:!seq msg in
-      incr seq;
-      Link.send s.link ~logical framed
-    in
-    let flush () =
-      match !buffered with
-      | [] -> ()
-      | [ m ] ->
-        buffered := [];
-        buffered_n := 0;
-        send_framed m
-      | ms ->
-        buffered := [];
-        buffered_n := 0;
-        send_framed (Refresh_msg.Batch (List.rev ms))
-    in
-    fun msg ->
-      if t.batch > 1 && Refresh_msg.batchable msg then begin
-        buffered := msg :: !buffered;
-        incr buffered_n;
-        if !buffered_n >= t.batch then flush ()
-      end
-      else begin
-        flush ();
-        send_framed msg
-      end
-  in
+  let xmit = make_stream_xmit t ~epoch ~link:s.link in
   let nop_commit () = () in
   match method_used with
   | Used_full ->
@@ -333,6 +340,7 @@ let rec run_method t s ~epoch method_used =
         new_snaptime = r.Differential.new_snaptime;
         entries_scanned = r.Differential.entries_scanned;
         entries_skipped = r.Differential.entries_skipped;
+        pages_decoded = r.Differential.pages_decoded;
         fixup_writes = r.Differential.fixup_writes;
         data_messages = r.Differential.data_messages;
         tail_suppressed = r.Differential.tail_suppressed;
@@ -482,10 +490,16 @@ let backoff_delay t ~failures =
    on the snapshot side and retried after exponential backoff with
    jitter.  After [escalate_after] consecutive failures the method
    degrades to a full refresh — the stream that needs the least shared
-   state to converge.  [choose] picks the method for each attempt. *)
-let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () =
+   state to converge.  [choose] picks the method for each attempt.
+
+   [prior_failures]/[prior_backoff] account for attempts made elsewhere —
+   a member of a group scan whose arm failed retries solo here with the
+   group attempt counted as attempt 1, so escalation and the attempt cap
+   see one consecutive-failure history, not two. *)
+let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true)
+    ?(prior_failures = 0) ?(prior_backoff = 0.0) () =
   let p = t.retry in
-  let backoff_total = ref 0.0 in
+  let backoff_total = ref prior_backoff in
   let t_start = Trace.now_us () in
   let rec go attempt =
     Metrics.incr m_attempts;
@@ -504,6 +518,15 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () 
             (Option.value (Snapshot_table.last_abort s.table)
                ~default:"stream not committed by receiver")
       | exception Link.Link_down l -> Error (Printf.sprintf "link %s down mid-stream" l)
+      | exception Link.No_receiver l ->
+        (* A wiring error, not a transient fault: no receiver will appear
+           by retrying, so fail the refresh immediately. *)
+        let reason = Printf.sprintf "link %s: no receiver attached" l in
+        Snapshot_table.discard_stage s.table ~reason;
+        Metrics.incr m_aborted_streams;
+        Metrics.incr m_failures;
+        Metrics.observe h_duration (Trace.now_us () -. t_start);
+        raise (Refresh_failed { snapshot = s.snap_name; attempts = attempt; reason })
     in
     match outcome with
     | Ok (report, on_commit) ->
@@ -553,14 +576,227 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true) () 
         go (attempt + 1)
       end
   in
-  Trace.with_span "refresh" ~attrs:[ ("snapshot", s.snap_name) ] (fun () -> go 1)
+  Trace.with_span "refresh" ~attrs:[ ("snapshot", s.snap_name) ]
+    (fun () -> go (prior_failures + 1))
 
 let refresh_snapshot t s =
   refresh_with_retries t s
     ~choose:(fun t s -> choose_method t s)
     ()
 
-let refresh t name = refresh_snapshot t (snapshot t name)
+(* --- Group refresh ------------------------------------------------------- *)
+
+(* One multiplexed group attempt over [b]: every member gets its own epoch,
+   Request control message, framed/batched stream on its own link, and
+   commit check — but the base table is scanned once.  A member whose link
+   fails mid-stream is muted (its sends become no-ops) rather than allowed
+   to abort the scan: the other subscribers' streams must not notice, and
+   the scan's shared page-decode/fix-up state must stay deterministic.
+   Returns everything the caller needs to settle each arm. *)
+let group_attempt t b members =
+  let n = Array.length members in
+  let epochs =
+    Array.map
+      (fun s ->
+        let e = s.next_epoch in
+        s.next_epoch <- e + 1;
+        e)
+      members
+  in
+  let failed = Array.make n None in
+  let fatal = Array.make n false in
+  let mark i = function
+    | Link.Link_down l ->
+      if failed.(i) = None then
+        failed.(i) <- Some (Printf.sprintf "link %s down mid-stream" l)
+    | Link.No_receiver l ->
+      if failed.(i) = None then
+        failed.(i) <- Some (Printf.sprintf "link %s: no receiver attached" l);
+      fatal.(i) <- true
+    | e -> raise e
+  in
+  Array.iteri
+    (fun i s ->
+      Metrics.incr m_attempts;
+      try
+        Trace.with_span "refresh.request" ~attrs:[ ("snapshot", s.snap_name) ] (fun () ->
+            Link.send s.request_link
+              (Refresh_msg.encode
+                 (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table })))
+      with e -> mark i e)
+    members;
+  (* Deferred-mode fix-up rewrites annotations: exclusive, like the solo
+     path.  The group never includes a priming fix-up — only snapshots
+     already routed to the differential method join a group. *)
+  let lock_mode = if Base_table.mode b = Base_table.Deferred then Lock.X else Lock.S in
+  with_table_lock t b lock_mode (fun () ->
+      let before = Array.map (fun s -> Link.stats s.link) members in
+      let subs =
+        Array.mapi
+          (fun i s ->
+            let raw = make_stream_xmit t ~epoch:epochs.(i) ~link:s.link in
+            {
+              Differential.sub_snaptime = Snapshot_table.snaptime s.table;
+              sub_restrict = s.restrict;
+              sub_project = s.project;
+              sub_tail_suppression =
+                (if s.tail_suppression then Some (Snapshot_table.high_water s.table)
+                 else None);
+              sub_prune = s.prune;
+              sub_xmit =
+                (fun msg -> if failed.(i) = None then try raw msg with e -> mark i e);
+            })
+          members
+      in
+      let g =
+        Trace.with_span "refresh.group"
+          ~attrs:
+            [ ("base", Base_table.name b); ("subscribers", string_of_int n) ]
+          (fun () -> Differential.refresh_group ~base:b subs)
+      in
+      Metrics.observe h_group_size (float_of_int n);
+      let after = Array.map (fun s -> Link.stats s.link) members in
+      (epochs, failed, fatal, g, before, after))
+
+(* Group-refresh [members] (all routed to the differential method) of base
+   [b] under one shared scan, then settle each arm: a committed stream
+   advances that snapshot's cursors exactly as a solo refresh would; a
+   failed arm discards its staged stream and degrades to a solo refresh
+   with retries, the group attempt counting as attempt 1 — unless the
+   failure was a wiring error, which fails immediately. *)
+let group_refresh_base t b members =
+  let n = Array.length members in
+  let t_start = Trace.now_us () in
+  let epochs, failed, fatal, g, before, after = group_attempt t b members in
+  Array.mapi
+    (fun i s ->
+      let committed =
+        failed.(i) = None && Snapshot_table.last_committed_epoch s.table = epochs.(i)
+      in
+      if committed then begin
+        s.mutations_at_refresh <- Base_table.mutations b;
+        let sr = g.Differential.sub_reports.(i) in
+        let report =
+          {
+            (blank_report s Used_differential) with
+            new_snaptime = sr.Differential.new_snaptime;
+            entries_scanned = sr.Differential.entries_scanned;
+            entries_skipped = sr.Differential.entries_skipped;
+            pages_decoded = sr.Differential.pages_decoded;
+            fixup_writes = sr.Differential.fixup_writes;
+            data_messages = sr.Differential.data_messages;
+            tail_suppressed = sr.Differential.tail_suppressed;
+            link_messages = after.(i).Link.messages - before.(i).Link.messages;
+            link_logical_messages =
+              after.(i).Link.logical_messages - before.(i).Link.logical_messages;
+            link_bytes = after.(i).Link.bytes - before.(i).Link.bytes;
+            group_size = n;
+          }
+        in
+        Metrics.incr m_refreshes;
+        Metrics.add m_data_messages report.data_messages;
+        Metrics.add m_entries_scanned report.entries_scanned;
+        Metrics.observe h_duration (Trace.now_us () -. t_start);
+        Log.info (fun m ->
+            m "refresh %s via group scan (%d subscribers): %d data msgs, %d bytes, snaptime %d"
+              s.snap_name n report.data_messages report.link_bytes report.new_snaptime);
+        (s.snap_name, Ok report)
+      end
+      else begin
+        let reason =
+          match failed.(i) with
+          | Some r -> r
+          | None ->
+            Option.value (Snapshot_table.last_abort s.table)
+              ~default:"stream not committed by receiver"
+        in
+        Snapshot_table.discard_stage s.table ~reason;
+        Metrics.incr m_aborted_streams;
+        Log.info (fun m ->
+            m "refresh %s group arm failed: %s; degrading to solo" s.snap_name reason);
+        if fatal.(i) || t.retry.max_attempts <= 1 then begin
+          Metrics.incr m_failures;
+          ( s.snap_name,
+            Error (Refresh_failed { snapshot = s.snap_name; attempts = 1; reason }) )
+        end
+        else begin
+          let d = backoff_delay t ~failures:1 in
+          Metrics.observe h_backoff d;
+          Trace.event "refresh.retry"
+            ~attrs:
+              [ ("snapshot", s.snap_name);
+                ("attempt", "1");
+                ("reason", reason);
+                ("backoff_us", Printf.sprintf "%.0f" d) ];
+          Link.advance_time s.link d;
+          if not (Link.is_up s.link) then Link.set_up s.link true;
+          match
+            refresh_with_retries t s
+              ~choose:(fun t s -> choose_method t s)
+              ~prior_failures:1 ~prior_backoff:d ()
+          with
+          | r -> (s.snap_name, Ok r)
+          | exception e -> (s.snap_name, Error e)
+        end
+      end)
+    members
+
+(* Refresh every snapshot named in [names] (all of them by default),
+   grouping by base table so that all members routed to the differential
+   method share one scan; the rest (full, ideal, log-based, or a group of
+   one) refresh solo.  Per-snapshot failures are returned, not raised:
+   one bad arm must not abandon the rest of the batch. *)
+let refresh_all ?only t =
+  let names =
+    match only with
+    | Some l -> List.map (fun n -> (snapshot t n).snap_name) l
+    | None -> List.sort compare (snapshot_names t)
+  in
+  let by_base = Hashtbl.create 8 in
+  let base_order = ref [] in
+  List.iter
+    (fun n ->
+      let s = snapshot t n in
+      let k = key s.base_name in
+      if not (Hashtbl.mem by_base k) then base_order := k :: !base_order;
+      let existing = Option.value (Hashtbl.find_opt by_base k) ~default:[] in
+      Hashtbl.replace by_base k (s :: existing))
+    names;
+  let results =
+    List.concat_map
+      (fun k ->
+        let members = List.rev (Hashtbl.find by_base k) in
+        let b = (Hashtbl.find t.bases k).base_table in
+        let grouped, solo =
+          List.partition (fun s -> choose_method t s = Used_differential) members
+        in
+        let run_solo s =
+          (s.snap_name, try Ok (refresh_snapshot t s) with e -> Error e)
+        in
+        let group_results =
+          match grouped with
+          | [] | [ _ ] -> List.map run_solo grouped
+          | _ -> Array.to_list (group_refresh_base t b (Array.of_list grouped))
+        in
+        group_results @ List.map run_solo solo)
+      (List.rev !base_order)
+  in
+  (* Report in request order regardless of grouping. *)
+  List.map (fun n -> (n, List.assoc n results)) names
+
+let refresh ?(group = false) t name =
+  let s = snapshot t name in
+  if not group then refresh_snapshot t s
+  else begin
+    (* Refresh the named snapshot together with its base-table siblings so
+       they can share the scan; the named snapshot's outcome is this
+       call's, the siblings' reports are dropped (use refresh_all to see
+       them). *)
+    let siblings = List.sort compare (snapshots_on t s.base_name) in
+    match List.assoc s.snap_name (refresh_all ~only:siblings t) with
+    | Ok r -> r
+    | Error e -> raise e
+  end
 
 (* Selectivity measurement for CREATE SNAPSHOT.  Small tables get the
    exact single-pass scan; above [sample_threshold] entries we draw a

@@ -43,6 +43,10 @@ type refresh_report = {
   entries_skipped : int;
       (** entries the pruned differential scan proved irrelevant via page
           summaries and never decoded *)
+  pages_decoded : int;
+      (** base-table pages this snapshot's stream consumed (differential
+          scans only, 0 otherwise); under a group scan, members sharing a
+          page each count it, while the physical decode happened once *)
   fixup_writes : int;
   data_messages : int;
   link_messages : int;  (** physical frames on the wire, incl. bracketing *)
@@ -56,6 +60,8 @@ type refresh_report = {
   aborts : int;  (** streams the receiver discarded before success *)
   escalated : bool;  (** differential abandoned for full after repeated failures *)
   backoff_us : float;  (** simulated time spent backing off between attempts *)
+  group_size : int;
+      (** subscribers that shared the scan serving this refresh; 1 = solo *)
 }
 
 (** {1 Retry policy}
@@ -149,9 +155,31 @@ val create_snapshot :
     restriction, an unknown/hidden projection column, or [Log_based]
     without a WAL; {!Duplicate_name}; {!Unknown_table}. *)
 
-val refresh : t -> string -> refresh_report
+val refresh : ?group:bool -> t -> string -> refresh_report
 (** [REFRESH SNAPSHOT]: runs the snapshot's method under the base-table
-    lock.  Raises {!Unknown_snapshot}. *)
+    lock.  With [group:true] (default false) the named snapshot is
+    refreshed together with every sibling snapshot on its base table via
+    {!refresh_all}, so differential members share one scan; only the
+    named snapshot's report is returned (its failure is re-raised).
+    Raises {!Unknown_snapshot}. *)
+
+val refresh_all : ?only:string list -> t -> (string * (refresh_report, exn) result) list
+(** Refresh every snapshot ([only] restricts and orders the set),
+    grouping by base table: all members the cost model routes to the
+    differential method share {e one} page-pruned base-table scan
+    ({!Snapdiff_core.Differential.refresh_group}) under one table lock —
+    a page is decoded at most once per group and the deferred-mode
+    fix-up runs once per scan — while the rest (full/ideal/log-based,
+    or a differential group of one) refresh solo.  Every per-snapshot
+    guarantee is preserved: each member's stream is framed, batched and
+    checksummed on its own link under its own epoch, applied atomically,
+    and committed independently; a member whose arm fails is muted for
+    the rest of the scan (the others' streams are unaffected), then
+    degrades to a solo refresh with retries, the group attempt counting
+    as attempt 1 toward the retry budget and escalation.  Results come
+    back in request order; failures are per-snapshot [Error]s, never an
+    exception for the whole batch (except {!Unknown_snapshot} for a bad
+    [only] name). *)
 
 val drop_snapshot : t -> string -> unit
 

@@ -11,6 +11,8 @@ let m_fault_outages = Metrics.counter Metrics.global "link.fault_outages"
 
 exception Link_down of string
 
+exception No_receiver of string
+
 type stats = {
   messages : int;
   logical_messages : int;
@@ -103,6 +105,8 @@ let name t = t.link_name
 
 let attach t f = t.receiver <- Some f
 
+let detach t = t.receiver <- None
+
 let is_up t = t.up
 
 let set_up t up = t.up <- up
@@ -180,7 +184,7 @@ let send t ?(logical = 1) payload =
     raise (Link_down t.link_name)
   end;
   match t.receiver with
-  | None -> failwith (Printf.sprintf "Link %s: no receiver attached" t.link_name)
+  | None -> raise (No_receiver t.link_name)
   | Some f -> (
     match consult_faults t with
     | `Outage ->

@@ -14,6 +14,11 @@
 
 exception Link_down of string
 
+exception No_receiver of string
+(** Raised by {!send} when no receiver is attached: a wiring error, not a
+    transient fault — carries the link name.  Unlike {!Link_down} it is
+    not retryable; refresh surfaces it as a configuration failure. *)
+
 type stats = {
   messages : int;  (** physical frames put on the wire *)
   logical_messages : int;
@@ -61,9 +66,12 @@ val name : t -> string
 val attach : t -> (bytes -> unit) -> unit
 (** Install the receiving end.  Replaces any previous receiver. *)
 
+val detach : t -> unit
+(** Remove the receiver; subsequent {!send}s raise {!No_receiver}. *)
+
 val send : t -> ?logical:int -> bytes -> unit
 (** Deliver synchronously.  Raises {!Link_down} (after counting the drop)
-    if the link is down or an injected outage fires; raises [Failure] if
+    if the link is down or an injected outage fires; raises {!No_receiver} if
     no receiver is attached.  Under an armed fault plan the message may
     also be silently lost or delivered corrupted — the sender cannot
     tell, which is the point.  [logical] (default 1) is the number of

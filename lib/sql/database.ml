@@ -499,6 +499,7 @@ let populate_query_snapshot t qs =
     new_snaptime = now;
     entries_scanned = List.length rows;
     entries_skipped = 0;
+    pages_decoded = 0;
     fixup_writes = 0;
     data_messages = List.length rows;
     link_messages = after.Link.messages - before.Link.messages;
@@ -510,6 +511,7 @@ let populate_query_snapshot t qs =
     aborts = 0;
     escalated = false;
     backoff_us = 0.0;
+    group_size = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -759,6 +761,7 @@ let execute t (stmt : Ast.stmt) =
             new_snaptime = Snapshot_table.snaptime (Cascade.table cascade);
             entries_scanned = Snapshot_table.count parent;
             entries_skipped = 0;
+            pages_decoded = 0;
             fixup_writes = 0;
             data_messages = Cascade.messages_forwarded cascade;
             link_messages = stats.Link.messages;
@@ -770,6 +773,7 @@ let execute t (stmt : Ast.stmt) =
             aborts = 0;
             escalated = false;
             backoff_us = 0.0;
+            group_size = 1;
           }
       | exception Invalid_argument m -> err "%s" m)
     | [ b ] -> err "unknown table %s" b

@@ -197,6 +197,76 @@ let test_ideal_matches_model () =
     true
     (Snapdiff_util.Stats.relative_error ~actual ~expected < 0.12)
 
+(* Group-scan page-decode model: boundaries, flatness in subscriber count,
+   and agreement with a simulated group refresh. *)
+let test_group_scan_model () =
+  (* u = 0: nothing touched; u = 1: every page touched. *)
+  feq 1e-9 "quiescent touches nothing" 0.0
+    (Model.pages_touched ~pages:40 ~entries_per_page:16 ~u:0.0);
+  feq 1e-9 "full churn touches all" 40.0
+    (Model.pages_touched ~pages:40 ~entries_per_page:16 ~u:1.0);
+  (* Solo cost grows linearly in subscribers; group cost is flat. *)
+  let solo8 = Model.solo_scan_pages ~pages:40 ~entries_per_page:16 ~u:0.01 ~subs:8 in
+  let solo1 = Model.solo_scan_pages ~pages:40 ~entries_per_page:16 ~u:0.01 ~subs:1 in
+  feq 1e-9 "solo scales with subs" (8.0 *. solo1) solo8;
+  let g8 = Model.group_scan_pages ~pages:40 ~entries_per_page:16 ~u:0.01 ~subs:8 in
+  feq 1e-9 "group flat in subs" solo1 g8;
+  checkb "group never above solo" true (g8 <= solo8);
+  feq 1e-9 "no subscribers, no decodes" 0.0
+    (Model.group_scan_pages ~pages:40 ~entries_per_page:16 ~u:0.3 ~subs:0)
+
+let test_group_model_matches_simulation () =
+  (* A steady-state group refresh of identical-staleness subscribers must
+     decode about [pages_touched] pages per cycle, not [subs] times it. *)
+  let clock = Clock.create () in
+  let base = Workload.make_base ~page_size:512 ~clock () in
+  let rng = Rng.create 11 in
+  Workload.populate base ~rng ~n:2_000;
+  let restrict = Eval.compile Workload.schema (Workload.restrict_fraction 0.5) in
+  let subs = 6 in
+  let snaps =
+    Array.init subs (fun i ->
+        ( Snapshot_table.create ~name:(Printf.sprintf "s%d" i) ~schema:Workload.schema (),
+          Differential.Prune_cache.create () ))
+  in
+  let refresh_group () =
+    let outs = Array.init subs (fun _ -> ref []) in
+    let gsubs =
+      Array.mapi
+        (fun i (snap, cache) ->
+          {
+            Differential.sub_snaptime = Snapshot_table.snaptime snap;
+            sub_restrict = restrict;
+            sub_project = Fun.id;
+            sub_tail_suppression = None;
+            sub_prune = Some cache;
+            sub_xmit = (fun m -> outs.(i) := m :: !(outs.(i)));
+          })
+        snaps
+    in
+    let g = Differential.refresh_group ~base gsubs in
+    Array.iteri
+      (fun i (snap, _) -> List.iter (Snapshot_table.apply snap) (List.rev !(outs.(i))))
+      snaps;
+    g
+  in
+  ignore (refresh_group () : Differential.group_report);  (* cold: everything decodes *)
+  let u = 0.01 in
+  ignore
+    (Workload.update_fraction base ~rng ~u ~mix:Workload.payload_updates_only : int);
+  let g = refresh_group () in
+  let pages = g.Differential.group_pages in
+  let epp = 2_000 / pages in
+  let expected = Model.group_scan_pages ~pages ~entries_per_page:epp ~u ~subs in
+  let actual = float_of_int g.Differential.group_pages_decoded in
+  checkb
+    (Printf.sprintf "group decodes %g vs model %g (pages %d)" actual expected pages)
+    true
+    (Snapdiff_util.Stats.relative_error ~actual ~expected < 0.35);
+  (* The whole point: far below what [subs] solo scans would decode. *)
+  checkb "well under solo cost" true
+    (actual < Model.solo_scan_pages ~pages ~entries_per_page:epp ~u ~subs /. 2.0)
+
 let suite =
   [
     Alcotest.test_case "model boundaries" `Quick test_model_boundaries;
@@ -213,4 +283,6 @@ let suite =
     Alcotest.test_case "workload zipf" `Quick test_workload_zipf_runs;
     Alcotest.test_case "model = simulation (differential)" `Quick test_model_matches_simulation;
     Alcotest.test_case "model = simulation (ideal)" `Quick test_ideal_matches_model;
+    Alcotest.test_case "group-scan page model" `Quick test_group_scan_model;
+    Alcotest.test_case "group model = simulation" `Quick test_group_model_matches_simulation;
   ]

@@ -384,6 +384,69 @@ let test_sampled_selectivity_above_threshold () =
   checkb "snapshot itself is exact regardless" true
     (Snapshot_table.count (Manager.snapshot_table m "half") = 6_000)
 
+(* A link with no receiver is a wiring error, not a transient fault: the
+   typed No_receiver must surface (not a bare Failure), and the refresh
+   layer must fail immediately instead of burning its retry budget. *)
+let test_no_receiver_is_typed () =
+  let l = Link.create ~name:"orphan" () in
+  (match Link.send l (Bytes.of_string "x") with
+  | () -> Alcotest.fail "send on a receiverless link succeeded"
+  | exception Link.No_receiver name -> Alcotest.(check string) "link name" "orphan" name);
+  let m, base = setup ~method_:Manager.Differential ([ `Ins 3 ], 10) in
+  ignore (base : Base_table.t);
+  Link.detach (Manager.snapshot_link m "s");
+  (match Manager.refresh m "s" with
+  | (_ : Manager.refresh_report) -> Alcotest.fail "refresh over a detached link succeeded"
+  | exception Manager.Refresh_failed { snapshot; attempts; reason } ->
+    Alcotest.(check string) "snapshot" "s" snapshot;
+    checki "fails immediately, no retries" 1 attempts;
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "reason says no receiver" true (contains reason "no receiver"));
+  (* Reattaching heals it: the snapshot was left on its old image. *)
+  Link.attach (Manager.snapshot_link m "s") (Snapshot_table.apply_bytes (Manager.snapshot_table m "s"));
+  ignore (Manager.refresh m "s" : Manager.refresh_report);
+  checkb "recovers after reattach" true (faithful m base 10)
+
+(* The same wiring error inside a group: the detached member's arm fails
+   for good, the siblings' group refresh commits untouched. *)
+let test_no_receiver_in_group () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~name:"emp" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  for i = 0 to 9 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  List.iter
+    (fun (name, th) ->
+      ignore
+        (Manager.create_snapshot m ~name ~base:"emp"
+           ~restrict:Expr.(col "salary" <. int th)
+           ~method_:Manager.Differential ()
+          : Manager.refresh_report))
+    [ ("a", 10); ("b", 15); ("c", 20) ];
+  Link.detach (Manager.snapshot_link m "b");
+  apply_script base burst;
+  let results = Manager.refresh_all m in
+  (match List.assoc "b" results with
+  | Error (Manager.Refresh_failed { attempts; _ }) -> checki "b fails in one attempt" 1 attempts
+  | Error e -> raise e
+  | Ok _ -> Alcotest.fail "b committed over a detached link");
+  List.iter
+    (fun (name, th) ->
+      match List.assoc name results with
+      | Ok r ->
+        checki (name ^ " refreshed in the group") 3 r.Manager.group_size;
+        checkb (name ^ " faithful") true
+          (Snapshot_table.contents (Manager.snapshot_table m name)
+          = expected_restricted base th)
+      | Error e -> raise e)
+    [ ("a", 10); ("c", 20) ]
+
 let suite =
   [
     Alcotest.test_case "partial stream is neither image (legacy) vs old image (framed)"
@@ -416,4 +479,8 @@ let suite =
       test_drop_last_ideal_detaches_capture;
     Alcotest.test_case "selectivity sampled above 10k entries" `Quick
       test_sampled_selectivity_above_threshold;
+    Alcotest.test_case "no receiver: typed exception, immediate refresh failure" `Quick
+      test_no_receiver_is_typed;
+    Alcotest.test_case "no receiver in a group: siblings unaffected" `Quick
+      test_no_receiver_in_group;
   ]

@@ -466,3 +466,79 @@ let test_link_simulated_time () =
   Alcotest.(check (float 1e-9)) "free link" 0.0 (Link.simulated_time_us free)
 
 let suite = suite @ [ Alcotest.test_case "link simulated time" `Quick test_link_simulated_time ]
+
+(* Appended: group refresh routing.  refresh_all shares one scan among the
+   differential members of each base table and leaves the rest solo; the
+   per-member streams still commit independently and the shared scan
+   decodes each page once. *)
+let test_refresh_all_routing () =
+  let clock = Clock.create () in
+  let base = Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema in
+  let other = Base_table.create ~page_size:256 ~name:"dept" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  Manager.register_base m other;
+  for i = 0 to 29 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "e%d" i) (i mod 20)) : Addr.t);
+    ignore (Base_table.insert other (emp (Printf.sprintf "d%d" i) (i mod 20)) : Addr.t)
+  done;
+  let mk name base method_ th =
+    ignore
+      (Manager.create_snapshot m ~name ~base ~method_
+         ~restrict:Expr.(col "salary" <. int th)
+         ()
+        : Manager.refresh_report)
+  in
+  mk "d1" "emp" Manager.Differential 10;
+  mk "d2" "emp" Manager.Differential 15;
+  mk "d3" "emp" Manager.Differential 20;
+  mk "f1" "emp" Manager.Full 10;
+  mk "o1" "dept" Manager.Differential 10;
+  (* Touch both tables so the refreshes have work. *)
+  let first_addr b = fst (List.hd (Base_table.to_user_list b)) in
+  Base_table.update base (first_addr base) (emp "upd" 1);
+  Base_table.update other (first_addr other) (emp "upd" 1);
+  let results = Manager.refresh_all m in
+  checki "five results" 5 (List.length results);
+  let report name =
+    match List.assoc name results with
+    | Ok r -> r
+    | Error e -> raise e
+  in
+  List.iter
+    (fun n -> checki (n ^ " in a group of 3") 3 (report n).Manager.group_size)
+    [ "d1"; "d2"; "d3" ];
+  checki "full member solo" 1 (report "f1").Manager.group_size;
+  checki "lone differential on dept solo" 1 (report "o1").Manager.group_size;
+  (* The group shares the scan: the siblings were charged the same pages a
+     solo scan would touch, yet a refresh of all three cannot have decoded
+     more than one scan's worth of pages. *)
+  let total_pages = Base_table.data_pages base in
+  List.iter
+    (fun n -> checkb (n ^ " decodes bounded by table") true
+        ((report n).Manager.pages_decoded <= total_pages))
+    [ "d1"; "d2"; "d3" ];
+  (* All five snapshots faithful. *)
+  List.iter
+    (fun (n, b, th) ->
+      let want =
+        List.filter_map
+          (fun (a, u) ->
+            match Tuple.get u 1 with
+            | Value.Int s when Int64.to_int s < th -> Some (a, u)
+            | _ -> None)
+          (Base_table.to_user_list b)
+      in
+      checkb (n ^ " faithful") true
+        (Snapshot_table.contents (Manager.snapshot_table m n) = want))
+    [ ("d1", base, 10); ("d2", base, 15); ("d3", base, 20); ("f1", base, 10);
+      ("o1", other, 10) ];
+  (* refresh ~group refreshes the named snapshot with its siblings. *)
+  Base_table.update base (first_addr base) (emp "upd2" 2);
+  let r = Manager.refresh ~group:true m "d2" in
+  checki "named snapshot rode a group" 3 r.Manager.group_size;
+  (* ... and its siblings were refreshed too (their snaptimes advanced). *)
+  let r3 = Manager.refresh m "d3" in
+  checki "sibling had nothing left to scan (just Tail)" 1 r3.Manager.data_messages
+
+let suite = suite @ [ Alcotest.test_case "refresh_all group routing" `Quick test_refresh_all_routing ]

@@ -768,6 +768,396 @@ let prop_msg_roundtrip =
   QCheck2.Test.make ~name:"refresh message codec roundtrip" ~count:500 msg_gen_with_batch
     (fun m -> Refresh_msg.equal m (Refresh_msg.decode (Refresh_msg.encode m)))
 
+(* ---- Group refresh ----------------------------------------------------- *)
+
+(* The group scan must be indistinguishable, per subscriber, from a
+   sequence of solo refreshes in the same order.  Twin universes replay
+   the same script; the group universe's scan ticks the clock once per
+   subscriber and the solo universe once per refresh, so the clocks stay
+   in lockstep and even the Snaptime trailers must match byte for byte.
+   [prune_mask] mixes cached and uncached subscribers in one group —
+   their skip decisions differ per page, which is exactly where the
+   demultiplexing could leak one subscriber's state into another's
+   stream. *)
+let group_gen =
+  Gen.quad scenario_gen Gen.bool (Gen.int_range 2 3) (Gen.int_range 0 7)
+
+let print_group (sc, eager, nsubs, prune_mask) =
+  Printf.sprintf "%s mode=%s nsubs=%d prune_mask=%d" (print_scenario sc)
+    (if eager then "eager" else "deferred")
+    nsubs prune_mask
+
+let bytes_of_stream ms =
+  String.concat "" (List.map (fun m -> Bytes.to_string (Refresh_msg.encode m)) ms)
+
+let prop_group_solo_byte_identity =
+  QCheck2.Test.make ~name:"group refresh stream = solo stream, byte for byte" ~count:80
+    ~print:print_group group_gen
+    (fun ((script, threshold), eager, nsubs, prune_mask) ->
+      let mode = if eager then Base_table.Eager else Base_table.Deferred in
+      let mk_base () =
+        let clock = Clock.create () in
+        let base = Base_table.create ~mode ~page_size:256 ~name:"emp" ~clock emp_schema in
+        for i = 0 to 7 do
+          ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+        done;
+        base
+      in
+      let base_g = mk_base () in
+      let base_s = mk_base () in
+      let thresholds = Array.init nsubs (fun i -> (threshold + (i * 7)) mod 21) in
+      let mk_side () =
+        Array.init nsubs (fun i ->
+            ( Snapshot_table.create ~name:(Printf.sprintf "s%d" i) ~schema:emp_schema (),
+              if (prune_mask lsr i) land 1 = 1 then
+                Some (Differential.Prune_cache.create ())
+              else None ))
+      in
+      let side_g = mk_side () in
+      let side_s = mk_side () in
+      let restrict_of th t = salary t < th in
+      let group_streams () =
+        let outs = Array.init nsubs (fun _ -> ref []) in
+        let gsubs =
+          Array.mapi
+            (fun i (snap, prune) ->
+              {
+                Differential.sub_snaptime = Snapshot_table.snaptime snap;
+                sub_restrict = restrict_of thresholds.(i);
+                sub_project = Fun.id;
+                sub_tail_suppression = None;
+                sub_prune = prune;
+                sub_xmit = (fun m -> outs.(i) := m :: !(outs.(i)));
+              })
+            side_g
+        in
+        let g = Differential.refresh_group ~base:base_g gsubs in
+        (* The amortization invariant the CI bench also enforces: the
+           physical decode count never exceeds what the subscribers were
+           charged (= what solo scans would have decoded). *)
+        if g.Differential.group_decodes_saved < 0 then
+          fail_report "group scan decoded more pages than its subscribers consumed";
+        Array.map (fun o -> List.rev !o) outs
+      in
+      let solo_streams () =
+        Array.mapi
+          (fun i (snap, prune) ->
+            let out = ref [] in
+            ignore
+              (Differential.refresh ?prune ~base:base_s
+                 ~snaptime:(Snapshot_table.snaptime snap)
+                 ~restrict:(restrict_of thresholds.(i)) ~project:Fun.id
+                 ~xmit:(fun m -> out := m :: !out)
+                 ()
+                : Differential.report);
+            List.rev !out)
+          side_s
+      in
+      let check where =
+        let gs = group_streams () in
+        let ss = solo_streams () in
+        for i = 0 to nsubs - 1 do
+          if bytes_of_stream gs.(i) <> bytes_of_stream ss.(i) then
+            fail_report
+              (Printf.sprintf "%s: subscriber %d group stream <> solo stream" where i);
+          List.iter (Snapshot_table.apply (fst side_g.(i))) gs.(i);
+          List.iter (Snapshot_table.apply (fst side_s.(i))) ss.(i);
+          let want =
+            List.filter_map
+              (fun (a, u) -> if salary u < thresholds.(i) then Some (a, u) else None)
+              (Base_table.to_user_list base_g)
+          in
+          if Snapshot_table.contents (fst side_g.(i)) <> want then
+            fail_report (Printf.sprintf "%s: subscriber %d diverged from base view" where i)
+        done
+      in
+      check "initial";
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          incr n;
+          (match op with
+          | Ins s ->
+            ignore (Base_table.insert base_g (emp (Printf.sprintf "x%d" !n) s) : Addr.t);
+            ignore (Base_table.insert base_s (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+          | Upd (i, s) -> (
+            match pick_live base_g i with
+            | Some addr ->
+              Base_table.update base_g addr (emp (Printf.sprintf "u%d" !n) s);
+              Base_table.update base_s addr (emp (Printf.sprintf "u%d" !n) s)
+            | None -> ())
+          | Del i -> (
+            match pick_live base_g i with
+            | Some addr ->
+              Base_table.delete base_g addr;
+              Base_table.delete base_s addr
+            | None -> ())
+          | Refresh -> check (Printf.sprintf "refresh at op %d" !n)))
+        script;
+      check "final";
+      true)
+
+(* Satellite: per-subscriber qualification caches under a group scan must
+   never cross-contaminate.  Two subscribers with different restrictions
+   share every page of a tiny pool-backed table (3 frames, second chance,
+   so summaries are constantly evicted and rebuilt), the base table is
+   dropped and re-attached to the pool mid-script, and both subscribers'
+   group streams must remain byte-identical to their solo twins. *)
+let prop_group_prune_isolation =
+  QCheck2.Test.make
+    ~name:"group prune caches isolated across eviction and restart" ~count:50
+    ~print:print_scenario scenario_gen
+    (fun (script, threshold) ->
+      let thresholds = [| threshold; (threshold + 11) mod 21 |] in
+      let mk () =
+        let store = Page_store.in_memory ~page_size:256 () in
+        let pool = Buffer_pool.create ~frames:3 ~policy:Buffer_pool.Second_chance store in
+        let clock = Clock.create () in
+        (pool, ref (Base_table.on_pool ~name:"emp" ~clock pool emp_schema), clock)
+      in
+      let pool_g, base_g, clock_g = mk () in
+      let pool_s, base_s, clock_s = mk () in
+      ignore (clock_g, clock_s);
+      let mk_side () =
+        Array.init 2 (fun i ->
+            ( Snapshot_table.create ~name:(Printf.sprintf "s%d" i) ~schema:emp_schema (),
+              Differential.Prune_cache.create () ))
+      in
+      let side_g = mk_side () in
+      let side_s = mk_side () in
+      let restrict_of th t = salary t < th in
+      let check where =
+        let outs = Array.init 2 (fun _ -> ref []) in
+        let gsubs =
+          Array.mapi
+            (fun i (snap, cache) ->
+              {
+                Differential.sub_snaptime = Snapshot_table.snaptime snap;
+                sub_restrict = restrict_of thresholds.(i);
+                sub_project = Fun.id;
+                sub_tail_suppression = None;
+                sub_prune = Some cache;
+                sub_xmit = (fun m -> outs.(i) := m :: !(outs.(i)));
+              })
+            side_g
+        in
+        ignore (Differential.refresh_group ~base:!base_g gsubs : Differential.group_report);
+        Array.iteri
+          (fun i (snap, cache) ->
+            let out = ref [] in
+            ignore
+              (Differential.refresh ~prune:cache ~base:!base_s
+                 ~snaptime:(Snapshot_table.snaptime snap)
+                 ~restrict:(restrict_of thresholds.(i)) ~project:Fun.id
+                 ~xmit:(fun m -> out := m :: !out)
+                 ()
+                : Differential.report);
+            let gms = List.rev !(outs.(i)) in
+            let sms = List.rev !out in
+            if bytes_of_stream gms <> bytes_of_stream sms then
+              fail_report
+                (Printf.sprintf "%s: subscriber %d group stream <> solo stream" where i);
+            List.iter (Snapshot_table.apply (fst side_g.(i))) gms;
+            List.iter (Snapshot_table.apply snap) sms;
+            let want =
+              List.filter_map
+                (fun (a, u) -> if salary u < thresholds.(i) then Some (a, u) else None)
+                (Base_table.to_user_list !base_g)
+            in
+            if Snapshot_table.contents (fst side_g.(i)) <> want then
+              fail_report (Printf.sprintf "%s: subscriber %d diverged" where i))
+          side_s
+      in
+      check "initial";
+      let restart_at = List.length script / 2 in
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          incr n;
+          if !n = restart_at then begin
+            Base_table.flush !base_g;
+            base_g := Base_table.on_pool ~name:"emp" ~clock:clock_g pool_g emp_schema;
+            Base_table.flush !base_s;
+            base_s := Base_table.on_pool ~name:"emp" ~clock:clock_s pool_s emp_schema
+          end;
+          match op with
+          | Ins s ->
+            ignore (Base_table.insert !base_g (emp (Printf.sprintf "x%d" !n) s) : Addr.t);
+            ignore (Base_table.insert !base_s (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+          | Upd (i, s) -> (
+            match pick_live !base_g i with
+            | Some addr ->
+              Base_table.update !base_g addr (emp (Printf.sprintf "u%d" !n) s);
+              Base_table.update !base_s addr (emp (Printf.sprintf "u%d" !n) s)
+            | None -> ())
+          | Del i -> (
+            match pick_live !base_g i with
+            | Some addr ->
+              Base_table.delete !base_g addr;
+              Base_table.delete !base_s addr
+            | None -> ())
+          | Refresh -> check (Printf.sprintf "refresh at op %d" !n))
+        script;
+      check "final";
+      true)
+
+(* Manager-level fault isolation: three differential snapshots refresh as
+   one group; the middle one's link fights a seeded fault plan.  A twin
+   universe runs the same script fault-free.  The healthy members'
+   logical streams must be identical across universes (modulo Snaptime
+   values, which legitimately diverge once the faulty member's solo
+   retries tick the clock), their contents faithful every round, and the
+   faulty member must either converge or hold a consistent image — its
+   failures must never leak into the others' streams. *)
+let rec normalize_msg = function
+  | Refresh_msg.Snaptime _ -> Refresh_msg.Snaptime 0
+  | Refresh_msg.Batch ms -> Refresh_msg.Batch (List.map normalize_msg ms)
+  | m -> m
+
+let group_fault_gen =
+  Gen.triple scenario_gen (Gen.oneofl [ 1; 4; 32 ]) (Gen.int_range 0 1000)
+
+let print_group_fault (sc, batch, seed) =
+  Printf.sprintf "%s batch=%d fault_seed=%d" (print_scenario sc) batch seed
+
+let prop_group_fault_isolation =
+  QCheck2.Test.make ~name:"group refresh: a failed arm never perturbs the others"
+    ~count:60 ~print:print_group_fault group_fault_gen
+    (fun ((script, threshold), batch, fault_seed) ->
+      let mk_universe () =
+        let clock = Clock.create () in
+        let base = Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema in
+        let retry = { Manager.default_retry_policy with max_attempts = 60 } in
+        let m = Manager.create ~retry ~batch_size:batch () in
+        Manager.register_base m base;
+        for i = 0 to 7 do
+          ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+        done;
+        let links = Array.init 3 (fun i -> Snapdiff_net.Link.create ~name:(Printf.sprintf "l%d" i) ()) in
+        let names = [| "a"; "b"; "c" |] in
+        Array.iteri
+          (fun i name ->
+            ignore
+              (Manager.create_snapshot m ~name ~base:"emp"
+                 ~restrict:Expr.(col "salary" <. int ((threshold + (i * 5)) mod 21))
+                 ~method_:Manager.Differential ~link:links.(i) ()
+                : Manager.refresh_report))
+          names;
+        (* Tap the healthy links: record each frame's logical message and
+           forward it to the receiver unchanged. *)
+        let taps =
+          Array.map
+            (fun name ->
+              let table = Manager.snapshot_table m name in
+              let acc = ref [] in
+              let link = Manager.snapshot_link m name in
+              Snapdiff_net.Link.attach link (fun b ->
+                  (match Refresh_msg.decode_framed b with
+                  | f -> acc := f.Refresh_msg.msg :: !acc
+                  | exception Refresh_msg.Corrupt _ -> ());
+                  Snapshot_table.apply_bytes table b);
+              acc)
+            names
+        in
+        (m, base, taps)
+      in
+      let m_f, base_f, taps_f = mk_universe () in
+      let m_c, base_c, taps_c = mk_universe () in
+      (* Arm faults on "b" in the faulty universe only, after population. *)
+      Snapdiff_net.Link.inject_faults (Manager.snapshot_link m_f "b") ~drop_prob:0.05
+        ~corrupt_prob:0.03 ~seed:fault_seed ();
+      let check where =
+        let res_f = Manager.refresh_all m_f in
+        let res_c = Manager.refresh_all m_c in
+        (* Healthy members commit in the group in both universes. *)
+        List.iter
+          (fun name ->
+            (match List.assoc name res_f with
+            | Ok r ->
+              if r.Manager.group_size <> 3 then
+                fail_report
+                  (Printf.sprintf "%s: %s group_size = %d, want 3" where name
+                     r.Manager.group_size)
+            | Error _ -> fail_report (Printf.sprintf "%s: healthy member %s failed" where name));
+            match List.assoc name res_c with
+            | Ok _ -> ()
+            | Error _ -> fail_report (Printf.sprintf "%s: clean-universe %s failed" where name))
+          [ "a"; "c" ];
+        (* Healthy streams identical across universes, Snaptime values aside. *)
+        Array.iteri
+          (fun i name ->
+            if name <> "b" then begin
+              let norm acc = List.rev_map normalize_msg !acc in
+              let sf = norm taps_f.(i) in
+              let sc = norm taps_c.(i) in
+              if
+                List.length sf <> List.length sc
+                || not (List.for_all2 Refresh_msg.equal sf sc)
+              then
+                fail_report
+                  (Printf.sprintf "%s: %s's stream perturbed by the faulty sibling" where
+                     name)
+            end)
+          [| "a"; "b"; "c" |];
+        (* Faithfulness per universe; the faulty member may legitimately
+           have failed, but then must hold a consistent (stale) image. *)
+        List.iter
+          (fun (m, base, res) ->
+            List.iter
+              (fun (name, outcome) ->
+                let table = Manager.snapshot_table m name in
+                (match Snapshot_table.validate table with
+                | Ok () -> ()
+                | Error e ->
+                  fail_report (Printf.sprintf "%s: %s invariant: %s" where name e));
+                let th =
+                  match name with
+                  | "a" -> threshold mod 21
+                  | "b" -> (threshold + 5) mod 21
+                  | _ -> (threshold + 10) mod 21
+                in
+                let want =
+                  List.filter_map
+                    (fun (a, u) -> if salary u < th then Some (a, u) else None)
+                    (Base_table.to_user_list base)
+                in
+                match outcome with
+                | Ok _ ->
+                  if Snapshot_table.contents table <> want then
+                    fail_report
+                      (Printf.sprintf "%s: %s committed but diverged from base view" where
+                         name)
+                | Error (Manager.Refresh_failed _) -> ()
+                | Error e -> raise e)
+              res)
+          [ (m_f, base_f, res_f); (m_c, base_c, res_c) ]
+      in
+      check "initial";
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          incr n;
+          match op with
+          | Ins s ->
+            ignore (Base_table.insert base_f (emp (Printf.sprintf "x%d" !n) s) : Addr.t);
+            ignore (Base_table.insert base_c (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+          | Upd (i, s) -> (
+            match pick_live base_f i with
+            | Some addr ->
+              Base_table.update base_f addr (emp (Printf.sprintf "u%d" !n) s);
+              Base_table.update base_c addr (emp (Printf.sprintf "u%d" !n) s)
+            | None -> ())
+          | Del i -> (
+            match pick_live base_f i with
+            | Some addr ->
+              Base_table.delete base_f addr;
+              Base_table.delete base_c addr
+            | None -> ())
+          | Refresh -> check (Printf.sprintf "refresh at op %d" !n))
+        script;
+      check "final";
+      true)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -789,6 +1179,9 @@ let suite =
       prop_msg_roundtrip;
       prop_pruned_batched_ideal_equiv;
       prop_pruned_eviction_restart;
+      prop_group_solo_byte_identity;
+      prop_group_prune_isolation;
+      prop_group_fault_isolation;
     ]
   @ [ Alcotest.test_case "prune: reused-slot delete not hidden" `Quick
         test_prune_insert_reuse_delete ]

