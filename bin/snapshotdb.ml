@@ -221,17 +221,26 @@ let stats_cmd verbose trace json n rounds u =
 (* A canned multi-snapshot workload driven through the group-refresh
    path: one base table carrying several differential snapshots (plus a
    full-refresh one, which routes solo), mutated each round, then
-   refreshed with [Manager.refresh_all] so siblings share one scan. *)
-let refresh_cmd verbose trace json all names n rounds u =
+   refreshed with [Manager.refresh_all] so siblings share one scan.
+   [--chunk-entries N] turns on the chunked concurrent protocol: the
+   scan runs under a table intention lock as lock-coupled page chunks
+   of roughly N entries, with a WAL-tail catch-up phase at the end. *)
+let refresh_cmd verbose trace json all names n rounds u chunk_entries =
   setup_logs verbose trace;
   let module Workload = Snapdiff_workload.Workload in
   let module Manager = Snapdiff_core.Manager in
   let module Text_table = Snapdiff_util.Text_table in
   let rng = Snapdiff_util.Rng.create 0xBEEF in
   let clock = Snapdiff_txn.Clock.create () in
-  let base = Workload.make_base ~clock () in
+  (* WAL-backed so the chunked protocol (which replays the WAL tail to
+     catch up) is eligible when --chunk-entries is given. *)
+  let wal = Snapdiff_wal.Wal.create () in
+  let base = Workload.make_base ~wal ~clock () in
   Workload.populate base ~rng ~n;
-  let m = Manager.create () in
+  let m = match chunk_entries with
+    | Some c -> Manager.create ~chunk_entries:c ()
+    | None -> Manager.create ()
+  in
   Manager.register_base m base;
   let mk name q method_ =
     ignore
@@ -261,11 +270,13 @@ let refresh_cmd verbose trace json all names n rounds u =
           Printf.bprintf buf
             "  {\"snapshot\": \"%s\", \"ok\": true, \"method\": \"%s\", \
              \"group_size\": %d, \"pages_decoded\": %d, \"data_messages\": %d, \
-             \"link_bytes\": %d, \"attempts\": %d}"
+             \"link_bytes\": %d, \"attempts\": %d, \"chunks\": %d, \
+             \"catchup_records\": %d}"
             name
             (Manager.method_name r.Manager.method_used)
             r.Manager.group_size r.Manager.pages_decoded r.Manager.data_messages
-            r.Manager.link_bytes r.Manager.attempts
+            r.Manager.link_bytes r.Manager.attempts r.Manager.chunks
+            r.Manager.catchup_records
         | Error e ->
           Printf.bprintf buf "  {\"snapshot\": \"%s\", \"ok\": false, \"error\": \"%s\"}"
             name (String.escaped (Printexc.to_string e)))
@@ -282,7 +293,8 @@ let refresh_cmd verbose trace json all names n rounds u =
         [ ("snapshot", Text_table.Left); ("method", Text_table.Left);
           ("group", Text_table.Right); ("pages decoded", Text_table.Right);
           ("data msgs", Text_table.Right); ("bytes", Text_table.Right);
-          ("attempts", Text_table.Right); ("result", Text_table.Left) ]
+          ("attempts", Text_table.Right); ("chunks", Text_table.Right);
+          ("catch-up", Text_table.Right); ("result", Text_table.Left) ]
     in
     List.iter
       (fun (name, res) ->
@@ -294,15 +306,20 @@ let refresh_cmd verbose trace json all names n rounds u =
               string_of_int r.Manager.pages_decoded;
               string_of_int r.Manager.data_messages;
               string_of_int r.Manager.link_bytes;
-              string_of_int r.Manager.attempts; "ok" ]
+              string_of_int r.Manager.attempts;
+              string_of_int r.Manager.chunks;
+              string_of_int r.Manager.catchup_records; "ok" ]
         | Error e ->
           Text_table.add_row t
-            [ name; "-"; "-"; "-"; "-"; "-"; "-"; Printexc.to_string e ])
+            [ name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; Printexc.to_string e ])
       results;
     Text_table.print t;
     print_endline
       "Differential siblings of one base share a single scan (the 'group'\n\
-       column); a page is decoded once per group scan, not once per snapshot."
+       column); a page is decoded once per group scan, not once per snapshot.\n\
+       With --chunk-entries, 'chunks' is the lock-coupled page chunks the scan\n\
+       ran as and 'catch-up' the WAL-tail records replayed under the final\n\
+       short table-S lock (0/0 = the monolithic whole-scan lock ran)."
   end;
   0
 
@@ -392,7 +409,21 @@ let refresh_t =
       value & opt float 0.05
       & info [ "u" ] ~docv:"U" ~doc:"Fraction of tuples mutated per round.")
   in
-  Term.(const refresh_cmd $ verbose_t $ trace_t $ json $ all $ names $ n $ rounds $ u)
+  let chunk_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-entries" ] ~docv:"N"
+          ~doc:
+            "Run refresh scans with the chunked concurrent protocol: a table \
+             intention lock plus lock-coupled page-range locks covering \
+             roughly $(docv) entries per chunk, with a WAL-tail catch-up \
+             phase restoring transaction consistency.  Default: the \
+             monolithic whole-scan table lock.")
+  in
+  Term.(
+    const refresh_cmd $ verbose_t $ trace_t $ json $ all $ names $ n $ rounds $ u
+    $ chunk_entries)
 
 let faults_t =
   let n =

@@ -284,3 +284,5 @@ let iter_stored t f = Heap.iter t.heap f
 let last_addr t = Option.value (Heap.last_addr t.heap) ~default:Addr.zero
 
 let lock_resource t = Lock.Table t.table_name
+
+let page_lock_resource t page = Lock.Page (t.table_name, page)

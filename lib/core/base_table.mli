@@ -175,3 +175,10 @@ val last_addr : t -> Addr.t
 val lock_resource : t -> Lock.resource
 (** The table-level lock resource ("we must obtain a table level lock on
     the base table during the fix up (and refresh) procedures"). *)
+
+val page_lock_resource : t -> int -> Lock.resource
+(** The lock resource for one data page — the granule of the chunked
+    refresh protocol: the scan holds short page S/X locks under a table
+    IS/IX intention lock, while updaters take table IX + page IX + entry
+    X, so a refresh only stalls updaters targeting the pages currently
+    under the cursor. *)

@@ -71,7 +71,37 @@ type page_decision =
   | Skip_cached of Base_table.page_summary * Addr.t option
       (* summary + cached last qualifying address prove the decode moot *)
 
-let refresh_group ~base subs =
+(* The scan as a resumable state machine: [start] ticks the clocks and
+   snapshots the page count, [scan_to] advances the cursor page by page
+   (suspendable at any page boundary — everything the loop used to keep in
+   local refs lives in the cursor), [emit_tails] closes the address-ordered
+   part of each stream, and [finish] sends the Snaptime markers and builds
+   the report.  The one-shot [refresh_group] below composes them back into
+   the original monolithic pass, so a caller that never suspends gets the
+   exact former behaviour; the chunked refresh path in [Manager] suspends
+   between page ranges (releasing its page locks) and injects catch-up
+   messages between [emit_tails] and [finish]. *)
+type cursor = {
+  base : Base_table.t;
+  deferred : bool;
+  states : sub_state array;
+  fixup_time : Clock.ts;
+  (* Shared fix-up state (deferred mode only): it tracks the base table's
+     annotation chain, not any one subscriber, so one copy serves the whole
+     group.  After a decoded page's chain is repaired — or a skipped page's
+     summary proves it intact — the state lands on the page's last live
+     address either way, which is why per-subscriber skip decisions can all
+     read the same refs. *)
+  mutable expect_prev : Addr.t;
+  mutable last_addr : Addr.t;
+  mutable fixup_writes : int;
+  mutable pages_decoded : int;
+  pages : int;  (* data pages at scan start; later growth is catch-up's job *)
+  mutable next_page : int;
+  mutable tails_sent : bool;
+}
+
+let start ~base subs =
   let n_subs = Array.length subs in
   if n_subs = 0 then invalid_arg "Differential.refresh_group: empty group";
   let deferred = Base_table.mode base = Base_table.Deferred in
@@ -92,183 +122,200 @@ let refresh_group ~base subs =
   for i = 0 to n_subs - 1 do
     states.(i).new_snaptime <- Clock.tick (Base_table.clock base)
   done;
-  let fixup_time = states.(0).new_snaptime in
-  let send st m =
-    if Refresh_msg.is_data m then st.data_messages <- st.data_messages + 1;
-    st.sub.sub_xmit m
+  {
+    base;
+    deferred;
+    states;
+    fixup_time = states.(0).new_snaptime;
+    expect_prev = Addr.zero;
+    last_addr = Addr.zero;
+    fixup_writes = 0;
+    pages_decoded = 0;
+    pages = Base_table.data_pages base;
+    next_page = 1;
+    tails_sent = false;
+  }
+
+let pages c = c.pages
+
+let next_page c = c.next_page
+
+let send st m =
+  if Refresh_msg.is_data m then st.data_messages <- st.data_messages + 1;
+  st.sub.sub_xmit m
+
+(* A subscriber may skip a page under exactly the solo conditions: the
+   summary proves nothing on the page is newer than its SnapTime, the
+   (shared) chain state shows no anomaly pending at the boundary, and its
+   own qualification cache supplies the page's last qualifying address.
+   The page is decoded iff any subscriber cannot skip it. *)
+let decide c st page =
+  match st.sub.sub_prune with
+  | None -> Decode
+  | Some cache -> (
+    match Base_table.page_summary c.base page with
+    | None -> Decode
+    | Some s ->
+      if s.Base_table.sum_live = 0 then Skip_empty
+      else if s.Base_table.sum_max_ts > st.sub.sub_snaptime then Decode
+      else if
+        c.deferred
+        && not
+             (c.expect_prev = c.last_addr
+             && s.Base_table.sum_first_prev = c.expect_prev)
+      then Decode
+      else (
+        match Hashtbl.find_opt cache page with
+        | Some { Prune_cache.token; page_last_qual }
+          when token = s.Base_table.sum_token
+               && not (st.deletion && page_last_qual <> None) ->
+          Skip_cached (s, page_last_qual)
+        | _ -> Decode))
+
+let apply_skip st = function
+  | Skip_empty -> st.st_pages_skipped <- st.st_pages_skipped + 1
+  | Skip_cached (s, page_last_qual) ->
+    st.st_pages_skipped <- st.st_pages_skipped + 1;
+    st.skipped <- st.skipped + s.Base_table.sum_live;
+    (match page_last_qual with Some l -> st.last_qual <- l | None -> ())
+  | Decode -> assert false
+
+let scan_page c page =
+  let base = c.base in
+  let deferred = c.deferred in
+  let states = c.states in
+  let decisions = Array.map (fun st -> decide c st page) states in
+  let need_decode =
+    Array.exists (function Decode -> true | _ -> false) decisions
   in
-  (* Shared fix-up state (deferred mode only): it tracks the base table's
-     annotation chain, not any one subscriber, so one copy serves the whole
-     group.  After a decoded page's chain is repaired — or a skipped page's
-     summary proves it intact — the state lands on the page's last live
-     address either way, which is why per-subscriber skip decisions can all
-     read the same refs. *)
-  let expect_prev = ref Addr.zero in
-  let last_addr = ref Addr.zero in
-  let fixup_writes = ref 0 in
-  let pages_decoded = ref 0 in
-  let pages = Base_table.data_pages base in
-  (* A subscriber may skip a page under exactly the solo conditions: the
-     summary proves nothing on the page is newer than its SnapTime, the
-     (shared) chain state shows no anomaly pending at the boundary, and its
-     own qualification cache supplies the page's last qualifying address.
-     The page is decoded iff any subscriber cannot skip it. *)
-  let decide st =
-    fun page ->
-      match st.sub.sub_prune with
-      | None -> Decode
-      | Some cache -> (
-        match Base_table.page_summary base page with
-        | None -> Decode
-        | Some s ->
-          if s.Base_table.sum_live = 0 then Skip_empty
-          else if s.Base_table.sum_max_ts > st.sub.sub_snaptime then Decode
-          else if
-            deferred
-            && not
-                 (!expect_prev = !last_addr
-                 && s.Base_table.sum_first_prev = !expect_prev)
-          then Decode
-          else (
-            match Hashtbl.find_opt cache page with
-            | Some { Prune_cache.token; page_last_qual }
-              when token = s.Base_table.sum_token
-                   && not (st.deletion && page_last_qual <> None) ->
-              Skip_cached (s, page_last_qual)
-            | _ -> Decode))
-  in
-  let apply_skip st = function
-    | Skip_empty -> st.st_pages_skipped <- st.st_pages_skipped + 1
-    | Skip_cached (s, page_last_qual) ->
-      st.st_pages_skipped <- st.st_pages_skipped + 1;
-      st.skipped <- st.skipped + s.Base_table.sum_live;
-      (match page_last_qual with Some l -> st.last_qual <- l | None -> ())
-    | Decode -> assert false
-  in
-  for page = 1 to pages do
-    let decisions = Array.map (fun st -> decide st page) states in
-    let need_decode =
-      Array.exists (function Decode -> true | _ -> false) decisions
-    in
-    if not need_decode then begin
-      (* Nobody needs the page decoded; advance every subscriber's state by
-         its own skip rule and the shared chain state once from the summary
-         (all cached skips saw the same summary). *)
-      Array.iteri (fun i st -> apply_skip st decisions.(i)) states;
-      (* All skip decisions on one page agree on the summary (it is shared
-         state): either the page is provably empty — chain untouched — or
-         every subscriber saw the same cached-skip summary, whose last live
-         address is where an actual decode would have left the chain. *)
-      if deferred then
-        match
-          Array.find_opt (function Skip_cached _ -> true | _ -> false) decisions
-        with
-        | Some (Skip_cached (s, _)) ->
-          expect_prev := s.Base_table.sum_last_live;
-          last_addr := s.Base_table.sum_last_live
-        | _ -> ()
-    end
-    else begin
-      (* Decode once; feed the entries to exactly the subscribers that need
-         them, while the skippers advance by their fast path. *)
-      incr pages_decoded;
+  if not need_decode then begin
+    (* Nobody needs the page decoded; advance every subscriber's state by
+       its own skip rule and the shared chain state once from the summary
+       (all cached skips saw the same summary). *)
+    Array.iteri (fun i st -> apply_skip st decisions.(i)) states;
+    (* All skip decisions on one page agree on the summary (it is shared
+       state): either the page is provably empty — chain untouched — or
+       every subscriber saw the same cached-skip summary, whose last live
+       address is where an actual decode would have left the chain. *)
+    if deferred then
+      match
+        Array.find_opt (function Skip_cached _ -> true | _ -> false) decisions
+      with
+      | Some (Skip_cached (s, _)) ->
+        c.expect_prev <- s.Base_table.sum_last_live;
+        c.last_addr <- s.Base_table.sum_last_live
+      | _ -> ()
+  end
+  else begin
+    (* Decode once; feed the entries to exactly the subscribers that need
+       them, while the skippers advance by their fast path. *)
+    c.pages_decoded <- c.pages_decoded + 1;
+    Array.iteri
+      (fun i st ->
+        match decisions.(i) with
+        | Decode ->
+          st.st_pages_decoded <- st.st_pages_decoded + 1;
+          st.page_last_qual <- None
+        | d -> apply_skip st d)
+      states;
+    let live = ref 0 in
+    let first_live = ref Addr.zero in
+    let page_last_live = ref Addr.zero in
+    let first_prev = ref Addr.zero in
+    let max_ts = ref Clock.never in
+    let any_null = ref false in
+    Base_table.iter_page_stored base ~page (fun addr stored ->
+        let user, ann = Annotations.split stored in
+        let ann =
+          if deferred then begin
+            let ann', expect_prev' =
+              Fixup.step ~addr ~expect_prev:c.expect_prev ~last_addr:c.last_addr
+                ~fixup_time:c.fixup_time ann
+            in
+            if ann' <> ann then begin
+              Base_table.set_stored base addr (Annotations.with_annotations stored ann');
+              c.fixup_writes <- c.fixup_writes + 1
+            end;
+            c.expect_prev <- expect_prev';
+            c.last_addr <- addr;
+            ann'
+          end
+          else ann
+        in
+        if !live = 0 then begin
+          first_live := addr;
+          first_prev := Option.value ann.Annotations.prev_addr ~default:Addr.zero
+        end;
+        incr live;
+        page_last_live := addr;
+        (match ann.Annotations.timestamp with
+        | Some ts -> if ts > !max_ts then max_ts := ts
+        | None -> any_null := true);
+        if ann.Annotations.prev_addr = None then any_null := true;
+        Array.iteri
+          (fun i st ->
+            match decisions.(i) with
+            | Decode ->
+              st.scanned <- st.scanned + 1;
+              (* A NULL timestamp cannot survive fix-up; in eager mode it
+                 would mean corrupted annotations — treat as changed. *)
+              let changed =
+                match ann.Annotations.timestamp with
+                | None -> true
+                | Some ts -> ts > st.sub.sub_snaptime
+              in
+              if st.sub.sub_restrict user then begin
+                if changed || st.deletion then
+                  send st
+                    (Refresh_msg.Entry
+                       { addr; prev_qual = st.last_qual;
+                         values = st.sub.sub_project user });
+                st.last_qual <- addr;
+                st.page_last_qual <- Some addr;
+                st.deletion <- false
+              end
+              else if changed then
+                (* "Updated entry ==> may have qualified before update." *)
+                st.deletion <- true
+            | _ -> ())
+          states);
+    if not !any_null then begin
+      let token =
+        Base_table.record_page_summary base ~page ~live:!live ~first_live:!first_live
+          ~last_live:!page_last_live
+          ~first_prev:(if !live = 0 then Addr.zero else !first_prev)
+          ~max_ts:!max_ts
+      in
       Array.iteri
         (fun i st ->
-          match decisions.(i) with
-          | Decode ->
-            st.st_pages_decoded <- st.st_pages_decoded + 1;
-            st.page_last_qual <- None
-          | d -> apply_skip st d)
-        states;
-      let live = ref 0 in
-      let first_live = ref Addr.zero in
-      let page_last_live = ref Addr.zero in
-      let first_prev = ref Addr.zero in
-      let max_ts = ref Clock.never in
-      let any_null = ref false in
-      Base_table.iter_page_stored base ~page (fun addr stored ->
-          let user, ann = Annotations.split stored in
-          let ann =
-            if deferred then begin
-              let ann', expect_prev' =
-                Fixup.step ~addr ~expect_prev:!expect_prev ~last_addr:!last_addr
-                  ~fixup_time ann
-              in
-              if ann' <> ann then begin
-                Base_table.set_stored base addr (Annotations.with_annotations stored ann');
-                incr fixup_writes
-              end;
-              expect_prev := expect_prev';
-              last_addr := addr;
-              ann'
-            end
-            else ann
-          in
-          if !live = 0 then begin
-            first_live := addr;
-            first_prev := Option.value ann.Annotations.prev_addr ~default:Addr.zero
-          end;
-          incr live;
-          page_last_live := addr;
-          (match ann.Annotations.timestamp with
-          | Some ts -> if ts > !max_ts then max_ts := ts
-          | None -> any_null := true);
-          if ann.Annotations.prev_addr = None then any_null := true;
-          Array.iteri
-            (fun i st ->
-              match decisions.(i) with
-              | Decode ->
-                st.scanned <- st.scanned + 1;
-                (* A NULL timestamp cannot survive fix-up; in eager mode it
-                   would mean corrupted annotations — treat as changed. *)
-                let changed =
-                  match ann.Annotations.timestamp with
-                  | None -> true
-                  | Some ts -> ts > st.sub.sub_snaptime
-                in
-                if st.sub.sub_restrict user then begin
-                  if changed || st.deletion then
-                    send st
-                      (Refresh_msg.Entry
-                         { addr; prev_qual = st.last_qual;
-                           values = st.sub.sub_project user });
-                  st.last_qual <- addr;
-                  st.page_last_qual <- Some addr;
-                  st.deletion <- false
-                end
-                else if changed then
-                  (* "Updated entry ==> may have qualified before update." *)
-                  st.deletion <- true
-              | _ -> ())
-            states);
-      if not !any_null then begin
-        let token =
-          Base_table.record_page_summary base ~page ~live:!live ~first_live:!first_live
-            ~last_live:!page_last_live
-            ~first_prev:(if !live = 0 then Addr.zero else !first_prev)
-            ~max_ts:!max_ts
-        in
-        Array.iteri
-          (fun i st ->
-            match (decisions.(i), st.sub.sub_prune) with
-            | Decode, Some cache ->
-              Hashtbl.replace cache page
-                { Prune_cache.token; page_last_qual = st.page_last_qual }
-            | _ -> ())
-          states
-      end
-      else
-        Array.iteri
-          (fun i st ->
-            match (decisions.(i), st.sub.sub_prune) with
-            | Decode, Some cache -> Hashtbl.remove cache page
-            | _ -> ())
-          states
+          match (decisions.(i), st.sub.sub_prune) with
+          | Decode, Some cache ->
+            Hashtbl.replace cache page
+              { Prune_cache.token; page_last_qual = st.page_last_qual }
+          | _ -> ())
+        states
     end
-  done;
-  let sub_reports =
-    Array.mapi
-      (fun i st ->
+    else
+      Array.iteri
+        (fun i st ->
+          match (decisions.(i), st.sub.sub_prune) with
+          | Decode, Some cache -> Hashtbl.remove cache page
+          | _ -> ())
+        states
+  end
+
+let scan_to c ~last_page =
+  let upto = min last_page c.pages in
+  while c.next_page <= upto do
+    scan_page c c.next_page;
+    c.next_page <- c.next_page + 1
+  done
+
+let emit_tails c =
+  if not c.tails_sent then begin
+    c.tails_sent <- true;
+    Array.iter
+      (fun st ->
         (* "Handle deletions at end of BaseTable": unconditional in the
            paper; optionally suppressed when the snapshot provably holds
            nothing above LastQual. *)
@@ -278,7 +325,22 @@ let refresh_group ~base subs =
           | Some _ | None -> false
         in
         if not tail_suppressed then
-          send st (Refresh_msg.Tail { last_qual = st.last_qual });
+          send st (Refresh_msg.Tail { last_qual = st.last_qual }))
+      c.states
+  end
+
+let finish c =
+  scan_to c ~last_page:c.pages;
+  emit_tails c;
+  let n_subs = Array.length c.states in
+  let sub_reports =
+    Array.mapi
+      (fun i st ->
+        let tail_suppressed =
+          match st.sub.sub_tail_suppression with
+          | Some high_water when high_water <= st.last_qual -> true
+          | Some _ | None -> false
+        in
         send st (Refresh_msg.Snaptime st.new_snaptime);
         {
           new_snaptime = st.new_snaptime;
@@ -290,35 +352,37 @@ let refresh_group ~base subs =
              in the equivalent solo sequence the first refresher's pass is
              the one that restores every disturbed annotation, and the rest
              find nothing left to write. *)
-          fixup_writes = (if i = 0 then !fixup_writes else 0);
+          fixup_writes = (if i = 0 then c.fixup_writes else 0);
           data_messages = st.data_messages;
           tail_suppressed;
         })
-      states
+      c.states
   in
   let per_sub_decodes =
-    Array.fold_left (fun acc st -> acc + st.st_pages_decoded) 0 states
+    Array.fold_left (fun acc st -> acc + st.st_pages_decoded) 0 c.states
   in
-  let decodes_saved = per_sub_decodes - !pages_decoded in
+  let decodes_saved = per_sub_decodes - c.pages_decoded in
   Metrics.add m_entries_decoded
-    (Array.fold_left (fun acc st -> acc + st.scanned) 0 states);
+    (Array.fold_left (fun acc st -> acc + st.scanned) 0 c.states);
   Metrics.add m_entries_pruned
-    (Array.fold_left (fun acc st -> acc + st.skipped) 0 states);
-  Metrics.add m_pages_decoded !pages_decoded;
-  Metrics.add m_pages_skipped (pages - !pages_decoded);
-  Metrics.add m_fixup_writes !fixup_writes;
+    (Array.fold_left (fun acc st -> acc + st.skipped) 0 c.states);
+  Metrics.add m_pages_decoded c.pages_decoded;
+  Metrics.add m_pages_skipped (c.pages - c.pages_decoded);
+  Metrics.add m_fixup_writes c.fixup_writes;
   if n_subs > 1 then begin
     Metrics.incr m_group_scans;
     Metrics.add m_group_subscribers n_subs;
     Metrics.add m_group_decodes_saved decodes_saved
   end;
   {
-    group_pages = pages;
-    group_pages_decoded = !pages_decoded;
+    group_pages = c.pages;
+    group_pages_decoded = c.pages_decoded;
     group_decodes_saved = decodes_saved;
-    group_fixup_writes = !fixup_writes;
+    group_fixup_writes = c.fixup_writes;
     sub_reports;
   }
+
+let refresh_group ~base subs = finish (start ~base subs)
 
 (* The solo scan is a group of one: same code path, so the "group stream =
    solo stream" invariant is structural for the degenerate case and the two

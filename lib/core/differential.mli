@@ -73,6 +73,48 @@ type group_report = {
   sub_reports : report array;  (** one per subscriber, in order *)
 }
 
+type cursor
+(** A suspended group scan: the paper's address-ordered pass reified as a
+    resumable state machine.  Everything the monolithic loop kept in local
+    state — per-subscriber [LastQual]/[Deletion]/tail-suppression/prune
+    bookkeeping and the shared deferred-mode PrevAddr-chain fix-up state —
+    lives in the cursor, so the scan can stop at any page boundary (the
+    chunked refresh protocol releases its page locks there and lets
+    updaters interleave) and later resume exactly where it left off. *)
+
+val start : base:Base_table.t -> subscriber array -> cursor
+(** Tick the clock once per subscriber (drawing each stream's new
+    [SnapTime]; the first tick is the shared [FixupTime]), snapshot the
+    data-page count, and position the cursor before page 1.  Nothing is
+    scanned or transmitted yet. *)
+
+val pages : cursor -> int
+(** Data pages the scan will cover (fixed at {!start}; pages added by
+    concurrent inserts are not scanned — the catch-up phase owns them). *)
+
+val next_page : cursor -> int
+(** The 1-based page the next {!scan_to} will decode first;
+    [pages c + 1] once the scan is complete. *)
+
+val scan_to : cursor -> last_page:int -> unit
+(** Advance the scan through page [last_page] (clamped to {!pages}),
+    transmitting [Entry] messages exactly as the monolithic pass would.
+    The caller must hold locks covering the pages being scanned. *)
+
+val emit_tails : cursor -> unit
+(** Close the address-ordered part of every subscriber's stream with its
+    unconditional [Tail] message (suppressed per subscriber under the
+    tail-suppression rule).  Idempotent.  After this, the chunked
+    refresh protocol may append per-subscriber catch-up messages
+    ([Upsert]/[Remove] replayed from the WAL tail) before {!finish}. *)
+
+val finish : cursor -> group_report
+(** Complete the refresh: scan any remaining pages, {!emit_tails} if not
+    yet done, send each subscriber's [Snaptime] commit marker, and build
+    the report.  [refresh_group base subs = finish (start ~base subs)] —
+    the one-shot form is literally the cursor driven without suspension,
+    so the two can never drift apart. *)
+
 val refresh_group : base:Base_table.t -> subscriber array -> group_report
 (** One page-pruned, address-ordered pass over [base], demultiplexed into
     per-subscriber streams.  Each subscriber keeps its own [SnapTime],

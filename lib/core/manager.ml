@@ -8,6 +8,7 @@ module Change_log = Snapdiff_changelog.Change_log
 module Link = Snapdiff_net.Link
 module Model = Snapdiff_analysis.Model
 module Wal = Snapdiff_wal.Wal
+module Recovery = Snapdiff_wal.Recovery
 module Metrics = Snapdiff_obs.Metrics
 module Trace = Snapdiff_obs.Trace
 
@@ -21,6 +22,9 @@ let m_entries_scanned = Metrics.counter Metrics.global "refresh.entries_scanned"
 let h_duration = Metrics.histogram Metrics.global "refresh.duration_us"
 let h_backoff = Metrics.histogram Metrics.global "refresh.backoff_us"
 let h_group_size = Metrics.histogram Metrics.global "refresh.group_size"
+let h_chunks = Metrics.histogram Metrics.global "refresh.chunks"
+let h_catchup_records = Metrics.histogram Metrics.global "refresh.catchup_records"
+let h_lock_hold = Metrics.histogram Metrics.global "refresh.lock_hold_us"
 
 let log_src = Logs.Src.create "snapdiff.refresh" ~doc:"snapshot refresh events"
 
@@ -60,6 +64,9 @@ type refresh_report = {
   escalated : bool;  (* degraded to full refresh after repeated failures *)
   backoff_us : float;  (* simulated retry backoff accumulated *)
   group_size : int;  (* subscribers sharing the scan that served this; 1 = solo *)
+  chunks : int;  (* page-range chunks the scan was split into; 0 = monolithic *)
+  catchup_records : int;  (* net-changed addresses replayed from the WAL tail *)
+  max_lock_hold_us : float;  (* longest single lock-hold window (chunk or catch-up) *)
 }
 
 (* Retry discipline for refresh streams.  Backoff is simulated time
@@ -121,20 +128,27 @@ type t = {
   txns : Txn.manager;
   mutable retry : retry_policy;
   mutable batch : int;  (* flush threshold for batched transport; <= 1 = off *)
+  mutable chunk_entries : int;  (* scan chunk size; max_int = monolithic *)
+  mutable on_chunk : (unit -> unit) option;  (* interleave point between chunks *)
   rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
 }
 
 let key = String.lowercase_ascii
 
-let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1) () =
+let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1)
+    ?(chunk_entries = max_int) () =
   {
     bases = Hashtbl.create 8;
     snapshots = Hashtbl.create 8;
     txns = Txn.create_manager ();
     retry;
     batch = max 1 batch_size;
+    chunk_entries = max 1 chunk_entries;
+    on_chunk = None;
     rng = Snapdiff_util.Rng.create seed;
   }
+
+let txn_manager t = t.txns
 
 let retry_policy t = t.retry
 
@@ -143,6 +157,12 @@ let set_retry_policy t p = t.retry <- p
 let batch_size t = t.batch
 
 let set_batch_size t n = t.batch <- max 1 n
+
+let chunk_entries t = t.chunk_entries
+
+let set_chunk_entries t n = t.chunk_entries <- max 1 n
+
+let set_chunk_hook t f = t.on_chunk <- f
 
 let register_base t table =
   let k = key (Base_table.name table) in
@@ -237,11 +257,19 @@ let estimate_refresh_messages t name =
 
 let with_table_lock t base mode f =
   let txn = Txn.begin_txn t.txns in
-  Fun.protect
-    ~finally:(fun () -> if Txn.is_active txn then ignore (Txn.commit txn : int list))
-    (fun () ->
-      Txn.lock txn (Base_table.lock_resource base) mode;
-      f ())
+  match
+    Txn.lock txn (Base_table.lock_resource base) mode;
+    f ()
+  with
+  | v ->
+    ignore (Txn.commit txn : int list);
+    v
+  | exception e ->
+    (* A failed refresh attempt must not count as a committed transaction:
+       abort releases the same locks but keeps the commit/abort accounting
+       honest and runs any registered undo actions. *)
+    if Txn.is_active txn then ignore (Txn.abort txn : int list);
+    raise e
 
 let blank_report s method_used =
   {
@@ -263,7 +291,227 @@ let blank_report s method_used =
     escalated = false;
     backoff_us = 0.0;
     group_size = 1;
+    chunks = 0;
+    catchup_records = 0;
+    max_lock_hold_us = 0.0;
   }
+
+(* --- Chunked concurrent refresh ------------------------------------------ *)
+
+exception Catchup_truncated
+(* Internal: the WAL tail the catch-up phase needs was truncated while the
+   chunked scan ran.  The attempt cannot be made consistent; the caller
+   escalates to a monolithic full refresh, which needs no log. *)
+
+type chunk_stats = {
+  cs_chunks : int;
+  cs_catchup : int;  (* net-changed addresses replayed, per subscriber *)
+  cs_max_hold_us : float;  (* longest single lock-hold window *)
+}
+
+let no_chunk_stats = { cs_chunks = 0; cs_catchup = 0; cs_max_hold_us = 0.0 }
+
+(* Entries-per-chunk is the user-facing knob; convert it to whole pages
+   using the table's current average page fill. *)
+let chunk_pages_for t b ~total =
+  if total = 0 then 1
+  else max 1 (t.chunk_entries / max 1 (Base_table.count b / max 1 total))
+
+(* Walk pages [1..total] in chunks: each chunk's pages are locked in
+   [page_mode] before the previous chunk's are released (lock coupling —
+   no updater can slip between the cursor's footsteps), the previous
+   chunk's hold time is observed, and the interleave hook runs so
+   cooperative updaters can act on the released pages.  [scan ~last_page]
+   advances the caller's cursor through the newly locked range.  The
+   enclosing table intention lock stays held throughout. *)
+let chunk_walk t txn b ~page_mode ~total ~observe_hold ~scan =
+  let yield () = match t.on_chunk with Some f -> f () | None -> () in
+  let per_chunk = chunk_pages_for t b ~total in
+  let lock_pages lo hi =
+    for p = lo to hi do
+      Txn.lock txn (Base_table.page_lock_resource b p) page_mode
+    done
+  in
+  let unlock_pages lo hi =
+    for p = lo to hi do
+      ignore (Txn.unlock txn (Base_table.page_lock_resource b p) : int list)
+    done
+  in
+  let chunks = ref 0 in
+  let prev = ref None in
+  let next = ref 1 in
+  while !next <= total do
+    let lo = !next in
+    let hi = min total (lo + per_chunk - 1) in
+    let t0 = Trace.now_us () in
+    lock_pages lo hi;
+    (match !prev with
+    | Some (plo, phi, pt0) ->
+      unlock_pages plo phi;
+      observe_hold pt0;
+      yield ()
+    | None -> ());
+    Trace.with_span "refresh.chunk"
+      ~attrs:
+        [ ("table", Base_table.name b); ("pages", Printf.sprintf "%d-%d" lo hi) ]
+      (fun () -> scan ~last_page:hi);
+    incr chunks;
+    prev := Some (lo, hi, t0);
+    next := hi + 1
+  done;
+  (match !prev with
+  | Some (plo, phi, pt0) ->
+    unlock_pages plo phi;
+    observe_hold pt0;
+    yield ()
+  | None -> ());
+  !chunks
+
+(* Committed net changes to [b] since the LSN captured at scan start.
+   Skipped entirely (no log scan) when the per-table LSN map proves the
+   table quiescent since the capture. *)
+let catchup_net_changes b ~wal ~lsn0 =
+  if Wal.oldest_retained wal > lsn0 then raise Catchup_truncated;
+  let table = Base_table.name b in
+  match Wal.last_lsn_for wal ~table with
+  | Some l when l >= lsn0 ->
+    Trace.with_span "refresh.catchup" ~attrs:[ ("table", table) ] (fun () ->
+        fst (Recovery.net_changes wal ~table ~since:lsn0))
+  | _ -> []
+
+(* Replay one subscriber's view of the net changes as Upsert/Remove
+   overlay messages.  WAL records carry stored (annotated) tuples, so the
+   user part is extracted before the snapshot's restriction/projection
+   apply.  Exactly one message per net-changed address: an address whose
+   final version fails the restriction gets a Remove (idempotent if the
+   snapshot never held it). *)
+let catchup_messages nets ~restrict ~project ~xmit =
+  List.iter
+    (fun (addr, net) ->
+      match net.Recovery.after with
+      | Some stored ->
+        let user = Annotations.user_part stored in
+        if restrict user then xmit (Refresh_msg.Upsert { addr; values = project user })
+        else xmit (Refresh_msg.Remove { addr })
+      | None -> xmit (Refresh_msg.Remove { addr }))
+    nets
+
+(* Chunked differential refresh of [subs] over [b]: table intention lock,
+   lock-coupled page chunks driving the resumable scan cursor, then one
+   short table-S catch-up replaying the WAL tail before the Snaptime
+   markers.  Eager mode reads under IS + page S; deferred mode fix-up
+   writes need IX + page X.  The catch-up upgrade IS+S = S (or IX+S = SIX)
+   still excludes updaters for its short window, which is what makes the
+   committed stream transaction-consistent as of catch-up time. *)
+let run_chunked_differential t b subs =
+  let wal =
+    match Base_table.wal b with
+    | Some w -> w
+    | None -> invalid_arg "chunked refresh requires a WAL on the base table"
+  in
+  let deferred = Base_table.mode b = Base_table.Deferred in
+  let txn = Txn.begin_txn t.txns in
+  match
+    Txn.lock txn (Base_table.lock_resource b) (if deferred then Lock.IX else Lock.IS);
+    let lsn0 = Wal.end_lsn wal in
+    let cursor = Differential.start ~base:b subs in
+    let max_hold = ref 0.0 in
+    let observe_hold t0 =
+      let d = Trace.now_us () -. t0 in
+      if d > !max_hold then max_hold := d;
+      Metrics.observe h_lock_hold d
+    in
+    let chunks =
+      chunk_walk t txn b
+        ~page_mode:(if deferred then Lock.X else Lock.S)
+        ~total:(Differential.pages cursor) ~observe_hold
+        ~scan:(fun ~last_page -> Differential.scan_to cursor ~last_page)
+    in
+    let t0 = Trace.now_us () in
+    Txn.lock txn (Base_table.lock_resource b) Lock.S;
+    let nets = catchup_net_changes b ~wal ~lsn0 in
+    Differential.emit_tails cursor;
+    Array.iter
+      (fun sub ->
+        catchup_messages nets ~restrict:sub.Differential.sub_restrict
+          ~project:sub.Differential.sub_project ~xmit:sub.Differential.sub_xmit)
+      subs;
+    let g = Differential.finish cursor in
+    observe_hold t0;
+    let stats =
+      { cs_chunks = chunks; cs_catchup = List.length nets; cs_max_hold_us = !max_hold }
+    in
+    Metrics.observe h_chunks (float_of_int stats.cs_chunks);
+    Metrics.observe h_catchup_records (float_of_int stats.cs_catchup);
+    (g, stats)
+  with
+  | v ->
+    ignore (Txn.commit txn : int list);
+    v
+  | exception e ->
+    if Txn.is_active txn then ignore (Txn.abort txn : int list);
+    raise e
+
+(* Chunked full refresh: same protocol with a read-only page scan (always
+   IS + page S — full refresh never writes annotations here; the priming
+   fix-up case stays monolithic).  The stream is Clear, chunked Upserts,
+   catch-up overlay, Snaptime. *)
+let run_chunked_full t b ~restrict ~project ~xmit =
+  let wal =
+    match Base_table.wal b with
+    | Some w -> w
+    | None -> invalid_arg "chunked refresh requires a WAL on the base table"
+  in
+  let txn = Txn.begin_txn t.txns in
+  match
+    Txn.lock txn (Base_table.lock_resource b) Lock.IS;
+    let lsn0 = Wal.end_lsn wal in
+    let now = Clock.tick (Base_table.clock b) in
+    xmit Refresh_msg.Clear;
+    let scanned = ref 0 in
+    let sent = ref 0 in
+    let last_scanned = ref 0 in
+    let max_hold = ref 0.0 in
+    let observe_hold t0 =
+      let d = Trace.now_us () -. t0 in
+      if d > !max_hold then max_hold := d;
+      Metrics.observe h_lock_hold d
+    in
+    let chunks =
+      chunk_walk t txn b ~page_mode:Lock.S ~total:(Base_table.data_pages b)
+        ~observe_hold
+        ~scan:(fun ~last_page ->
+          for page = !last_scanned + 1 to last_page do
+            Base_table.iter_page_stored b ~page (fun addr stored ->
+                incr scanned;
+                let user = Annotations.user_part stored in
+                if restrict user then begin
+                  incr sent;
+                  xmit (Refresh_msg.Upsert { addr; values = project user })
+                end)
+          done;
+          last_scanned := last_page)
+    in
+    let t0 = Trace.now_us () in
+    Txn.lock txn (Base_table.lock_resource b) Lock.S;
+    let nets = catchup_net_changes b ~wal ~lsn0 in
+    catchup_messages nets ~restrict ~project ~xmit;
+    xmit (Refresh_msg.Snaptime now);
+    observe_hold t0;
+    let stats =
+      { cs_chunks = chunks; cs_catchup = List.length nets; cs_max_hold_us = !max_hold }
+    in
+    Metrics.observe h_chunks (float_of_int stats.cs_chunks);
+    Metrics.observe h_catchup_records (float_of_int stats.cs_catchup);
+    ( { Full_refresh.new_snaptime = now; entries_scanned = !scanned; data_messages = !sent },
+      stats )
+  with
+  | v ->
+    ignore (Txn.commit txn : int list);
+    v
+  | exception e ->
+    if Txn.is_active txn then ignore (Txn.abort txn : int list);
+    raise e
 
 (* Batched transport: buffer batchable (data) messages and frame up to
    [t.batch] of them as one Batch under a single header, sequence number
@@ -436,9 +684,80 @@ let lock_mode_for b s = function
   | Used_full when needs_priming_fixup b s Used_full -> Lock.X
   | Used_differential | Used_full | Used_ideal | Used_log_based -> Lock.S
 
+(* The chunked protocol applies when a chunk size is configured and the
+   method is a scan over a WAL-backed table; priming passes (which rewrite
+   annotations wholesale) and the log/change-log methods (no table scan to
+   chunk) stay monolithic.  [chunk_entries = max_int] — the default —
+   takes the monolithic path unconditionally, byte-identical to the
+   pre-chunking code. *)
+let chunked_eligible t b s ~prime method_used =
+  t.chunk_entries < max_int && (not prime)
+  && Base_table.wal b <> None
+  && (not (needs_priming_fixup b s method_used))
+  && (method_used = Used_differential || method_used = Used_full)
+
+(* One chunked solo stream attempt (a group of one for differential). *)
+let attempt_chunked t s ~epoch method_used =
+  let b = base t s.base_name in
+  let before = Link.stats s.link in
+  let xmit = make_stream_xmit t ~epoch ~link:s.link in
+  let report =
+    Trace.with_span "refresh.scan"
+      ~attrs:[ ("snapshot", s.snap_name); ("method", method_name method_used) ]
+      (fun () ->
+        match method_used with
+        | Used_differential ->
+          let sub =
+            {
+              Differential.sub_snaptime = Snapshot_table.snaptime s.table;
+              sub_restrict = s.restrict;
+              sub_project = s.project;
+              sub_tail_suppression =
+                (if s.tail_suppression then Some (Snapshot_table.high_water s.table)
+                 else None);
+              sub_prune = s.prune;
+              sub_xmit = xmit;
+            }
+          in
+          let g, cs = run_chunked_differential t b [| sub |] in
+          let r = g.Differential.sub_reports.(0) in
+          {
+            (blank_report s method_used) with
+            new_snaptime = r.Differential.new_snaptime;
+            entries_scanned = r.Differential.entries_scanned;
+            entries_skipped = r.Differential.entries_skipped;
+            pages_decoded = r.Differential.pages_decoded;
+            fixup_writes = r.Differential.fixup_writes;
+            data_messages = r.Differential.data_messages + cs.cs_catchup;
+            tail_suppressed = r.Differential.tail_suppressed;
+            chunks = cs.cs_chunks;
+            catchup_records = cs.cs_catchup;
+            max_lock_hold_us = cs.cs_max_hold_us;
+          }
+        | _ ->
+          let r, cs = run_chunked_full t b ~restrict:s.restrict ~project:s.project ~xmit in
+          {
+            (blank_report s Used_full) with
+            new_snaptime = r.Full_refresh.new_snaptime;
+            entries_scanned = r.Full_refresh.entries_scanned;
+            data_messages = r.Full_refresh.data_messages + cs.cs_catchup;
+            chunks = cs.cs_chunks;
+            catchup_records = cs.cs_catchup;
+            max_lock_hold_us = cs.cs_max_hold_us;
+          })
+  in
+  let after = Link.stats s.link in
+  ( {
+      report with
+      link_messages = after.Link.messages - before.Link.messages;
+      link_logical_messages = after.Link.logical_messages - before.Link.logical_messages;
+      link_bytes = after.Link.bytes - before.Link.bytes;
+    },
+    fun () -> () )
+
 (* One complete stream attempt: initiate, lock, optionally prime
    annotations, stream the epoch.  Raises Link.Link_down on an outage. *)
-let attempt_refresh t s ~epoch ~prime ~send_request method_used =
+let attempt_refresh t s ~epoch ~prime ~send_request ~allow_chunked method_used =
   let b = base t s.base_name in
   (* "The refresh algorithm is initiated by sending the last snapshot
      refresh time (SnapTime) ... to the base table." *)
@@ -447,6 +766,9 @@ let attempt_refresh t s ~epoch ~prime ~send_request method_used =
         Link.send s.request_link
           (Refresh_msg.encode
              (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table })));
+  if allow_chunked && chunked_eligible t b s ~prime method_used then
+    attempt_chunked t s ~epoch method_used
+  else
   let lock_mode = if prime then Lock.X else lock_mode_for b s method_used in
   with_table_lock t b lock_mode (fun () ->
       let before = Link.stats s.link in
@@ -501,22 +823,35 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true)
   let p = t.retry in
   let backoff_total = ref prior_backoff in
   let t_start = Trace.now_us () in
+  (* Set when a chunked attempt found the WAL truncated past its catch-up
+     LSN: every subsequent attempt of this refresh runs as a monolithic
+     full refresh, the one stream guaranteed consistent without a log. *)
+  let force_monolithic_full = ref false in
   let rec go attempt =
     Metrics.incr m_attempts;
     let failures = attempt - 1 in
-    let escalated = p.escalate_after > 0 && failures >= p.escalate_after in
+    let escalated =
+      !force_monolithic_full || (p.escalate_after > 0 && failures >= p.escalate_after)
+    in
     if escalated && failures = p.escalate_after then Metrics.incr m_escalations;
     let method_used = if escalated then Used_full else choose t s in
     let epoch = s.next_epoch in
     s.next_epoch <- epoch + 1;
     let outcome =
-      match attempt_refresh t s ~epoch ~prime ~send_request method_used with
+      match
+        attempt_refresh t s ~epoch ~prime ~send_request
+          ~allow_chunked:(not !force_monolithic_full) method_used
+      with
       | report, on_commit ->
         if Snapshot_table.last_committed_epoch s.table = epoch then Ok (report, on_commit)
         else
           Error
             (Option.value (Snapshot_table.last_abort s.table)
                ~default:"stream not committed by receiver")
+      | exception Catchup_truncated ->
+        force_monolithic_full := true;
+        Metrics.incr m_escalations;
+        Error "WAL truncated past the chunked scan's catch-up LSN"
       | exception Link.Link_down l -> Error (Printf.sprintf "link %s down mid-stream" l)
       | exception Link.No_receiver l ->
         (* A wiring error, not a transient fault: no receiver will appear
@@ -625,38 +960,66 @@ let group_attempt t b members =
                  (Refresh_msg.Request { snaptime = Snapshot_table.snaptime s.table })))
       with e -> mark i e)
     members;
-  (* Deferred-mode fix-up rewrites annotations: exclusive, like the solo
-     path.  The group never includes a priming fix-up — only snapshots
-     already routed to the differential method join a group. *)
-  let lock_mode = if Base_table.mode b = Base_table.Deferred then Lock.X else Lock.S in
-  with_table_lock t b lock_mode (fun () ->
-      let before = Array.map (fun s -> Link.stats s.link) members in
-      let subs =
-        Array.mapi
-          (fun i s ->
-            let raw = make_stream_xmit t ~epoch:epochs.(i) ~link:s.link in
-            {
-              Differential.sub_snaptime = Snapshot_table.snaptime s.table;
-              sub_restrict = s.restrict;
-              sub_project = s.project;
-              sub_tail_suppression =
-                (if s.tail_suppression then Some (Snapshot_table.high_water s.table)
-                 else None);
-              sub_prune = s.prune;
-              sub_xmit =
-                (fun msg -> if failed.(i) = None then try raw msg with e -> mark i e);
-            })
-          members
-      in
-      let g =
+  let make_subs () =
+    Array.mapi
+      (fun i s ->
+        let raw = make_stream_xmit t ~epoch:epochs.(i) ~link:s.link in
+        {
+          Differential.sub_snaptime = Snapshot_table.snaptime s.table;
+          sub_restrict = s.restrict;
+          sub_project = s.project;
+          sub_tail_suppression =
+            (if s.tail_suppression then Some (Snapshot_table.high_water s.table)
+             else None);
+          sub_prune = s.prune;
+          sub_xmit = (fun msg -> if failed.(i) = None then try raw msg with e -> mark i e);
+        })
+      members
+  in
+  if t.chunk_entries < max_int && Base_table.wal b <> None then begin
+    (* Chunked group scan: run_chunked_differential owns the transaction
+       and the intention-lock/page-lock protocol.  A truncated catch-up
+       fails every arm of this attempt; the arms then degrade solo, where
+       the retry loop escalates them to monolithic full refreshes. *)
+    let before = Array.map (fun s -> Link.stats s.link) members in
+    let subs = make_subs () in
+    let result =
+      match
         Trace.with_span "refresh.group"
-          ~attrs:
-            [ ("base", Base_table.name b); ("subscribers", string_of_int n) ]
-          (fun () -> Differential.refresh_group ~base:b subs)
-      in
-      Metrics.observe h_group_size (float_of_int n);
-      let after = Array.map (fun s -> Link.stats s.link) members in
-      (epochs, failed, fatal, g, before, after))
+          ~attrs:[ ("base", Base_table.name b); ("subscribers", string_of_int n) ]
+          (fun () -> run_chunked_differential t b subs)
+      with
+      | g, cs -> Some (g, cs)
+      | exception Catchup_truncated ->
+        Metrics.incr m_escalations;
+        Array.iteri
+          (fun i _ ->
+            if failed.(i) = None then
+              failed.(i) <- Some "WAL truncated past the chunked scan's catch-up LSN")
+          members;
+        None
+    in
+    Metrics.observe h_group_size (float_of_int n);
+    let after = Array.map (fun s -> Link.stats s.link) members in
+    (epochs, failed, fatal, result, before, after)
+  end
+  else
+    (* Deferred-mode fix-up rewrites annotations: exclusive, like the solo
+       path.  The group never includes a priming fix-up — only snapshots
+       already routed to the differential method join a group. *)
+    let lock_mode = if Base_table.mode b = Base_table.Deferred then Lock.X else Lock.S in
+    with_table_lock t b lock_mode (fun () ->
+        let before = Array.map (fun s -> Link.stats s.link) members in
+        let subs = make_subs () in
+        let g =
+          Trace.with_span "refresh.group"
+            ~attrs:
+              [ ("base", Base_table.name b); ("subscribers", string_of_int n) ]
+            (fun () -> Differential.refresh_group ~base:b subs)
+        in
+        Metrics.observe h_group_size (float_of_int n);
+        let after = Array.map (fun s -> Link.stats s.link) members in
+        (epochs, failed, fatal, Some (g, no_chunk_stats), before, after))
 
 (* Group-refresh [members] (all routed to the differential method) of base
    [b] under one shared scan, then settle each arm: a committed stream
@@ -667,13 +1030,17 @@ let group_attempt t b members =
 let group_refresh_base t b members =
   let n = Array.length members in
   let t_start = Trace.now_us () in
-  let epochs, failed, fatal, g, before, after = group_attempt t b members in
+  let epochs, failed, fatal, result, before, after = group_attempt t b members in
   Array.mapi
     (fun i s ->
       let committed =
-        failed.(i) = None && Snapshot_table.last_committed_epoch s.table = epochs.(i)
+        result <> None && failed.(i) = None
+        && Snapshot_table.last_committed_epoch s.table = epochs.(i)
       in
       if committed then begin
+        let g, cs =
+          match result with Some gc -> gc | None -> assert false
+        in
         s.mutations_at_refresh <- Base_table.mutations b;
         let sr = g.Differential.sub_reports.(i) in
         let report =
@@ -684,13 +1051,16 @@ let group_refresh_base t b members =
             entries_skipped = sr.Differential.entries_skipped;
             pages_decoded = sr.Differential.pages_decoded;
             fixup_writes = sr.Differential.fixup_writes;
-            data_messages = sr.Differential.data_messages;
+            data_messages = sr.Differential.data_messages + cs.cs_catchup;
             tail_suppressed = sr.Differential.tail_suppressed;
             link_messages = after.(i).Link.messages - before.(i).Link.messages;
             link_logical_messages =
               after.(i).Link.logical_messages - before.(i).Link.logical_messages;
             link_bytes = after.(i).Link.bytes - before.(i).Link.bytes;
             group_size = n;
+            chunks = cs.cs_chunks;
+            catchup_records = cs.cs_catchup;
+            max_lock_hold_us = cs.cs_max_hold_us;
           }
         in
         Metrics.incr m_refreshes;

@@ -62,6 +62,17 @@ type refresh_report = {
   backoff_us : float;  (** simulated time spent backing off between attempts *)
   group_size : int;
       (** subscribers that shared the scan serving this refresh; 1 = solo *)
+  chunks : int;
+      (** page-range chunks the chunked concurrent scan was split into;
+          0 = the monolithic whole-scan-lock path ran *)
+  catchup_records : int;
+      (** net-changed addresses the catch-up phase replayed from the WAL
+          tail (each became one Upsert/Remove on this stream) *)
+  max_lock_hold_us : float;
+      (** longest single lock-hold window — a chunk's page locks or the
+          catch-up's table-S — the measure the chunked protocol bounds;
+          0 on the monolithic path (which holds one table lock throughout,
+          its hold being the whole refresh duration) *)
 }
 
 (** {1 Retry policy}
@@ -95,7 +106,8 @@ exception Bad_definition of string
 
 type t
 
-val create : ?retry:retry_policy -> ?seed:int -> ?batch_size:int -> unit -> t
+val create :
+  ?retry:retry_policy -> ?seed:int -> ?batch_size:int -> ?chunk_entries:int -> unit -> t
 (** [seed] feeds the manager's private RNG (backoff jitter, selectivity
     sampling), keeping runs reproducible.  [batch_size] (default 1 = off)
     is the batched-transport flush threshold: with [batch_size = k > 1],
@@ -103,7 +115,22 @@ val create : ?retry:retry_policy -> ?seed:int -> ?batch_size:int -> unit -> t
     into one {!Refresh_msg.Batch} frame — one link header, one sequence
     number, one checksum — cutting physical message count up to [k]-fold
     while the logical stream (and the receiver's atomic staging) is
-    unchanged. *)
+    unchanged.  [chunk_entries] (default [max_int] = off) enables the
+    chunked concurrent refresh protocol: scans of WAL-backed base tables
+    run under a table {e intention} lock and process roughly
+    [chunk_entries] entries per chunk under short page locks (coupled —
+    the next chunk's pages are locked before the previous chunk's are
+    released), letting updaters interleave between chunks; transaction
+    consistency is restored by a final short table-S catch-up that
+    replays the WAL tail written since the scan began.  With the default,
+    refresh holds the whole-scan table lock exactly as before, and the
+    transmitted stream is byte-identical. *)
+
+val txn_manager : t -> Snapdiff_txn.Txn.manager
+(** The manager's transaction/lock manager.  Cooperative concurrency
+    drivers (tests, the bench) begin updater transactions here so their
+    table-IX/page-IX/entry-X locks contend with the refresh scan's locks
+    in the one shared lock table. *)
 
 val retry_policy : t -> retry_policy
 
@@ -113,6 +140,19 @@ val batch_size : t -> int
 
 val set_batch_size : t -> int -> unit
 (** Takes effect from the next refresh stream; values below 1 clamp to 1. *)
+
+val chunk_entries : t -> int
+
+val set_chunk_entries : t -> int -> unit
+(** Takes effect from the next refresh; values below 1 clamp to 1.
+    [max_int] restores the monolithic whole-scan-lock behaviour. *)
+
+val set_chunk_hook : t -> (unit -> unit) option -> unit
+(** Interleave point for cooperative drivers (tests, the bench): called
+    after each chunk's page locks are released (and once more after the
+    last chunk, before the catch-up phase), while the scan's table
+    intention lock is still held.  The hook may mutate the base table —
+    that is the point — but must not start another refresh of it. *)
 
 val register_base : t -> Base_table.t -> unit
 (** Makes a base table eligible as a snapshot source.  Raises

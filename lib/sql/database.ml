@@ -512,6 +512,9 @@ let populate_query_snapshot t qs =
     escalated = false;
     backoff_us = 0.0;
     group_size = 1;
+    chunks = 0;
+    catchup_records = 0;
+    max_lock_hold_us = 0.0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -774,6 +777,9 @@ let execute t (stmt : Ast.stmt) =
             escalated = false;
             backoff_us = 0.0;
             group_size = 1;
+            chunks = 0;
+            catchup_records = 0;
+            max_lock_hold_us = 0.0;
           }
       | exception Invalid_argument m -> err "%s" m)
     | [ b ] -> err "unknown table %s" b

@@ -39,10 +39,12 @@ let covers held wanted =
 
 type resource =
   | Table of string
+  | Page of string * int
   | Entry of string * Snapdiff_storage.Addr.t
 
 let pp_resource ppf = function
   | Table t -> Format.fprintf ppf "table:%s" t
+  | Page (t, p) -> Format.fprintf ppf "page:%s/%d" t p
   | Entry (t, a) -> Format.fprintf ppf "entry:%s/%a" t Snapdiff_storage.Addr.pp a
 
 type txn_id = int
@@ -303,6 +305,30 @@ let release_all t txn =
   let candidates = List.sort_uniq compare (resources @ shortened) in
   let woken = List.concat_map (fun res -> try_grant_queued t res) candidates in
   List.sort_uniq Int.compare woken
+
+(* Early (non-2PL) release of one granted resource: the chunked refresh
+   scan releases a chunk's page locks once the cursor has moved past them,
+   while keeping its table intention lock.  The freed queue is re-driven
+   exactly as in {!release_all}; the txn's own queued requests (if any)
+   stay queued. *)
+let release_one t txn res =
+  let was_held =
+    match Hashtbl.find_opt t.granted res with
+    | Some h when Hashtbl.mem h txn ->
+      Hashtbl.remove h txn;
+      if Hashtbl.length h = 0 then Hashtbl.remove t.granted res;
+      true
+    | _ -> false
+  in
+  if was_held then begin
+    (match Hashtbl.find_opt t.held txn with
+    | Some s ->
+      Hashtbl.remove s res;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.held txn
+    | None -> ());
+    List.sort_uniq Int.compare (try_grant_queued t res)
+  end
+  else []
 
 let cancel_waits t txn =
   let shortened = remove_queued t txn in

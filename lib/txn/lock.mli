@@ -29,6 +29,10 @@ val covers : mode -> mode -> bool
 
 type resource =
   | Table of string
+  | Page of string * int
+      (** one data page of a table — the granule of the chunked refresh
+          scan, which couples short page locks under a table intention
+          lock instead of holding a table lock for the whole scan *)
   | Entry of string * Snapdiff_storage.Addr.t
 
 val pp_resource : Format.formatter -> resource -> unit
@@ -49,6 +53,16 @@ val acquire :
 val release_all : t -> txn_id -> txn_id list
 (** Drop every lock and queued request of the transaction; returns the
     transactions whose queued requests became granted as a result. *)
+
+val release_one : t -> txn_id -> resource -> txn_id list
+(** Release a single granted resource before the transaction ends (the
+    deliberate non-two-phase step of the chunked refresh protocol: page
+    locks are dropped as the scan cursor moves past them, while the
+    table intention lock is kept to the end).  The freed queue is
+    re-driven exactly as in {!release_all}; returns the transactions
+    whose queued requests became granted.  A no-op (returning []) if the
+    transaction does not hold the resource; queued requests of the
+    releasing transaction itself are untouched. *)
 
 val cancel_waits : t -> txn_id -> txn_id list
 (** Drop only the queued (not yet granted) requests of a transaction.

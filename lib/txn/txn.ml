@@ -1,3 +1,9 @@
+module Metrics = Snapdiff_obs.Metrics
+
+let m_begins = Metrics.counter Metrics.global "txn.begins"
+let m_commits = Metrics.counter Metrics.global "txn.commits"
+let m_aborts = Metrics.counter Metrics.global "txn.aborts"
+
 type manager = {
   locks : Lock.t;
   mutable next_id : int;
@@ -25,6 +31,7 @@ let begin_txn m =
   let txn_id = m.next_id in
   m.next_id <- m.next_id + 1;
   m.active <- m.active + 1;
+  Metrics.incr m_begins;
   { mgr = m; txn_id; state = Active; undo = [] }
 
 let id t = t.txn_id
@@ -43,6 +50,10 @@ let lock t res mode =
   | `Would_block blockers -> raise (Would_block { txn = t.txn_id; blockers })
   | `Deadlock -> raise (Deadlock { txn = t.txn_id })
 
+let unlock t res =
+  check_active t;
+  Lock.release_one t.mgr.locks t.txn_id res
+
 let on_abort t f =
   check_active t;
   t.undo <- f :: t.undo
@@ -55,12 +66,14 @@ let finish t final =
 let commit t =
   check_active t;
   t.undo <- [];
+  Metrics.incr m_commits;
   finish t Committed
 
 let abort t =
   check_active t;
   List.iter (fun f -> f ()) t.undo;
   t.undo <- [];
+  Metrics.incr m_aborts;
   finish t Aborted
 
 let active_count m = m.active

@@ -39,6 +39,13 @@ val lock : t -> Lock.resource -> Lock.mode -> unit
 val try_lock : t -> Lock.resource -> Lock.mode ->
   [ `Granted | `Would_block of int list | `Deadlock ]
 
+val unlock : t -> Lock.resource -> int list
+(** Early release of one granted resource ({!Lock.release_one}) — the
+    deliberate non-two-phase step the chunked refresh scan uses to drop a
+    chunk's page locks while keeping its table intention lock.  Returns
+    the transactions whose queued requests were granted.  A no-op if the
+    resource is not held. *)
+
 val on_abort : t -> (unit -> unit) -> unit
 (** Register an undo action (run in reverse order on abort). *)
 

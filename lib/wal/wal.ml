@@ -11,19 +11,26 @@ type t = {
   mutable buf : Buffer.t;
   mutable count : int;
   mutable base : lsn;  (* LSN of the first retained byte *)
+  per_table : (string, lsn) Hashtbl.t;  (* table -> LSN of its latest record *)
 }
 
 let start_lsn = 0
 
-let create () = { buf = Buffer.create 4096; count = 0; base = 0 }
+let create () =
+  { buf = Buffer.create 4096; count = 0; base = 0; per_table = Hashtbl.create 8 }
 
 let append t r =
   let at = t.base + Buffer.length t.buf in
   Record.encode t.buf r;
   t.count <- t.count + 1;
+  (match Record.table_of r with
+  | Some table -> Hashtbl.replace t.per_table table at
+  | None -> ());
   Metrics.incr m_appends;
   Metrics.add m_append_bytes (t.base + Buffer.length t.buf - at);
   at
+
+let last_lsn_for t ~table = Hashtbl.find_opt t.per_table table
 
 let end_lsn t = t.base + Buffer.length t.buf
 
@@ -111,13 +118,16 @@ let load path =
   let t = create () in
   t.base <- base;
   Buffer.add_string t.buf b;
-  (* Rebuild the record count by decoding the image; this also validates
-     it. *)
+  (* Rebuild the record count and the per-table latest-LSN map by decoding
+     the image; this also validates it. *)
   let bb = Buffer.to_bytes t.buf in
   let len = Bytes.length bb in
   let rec go off =
     if off < len then begin
-      let _, off' = Record.decode bb off in
+      let r, off' = Record.decode bb off in
+      (match Record.table_of r with
+      | Some table -> Hashtbl.replace t.per_table table (t.base + off)
+      | None -> ());
       t.count <- t.count + 1;
       go off'
     end

@@ -20,6 +20,15 @@ val append : t -> Record.t -> lsn
 val end_lsn : t -> lsn
 (** One past the last record: the LSN the next append will get. *)
 
+val last_lsn_for : t -> table:string -> lsn option
+(** LSN of the latest Insert/Delete/Update record naming [table], or
+    [None] if the table never appeared in the log.  Maintained on append
+    (and rebuilt by {!load}); unaffected by {!truncate_before}, so
+    [last_lsn_for t ~table < Some lsn] remains a valid "no changes to
+    [table] since [lsn]" test even after the records themselves were
+    discarded.  The chunked refresh catch-up phase uses it to skip the
+    log-tail scan entirely when its base table was quiescent. *)
+
 val oldest_retained : t -> lsn
 (** Smallest LSN still in the log ({!start_lsn} until the first
     {!truncate_before}).  A reader whose cursor is below this cannot be

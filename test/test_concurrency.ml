@@ -1,0 +1,396 @@
+(* Chunked concurrent refresh: the whole-scan table lock dissolved into a
+   table intention lock plus lock-coupled page-chunk locks, with a final
+   short table-S catch-up replaying the WAL tail written while the scan
+   ran.  These tests drive updaters at the chunk boundaries (the protocol's
+   interleave points) and check that
+
+   - updaters are never blocked on pages the cursor has released,
+   - the committed snapshot equals the base restriction/projection as of
+     the commit Snaptime, whatever interleaved,
+   - a WAL truncated past the scan's catch-up LSN escalates the refresh to
+     a monolithic full refresh instead of committing a hole,
+   - a quiescent chunked stream is byte-identical to the monolithic one,
+   - a failed attempt aborts (never commits) its lock transaction. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Expr = Snapdiff_expr.Expr
+module Link = Snapdiff_net.Link
+module Wal = Snapdiff_wal.Wal
+module Metrics = Snapdiff_obs.Metrics
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+
+let salary t = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+
+let expected_restricted base threshold =
+  List.filter_map
+    (fun (addr, u) -> if salary u < threshold then Some (addr, u) else None)
+    (Base_table.to_user_list base)
+
+let faithful m name base threshold =
+  let snap = Manager.snapshot_table m name in
+  Snapshot_table.contents snap = expected_restricted base threshold
+  && Snapshot_table.validate snap = Ok ()
+
+(* A small page size so a few dozen entries span many pages, giving the
+   chunk walk several boundaries to interleave at. *)
+let setup ?(mode = Base_table.Deferred) ?(prune = true) ?(chunk_entries = 4)
+    ?(threshold = 10) ?(n = 40) () =
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base =
+    Base_table.create ~mode ~page_size:256 ~wal ~name:"emp" ~clock emp_schema
+  in
+  let m = Manager.create ~chunk_entries () in
+  Manager.register_base m base;
+  for i = 0 to n - 1 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp"
+       ~restrict:Expr.(col "salary" <. int threshold)
+       ~method_:Manager.Differential ~prune ()
+      : Manager.refresh_report);
+  (m, base, wal)
+
+(* An updater transaction following the locking convention — table IX,
+   page IX on the touched page, entry X — against the manager's own lock
+   table.  Returns false (skipping the operation) if a lock is currently
+   held by the scan, so callers can assert where blocking may and may not
+   happen. *)
+let locked_update m base ~addr tuple =
+  let txn = Txn.begin_txn (Manager.txn_manager m) in
+  let granted res mode =
+    match Txn.try_lock txn res mode with `Granted -> true | _ -> false
+  in
+  let ok =
+    granted (Base_table.lock_resource base) Lock.IX
+    && granted (Base_table.page_lock_resource base (Addr.page addr)) Lock.IX
+    && granted (Lock.Entry (Base_table.name base, addr)) Lock.X
+  in
+  if ok then Base_table.update base addr tuple;
+  ignore ((if ok then Txn.commit txn else Txn.abort txn) : int list);
+  ok
+
+let locked_delete m base ~addr =
+  let txn = Txn.begin_txn (Manager.txn_manager m) in
+  let granted res mode =
+    match Txn.try_lock txn res mode with `Granted -> true | _ -> false
+  in
+  let ok =
+    granted (Base_table.lock_resource base) Lock.IX
+    && granted (Base_table.page_lock_resource base (Addr.page addr)) Lock.IX
+    && granted (Lock.Entry (Base_table.name base, addr)) Lock.X
+  in
+  if ok then Base_table.delete base addr;
+  ignore ((if ok then Txn.commit txn else Txn.abort txn) : int list);
+  ok
+
+let locked_insert m base tuple =
+  let txn = Txn.begin_txn (Manager.txn_manager m) in
+  let ok =
+    match Txn.try_lock txn (Base_table.lock_resource base) Lock.IX with
+    | `Granted -> true
+    | _ -> false
+  in
+  if ok then ignore (Base_table.insert base tuple : Addr.t);
+  ignore ((if ok then Txn.commit txn else Txn.abort txn) : int list);
+  ok
+
+(* ------------------------------------------------------------------ *)
+(* Updaters interleave at chunk boundaries and the catch-up phase folds
+   their changes into the committed image. *)
+
+let run_interleaved_refresh ~mode () =
+  let threshold = 10 in
+  let m, base, _wal = setup ~mode ~chunk_entries:4 ~threshold () in
+  let lm = Txn.lock_table (Manager.txn_manager m) in
+  let hook_calls = ref 0 in
+  let applied = ref 0 in
+  Manager.set_chunk_hook m
+    (Some
+       (fun () ->
+         incr hook_calls;
+         (* The scan's table intention lock spans every interleave point:
+            holders is non-empty and in an intention mode, never S/X. *)
+         (match Lock.holders lm (Base_table.lock_resource base) with
+         | [] -> Alcotest.fail "scan dropped its table lock at a chunk boundary"
+         | holders ->
+           List.iter
+             (fun (_, held) ->
+               checkb "table lock is intention mode" true
+                 (held = Lock.IS || held = Lock.IX))
+             holders);
+         if !hook_calls <= 3 then begin
+           (* Page 1 is behind the cursor from the first boundary on: an
+              updater targeting it must get its locks immediately. *)
+           match
+             List.find_opt
+               (fun (a, _) -> Addr.page a = 1)
+               (Base_table.to_user_list base)
+           with
+           | Some (addr, _) ->
+             checkb "updater not blocked behind the cursor" true
+               (locked_update m base ~addr (emp "upd" (!hook_calls + threshold)));
+             checkb "insert not blocked" true
+               (locked_insert m base (emp "new" !hook_calls));
+             incr applied
+           | None -> ()
+         end));
+  let r = Manager.refresh m "s" in
+  Manager.set_chunk_hook m None;
+  checkb "scan ran in several chunks" true (r.Manager.chunks > 1);
+  checkb "updaters ran at the boundaries" true (!applied > 0);
+  checkb "catch-up replayed the interleaved changes" true
+    (r.Manager.catchup_records > 0);
+  checkb "committed image = restriction at commit" true (faithful m "s" base threshold);
+  checki "lock table drained" 0 (Lock.lock_count lm);
+  r
+
+let test_chunked_deferred_interleaves () =
+  let r = run_interleaved_refresh ~mode:Base_table.Deferred () in
+  checkb "differential method" true (r.Manager.method_used = Manager.Used_differential)
+
+let test_chunked_eager_interleaves () =
+  ignore (run_interleaved_refresh ~mode:Base_table.Eager () : Manager.refresh_report)
+
+(* While a chunk is being scanned its pages are locked: an updater aimed
+   at the page under the cursor is the one thing that must still block
+   (shown via try_lock refusal inside the hook, where the coupled next
+   chunk is held). *)
+let test_cursor_pages_stay_locked () =
+  let m, base, _wal = setup ~mode:Base_table.Eager ~chunk_entries:4 () in
+  let saw_held_page = ref false in
+  Manager.set_chunk_hook m
+    (Some
+       (fun () ->
+         (* Find any page lock still granted to the scan: those are the
+            coupled next chunk's; an IX probe on one must refuse. *)
+         let lm = Txn.lock_table (Manager.txn_manager m) in
+         let pages = Base_table.data_pages base in
+         let held =
+           List.filter
+             (fun p -> Lock.holders lm (Base_table.page_lock_resource base p) <> [])
+             (List.init pages (fun i -> i + 1))
+         in
+         match held with
+         | [] -> ()  (* final boundary: everything released *)
+         | p :: _ ->
+           saw_held_page := true;
+           let txn = Txn.begin_txn (Manager.txn_manager m) in
+           (match Txn.try_lock txn (Base_table.page_lock_resource base p) Lock.IX with
+           | `Granted -> Alcotest.fail "page under the cursor must refuse IX"
+           | `Would_block _ | `Deadlock -> ());
+           ignore (Txn.abort txn : int list)));
+  ignore (Manager.refresh m "s" : Manager.refresh_report);
+  Manager.set_chunk_hook m None;
+  checkb "observed a coupled chunk still locked" true !saw_held_page
+
+(* ------------------------------------------------------------------ *)
+(* Satellite: WAL truncated past the scan's catch-up LSN.  The chunked
+   attempt cannot restore consistency from the log, so the refresh must
+   escalate to a monolithic full refresh — and still converge. *)
+
+let test_truncated_catchup_escalates_to_full () =
+  let m, base, wal = setup ~chunk_entries:4 () in
+  let fired = ref false in
+  Manager.set_chunk_hook m
+    (Some
+       (fun () ->
+         if not !fired then begin
+           fired := true;
+           ignore (Base_table.insert base (emp "mid" 5) : Addr.t);
+           (* A checkpoint ran away with the tail the catch-up needs. *)
+           Wal.truncate_before wal (Wal.end_lsn wal)
+         end));
+  let r = Manager.refresh m "s" in
+  Manager.set_chunk_hook m None;
+  checkb "escalated" true r.Manager.escalated;
+  checkb "retried as full" true (r.Manager.method_used = Manager.Used_full);
+  checki "second attempt committed" 2 r.Manager.attempts;
+  checki "retry was monolithic" 0 r.Manager.chunks;
+  checkb "converged" true (faithful m "s" base 10)
+
+(* ------------------------------------------------------------------ *)
+(* Satellite regression: an attempt that dies inside the refresh's lock
+   transaction must abort it, not commit it.  (The old with_table_lock
+   committed on the exception path.) *)
+
+let test_failed_attempt_aborts_lock_txn () =
+  let m, _base, _wal = setup ~chunk_entries:max_int () in
+  Manager.set_retry_policy m
+    {
+      Manager.default_retry_policy with
+      max_attempts = 2;
+      escalate_after = 0;
+      backoff_us = 1.0;
+      max_backoff_us = 1.0;
+      jitter = 0.0;
+    };
+  let link = Manager.snapshot_link m "s" in
+  (* Every data send fails: both attempts die mid-stream, inside the lock
+     transaction. *)
+  Link.inject_faults link ~partitions:[ (1, 1_000_000) ] ~seed:1 ();
+  let commits0 = Metrics.counter_value Metrics.global "txn.commits" in
+  let aborts0 = Metrics.counter_value Metrics.global "txn.aborts" in
+  (match Manager.refresh m "s" with
+  | (_ : Manager.refresh_report) -> Alcotest.fail "refresh must fail"
+  | exception Manager.Refresh_failed { attempts; _ } -> checki "attempts" 2 attempts);
+  Link.clear_faults link;
+  checki "failed attempts committed nothing" 0
+    (Metrics.counter_value Metrics.global "txn.commits" - commits0);
+  checki "each failed attempt aborted its txn" 2
+    (Metrics.counter_value Metrics.global "txn.aborts" - aborts0)
+
+(* ------------------------------------------------------------------ *)
+(* Byte identity: with no concurrent updates the chunked stream is the
+   monolithic stream, frame for frame — and chunk_entries = max_int is
+   literally the monolithic path. *)
+
+let capture_refresh ~chunk_entries =
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base =
+    Base_table.create ~mode:Base_table.Deferred ~page_size:256 ~wal ~name:"emp" ~clock
+      emp_schema
+  in
+  let m = Manager.create ~chunk_entries () in
+  Manager.register_base m base;
+  for i = 0 to 39 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp"
+       ~restrict:Expr.(col "salary" <. int 10)
+       ~method_:Manager.Differential ()
+      : Manager.refresh_report);
+  (* Mutations before the refresh; the refresh itself runs quiescent. *)
+  let live () = Base_table.to_user_list base in
+  Base_table.update base (fst (List.nth (live ()) 3)) (emp "u3" 4);
+  Base_table.update base (fst (List.nth (live ()) 17)) (emp "u17" 15);
+  Base_table.delete base (fst (List.nth (live ()) 8));
+  ignore (Base_table.insert base (emp "n1" 2) : Addr.t);
+  ignore (Base_table.insert base (emp "n2" 13) : Addr.t);
+  let link = Manager.snapshot_link m "s" in
+  let table = Manager.snapshot_table m "s" in
+  let buf = Buffer.create 1024 in
+  Link.attach link (fun b ->
+      Buffer.add_bytes buf b;
+      Snapshot_table.apply_bytes table b);
+  let r = Manager.refresh m "s" in
+  (Buffer.contents buf, r)
+
+let test_quiescent_chunked_stream_byte_identical () =
+  let mono, rm = capture_refresh ~chunk_entries:max_int in
+  let chunked, rc = capture_refresh ~chunk_entries:4 in
+  let off, ro = capture_refresh ~chunk_entries:max_int in
+  checki "chunk_entries=max_int is the monolithic path" 0 rm.Manager.chunks;
+  checkb "small chunks took the chunked path" true (rc.Manager.chunks > 1);
+  checki "quiescent catch-up is empty" 0 rc.Manager.catchup_records;
+  checkb "monolithic runs are reproducible" true (String.equal mono off);
+  checki "reproducible report chunks" 0 ro.Manager.chunks;
+  checkb "chunked stream byte-identical to monolithic" true (String.equal mono chunked)
+
+(* ------------------------------------------------------------------ *)
+(* Property: whatever mode, pruning, chunk size, group size, and whatever
+   the updaters do at the interleave points, every committed snapshot
+   equals its base restriction at the commit Snaptime. *)
+
+type yop = [ `Ins of int | `Upd of int * int | `Del of int ]
+
+let yop_gen : yop Gen.t =
+  Gen.oneof
+    [
+      Gen.map (fun s -> (`Ins s : yop)) (Gen.int_range 0 19);
+      Gen.map2 (fun i s -> (`Upd (i, s) : yop)) (Gen.int_range 0 1000) (Gen.int_range 0 19);
+      Gen.map (fun i -> (`Del i : yop)) (Gen.int_range 0 1000);
+    ]
+
+let apply_yop m base (op : yop) =
+  let live = Base_table.to_user_list base in
+  match op with
+  | `Ins s -> ignore (locked_insert m base (emp "y" s) : bool)
+  | `Upd (i, s) when live <> [] ->
+    let addr = fst (List.nth live (i mod List.length live)) in
+    ignore (locked_update m base ~addr (emp "yu" s) : bool)
+  | `Del i when live <> [] ->
+    let addr = fst (List.nth live (i mod List.length live)) in
+    ignore (locked_delete m base ~addr : bool)
+  | _ -> ()
+
+let print_yops batches =
+  String.concat " | "
+    (List.map
+       (fun ops ->
+         String.concat ";"
+           (List.map
+              (function
+                | `Ins s -> Printf.sprintf "ins%d" s
+                | `Upd (i, s) -> Printf.sprintf "upd%d,%d" i s
+                | `Del i -> Printf.sprintf "del%d" i)
+              ops))
+       batches)
+
+let prop_chunked_refresh_faithful =
+  QCheck2.Test.make
+    ~name:"chunked refresh commits the restriction at commit time" ~count:40
+    ~print:(fun ((deferred, prune, grouped), (chunk, threshold, batches)) ->
+      Printf.sprintf "deferred=%b prune=%b grouped=%b chunk=%d threshold=%d [%s]"
+        deferred prune grouped chunk threshold (print_yops batches))
+    (Gen.pair
+       (Gen.triple Gen.bool Gen.bool Gen.bool)
+       (Gen.triple (Gen.int_range 1 30) (Gen.int_range 1 20)
+          (Gen.list_size (Gen.int_range 0 10)
+             (Gen.list_size (Gen.int_range 0 3) yop_gen))))
+    (fun ((deferred, prune, grouped), (chunk, threshold, batches)) ->
+      let mode = if deferred then Base_table.Deferred else Base_table.Eager in
+      let m, base, _wal = setup ~mode ~prune ~chunk_entries:chunk ~threshold () in
+      let threshold2 = 21 - threshold in
+      if grouped then
+        ignore
+          (Manager.create_snapshot m ~name:"s2" ~base:"emp"
+             ~restrict:Expr.(col "salary" <. int threshold2)
+             ~method_:Manager.Differential ~prune ()
+            : Manager.refresh_report);
+      let remaining = ref batches in
+      Manager.set_chunk_hook m
+        (Some
+           (fun () ->
+             match !remaining with
+             | [] -> ()
+             | ops :: rest ->
+               remaining := rest;
+               List.iter (apply_yop m base) ops));
+      let results = Manager.refresh_all m in
+      Manager.set_chunk_hook m None;
+      List.for_all (fun (_, r) -> match r with Ok _ -> true | Error _ -> false) results
+      && faithful m "s" base threshold
+      && (not grouped || faithful m "s2" base threshold2)
+      && Lock.lock_count (Txn.lock_table (Manager.txn_manager m)) = 0)
+
+let suite =
+  [
+    Alcotest.test_case "chunked deferred: updaters interleave" `Quick
+      test_chunked_deferred_interleaves;
+    Alcotest.test_case "chunked eager: updaters interleave" `Quick
+      test_chunked_eager_interleaves;
+    Alcotest.test_case "cursor pages stay locked" `Quick test_cursor_pages_stay_locked;
+    Alcotest.test_case "truncated catch-up escalates to full" `Quick
+      test_truncated_catchup_escalates_to_full;
+    Alcotest.test_case "failed attempt aborts its lock txn" `Quick
+      test_failed_attempt_aborts_lock_txn;
+    Alcotest.test_case "quiescent chunked stream byte-identical" `Quick
+      test_quiescent_chunked_stream_byte_identical;
+    QCheck_alcotest.to_alcotest prop_chunked_refresh_faithful;
+  ]

@@ -22,5 +22,6 @@ let () =
       ("persistence", Test_persistence.suite);
       ("edge-cases", Test_edge_cases.suite);
       ("failures", Test_failures.suite);
+      ("concurrency", Test_concurrency.suite);
       ("integration", Test_integration.suite);
     ]

@@ -173,30 +173,66 @@ let test_deadlock_through_first_wait () =
   | `Deadlock -> ()
   | _ -> Alcotest.fail "cycle through the first wait must be detected")
 
-(* Property: after any script of acquires/releases/cancels, no grantable
-   request is left sitting at the head of a wait queue — every release
-   path must have re-driven the queues it shortened. *)
-let lock_resources = [| Lock.Table "a"; Lock.Table "b"; Lock.Table "c" |]
+(* Partial release: the chunked refresh scan drops one chunk's page locks
+   while keeping its table intention lock.  A waiter queued on the
+   released page must be granted (and reported) immediately. *)
+let test_release_one_wakes_waiter () =
+  let lm = Lock.create () in
+  let page = Lock.Page ("emp", 1) in
+  checkb "t1 table IS" true (Lock.acquire lm 1 tbl Lock.IS = `Granted);
+  checkb "t1 page S" true (Lock.acquire lm 1 page Lock.S = `Granted);
+  checkb "t2 table IX compatible" true (Lock.acquire lm 2 tbl Lock.IX = `Granted);
+  (match Lock.acquire lm 2 page Lock.IX with
+  | `Would_block blockers -> Alcotest.(check (list int)) "blocked by t1" [ 1 ] blockers
+  | _ -> Alcotest.fail "page IX must block behind the scan's S");
+  let woken = Lock.release_one lm 1 page in
+  Alcotest.(check (list int)) "t2 woken by partial release" [ 2 ] woken;
+  checkb "t2 holds page IX" true (Lock.holds lm 2 page = Some Lock.IX);
+  checkb "t1 still holds table IS" true (Lock.holds lm 1 tbl = Some Lock.IS)
 
-type lock_op = Op_acquire of int * int * Lock.mode | Op_release of int | Op_cancel of int
+let test_release_one_not_held_is_noop () =
+  let lm = Lock.create () in
+  let page = Lock.Page ("emp", 7) in
+  checkb "t1 table IS" true (Lock.acquire lm 1 tbl Lock.IS = `Granted);
+  Alcotest.(check (list int)) "no wakeups" [] (Lock.release_one lm 1 page);
+  Alcotest.(check (list int)) "unheld table for t2" [] (Lock.release_one lm 2 tbl);
+  checkb "t1 keeps table IS" true (Lock.holds lm 1 tbl = Some Lock.IS)
+
+(* Property: after any script of acquires/releases/cancels — including the
+   chunked scan's per-resource partial release — no grantable request is
+   left sitting at the head of a wait queue: every release path must have
+   re-driven the queues it shortened. *)
+let lock_resources =
+  [| Lock.Table "a"; Lock.Table "b"; Lock.Page ("a", 1); Lock.Page ("a", 2) |]
+
+type lock_op =
+  | Op_acquire of int * int * Lock.mode
+  | Op_release of int
+  | Op_release_one of int * int
+  | Op_cancel of int
 
 let lock_op_gen =
   let open QCheck2.Gen in
   let txn = int_range 1 4 in
+  let res = int_range 0 (Array.length lock_resources - 1) in
   frequency
     [
       ( 5,
         map3
           (fun t r m -> Op_acquire (t, r, m))
-          txn (int_range 0 2)
+          txn res
           (oneofl Lock.[ IS; IX; S; SIX; X ]) );
       (2, map (fun t -> Op_release t) txn);
+      (2, map2 (fun t r -> Op_release_one (t, r)) txn res);
       (1, map (fun t -> Op_cancel t) txn);
     ]
 
-let print_lock_op = function
-  | Op_acquire (t, r, m) -> Printf.sprintf "acquire t%d %s %d" t (Lock.mode_name m) r
+let print_lock_op =
+  let res r = Format.asprintf "%a" Lock.pp_resource lock_resources.(r) in
+  function
+  | Op_acquire (t, r, m) -> Printf.sprintf "acquire t%d %s %s" t (Lock.mode_name m) (res r)
   | Op_release t -> Printf.sprintf "release_all t%d" t
+  | Op_release_one (t, r) -> Printf.sprintf "release_one t%d %s" t (res r)
   | Op_cancel t -> Printf.sprintf "cancel_waits t%d" t
 
 let no_grantable_head lm =
@@ -227,9 +263,45 @@ let prop_no_grantable_head =
           (match op with
           | Op_acquire (t, r, m) -> ignore (Lock.acquire lm t lock_resources.(r) m)
           | Op_release t -> ignore (Lock.release_all lm t : Lock.txn_id list)
+          | Op_release_one (t, r) ->
+            ignore (Lock.release_one lm t lock_resources.(r) : Lock.txn_id list)
           | Op_cancel t -> ignore (Lock.cancel_waits lm t : Lock.txn_id list));
           no_grantable_head lm)
         ops)
+
+(* The chunked scan's lock-coupling protocol at the transaction level: the
+   refresher keeps its table intention lock, couples the next chunk's page
+   locks before releasing the previous chunk's, and an updater blocked on
+   a page under the cursor is granted the moment the scan steps off it. *)
+let test_lock_coupled_scan_interleaves_updater () =
+  let m = Txn.create_manager () in
+  let page p = Lock.Page ("emp", p) in
+  let r = Txn.begin_txn m in
+  Txn.lock r tbl Lock.IS;
+  Txn.lock r (page 1) Lock.S;
+  Txn.lock r (page 2) Lock.S;
+  let u = Txn.begin_txn m in
+  Txn.lock u tbl Lock.IX;  (* IX ~ IS: updaters never block on the table lock *)
+  (try
+     Txn.lock u (page 1) Lock.IX;
+     Alcotest.fail "page under the cursor must block"
+   with Txn.Would_block { blockers; _ } ->
+     Alcotest.(check (list int)) "blocked by the scan" [ Txn.id r ] blockers);
+  (* Chunk boundary: couple page 3 before releasing pages 1-2. *)
+  Txn.lock r (page 3) Lock.S;
+  let woken = Txn.unlock r (page 1) in
+  Alcotest.(check (list int)) "updater woken at the chunk boundary" [ Txn.id u ] woken;
+  ignore (Txn.unlock r (page 2) : int list);
+  Txn.lock u (page 1) Lock.IX;
+  Txn.lock u (Lock.Entry ("emp", Addr.make ~page:1 ~slot:3)) Lock.X;
+  ignore (Txn.commit u : int list);
+  ignore (Txn.unlock r (page 3) : int list);
+  (* Catch-up phase: upgrade the table intention lock to S. *)
+  Txn.lock r tbl Lock.S;
+  checkb "upgraded to table S" true
+    (Lock.holds (Txn.lock_table m) (Txn.id r) tbl = Some Lock.S);
+  ignore (Txn.commit r : int list);
+  checki "lock table drained" 0 (Lock.lock_count (Txn.lock_table m))
 
 let test_txn_commit_releases () =
   let m = Txn.create_manager () in
@@ -289,6 +361,10 @@ let suite =
     Alcotest.test_case "stranded waiter woken" `Quick test_stranded_waiter_woken;
     Alcotest.test_case "cancel_waits wakes stranded" `Quick test_cancel_waits_wakes_stranded;
     Alcotest.test_case "deadlock through first wait" `Quick test_deadlock_through_first_wait;
+    Alcotest.test_case "release_one wakes waiter" `Quick test_release_one_wakes_waiter;
+    Alcotest.test_case "release_one not held is noop" `Quick test_release_one_not_held_is_noop;
+    Alcotest.test_case "lock-coupled scan interleaves updater" `Quick
+      test_lock_coupled_scan_interleaves_updater;
     QCheck_alcotest.to_alcotest prop_no_grantable_head;
     Alcotest.test_case "txn commit releases" `Quick test_txn_commit_releases;
     Alcotest.test_case "txn abort undo order" `Quick test_txn_abort_runs_undo_in_reverse;
