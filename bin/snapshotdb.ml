@@ -225,16 +225,22 @@ let stats_cmd verbose trace json n rounds u =
    [--chunk-entries N] turns on the chunked concurrent protocol: the
    scan runs under a table intention lock as lock-coupled page chunks
    of roughly N entries, with a WAL-tail catch-up phase at the end. *)
-let refresh_cmd verbose trace json all names n rounds u chunk_entries =
+let refresh_cmd verbose trace json all names n rounds u chunk_entries wal_file =
   setup_logs verbose trace;
   let module Workload = Snapdiff_workload.Workload in
   let module Manager = Snapdiff_core.Manager in
+  let module Wal = Snapdiff_wal.Wal in
   let module Text_table = Snapdiff_util.Text_table in
   let rng = Snapdiff_util.Rng.create 0xBEEF in
   let clock = Snapdiff_txn.Clock.create () in
   (* WAL-backed so the chunked protocol (which replays the WAL tail to
-     catch up) is eligible when --chunk-entries is given. *)
-  let wal = Snapdiff_wal.Wal.create () in
+     catch up) is eligible when --chunk-entries is given.  With
+     --wal-file the log is a real group-committed segment file. *)
+  let wal =
+    match wal_file with
+    | None -> Wal.create ()
+    | Some path -> Wal.create ~backend:(Wal.File path) ~group_commit_window:8 ()
+  in
   let base = Workload.make_base ~wal ~clock () in
   Workload.populate base ~rng ~n;
   let m = match chunk_entries with
@@ -321,7 +327,20 @@ let refresh_cmd verbose trace json all names n rounds u chunk_entries =
        ran as and 'catch-up' the WAL-tail records replayed under the final\n\
        short table-S lock (0/0 = the monolithic whole-scan lock ran)."
   end;
-  0
+  (* --wal-file: prove the segment is a faithful durable image of the log
+     we just wrote — sync, reopen from disk, compare record for record. *)
+  match wal_file with
+  | None -> 0
+  | Some path ->
+    Wal.sync wal;
+    let reopened = Wal.open_file path in
+    let ok = Wal.to_list reopened = Wal.to_list wal in
+    Wal.close reopened;
+    let out = if json then stderr else stdout in
+    Printf.fprintf out "wal file round-trip: %s (%d records, %d log bytes, %d fsyncs)\n"
+      (if ok then "ok" else "MISMATCH") (Wal.record_count wal) (Wal.byte_size wal)
+      (Wal.fsyncs wal);
+    if ok then 0 else 3
 
 (* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
@@ -421,9 +440,20 @@ let refresh_t =
              phase restoring transaction consistency.  Default: the \
              monolithic whole-scan table lock.")
   in
+  let wal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal-file" ] ~docv:"PATH"
+          ~doc:
+            "Write the base table's WAL to a file-backed segment at $(docv) \
+             (length-prefixed, checksummed frames; commits group-committed 8 \
+             per fsync), and after the run reopen it from disk and verify it \
+             replays identically.")
+  in
   Term.(
     const refresh_cmd $ verbose_t $ trace_t $ json $ all $ names $ n $ rounds $ u
-    $ chunk_entries)
+    $ chunk_entries $ wal_file)
 
 let faults_t =
   let n =

@@ -74,6 +74,8 @@ let on_pool ?(mode = Deferred) ?wal ~name ~clock pool user_schema =
 
 let flush t = Heap.flush t.heap
 
+let pool t = Heap.pool t.heap
+
 let name t = t.table_name
 let mode t = t.table_mode
 let wal t = t.wal

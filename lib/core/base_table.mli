@@ -61,6 +61,9 @@ val on_pool :
 val flush : t -> unit
 (** Flush the underlying buffer pool to the store. *)
 
+val pool : t -> Snapdiff_storage.Buffer_pool.t
+(** The table's buffer pool — what a fuzzy checkpoint walks. *)
+
 val name : t -> string
 
 val mode : t -> mode

@@ -9,6 +9,7 @@ module Link = Snapdiff_net.Link
 module Model = Snapdiff_analysis.Model
 module Wal = Snapdiff_wal.Wal
 module Recovery = Snapdiff_wal.Recovery
+module Wal_checkpoint = Snapdiff_wal.Checkpoint
 module Metrics = Snapdiff_obs.Metrics
 module Trace = Snapdiff_obs.Trace
 
@@ -131,6 +132,11 @@ type t = {
   mutable chunk_entries : int;  (* scan chunk size; max_int = monolithic *)
   mutable on_chunk : (unit -> unit) option;  (* interleave point between chunks *)
   rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
+  (* Live-scan WAL pins: each in-flight chunked refresh registers the LSN
+     its catch-up phase will scan from, so checkpoint-driven log truncation
+     never discards records a live scan still needs. *)
+  mutable next_pin : int;
+  scan_pins : (int, Wal.t * Wal.lsn) Hashtbl.t;
 }
 
 let key = String.lowercase_ascii
@@ -146,6 +152,8 @@ let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1)
     chunk_entries = max 1 chunk_entries;
     on_chunk = None;
     rng = Snapdiff_util.Rng.create seed;
+    next_pin = 1;
+    scan_pins = Hashtbl.create 8;
   }
 
 let txn_manager t = t.txns
@@ -367,6 +375,16 @@ let chunk_walk t txn b ~page_mode ~total ~observe_hold ~scan =
   | None -> ());
   !chunks
 
+let register_pin t wal lsn =
+  let id = t.next_pin in
+  t.next_pin <- id + 1;
+  Hashtbl.replace t.scan_pins id (wal, lsn);
+  id
+
+let unregister_pin t = function
+  | None -> ()
+  | Some id -> Hashtbl.remove t.scan_pins id
+
 (* Committed net changes to [b] since the LSN captured at scan start.
    Skipped entirely (no log scan) when the per-table LSN map proves the
    table quiescent since the capture. *)
@@ -411,9 +429,11 @@ let run_chunked_differential t b subs =
   in
   let deferred = Base_table.mode b = Base_table.Deferred in
   let txn = Txn.begin_txn t.txns in
+  let pin = ref None in
   match
     Txn.lock txn (Base_table.lock_resource b) (if deferred then Lock.IX else Lock.IS);
     let lsn0 = Wal.end_lsn wal in
+    pin := Some (register_pin t wal lsn0);
     let cursor = Differential.start ~base:b subs in
     let max_hold = ref 0.0 in
     let observe_hold t0 =
@@ -446,9 +466,11 @@ let run_chunked_differential t b subs =
     (g, stats)
   with
   | v ->
+    unregister_pin t !pin;
     ignore (Txn.commit txn : int list);
     v
   | exception e ->
+    unregister_pin t !pin;
     if Txn.is_active txn then ignore (Txn.abort txn : int list);
     raise e
 
@@ -463,9 +485,11 @@ let run_chunked_full t b ~restrict ~project ~xmit =
     | None -> invalid_arg "chunked refresh requires a WAL on the base table"
   in
   let txn = Txn.begin_txn t.txns in
+  let pin = ref None in
   match
     Txn.lock txn (Base_table.lock_resource b) Lock.IS;
     let lsn0 = Wal.end_lsn wal in
+    pin := Some (register_pin t wal lsn0);
     let now = Clock.tick (Base_table.clock b) in
     xmit Refresh_msg.Clear;
     let scanned = ref 0 in
@@ -507,11 +531,75 @@ let run_chunked_full t b ~restrict ~project ~xmit =
       stats )
   with
   | v ->
+    unregister_pin t !pin;
     ignore (Txn.commit txn : int list);
     v
   | exception e ->
+    unregister_pin t !pin;
     if Txn.is_active txn then ignore (Txn.abort txn : int list);
     raise e
+
+type checkpoint_report = {
+  cp_base : string;
+  cp_begin_lsn : Wal.lsn;
+  cp_end_lsn : Wal.lsn;
+  cp_pages_snapshotted : int;
+  cp_pages_flushed : int;
+  cp_bytes_written : int;
+  cp_truncated_to : Wal.lsn;
+  cp_log_bytes_reclaimed : int;
+  cp_gated : bool;
+}
+
+(* The highest LSN the log may be truncated to, given a checkpoint at
+   [ceiling]: lowered to the oldest LSN any live chunked scan's catch-up
+   still needs (the scan pins) and to the oldest log-based snapshot
+   cursor on this WAL.  This is what keeps [Catchup_truncated] (and the
+   log-based method's forced-full fallback) a managed contract — a
+   checkpoint through this gate can never strand a live reader. *)
+let truncation_floor t wal ~ceiling =
+  let floor = ref ceiling in
+  let gated = ref false in
+  let lower lsn =
+    if lsn < !floor then begin
+      floor := lsn;
+      gated := true
+    end
+  in
+  Hashtbl.iter (fun _ (w, lsn) -> if w == wal then lower lsn) t.scan_pins;
+  Hashtbl.iter
+    (fun _ s ->
+      if s.spec = Log_based then
+        match Base_table.wal (base t s.base_name) with
+        | Some w when w == wal -> lower s.cursor_lsn
+        | _ -> ())
+    t.snapshots;
+  (max (Wal.oldest_retained wal) !floor, !gated)
+
+let checkpoint t base_name =
+  let b = base t base_name in
+  let wal =
+    match Base_table.wal b with
+    | Some w -> w
+    | None ->
+      raise
+        (Bad_definition (Printf.sprintf "table %s has no WAL to checkpoint" base_name))
+  in
+  let stats = Wal_checkpoint.run ~wal ~pool:(Base_table.pool b) ?yield:t.on_chunk () in
+  let bytes_before = Wal.byte_size wal in
+  let floor, gated = truncation_floor t wal ~ceiling:stats.Wal_checkpoint.begin_lsn in
+  if floor > Wal.oldest_retained wal then Wal.truncate_before wal floor;
+  {
+    cp_base = Base_table.name b;
+    cp_begin_lsn = stats.Wal_checkpoint.begin_lsn;
+    cp_end_lsn = stats.Wal_checkpoint.end_lsn;
+    cp_pages_snapshotted = stats.Wal_checkpoint.pages_snapshotted;
+    cp_pages_flushed = stats.Wal_checkpoint.pages_flushed;
+    cp_bytes_written = stats.Wal_checkpoint.bytes_written;
+    cp_truncated_to = Wal.oldest_retained wal;
+    cp_log_bytes_reclaimed = bytes_before - Wal.byte_size wal;
+    cp_gated = gated;
+  }
 
 (* Batched transport: buffer batchable (data) messages and frame up to
    [t.batch] of them as one Batch under a single header, sequence number

@@ -249,3 +249,35 @@ val estimate_refresh_messages : t -> string -> [ `Full of float ] * [ `Different
 
 val change_log : t -> string -> Change_log.t option
 (** The change-capture log of a base table, if any snapshot installed one. *)
+
+(** {1 Checkpointing}
+
+    An asynchronous fuzzy checkpoint ({!Snapdiff_wal.Checkpoint}) of a
+    WAL-backed base table, followed by WAL truncation gated on every live
+    log reader: the truncation floor is the checkpoint's begin LSN,
+    lowered to the oldest LSN any in-flight chunked refresh's catch-up
+    phase still needs (registered while its scan runs — a checkpoint
+    invoked from the chunk hook mid-refresh is safe and never triggers
+    the scan's [Catchup_truncated] escalation) and to the oldest
+    log-based snapshot cursor on the same WAL. *)
+
+type checkpoint_report = {
+  cp_base : string;
+  cp_begin_lsn : Snapdiff_wal.Wal.lsn;  (** redo floor the checkpoint established *)
+  cp_end_lsn : Snapdiff_wal.Wal.lsn;
+  cp_pages_snapshotted : int;  (** dirty pages in the begin-LSN snapshot *)
+  cp_pages_flushed : int;  (** pages actually written back *)
+  cp_bytes_written : int;  (** bytes written (sub-page ranges counted exactly) *)
+  cp_truncated_to : Snapdiff_wal.Wal.lsn;  (** the log's new oldest retained LSN *)
+  cp_log_bytes_reclaimed : int;
+  cp_gated : bool;
+      (** a live scan pin or log-based cursor held the floor below the
+          checkpoint's begin LSN *)
+}
+
+val checkpoint : t -> string -> checkpoint_report
+(** [checkpoint t base_name] runs the fuzzy checkpoint on the named base
+    table's buffer pool and WAL (yielding to the chunk hook between page
+    write-backs, so cooperative updaters never stall), then truncates the
+    WAL to the gated floor.  Raises {!Unknown_table}, or
+    {!Bad_definition} if the table has no WAL. *)

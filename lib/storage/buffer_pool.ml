@@ -6,6 +6,8 @@ let m_hits = Metrics.counter Metrics.global "bufferpool.hits"
 let m_misses = Metrics.counter Metrics.global "bufferpool.misses"
 let m_evictions = Metrics.counter Metrics.global "bufferpool.evictions"
 let m_writebacks = Metrics.counter Metrics.global "bufferpool.writebacks"
+let m_writeback_bytes = Metrics.counter Metrics.global "bufferpool.writeback_bytes"
+let m_writeback_saved = Metrics.counter Metrics.global "bufferpool.writeback_bytes_saved"
 
 type policy = Lru | Second_chance
 
@@ -23,6 +25,8 @@ type stats = {
   misses : int;
   evictions : int;
   writebacks : int;
+  writeback_bytes : int;
+  writeback_bytes_saved : int;
 }
 
 type t = {
@@ -36,6 +40,8 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable writebacks : int;
+  mutable writeback_bytes : int;
+  mutable writeback_bytes_saved : int;
 }
 
 let create ?(frames = 128) ?(policy = Lru) store =
@@ -51,16 +57,43 @@ let create ?(frames = 128) ?(policy = Lru) store =
     misses = 0;
     evictions = 0;
     writebacks = 0;
+    writeback_bytes = 0;
+    writeback_bytes_saved = 0;
   }
 
 let store t = t.store
 
+(* Write back only the page's tracked dirty ranges when that is cheaper
+   than a full-page write (each range write carries per-call overhead, so
+   a nearly-full page goes out whole).  The frame's image was adopted from
+   the store, so it differs from the stored page only inside the tracked
+   ranges — writing those alone re-synchronizes the store. *)
 let writeback t frame =
   if frame.dirty then begin
-    Page_store.write t.store frame.page_no (Page.bytes frame.page);
+    let size = Page.page_size frame.page in
+    let ranges = Page.dirty_ranges frame.page in
+    let range_bytes = Page.dirty_bytes frame.page in
+    let written =
+      if ranges <> [] && 2 * range_bytes < size then begin
+        List.iter
+          (fun (off, len) ->
+            Page_store.write_range t.store frame.page_no (Page.bytes frame.page) ~off ~len)
+          ranges;
+        range_bytes
+      end
+      else begin
+        Page_store.write t.store frame.page_no (Page.bytes frame.page);
+        size
+      end
+    in
+    Page.reset_dirty_ranges frame.page;
     frame.dirty <- false;
     t.writebacks <- t.writebacks + 1;
-    Metrics.incr m_writebacks
+    t.writeback_bytes <- t.writeback_bytes + written;
+    t.writeback_bytes_saved <- t.writeback_bytes_saved + (size - written);
+    Metrics.incr m_writebacks;
+    Metrics.add m_writeback_bytes written;
+    Metrics.add m_writeback_saved (size - written)
   end
 
 let evict_lru t =
@@ -149,6 +182,18 @@ let allocate_page t = Page_store.allocate t.store
 
 let flush_all t = Hashtbl.iter (fun _ f -> writeback t f) t.frames
 
+let dirty_pages t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun n f acc -> if f.dirty then n :: acc else acc) t.frames [])
+
+let writeback_page t n =
+  match Hashtbl.find_opt t.frames n with
+  | Some f when f.dirty ->
+    let before = t.writeback_bytes in
+    writeback t f;
+    t.writeback_bytes - before
+  | _ -> 0
+
 let invalidate t =
   Hashtbl.iter
     (fun _ f -> if f.pins > 0 then failwith "Buffer_pool.invalidate: pinned frame")
@@ -158,4 +203,11 @@ let invalidate t =
   Queue.clear t.clock_ring
 
 let stats t =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions; writebacks = t.writebacks }
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    writebacks = t.writebacks;
+    writeback_bytes = t.writeback_bytes;
+    writeback_bytes_saved = t.writeback_bytes_saved;
+  }

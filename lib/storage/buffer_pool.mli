@@ -27,7 +27,20 @@ val allocate_page : t -> int
 (** Allocate a fresh page in the store and return its number. *)
 
 val flush_all : t -> unit
-(** Write back every dirty frame (frames stay cached). *)
+(** Write back every dirty frame (frames stay cached).  Write-back is
+    range-aware: when a page's tracked dirty ranges ({!Page.dirty_ranges})
+    cover well under the full page, only those ranges are written
+    ({!Page_store.write_range}), cutting write amplification. *)
+
+val dirty_pages : t -> int list
+(** Page numbers of currently dirty frames, ascending — the work list a
+    fuzzy checkpoint snapshots before flushing page by page. *)
+
+val writeback_page : t -> int -> int
+(** Write back one page's frame if it is cached and dirty; returns the
+    bytes written (0 if clean or not resident).  The checkpoint's unit of
+    progress: flushing one page at a time leaves room to interleave
+    updaters between pages. *)
 
 val invalidate : t -> unit
 (** Drop all frames (must be none pinned); dirty frames are flushed first.
@@ -38,6 +51,9 @@ type stats = {
   misses : int;
   evictions : int;
   writebacks : int;
+  writeback_bytes : int;  (** bytes actually written back *)
+  writeback_bytes_saved : int;
+      (** page bytes the range-aware write-back avoided writing *)
 }
 
 val stats : t -> stats

@@ -1,10 +1,64 @@
-type t = { data : bytes; size : int }
+(* [ranges] tracks the byte spans modified since the last
+   {!reset_dirty_ranges} as a short sorted list of disjoint [lo, hi)
+   pairs: every mutation funnels through the primitives below, so a page
+   adopted from a store image differs from that image only inside the
+   tracked spans.  The buffer pool exploits this to write back sub-page
+   ranges instead of whole pages. *)
+type t = { data : bytes; size : int; mutable ranges : (int * int) list }
 
 let min_page_size = 64
 let max_page_size = 32768
 
 let header_size = 4
 let slot_entry_size = 4
+
+(* Cap the list so tracking stays O(1)-ish per mutation; on overflow the
+   two closest spans are merged (over-approximation is always safe). *)
+let max_tracked_ranges = 4
+
+let touch t off len =
+  if len > 0 then begin
+    let lo = off and hi = off + len in
+    let rec ins = function
+      | [] -> [ (lo, hi) ]
+      | (a, b) :: rest ->
+        if hi < a then (lo, hi) :: (a, b) :: rest
+        else if b < lo then (a, b) :: ins rest
+        else absorb (min a lo) (max b hi) rest
+    and absorb lo hi = function
+      | (a, b) :: rest when a <= hi -> absorb lo (max b hi) rest
+      | rest -> (lo, hi) :: rest
+    in
+    let rs = ins t.ranges in
+    t.ranges <-
+      (if List.length rs <= max_tracked_ranges then rs
+       else begin
+         (* Merge the pair separated by the smallest gap. *)
+         let besti = ref 0 and best = ref max_int in
+         let rec scan i = function
+           | (_, b) :: ((c, _) :: _ as rest) ->
+             if c - b < !best then begin
+               best := c - b;
+               besti := i
+             end;
+             scan (i + 1) rest
+           | _ -> ()
+         in
+         scan 0 rs;
+         let rec merge i = function
+           | (a, b) :: (_, d) :: rest when i = 0 -> (a, max b d) :: rest
+           | x :: rest -> x :: merge (i - 1) rest
+           | [] -> []
+         in
+         merge !besti rs
+       end)
+  end
+
+let dirty_ranges t = List.map (fun (lo, hi) -> (lo, hi - lo)) t.ranges
+
+let dirty_bytes t = List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 t.ranges
+
+let reset_dirty_ranges t = t.ranges <- []
 
 let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
 
@@ -14,8 +68,14 @@ let set_u16 b off v =
 
 let nslots t = get_u16 t.data 0
 let free_ptr t = get_u16 t.data 2
-let set_nslots t v = set_u16 t.data 0 v
-let set_free_ptr t v = set_u16 t.data 2 v
+
+let set_nslots t v =
+  set_u16 t.data 0 v;
+  touch t 0 2
+
+let set_free_ptr t v =
+  set_u16 t.data 2 v;
+  touch t 2 2
 
 let slot_off i = header_size + (slot_entry_size * i)
 let slot_offset t i = get_u16 t.data (slot_off i)
@@ -23,12 +83,13 @@ let slot_length t i = get_u16 t.data (slot_off i + 2)
 
 let set_slot t i ~off ~len =
   set_u16 t.data (slot_off i) off;
-  set_u16 t.data (slot_off i + 2) len
+  set_u16 t.data (slot_off i + 2) len;
+  touch t (slot_off i) slot_entry_size
 
 let create ~page_size =
   if page_size < min_page_size || page_size > max_page_size then
     invalid_arg "Page.create: bad page size";
-  let t = { data = Bytes.make page_size '\000'; size = page_size } in
+  let t = { data = Bytes.make page_size '\000'; size = page_size; ranges = [] } in
   set_nslots t 0;
   set_free_ptr t page_size;
   t
@@ -36,7 +97,7 @@ let create ~page_size =
 let page_size t = t.size
 
 let of_bytes data =
-  let t = { data; size = Bytes.length data } in
+  let t = { data; size = Bytes.length data; ranges = [] } in
   if t.size < min_page_size || t.size > max_page_size then
     failwith "Page.of_bytes: bad page size";
   (* A freshly-allocated page arrives zeroed: normalize it to a valid empty
@@ -94,6 +155,7 @@ let compact t =
       Bytes.blit record 0 t.data !ptr len;
       set_slot t i ~off:!ptr ~len)
     live;
+  touch t !ptr (t.size - !ptr);
   set_free_ptr t !ptr
 
 let contiguous_free t = free_ptr t - dir_end t
@@ -115,6 +177,7 @@ let insert t record =
     if dir_need > 0 then set_nslots t (nslots t + 1);
     let off = free_ptr t - len in
     Bytes.blit record 0 t.data off len;
+    touch t off len;
     set_free_ptr t off;
     set_slot t slot ~off ~len;
     Some slot
@@ -140,6 +203,7 @@ let insert_at t slot record =
       end;
       let off = free_ptr t - len in
       Bytes.blit record 0 t.data off len;
+      touch t off len;
       set_free_ptr t off;
       set_slot t slot ~off ~len;
       true
@@ -167,6 +231,7 @@ let update t i record =
       (* Rewrite in place; the record shrinks at its original offset. *)
       let off = slot_offset t i in
       Bytes.blit record 0 t.data off len;
+      touch t off len;
       set_slot t i ~off ~len;
       true
     end
@@ -178,6 +243,7 @@ let update t i record =
         if contiguous_free t < len then compact t;
         let off = free_ptr t - len in
         Bytes.blit record 0 t.data off len;
+        touch t off len;
         set_free_ptr t off;
         set_slot t i ~off ~len;
         true

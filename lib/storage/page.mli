@@ -77,5 +77,26 @@ val fold_live : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
 val compact : t -> unit
 (** Defragment the record area.  Slot numbers and contents are unchanged. *)
 
+(** {2 Dirty-range tracking}
+
+    Every mutating primitive records the byte span it wrote in a short
+    list of disjoint ranges (coalesced, capped at a few entries by merging
+    the closest pair — an over-approximation, never an omission).  Since a
+    page adopted with {!of_bytes} can only diverge from the adopted image
+    through these primitives, the ranges bound exactly where the in-memory
+    page differs from its backing-store image; the buffer pool uses them
+    to write back sub-page ranges instead of whole pages. *)
+
+val dirty_ranges : t -> (int * int) list
+(** [(off, len)] spans modified since the last {!reset_dirty_ranges}, in
+    ascending offset order; empty means untouched. *)
+
+val dirty_bytes : t -> int
+(** Total bytes covered by {!dirty_ranges}. *)
+
+val reset_dirty_ranges : t -> unit
+(** Forget tracked ranges (called after a write-back made the store image
+    match the page again). *)
+
 val validate : t -> (unit, string) result
 (** Structural integrity check (offsets in bounds, no overlaps). *)

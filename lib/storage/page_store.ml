@@ -9,6 +9,7 @@ type t = {
   mutable impl : impl;
   mutable reads : int;
   mutable writes : int;
+  mutable written_bytes : int;
   mutable closed : bool;
 }
 
@@ -67,9 +68,25 @@ let write t n page =
   if Bytes.length page <> t.page_size then
     invalid_arg "Page_store.write: wrong page size";
   t.writes <- t.writes + 1;
+  t.written_bytes <- t.written_bytes + t.page_size;
   match t.impl with
   | Mem m -> m.pages.(n) <- Bytes.copy page
   | File f -> really_pwrite f.fd page (file_offset t n)
+
+let write_range t n page ~off ~len =
+  check_open t;
+  check_page t n;
+  if Bytes.length page <> t.page_size then
+    invalid_arg "Page_store.write_range: wrong page size";
+  if off < 0 || len < 0 || off + len > t.page_size then
+    invalid_arg "Page_store.write_range: range out of bounds";
+  if len > 0 then begin
+    t.writes <- t.writes + 1;
+    t.written_bytes <- t.written_bytes + len;
+    match t.impl with
+    | Mem m -> Bytes.blit page off m.pages.(n) off len
+    | File f -> really_pwrite f.fd (Bytes.sub page off len) (file_offset t n + off)
+  end
 
 let allocate t =
   check_open t;
@@ -101,6 +118,7 @@ let close t =
 
 let reads_performed t = t.reads
 let writes_performed t = t.writes
+let bytes_written t = t.written_bytes
 
 let in_memory ?(page_size = 4096) () =
   if page_size < Page.min_page_size || page_size > Page.max_page_size then
@@ -110,6 +128,7 @@ let in_memory ?(page_size = 4096) () =
     impl = Mem { pages = Array.make 8 Bytes.empty; count = 0 };
     reads = 0;
     writes = 0;
+    written_bytes = 0;
     closed = false;
   }
 
@@ -135,7 +154,8 @@ let open_file ?page_size path =
     Bytes.blit_string magic 0 sb 0 8;
     Bytes.blit (bytes_of_u32 ps) 0 sb 8 4;
     really_pwrite fd sb 0;
-    { page_size = ps; impl = File { fd; count = 0 }; reads = 0; writes = 0; closed = false }
+    { page_size = ps; impl = File { fd; count = 0 }; reads = 0; writes = 0;
+      written_bytes = 0; closed = false }
   end
   else begin
     if size < superblock_size then begin
@@ -159,5 +179,6 @@ let open_file ?page_size path =
       Unix.close fd;
       failwith "Page_store.open_file: file size not page-aligned"
     end;
-    { page_size = ps; impl = File { fd; count = data / ps }; reads = 0; writes = 0; closed = false }
+    { page_size = ps; impl = File { fd; count = data / ps }; reads = 0; writes = 0;
+      written_bytes = 0; closed = false }
   end

@@ -22,6 +22,14 @@ val write : t -> int -> bytes -> unit
 (** Raises [Bad_page] if out of range, [Invalid_argument] on a wrong-size
     image. *)
 
+val write_range : t -> int -> bytes -> off:int -> len:int -> unit
+(** [write_range t n page ~off ~len] writes only bytes
+    [\[off, off + len)] of the page image to the stored page — the
+    sub-page write-back path for pages whose dirty ranges are known.
+    [page] must still be a full page image (the range is taken from it at
+    the same offset).  A zero-length range is a no-op.  Raises [Bad_page]
+    or [Invalid_argument] as {!write}. *)
+
 val allocate : t -> int
 (** Append a zeroed page; returns its number. *)
 
@@ -33,6 +41,10 @@ val close : t -> unit
 val reads_performed : t -> int
 val writes_performed : t -> int
 (** I/O counters for cost accounting in benchmarks. *)
+
+val bytes_written : t -> int
+(** Bytes actually written ({!write} counts a whole page, {!write_range}
+    only the range) — the write-amplification measure. *)
 
 val in_memory : ?page_size:int -> unit -> t
 (** Fresh empty memory store ([page_size] defaults to 4096). *)

@@ -1,0 +1,56 @@
+module Buffer_pool = Snapdiff_storage.Buffer_pool
+module Metrics = Snapdiff_obs.Metrics
+module Trace = Snapdiff_obs.Trace
+
+let m_checkpoints = Metrics.counter Metrics.global "wal.checkpoints"
+let m_checkpoint_pages = Metrics.counter Metrics.global "wal.checkpoint_pages"
+
+type stats = {
+  begin_lsn : Wal.lsn;
+  end_lsn : Wal.lsn;
+  pages_flushed : int;
+  bytes_written : int;
+  pages_snapshotted : int;
+}
+
+(* Fuzzy (non-quiescent) checkpoint, ARIES-style:
+
+   1. append Begin_checkpoint (its LSN is the checkpoint's redo floor);
+   2. snapshot the pool's dirty-page list as of that instant;
+   3. write the snapshotted pages back one at a time, calling [yield]
+      between pages so updaters interleave freely;
+   4. append End_checkpoint { begin_lsn } and fsync the log.
+
+   Why the floor is sound with concurrent updates: every change logged
+   {e before} begin_lsn had dirtied its page by then, so the page is in
+   the snapshot and reaches the store during the pass (a later re-dirty
+   only makes the flushed image newer, never older).  Changes logged {e at
+   or after} begin_lsn are retained in the log — truncation never goes
+   above begin_lsn — and {!Recovery.redo} is idempotent, so an image that
+   already carries some of them replays cleanly. *)
+let run ~wal ~pool ?(active = []) ?yield () =
+  Trace.with_span "wal.checkpoint" (fun () ->
+      let begin_lsn = Wal.append wal (Record.Begin_checkpoint { active }) in
+      let dirty = Buffer_pool.dirty_pages pool in
+      let pages_flushed = ref 0 in
+      let bytes_written = ref 0 in
+      List.iter
+        (fun n ->
+          let written = Buffer_pool.writeback_page pool n in
+          if written > 0 then begin
+            incr pages_flushed;
+            bytes_written := !bytes_written + written
+          end;
+          match yield with Some f -> f () | None -> ())
+        dirty;
+      let end_lsn = Wal.append wal (Record.End_checkpoint { begin_lsn }) in
+      Wal.sync wal;
+      Metrics.incr m_checkpoints;
+      Metrics.add m_checkpoint_pages !pages_flushed;
+      {
+        begin_lsn;
+        end_lsn;
+        pages_flushed = !pages_flushed;
+        bytes_written = !bytes_written;
+        pages_snapshotted = List.length dirty;
+      })

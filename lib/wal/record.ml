@@ -11,15 +11,18 @@ type t =
   | Update of { txn : txn_id; table : string; addr : Addr.t;
                 old_tuple : Tuple.t; new_tuple : Tuple.t }
   | Checkpoint of { active : txn_id list }
+  | Begin_checkpoint of { active : txn_id list }
+  | End_checkpoint of { begin_lsn : int }
 
 let txn_of = function
   | Begin { txn } | Commit { txn } | Abort { txn } -> Some txn
   | Insert { txn; _ } | Delete { txn; _ } | Update { txn; _ } -> Some txn
-  | Checkpoint _ -> None
+  | Checkpoint _ | Begin_checkpoint _ | End_checkpoint _ -> None
 
 let table_of = function
   | Insert { table; _ } | Delete { table; _ } | Update { table; _ } -> Some table
-  | Begin _ | Commit _ | Abort _ | Checkpoint _ -> None
+  | Begin _ | Commit _ | Abort _ | Checkpoint _ | Begin_checkpoint _ | End_checkpoint _ ->
+    None
 
 let pp ppf = function
   | Begin { txn } -> Format.fprintf ppf "BEGIN(%d)" txn
@@ -37,6 +40,12 @@ let pp ppf = function
       (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
          Format.pp_print_int)
       active
+  | Begin_checkpoint { active } ->
+    Format.fprintf ppf "BEGIN_CHECKPOINT(%a)"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Format.pp_print_int)
+      active
+  | End_checkpoint { begin_lsn } -> Format.fprintf ppf "END_CHECKPOINT(%d)" begin_lsn
 
 let tag = function
   | Begin _ -> 1
@@ -46,6 +55,8 @@ let tag = function
   | Delete _ -> 5
   | Update _ -> 6
   | Checkpoint _ -> 7
+  | Begin_checkpoint _ -> 8
+  | End_checkpoint _ -> 9
 
 let encode buf r =
   Codec.add_u8 buf (tag r);
@@ -67,9 +78,10 @@ let encode buf r =
     Codec.add_int buf addr;
     Codec.add_tuple buf old_tuple;
     Codec.add_tuple buf new_tuple
-  | Checkpoint { active } ->
+  | Checkpoint { active } | Begin_checkpoint { active } ->
     Codec.add_u32 buf (List.length active);
     List.iter (Codec.add_int buf) active
+  | End_checkpoint { begin_lsn } -> Codec.add_int buf begin_lsn
 
 let decode b off =
   let t, off = Codec.u8 b off in
@@ -97,7 +109,7 @@ let decode b off =
     let old_tuple, off = Codec.tuple b off in
     let new_tuple, off = Codec.tuple b off in
     (Update { txn; table; addr; old_tuple; new_tuple }, off)
-  | 7 ->
+  | 7 | 8 ->
     let n, off = Codec.u32 b off in
     let active = ref [] in
     let off = ref off in
@@ -106,7 +118,11 @@ let decode b off =
       active := txn :: !active;
       off := off'
     done;
-    (Checkpoint { active = List.rev !active }, !off)
+    let active = List.rev !active in
+    ((if t = 7 then Checkpoint { active } else Begin_checkpoint { active }), !off)
+  | 9 ->
+    let begin_lsn, off = Codec.int b off in
+    (End_checkpoint { begin_lsn }, off)
   | _ -> failwith "Wal.Record.decode: bad tag"
 
 let encoded_size r =

@@ -21,9 +21,18 @@ type t =
                 old_tuple : Snapdiff_storage.Tuple.t;
                 new_tuple : Snapdiff_storage.Tuple.t }
   | Checkpoint of { active : txn_id list }
+      (** legacy sharp checkpoint marker (kept for existing logs/tests) *)
+  | Begin_checkpoint of { active : txn_id list }
+      (** opens a fuzzy checkpoint: the buffer pool's dirty pages as of this
+          LSN will all reach the store before the matching
+          [End_checkpoint]; [active] lists transactions in flight *)
+  | End_checkpoint of { begin_lsn : int }
+      (** closes the fuzzy checkpoint begun at [begin_lsn]; once this record
+          is durable, the log below [begin_lsn] is no longer needed for
+          restart redo *)
 
 val txn_of : t -> txn_id option
-(** [None] for [Checkpoint]. *)
+(** [None] for the checkpoint records. *)
 
 val table_of : t -> string option
 

@@ -8,6 +8,14 @@ let committed_txns log from =
       | _ -> ());
   set
 
+(* Physical redo must be idempotent: the starting image may already
+   contain the effect of any retained record.  A sharp checkpoint image
+   never does, but a {e fuzzy} checkpoint flushes pages while updaters
+   run, so a page written late in the pass can carry changes logged after
+   the checkpoint's begin LSN (which is where retention is truncated).
+   Each operation therefore re-states the address's post-state rather
+   than assuming its pre-state: Insert/Update upsert, Delete tolerates an
+   already-missing entry. *)
 let redo log resolve =
   let from = Wal.oldest_retained log in
   let committed = committed_txns log from in
@@ -16,15 +24,20 @@ let redo log resolve =
       let apply table f =
         match resolve table with Some heap -> f heap | None -> ()
       in
+      let upsert heap addr tuple =
+        if Heap.mem heap addr then Heap.update heap addr tuple
+        else Heap.insert_at heap addr tuple
+      in
       match r with
       | Record.Insert { txn; table; addr; tuple } when is_committed txn ->
-        apply table (fun heap -> Heap.insert_at heap addr tuple)
+        apply table (fun heap -> upsert heap addr tuple)
       | Record.Delete { txn; table; addr; _ } when is_committed txn ->
-        apply table (fun heap -> Heap.delete heap addr)
+        apply table (fun heap -> if Heap.mem heap addr then Heap.delete heap addr)
       | Record.Update { txn; table; addr; new_tuple; _ } when is_committed txn ->
-        apply table (fun heap -> Heap.update heap addr new_tuple)
+        apply table (fun heap -> upsert heap addr new_tuple)
       | Record.Insert _ | Record.Delete _ | Record.Update _
-      | Record.Begin _ | Record.Commit _ | Record.Abort _ | Record.Checkpoint _ ->
+      | Record.Begin _ | Record.Commit _ | Record.Abort _ | Record.Checkpoint _
+      | Record.Begin_checkpoint _ | Record.End_checkpoint _ ->
         ())
 
 type net = {

@@ -1,21 +1,67 @@
 (** The write-ahead log manager.
 
     Records are appended to a single logical log; an LSN is the byte offset
-    of a record in the log image.  The log lives in memory as a growing
-    byte buffer (every record is stored encoded, so LSNs and sizes are
-    real); it can be persisted to and reloaded from a file for crash tests. *)
+    of a record in the log image.  The log always lives in memory as a
+    growing byte buffer (every record is stored encoded, so LSNs and sizes
+    are real).  With the [File] backend each append is additionally written
+    to a segment file as a checksummed, length-prefixed frame, and Commit
+    records are made durable by {e group commit}: up to
+    [group_commit_window] commits share one [fsync].  {!open_file} rebuilds
+    the in-memory image from the segment, tolerating (and trimming) a torn
+    tail left by a crash mid-append. *)
 
 type t
 
 type lsn = int
 
+type backend =
+  | Memory  (** process-memory only; durability via {!save}/{!load} *)
+  | File of string  (** segment file at this path; durable appends *)
+
 val start_lsn : lsn
 (** LSN of the first record (0). *)
 
-val create : unit -> t
+val create : ?backend:backend -> ?group_commit_window:int -> unit -> t
+(** [create ()] is the in-memory log.  [create ~backend:(File path) ()]
+    starts a {e fresh} segment at [path] (truncating any existing file);
+    use {!open_file} to recover an existing segment.
+    [group_commit_window] (default 8, must be >= 1; ignored by [Memory])
+    is the number of Commit records that share one fsync: 1 means every
+    commit syncs.  Raises [Invalid_argument] on a window < 1. *)
+
+val open_file : ?group_commit_window:int -> string -> t
+(** Open (or create) the segment file at a path and rebuild the log from
+    it.  Frames are verified in order (length bounds, FNV-1a checksum,
+    exact decode); at the first invalid frame the file is truncated to the
+    last valid record — the torn tail a crash mid-append leaves is
+    silently trimmed (counted by the [wal.torn_tails] metric) and the
+    durable prefix is the recovered log.  Raises [Failure] only if the
+    file exists but is not a WAL segment (bad magic). *)
+
+val backend : t -> backend
+
+val group_commit_window : t -> int
+(** 1 for [Memory] logs. *)
+
+val sync : t -> unit
+(** Force everything appended so far to stable storage (one fsync if
+    anything is pending; no-op for [Memory] or an already-synced file).
+    Closes out a partial group-commit batch. *)
+
+val close : t -> unit
+(** {!sync} then release the file descriptor.  No-op for [Memory].  The
+    log remains readable in memory after close; further appends on a
+    closed file-backed log raise. *)
+
+val fsyncs : t -> int
+(** Real fsyncs issued on this log's segment (0 for [Memory]).  The
+    process-wide [wal.fsyncs] metric aggregates across logs and includes
+    {!save}. *)
 
 val append : t -> Record.t -> lsn
-(** Returns the LSN assigned to this record. *)
+(** Returns the LSN assigned to this record.  On a file-backed log the
+    frame is written immediately; it is durable after the enclosing group
+    commit's fsync (a [Commit] record completing the window, or {!sync}). *)
 
 val end_lsn : t -> lsn
 (** One past the last record: the LSN the next append will get. *)
@@ -23,11 +69,15 @@ val end_lsn : t -> lsn
 val last_lsn_for : t -> table:string -> lsn option
 (** LSN of the latest Insert/Delete/Update record naming [table], or
     [None] if the table never appeared in the log.  Maintained on append
-    (and rebuilt by {!load}); unaffected by {!truncate_before}, so
-    [last_lsn_for t ~table < Some lsn] remains a valid "no changes to
+    (and rebuilt by {!load}/{!open_file}).  {!truncate_before} clamps
+    stale entries up to the new {!oldest_retained}, so the returned LSN is
+    always scannable ({!iter_from} never raises on it) and
+    [last_lsn_for t ~table < Some lsn] remains a sound "no changes to
     [table] since [lsn]" test even after the records themselves were
-    discarded.  The chunked refresh catch-up phase uses it to skip the
-    log-tail scan entirely when its base table was quiescent. *)
+    discarded: clamping can only force a conservative scan of a suffix
+    with no matching records, never skip real changes.  The chunked
+    refresh catch-up phase uses it to skip the log-tail scan entirely when
+    its base table was quiescent. *)
 
 val oldest_retained : t -> lsn
 (** Smallest LSN still in the log ({!start_lsn} until the first
@@ -39,7 +89,10 @@ val oldest_retained : t -> lsn
 val truncate_before : t -> lsn -> unit
 (** Discard records below the given LSN (which must be a record boundary
     previously returned by {!append}/iteration).  LSNs of retained records
-    are unchanged.  Raises [Failure] on a bad or mid-record LSN. *)
+    are unchanged; per-table latest-LSN entries below the new base are
+    clamped to it (see {!last_lsn_for}).  On a file-backed log the segment
+    is rewritten and fsynced.  Raises [Failure] on a bad or mid-record
+    LSN. *)
 
 val record_count : t -> int
 
@@ -57,7 +110,8 @@ val fold_from : t -> lsn -> init:'a -> f:('a -> lsn -> Record.t -> 'a) -> 'a
 val to_list : t -> (lsn * Record.t) list
 
 val save : t -> string -> unit
-(** Write the log image to a file. *)
+(** Write the log image to a file (whole-image snapshot format, distinct
+    from the segment format) and fsync it. *)
 
 val load : string -> t
-(** Raises [Failure] on a corrupt image. *)
+(** Load a {!save} image.  Raises [Failure] on a corrupt image. *)

@@ -232,9 +232,214 @@ let test_checkpoint_crash_redo () =
       checkb "recovered = pre-crash committed state" true (recovered = pre_crash_state);
       Page_store.close store)
 
+(* ---- real durability: file WAL + fuzzy checkpoints ------------------- *)
+
+module Wal = Snapdiff_wal.Wal
+module Recovery = Snapdiff_wal.Recovery
+module Workload = Snapdiff_workload.Workload
+module Rng = Snapdiff_util.Rng
+module Gen = QCheck2.Gen
+
+let copy_prefix src dst keep =
+  let ic = open_in_bin src in
+  let body =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (min keep (in_channel_length ic)))
+  in
+  let oc = open_out_bin dst in
+  output_string oc body;
+  close_out oc
+
+let qual t =
+  match Tuple.get t 2 with Value.Int q -> Int64.to_int q | _ -> -1
+
+(* The tentpole's torture property: run a random workload against a
+   file-backed group-committed WAL, "kill" the process by keeping only a
+   random byte prefix of the segment, reopen, redo, then define and
+   refresh a snapshot on the recovered table — the snapshot must equal
+   the recovered base's restriction exactly. *)
+let prop_kill_at_random_byte =
+  QCheck2.Test.make ~name:"kill at a random byte: recover, refresh, verify" ~count:12
+    (Gen.pair (Gen.int_range 0 100_000) (Gen.float_bound_inclusive 1.0))
+    (fun (seed, cut_frac) ->
+      let wal_path = Filename.temp_file "snapdiff_torture" ".wal" in
+      let cut_path = Filename.temp_file "snapdiff_torture_cut" ".wal" in
+      let rm p = try Sys.remove p with Sys_error _ -> () in
+      Fun.protect
+        ~finally:(fun () -> rm wal_path; rm cut_path)
+        (fun () ->
+          (* Life before the crash: populate + churn, group-committed. *)
+          let wal = Wal.create ~backend:(Wal.File wal_path) ~group_commit_window:4 () in
+          let clock = Clock.create () in
+          let base = Workload.make_base ~wal ~name:"emp" ~page_size:512 ~clock () in
+          let rng = Rng.create seed in
+          let n = 60 + (seed mod 60) in
+          Workload.populate base ~rng ~n;
+          let commits = ref n in
+          for _ = 1 to 3 do
+            commits := !commits + Workload.update_fraction base ~rng ~u:0.25 ~mix:Workload.churn
+          done;
+          Wal.sync wal;
+          (* Honest group commit: > 1 committed txn per fsync on average. *)
+          if Wal.fsyncs wal = 0 then QCheck2.Test.fail_report "no fsyncs";
+          if float_of_int !commits /. float_of_int (Wal.fsyncs wal) < 2.0 then
+            QCheck2.Test.fail_report "group commit not batching";
+          Wal.close wal;
+          (* The crash: the disk kept an arbitrary byte prefix. *)
+          let size = (Unix.stat wal_path).Unix.st_size in
+          let keep = 16 + int_of_float (cut_frac *. float_of_int (size - 16)) in
+          copy_prefix wal_path cut_path keep;
+          (* Recovery: reopen (torn tail trimmed), redo into a fresh heap. *)
+          let rlog = Wal.open_file cut_path in
+          let heap = Heap.create ~page_size:512 (Annotations.extend_schema Workload.schema) in
+          Recovery.redo rlog (function "emp" -> Some heap | _ -> None);
+          let rbase =
+            Base_table.on_pool ~wal:rlog ~name:"emp" ~clock:(Clock.create ())
+              (Heap.pool heap) Workload.schema
+          in
+          (* Back in business: snapshot the recovered table, churn (appending
+             to the recovered log), refresh differentially, verify. *)
+          let m = Manager.create () in
+          Manager.register_base m rbase;
+          ignore
+            (Manager.create_snapshot m ~name:"s" ~base:"emp"
+               ~restrict:(Workload.restrict_fraction 0.5)
+               ~method_:Manager.Differential ()
+              : Manager.refresh_report);
+          ignore (Workload.update_fraction rbase ~rng ~u:0.2 ~mix:Workload.churn : int);
+          ignore (Manager.refresh m "s" : Manager.refresh_report);
+          let expected =
+            List.filter
+              (fun (_, u) -> qual u < Workload.qual_domain / 2)
+              (Base_table.to_user_list rbase)
+          in
+          let snap = Manager.snapshot_table m "s" in
+          Snapshot_table.contents snap = expected && Snapshot_table.validate snap = Ok ()))
+
+(* A fuzzy checkpoint fired from a chunked refresh's chunk hook must gate
+   its WAL truncation on the live scan: the floor is the scan's start LSN,
+   the refresh's catch-up still finds its tail, and nothing escalates. *)
+let test_checkpoint_gates_on_live_scan () =
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base = Base_table.create ~page_size:256 ~wal ~name:"emp" ~clock emp_schema in
+  let m = Manager.create ~chunk_entries:4 () in
+  Manager.register_base m base;
+  for i = 0 to 39 do
+    ignore (Base_table.insert base (emp (Printf.sprintf "e%d" i) (i * 3 mod 20)) : Addr.t)
+  done;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:"emp"
+       ~restrict:Expr.(col "salary" <. int 10)
+       ~method_:Manager.Differential ()
+      : Manager.refresh_report);
+  let addrs = List.map fst (Base_table.to_user_list base) in
+  List.iteri (fun i a -> if i mod 4 = 0 then Base_table.update base a (emp "upd" (i mod 20))) addrs;
+  let lsn0 = Wal.end_lsn wal in
+  let cp_report = ref None in
+  let in_hook = ref false in
+  Manager.set_chunk_hook m
+    (Some
+       (fun () ->
+         (* The checkpoint itself yields here between page flushes; the
+            guard keeps the hook from recursing into a second checkpoint. *)
+         if (not !in_hook) && !cp_report = None then begin
+           in_hook := true;
+           (* Mutate mid-scan so the catch-up phase has a tail to replay —
+              a tail the checkpoint must NOT truncate away. *)
+           Base_table.update base (List.hd addrs) (emp "mid" 3);
+           cp_report := Some (Manager.checkpoint m "emp");
+           in_hook := false
+         end));
+  let report = Manager.refresh m "s" in
+  Manager.set_chunk_hook m None;
+  let cp = Option.get !cp_report in
+  checkb "truncation was gated" true cp.Manager.cp_gated;
+  checki "floor = the live scan's start LSN" lsn0 cp.Manager.cp_truncated_to;
+  checkb "refresh did not escalate" false report.Manager.escalated;
+  checkb "catch-up replayed the tail" true (report.Manager.catchup_records > 0);
+  let expected =
+    List.filter (fun (_, u) -> salary u < 10) (Base_table.to_user_list base)
+  in
+  let snap = Manager.snapshot_table m "s" in
+  checkb "snapshot faithful" true (Snapshot_table.contents snap = expected);
+  checkb "snapshot valid" true (Snapshot_table.validate snap = Ok ());
+  (* With the scan gone, the next checkpoint truncates past the old floor. *)
+  let cp2 = Manager.checkpoint m "emp" in
+  checkb "no gate once the scan is done" false cp2.Manager.cp_gated;
+  checkb "floor advanced" true (cp2.Manager.cp_truncated_to > lsn0)
+
+(* Fuzzy checkpoint + crash + redo on REAL files, with a mutation landing
+   in the middle of the checkpoint's page walk: the flushed image may carry
+   post-begin-LSN effects, so recovery relies on redo being idempotent. *)
+let test_fuzzy_checkpoint_crash_redo () =
+  with_tmp_file (fun store_path ->
+      let wal_path = Filename.temp_file "snapdiff_fuzzy" ".wal" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove wal_path with Sys_error _ -> ())
+        (fun () ->
+          let wal = Wal.create ~backend:(Wal.File wal_path) ~group_commit_window:4 () in
+          let clock = Clock.create () in
+          let pre_crash, cp =
+            let store = Page_store.open_file ~page_size:512 store_path in
+            let pool = Buffer_pool.create ~frames:64 store in
+            let base = Base_table.on_pool ~wal ~name:"emp" ~clock pool emp_schema in
+            let addrs =
+              Array.init 24 (fun i -> Base_table.insert base (emp (Printf.sprintf "e%02d" i) i))
+            in
+            let m = Manager.create () in
+            Manager.register_base m base;
+            (* The chunk hook doubles as the checkpoint's yield point:
+               mutate WHILE the checkpoint walks the pool — the "fuzzy". *)
+            let fired = ref false in
+            Manager.set_chunk_hook m
+              (Some
+                 (fun () ->
+                   if not !fired then begin
+                     fired := true;
+                     Base_table.update base addrs.(0) (emp "mid" 99);
+                     Base_table.delete base addrs.(1)
+                   end));
+            let cp = Manager.checkpoint m "emp" in
+            Manager.set_chunk_hook m None;
+            checkb "hook interleaved mid-checkpoint" true !fired;
+            (* Post-checkpoint work, never flushed — lives only in the log. *)
+            Base_table.update base addrs.(2) (emp "post" 77);
+            ignore (Base_table.insert base (emp "Laura" 6) : Addr.t);
+            Wal.sync wal;
+            let state = Base_table.to_user_list base in
+            Page_store.close store;  (* crash: volatile frames vanish *)
+            (state, cp)
+          in
+          Wal.close wal;
+          checkb "checkpoint flushed pages" true (cp.Manager.cp_pages_flushed > 0);
+          checkb "checkpoint wrote bytes" true (cp.Manager.cp_bytes_written > 0);
+          checkb "log was truncated" true (cp.Manager.cp_truncated_to > 0);
+          checkb "ungated" false cp.Manager.cp_gated;
+          (* Restart: durable page image + reopened, truncated segment. *)
+          let rlog = Wal.open_file wal_path in
+          checki "segment starts at the checkpoint floor" cp.Manager.cp_truncated_to
+            (Wal.oldest_retained rlog);
+          let store = Page_store.open_file store_path in
+          let pool = Buffer_pool.create ~frames:64 store in
+          let heap = Heap.on_pool pool (Annotations.extend_schema emp_schema) in
+          Recovery.redo rlog (function "emp" -> Some heap | _ -> None);
+          let recovered =
+            List.map
+              (fun (addr, stored) -> (addr, Annotations.user_part stored))
+              (Heap.to_list heap)
+          in
+          checkb "recovered = pre-crash committed state" true (recovered = pre_crash);
+          Wal.close rlog;
+          Page_store.close store))
+
 let suite =
   [
     Alcotest.test_case "base table survives restart" `Quick test_base_table_survives_restart;
+    QCheck_alcotest.to_alcotest prop_kill_at_random_byte;
+    Alcotest.test_case "checkpoint gates on live scan" `Quick test_checkpoint_gates_on_live_scan;
+    Alcotest.test_case "fuzzy checkpoint crash redo" `Quick test_fuzzy_checkpoint_crash_redo;
     Alcotest.test_case "checkpoint crash redo" `Quick test_checkpoint_crash_redo;
     Alcotest.test_case "refresh blocks on writer" `Quick test_refresh_blocks_on_writer;
     Alcotest.test_case "harness qualitative shape" `Quick test_harness_qualitative_shape;

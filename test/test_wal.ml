@@ -264,8 +264,252 @@ let test_redo_after_truncation_replays_suffix () =
     (Heap.get heap a1);
   checkb "t3 delete replayed" true (Heap.get heap a3 = None)
 
+(* ---- file backend: segment framing, torn tails, group commit -------- *)
+
+module Gen = QCheck2.Gen
+
+let with_tmp_wal f =
+  let path = Filename.temp_file "snapdiff_walseg" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+(* Keep only the first [keep] bytes of a file — the crash scissors. *)
+let shear_file path keep =
+  let ic = open_in_bin path in
+  let b =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (min keep (in_channel_length ic)))
+  in
+  let oc = open_out_bin path in
+  output_string oc b;
+  close_out oc
+
+let test_file_backend_roundtrip_and_reopen () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) ~group_commit_window:2 () in
+      List.iter (fun r -> ignore (Wal.append log r : Wal.lsn)) sample_records;
+      Wal.sync log;
+      checkb "fsyncs happened" true (Wal.fsyncs log > 0);
+      Wal.close log;
+      let log2 = Wal.open_file path in
+      checki "count" (List.length sample_records) (Wal.record_count log2);
+      checkb "contents identical" true (Wal.to_list log = Wal.to_list log2);
+      (* Appending after reopen continues the log at the same LSN. *)
+      let l = Wal.append log2 (Record.Begin { txn = 42 }) in
+      checki "monotone lsn" (Wal.end_lsn log) l;
+      Wal.sync log2;
+      Wal.close log2;
+      let log3 = Wal.open_file path in
+      checki "reopened count" (List.length sample_records + 1) (Wal.record_count log3);
+      Wal.close log3)
+
+let test_torn_tail_recovers_prefix () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) () in
+      List.iter (fun r -> ignore (Wal.append log r : Wal.lsn)) sample_records;
+      Wal.sync log;
+      Wal.close log;
+      (* Tear the file mid-record: the last frame loses its final bytes. *)
+      let size = (Unix.stat path).Unix.st_size in
+      shear_file path (size - 3);
+      let log2 = Wal.open_file path in
+      checki "exactly the torn record lost" (List.length sample_records - 1)
+        (Wal.record_count log2);
+      let expect =
+        List.filteri (fun i _ -> i < List.length sample_records - 1) sample_records
+      in
+      checkb "valid prefix recovered" true (List.map snd (Wal.to_list log2) = expect);
+      (* The tail was trimmed from the file, so appends resume cleanly. *)
+      ignore (Wal.append log2 (Record.Commit { txn = 7 }) : Wal.lsn);
+      Wal.sync log2;
+      Wal.close log2;
+      let log3 = Wal.open_file path in
+      checkb "resumed log reopens intact" true
+        (List.map snd (Wal.to_list log3) = expect @ [ Record.Commit { txn = 7 } ]);
+      Wal.close log3)
+
+let test_corrupt_frame_truncates () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) () in
+      let lsns = List.map (Wal.append log) sample_records in
+      ignore lsns;
+      Wal.sync log;
+      Wal.close log;
+      (* Flip a byte inside the third frame's payload: checksum must catch
+         it and recovery stops at the second record. *)
+      let ic = open_in_bin path in
+      let img = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string img in
+      (* frames start at 16; frame = 8-byte header + payload *)
+      let frame1_len = Int32.to_int (Bytes.get_int32_le b 16) in
+      let frame2_off = 16 + 8 + frame1_len in
+      let frame2_len = Int32.to_int (Bytes.get_int32_le b frame2_off) in
+      let frame3_off = frame2_off + 8 + frame2_len in
+      let victim = frame3_off + 8 in
+      Bytes.set b victim (Char.chr (Char.code (Bytes.get b victim) lxor 0xff));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let log2 = Wal.open_file path in
+      checki "stops at the corrupt frame" 2 (Wal.record_count log2);
+      checkb "prefix intact" true
+        (List.map snd (Wal.to_list log2)
+        = List.filteri (fun i _ -> i < 2) sample_records);
+      Wal.close log2)
+
+let test_group_commit_batches_commits () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) ~group_commit_window:4 () in
+      (* Four concurrent transactions interleaved; their four commits
+         arrive back-to-back and share ONE fsync. *)
+      for txn = 1 to 4 do
+        ignore (Wal.append log (Record.Begin { txn }) : Wal.lsn);
+        ignore
+          (Wal.append log
+             (Record.Insert
+                { txn; table = "emp"; addr = Addr.make ~page:1 ~slot:txn; tuple = emp "e" txn })
+            : Wal.lsn)
+      done;
+      checki "no fsync before any commit" 0 (Wal.fsyncs log);
+      for txn = 1 to 4 do
+        ignore (Wal.append log (Record.Commit { txn }) : Wal.lsn)
+      done;
+      checki "four commits share one fsync" 1 (Wal.fsyncs log);
+      (* A partial batch rides until an explicit sync. *)
+      ignore (Wal.append log (Record.Begin { txn = 5 }) : Wal.lsn);
+      ignore (Wal.append log (Record.Commit { txn = 5 }) : Wal.lsn);
+      checki "partial batch not yet synced" 1 (Wal.fsyncs log);
+      Wal.sync log;
+      checki "sync closes the partial batch" 2 (Wal.fsyncs log);
+      Wal.sync log;
+      checki "idle sync is free" 2 (Wal.fsyncs log);
+      Wal.close log)
+
+(* Satellite regression: after truncation, a table whose records were all
+   discarded must yield a CLAMPED (scannable) last_lsn_for, not a dangling
+   LSN below the base that makes iter_from raise. *)
+let test_truncate_then_last_lsn_for () =
+  let log = Wal.create () in
+  let app r = Wal.append log r in
+  ignore (app (Record.Begin { txn = 1 }) : Wal.lsn);
+  ignore (app (Record.Insert { txn = 1; table = "dept"; addr = a1; tuple = emp "d" 1 }) : Wal.lsn);
+  ignore (app (Record.Commit { txn = 1 }) : Wal.lsn);
+  let cut = app (Record.Begin { txn = 2 }) in
+  ignore (app (Record.Insert { txn = 2; table = "emp"; addr = a2; tuple = emp "e" 2 }) : Wal.lsn);
+  ignore (app (Record.Commit { txn = 2 }) : Wal.lsn);
+  Wal.truncate_before log cut;
+  (match Wal.last_lsn_for log ~table:"dept" with
+  | None -> Alcotest.fail "dept entry lost"
+  | Some l ->
+    checki "stale entry clamped to the new base" (Wal.oldest_retained log) l;
+    (* Regression: this raised "Wal.iter_from: bad LSN" before the clamp. *)
+    let dept_records = ref 0 in
+    Wal.iter_from log l (fun _ r ->
+        if Record.table_of r = Some "dept" then incr dept_records);
+    checki "conservative scan finds no dept records" 0 !dept_records);
+  (match Wal.last_lsn_for log ~table:"emp" with
+  | Some l -> checkb "live entry untouched" true (l > cut)
+  | None -> Alcotest.fail "emp entry lost");
+  (* Truncating everything clamps every entry to end_lsn (= new base). *)
+  Wal.truncate_before log (Wal.end_lsn log);
+  let l = Option.get (Wal.last_lsn_for log ~table:"emp") in
+  checki "clamped to empty-log base" (Wal.oldest_retained log) l;
+  Wal.iter_from log l (fun _ _ -> ())
+
+(* Satellite regression: [save] must issue a real fsync (and only then
+   count it). *)
+let test_save_counts_real_fsync () =
+  let module Metrics = Snapdiff_obs.Metrics in
+  let path = Filename.temp_file "snapdiff_wal" ".log" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let before = Metrics.counter_value Metrics.global "wal.fsyncs" in
+      let log = Wal.create () in
+      ignore (Wal.append log (Record.Begin { txn = 1 }) : Wal.lsn);
+      Wal.save log path;
+      checki "save fsyncs once" (before + 1)
+        (Metrics.counter_value Metrics.global "wal.fsyncs");
+      (* The image is still loadable (fsync happens before close). *)
+      checki "image intact" 1 (Wal.record_count (Wal.load path)))
+
+(* Property: the file backend is byte-for-byte equivalent to the in-memory
+   WAL — same appends give the same log, net changes, and redo result,
+   including across truncation and close/reopen. *)
+let file_record_gen =
+  let addr_gen =
+    Gen.map2 (fun p s -> Addr.make ~page:p ~slot:s) (Gen.int_range 1 2) (Gen.int_range 0 3)
+  in
+  Gen.frequency
+    [
+      (2, Gen.map (fun txn -> Record.Begin { txn }) (Gen.int_range 1 5));
+      (3, Gen.map (fun txn -> Record.Commit { txn }) (Gen.int_range 1 5));
+      (1, Gen.map (fun txn -> Record.Abort { txn }) (Gen.int_range 1 5));
+      ( 3,
+        Gen.map3
+          (fun txn addr s -> Record.Insert { txn; table = "emp"; addr; tuple = emp "i" s })
+          (Gen.int_range 1 5) addr_gen (Gen.int_range 0 99) );
+      ( 2,
+        Gen.map3
+          (fun txn addr s -> Record.Delete { txn; table = "emp"; addr; old_tuple = emp "d" s })
+          (Gen.int_range 1 5) addr_gen (Gen.int_range 0 99) );
+      ( 2,
+        Gen.map3
+          (fun txn addr s ->
+            Record.Update
+              { txn; table = "emp"; addr; old_tuple = emp "u" s; new_tuple = emp "u" (s + 1) })
+          (Gen.int_range 1 5) addr_gen (Gen.int_range 0 99) );
+    ]
+
+let prop_file_backend_equals_memory =
+  QCheck2.Test.make ~name:"file backend round-trips the in-memory WAL" ~count:60
+    (Gen.pair (Gen.list_size (Gen.int_range 1 40) file_record_gen) (Gen.int_range 0 1000))
+    (fun (records, cutpick) ->
+      with_tmp_wal (fun path ->
+          let mem = Wal.create () in
+          let file = Wal.create ~backend:(Wal.File path) ~group_commit_window:3 () in
+          List.iter
+            (fun r ->
+              ignore (Wal.append mem r : Wal.lsn);
+              ignore (Wal.append file r : Wal.lsn))
+            records;
+          let same a b = Wal.to_list a = Wal.to_list b in
+          let replay log =
+            let heap = Heap.create ~page_size:512 schema in
+            Recovery.redo log (function "emp" -> Some heap | _ -> None);
+            Heap.to_list heap
+          in
+          let nets log = fst (Recovery.net_changes log ~table:"emp" ~since:Wal.start_lsn) in
+          if not (same mem file) then QCheck2.Test.fail_report "append divergence";
+          if nets mem <> nets file then QCheck2.Test.fail_report "net_changes divergence";
+          if replay mem <> replay file then QCheck2.Test.fail_report "redo divergence";
+          (* Truncate both at the same random record boundary. *)
+          let boundaries = List.map fst (Wal.to_list mem) @ [ Wal.end_lsn mem ] in
+          let cut = List.nth boundaries (cutpick mod List.length boundaries) in
+          Wal.truncate_before mem cut;
+          Wal.truncate_before file cut;
+          if not (same mem file) then QCheck2.Test.fail_report "truncation divergence";
+          (* Close and reopen the segment: still identical. *)
+          Wal.close file;
+          let file2 = Wal.open_file path in
+          let ok = same mem file2 && replay mem = replay file2 in
+          if not ok then QCheck2.Test.fail_report "reopen divergence";
+          Wal.close file2;
+          true))
+
 let suite =
-  [
+  List.map QCheck_alcotest.to_alcotest [ prop_file_backend_equals_memory ]
+  @ [
+    Alcotest.test_case "file backend roundtrip+reopen" `Quick
+      test_file_backend_roundtrip_and_reopen;
+    Alcotest.test_case "torn tail recovers prefix" `Quick test_torn_tail_recovers_prefix;
+    Alcotest.test_case "corrupt frame truncates" `Quick test_corrupt_frame_truncates;
+    Alcotest.test_case "group commit batches commits" `Quick test_group_commit_batches_commits;
+    Alcotest.test_case "truncate clamps last_lsn_for" `Quick test_truncate_then_last_lsn_for;
+    Alcotest.test_case "save counts real fsync" `Quick test_save_counts_real_fsync;
     Alcotest.test_case "record roundtrip" `Quick test_record_roundtrip;
     Alcotest.test_case "wal truncation" `Quick test_truncation;
     Alcotest.test_case "redo after truncation" `Quick test_redo_after_truncation_replays_suffix;
