@@ -96,7 +96,15 @@ let unsubscribe t id = t.observers <- List.filter (fun (i, _) -> i <> id) t.obse
 let notify t change = List.iter (fun (_, f) -> f change) t.observers
 
 (* Each user operation is its own committed transaction in the WAL (the
-   SQL layer's autocommit); annotation maintenance writes are not logged. *)
+   SQL layer's autocommit); annotation maintenance writes are not logged.
+
+   Durability contract: on a file-backed group-committed WAL the Commit
+   append below returns {e before} its fsync — the commit becomes durable
+   only when its group-commit window fills (or on the next [Wal.sync]),
+   so up to window-1 acknowledged operations can vanish in a crash.  A
+   caller needing an operation on stable storage before acting on it
+   must call [Wal.sync] (or wait for [Wal.durable_end_lsn] to pass the
+   commit's LSN). *)
 let log_op t mk =
   match t.wal with
   | None -> ()

@@ -42,7 +42,12 @@ val create :
 (** [create ~name ~clock user_schema] builds an empty annotated table over
     a private in-memory store.  [mode] defaults to [Deferred] (the paper's
     final algorithm).  The user schema must not already contain annotation
-    columns. *)
+    columns.
+
+    When [wal] is file-backed with group commit, each mutation's
+    autocommit is acknowledged before its fsync: it is durable only once
+    its group-commit window fills or [Wal.sync] runs — see
+    {!Snapdiff_wal.Wal.durable_end_lsn} for the precise contract. *)
 
 val on_pool :
   ?mode:mode ->

@@ -585,7 +585,14 @@ let checkpoint t base_name =
       raise
         (Bad_definition (Printf.sprintf "table %s has no WAL to checkpoint" base_name))
   in
-  let stats = Wal_checkpoint.run ~wal ~pool:(Base_table.pool b) ?yield:t.on_chunk () in
+  (* The Begin_checkpoint record carries the transactions genuinely in
+     flight at this instant.  WAL-level autocommit (Base_table.log_op)
+     appends Begin/op/Commit atomically, so these are the manager's
+     lock-level transactions — refresh scans and writers mid-flight. *)
+  let stats =
+    Wal_checkpoint.run ~wal ~pool:(Base_table.pool b)
+      ~active:(Txn.active_ids t.txns) ?yield:t.on_chunk ()
+  in
   let bytes_before = Wal.byte_size wal in
   let floor, gated = truncation_floor t wal ~ceiling:stats.Wal_checkpoint.begin_lsn in
   if floor > Wal.oldest_retained wal then Wal.truncate_before wal floor;

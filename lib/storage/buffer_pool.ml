@@ -75,10 +75,9 @@ let writeback t frame =
     let range_bytes = Page.dirty_bytes frame.page in
     let written =
       if ranges <> [] && 2 * range_bytes < size then begin
-        List.iter
-          (fun (off, len) ->
-            Page_store.write_range t.store frame.page_no (Page.bytes frame.page) ~off ~len)
-          ranges;
+        (* One write_ranges call = one counted page write, so sub-page
+           writeback does not inflate [Page_store.writes_performed]. *)
+        Page_store.write_ranges t.store frame.page_no (Page.bytes frame.page) ranges;
         range_bytes
       end
       else begin

@@ -8,7 +8,8 @@ type t = {
   page_size : int;
   mutable impl : impl;
   mutable reads : int;
-  mutable writes : int;
+  mutable writes : int;  (* page writebacks, whole-page or ranged *)
+  mutable range_writes : int;  (* individual sub-page range writes *)
   mutable written_bytes : int;
   mutable closed : bool;
 }
@@ -73,20 +74,34 @@ let write t n page =
   | Mem m -> m.pages.(n) <- Bytes.copy page
   | File f -> really_pwrite f.fd page (file_offset t n)
 
-let write_range t n page ~off ~len =
+let write_ranges t n page ranges =
   check_open t;
   check_page t n;
   if Bytes.length page <> t.page_size then
     invalid_arg "Page_store.write_range: wrong page size";
-  if off < 0 || len < 0 || off + len > t.page_size then
-    invalid_arg "Page_store.write_range: range out of bounds";
-  if len > 0 then begin
+  List.iter
+    (fun (off, len) ->
+      if off < 0 || len < 0 || off + len > t.page_size then
+        invalid_arg "Page_store.write_range: range out of bounds")
+    ranges;
+  match List.filter (fun (_, len) -> len > 0) ranges with
+  | [] -> ()
+  | ranges ->
+    (* One page writeback however many sub-ranges carry it, so
+       [writes_performed] keeps its page-write meaning and stays
+       comparable across whole-page and sub-page configurations;
+       [range_writes_performed] counts the individual range writes. *)
     t.writes <- t.writes + 1;
-    t.written_bytes <- t.written_bytes + len;
-    match t.impl with
-    | Mem m -> Bytes.blit page off m.pages.(n) off len
-    | File f -> really_pwrite f.fd (Bytes.sub page off len) (file_offset t n + off)
-  end
+    t.range_writes <- t.range_writes + List.length ranges;
+    List.iter
+      (fun (off, len) ->
+        t.written_bytes <- t.written_bytes + len;
+        match t.impl with
+        | Mem m -> Bytes.blit page off m.pages.(n) off len
+        | File f -> really_pwrite f.fd (Bytes.sub page off len) (file_offset t n + off))
+      ranges
+
+let write_range t n page ~off ~len = write_ranges t n page [ (off, len) ]
 
 let allocate t =
   check_open t;
@@ -118,6 +133,7 @@ let close t =
 
 let reads_performed t = t.reads
 let writes_performed t = t.writes
+let range_writes_performed t = t.range_writes
 let bytes_written t = t.written_bytes
 
 let in_memory ?(page_size = 4096) () =
@@ -128,6 +144,7 @@ let in_memory ?(page_size = 4096) () =
     impl = Mem { pages = Array.make 8 Bytes.empty; count = 0 };
     reads = 0;
     writes = 0;
+    range_writes = 0;
     written_bytes = 0;
     closed = false;
   }
@@ -155,7 +172,7 @@ let open_file ?page_size path =
     Bytes.blit (bytes_of_u32 ps) 0 sb 8 4;
     really_pwrite fd sb 0;
     { page_size = ps; impl = File { fd; count = 0 }; reads = 0; writes = 0;
-      written_bytes = 0; closed = false }
+      range_writes = 0; written_bytes = 0; closed = false }
   end
   else begin
     if size < superblock_size then begin
@@ -180,5 +197,5 @@ let open_file ?page_size path =
       failwith "Page_store.open_file: file size not page-aligned"
     end;
     { page_size = ps; impl = File { fd; count = data / ps }; reads = 0; writes = 0;
-      written_bytes = 0; closed = false }
+      range_writes = 0; written_bytes = 0; closed = false }
   end

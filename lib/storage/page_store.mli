@@ -30,6 +30,16 @@ val write_range : t -> int -> bytes -> off:int -> len:int -> unit
     the same offset).  A zero-length range is a no-op.  Raises [Bad_page]
     or [Invalid_argument] as {!write}. *)
 
+val write_ranges : t -> int -> bytes -> (int * int) list -> unit
+(** [write_ranges t n page ranges] writes each [(off, len)] range of the
+    page image, counting the whole call as {e one} page write in
+    {!writes_performed} (and one entry per range in
+    {!range_writes_performed}) — the one-call-per-page-writeback entry
+    point {!Buffer_pool} uses so write counts stay comparable between
+    whole-page and sub-page write-back.  Zero-length ranges are skipped;
+    an empty (or all-empty) list is a no-op and counts nothing.  Raises
+    as {!write_range}. *)
+
 val allocate : t -> int
 (** Append a zeroed page; returns its number. *)
 
@@ -40,7 +50,13 @@ val close : t -> unit
 
 val reads_performed : t -> int
 val writes_performed : t -> int
-(** I/O counters for cost accounting in benchmarks. *)
+(** I/O counters for cost accounting in benchmarks.  [writes_performed]
+    counts page writebacks: one per {!write} and one per (non-empty)
+    {!write_ranges} call, however many sub-ranges carried it. *)
+
+val range_writes_performed : t -> int
+(** Individual sub-page range writes issued via {!write_range} /
+    {!write_ranges}. *)
 
 val bytes_written : t -> int
 (** Bytes actually written ({!write} counts a whole page, {!write_range}

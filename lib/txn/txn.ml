@@ -7,7 +7,7 @@ let m_aborts = Metrics.counter Metrics.global "txn.aborts"
 type manager = {
   locks : Lock.t;
   mutable next_id : int;
-  mutable active : int;
+  active : (int, unit) Hashtbl.t;  (* ids of in-flight transactions *)
 }
 
 type state = Active | Committed | Aborted
@@ -23,14 +23,14 @@ exception Would_block of { txn : int; blockers : int list }
 exception Deadlock of { txn : int }
 exception Not_active
 
-let create_manager () = { locks = Lock.create (); next_id = 1; active = 0 }
+let create_manager () = { locks = Lock.create (); next_id = 1; active = Hashtbl.create 8 }
 
 let lock_table m = m.locks
 
 let begin_txn m =
   let txn_id = m.next_id in
   m.next_id <- m.next_id + 1;
-  m.active <- m.active + 1;
+  Hashtbl.replace m.active txn_id ();
   Metrics.incr m_begins;
   { mgr = m; txn_id; state = Active; undo = [] }
 
@@ -60,7 +60,7 @@ let on_abort t f =
 
 let finish t final =
   t.state <- final;
-  t.mgr.active <- t.mgr.active - 1;
+  Hashtbl.remove t.mgr.active t.txn_id;
   Lock.release_all t.mgr.locks t.txn_id
 
 let commit t =
@@ -76,4 +76,7 @@ let abort t =
   Metrics.incr m_aborts;
   finish t Aborted
 
-let active_count m = m.active
+let active_count m = Hashtbl.length m.active
+
+let active_ids m =
+  List.sort Int.compare (Hashtbl.fold (fun id () acc -> id :: acc) m.active [])

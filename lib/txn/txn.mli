@@ -55,3 +55,7 @@ val commit : t -> int list
 val abort : t -> int list
 
 val active_count : manager -> int
+
+val active_ids : manager -> int list
+(** Ids of the in-flight transactions, ascending — what a fuzzy
+    checkpoint records as its active set. *)

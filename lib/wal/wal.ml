@@ -31,12 +31,13 @@ let segment_header_size = 16
 let frame_header_size = 8
 
 type file_state = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;  (* swapped when truncation renames a fresh segment in *)
   path : string;
   window : int;  (* commits per fsync; 1 = fsync every commit *)
   mutable pending_commits : int;  (* commits written since the last fsync *)
   mutable unsynced : bool;  (* any bytes written since the last fsync *)
   mutable fsync_count : int;  (* real fsyncs issued on this segment *)
+  mutable durable_lsn : lsn;  (* end_lsn as of the last fsync *)
 }
 
 type t = {
@@ -80,14 +81,31 @@ let frame_of_payload payload =
   Bytes.blit_string payload 0 b frame_header_size len;
   b
 
-let do_fsync fs =
-  Trace.with_span "wal.fsync" (fun () -> Unix.fsync fs.fd);
+let tmp_path path = path ^ ".tmp"
+
+(* Make a just-renamed segment's directory entry durable.  Some
+   filesystems reject fsync on a directory fd; treat that as best-effort
+   rather than failing the truncation. *)
+let fsync_dir path =
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | dirfd ->
+    Fun.protect
+      ~finally:(fun () -> Unix.close dirfd)
+      (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+
+let mark_synced t fs =
   fs.fsync_count <- fs.fsync_count + 1;
   Metrics.incr m_fsyncs;
   if fs.pending_commits > 0 then
     Metrics.observe h_group_batch (float_of_int fs.pending_commits);
   fs.pending_commits <- 0;
-  fs.unsynced <- false
+  fs.unsynced <- false;
+  fs.durable_lsn <- t.base + Buffer.length t.buf
+
+let do_fsync t fs =
+  Trace.with_span "wal.fsync" (fun () -> Unix.fsync fs.fd);
+  mark_synced t fs
 
 let mk ?file () =
   { buf = Buffer.create 4096; count = 0; base = 0; per_table = Hashtbl.create 8; file }
@@ -98,9 +116,14 @@ let create ?(backend = Memory) ?group_commit_window () =
   match backend with
   | Memory -> mk ()
   | File path ->
+    (try Sys.remove (tmp_path path) with Sys_error _ -> ());
     let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
     really_write fd (segment_header 0);
-    mk ~file:{ fd; path; window; pending_commits = 0; unsynced = true; fsync_count = 0 } ()
+    mk
+      ~file:
+        { fd; path; window; pending_commits = 0; unsynced = true; fsync_count = 0;
+          durable_lsn = 0 }
+      ()
 
 let backend t = match t.file with None -> Memory | Some fs -> File fs.path
 
@@ -108,10 +131,15 @@ let group_commit_window t = match t.file with None -> 1 | Some fs -> fs.window
 
 let fsyncs t = match t.file with None -> 0 | Some fs -> fs.fsync_count
 
+let durable_end_lsn t =
+  match t.file with
+  | None -> t.base + Buffer.length t.buf
+  | Some fs -> fs.durable_lsn
+
 let sync t =
   match t.file with
   | None -> ()
-  | Some fs -> if fs.unsynced || fs.pending_commits > 0 then do_fsync fs
+  | Some fs -> if fs.unsynced || fs.pending_commits > 0 then do_fsync t fs
 
 let close t =
   match t.file with
@@ -140,7 +168,7 @@ let append t r =
     (match r with
     | Record.Commit _ ->
       fs.pending_commits <- fs.pending_commits + 1;
-      if fs.pending_commits >= fs.window then do_fsync fs
+      if fs.pending_commits >= fs.window then do_fsync t fs
     | _ -> ()));
   Metrics.incr m_appends;
   Metrics.add m_append_bytes (t.base + Buffer.length t.buf - at);
@@ -177,12 +205,21 @@ let iter_from t lsn f =
   in
   go (lsn - t.base)
 
-(* Rewrite the whole segment file from the retained in-memory image:
-   fresh header carrying the new base, then one frame per retained record.
+(* Rewrite the whole segment from the retained in-memory image: fresh
+   header carrying the new base, then one frame per retained record.
    Segment truncation is rare (checkpoint-driven), so a full rewrite is
-   acceptable; the rewrite is made durable before returning. *)
+   acceptable.
+
+   The rewrite must never modify the live segment in place: a crash
+   mid-overwrite would leave new frames mixed with stale old bytes, and
+   {!open_file}'s torn-tail scan — which truncates at the first bad
+   frame — would silently drop previously fsync-durable records above the
+   mix point.  Instead the new segment is written to a sibling temp file,
+   fsynced, then [rename(2)]d over the old path (the atomic commit point)
+   and the directory fsynced: a crash at any instant leaves either the
+   complete old segment (plus an ignorable temp file) or the complete new
+   one, never a hybrid. *)
 let rewrite_file t fs =
-  ignore (Unix.lseek fs.fd 0 Unix.SEEK_SET);
   let out = Buffer.create (segment_header_size + Buffer.length t.buf) in
   Buffer.add_bytes out (segment_header t.base);
   let b = image t in
@@ -195,10 +232,27 @@ let rewrite_file t fs =
     end
   in
   go 0;
-  really_write fs.fd (Buffer.to_bytes out);
-  Unix.ftruncate fs.fd (Buffer.length out);
-  fs.unsynced <- true;
-  do_fsync fs
+  let tmp = tmp_path fs.path in
+  let tmp_fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     really_write tmp_fd (Buffer.to_bytes out);
+     Trace.with_span "wal.fsync" (fun () -> Unix.fsync tmp_fd);
+     Unix.close tmp_fd
+   with e ->
+     (try Unix.close tmp_fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Unix.rename tmp fs.path;
+  fsync_dir fs.path;
+  (* The old fd still names the now-unlinked old segment: swap in the new
+     one, positioned at its end for subsequent appends. *)
+  Unix.close fs.fd;
+  let fd = Unix.openfile fs.path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  fs.fd <- fd;
+  (* The temp-file fsync made everything (pending commits included)
+     durable; account for it as this rewrite's one real fsync. *)
+  mark_synced t fs
 
 let truncate_before t lsn =
   if lsn < t.base || lsn > end_lsn t then failwith "Wal.truncate_before: bad LSN";
@@ -290,9 +344,16 @@ let load path =
 let open_file ?group_commit_window path =
   let window = Option.value group_commit_window ~default:default_group_commit_window in
   if window < 1 then invalid_arg "Wal.open_file: group_commit_window < 1";
+  (* A leftover temp file is a truncation rewrite that crashed before its
+     rename committed: the segment at [path] is still the authoritative
+     log, so the temp is discarded, never adopted. *)
+  (try Sys.remove (tmp_path path) with Sys_error _ -> ());
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
-  let fs = { fd; path; window; pending_commits = 0; unsynced = false; fsync_count = 0 } in
+  let fs =
+    { fd; path; window; pending_commits = 0; unsynced = false; fsync_count = 0;
+      durable_lsn = 0 }
+  in
   if size < segment_header_size then begin
     (* Nothing durable (a crash before the header landed): start fresh. *)
     Unix.ftruncate fd 0;
@@ -353,5 +414,8 @@ let open_file ?group_commit_window path =
       Metrics.incr m_torn_tails
     end;
     ignore (Unix.lseek fd !valid_end Unix.SEEK_SET);
+    (* Everything recovered was read back from the file: it is the
+       durable horizon until the next append. *)
+    fs.durable_lsn <- t.base + Buffer.length t.buf;
     t
   end

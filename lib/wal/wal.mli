@@ -58,10 +58,25 @@ val fsyncs : t -> int
     process-wide [wal.fsyncs] metric aggregates across logs and includes
     {!save}. *)
 
+val durable_end_lsn : t -> lsn
+(** One past the last byte known to have reached stable storage —
+    advanced by every fsync: a group-commit window completing, {!sync},
+    {!truncate_before}'s segment rewrite, {!close}.  Group commit means
+    {!append} can acknowledge a [Commit] record whose LSN is still at or
+    above this horizon; such a commit may vanish in a crash until the
+    window fills or the caller forces {!sync}.  A caller needing
+    per-commit durability compares the commit's LSN against this (or just
+    calls {!sync}).  For [Memory] logs it equals {!end_lsn} trivially —
+    there is no segment to lag behind — but a memory log has no crash
+    durability at all short of {!save}. *)
+
 val append : t -> Record.t -> lsn
 (** Returns the LSN assigned to this record.  On a file-backed log the
     frame is written immediately; it is durable after the enclosing group
-    commit's fsync (a [Commit] record completing the window, or {!sync}). *)
+    commit's fsync (a [Commit] record completing the window, or {!sync}).
+    {b A successful return therefore does not imply durability}: up to
+    [group_commit_window - 1] acknowledged commits can be lost in a
+    crash.  See {!durable_end_lsn}. *)
 
 val end_lsn : t -> lsn
 (** One past the last record: the LSN the next append will get. *)
@@ -91,8 +106,12 @@ val truncate_before : t -> lsn -> unit
     previously returned by {!append}/iteration).  LSNs of retained records
     are unchanged; per-table latest-LSN entries below the new base are
     clamped to it (see {!last_lsn_for}).  On a file-backed log the segment
-    is rewritten and fsynced.  Raises [Failure] on a bad or mid-record
-    LSN. *)
+    is rewritten {e atomically} — written to a sibling [.tmp] file,
+    fsynced, renamed over the old path, directory fsynced — so a crash
+    mid-truncation leaves either the complete old segment or the complete
+    new one, never a partial overwrite that recovery would mistake for a
+    torn tail ({!open_file} discards any leftover [.tmp]).  Raises
+    [Failure] on a bad or mid-record LSN. *)
 
 val record_count : t -> int
 

@@ -434,9 +434,37 @@ let test_fuzzy_checkpoint_crash_redo () =
           Wal.close rlog;
           Page_store.close store))
 
+(* Review regression: Begin_checkpoint must record the transactions
+   actually in flight at the manager, not a hard-coded empty list. *)
+let test_checkpoint_records_live_txns () =
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base = Base_table.create ~wal ~name:"emp" ~clock emp_schema in
+  let m = Manager.create () in
+  Manager.register_base m base;
+  ignore (Base_table.insert base (emp "Bruce" 15) : Addr.t);
+  let last_active () =
+    Wal.fold_from wal (Wal.oldest_retained wal) ~init:None ~f:(fun acc _ r ->
+        match r with
+        | Snapdiff_wal.Record.Begin_checkpoint { active } -> Some active
+        | _ -> acc)
+  in
+  let t1 = Txn.begin_txn (Manager.txn_manager m) in
+  let t2 = Txn.begin_txn (Manager.txn_manager m) in
+  ignore (Manager.checkpoint m "emp" : Manager.checkpoint_report);
+  Alcotest.(check (option (list int))) "live txns recorded"
+    (Some [ Txn.id t1; Txn.id t2 ]) (last_active ());
+  ignore (Txn.commit t1 : int list);
+  ignore (Txn.abort t2 : int list);
+  ignore (Manager.checkpoint m "emp" : Manager.checkpoint_report);
+  Alcotest.(check (option (list int))) "empty once they finish" (Some [])
+    (last_active ())
+
 let suite =
   [
     Alcotest.test_case "base table survives restart" `Quick test_base_table_survives_restart;
+    Alcotest.test_case "checkpoint records live txns" `Quick
+      test_checkpoint_records_live_txns;
     QCheck_alcotest.to_alcotest prop_kill_at_random_byte;
     Alcotest.test_case "checkpoint gates on live scan" `Quick test_checkpoint_gates_on_live_scan;
     Alcotest.test_case "fuzzy checkpoint crash redo" `Quick test_fuzzy_checkpoint_crash_redo;

@@ -438,6 +438,29 @@ let test_heap_persists_through_pool () =
         (Heap.get h2 a);
       Page_store.close store2)
 
+(* Review regression: a sub-page writeback must count as ONE page write,
+   however many dirty ranges carry it, so [writes_performed] stays
+   comparable between whole-page and ranged write-back configurations. *)
+let test_write_ranges_count_one_page_write () =
+  let s = Page_store.in_memory ~page_size:256 () in
+  let n = Page_store.allocate s in
+  let w0 = Page_store.writes_performed s in
+  let page = Bytes.make 256 'x' in
+  Page_store.write_ranges s n page [ (0, 10); (50, 20); (100, 0) ];
+  checki "one page write for three ranges" (w0 + 1) (Page_store.writes_performed s);
+  checki "two non-empty range writes" 2 (Page_store.range_writes_performed s);
+  checki "bytes = sum of ranges" 30 (Page_store.bytes_written s);
+  Page_store.write_ranges s n page [];
+  Page_store.write_ranges s n page [ (0, 0) ];
+  checki "empty writebacks count nothing" (w0 + 1) (Page_store.writes_performed s);
+  Page_store.write_range s n page ~off:200 ~len:8;
+  checki "write_range is one write" (w0 + 2) (Page_store.writes_performed s);
+  Page_store.write s n page;
+  checki "whole-page write is one write" (w0 + 3) (Page_store.writes_performed s);
+  Alcotest.check_raises "range out of bounds"
+    (Invalid_argument "Page_store.write_range: range out of bounds") (fun () ->
+      Page_store.write_ranges s n page [ (250, 10) ])
+
 let test_addr_packing () =
   let a = Addr.make ~page:5 ~slot:7 in
   checki "page" 5 (Addr.page a);
@@ -450,6 +473,8 @@ let test_addr_packing () =
 
 let suite =
   [
+    Alcotest.test_case "write_ranges counts one page write" `Quick
+      test_write_ranges_count_one_page_write;
     Alcotest.test_case "value roundtrip" `Quick test_value_roundtrip;
     Alcotest.test_case "value decode garbage" `Quick test_value_decode_garbage;
     Alcotest.test_case "value compare" `Quick test_value_compare_order;

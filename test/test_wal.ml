@@ -419,6 +419,80 @@ let test_truncate_then_last_lsn_for () =
   checki "clamped to empty-log base" (Wal.oldest_retained log) l;
   Wal.iter_from log l (fun _ _ -> ())
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(* Review regression: the truncation rewrite must be crash-atomic.  The
+   old implementation overwrote the live segment in place, so a crash
+   mid-rewrite left new frames mixed with stale old bytes, and reopen's
+   torn-tail scan silently dropped fsync-durable records at the mix
+   point.  With the temp-file + rename protocol the only crash states are
+   "complete old segment (+ leftover temp)" and "complete new segment" —
+   both recover without losing a single durable record. *)
+let test_truncate_crash_atomicity () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) () in
+      let lsns = List.map (Wal.append log) sample_records in
+      Wal.sync log;
+      let before = read_file path in
+      let full = Wal.to_list log in
+      let cut = List.nth lsns 3 in
+      Wal.truncate_before log cut;
+      let after = read_file path in
+      let truncated = Wal.to_list log in
+      Wal.close log;
+      checkb "no temp left after a clean truncation" false
+        (Sys.file_exists (path ^ ".tmp"));
+      (* Crash state A: the rewrite died before its rename — the old
+         segment is untouched, a partial temp sits beside it. *)
+      write_file path before;
+      write_file (path ^ ".tmp") (String.sub after 0 (String.length after / 2));
+      let a = Wal.open_file path in
+      checkb "pre-rename crash: every durable record survives" true
+        (Wal.to_list a = full);
+      Wal.close a;
+      checkb "stale temp discarded on reopen" false (Sys.file_exists (path ^ ".tmp"));
+      (* Crash state B: the rename committed — the new segment is whole. *)
+      write_file path after;
+      let b = Wal.open_file path in
+      checkb "post-rename crash: exactly the retained suffix" true
+        (Wal.to_list b = truncated);
+      checki "base persisted" cut (Wal.oldest_retained b);
+      Wal.close b)
+
+(* The group-commit ack gap is observable: [durable_end_lsn] lags behind
+   acknowledged commits inside a partial window and catches up on every
+   fsync. *)
+let test_durable_end_lsn_tracks_group_commit () =
+  with_tmp_wal (fun path ->
+      let log = Wal.create ~backend:(Wal.File path) ~group_commit_window:2 () in
+      checki "nothing durable yet" 0 (Wal.durable_end_lsn log);
+      ignore (Wal.append log (Record.Begin { txn = 1 }) : Wal.lsn);
+      let c1 = Wal.append log (Record.Commit { txn = 1 }) in
+      checkb "acknowledged commit not yet durable" true (Wal.durable_end_lsn log <= c1);
+      ignore (Wal.append log (Record.Begin { txn = 2 }) : Wal.lsn);
+      ignore (Wal.append log (Record.Commit { txn = 2 }) : Wal.lsn);
+      checki "window fsync catches the horizon up" (Wal.end_lsn log)
+        (Wal.durable_end_lsn log);
+      ignore (Wal.append log (Record.Begin { txn = 3 }) : Wal.lsn);
+      let c3 = Wal.append log (Record.Commit { txn = 3 }) in
+      checkb "partial window lags again" true (Wal.durable_end_lsn log <= c3);
+      Wal.sync log;
+      checki "sync forces durability" (Wal.end_lsn log) (Wal.durable_end_lsn log);
+      Wal.close log;
+      let log2 = Wal.open_file path in
+      checki "the recovered image is the horizon" (Wal.end_lsn log2)
+        (Wal.durable_end_lsn log2);
+      Wal.close log2)
+
 (* Satellite regression: [save] must issue a real fsync (and only then
    count it). *)
 let test_save_counts_real_fsync () =
@@ -500,9 +574,58 @@ let prop_file_backend_equals_memory =
           Wal.close file2;
           true))
 
+(* Torture property for the truncation crash window: crash at a random
+   byte of the rewrite.  Before the rename commits, any prefix of the
+   temp may be on disk next to the intact old segment; after it, the new
+   segment is complete.  In every state, reopen must yield the full old
+   log or the exact truncated log — never fewer records. *)
+let prop_truncate_crash_keeps_durable_records =
+  QCheck2.Test.make ~name:"crash anywhere in truncation loses no durable record"
+    ~count:40
+    (Gen.triple
+       (Gen.list_size (Gen.int_range 1 30) file_record_gen)
+       (Gen.int_range 0 1000) (Gen.int_range 0 1000))
+    (fun (records, cutpick, crashpick) ->
+      with_tmp_wal (fun path ->
+          let log = Wal.create ~backend:(Wal.File path) ~group_commit_window:2 () in
+          List.iter (fun r -> ignore (Wal.append log r : Wal.lsn)) records;
+          Wal.sync log;
+          let before = read_file path in
+          let full = Wal.to_list log in
+          let boundaries = List.map fst full @ [ Wal.end_lsn log ] in
+          let cut = List.nth boundaries (cutpick mod List.length boundaries) in
+          Wal.truncate_before log cut;
+          let after = read_file path in
+          let truncated = Wal.to_list log in
+          Wal.close log;
+          let tmp = path ^ ".tmp" in
+          (* Pre-rename crash: old segment + the first [k] temp bytes. *)
+          let k = crashpick mod (String.length after + 1) in
+          write_file path before;
+          write_file tmp (String.sub after 0 k);
+          let a = Wal.open_file path in
+          let ok_a = Wal.to_list a = full in
+          Wal.close a;
+          (* Post-rename crash: the new segment alone. *)
+          (try Sys.remove tmp with Sys_error _ -> ());
+          write_file path after;
+          let b = Wal.open_file path in
+          let ok_b = Wal.to_list b = truncated in
+          Wal.close b;
+          if not ok_a then
+            QCheck2.Test.fail_report "pre-rename crash dropped durable records";
+          if not ok_b then
+            QCheck2.Test.fail_report "post-rename crash diverges from truncation";
+          true))
+
 let suite =
-  List.map QCheck_alcotest.to_alcotest [ prop_file_backend_equals_memory ]
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_file_backend_equals_memory; prop_truncate_crash_keeps_durable_records ]
   @ [
+    Alcotest.test_case "truncation rewrite is crash-atomic" `Quick
+      test_truncate_crash_atomicity;
+    Alcotest.test_case "durable_end_lsn tracks group commit" `Quick
+      test_durable_end_lsn_tracks_group_commit;
     Alcotest.test_case "file backend roundtrip+reopen" `Quick
       test_file_backend_roundtrip_and_reopen;
     Alcotest.test_case "torn tail recovers prefix" `Quick test_torn_tail_recovers_prefix;
