@@ -23,8 +23,10 @@ type page_summary = {
 
 (* Tokens are drawn from a process-wide counter so a summary rebuilt after
    an [on_pool] restart can never collide with a token some refresher
-   cached against the previous table instance. *)
-let token_counter = ref 0
+   cached against the previous table instance.  Atomic so refreshes of
+   different tables running on different domains still draw unique
+   tokens. *)
+let token_counter = Atomic.make 0
 
 type t = {
   table_name : string;
@@ -152,8 +154,7 @@ let record_page_summary t ~page ~live ~first_live ~last_live ~first_prev ~max_ts
        caches against this page stay valid. *)
     s.sum_token
   | _ ->
-    incr token_counter;
-    let token = !token_counter in
+    let token = 1 + Atomic.fetch_and_add token_counter 1 in
     Hashtbl.replace t.summaries page
       {
         sum_live = live;
@@ -168,6 +169,9 @@ let record_page_summary t ~page ~live ~first_live ~last_live ~first_prev ~max_ts
 let summarized_pages t = Hashtbl.length t.summaries
 
 let iter_page_stored t ~page f = Heap.iter_page t.heap ~page f
+
+let iter_page_stored_arena t ~arena ~page f =
+  Heap.iter_page_arena t.heap ~arena ~page f
 
 (* -------------------------------------------------------------------- *)
 

@@ -172,6 +172,12 @@ val summarized_pages : t -> int
 val iter_page_stored : t -> page:int -> (Addr.t -> Tuple.t -> unit) -> unit
 (** {!iter_stored} restricted to one data page (see {!Heap.iter_page}). *)
 
+val iter_page_stored_arena :
+  t -> arena:Decode_arena.t -> page:int -> (Addr.t -> Tuple.t -> unit) -> unit
+(** {!iter_page_stored} through a reused {!Decode_arena} — same sequence,
+    near-zero allocation (see {!Heap.iter_page_arena}).  The parallel
+    scan gives each worker domain its own arena. *)
+
 val set_stored : t -> Addr.t -> Tuple.t -> unit
 (** Raw annotated-tuple write: used by the fix-up pass to restore
     annotation fields.  Does not tick the clock, fire observers, or write

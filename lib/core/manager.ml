@@ -130,6 +130,8 @@ type t = {
   mutable retry : retry_policy;
   mutable batch : int;  (* flush threshold for batched transport; <= 1 = off *)
   mutable chunk_entries : int;  (* scan chunk size; max_int = monolithic *)
+  mutable domains : int;  (* refresh decode parallelism; 1 = sequential *)
+  mutable arena : bool option;  (* decode-arena override; None = (domains > 1) *)
   mutable on_chunk : (unit -> unit) option;  (* interleave point between chunks *)
   rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
   (* Live-scan WAL pins: each in-flight chunked refresh registers the LSN
@@ -142,7 +144,7 @@ type t = {
 let key = String.lowercase_ascii
 
 let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1)
-    ?(chunk_entries = max_int) () =
+    ?(chunk_entries = max_int) ?(domains = 1) ?arena () =
   {
     bases = Hashtbl.create 8;
     snapshots = Hashtbl.create 8;
@@ -150,6 +152,8 @@ let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1)
     retry;
     batch = max 1 batch_size;
     chunk_entries = max 1 chunk_entries;
+    domains = max 1 domains;
+    arena;
     on_chunk = None;
     rng = Snapdiff_util.Rng.create seed;
     next_pin = 1;
@@ -169,6 +173,20 @@ let set_batch_size t n = t.batch <- max 1 n
 let chunk_entries t = t.chunk_entries
 
 let set_chunk_entries t n = t.chunk_entries <- max 1 n
+
+let domains t = t.domains
+
+let set_domains ?arena t n =
+  t.domains <- max 1 n;
+  match arena with None -> () | Some _ -> t.arena <- arena
+
+(* The [Differential.parallel] the next refresh scan should use; [None]
+   when the configuration is the default — that keeps [domains = 1]
+   (without an arena override) on the literal pre-existing code path. *)
+let parallel_opt t =
+  let arena = Option.value t.arena ~default:(t.domains > 1) in
+  if t.domains <= 1 && not arena then None
+  else Some { Differential.par_domains = t.domains; par_arena = arena }
 
 let set_chunk_hook t f = t.on_chunk <- f
 
@@ -434,7 +452,7 @@ let run_chunked_differential t b subs =
     Txn.lock txn (Base_table.lock_resource b) (if deferred then Lock.IX else Lock.IS);
     let lsn0 = Wal.end_lsn wal in
     pin := Some (register_pin t wal lsn0);
-    let cursor = Differential.start ~base:b subs in
+    let cursor = Differential.start ?parallel:(parallel_opt t) ~base:b subs in
     let max_hold = ref 0.0 in
     let observe_hold t0 =
       let d = Trace.now_us () -. t0 in
@@ -674,7 +692,8 @@ let rec run_method t s ~epoch method_used =
       if s.tail_suppression then Some (Snapshot_table.high_water s.table) else None
     in
     let r =
-      Differential.refresh ~tail_suppression ?prune:s.prune ~base:b
+      Differential.refresh ~tail_suppression ?prune:s.prune
+        ?parallel:(parallel_opt t) ~base:b
         ~snaptime:(Snapshot_table.snaptime s.table) ~restrict:s.restrict ~project:s.project
         ~xmit ()
     in
@@ -1110,7 +1129,8 @@ let group_attempt t b members =
           Trace.with_span "refresh.group"
             ~attrs:
               [ ("base", Base_table.name b); ("subscribers", string_of_int n) ]
-            (fun () -> Differential.refresh_group ~base:b subs)
+            (fun () ->
+              Differential.refresh_group ?parallel:(parallel_opt t) ~base:b subs)
         in
         Metrics.observe h_group_size (float_of_int n);
         let after = Array.map (fun s -> Link.stats s.link) members in

@@ -1,8 +1,16 @@
 module Stats = Snapdiff_util.Stats
 
-type counter = { mutable count : int }
+(* Counters and gauges are atomics so hot-path bumps from parallel scan
+   workers never lose increments; histograms take a per-histogram mutex
+   (observe is two array stores plus a Welford update — far too much for
+   a CAS loop, and histogram observations are orders of magnitude rarer
+   than counter bumps).  The registry table itself is guarded by a mutex,
+   but components fetch their handles once at init, so the lock never
+   appears on a hot path. *)
 
-type gauge = { mutable level : float }
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
 
 (* Bucket 0 holds values in [0, 1); bucket i >= 1 holds [2^(i-1), 2^i).
    40 power-of-two buckets span sub-microsecond to ~9 simulated minutes,
@@ -10,7 +18,13 @@ type gauge = { mutable level : float }
 let bucket_count = 40
 
 type histogram = {
+  h_m : Mutex.t;
   buckets : int array;
+  (* Per-bucket value sums: a bucket holding exactly one sample can
+     report that sample exactly instead of an interpolated bucket-edge
+     estimate (the log buckets are an octave wide, so the estimate could
+     be off by almost 2x). *)
+  bucket_sums : float array;
   mutable acc : Stats.Accumulator.t;
 }
 
@@ -19,53 +33,65 @@ type metric =
   | Gauge of gauge
   | Histogram of histogram
 
-type t = { metrics : (string, metric) Hashtbl.t }
+type t = { reg_m : Mutex.t; metrics : (string, metric) Hashtbl.t }
 
 exception Kind_mismatch of string
 
-let create () = { metrics = Hashtbl.create 64 }
+let create () = { reg_m = Mutex.create (); metrics = Hashtbl.create 64 }
 
 (* The process-global registry every component attaches to. *)
 let global = create ()
 
+let get_or_create t name ~make ~cast =
+  Mutex.lock t.reg_m;
+  let r =
+    match Hashtbl.find_opt t.metrics name with
+    | Some m -> cast m
+    | None ->
+      let m = make () in
+      Hashtbl.replace t.metrics name m;
+      cast m
+  in
+  Mutex.unlock t.reg_m;
+  match r with Some v -> v | None -> raise (Kind_mismatch name)
+
 let counter t name =
-  match Hashtbl.find_opt t.metrics name with
-  | Some (Counter c) -> c
-  | Some _ -> raise (Kind_mismatch name)
-  | None ->
-    let c = { count = 0 } in
-    Hashtbl.replace t.metrics name (Counter c);
-    c
+  get_or_create t name
+    ~make:(fun () -> Counter (Atomic.make 0))
+    ~cast:(function Counter c -> Some c | _ -> None)
 
 let gauge t name =
-  match Hashtbl.find_opt t.metrics name with
-  | Some (Gauge g) -> g
-  | Some _ -> raise (Kind_mismatch name)
-  | None ->
-    let g = { level = 0.0 } in
-    Hashtbl.replace t.metrics name (Gauge g);
-    g
+  get_or_create t name
+    ~make:(fun () -> Gauge (Atomic.make 0.0))
+    ~cast:(function Gauge g -> Some g | _ -> None)
 
 let histogram t name =
-  match Hashtbl.find_opt t.metrics name with
-  | Some (Histogram h) -> h
-  | Some _ -> raise (Kind_mismatch name)
-  | None ->
-    let h = { buckets = Array.make bucket_count 0; acc = Stats.Accumulator.create () } in
-    Hashtbl.replace t.metrics name (Histogram h);
-    h
+  get_or_create t name
+    ~make:(fun () ->
+      Histogram
+        { h_m = Mutex.create (); buckets = Array.make bucket_count 0;
+          bucket_sums = Array.make bucket_count 0.0;
+          acc = Stats.Accumulator.create () })
+    ~cast:(function Histogram h -> Some h | _ -> None)
 
-let incr c = c.count <- c.count + 1
+let incr c = Atomic.incr c
 
-let add c n = c.count <- c.count + n
+let add c n = ignore (Atomic.fetch_and_add c n : int)
 
-let value c = c.count
+let value c = Atomic.get c
 
-let set g v = g.level <- v
+let set g v = Atomic.set g v
 
-let shift g d = g.level <- g.level +. d
+let shift g d =
+  (* CAS loop: [Atomic.compare_and_set] compares the float boxes
+     physically, and [old] is the exact box we read. *)
+  let rec go () =
+    let old = Atomic.get g in
+    if not (Atomic.compare_and_set g old (old +. d)) then go ()
+  in
+  go ()
 
-let level g = g.level
+let level g = Atomic.get g
 
 let bucket_of v =
   if v < 1.0 then 0
@@ -77,22 +103,32 @@ let bucket_of v =
 let observe h v =
   let v = Float.max 0.0 v in
   let i = bucket_of v in
+  Mutex.lock h.h_m;
   h.buckets.(i) <- h.buckets.(i) + 1;
-  Stats.Accumulator.add h.acc v
+  h.bucket_sums.(i) <- h.bucket_sums.(i) +. v;
+  Stats.Accumulator.add h.acc v;
+  Mutex.unlock h.h_m
 
-let observations h = Stats.Accumulator.n h.acc
+let with_hist h f =
+  Mutex.lock h.h_m;
+  let r = f h in
+  Mutex.unlock h.h_m;
+  r
 
-let hist_mean h = Stats.Accumulator.mean h.acc
+let observations h = with_hist h (fun h -> Stats.Accumulator.n h.acc)
 
-let hist_max h = Stats.Accumulator.max h.acc
+let hist_mean h = with_hist h (fun h -> Stats.Accumulator.mean h.acc)
 
-let hist_min h = Stats.Accumulator.min h.acc
+let hist_max h = with_hist h (fun h -> Stats.Accumulator.max h.acc)
+
+let hist_min h = with_hist h (fun h -> Stats.Accumulator.min h.acc)
 
 (* Quantile estimate from the log buckets: find the bucket holding the
-   target rank and interpolate linearly inside it.  Clamped to the exact
-   observed min/max so single-sample and narrow histograms stay honest. *)
-let quantile h q =
-  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of range";
+   target rank and interpolate linearly inside it.  A bucket holding a
+   single sample yields that sample exactly (its sum is the sample);
+   estimates are clamped to the exact observed min/max so narrow
+   histograms stay honest. *)
+let quantile_locked h q =
   let n = Stats.Accumulator.n h.acc in
   if n = 0 then 0.0
   else begin
@@ -102,10 +138,15 @@ let quantile h q =
       else begin
         let c = h.buckets.(i) in
         if c > 0 && float_of_int (cum + c) >= target then begin
-          let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
-          let hi = Float.pow 2.0 (float_of_int i) in
-          let frac = Float.max 0.0 (target -. float_of_int cum) /. float_of_int c in
-          let est = lo +. (frac *. (hi -. lo)) in
+          let est =
+            if c = 1 then h.bucket_sums.(i)
+            else begin
+              let lo = if i = 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1)) in
+              let hi = Float.pow 2.0 (float_of_int i) in
+              let frac = Float.max 0.0 (target -. float_of_int cum) /. float_of_int c in
+              lo +. (frac *. (hi -. lo))
+            end
+          in
           Float.min (Stats.Accumulator.max h.acc)
             (Float.max (Stats.Accumulator.min h.acc) est)
         end
@@ -115,37 +156,64 @@ let quantile h q =
     walk 0 0
   end
 
+let quantile h q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.quantile: q out of range";
+  with_hist h (fun h -> quantile_locked h q)
+
 let counter_value t name =
-  match Hashtbl.find_opt t.metrics name with Some (Counter c) -> c.count | _ -> 0
+  Mutex.lock t.reg_m;
+  let r =
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Counter c) -> Atomic.get c
+    | _ -> 0
+  in
+  Mutex.unlock t.reg_m;
+  r
 
 let gauge_level t name =
-  match Hashtbl.find_opt t.metrics name with Some (Gauge g) -> g.level | _ -> 0.0
+  Mutex.lock t.reg_m;
+  let r =
+    match Hashtbl.find_opt t.metrics name with
+    | Some (Gauge g) -> Atomic.get g
+    | _ -> 0.0
+  in
+  Mutex.unlock t.reg_m;
+  r
 
 let names t =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [])
+  Mutex.lock t.reg_m;
+  let r = Hashtbl.fold (fun k _ acc -> k :: acc) t.metrics [] in
+  Mutex.unlock t.reg_m;
+  List.sort compare r
 
 let reset t =
+  Mutex.lock t.reg_m;
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.count <- 0
-      | Gauge g -> g.level <- 0.0
+      | Counter c -> Atomic.set c 0
+      | Gauge g -> Atomic.set g 0.0
       | Histogram h ->
+        Mutex.lock h.h_m;
         Array.fill h.buckets 0 bucket_count 0;
-        h.acc <- Stats.Accumulator.create ())
-    t.metrics
+        Array.fill h.bucket_sums 0 bucket_count 0.0;
+        h.acc <- Stats.Accumulator.create ();
+        Mutex.unlock h.h_m)
+    t.metrics;
+  Mutex.unlock t.reg_m
 
 let sorted_items t =
-  List.sort
-    (fun (a, _) (b, _) -> compare a b)
-    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.metrics [])
+  Mutex.lock t.reg_m;
+  let items = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.metrics [] in
+  Mutex.unlock t.reg_m;
+  List.sort (fun (a, _) (b, _) -> compare a b) items
 
 let dump ppf t =
   List.iter
     (fun (name, m) ->
       match m with
-      | Counter c -> Format.fprintf ppf "%-40s %d@." name c.count
-      | Gauge g -> Format.fprintf ppf "%-40s %.1f@." name g.level
+      | Counter c -> Format.fprintf ppf "%-40s %d@." name (Atomic.get c)
+      | Gauge g -> Format.fprintf ppf "%-40s %.1f@." name (Atomic.get g)
       | Histogram h ->
         if observations h = 0 then Format.fprintf ppf "%-40s (no samples)@." name
         else
@@ -187,11 +255,11 @@ let dump_json t =
   Buffer.add_char buf '{';
   section "counters"
     (function Counter _ -> true | _ -> false)
-    (function Counter c -> Printf.bprintf buf "%d" c.count | _ -> ());
+    (function Counter c -> Printf.bprintf buf "%d" (Atomic.get c) | _ -> ());
   Buffer.add_string buf ", ";
   section "gauges"
     (function Gauge _ -> true | _ -> false)
-    (function Gauge g -> Printf.bprintf buf "%.3f" g.level | _ -> ());
+    (function Gauge g -> Printf.bprintf buf "%.3f" (Atomic.get g) | _ -> ());
   Buffer.add_string buf ", ";
   section "histograms"
     (function Histogram _ -> true | _ -> false)

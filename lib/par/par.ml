@@ -1,0 +1,166 @@
+(* Fork-join over a lazily spawned, process-global worker pool.
+
+   One batch runs at a time (guarded by [run_m]).  The coordinator
+   publishes the batch under the pool mutex, broadcasts, and then helps
+   execute it; workers and coordinator claim task indices from a shared
+   atomic counter, so distribution is dynamic but the results array is
+   written by task index and therefore deterministic.  Completion is a
+   count-down ([remaining]) under the pool mutex; the mutex handshake
+   also publishes each worker's writes to the results array to the
+   coordinator (release/acquire pairing), so no further synchronization
+   is needed to read the results. *)
+
+let max_domains = 16
+
+type batch = {
+  fns : (unit -> unit) array;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  mutable remaining : int;  (* tasks not yet finished; guarded by pool mutex *)
+  max_helpers : int;  (* parallelism cap: workers beyond it skip the batch *)
+  mutable helpers : int;  (* guarded by pool mutex *)
+}
+
+type pool = {
+  m : Mutex.t;
+  work : Condition.t;  (* a batch was published, or shutdown *)
+  done_c : Condition.t;  (* a batch finished *)
+  mutable current : batch option;
+  mutable seq : int;  (* batch sequence number, bumped per publish *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let exec pool b =
+  let n = Array.length b.fns in
+  let rec go () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < n then begin
+      b.fns.(i) ();
+      Mutex.lock pool.m;
+      b.remaining <- b.remaining - 1;
+      if b.remaining = 0 then Condition.broadcast pool.done_c;
+      Mutex.unlock pool.m;
+      go ()
+    end
+  in
+  go ()
+
+(* [seen] is the sequence number of the last batch this worker joined; a
+   worker never rejoins a batch (the helper count would inflate past the
+   parallelism cap). *)
+let rec worker_loop pool seen =
+  Mutex.lock pool.m;
+  let claimed = ref None in
+  while !claimed = None && not pool.stop do
+    (match pool.current with
+    | Some b when pool.seq <> seen && b.helpers < b.max_helpers ->
+      b.helpers <- b.helpers + 1;
+      claimed := Some (pool.seq, b)
+    | _ -> Condition.wait pool.work pool.m)
+  done;
+  Mutex.unlock pool.m;
+  match !claimed with
+  | None -> ()  (* shutdown *)
+  | Some (seq, b) ->
+    exec pool b;
+    worker_loop pool seq
+
+let pool_ref : pool option ref = ref None
+let pool_m = Mutex.create ()  (* guards pool creation and worker spawning *)
+let run_m = Mutex.create ()  (* one batch at a time *)
+
+let shutdown () =
+  let p =
+    Mutex.lock pool_m;
+    let p = !pool_ref in
+    pool_ref := None;
+    Mutex.unlock pool_m;
+    p
+  in
+  match p with
+  | None -> ()
+  | Some p ->
+    Mutex.lock p.m;
+    p.stop <- true;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    List.iter Domain.join p.workers
+
+(* Make sure the global pool exists and holds at least [need] workers
+   (clamped to [max_domains - 1]; the calling domain is the rest). *)
+let ensure_workers need =
+  Mutex.lock pool_m;
+  let p =
+    match !pool_ref with
+    | Some p -> p
+    | None ->
+      let p =
+        { m = Mutex.create (); work = Condition.create (); done_c = Condition.create ();
+          current = None; seq = 0; stop = false; workers = [] }
+      in
+      pool_ref := Some p;
+      at_exit shutdown;
+      p
+  in
+  let want = min need (max_domains - 1) in
+  let have = List.length p.workers in
+  for _ = have + 1 to want do
+    p.workers <- Domain.spawn (fun () -> worker_loop p 0) :: p.workers
+  done;
+  Mutex.unlock pool_m;
+  p
+
+let available () = Domain.recommended_domain_count ()
+
+let sequential tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (tasks.(0) ()) in
+    for i = 1 to n - 1 do
+      out.(i) <- tasks.(i) ()
+    done;
+    out
+  end
+
+let run ~domains tasks =
+  let n = Array.length tasks in
+  if domains <= 1 || n <= 1 then sequential tasks
+  else begin
+    let helpers = min (domains - 1) (n - 1) in
+    let p = ensure_workers helpers in
+    Mutex.lock run_m;
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let fns =
+      Array.mapi
+        (fun i task () ->
+          match task () with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()))
+        tasks
+    in
+    let b =
+      { fns; next = Atomic.make 0; remaining = n;
+        max_helpers = min helpers (max_domains - 1); helpers = 0 }
+    in
+    Mutex.lock p.m;
+    p.seq <- p.seq + 1;
+    p.current <- Some b;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    exec p b;
+    Mutex.lock p.m;
+    while b.remaining > 0 do
+      Condition.wait p.done_c p.m
+    done;
+    (match p.current with Some b' when b' == b -> p.current <- None | _ -> ());
+    Mutex.unlock p.m;
+    Mutex.unlock run_m;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end

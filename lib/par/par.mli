@@ -1,0 +1,37 @@
+(** A small deterministic fork-join domain pool.
+
+    [run ~domains tasks] executes the task thunks on up to [domains]
+    domains (the calling domain plus [domains - 1] pooled workers) and
+    returns their results {e in task order}: result [i] is what
+    [tasks.(i) ()] returned, regardless of which domain ran it or in what
+    real-time order the tasks finished.  With [domains <= 1] (or fewer
+    than two tasks) the tasks run inline on the calling domain, left to
+    right — the degenerate case is ordinary sequential code, so callers
+    can thread a [domains] knob straight through without branching.
+
+    Worker domains are spawned lazily into one process-global pool
+    (capped at {!max_domains} total domains) and parked on a condition
+    variable between batches, so a refresh loop dispatching thousands of
+    small page-range batches pays the domain-spawn cost once, not per
+    batch.  The pool is shut down and joined via [at_exit].
+
+    Batches are serialized: concurrent [run] calls from different domains
+    queue behind one another, and a task must never call [run] itself
+    (it would deadlock on the batch lock).
+
+    If one or more tasks raise, the remaining tasks still run to
+    completion (fail-stop per task), and [run] re-raises the raising
+    task with the lowest index, with its backtrace. *)
+
+val max_domains : int
+(** Upper bound on total domains [run] will ever use (calling domain
+    included); requests beyond it are clamped.  16. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — what the hardware can
+    actually run in parallel.  Callers gate "did parallelism help"
+    assertions on this, not on the requested [domains]. *)
+
+val run : domains:int -> (unit -> 'a) array -> 'a array
+(** Execute the tasks with at most [domains]-way parallelism and collect
+    the results in task order. *)

@@ -54,3 +54,95 @@ let string b off =
   (Bytes.sub_string b off len, off + len)
 
 let tuple = Tuple.decode
+
+(* In-place readers over a byte window.  The offset-pair readers above
+   allocate a (value, offset) tuple per field and force callers to
+   Bytes.sub each record out of its page first; a cursor reads straight
+   from the shared page (or arena) image and advances a mutable position,
+   so the decode hot loop allocates only the values themselves.  A cursor
+   is meant to be created once and re-pointed with [set] per record. *)
+module Cursor = struct
+  type t = { mutable buf : bytes; mutable pos : int; mutable limit : int }
+
+  let create () = { buf = Bytes.empty; pos = 0; limit = 0 }
+
+  let set c b ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length b then
+      invalid_arg "Codec.Cursor.set: window out of bounds";
+    c.buf <- b;
+    c.pos <- pos;
+    c.limit <- pos + len
+
+  let pos c = c.pos
+
+  let at_end c = c.pos >= c.limit
+
+  let need c n = if c.pos + n > c.limit then failwith "Codec: truncated"
+
+  let skip c n =
+    if n < 0 then invalid_arg "Codec.Cursor.skip: negative";
+    need c n;
+    c.pos <- c.pos + n
+
+  let u8 c =
+    need c 1;
+    let v = Char.code (Bytes.get c.buf c.pos) in
+    c.pos <- c.pos + 1;
+    v
+
+  let u16 c =
+    need c 2;
+    let v = Char.code (Bytes.get c.buf c.pos)
+            lor (Char.code (Bytes.get c.buf (c.pos + 1)) lsl 8) in
+    c.pos <- c.pos + 2;
+    v
+
+  let u32 c =
+    need c 4;
+    let p = c.pos in
+    let v = Char.code (Bytes.get c.buf p)
+            lor (Char.code (Bytes.get c.buf (p + 1)) lsl 8)
+            lor (Char.code (Bytes.get c.buf (p + 2)) lsl 16)
+            lor (Char.code (Bytes.get c.buf (p + 3)) lsl 24) in
+    c.pos <- p + 4;
+    v
+
+  let i64 c =
+    need c 8;
+    let v = Bytes.get_int64_le c.buf c.pos in
+    c.pos <- c.pos + 8;
+    v
+
+  let int c = Int64.to_int (i64 c)
+
+  let string c =
+    let len = u32 c in
+    need c len;
+    let s = Bytes.sub_string c.buf c.pos len in
+    c.pos <- c.pos + len;
+    s
+
+  let value c =
+    need c 1;
+    let tag = Bytes.get c.buf c.pos in
+    c.pos <- c.pos + 1;
+    if tag = Value.tag_null then Value.Null
+    else if tag = Value.tag_int then Value.Int (i64 c)
+    else if tag = Value.tag_float then Value.Float (Int64.float_of_bits (i64 c))
+    else if tag = Value.tag_str then Value.Str (string c)
+    else if tag = Value.tag_bool then Value.Bool (u8 c <> 0)
+    else failwith "Value.decode: bad tag"
+
+  let tuple c =
+    let n = u16 c in
+    if n = 0 then [||]
+    else begin
+      let t = Array.make n Value.Null in
+      (* Explicit loop: the decode is stateful, so evaluation order must
+         be the field order. *)
+      for i = 0 to n - 1 do
+        t.(i) <- value c
+      done;
+      t
+    end
+end

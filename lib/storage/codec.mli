@@ -24,3 +24,46 @@ val i64 : bytes -> int -> int64 * int
 val int : bytes -> int -> int * int
 val string : bytes -> int -> string * int
 val tuple : bytes -> int -> Tuple.t * int
+
+(** In-place cursor readers: the zero-copy counterpart of the offset-pair
+    readers above.  A cursor holds a [(buffer, position, limit)] window
+    and each read advances the position, so the decode hot loop allocates
+    nothing per field beyond the decoded values themselves (no
+    [(value, offset)] pairs, no per-record [Bytes.sub]).  Create one
+    cursor per decoding context and re-point it with {!Cursor.set} for
+    each record. *)
+module Cursor : sig
+  type t
+
+  val create : unit -> t
+  (** A cursor over the empty window; point it somewhere with {!set}. *)
+
+  val set : t -> bytes -> pos:int -> len:int -> unit
+  (** Re-point the cursor at the window [\[pos, pos+len)] of [b].  Raises
+      [Invalid_argument] if the window falls outside [b].  Reads past the
+      window raise [Failure "Codec: truncated"] — the window edge is the
+      truncation boundary, exactly like the buffer edge for the
+      offset-pair readers. *)
+
+  val pos : t -> int
+  (** Current absolute position in the underlying buffer. *)
+
+  val at_end : t -> bool
+  (** Whether the window is fully consumed — the cursor analogue of
+      [Tuple.decode_exactly]'s trailing-bytes check. *)
+
+  val skip : t -> int -> unit
+
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val int : t -> int
+  val string : t -> string
+
+  val value : t -> Value.t
+  (** One {!Value.t} in the tag-byte codec ({!Value.decode}). *)
+
+  val tuple : t -> Tuple.t
+  (** One self-delimiting tuple ({!Tuple.decode}). *)
+end

@@ -174,6 +174,15 @@ let iter_page t ~page:p f =
     (fun (slot, record) -> f (Addr.make ~page:p ~slot) (Tuple.decode_exactly record))
     (List.rev slots)
 
+let iter_page_arena t ~arena ~page:p f =
+  let store = Buffer_pool.store t.pool in
+  if p < 1 || p >= Page_store.page_count store then
+    invalid_arg "Heap.iter_page: no such data page";
+  Buffer_pool.with_page t.pool p (fun page ->
+      Decode_arena.load arena page;
+      (`Clean, ()));
+  Decode_arena.iter arena (fun slot tuple -> f (Addr.make ~page:p ~slot) tuple)
+
 let iter t f =
   let store = Buffer_pool.store t.pool in
   for p = 1 to Page_store.page_count store - 1 do

@@ -261,6 +261,12 @@ let fold_live t ~init ~f =
   iter_live t (fun i r -> acc := f !acc i r);
   !acc
 
+let iter_live_spans t f =
+  for i = 0 to nslots t - 1 do
+    let off = slot_offset t i in
+    if off <> 0 then f i ~off ~len:(slot_length t i)
+  done
+
 let validate t =
   let n = nslots t in
   let fp = free_ptr t in

@@ -74,6 +74,12 @@ val iter_live : t -> (int -> bytes -> unit) -> unit
 
 val fold_live : t -> init:'a -> f:('a -> int -> bytes -> 'a) -> 'a
 
+val iter_live_spans : t -> (int -> off:int -> len:int -> unit) -> unit
+(** Like {!iter_live} but yields each live record's byte span inside
+    {!bytes} instead of copying it out — the zero-copy decode path reads
+    records in place.  The spans are only valid until the page is next
+    mutated. *)
+
 val compact : t -> unit
 (** Defragment the record area.  Slot numbers and contents are unchanged. *)
 

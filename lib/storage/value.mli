@@ -45,6 +45,15 @@ val str : string -> t
     Format: 1 tag byte, then a type-dependent payload.  Strings are a
     little-endian [u32] length followed by the bytes. *)
 
+(* Codec tag bytes, exposed so in-place cursor readers ({!Codec.Cursor})
+   can decode values without round-tripping through {!decode}'s
+   offset-pair allocation. *)
+val tag_null : char
+val tag_int : char
+val tag_float : char
+val tag_str : char
+val tag_bool : char
+
 val encoded_size : t -> int
 
 val encode : Buffer.t -> t -> unit

@@ -19,8 +19,8 @@ let restrict_fraction q =
   let threshold = int_of_float (Float.round (q *. float_of_int qual_domain)) in
   Expr.(col "qual" <. int threshold)
 
-let make_base ?mode ?wal ?(name = "emp") ?page_size ~clock () =
-  Base_table.create ?mode ?page_size ?wal ~name ~clock schema
+let make_base ?mode ?wal ?(name = "emp") ?page_size ?frames ~clock () =
+  Base_table.create ?mode ?page_size ?frames ?wal ~name ~clock schema
 
 let row ~id ~qual ~payload =
   Tuple.make

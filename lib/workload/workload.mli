@@ -29,9 +29,13 @@ val make_base :
   ?wal:Snapdiff_wal.Wal.t ->
   ?name:string ->
   ?page_size:int ->
+  ?frames:int ->
   clock:Clock.t ->
   unit ->
   Base_table.t
+(** [frames] sizes the buffer pool (see {!Base_table.create}); the
+    parallel-scan bench sizes it to hold the whole table so the sweep
+    measures decode bandwidth, not store faulting. *)
 
 val populate : Base_table.t -> rng:Rng.t -> n:int -> unit
 (** Insert [n] rows with uniform [qual] and sequential ids. *)

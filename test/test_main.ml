@@ -23,5 +23,6 @@ let () =
       ("edge-cases", Test_edge_cases.suite);
       ("failures", Test_failures.suite);
       ("concurrency", Test_concurrency.suite);
+      ("parallel", Test_parallel.suite);
       ("integration", Test_integration.suite);
     ]

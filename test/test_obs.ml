@@ -294,10 +294,34 @@ let test_subsystem_coverage () =
   checkb "refresh.entries_decoded counted" true (!dec > 0);
   checkb "snapshot.stream_commits counted" true (d > 0)
 
+(* A bucket holding exactly one sample reports that sample, not an
+   interpolated point of its octave: {3, 100} has p50 = 3 and p99 = 100
+   exactly, and every quantile of a one-observation histogram is that
+   observation.  (Interpolation used to report p50 = 2.5 here — the
+   midpoint of [2,4) — despite knowing the only sample in the bucket.) *)
+let test_histogram_single_sample_bucket () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t "single" in
+  Metrics.observe h 3.0;
+  Metrics.observe h 100.0;
+  checkb "p50 exact for a single-sample bucket" true (Metrics.quantile h 0.5 = 3.0);
+  checkb "p99 exact for a single-sample bucket" true (Metrics.quantile h 0.99 = 100.0);
+  let h1 = Metrics.histogram t "one" in
+  Metrics.observe h1 7.0;
+  List.iter
+    (fun q ->
+      checkb
+        (Printf.sprintf "q=%.2f of one observation is that observation" q)
+        true
+        (Metrics.quantile h1 q = 7.0))
+    [ 0.0; 0.5; 0.95; 0.99; 1.0 ]
+
 let suite =
   [
     Alcotest.test_case "metrics counters/gauges" `Quick test_metrics_counters_gauges;
     Alcotest.test_case "metrics quantiles" `Quick test_metrics_quantiles;
+    Alcotest.test_case "histogram single-sample buckets exact" `Quick
+      test_histogram_single_sample_bucket;
     Alcotest.test_case "metrics dump_json" `Quick test_metrics_dump_json;
     Alcotest.test_case "trace ring" `Quick test_trace_ring;
     Alcotest.test_case "trace spans + pause/resume" `Quick test_trace_spans_and_pause;

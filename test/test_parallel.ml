@@ -1,0 +1,427 @@
+(* Multicore parallel refresh: the Par pool's contract, domain-safety of
+   the shared state it touches (metrics, the striped buffer pool), and
+   the tentpole guarantee — a parallel scan's subscriber streams are
+   byte-identical to the sequential scan's, for arbitrary scripts under
+   every maintenance mode, prune setting, group size, and domain count. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Expr = Snapdiff_expr.Expr
+module Gen = QCheck2.Gen
+module Par = Snapdiff_par.Par
+module Metrics = Snapdiff_obs.Metrics
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* The engine-wide domain count for the rest of the test suite: CI forces
+   2 via SNAPDIFF_TEST_DOMAINS so every Manager-driven test exercises the
+   parallel scan path; unset, the suite runs the sequential default. *)
+let env_domains =
+  match Sys.getenv_opt "SNAPDIFF_TEST_DOMAINS" with
+  | Some s -> ( match int_of_string_opt s with Some v when v >= 1 -> v | _ -> 1)
+  | None -> 1
+
+(* ---------- The Par pool ---------- *)
+
+let test_par_ordered_results () =
+  checkb "available >= 1" true (Par.available () >= 1);
+  List.iter
+    (fun domains ->
+      let tasks = Array.init 97 (fun i () -> (i * i) + domains) in
+      let got = Par.run ~domains tasks in
+      let want = Array.init 97 (fun i -> (i * i) + domains) in
+      checkb
+        (Printf.sprintf "results ordered by task index (domains=%d)" domains)
+        true (got = want))
+    [ 1; 2; 4; 8 ];
+  checkb "empty task array" true (Par.run ~domains:4 [||] = [||]);
+  checkb "single task" true (Par.run ~domains:4 [| (fun () -> 41 + 1) |] = [| 42 |])
+
+let test_par_error_propagation () =
+  let ran = Array.make 8 false in
+  let tasks =
+    Array.init 8 (fun i () ->
+        ran.(i) <- true;
+        if i = 2 then failwith "boom-2";
+        if i = 5 then failwith "boom-5";
+        i)
+  in
+  (match Par.run ~domains:4 tasks with
+  | (_ : int array) -> Alcotest.fail "a failing task must re-raise"
+  | exception Failure msg ->
+    (* Fail-stop re-raises the lowest-index failure deterministically. *)
+    Alcotest.(check string) "lowest-index error wins" "boom-2" msg);
+  checkb "failing task actually ran" true ran.(2);
+  (* The pool survives a failed batch: the next run is clean. *)
+  checkb "pool reusable after failure" true
+    (Par.run ~domains:4 (Array.init 10 (fun i () -> i)) = Array.init 10 Fun.id)
+
+let test_par_reuse_across_batches () =
+  for round = 1 to 20 do
+    let n = 1 + (round * 7 mod 31) in
+    let got = Par.run ~domains:(1 + (round mod 4)) (Array.init n (fun i () -> i + round)) in
+    checkb "batch results stable across reuse" true
+      (got = Array.init n (fun i -> i + round))
+  done
+
+(* ---------- Domain-safety of the shared state ---------- *)
+
+let test_metrics_counters_across_domains () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "par.counter" in
+  let g = Metrics.gauge r "par.gauge" in
+  let per = 25_000 in
+  ignore
+    (Par.run ~domains:4
+       (Array.init 4 (fun _ () ->
+            for _ = 1 to per do
+              Metrics.incr c;
+              Metrics.shift g 1.0
+            done))
+      : unit array);
+  checki "no lost counter increments" (4 * per) (Metrics.value c);
+  checkb "no lost gauge shifts" true (Metrics.level g = float_of_int (4 * per))
+
+(* Two domains through one tiny pool: domain A holds a pin while domain B
+   faults every other page through the remaining frame.  The pinned frame
+   must never be evicted (its image is stable across B's churn), B must
+   always read back the bytes each page was stamped with, and the hit/miss
+   counters must account for exactly one pin per access. *)
+let test_pool_two_domain_stress () =
+  let npages = 12 and rounds = 50 in
+  let store = Page_store.in_memory ~page_size:256 () in
+  let pool = Buffer_pool.create ~frames:2 store in
+  let pages = Array.init npages (fun _ -> Buffer_pool.allocate_page pool) in
+  let stamp i = Bytes.make 16 (Char.chr (65 + (i mod 26))) in
+  Array.iteri
+    (fun i n ->
+      Buffer_pool.with_page pool n (fun page ->
+          (match Page.insert page (stamp i) with
+          | Some _ -> ()
+          | None -> Alcotest.fail "stamp insert failed");
+          (`Dirty, ())))
+    pages;
+  Buffer_pool.flush_all pool;
+  let st0 = Buffer_pool.stats pool in
+  let a_pinned = Atomic.make false and b_done = Atomic.make false in
+  let pinner =
+    Domain.spawn (fun () ->
+        Buffer_pool.with_page pool pages.(0) (fun page ->
+            let before = Page.read page 0 in
+            Atomic.set a_pinned true;
+            while not (Atomic.get b_done) do
+              Domain.cpu_relax ()
+            done;
+            (`Clean, (before, Page.read page 0))))
+  in
+  while not (Atomic.get a_pinned) do
+    Domain.cpu_relax ()
+  done;
+  for _ = 1 to rounds do
+    for i = 1 to npages - 1 do
+      Buffer_pool.with_page pool pages.(i) (fun page ->
+          (match Page.read page 0 with
+          | Some b when Bytes.equal b (stamp i) -> ()
+          | Some _ -> Alcotest.fail "page image corrupted under churn"
+          | None -> Alcotest.fail "stamped record vanished under churn");
+          (`Clean, ()))
+    done
+  done;
+  Atomic.set b_done true;
+  let before, after = Domain.join pinner in
+  checkb "pinned frame never evicted: image stable" true
+    (before <> None && before = after);
+  let st1 = Buffer_pool.stats pool in
+  checki "hits + misses = accesses"
+    (1 + (rounds * (npages - 1)))
+    (st1.Buffer_pool.hits - st0.Buffer_pool.hits
+    + (st1.Buffer_pool.misses - st0.Buffer_pool.misses));
+  checkb "churn actually evicted" true (st1.Buffer_pool.evictions > st0.Buffer_pool.evictions)
+
+(* ---------- Byte identity: parallel scan = sequential scan ---------- *)
+
+let emp_schema =
+  Schema.make
+    [ Schema.col ~nullable:false "name" Value.Tstring;
+      Schema.col ~nullable:false "salary" Value.Tint ]
+
+let emp name salary = Tuple.make [ Value.str name; Value.int salary ]
+let salary t = match Tuple.get t 1 with Value.Int s -> Int64.to_int s | _ -> -1
+
+type op = Ins of int | Upd of int * int | Del of int | Refresh
+
+let op_gen =
+  Gen.frequency
+    [ (4, Gen.map (fun s -> Ins s) (Gen.int_range 0 19));
+      (4, Gen.map2 (fun i s -> Upd (i, s)) (Gen.int_range 0 1000) (Gen.int_range 0 19));
+      (3, Gen.map (fun i -> Del i) (Gen.int_range 0 1000));
+      (2, Gen.pure Refresh) ]
+
+let scenario_gen =
+  Gen.pair (Gen.list_size (Gen.int_range 0 60) op_gen) (Gen.int_range 0 20)
+
+let print_scenario (script, threshold) =
+  let op_str = function
+    | Ins s -> Printf.sprintf "Ins %d" s
+    | Upd (i, s) -> Printf.sprintf "Upd(%d,%d)" i s
+    | Del i -> Printf.sprintf "Del %d" i
+    | Refresh -> "Refresh"
+  in
+  Printf.sprintf "threshold=%d script=[%s]" threshold
+    (String.concat "; " (List.map op_str script))
+
+let pick_live base i =
+  let live = Base_table.to_user_list base in
+  match live with
+  | [] -> None
+  | _ -> Some (fst (List.nth live (i mod List.length live)))
+
+let bytes_of_stream ms =
+  String.concat "" (List.map (fun m -> Bytes.to_string (Refresh_msg.encode m)) ms)
+
+let fail_report = QCheck2.Test.fail_report
+
+let par_gen =
+  Gen.(
+    pair scenario_gen
+      (quad bool (int_range 1 3) (int_range 0 7)
+         (pair (oneofl [ 1; 2; 4; 8 ]) bool)))
+
+let print_par (sc, (eager, nsubs, prune_mask, (domains, arena))) =
+  Printf.sprintf "%s mode=%s nsubs=%d prune_mask=%d domains=%d arena=%b"
+    (print_scenario sc)
+    (if eager then "eager" else "deferred")
+    nsubs prune_mask domains arena
+
+(* Twin universes replay the same script; at every refresh point each
+   subscriber's parallel group stream must equal its sequential twin's
+   byte for byte, and the applied snapshots must equal the base view.
+   The tiny 256-byte pages give the speculative decoder many pages per
+   wave; mixed prune caches make per-page skip decisions diverge between
+   subscribers, which is exactly where a merge-order slip would show. *)
+let prop_parallel_byte_identity =
+  QCheck2.Test.make ~name:"parallel scan stream = sequential stream, byte for byte"
+    ~count:60 ~print:print_par par_gen
+    (fun ((script, threshold), (eager, nsubs, prune_mask, (domains, arena))) ->
+      let mode = if eager then Base_table.Eager else Base_table.Deferred in
+      let mk_base () =
+        let clock = Clock.create () in
+        let base = Base_table.create ~mode ~page_size:256 ~name:"emp" ~clock emp_schema in
+        for i = 0 to 7 do
+          ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+        done;
+        base
+      in
+      let base_p = mk_base () in
+      let base_s = mk_base () in
+      let thresholds = Array.init nsubs (fun i -> (threshold + (i * 7)) mod 21) in
+      let mk_side () =
+        Array.init nsubs (fun i ->
+            ( Snapshot_table.create ~name:(Printf.sprintf "s%d" i) ~schema:emp_schema (),
+              if (prune_mask lsr i) land 1 = 1 then
+                Some (Differential.Prune_cache.create ())
+              else None ))
+      in
+      let side_p = mk_side () in
+      let side_s = mk_side () in
+      let restrict_of th t = salary t < th in
+      let streams ?parallel base side =
+        let outs = Array.init nsubs (fun _ -> ref []) in
+        let subs =
+          Array.mapi
+            (fun i (snap, prune) ->
+              {
+                Differential.sub_snaptime = Snapshot_table.snaptime snap;
+                sub_restrict = restrict_of thresholds.(i);
+                sub_project = Fun.id;
+                sub_tail_suppression = None;
+                sub_prune = prune;
+                sub_xmit = (fun m -> outs.(i) := m :: !(outs.(i)));
+              })
+            side
+        in
+        ignore (Differential.refresh_group ?parallel ~base subs : Differential.group_report);
+        Array.map (fun o -> List.rev !o) outs
+      in
+      let check where =
+        let ps =
+          streams
+            ~parallel:{ Differential.par_domains = domains; par_arena = arena }
+            base_p side_p
+        in
+        let ss = streams base_s side_s in
+        for i = 0 to nsubs - 1 do
+          if bytes_of_stream ps.(i) <> bytes_of_stream ss.(i) then
+            fail_report
+              (Printf.sprintf "%s: subscriber %d parallel stream <> sequential" where i);
+          List.iter (Snapshot_table.apply (fst side_p.(i))) ps.(i);
+          List.iter (Snapshot_table.apply (fst side_s.(i))) ss.(i);
+          let want =
+            List.filter_map
+              (fun (a, u) -> if salary u < thresholds.(i) then Some (a, u) else None)
+              (Base_table.to_user_list base_p)
+          in
+          if Snapshot_table.contents (fst side_p.(i)) <> want then
+            fail_report
+              (Printf.sprintf "%s: subscriber %d diverged from base view" where i)
+        done
+      in
+      check "initial";
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          incr n;
+          match op with
+          | Ins s ->
+            ignore (Base_table.insert base_p (emp (Printf.sprintf "x%d" !n) s) : Addr.t);
+            ignore (Base_table.insert base_s (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+          | Upd (i, s) -> (
+            match pick_live base_p i with
+            | Some addr ->
+              Base_table.update base_p addr (emp (Printf.sprintf "u%d" !n) s);
+              Base_table.update base_s addr (emp (Printf.sprintf "u%d" !n) s)
+            | None -> ())
+          | Del i -> (
+            match pick_live base_p i with
+            | Some addr ->
+              Base_table.delete base_p addr;
+              Base_table.delete base_s addr
+            | None -> ())
+          | Refresh -> check (Printf.sprintf "refresh at op %d" !n))
+        script;
+      check "final";
+      true)
+
+(* Manager level: a manager configured for parallel refresh commits the
+   same snapshot images as the sequential default, across batch sizes and
+   chunked refreshes (the chunked cursor shares the same scan core). *)
+let mgr_gen =
+  Gen.(pair scenario_gen (triple (oneofl [ 1; 4; 32 ]) (oneofl [ 2; 4; 8 ]) bool))
+
+let print_mgr (sc, (batch, domains, chunked)) =
+  Printf.sprintf "%s batch=%d domains=%d chunked=%b" (print_scenario sc) batch domains
+    chunked
+
+let prop_manager_parallel_identity =
+  QCheck2.Test.make ~name:"manager: parallel refresh image = sequential image"
+    ~count:40 ~print:print_mgr mgr_gen
+    (fun ((script, threshold), (batch, domains, chunked)) ->
+      let mk ~domains =
+        let clock = Clock.create () in
+        let base = Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema in
+        let m =
+          if chunked then Manager.create ~batch_size:batch ~chunk_entries:5 ~domains ()
+          else Manager.create ~batch_size:batch ~domains ()
+        in
+        Manager.register_base m base;
+        for i = 0 to 7 do
+          ignore (Base_table.insert base (emp (Printf.sprintf "s%d" i) (i * 3 mod 20)) : Addr.t)
+        done;
+        ignore
+          (Manager.create_snapshot m ~name:"s" ~base:"emp"
+             ~restrict:Expr.(col "salary" <. int threshold)
+             ~method_:Manager.Differential ()
+            : Manager.refresh_report);
+        (m, base)
+      in
+      let m_p, base_p = mk ~domains in
+      let m_s, base_s = mk ~domains:1 in
+      let check where =
+        ignore (Manager.refresh m_p "s" : Manager.refresh_report);
+        ignore (Manager.refresh m_s "s" : Manager.refresh_report);
+        let got_p = Snapshot_table.contents (Manager.snapshot_table m_p "s") in
+        let got_s = Snapshot_table.contents (Manager.snapshot_table m_s "s") in
+        if got_p <> got_s then
+          fail_report (where ^ ": parallel manager image <> sequential image");
+        (match Snapshot_table.validate (Manager.snapshot_table m_p "s") with
+        | Ok () -> ()
+        | Error e -> fail_report (where ^ ": snapshot invariant: " ^ e));
+        let want =
+          List.filter (fun (_, u) -> salary u < threshold) (Base_table.to_user_list base_p)
+        in
+        if got_p <> want then fail_report (where ^ ": parallel image diverged from base")
+      in
+      check "initial";
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          incr n;
+          match op with
+          | Ins s ->
+            ignore (Base_table.insert base_p (emp (Printf.sprintf "x%d" !n) s) : Addr.t);
+            ignore (Base_table.insert base_s (emp (Printf.sprintf "x%d" !n) s) : Addr.t)
+          | Upd (i, s) -> (
+            match pick_live base_p i with
+            | Some addr ->
+              Base_table.update base_p addr (emp (Printf.sprintf "u%d" !n) s);
+              Base_table.update base_s addr (emp (Printf.sprintf "u%d" !n) s)
+            | None -> ())
+          | Del i -> (
+            match pick_live base_p i with
+            | Some addr ->
+              Base_table.delete base_p addr;
+              Base_table.delete base_s addr
+            | None -> ())
+          | Refresh -> check (Printf.sprintf "refresh at op %d" !n))
+        script;
+      check "final";
+      true)
+
+(* Deterministic spot check: a solo parallel refresh's stream (not just
+   its committed image) equals the sequential one on a multi-page table,
+   with the arena on — the configuration the 8-domain bench runs. *)
+let test_solo_parallel_stream_identity () =
+  let mk () =
+    let clock = Clock.create () in
+    let base = Base_table.create ~page_size:256 ~name:"emp" ~clock emp_schema in
+    let addrs =
+      Array.init 40 (fun i -> Base_table.insert base (emp (Printf.sprintf "r%d" i) (i mod 20)))
+    in
+    (base, addrs, clock)
+  in
+  let run ?parallel () =
+    let base, addrs, _ = mk () in
+    let out = ref [] in
+    let refresh snaptime =
+      Differential.refresh ?parallel ~base ~snaptime
+        ~restrict:(fun t -> salary t < 10)
+        ~project:Fun.id
+        ~xmit:(fun m -> out := m :: !out)
+        ()
+    in
+    let r1 = refresh Clock.never in
+    Base_table.update base addrs.(7) (emp "bump7" 3);
+    Base_table.delete base addrs.(21);
+    ignore (refresh r1.Differential.new_snaptime : Differential.report);
+    bytes_of_stream (List.rev !out)
+  in
+  let seq = run () in
+  List.iter
+    (fun domains ->
+      List.iter
+        (fun arena ->
+          let par =
+            run ~parallel:{ Differential.par_domains = domains; par_arena = arena } ()
+          in
+          checkb
+            (Printf.sprintf "solo stream identical (domains=%d arena=%b)" domains arena)
+            true (par = seq))
+        [ false; true ])
+    [ 1; 2; 4; 8 ]
+
+let suite =
+  [
+    Alcotest.test_case "par: ordered results" `Quick test_par_ordered_results;
+    Alcotest.test_case "par: error propagation" `Quick test_par_error_propagation;
+    Alcotest.test_case "par: reuse across batches" `Quick test_par_reuse_across_batches;
+    Alcotest.test_case "metrics counters across domains" `Quick
+      test_metrics_counters_across_domains;
+    Alcotest.test_case "buffer pool: two-domain stress" `Quick
+      test_pool_two_domain_stress;
+    Alcotest.test_case "solo parallel stream identity" `Quick
+      test_solo_parallel_stream_identity;
+    QCheck_alcotest.to_alcotest prop_parallel_byte_identity;
+    QCheck_alcotest.to_alcotest prop_manager_parallel_identity;
+  ]

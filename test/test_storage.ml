@@ -710,3 +710,134 @@ let suite =
       Alcotest.test_case "page dirty ranges exact" `Quick test_page_dirty_ranges_exact;
       Alcotest.test_case "range-aware writeback" `Quick test_range_aware_writeback;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Codec boundaries and the zero-copy cursor readers: extreme values
+   roundtrip through both reader families, every strict prefix of every
+   encoding raises, and on random tuples the cursor agrees with the
+   offset-pair readers byte for byte. *)
+
+let test_codec_boundary_values () =
+  let buf = Buffer.create 64 in
+  Codec.add_u32 buf 0xFFFF_FFFF;
+  Codec.add_i64 buf Int64.min_int;
+  Codec.add_i64 buf (-1L);
+  Codec.add_string buf "";
+  Codec.add_u16 buf 0xFFFF;
+  Codec.add_u8 buf 0xFF;
+  let b = Buffer.to_bytes buf in
+  let v, off = Codec.u32 b 0 in
+  checki "u32 max" 0xFFFF_FFFF v;
+  let v64, off = Codec.i64 b off in
+  checkb "i64 min" true (v64 = Int64.min_int);
+  let v64, off = Codec.i64 b off in
+  checkb "i64 -1" true (v64 = -1L);
+  let s, off = Codec.string b off in
+  checks "empty string" "" s;
+  let v, off = Codec.u16 b off in
+  checki "u16 max" 0xFFFF v;
+  let v, off = Codec.u8 b off in
+  checki "u8 max" 0xFF v;
+  checki "offset readers consumed exactly" (Bytes.length b) off;
+  let c = Codec.Cursor.create () in
+  Codec.Cursor.set c b ~pos:0 ~len:(Bytes.length b);
+  checki "cursor u32 max" 0xFFFF_FFFF (Codec.Cursor.u32 c);
+  checkb "cursor i64 min" true (Codec.Cursor.i64 c = Int64.min_int);
+  checkb "cursor i64 -1" true (Codec.Cursor.i64 c = -1L);
+  checks "cursor empty string" "" (Codec.Cursor.string c);
+  checki "cursor u16 max" 0xFFFF (Codec.Cursor.u16 c);
+  checki "cursor u8 max" 0xFF (Codec.Cursor.u8 c);
+  checkb "cursor at_end" true (Codec.Cursor.at_end c)
+
+let test_codec_truncation_raises () =
+  let cases =
+    [ ( "u8",
+        (fun buf -> Codec.add_u8 buf 0xAB),
+        (fun b -> ignore (Codec.u8 b 0 : int * int)),
+        fun c -> ignore (Codec.Cursor.u8 c : int) );
+      ( "u16",
+        (fun buf -> Codec.add_u16 buf 0xBEEF),
+        (fun b -> ignore (Codec.u16 b 0 : int * int)),
+        fun c -> ignore (Codec.Cursor.u16 c : int) );
+      ( "u32",
+        (fun buf -> Codec.add_u32 buf 0xFFFF_FFFF),
+        (fun b -> ignore (Codec.u32 b 0 : int * int)),
+        fun c -> ignore (Codec.Cursor.u32 c : int) );
+      ( "i64",
+        (fun buf -> Codec.add_i64 buf (-1L)),
+        (fun b -> ignore (Codec.i64 b 0 : int64 * int)),
+        fun c -> ignore (Codec.Cursor.i64 c : int64) );
+      ( "int",
+        (fun buf -> Codec.add_int buf (-7)),
+        (fun b -> ignore (Codec.int b 0 : int * int)),
+        fun c -> ignore (Codec.Cursor.int c : int) );
+      ( "string",
+        (fun buf -> Codec.add_string buf "xyz"),
+        (fun b -> ignore (Codec.string b 0 : string * int)),
+        fun c -> ignore (Codec.Cursor.string c : string) );
+      ( "tuple",
+        (fun buf ->
+          Codec.add_tuple buf (Tuple.make [ Value.int (-5); Value.str "s"; Value.Null ])),
+        (fun b -> ignore (Codec.tuple b 0 : Tuple.t * int)),
+        fun c -> ignore (Codec.Cursor.tuple c : Tuple.t) );
+    ]
+  in
+  List.iter
+    (fun (name, enc, read_off, read_cur) ->
+      let buf = Buffer.create 32 in
+      enc buf;
+      let b = Buffer.to_bytes buf in
+      let full = Bytes.length b in
+      read_off b;
+      let c = Codec.Cursor.create () in
+      Codec.Cursor.set c b ~pos:0 ~len:full;
+      read_cur c;
+      checkb (name ^ ": full read consumes the window") true (Codec.Cursor.at_end c);
+      for cut = 0 to full - 1 do
+        let short = Bytes.sub b 0 cut in
+        (match read_off short with
+        | () ->
+          Alcotest.failf "%s: offset reader accepted a %d/%d-byte prefix" name cut full
+        | exception Failure _ -> ());
+        (* The cursor window edge is the truncation boundary even when the
+           underlying buffer holds the remaining bytes. *)
+        Codec.Cursor.set c b ~pos:0 ~len:cut;
+        (match read_cur c with
+        | () -> Alcotest.failf "%s: cursor accepted a %d/%d-byte window" name cut full
+        | exception Failure _ -> ())
+      done)
+    cases
+
+let cursor_value_gen =
+  QCheck2.Gen.(
+    oneof
+      [ pure Value.Null;
+        map (fun i -> Value.Int (Int64.of_int i)) int;
+        map (fun f -> Value.Float f) float;
+        map (fun s -> Value.Str s) (string_size (int_range 0 40));
+        map (fun b -> Value.Bool b) bool ])
+
+let prop_cursor_matches_offset_readers =
+  QCheck2.Test.make ~name:"cursor decode = offset-pair decode" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 8) cursor_value_gen)
+    (fun vs ->
+      let t = Tuple.make vs in
+      let buf = Buffer.create 64 in
+      Codec.add_tuple buf t;
+      let b = Buffer.to_bytes buf in
+      let t_off, consumed = Codec.tuple b 0 in
+      let c = Codec.Cursor.create () in
+      Codec.Cursor.set c b ~pos:0 ~len:(Bytes.length b);
+      let t_cur = Codec.Cursor.tuple c in
+      Tuple.equal t_off t_cur
+      && Codec.Cursor.pos c = consumed
+      && Codec.Cursor.at_end c)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "codec boundary values" `Quick test_codec_boundary_values;
+      Alcotest.test_case "codec truncation raises per reader" `Quick
+        test_codec_truncation_raises;
+      QCheck_alcotest.to_alcotest prop_cursor_matches_offset_readers;
+    ]
