@@ -343,6 +343,98 @@ let refresh_cmd verbose trace json all names n rounds u chunk_entries domains wa
     if ok then 0 else 3
 
 (* ------------------------------------------------------------------ *)
+(* fleet *)
+
+(* A canned snapshot fleet: one WAL-backed base per tenant (heavy-tailed
+   sizes), a few snapshots over each, all registered with the scheduler
+   under log-uniform staleness SLOs, then driven by bursty
+   Markov-modulated Poisson updaters for a stretch of virtual time. *)
+let fleet_cmd verbose trace json tenants snaps_per ticks seed =
+  setup_logs verbose trace;
+  let module Workload = Snapdiff_workload.Workload in
+  let module Manager = Snapdiff_core.Manager in
+  let module Fleet = Snapdiff_fleet.Fleet in
+  let module Rng = Snapdiff_util.Rng in
+  let module Text_table = Snapdiff_util.Text_table in
+  let rng = Rng.create seed in
+  let dt = Fleet.default_config.Fleet.lookahead_us in
+  let dt_s = dt /. 1e6 in
+  let m = Manager.create () in
+  let fleet = Fleet.create m in
+  let tenant_pop = Workload.make_tenants ~rng ~tenants () in
+  Array.iter
+    (fun tn ->
+      let base_name = Printf.sprintf "tenant%d" tn.Workload.tenant_id in
+      let base =
+        Workload.make_base ~wal:(Snapdiff_wal.Wal.create ()) ~name:base_name
+          ~clock:(Snapdiff_txn.Clock.create ()) ()
+      in
+      Workload.populate base ~rng ~n:tn.Workload.tenant_size;
+      Manager.register_base m base;
+      for i = 0 to snaps_per - 1 do
+        let name = Printf.sprintf "%s_s%d" base_name i in
+        ignore
+          (Manager.create_snapshot m ~name ~base:base_name
+             ~restrict:(Workload.restrict_fraction (0.1 +. Rng.float rng 0.8)) ()
+            : Manager.refresh_report);
+        (* Log-uniform SLOs over one decade: 2..20 ticks of budget. *)
+        let slo_ticks = 2.0 *. Float.pow 10.0 (Rng.float rng 1.0) in
+        Fleet.register fleet ~name ~slo_us:(slo_ticks *. dt)
+      done)
+    tenant_pop;
+  for i = 1 to ticks do
+    Array.iter
+      (fun tn ->
+        let base = Manager.base m (Printf.sprintf "tenant%d" tn.Workload.tenant_id) in
+        let ops = Workload.arrivals rng tn ~dt_s in
+        if ops > 0 && Snapdiff_core.Base_table.count base > 0 then
+          ignore
+            (Workload.mutate_zipf base ~rng ~ops ~theta:tn.Workload.tenant_theta
+               ~mix:Workload.churn
+              : int))
+      tenant_pop;
+    ignore (Fleet.tick fleet ~now_us:(float_of_int i *. dt) : Fleet.tick_report)
+  done;
+  let st = Fleet.stats fleet in
+  if json then
+    Printf.printf
+      "{\"tenants\": %d, \"snapshots\": %d, \"ticks\": %d, \"refreshes\": %d, \
+       \"slo_misses\": %d, \"miss_rate\": %.6f, \"deferred\": %d, \"pulled_in\": %d, \
+       \"shed_full\": %d, \"grouped\": %d, \"failures\": %d, \"max_queue_depth\": %d, \
+       \"full\": %d, \"differential\": %d, \"log_based\": %d}\n"
+      tenants st.Fleet.st_registered st.Fleet.st_ticks st.Fleet.st_refreshes
+      st.Fleet.st_slo_misses (Fleet.miss_rate st) st.Fleet.st_deferred
+      st.Fleet.st_pulled_in st.Fleet.st_shed_full st.Fleet.st_grouped
+      st.Fleet.st_failures st.Fleet.st_max_queue_depth st.Fleet.st_full
+      st.Fleet.st_differential st.Fleet.st_log_based
+  else begin
+    Printf.printf
+      "fleet: %d snapshots over %d tenant bases, %d ticks of %.0f ms virtual time\n"
+      st.Fleet.st_registered tenants ticks (dt /. 1000.0);
+    let t = Text_table.create [ ("stat", Text_table.Left); ("value", Text_table.Right) ] in
+    List.iter
+      (fun (k, v) -> Text_table.add_row t [ k; v ])
+      [ ("refreshes committed", string_of_int st.Fleet.st_refreshes);
+        ("SLO misses", string_of_int st.Fleet.st_slo_misses);
+        ("miss rate", Printf.sprintf "%.4f" (Fleet.miss_rate st));
+        ("deferred (backpressure)", string_of_int st.Fleet.st_deferred);
+        ("pulled into group scans", string_of_int st.Fleet.st_pulled_in);
+        ("shed to full", string_of_int st.Fleet.st_shed_full);
+        ("served by shared scans", string_of_int st.Fleet.st_grouped);
+        ("failures", string_of_int st.Fleet.st_failures);
+        ("max queue depth", string_of_int st.Fleet.st_max_queue_depth);
+        ("method: full", string_of_int st.Fleet.st_full);
+        ("method: differential", string_of_int st.Fleet.st_differential);
+        ("method: log-based", string_of_int st.Fleet.st_log_based) ];
+    Text_table.print t;
+    print_endline
+      "Each snapshot's refresh must land within its staleness SLO of the\n\
+       previous one; the scheduler picks each dispatch's method from the\n\
+       cost model and coalesces due siblings into shared scans."
+  end;
+  if st.Fleet.st_failures > 0 then 3 else 0
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
 
 let verbose_t =
@@ -475,6 +567,22 @@ let faults_t =
   in
   Term.(const faults_cmd $ n $ rounds)
 
+let fleet_t =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+  in
+  let tenants =
+    Arg.(value & opt int 8 & info [ "tenants" ] ~docv:"T" ~doc:"Tenant base tables.")
+  in
+  let snaps_per =
+    Arg.(value & opt int 4 & info [ "snapshots" ] ~docv:"S" ~doc:"Snapshots per tenant.")
+  in
+  let ticks =
+    Arg.(value & opt int 50 & info [ "ticks" ] ~docv:"K" ~doc:"Scheduler ticks to run.")
+  in
+  let seed = Arg.(value & opt int 0xF1EE7 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  Term.(const fleet_cmd $ verbose_t $ trace_t $ json $ tenants $ snaps_per $ ticks $ seed)
+
 let cmds =
   [
     Cmd.v (Cmd.info "shell" ~doc:"Interactive SQL shell with snapshot support.") shell_t;
@@ -492,6 +600,13 @@ let cmds =
       (Cmd.info "faults"
          ~doc:"Drive refreshes over fault-injecting links and report the retry tax.")
       faults_t;
+    Cmd.v
+      (Cmd.info "fleet"
+         ~doc:
+           "Drive a fleet of snapshots under staleness SLOs: bursty \
+            multi-tenant updaters, deadline scheduling, cost-model method \
+            choice, scan coalescing and backpressure.")
+      fleet_t;
     Cmd.v
       (Cmd.info "stats"
          ~doc:

@@ -2,11 +2,15 @@ type gap_model =
   | Geometric
   | Fixed_gap
 
+(* Negated range tests so NaN (which fails every comparison) is rejected
+   along with out-of-range values. *)
 let check ~n ~q =
   if n < 0 then invalid_arg "Model: n must be non-negative";
-  if q < 0.0 || q > 1.0 then invalid_arg "Model: q must be in [0,1]"
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Model: q must be in [0,1]"
 
-let check_u u = if u < 0.0 || u > 1.0 then invalid_arg "Model: u must be in [0,1]"
+let check_u u = if not (u >= 0.0 && u <= 1.0) then invalid_arg "Model: u must be in [0,1]"
+
+let check_q q = if not (q >= 0.0 && q <= 1.0) then invalid_arg "Model: q must be in [0,1]"
 
 let full_messages ~n ~q =
   check ~n ~q;
@@ -18,6 +22,8 @@ let ideal_messages ~n ~q ~u =
   u *. q *. float_of_int n
 
 let transmit_probability ~model ~q ~u =
+  check_q q;
+  check_u u;
   if q <= 0.0 then 0.0
   else if u >= 1.0 then 1.0
   else
@@ -57,12 +63,17 @@ let group_scan_pages ~pages ~entries_per_page ~u ~subs =
   if subs < 0 then invalid_arg "Model: subs must be non-negative";
   if subs = 0 then 0.0 else pages_touched ~pages ~entries_per_page ~u
 
+let observed_update_fraction ~mutations ~n =
+  if mutations < 0 then invalid_arg "Model: mutations must be non-negative";
+  if n < 0 then invalid_arg "Model: n must be non-negative";
+  if n = 0 then 0.0 else Float.min 1.0 (float_of_int mutations /. float_of_int n)
+
 let pct_of_table ~n x =
   if n = 0 then 0.0 else 100.0 *. x /. float_of_int n
 
 let superfluous_fraction ~q ~u =
   check_u u;
-  if q < 0.0 || q > 1.0 then invalid_arg "Model: q must be in [0,1]";
+  check_q q;
   let diff = q *. transmit_probability ~model:Geometric ~q ~u in
   let ideal = u *. q in
   if diff <= 0.0 then 0.0 else 1.0 -. (ideal /. diff)

@@ -58,6 +58,21 @@ val group_scan_pages : pages:int -> entries_per_page:int -> u:float -> subs:int 
     (Assumes subscribers share SnapTime-comparable staleness; a straggler
     whose cache is cold forces extra decodes toward the solo bound.) *)
 
+val transmit_probability : model:gap_model -> q:float -> u:float -> float
+(** Probability that a given qualified entry is transmitted by a
+    differential refresh — the per-entry factor inside
+    {!differential_messages}.  Raises [Invalid_argument] unless [q] and
+    [u] are both in [\[0,1\]] (the fleet scheduler feeds this observed
+    churn estimates, which must be clamped first — see
+    {!observed_update_fraction}). *)
+
+val observed_update_fraction : mutations:int -> n:int -> float
+(** Cost-model input from observed statistics: the distinct-update
+    fraction estimated from a raw mutation count since the last refresh
+    over a table of [n] live entries, clamped to [\[0,1\]] (repeated
+    mutations of one entry make the raw ratio an overestimate; 0 when the
+    table is empty). *)
+
 val pct_of_table : n:int -> float -> float
 (** Messages as a percentage of base-table size — the y-axis of Figures 8
     and 9. *)

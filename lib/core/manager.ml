@@ -113,7 +113,7 @@ type snapshot = {
   table : Snapshot_table.t;
   link : Link.t;
   request_link : Link.t;  (* snapshot -> base control path *)
-  spec : method_spec;
+  mutable spec : method_spec;  (* the fleet scheduler re-routes per refresh *)
   tail_suppression : bool;
   prune : Differential.Prune_cache.t option;  (* page-qualification cache *)
   mutable selectivity : float;
@@ -121,7 +121,15 @@ type snapshot = {
   mutable cursor_lsn : Wal.lsn;
   mutable mutations_at_refresh : int;
   mutable next_epoch : int;  (* every stream attempt gets a fresh epoch *)
+  mutable history : refresh_report list;  (* committed refreshes, newest first *)
 }
+
+(* Committed-refresh history kept per snapshot for the scheduler's churn
+   estimates; bounded so a long-lived fleet cannot leak. *)
+let history_cap = 32
+
+let note_report s report =
+  s.history <- report :: List.filteri (fun i _ -> i < history_cap - 1) s.history
 
 type t = {
   bases : (string, base_state) Hashtbl.t;
@@ -224,6 +232,8 @@ let snapshot t name =
 let snapshot_names t = Hashtbl.fold (fun _ s acc -> s.snap_name :: acc) t.snapshots []
 
 let snapshot_table t name = (snapshot t name).table
+
+let snapshot_base t name = (snapshot t name).base_name
 
 let snapshot_method t name = (snapshot t name).spec
 
@@ -981,10 +991,19 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true)
     | Ok (report, on_commit) ->
       on_commit ();
       s.mutations_at_refresh <- Base_table.mutations (base t s.base_name);
+      (* A committed refresh of any method leaves the snapshot consistent
+         as of the WAL's current end, so the log cursor may advance too —
+         this is what makes a later scheduler-driven switch to the
+         log-based method replay only the genuine tail.  (The log-based
+         method's own on_commit has already set its exact new cursor.) *)
+      (match Base_table.wal (base t s.base_name) with
+      | Some wal when s.spec <> Log_based -> s.cursor_lsn <- Wal.end_lsn wal
+      | _ -> ());
       let report =
         { report with attempts = attempt; aborts = failures; escalated;
           backoff_us = !backoff_total }
       in
+      note_report s report;
       Metrics.incr m_refreshes;
       Metrics.add m_data_messages report.data_messages;
       Metrics.add m_entries_scanned report.entries_scanned;
@@ -1157,6 +1176,9 @@ let group_refresh_base t b members =
           match result with Some gc -> gc | None -> assert false
         in
         s.mutations_at_refresh <- Base_table.mutations b;
+        (match Base_table.wal b with
+        | Some wal when s.spec <> Log_based -> s.cursor_lsn <- Wal.end_lsn wal
+        | _ -> ());
         let sr = g.Differential.sub_reports.(i) in
         let report =
           {
@@ -1178,6 +1200,7 @@ let group_refresh_base t b members =
             max_lock_hold_us = cs.cs_max_hold_us;
           }
         in
+        note_report s report;
         Metrics.incr m_refreshes;
         Metrics.add m_data_messages report.data_messages;
         Metrics.add m_entries_scanned report.entries_scanned;
@@ -1401,6 +1424,7 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
       cursor_lsn = Wal.start_lsn;
       mutations_at_refresh = 0;
       next_epoch = 1;
+      history = [];
     }
   in
   (* Initial population is always a full transfer, under the table lock.
@@ -1469,3 +1493,34 @@ let drop_snapshot t name =
     | rest ->
       let min_cursor = List.fold_left (fun acc o -> min acc o.cursor_seq) max_int rest in
       Change_log.truncate_below log min_cursor)
+
+(* --- Scheduler hooks ------------------------------------------------------ *)
+
+let report_history ?limit t name =
+  let h = (snapshot t name).history in
+  match limit with
+  | None -> h
+  | Some n ->
+    if n < 0 then invalid_arg "Manager.report_history: negative limit";
+    List.filteri (fun i _ -> i < n) h
+
+let set_method t name spec =
+  let s = snapshot t name in
+  let b = base t s.base_name in
+  (match spec with
+  | Log_based when Base_table.wal b = None ->
+    raise (Bad_definition "log-based refresh requires a WAL on the base table")
+  | Ideal when s.spec <> Ideal ->
+    (* Capture installed now would have missed every change since the last
+       refresh, so the first ideal stream would silently lose them. *)
+    raise (Bad_definition "cannot switch a snapshot to the ideal method after creation")
+  | _ -> ());
+  s.spec <- spec
+
+let mutations_since_refresh t name =
+  let s = snapshot t name in
+  max 0 (Base_table.mutations (base t s.base_name) - s.mutations_at_refresh)
+
+let observed_update_fraction t name =
+  let s = snapshot t name in
+  observed_update_fraction (base t s.base_name) s

@@ -255,6 +255,9 @@ val snapshot_names : t -> string list
 val snapshot_table : t -> string -> Snapshot_table.t
 (** Read access to the replica (to query it like any table). *)
 
+val snapshot_base : t -> string -> string
+(** Name of the base table a snapshot is defined over. *)
+
 val snapshot_method : t -> string -> method_spec
 
 val snapshot_restrict : t -> string -> Expr.t
@@ -269,6 +272,34 @@ val snapshot_request_link : t -> string -> Link.t
 
 val selectivity_estimate : t -> string -> float
 (** The planner's current selectivity estimate for a snapshot. *)
+
+(** {1 Scheduler hooks}
+
+    The fleet scheduler ({!Snapdiff_fleet.Fleet}) drives refresh through
+    these: it reads observed churn and the committed-refresh history to
+    feed the cost model, and re-routes a snapshot's method per refresh. *)
+
+val report_history : ?limit:int -> t -> string -> refresh_report list
+(** Committed refreshes of a snapshot, most recent first, including the
+    initial population; bounded (the last 32).  [limit] truncates
+    further.  Raises {!Unknown_snapshot}. *)
+
+val set_method : t -> string -> method_spec -> unit
+(** Re-route a snapshot's refresh method; takes effect from the next
+    refresh.  Raises {!Bad_definition} for [Log_based] without a WAL, or
+    for switching to [Ideal] after creation (change capture installed now
+    would have missed everything since the last refresh).  A committed
+    refresh of any method advances the snapshot's log cursor, so a later
+    switch to [Log_based] replays only the genuine WAL tail. *)
+
+val mutations_since_refresh : t -> string -> int
+(** Base-table operations observed since the snapshot's last committed
+    refresh — the raw churn count behind
+    {!Snapdiff_analysis.Model.observed_update_fraction}. *)
+
+val observed_update_fraction : t -> string -> float
+(** The distinct-update fraction the [Auto] method choice uses: mutations
+    since last refresh over live entries, clamped to [\[0,1\]]. *)
 
 val estimate_refresh_messages : t -> string -> [ `Full of float ] * [ `Differential of float ]
 (** The cost model's prediction for the next refresh, given observed

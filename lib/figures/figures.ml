@@ -236,7 +236,7 @@ let asap_ablation ?(seed = 13) ?(n = 2_000) ?(ops = 2_000) () =
     let snap_a = Snapshot_table.create ~name:"sa" ~schema:Workload.schema () in
     Link.attach link (Snapshot_table.apply_bytes snap_a);
     let asap = Asap.attach ~base:base_a ~link ~restrict ~project:Fun.id () in
-    Workload.mutate_zipf base_a ~rng:rng_a ~ops ~theta:0.0 ~mix:Workload.churn;
+    ignore (Workload.mutate_zipf base_a ~rng:rng_a ~ops ~theta:0.0 ~mix:Workload.churn : int);
     (* Periodic differential site, same script. *)
     let clock_p = Clock.create () in
     let base_p = Workload.make_base ~clock:clock_p () in
@@ -263,7 +263,7 @@ let asap_ablation ?(seed = 13) ?(n = 2_000) ?(ops = 2_000) () =
     let done_ops = ref 0 in
     while !done_ops < ops do
       let batch = min interval (ops - !done_ops) in
-      Workload.mutate_zipf base_p ~rng:rng_p ~ops:batch ~theta:0.0 ~mix:Workload.churn;
+      ignore (Workload.mutate_zipf base_p ~rng:rng_p ~ops:batch ~theta:0.0 ~mix:Workload.churn : int);
       done_ops := !done_ops + batch;
       refresh ()
     done;
@@ -699,7 +699,7 @@ let skew_ablation ?(seed = 23) ?(n = 10_000) ?(ops = 5_000) () =
     let snaptime = Clock.now clock in
     let cursor = Change_log.current_seq log in
     let restrict = Eval.compile Workload.schema (Workload.restrict_fraction q) in
-    Workload.mutate_zipf base ~rng ~ops ~theta ~mix:Workload.payload_updates_only;
+    ignore (Workload.mutate_zipf base ~rng ~ops ~theta ~mix:Workload.payload_updates_only : int);
     let ideal =
       count_data (fun xmit ->
           ignore

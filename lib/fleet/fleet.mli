@@ -1,0 +1,156 @@
+(** Fleet scheduler: staleness SLOs over many snapshots.
+
+    The paper's premise is a site hosting {e many} snapshots whose refresh
+    cost must be amortized and scheduled.  This module is that control
+    loop: each registered snapshot carries a staleness budget (its SLO),
+    giving it a deadline of last-commit time plus budget; a priority queue
+    ordered by deadline keeps the most urgent work first; each dispatched
+    refresh picks its method — differential, full, or log-based — from
+    {!Snapdiff_analysis.Model} cost estimates fed by observed churn; and
+    due siblings of one base table are coalesced into a single
+    {!Snapdiff_core.Differential.refresh_group} scan via
+    {!Snapdiff_core.Manager.refresh_all}.
+
+    Time is virtual (microseconds, monotone, supplied by the driver), so
+    every schedule is reproducible; the refreshes themselves run inline in
+    {!tick}.
+
+    {2 Backpressure}
+
+    When updater traffic on a base spikes (more than [overload_ops]
+    operations since the previous tick), three rules engage for that base:
+
+    - {e defer} non-urgent refreshes — members due only through the
+      dispatch lookahead, not yet past their deadline — up to
+      [max_deferrals] consecutive ticks (the bound is what keeps
+      backpressure starvation-free);
+    - {e escalate to grouping} — near-due siblings within [pull_in_us] of
+      now are pulled into the scan already being paid for, so they will
+      not force another scan of the same base moments later;
+    - {e shed to full} — a member whose WAL catch-up backlog (operations
+      since its last refresh) exceeds [shed_catchup_records] refreshes
+      full instead: a full stream needs no log replay and no prior state,
+      so its cost is insensitive to the backlog.
+
+    Independent of spikes, at most [capacity] refreshes dispatch per tick
+    (admission control); the overflow is deferred by deadline order, and
+    any member already deferred [max_deferrals] times is force-included
+    regardless of capacity, so no snapshot is deferred forever. *)
+
+module Manager = Snapdiff_core.Manager
+
+type config = {
+  lookahead_us : float;
+      (** dispatch horizon: anything with deadline within this of "now" is
+          due.  Set it to the driver's tick interval so a refresh always
+          lands before its deadline when capacity suffices. *)
+  capacity : int;  (** max refreshes dispatched per tick *)
+  max_deferrals : int;
+      (** consecutive deferrals before a member is force-dispatched *)
+  pull_in_us : float;
+      (** how far ahead of their deadlines siblings are pulled into a
+          spiking base's scan *)
+  overload_ops : int;
+      (** per-base operations per tick counting as an updater spike *)
+  shed_catchup_records : int;
+      (** catch-up backlog (operations since last refresh) beyond which a
+          spiking base's member sheds to full refresh *)
+  log_record_weight : float;
+      (** message-equivalents charged per WAL record scanned when costing
+          the log-based method *)
+}
+
+val default_config : config
+(** [lookahead_us = 50_000.], [capacity = 1024], [max_deferrals = 3],
+    [pull_in_us = 100_000.], [overload_ops = 512],
+    [shed_catchup_records = 1024], [log_record_weight = 0.25]. *)
+
+type t
+
+val create : ?config:config -> Manager.t -> t
+(** Virtual time starts at 0. *)
+
+val config : t -> config
+
+val manager : t -> Manager.t
+
+val now_us : t -> float
+(** The last time passed to {!tick} (0 before the first). *)
+
+val register : t -> name:string -> slo_us:float -> unit
+(** Put a snapshot under management with a staleness budget of [slo_us]:
+    its refresh must commit within [slo_us] of its previous commit
+    (registration counts as the first).  Raises
+    {!Manager.Unknown_snapshot}; [Invalid_argument] on a non-positive or
+    non-finite SLO, or if [name] is already registered. *)
+
+val unregister : t -> string -> unit
+(** Forget a snapshot (no error if it was never registered). *)
+
+val registered : t -> string list
+(** Registered snapshot names, sorted. *)
+
+val slo_us : t -> string -> float
+
+val deadline_us : t -> string -> float
+(** Last commit time + SLO.  Raises [Invalid_argument] if unregistered. *)
+
+val staleness_us : t -> string -> float
+(** [now - last commit] in virtual time. *)
+
+type tick_report = {
+  tr_now_us : float;
+  tr_due : int;  (** members whose deadline fell within the lookahead *)
+  tr_dispatched : int;  (** refresh attempts made this tick *)
+  tr_results : (string * (Manager.refresh_report, exn) result) list;
+      (** per-refresh outcomes, most urgent first *)
+  tr_grouped : int;  (** refreshes served by a shared scan (group size > 1) *)
+  tr_pulled_in : int;  (** near-due siblings coalesced into a spiking base's scan *)
+  tr_deferred : int;
+  tr_shed_full : int;
+  tr_slo_misses : int;  (** refreshes that committed past their deadline *)
+  tr_failures : int;
+  tr_queue_depth : int;  (** due-but-deferred members left after the tick *)
+}
+
+val tick : t -> now_us:float -> tick_report
+(** Advance virtual time and run one scheduling round: collect due
+    members from the priority queue, apply the backpressure rules, choose
+    each dispatched member's method ({!Manager.set_method}), and refresh
+    them through {!Manager.refresh_all} so due siblings share scans.  A
+    failed refresh stays due (its deadline unchanged) and is retried next
+    tick.  Raises [Invalid_argument] if time goes backwards. *)
+
+type snapshot_stats = {
+  ss_slo_us : float;
+  ss_deadline_us : float;
+  ss_last_commit_us : float;
+  ss_refreshes : int;  (** committed via this scheduler *)
+  ss_slo_misses : int;
+  ss_deferrals : int;  (** current consecutive deferral streak *)
+}
+
+val snapshot_stats : t -> string -> snapshot_stats
+(** Raises [Invalid_argument] if unregistered. *)
+
+type stats = {
+  st_registered : int;
+  st_ticks : int;
+  st_refreshes : int;
+  st_slo_misses : int;
+  st_deferred : int;
+  st_pulled_in : int;
+  st_shed_full : int;
+  st_grouped : int;
+  st_failures : int;
+  st_max_queue_depth : int;
+  st_full : int;  (** dispatches routed to each method… *)
+  st_differential : int;
+  st_log_based : int;
+}
+
+val stats : t -> stats
+(** Cumulative since {!create}. *)
+
+val miss_rate : stats -> float
+(** SLO misses per committed refresh (0 when nothing committed). *)

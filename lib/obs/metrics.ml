@@ -109,6 +109,10 @@ let observe h v =
   Stats.Accumulator.add h.acc v;
   Mutex.unlock h.h_m
 
+let time h f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () -> observe h ((Unix.gettimeofday () -. t0) *. 1e6)) f
+
 let with_hist h f =
   Mutex.lock h.h_m;
   let r = f h in

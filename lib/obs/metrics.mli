@@ -56,6 +56,11 @@ val level : gauge -> float
 val observe : histogram -> float -> unit
 (** Record a non-negative sample (negative samples clamp to 0). *)
 
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and records its wall-clock duration in
+    microseconds (observed even if [f] raises) — e.g. the fleet
+    scheduler's per-tick decision cost. *)
+
 val observations : histogram -> int
 
 val hist_mean : histogram -> float

@@ -80,37 +80,151 @@ let apply_insert base rng =
 
 let update_fraction base ~rng ~u ~mix =
   if u < 0.0 || u > 1.0 then invalid_arg "Workload.update_fraction: u out of range";
+  if mix.update_weight + mix.insert_weight + mix.delete_weight <= 0 then
+    invalid_arg "Workload: empty mutation mix";
   let addrs = Array.of_list (List.map fst (Base_table.to_user_list base)) in
   let n = Array.length addrs in
   let k = int_of_float (Float.round (u *. float_of_int n)) in
   let chosen = Rng.sample_without_replacement rng k n in
+  (* Inserts are drawn outside the without-replacement sample: each of the
+     [k] chosen live rows receives exactly one update-or-delete, so the
+     realized mutated fraction is exactly [u].  Inserts still arrive at the
+     mix's relative rate — for each touched row, every [`Insert] drawn
+     before the row's own op lands adds a fresh tuple instead of burning
+     the sampled address. *)
+  let touch_weight = mix.update_weight + mix.delete_weight in
   let ops = ref 0 in
   Array.iter
     (fun i ->
-      incr ops;
-      match pick_op rng mix with
-      | `Update -> apply_update base rng mix addrs.(i)
-      | `Delete -> (
-        match Base_table.get base addrs.(i) with
-        | Some _ -> Base_table.delete base addrs.(i)
-        | None -> ())
-      | `Insert -> apply_insert base rng)
+      if touch_weight = 0 then begin
+        incr ops;
+        apply_insert base rng
+      end
+      else begin
+        let rec step () =
+          incr ops;
+          match pick_op rng mix with
+          | `Insert ->
+            apply_insert base rng;
+            step ()
+          | `Update -> apply_update base rng mix addrs.(i)
+          | `Delete -> Base_table.delete base addrs.(i)
+        in
+        step ()
+      end)
     chosen;
   !ops
 
 let mutate_zipf base ~rng ~ops ~theta ~mix =
   let addrs = Array.of_list (List.map fst (Base_table.to_user_list base)) in
   if Array.length addrs = 0 then invalid_arg "Workload.mutate_zipf: empty table";
+  let n = Array.length addrs in
   let deleted = Hashtbl.create 64 in
+  let applied = ref 0 in
+  (* A draw that lands an Update/Delete on an address this run already
+     deleted is not an operation; resample (bounded) so the effective
+     churn stays at the nominal rate even when skew kills the hot
+     addresses early.  The bound only bites once nearly every live-at-
+     start address has been deleted. *)
+  let max_tries = 64 in
   for _ = 1 to ops do
-    let i = Rng.zipf rng ~n:(Array.length addrs) ~theta in
-    let addr = addrs.(i) in
-    match pick_op rng mix with
-    | `Update -> if not (Hashtbl.mem deleted addr) then apply_update base rng mix addr
-    | `Delete ->
-      if not (Hashtbl.mem deleted addr) then begin
-        Base_table.delete base addr;
-        Hashtbl.replace deleted addr ()
+    let rec attempt tries =
+      if tries < max_tries then begin
+        let addr = addrs.(Rng.zipf rng ~n ~theta) in
+        match pick_op rng mix with
+        | `Insert ->
+          apply_insert base rng;
+          incr applied
+        | `Update ->
+          if Hashtbl.mem deleted addr then attempt (tries + 1)
+          else begin
+            apply_update base rng mix addr;
+            incr applied
+          end
+        | `Delete ->
+          if Hashtbl.mem deleted addr then attempt (tries + 1)
+          else begin
+            Base_table.delete base addr;
+            Hashtbl.replace deleted addr ();
+            incr applied
+          end
       end
-    | `Insert -> apply_insert base rng
-  done
+    in
+    attempt 0
+  done;
+  !applied
+
+(* --- Multi-tenant arrival processes (fleet bench) --------------------- *)
+
+type tenant = {
+  tenant_id : int;
+  tenant_size : int;
+  tenant_rate : float;
+  tenant_burst : float;
+  tenant_theta : float;
+  mutable tenant_bursting : bool;
+}
+
+let pareto rng ~alpha ~xmin =
+  if alpha <= 0.0 then invalid_arg "Workload.pareto: alpha must be positive";
+  if xmin <= 0.0 then invalid_arg "Workload.pareto: xmin must be positive";
+  let u = 1.0 -. Rng.float rng 1.0 in
+  xmin /. Float.pow u (1.0 /. alpha)
+
+let make_tenants ~rng ~tenants ?(min_size = 64) ?(max_size = 8192) () =
+  if tenants <= 0 then invalid_arg "Workload.make_tenants: tenants must be positive";
+  if min_size <= 0 || max_size < min_size then
+    invalid_arg "Workload.make_tenants: bad size bounds";
+  Array.init tenants (fun tenant_id ->
+      let tenant_size =
+        min max_size (int_of_float (pareto rng ~alpha:1.2 ~xmin:(float_of_int min_size)))
+      in
+      (* Mean rates log-uniform over two decades; bursts are a
+         heavy-tailed multiplier so a few tenants dominate when on. *)
+      let tenant_rate = 10.0 *. Float.pow 10.0 (Rng.float rng 2.0) in
+      let tenant_burst = min 50.0 (pareto rng ~alpha:1.5 ~xmin:2.0) in
+      let tenant_theta = Rng.float rng 0.99 in
+      { tenant_id; tenant_size; tenant_rate; tenant_burst; tenant_theta;
+        tenant_bursting = false })
+
+let gauss rng =
+  (* Box-Muller; u1 bounded away from 0. *)
+  let u1 = 1e-12 +. Rng.float rng 1.0 in
+  let u2 = Rng.float rng 1.0 in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+let poisson rng lambda =
+  if lambda < 0.0 then invalid_arg "Workload.poisson: negative rate";
+  if lambda = 0.0 then 0
+  else if lambda > 256.0 then
+    (* Normal approximation keeps large-lambda draws O(1). *)
+    max 0 (int_of_float (Float.round (lambda +. (Float.sqrt lambda *. gauss rng))))
+  else begin
+    let l = Float.exp (-.lambda) in
+    let k = ref 0 and p = ref 1.0 in
+    let continue = ref true in
+    while !continue do
+      incr k;
+      p := !p *. Rng.float rng 1.0;
+      if !p <= l then continue := false
+    done;
+    !k - 1
+  end
+
+(* Two-state (on/off) Markov-modulated Poisson arrivals: a quiet tenant
+   starts a burst with probability [p_on] per step, a bursting one cools
+   off with probability [p_off], so bursts last ~1/p_off steps. *)
+let burst_p_on = 0.05
+let burst_p_off = 0.25
+
+let arrivals rng tenant ~dt_s =
+  if dt_s < 0.0 then invalid_arg "Workload.arrivals: negative dt";
+  if tenant.tenant_bursting then begin
+    if Rng.bernoulli rng burst_p_off then tenant.tenant_bursting <- false
+  end
+  else if Rng.bernoulli rng burst_p_on then tenant.tenant_bursting <- true;
+  let rate =
+    if tenant.tenant_bursting then tenant.tenant_rate *. tenant.tenant_burst
+    else tenant.tenant_rate
+  in
+  poisson rng (rate *. dt_s)

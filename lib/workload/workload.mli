@@ -58,12 +58,51 @@ val churn : mutation_mix
 
 val update_fraction :
   Base_table.t -> rng:Rng.t -> u:float -> mix:mutation_mix -> int
-(** Touch [u * count] distinct live tuples (rounded); each touched tuple
-    receives one mutation drawn from [mix] (an insert adds a fresh tuple
-    instead of touching one).  Returns the number of operations performed.
-    Address selection is uniform. *)
+(** Touch exactly [u * count] distinct live tuples (rounded); each touched
+    tuple receives one update-or-delete from [mix].  Inserts are drawn
+    {e outside} the without-replacement sample (at the mix's relative
+    rate), so the realized mutated fraction is exactly [u] — an insert
+    never burns a sampled address.  Returns the total number of operations
+    performed (touches plus inserts).  Address selection is uniform. *)
 
 val mutate_zipf :
-  Base_table.t -> rng:Rng.t -> ops:int -> theta:float -> mix:mutation_mix -> unit
+  Base_table.t -> rng:Rng.t -> ops:int -> theta:float -> mix:mutation_mix -> int
 (** [ops] mutations with zipf-skewed (not necessarily distinct) address
-    selection — the skew ablation. *)
+    selection — the skew ablation.  A draw landing an update/delete on an
+    address already deleted by this run is resampled (bounded), so the
+    applied-op count — which is returned — stays at the nominal [ops]
+    until the table is nearly exhausted. *)
+
+(** {2 Multi-tenant arrival processes}
+
+    Drive the fleet-scheduler bench: many bases of heavy-tailed size, each
+    mutated by a bursty (Markov-modulated Poisson) updater with its own
+    mean rate and address skew.  All simulated time; [dt_s] is seconds of
+    virtual time per step. *)
+
+type tenant = {
+  tenant_id : int;
+  tenant_size : int;  (** base-table rows (Pareto-distributed, bounded) *)
+  tenant_rate : float;  (** mean mutations per simulated second *)
+  tenant_burst : float;  (** rate multiplier while bursting *)
+  tenant_theta : float;  (** zipf skew of the tenant's address selection *)
+  mutable tenant_bursting : bool;
+}
+
+val pareto : Rng.t -> alpha:float -> xmin:float -> float
+(** Heavy-tailed draw: [xmin / U^(1/alpha)]. *)
+
+val make_tenants :
+  rng:Rng.t -> tenants:int -> ?min_size:int -> ?max_size:int -> unit -> tenant array
+(** Tenant population with Pareto sizes in [\[min_size, max_size\]]
+    (defaults 64, 8192), log-uniform mean rates over two decades, and
+    heavy-tailed burst multipliers. *)
+
+val poisson : Rng.t -> float -> int
+(** Poisson-distributed count with the given mean (normal approximation
+    above mean 256). *)
+
+val arrivals : Rng.t -> tenant -> dt_s:float -> int
+(** Mutations this tenant issues over the next [dt_s] of simulated time:
+    Poisson at the tenant's current rate, which toggles between mean and
+    burst level via a two-state Markov chain advanced once per call. *)

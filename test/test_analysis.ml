@@ -140,8 +140,74 @@ let test_workload_zipf_runs () =
   let base = Workload.make_base ~clock () in
   let rng = Rng.create 5 in
   Workload.populate base ~rng ~n:300;
-  Workload.mutate_zipf base ~rng ~ops:200 ~theta:0.9 ~mix:Workload.payload_updates_only;
+  ignore (Workload.mutate_zipf base ~rng ~ops:200 ~theta:0.9 ~mix:Workload.payload_updates_only : int);
   checkb "ops accounted" true (Base_table.mutations base >= 400)
+
+(* Regression for the zipf rate bug: no-op draws (update/delete landing on
+   an address this run already deleted) used to count toward [ops], so the
+   applied mutation rate silently undershot the nominal rate under skew +
+   churn.  Now such draws are resampled: applied = nominal, and the base
+   table's mutation counter agrees. *)
+let test_workload_zipf_applied_rate () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 6 in
+  Workload.populate base ~rng ~n:500;
+  let before = Base_table.mutations base in
+  (* High skew + churn maximizes repeat draws on deleted addresses. *)
+  let applied = Workload.mutate_zipf base ~rng ~ops:1000 ~theta:0.99 ~mix:Workload.churn in
+  Alcotest.(check int) "applied = nominal ops" 1000 applied;
+  Alcotest.(check int) "mutation counter agrees" (before + applied)
+    (Base_table.mutations base)
+
+(* Regression for the update_fraction rate bug: an [`Insert] draw used to
+   burn one of the [k] sampled addresses, so fewer than [u * n] distinct
+   rows were actually touched under insert-bearing mixes.  Inserts now ride
+   outside the sample: exactly [k] pre-existing rows change or disappear. *)
+let test_workload_update_fraction_realized () =
+  let clock = Clock.create () in
+  let base = Workload.make_base ~clock () in
+  let rng = Rng.create 7 in
+  Workload.populate base ~rng ~n:1000;
+  let before = Base_table.to_user_list base in
+  let ops = Workload.update_fraction base ~rng ~u:0.3 ~mix:Workload.churn in
+  checkb "inserts rode along" true (ops > 300);
+  let after = Hashtbl.create 1024 in
+  List.iter (fun (a, u) -> Hashtbl.replace after a u) (Base_table.to_user_list base);
+  let touched =
+    List.length
+      (List.filter
+         (fun (a, u) ->
+           match Hashtbl.find_opt after a with
+           | None -> true (* deleted *)
+           | Some u' -> u <> u' (* updated *))
+         before)
+  in
+  Alcotest.(check int) "exactly u*n distinct rows touched" 300 touched
+
+let test_model_transmit_validation () =
+  let raises f = match f () with _ -> false | exception Invalid_argument _ -> true in
+  checkb "q > 1 rejected" true
+    (raises (fun () -> Model.transmit_probability ~model:Model.Geometric ~q:1.5 ~u:0.1));
+  checkb "q < 0 rejected" true
+    (raises (fun () -> Model.transmit_probability ~model:Model.Geometric ~q:(-0.1) ~u:0.1));
+  checkb "u > 1 rejected" true
+    (raises (fun () -> Model.transmit_probability ~model:Model.Geometric ~q:0.5 ~u:2.0));
+  checkb "u < 0 rejected" true
+    (raises (fun () -> Model.transmit_probability ~model:Model.Geometric ~q:0.5 ~u:(-0.2)));
+  checkb "nan rejected" true
+    (raises (fun () -> Model.transmit_probability ~model:Model.Geometric ~q:Float.nan ~u:0.1));
+  feq 1e-9 "valid corner still fine" 0.0
+    (Model.transmit_probability ~model:Model.Geometric ~q:0.5 ~u:0.0)
+
+let test_model_observed_update_fraction () =
+  feq 1e-9 "plain ratio" 0.25 (Model.observed_update_fraction ~mutations:25 ~n:100);
+  feq 1e-9 "clamped at 1" 1.0 (Model.observed_update_fraction ~mutations:500 ~n:100);
+  feq 1e-9 "empty table" 0.0 (Model.observed_update_fraction ~mutations:10 ~n:0);
+  checkb "negative mutations rejected" true
+    (match Model.observed_update_fraction ~mutations:(-1) ~n:10 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
 
 (* The headline agreement test: run the actual differential algorithm over
    the Figure 8 workload and compare with the closed-form expectation. *)
@@ -281,6 +347,12 @@ let suite =
       test_workload_payload_updates_keep_qualification;
     Alcotest.test_case "workload churn" `Quick test_workload_churn_changes_population;
     Alcotest.test_case "workload zipf" `Quick test_workload_zipf_runs;
+    Alcotest.test_case "workload zipf applied rate" `Quick test_workload_zipf_applied_rate;
+    Alcotest.test_case "workload realized fraction" `Quick
+      test_workload_update_fraction_realized;
+    Alcotest.test_case "model transmit validation" `Quick test_model_transmit_validation;
+    Alcotest.test_case "model observed update fraction" `Quick
+      test_model_observed_update_fraction;
     Alcotest.test_case "model = simulation (differential)" `Quick test_model_matches_simulation;
     Alcotest.test_case "model = simulation (ideal)" `Quick test_ideal_matches_model;
     Alcotest.test_case "group-scan page model" `Quick test_group_scan_model;

@@ -1,0 +1,305 @@
+(* Fleet scheduler tests: SLO/deadline bookkeeping, the staleness bound
+   under arbitrary arrival processes when capacity suffices, grouping of
+   due siblings (= refresh_all's grouping), bounded deferral under
+   overload (no starvation), and contents identity of scheduler-driven
+   refreshes against solo refreshes of a twin universe. *)
+
+open Snapdiff_txn
+open Snapdiff_core
+module Fleet = Snapdiff_fleet.Fleet
+module Workload = Snapdiff_workload.Workload
+module Rng = Snapdiff_util.Rng
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+
+let dt = 50_000.0 (* one tick of virtual time, = default lookahead *)
+
+(* A world: [bases] base tables of [rows] rows each, [per_base] snapshots
+   over each at 0.5 selectivity.  Snapshot names are [s<base>_<i>]. *)
+let make_world ?(bases = 2) ?(per_base = 3) ?(rows = 200) ?(with_wal = false)
+    ?(seed = 42) () =
+  let rng = Rng.create seed in
+  let m = Manager.create () in
+  let names = ref [] in
+  for b = 0 to bases - 1 do
+    let clock = Clock.create () in
+    let base_name = Printf.sprintf "base%d" b in
+    let base =
+      if with_wal then
+        Workload.make_base ~wal:(Snapdiff_wal.Wal.create ()) ~name:base_name ~clock ()
+      else Workload.make_base ~name:base_name ~clock ()
+    in
+    Workload.populate base ~rng ~n:rows;
+    Manager.register_base m base;
+    for i = 0 to per_base - 1 do
+      let snap = Printf.sprintf "s%d_%d" b i in
+      ignore
+        (Manager.create_snapshot m ~name:snap ~base:base_name
+           ~restrict:(Workload.restrict_fraction 0.5) ()
+          : Manager.refresh_report);
+      names := snap :: !names
+    done
+  done;
+  (m, List.rev !names)
+
+let test_register_basics () =
+  let m, names = make_world () in
+  let f = Fleet.create m in
+  List.iter (fun n -> Fleet.register f ~name:n ~slo_us:(4.0 *. dt)) names;
+  Alcotest.(check (list string)) "registered" (List.sort compare names) (Fleet.registered f);
+  Alcotest.(check (float 1e-9)) "deadline = slo at t0" (4.0 *. dt)
+    (Fleet.deadline_us f (List.hd names));
+  checkb "unknown snapshot" true
+    (match Fleet.register f ~name:"nope" ~slo_us:dt with
+    | () -> false
+    | exception Manager.Unknown_snapshot _ -> true);
+  checkb "bad slo" true
+    (match Fleet.register f ~name:List.(hd names) ~slo_us:0.0 with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  checkb "duplicate" true
+    (match Fleet.register f ~name:(List.hd names) ~slo_us:dt with
+    | () -> false
+    | exception Invalid_argument _ -> true);
+  Fleet.unregister f (List.hd names);
+  checkb "unregistered" true (not (List.mem (List.hd names) (Fleet.registered f)));
+  checkb "time monotone" true
+    (ignore (Fleet.tick f ~now_us:dt : Fleet.tick_report);
+     match Fleet.tick f ~now_us:0.0 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+(* Quiescent load, capacity sufficient: every refresh lands before its
+   deadline, so the miss count is exactly zero and staleness never
+   exceeds the SLO at any tick boundary. *)
+let test_quiescent_zero_misses () =
+  let m, names = make_world ~bases:3 ~per_base:4 () in
+  let f = Fleet.create m in
+  List.iteri
+    (fun i n -> Fleet.register f ~name:n ~slo_us:(float_of_int (2 + (i mod 7)) *. dt))
+    names;
+  for i = 1 to 40 do
+    let r = Fleet.tick f ~now_us:(float_of_int i *. dt) in
+    Alcotest.(check int) "no misses this tick" 0 r.Fleet.tr_slo_misses;
+    List.iter
+      (fun n ->
+        checkb
+          (Printf.sprintf "staleness of %s within slo at tick %d" n i)
+          true
+          (Fleet.staleness_us f n <= Fleet.slo_us f n +. 1e-6))
+      names
+  done;
+  let st = Fleet.stats f in
+  Alcotest.(check int) "zero misses" 0 st.Fleet.st_slo_misses;
+  Alcotest.(check (float 1e-9)) "zero miss rate" 0.0 (Fleet.miss_rate st);
+  checkb "every snapshot refreshed" true
+    (List.for_all (fun n -> (Fleet.snapshot_stats f n).Fleet.ss_refreshes > 0) names)
+
+(* Due siblings of one base, all routed to the differential method, share
+   one scan — the scheduler's grouping is refresh_all's grouping. *)
+let test_grouping_of_due_siblings () =
+  let m, names = make_world ~bases:1 ~per_base:4 ~rows:400 () in
+  let f = Fleet.create m in
+  List.iter (fun n -> Fleet.register f ~name:n ~slo_us:(2.0 *. dt)) names;
+  let rng = Rng.create 11 in
+  (* Light churn so the cost model picks differential for everyone. *)
+  ignore (Workload.update_fraction (Manager.base m "base0") ~rng ~u:0.05
+            ~mix:Workload.payload_updates_only : int);
+  ignore (Fleet.tick f ~now_us:dt : Fleet.tick_report);
+  let r = Fleet.tick f ~now_us:(2.0 *. dt) in
+  Alcotest.(check int) "all four dispatched" 4 r.Fleet.tr_dispatched;
+  Alcotest.(check int) "all four grouped" 4 r.Fleet.tr_grouped;
+  List.iter
+    (fun (n, result) ->
+      match result with
+      | Ok (rep : Manager.refresh_report) ->
+        Alcotest.(check int) (n ^ " group size") 4 rep.Manager.group_size;
+        checkb (n ^ " differential") true (rep.Manager.method_used = Manager.Used_differential)
+      | Error e -> Alcotest.failf "%s failed: %s" n (Printexc.to_string e))
+    r.Fleet.tr_results
+
+(* Overload with a tiny capacity: admission control defers, but the
+   deferral bound force-dispatches everyone within max_deferrals ticks —
+   no snapshot starves. *)
+let test_no_starvation_under_overload () =
+  let m, names = make_world ~bases:1 ~per_base:12 ~rows:100 () in
+  let cfg = { Fleet.default_config with capacity = 2; max_deferrals = 3 } in
+  let f = Fleet.create ~config:cfg m in
+  List.iter (fun n -> Fleet.register f ~name:n ~slo_us:dt) names;
+  for i = 1 to 60 do
+    ignore (Fleet.tick f ~now_us:(float_of_int i *. dt) : Fleet.tick_report)
+  done;
+  let st = Fleet.stats f in
+  checkb "deferrals happened (backpressure engaged)" true (st.Fleet.st_deferred > 0);
+  List.iter
+    (fun n ->
+      let s = Fleet.snapshot_stats f n in
+      checkb
+        (Printf.sprintf "%s refreshed often enough (%d)" n s.Fleet.ss_refreshes)
+        true (s.Fleet.ss_refreshes >= 5);
+      checkb (n ^ " deferral streak bounded") true
+        (s.Fleet.ss_deferrals <= cfg.Fleet.max_deferrals))
+    names
+
+(* --- qcheck: staleness bound under arbitrary arrival processes -------- *)
+
+(* Per-base, per-tick operation counts; slos in ticks. *)
+type arrival_scenario = {
+  ar_bases : int;
+  ar_per_base : int;
+  ar_slo_ticks : int list;  (* cycled over snapshots *)
+  ar_ops : int list;  (* cycled over (tick, base) pairs *)
+  ar_ticks : int;
+}
+
+let scenario_gen =
+  Gen.map
+    (fun ((bases, per_base), (slos, ops), ticks) ->
+      { ar_bases = bases; ar_per_base = per_base; ar_slo_ticks = slos;
+        ar_ops = ops; ar_ticks = ticks })
+    (Gen.triple
+       (Gen.pair (Gen.int_range 1 3) (Gen.int_range 1 4))
+       (Gen.pair
+          (Gen.list_size (Gen.int_range 1 8) (Gen.int_range 2 8))
+          (Gen.list_size (Gen.int_range 1 16) (Gen.int_range 0 40)))
+       (Gen.int_range 10 30))
+
+let print_scenario s =
+  Printf.sprintf "bases=%d per_base=%d slos=[%s] ops=[%s] ticks=%d" s.ar_bases
+    s.ar_per_base
+    (String.concat ";" (List.map string_of_int s.ar_slo_ticks))
+    (String.concat ";" (List.map string_of_int s.ar_ops))
+    s.ar_ticks
+
+let nth_cycle l i = List.nth l (i mod List.length l)
+
+let mutate_base rng base ops =
+  if ops > 0 && Base_table.count base > 0 then
+    ignore (Workload.mutate_zipf base ~rng ~ops ~theta:0.5 ~mix:Workload.churn : int)
+
+(* With capacity sufficient, no snapshot's staleness ever exceeds its SLO
+   plus one tick (one "refresh duration": a deferred-then-dispatched
+   member commits at most one tick past its deadline; an undeferred one
+   commits before it). *)
+let prop_staleness_bound =
+  QCheck2.Test.make ~name:"fleet: staleness <= slo + one tick when capacity suffices"
+    ~count:25 ~print:print_scenario scenario_gen (fun s ->
+      let m, names = make_world ~bases:s.ar_bases ~per_base:s.ar_per_base ~rows:120 () in
+      let f = Fleet.create m in
+      List.iteri
+        (fun i n ->
+          Fleet.register f ~name:n ~slo_us:(float_of_int (nth_cycle s.ar_slo_ticks i) *. dt))
+        names;
+      let rng = Rng.create 123 in
+      let ok = ref true in
+      for i = 1 to s.ar_ticks do
+        for b = 0 to s.ar_bases - 1 do
+          mutate_base rng
+            (Manager.base m (Printf.sprintf "base%d" b))
+            (nth_cycle s.ar_ops ((i * s.ar_bases) + b))
+        done;
+        ignore (Fleet.tick f ~now_us:(float_of_int i *. dt) : Fleet.tick_report);
+        List.iter
+          (fun n ->
+            if Fleet.staleness_us f n > Fleet.slo_us f n +. dt +. 1e-6 then begin
+              ok := false;
+              QCheck2.Test.fail_report
+                (Printf.sprintf "tick %d: %s staleness %.0f > slo %.0f + tick" i n
+                   (Fleet.staleness_us f n) (Fleet.slo_us f n))
+            end)
+          names
+      done;
+      !ok)
+
+(* --- qcheck: scheduler-driven = solo refreshes, contents-identical ----- *)
+
+(* Twin universes built from the same seeds see the same mutation script;
+   universe A refreshes through the fleet scheduler (method re-routing,
+   grouping, backpressure and all), universe B solo-refreshes exactly the
+   snapshots A's scheduler dispatched, in the same order.  Every snapshot
+   must end every tick with identical contents and a valid invariant —
+   the scheduler must not be able to produce a state a solo refresh
+   could not. *)
+let prop_fleet_equals_solo =
+  QCheck2.Test.make ~name:"fleet: scheduler-driven refreshes contents-identical to solo"
+    ~count:15 ~print:print_scenario scenario_gen (fun s ->
+      let build () = make_world ~bases:s.ar_bases ~per_base:s.ar_per_base ~rows:100
+          ~with_wal:true ~seed:99 () in
+      let ma, names = build () in
+      let mb, _ = build () in
+      let fa = Fleet.create ma in
+      List.iteri
+        (fun i n ->
+          Fleet.register fa ~name:n ~slo_us:(float_of_int (nth_cycle s.ar_slo_ticks i) *. dt))
+        names;
+      let rng_a = Rng.create 321 and rng_b = Rng.create 321 in
+      for i = 1 to s.ar_ticks do
+        for b = 0 to s.ar_bases - 1 do
+          let bn = Printf.sprintf "base%d" b in
+          let ops = nth_cycle s.ar_ops ((i * s.ar_bases) + b) in
+          mutate_base rng_a (Manager.base ma bn) ops;
+          mutate_base rng_b (Manager.base mb bn) ops
+        done;
+        let r = Fleet.tick fa ~now_us:(float_of_int i *. dt) in
+        List.iter
+          (fun (n, result) ->
+            match result with
+            | Ok (_ : Manager.refresh_report) ->
+              ignore (Manager.refresh mb n : Manager.refresh_report)
+            | Error e ->
+              QCheck2.Test.fail_report
+                (Printf.sprintf "tick %d: fleet refresh of %s failed: %s" i n
+                   (Printexc.to_string e)))
+          r.Fleet.tr_results;
+        List.iter
+          (fun n ->
+            let ta = Manager.snapshot_table ma n and tb = Manager.snapshot_table mb n in
+            if Snapshot_table.contents ta <> Snapshot_table.contents tb then
+              QCheck2.Test.fail_report
+                (Printf.sprintf "tick %d: %s diverged from solo twin" i n);
+            match Snapshot_table.validate ta with
+            | Ok () -> ()
+            | Error e ->
+              QCheck2.Test.fail_report
+                (Printf.sprintf "tick %d: %s invariant: %s" i n e))
+          names
+      done;
+      true)
+
+(* Backpressure shed: a spiking base with a deep catch-up backlog routes
+   to full refresh. *)
+let test_shed_to_full_under_spike () =
+  let m, names = make_world ~bases:1 ~per_base:1 ~rows:2000 ~with_wal:true () in
+  let cfg =
+    { Fleet.default_config with overload_ops = 100; shed_catchup_records = 200 }
+  in
+  let f = Fleet.create ~config:cfg m in
+  let name = List.hd names in
+  Fleet.register f ~name ~slo_us:(2.0 *. dt);
+  ignore (Fleet.tick f ~now_us:dt : Fleet.tick_report);
+  let rng = Rng.create 5 in
+  (* A burst well past both the spike and the shed thresholds. *)
+  ignore (Workload.update_fraction (Manager.base m "base0") ~rng ~u:0.3
+            ~mix:Workload.payload_updates_only : int);
+  (* Tick with the member past its deadline: urgent members of a spiking
+     base are dispatched (not deferred), and the deep backlog sheds. *)
+  let r = Fleet.tick f ~now_us:(3.0 *. dt) in
+  Alcotest.(check int) "one shed" 1 r.Fleet.tr_shed_full;
+  (match r.Fleet.tr_results with
+  | [ (_, Ok rep) ] ->
+    checkb "refreshed full" true (rep.Manager.method_used = Manager.Used_full)
+  | _ -> Alcotest.fail "expected one committed refresh");
+  let st = Fleet.stats f in
+  Alcotest.(check int) "shed counted" 1 st.Fleet.st_shed_full
+
+let suite =
+  [
+    Alcotest.test_case "register basics" `Quick test_register_basics;
+    Alcotest.test_case "quiescent: zero misses" `Quick test_quiescent_zero_misses;
+    Alcotest.test_case "due siblings group" `Quick test_grouping_of_due_siblings;
+    Alcotest.test_case "no starvation under overload" `Quick
+      test_no_starvation_under_overload;
+    Alcotest.test_case "shed to full under spike" `Quick test_shed_to_full_under_spike;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_staleness_bound; prop_fleet_equals_solo ]

@@ -24,5 +24,6 @@ let () =
       ("failures", Test_failures.suite);
       ("concurrency", Test_concurrency.suite);
       ("parallel", Test_parallel.suite);
+      ("fleet", Test_fleet.suite);
       ("integration", Test_integration.suite);
     ]
