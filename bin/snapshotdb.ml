@@ -225,12 +225,14 @@ let stats_cmd verbose trace json n rounds u =
    [--chunk-entries N] turns on the chunked concurrent protocol: the
    scan runs under a table intention lock as lock-coupled page chunks
    of roughly N entries, with a WAL-tail catch-up phase at the end. *)
-let refresh_cmd verbose trace json all names n rounds u chunk_entries domains wal_file =
+let refresh_cmd verbose trace json all names n rounds u chunk_entries domains
+    version_strategy version_retain wal_file =
   setup_logs verbose trace;
   let module Workload = Snapdiff_workload.Workload in
   let module Manager = Snapdiff_core.Manager in
   let module Wal = Snapdiff_wal.Wal in
   let module Text_table = Snapdiff_util.Text_table in
+  let module VS = Snapdiff_mvcc.Version_store in
   let rng = Snapdiff_util.Rng.create 0xBEEF in
   let clock = Snapdiff_txn.Clock.create () in
   (* WAL-backed so the chunked protocol (which replays the WAL tail to
@@ -248,10 +250,24 @@ let refresh_cmd verbose trace json all names n rounds u chunk_entries domains wa
     | None -> Manager.create ~domains ()
   in
   Manager.register_base m base;
+  let version_strategy =
+    Option.map
+      (fun name ->
+        match VS.strategy_of_string name with
+        | Some s -> s
+        | None ->
+          Printf.eprintf
+            "snapshotdb: unknown version strategy %S (expected naive, \
+             copy-on-update, cou, or zigzag)\n"
+            name;
+          exit 2)
+      version_strategy
+  in
   let mk name q method_ =
     ignore
       (Manager.create_snapshot m ~name ~base:(Snapdiff_core.Base_table.name base)
-         ~restrict:(Workload.restrict_fraction q) ~method_ ()
+         ~restrict:(Workload.restrict_fraction q) ~method_ ?version_strategy
+         ~version_retain ()
         : Manager.refresh_report)
   in
   mk "d10" 0.10 Manager.Differential;
@@ -277,12 +293,25 @@ let refresh_cmd verbose trace json all names n rounds u chunk_entries domains wa
             "  {\"snapshot\": \"%s\", \"ok\": true, \"method\": \"%s\", \
              \"group_size\": %d, \"pages_decoded\": %d, \"data_messages\": %d, \
              \"link_bytes\": %d, \"attempts\": %d, \"chunks\": %d, \
-             \"catchup_records\": %d}"
+             \"catchup_records\": %d"
             name
             (Manager.method_name r.Manager.method_used)
             r.Manager.group_size r.Manager.pages_decoded r.Manager.data_messages
             r.Manager.link_bytes r.Manager.attempts r.Manager.chunks
-            r.Manager.catchup_records
+            r.Manager.catchup_records;
+          if version_retain > 1 || version_strategy <> None then begin
+            Printf.bprintf buf ", \"version_strategy\": \"%s\", \"versions\": ["
+              (VS.strategy_name (Manager.snapshot_version_strategy m name));
+            List.iteri
+              (fun i vi ->
+                if i > 0 then Buffer.add_string buf ", ";
+                Printf.bprintf buf
+                  "{\"epoch\": %d, \"snaptime\": %d, \"pins\": %d, \"frozen\": %b}"
+                  vi.VS.vi_epoch vi.VS.vi_snaptime vi.VS.vi_pins vi.VS.vi_frozen)
+              (Manager.snapshot_versions m name);
+            Buffer.add_string buf "]"
+          end;
+          Buffer.add_string buf "}"
         | Error e ->
           Printf.bprintf buf "  {\"snapshot\": \"%s\", \"ok\": false, \"error\": \"%s\"}"
             name (String.escaped (Printexc.to_string e)))
@@ -320,6 +349,31 @@ let refresh_cmd verbose trace json all names n rounds u chunk_entries domains wa
             [ name; "-"; "-"; "-"; "-"; "-"; "-"; "-"; "-"; Printexc.to_string e ])
       results;
     Text_table.print t;
+    if version_retain > 1 || version_strategy <> None then begin
+      let vt =
+        Text_table.create
+          [ ("snapshot", Text_table.Left); ("strategy", Text_table.Left);
+            ("retained epochs (epoch@snaptime)", Text_table.Left) ]
+      in
+      List.iter
+        (fun (name, res) ->
+          match res with
+          | Error _ -> ()
+          | Ok _ ->
+            Text_table.add_row vt
+              [ name;
+                VS.strategy_name (Manager.snapshot_version_strategy m name);
+                String.concat ", "
+                  (List.map
+                     (fun vi ->
+                       Printf.sprintf "%d@%d%s" vi.VS.vi_epoch vi.VS.vi_snaptime
+                         (if vi.VS.vi_frozen then "" else "*"))
+                     (Manager.snapshot_versions m name)) ])
+        results;
+      print_newline ();
+      print_endline "Retained MVCC versions (newest first; * marks the live head):";
+      Text_table.print vt
+    end;
     print_endline
       "Differential siblings of one base share a single scan (the 'group'\n\
        column); a page is decoded once per group scan, not once per snapshot.\n\
@@ -554,9 +608,30 @@ let refresh_t =
              per fsync), and after the run reopen it from disk and verify it \
              replays identically.")
   in
+  let version_strategy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "version-strategy" ] ~docv:"STRAT"
+          ~doc:
+            "MVCC materialization strategy for the snapshots' epoch rings: \
+             $(b,naive), $(b,copy-on-update) (alias $(b,cou)), or \
+             $(b,zigzag).  Each committed refresh publishes an immutable \
+             version; readers pin one and never block on a commit.")
+  in
+  let version_retain =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "version-retain" ] ~docv:"K"
+          ~doc:
+            "Keep the last $(docv) committed refresh epochs readable \
+             through pinned read transactions (default 1 = only the live \
+             head, the pre-MVCC behaviour).")
+  in
   Term.(
     const refresh_cmd $ verbose_t $ trace_t $ json $ all $ names $ n $ rounds $ u
-    $ chunk_entries $ domains $ wal_file)
+    $ chunk_entries $ domains $ version_strategy $ version_retain $ wal_file)
 
 let faults_t =
   let n =

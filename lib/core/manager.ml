@@ -233,6 +233,20 @@ let snapshot_names t = Hashtbl.fold (fun _ s acc -> s.snap_name :: acc) t.snapsh
 
 let snapshot_table t name = (snapshot t name).table
 
+(* --- Versioned reads ------------------------------------------------------ *)
+
+let read_txn ?epoch t name = Snapshot_table.read_txn ?epoch (snapshot t name).table
+
+let with_read_txn ?epoch t name f =
+  match Snapshot_table.read_txn ?epoch (snapshot t name).table with
+  | None -> None
+  | Some txn ->
+    Fun.protect ~finally:(fun () -> Snapshot_table.release_txn txn) (fun () -> Some (f txn))
+
+let snapshot_versions t name = Snapshot_table.versions (snapshot t name).table
+
+let snapshot_version_strategy t name = Snapshot_table.version_strategy (snapshot t name).table
+
 let snapshot_base t name = (snapshot t name).base_name
 
 let snapshot_method t name = (snapshot t name).spec
@@ -1352,7 +1366,8 @@ let validate_projection user_schema projection =
     projection
 
 let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
-    ?(method_ = Auto) ?link ?(tail_suppression = false) ?(prune = true) ?selectivity () =
+    ?(method_ = Auto) ?link ?(tail_suppression = false) ?(prune = true) ?selectivity
+    ?version_strategy ?version_retain () =
   if Hashtbl.mem t.snapshots (key name) then raise (Duplicate_name name);
   let bst = base_state t base_name in
   let b = bst.base_table in
@@ -1388,7 +1403,10 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
   (* The base site consumes control messages; it already holds the compiled
      definition, so receipt is just accounted. *)
   Link.attach request_link (fun (_ : bytes) -> ());
-  let table = Snapshot_table.create ~name ~schema:projected_schema () in
+  let table =
+    Snapshot_table.create ?version_strategy ?version_retain ~name ~schema:projected_schema
+      ()
+  in
   Link.attach link (Snapshot_table.apply_bytes table);
   (* CREATE SNAPSHOT ships the definition to the base site once. *)
   Link.send request_link
@@ -1464,6 +1482,92 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
         (Expr.to_string restrict)
         selectivity report.data_messages);
   report
+
+(* Adopt a persisted snapshot replica (a file-backed store written by a
+   previous process) into the catalog without an initial population: the
+   next refresh resumes differentially from the snaptime the store was
+   persisted at.  {!Snapshot_table.Corrupt_snapshot} from the integrity
+   scan propagates to the caller, like {!Refresh_failed} — a typed,
+   per-snapshot failure that leaves the catalog unchanged. *)
+let attach_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
+    ?(method_ = Auto) ?link ?(tail_suppression = false) ?(prune = true) ?selectivity
+    ?snaptime ?version_strategy ?version_retain pool =
+  if Hashtbl.mem t.snapshots (key name) then raise (Duplicate_name name);
+  let bst = base_state t base_name in
+  let b = bst.base_table in
+  let user_schema = Base_table.user_schema b in
+  (match Typecheck.check_predicate user_schema restrict with
+  | Ok () -> ()
+  | Error e -> raise (Bad_definition (Format.asprintf "%a" Typecheck.pp_error e)));
+  let restrict = Snapdiff_expr.Simplify.simplify restrict in
+  let projection =
+    match projection with
+    | Some cols ->
+      validate_projection user_schema cols;
+      cols
+    | None -> List.map (fun c -> c.Schema.name) (Schema.columns user_schema)
+  in
+  let projected_schema = Schema.project user_schema projection in
+  let idx = Array.of_list (List.map (Schema.index_of_exn user_schema) projection) in
+  let identity = Array.length idx = Schema.arity user_schema
+                 && Array.for_all2 ( = ) idx (Array.init (Array.length idx) Fun.id) in
+  let project = if identity then Fun.id else fun tuple -> Tuple.project_idx tuple idx in
+  let restrict_fn = Eval.compile user_schema restrict in
+  (match method_ with
+  | Ideal ->
+    (* Change capture installed now would have missed everything between
+       the persisted snaptime and this attach. *)
+    raise (Bad_definition "cannot attach a persisted snapshot with the ideal method")
+  | Log_based when Base_table.wal b = None ->
+    raise (Bad_definition "log-based refresh requires a WAL on the base table")
+  | _ -> ());
+  (* May raise Corrupt_snapshot: nothing has been registered yet. *)
+  let table =
+    Snapshot_table.on_pool ?snaptime ?version_strategy ?version_retain ~name
+      ~schema:projected_schema pool
+  in
+  let link =
+    match link with
+    | Some l -> l
+    | None -> Link.create ~name:(Printf.sprintf "%s->%s" base_name name) ()
+  in
+  let request_link = Link.create ~name:(Printf.sprintf "%s->%s" name base_name) () in
+  Link.attach request_link (fun (_ : bytes) -> ());
+  Link.attach link (Snapshot_table.apply_bytes table);
+  Link.send request_link
+    (Refresh_msg.encode
+       (Refresh_msg.Register { restrict = Expr.to_string restrict; projection }));
+  let selectivity =
+    match selectivity with
+    | Some q -> Float.max 0.0 (Float.min 1.0 q)
+    | None -> measure_selectivity t b ~restrict_expr:restrict restrict_fn
+  in
+  let s =
+    {
+      snap_name = name;
+      base_name;
+      restrict_expr = restrict;
+      restrict = restrict_fn;
+      projection;
+      project;
+      table;
+      link;
+      request_link;
+      spec = method_;
+      tail_suppression;
+      prune = (if prune then Some (Differential.Prune_cache.create ()) else None);
+      selectivity;
+      cursor_seq = 0;
+      cursor_lsn = Wal.start_lsn;
+      mutations_at_refresh = 0;
+      next_epoch = 1;
+      history = [];
+    }
+  in
+  Hashtbl.replace t.snapshots (key name) s;
+  Log.info (fun m ->
+      m "attached persisted snapshot %s on %s (snaptime %d, %d entries)" name base_name
+        (Snapshot_table.snaptime table) (Snapshot_table.count table))
 
 let drop_snapshot t name =
   let s =

@@ -208,6 +208,8 @@ val create_snapshot :
   ?tail_suppression:bool ->
   ?prune:bool ->
   ?selectivity:float ->
+  ?version_strategy:Snapshot_table.Version_store.strategy ->
+  ?version_retain:int ->
   unit ->
   refresh_report
 (** Defines and initially populates a snapshot; the returned report is for
@@ -220,7 +222,39 @@ val create_snapshot :
     estimate (e.g. from table statistics); without it the restriction is
     measured by scanning the base table once.  Raises {!Bad_definition} on an ill-typed
     restriction, an unknown/hidden projection column, or [Log_based]
-    without a WAL; {!Duplicate_name}; {!Unknown_table}. *)
+    without a WAL; {!Duplicate_name}; {!Unknown_table}.
+
+    [version_strategy] (default [Naive]) and [version_retain] (default 1)
+    configure the snapshot's MVCC epoch ring (see
+    {!Snapshot_table.read_txn} and {!read_txn}): every committed refresh
+    publishes an immutable version, the last [version_retain] of which
+    stay pinned-readable while refreshes keep committing. *)
+
+val attach_snapshot :
+  t ->
+  name:string ->
+  base:string ->
+  ?restrict:Expr.t ->
+  ?projection:string list ->
+  ?method_:method_spec ->
+  ?link:Link.t ->
+  ?tail_suppression:bool ->
+  ?prune:bool ->
+  ?selectivity:float ->
+  ?snaptime:Clock.ts ->
+  ?version_strategy:Snapshot_table.Version_store.strategy ->
+  ?version_retain:int ->
+  Snapdiff_storage.Buffer_pool.t ->
+  unit
+(** Adopt a persisted snapshot replica (a file-backed store from a
+    previous process) into the catalog {e without} an initial population:
+    pass the [snaptime] recorded when it was persisted and the next
+    refresh resumes differentially from there.  [method_] may not be
+    [Ideal] (capture installed now would have missed everything since the
+    persisted snaptime).  Raises {!Snapshot_table.Corrupt_snapshot} if
+    the store fails the adoption integrity scan — surfaced typed, like
+    {!Refresh_failed}, with the catalog left unchanged — plus the same
+    definition-time exceptions as {!create_snapshot}. *)
 
 val refresh : ?group:bool -> t -> string -> refresh_report
 (** [REFRESH SNAPSHOT]: runs the snapshot's method under the base-table
@@ -254,6 +288,26 @@ val snapshot_names : t -> string list
 
 val snapshot_table : t -> string -> Snapshot_table.t
 (** Read access to the replica (to query it like any table). *)
+
+(** {1 Versioned reads}
+
+    Snapshot-isolation reads over the snapshot's retained refresh epochs:
+    a pinned read transaction observes one committed epoch's exact image
+    and neither blocks nor is blocked by concurrent refresh commits. *)
+
+val read_txn : ?epoch:int -> t -> string -> Snapshot_table.read_txn option
+(** Pin a retained epoch of the named snapshot (default: latest).
+    [None] if [epoch] is not retained.  Raises {!Unknown_snapshot}. *)
+
+val with_read_txn :
+  ?epoch:int -> t -> string -> (Snapshot_table.read_txn -> 'a) -> 'a option
+(** Run [f] with a pinned transaction, releasing it afterwards (also on
+    exceptions).  [None] if the epoch is not retained. *)
+
+val snapshot_versions : t -> string -> Snapshot_table.Version_store.version_info list
+(** The named snapshot's retained version ring, newest first. *)
+
+val snapshot_version_strategy : t -> string -> Snapshot_table.Version_store.strategy
 
 val snapshot_base : t -> string -> string
 (** Name of the base table a snapshot is defined over. *)

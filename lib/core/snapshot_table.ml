@@ -3,6 +3,9 @@ open Snapdiff_txn
 module Int_btree = Snapdiff_index.Btree.Make (Int)
 module Metrics = Snapdiff_obs.Metrics
 module Trace = Snapdiff_obs.Trace
+module Version_store = Snapdiff_mvcc.Version_store
+
+exception Corrupt_snapshot of string
 
 let m_stream_commits = Metrics.counter Metrics.global "snapshot.stream_commits"
 let m_stream_aborts = Metrics.counter Metrics.global "snapshot.stream_aborts"
@@ -46,18 +49,62 @@ type t = {
   mutable aborts : int;
   mutable last_abort : string option;
   mutable committed_epoch : int;  (* -1 before any framed commit *)
+  versions : Version_store.t;  (* MVCC epoch ring; inert until retained/pinned *)
 }
 
-let create ?(page_size = 4096) ?(frames = 128) ~name ~schema () =
+(* The version store's window onto the live image: logical pages keyed by
+   BaseAddr span, assembled from the BaseAddr index on demand.  Closures
+   capture heap and index directly so the store can be built before the
+   table record exists. *)
+let version_page_span = 64  (* BaseAddrs per logical version page *)
+
+let make_live ~user ~heap ~index : Version_store.live =
+  let span = version_page_span in
+  let user_arity = Schema.arity user in
+  let user_of stored = Array.sub stored 0 user_arity in
+  {
+    Version_store.live_page =
+      (fun pid ->
+        let lo = pid * span and hi = (pid * span) + span - 1 in
+        let acc = ref [] in
+        Int_btree.iter_range index ~lo ~hi (fun a rid ->
+            match Heap.get heap rid with
+            | Some stored -> acc := (a, user_of stored) :: !acc
+            | None -> ());
+        match !acc with [] -> None | l -> Some (Array.of_list (List.rev l)));
+    live_pids =
+      (fun () ->
+        List.rev
+          (Int_btree.fold index ~init:[] ~f:(fun acc a _ ->
+               let pid = a / span in
+               match acc with p :: _ when p = pid -> acc | _ -> pid :: acc)));
+    live_get =
+      (fun a ->
+        match Int_btree.find index a with
+        | None -> None
+        | Some rid -> Option.map user_of (Heap.get heap rid));
+    live_count = (fun () -> Heap.count heap);
+  }
+
+let make_versions ?version_strategy ?version_retain ~user ~heap ~index () =
+  let strategy = Option.value version_strategy ~default:Version_store.Naive in
+  let retain = Option.value version_retain ~default:1 in
+  let live = make_live ~user ~heap ~index in
+  Version_store.create ~strategy ~retain ~page_span:version_page_span ~live ()
+
+let create ?(page_size = 4096) ?(frames = 128) ?version_strategy ?version_retain ~name
+    ~schema () =
   let stored =
     Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
   in
+  let heap = Heap.create ~page_size ~frames stored in
+  let index = Int_btree.create () in
   {
     snap_name = name;
     user = schema;
     stored;
-    heap = Heap.create ~page_size ~frames stored;
-    index = Int_btree.create ();
+    heap;
+    index;
     secondaries = Hashtbl.create 4;
     observers = [];
     time = Clock.never;
@@ -66,9 +113,10 @@ let create ?(page_size = 4096) ?(frames = 128) ~name ~schema () =
     aborts = 0;
     last_abort = None;
     committed_epoch = -1;
+    versions = make_versions ?version_strategy ?version_retain ~user:schema ~heap ~index ();
   }
 
-let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
+let on_pool ?(snaptime = Clock.never) ?version_strategy ?version_retain ~name ~schema pool =
   let stored =
     Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
   in
@@ -77,7 +125,11 @@ let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
   Heap.iter heap (fun rid tuple ->
       match tuple.(Schema.arity schema) with
       | Value.Int b -> Int_btree.insert index (Int64.to_int b) rid
-      | _ -> failwith "Snapshot_table.on_pool: corrupt __baseaddr");
+      | _ ->
+        raise
+          (Corrupt_snapshot
+             (Printf.sprintf "snapshot %s: corrupt %s column in persisted store" name
+                baseaddr_col)));
   {
     snap_name = name;
     user = schema;
@@ -92,6 +144,7 @@ let on_pool ?(snaptime = Clock.never) ~name ~schema pool =
     aborts = 0;
     last_abort = None;
     committed_epoch = -1;
+    versions = make_versions ?version_strategy ?version_retain ~user:schema ~heap ~index ();
   }
 
 let flush t = Heap.flush t.heap
@@ -139,43 +192,62 @@ let user_of_rid t rid =
     (fun stored -> Array.sub stored 0 (Schema.arity t.user))
     (Heap.get t.heap rid)
 
+(* Every mutation funnels through {!Version_store.write}: when versions
+   are retained or pinned, the store captures the touched page's pre-image
+   (and holds its lock across the mutation so pinned readers never observe
+   a half-applied entry); when the store is inert — the default — the
+   mutation runs directly, one boolean test away from the pre-MVCC code. *)
 let upsert t base_addr values =
   let stored = stored_tuple t base_addr values in
-  match Int_btree.find t.index base_addr with
-  | Some rid ->
-    (match user_of_rid t rid with
-    | Some old -> sec_remove t base_addr old
-    | None -> ());
-    Heap.update t.heap rid stored;
-    sec_add t base_addr values
-  | None ->
-    let rid = Heap.insert t.heap stored in
-    Int_btree.insert t.index base_addr rid;
-    sec_add t base_addr values
+  Version_store.write t.versions (`Addr base_addr) (fun () ->
+      match Int_btree.find t.index base_addr with
+      | Some rid ->
+        (match user_of_rid t rid with
+        | Some old -> sec_remove t base_addr old
+        | None -> ());
+        Heap.update t.heap rid stored;
+        sec_add t base_addr values
+      | None ->
+        let rid = Heap.insert t.heap stored in
+        Int_btree.insert t.index base_addr rid;
+        sec_add t base_addr values)
 
 let remove t base_addr =
-  match Int_btree.find t.index base_addr with
-  | Some rid ->
-    (match user_of_rid t rid with
-    | Some old -> sec_remove t base_addr old
-    | None -> ());
-    Heap.delete t.heap rid;
-    ignore (Int_btree.remove t.index base_addr : bool)
-  | None -> ()
+  Version_store.write t.versions (`Addr base_addr) (fun () ->
+      match Int_btree.find t.index base_addr with
+      | Some rid ->
+        (match user_of_rid t rid with
+        | Some old -> sec_remove t base_addr old
+        | None -> ());
+        Heap.delete t.heap rid;
+        ignore (Int_btree.remove t.index base_addr : bool)
+      | None -> ())
 
 let remove_range t ~lo ~hi =
   (* Inclusive bounds; collect first, then delete (the index must not be
-     mutated mid-iteration). *)
+     mutated mid-iteration).  Each victim goes through {!remove}, so the
+     version store captures every touched page. *)
   let victims = Int_btree.keys_in_range t.index ?lo ?hi () in
   List.iter (remove t) victims
 
 let clear t =
-  let all = Int_btree.to_list t.index in
-  List.iter (fun (_, rid) -> Heap.delete t.heap rid) all;
-  Int_btree.clear t.index;
-  Hashtbl.iter (fun _ sec -> Value_btree.clear sec.entries) t.secondaries
+  Version_store.write t.versions `All (fun () ->
+      let all = Int_btree.to_list t.index in
+      List.iter (fun (_, rid) -> Heap.delete t.heap rid) all;
+      Int_btree.clear t.index;
+      Hashtbl.iter (fun _ sec -> Value_btree.clear sec.entries) t.secondaries)
 
 let subscribe t f = t.observers <- t.observers @ [ f ]
+
+(* Observer delivery is a distinct step from the state change so that the
+   commit-only delivery contract is structural: [notify] is reachable
+   solely through [apply], and the framed staging path ([apply_framed])
+   calls [apply] only inside its commit branch — a staged message of an
+   epoch that aborts (sequence gap, truncation, corruption, supersession)
+   is never delivered to subscribers.  Delivery stays per-message and
+   pre-apply: {!Cascade}'s transformer reads the parent's previous state
+   to decide what the child needs. *)
+let notify t msg = List.iter (fun f -> f msg) t.observers
 
 let rec apply t (msg : Refresh_msg.t) =
   match msg with
@@ -186,7 +258,7 @@ let rec apply t (msg : Refresh_msg.t) =
   | _ -> apply_single t msg
 
 and apply_single t (msg : Refresh_msg.t) =
-  List.iter (fun f -> f msg) t.observers;
+  notify t msg;
   match msg with
   | Entry { addr; prev_qual; values } ->
     (* Everything strictly between the previous qualified entry and this
@@ -264,11 +336,21 @@ let apply_framed t { Refresh_msg.epoch; seq; msg } =
     | Some reason -> discard_stage t ~reason
     | None ->
       t.stage <- None;
-      Trace.with_span "refresh.apply"
-        ~attrs:[ ("snapshot", t.snap_name); ("epoch", string_of_int epoch) ]
+      let commit_ts = match msg with Refresh_msg.Snaptime ts -> ts | _ -> t.time in
+      (* Freeze the pre-commit image (when retained or pinned) before any
+         staged message mutates the table, and publish the new epoch as
+         the live head afterwards: readers pinned across this replay keep
+         a consistent version throughout. *)
+      Version_store.begin_commit t.versions;
+      Fun.protect
+        ~finally:(fun () ->
+          Version_store.end_commit t.versions ~epoch ~snaptime:commit_ts)
         (fun () ->
-          List.iter (apply t) (List.rev st.staged);
-          apply t msg);
+          Trace.with_span "refresh.apply"
+            ~attrs:[ ("snapshot", t.snap_name); ("epoch", string_of_int epoch) ]
+            (fun () ->
+              List.iter (apply t) (List.rev st.staged);
+              apply t msg));
       t.commits <- t.commits + 1;
       t.committed_epoch <- epoch;
       Metrics.incr m_stream_commits)
@@ -302,14 +384,63 @@ let get t base_addr =
   | Some rid ->
     Option.map (fun stored -> Array.sub stored 0 (Schema.arity t.user)) (Heap.get t.heap rid)
 
-let contents t =
-  List.rev
-    (Int_btree.fold t.index ~init:[] ~f:(fun acc base_addr rid ->
-         match Heap.get t.heap rid with
-         | Some stored -> (base_addr, Array.sub stored 0 (Schema.arity t.user)) :: acc
-         | None -> acc))
+(* Allocation-free traversals (no result list; one transient user-tuple
+   view per entry): the hot read paths — fleet readers, the bench, and
+   [tuples] below — go through these instead of materializing [contents]'
+   O(n) assoc list per read. *)
+let iter t f =
+  Int_btree.iter t.index (fun base_addr rid ->
+      match user_of_rid t rid with
+      | Some values -> f base_addr values
+      | None -> ())
 
-let tuples t = List.map snd (contents t)
+let fold t ~init ~f =
+  Int_btree.fold t.index ~init ~f:(fun acc base_addr rid ->
+      match user_of_rid t rid with
+      | Some values -> f acc base_addr values
+      | None -> acc)
+
+let contents t =
+  List.rev (fold t ~init:[] ~f:(fun acc base_addr values -> (base_addr, values) :: acc))
+
+let tuples t = List.rev (fold t ~init:[] ~f:(fun acc _ values -> values :: acc))
+
+(* ------------------------------------------------------------------ *)
+(* Versioned reads: transactions pinned to a retained refresh epoch. *)
+
+type read_txn = { rt_table : t; rt_txn : Version_store.txn }
+
+let version_strategy t = Version_store.strategy t.versions
+let version_retain t = Version_store.retain t.versions
+let versions t = Version_store.versions t.versions
+
+let read_txn ?epoch t =
+  Option.map (fun tx -> { rt_table = t; rt_txn = tx }) (Version_store.pin ?epoch t.versions)
+
+let release_txn rt = Version_store.release rt.rt_txn
+let txn_pinned rt = Version_store.txn_pinned rt.rt_txn
+let txn_epoch rt = Version_store.txn_epoch rt.rt_txn
+let txn_snaptime rt = Version_store.txn_snaptime rt.rt_txn
+let txn_get rt addr = Version_store.get rt.rt_txn addr
+let txn_count rt = Version_store.count rt.rt_txn
+let txn_iter rt f = Version_store.iter rt.rt_txn f
+let txn_fold rt ~init ~f = Version_store.fold rt.rt_txn ~init ~f
+
+let txn_exists_in_range rt ?lo ?hi ~f () =
+  Version_store.exists_in_range rt.rt_txn ?lo ?hi ~f ()
+
+let txn_contents rt =
+  List.rev (txn_fold rt ~init:[] ~f:(fun acc addr values -> (addr, values) :: acc))
+
+let txn_lookup rt ~column value =
+  (* Secondary indexes track only the live image; at a pinned version the
+     lookup is an index-free scan of the version's pages. *)
+  match Schema.index_of rt.rt_table.user column with
+  | None -> invalid_arg (Printf.sprintf "Snapshot_table.txn_lookup: unknown column %s" column)
+  | Some i ->
+    List.rev
+      (txn_fold rt ~init:[] ~f:(fun acc addr values ->
+           if Value.equal values.(i) value then addr :: acc else acc))
 
 let create_index t ~column =
   match Schema.index_of t.user column with

@@ -20,26 +20,45 @@
 
 open Snapdiff_storage
 open Snapdiff_txn
+module Version_store = Snapdiff_mvcc.Version_store
 
 type t
+
+exception Corrupt_snapshot of string
+(** A persisted snapshot store failed integrity checks on adoption
+    ({!on_pool}); the message names the snapshot and the damage. *)
 
 val create :
   ?page_size:int ->
   ?frames:int ->
+  ?version_strategy:Version_store.strategy ->
+  ?version_retain:int ->
   name:string ->
   schema:Schema.t ->
   unit ->
   t
 (** [schema] is the (already projected) user schema of the snapshot's
-    contents. *)
+    contents.
+
+    [version_strategy] (default [Naive]) and [version_retain] (default 1)
+    configure the MVCC epoch ring: each committed framed stream publishes
+    an immutable version, the last [version_retain] of which stay readable
+    through {!read_txn}.  The defaults are the inert fast path — commits
+    mutate in place exactly as before versioning existed. *)
 
 val on_pool :
-  ?snaptime:Clock.ts -> name:string -> schema:Schema.t -> Snapdiff_storage.Buffer_pool.t -> t
+  ?snaptime:Clock.ts ->
+  ?version_strategy:Version_store.strategy ->
+  ?version_retain:int ->
+  name:string ->
+  schema:Schema.t ->
+  Snapdiff_storage.Buffer_pool.t ->
+  t
 (** Reattach to a persisted snapshot (e.g. a file-backed store at the
     snapshot site after a restart): the BaseAddr index is rebuilt by
     scanning.  Pass the [snaptime] recorded at the last refresh — together
     they allow differential refresh to resume exactly where it left off.
-    Raises [Failure] on a corrupt [__baseaddr] column. *)
+    Raises {!Corrupt_snapshot} on a corrupt [__baseaddr] column. *)
 
 val flush : t -> unit
 (** Flush the underlying buffer pool to the store. *)
@@ -93,9 +112,16 @@ val get : t -> Addr.t -> Tuple.t option
 (** Lookup by base address. *)
 
 val contents : t -> (Addr.t * Tuple.t) list
-(** (BaseAddr, tuple) in BaseAddr order. *)
+(** (BaseAddr, tuple) in BaseAddr order.  Materializes an O(n) list;
+    prefer {!iter}/{!fold} on hot paths. *)
 
 val tuples : t -> Tuple.t list
+
+val iter : t -> (Addr.t -> Tuple.t -> unit) -> unit
+(** BaseAddr-ascending traversal with no result allocation (one transient
+    user-tuple view per entry).  The callback must not mutate the table. *)
+
+val fold : t -> init:'a -> f:('a -> Addr.t -> Tuple.t -> 'a) -> 'a
 
 val high_water : t -> Addr.t
 (** Largest BaseAddr held, {!Addr.zero} if empty (input to the
@@ -135,8 +161,65 @@ val lookup_range :
     derived snapshot. *)
 
 val subscribe : t -> (Refresh_msg.t -> unit) -> unit
-(** The callback observes every message passed to {!apply}, before it is
-    applied. *)
+(** The callback observes every {e applied} message, immediately before
+    its state change lands (pre-apply: {!Cascade} decides from the
+    previous state what its child needs).  Framed streams deliver only at
+    their commit marker — a staged epoch that aborts (sequence gap,
+    truncation, corruption, supersession) is never delivered, so cascade
+    observers cannot act on an epoch that never committed. *)
+
+(** {1 Versioned reads}
+
+    Each committed framed stream publishes an immutable version of the
+    table into a ring of the last [version_retain] epochs (see {!create}).
+    A read transaction pins one version: it observes that epoch's exact
+    contents no matter how many refreshes commit meanwhile, never blocks
+    a commit, and never waits for one.  A version is reclaimed only once
+    it leaves the ring {e and} its last pin is released. *)
+
+type read_txn
+
+val read_txn : ?epoch:int -> t -> read_txn option
+(** Pin the given retained epoch (default: the latest version).  [None]
+    if that epoch is not retained.  Release with {!release_txn}. *)
+
+val release_txn : read_txn -> unit
+(** Idempotent. *)
+
+val txn_pinned : read_txn -> bool
+
+val txn_epoch : read_txn -> int
+(** [-1] on the pre-first-commit head. *)
+
+val txn_snaptime : read_txn -> Clock.ts
+
+val txn_get : read_txn -> Addr.t -> Tuple.t option
+
+val txn_count : read_txn -> int
+
+val txn_iter : read_txn -> (Addr.t -> Tuple.t -> unit) -> unit
+(** BaseAddr-ascending at the pinned version.  The callback must not
+    mutate the table. *)
+
+val txn_fold : read_txn -> init:'a -> f:('a -> Addr.t -> Tuple.t -> 'a) -> 'a
+
+val txn_contents : read_txn -> (Addr.t * Tuple.t) list
+
+val txn_exists_in_range :
+  read_txn -> ?lo:Addr.t -> ?hi:Addr.t -> f:(Tuple.t -> bool) -> unit -> bool
+
+val txn_lookup : read_txn -> column:string -> Value.t -> Addr.t list
+(** Addresses whose column equals the value at the pinned version,
+    ascending.  Secondary indexes track only the live image, so this is
+    an index-free scan of the version.  Raises [Invalid_argument] on an
+    unknown column (no index required). *)
+
+val version_strategy : t -> Version_store.strategy
+
+val version_retain : t -> int
+
+val versions : t -> Version_store.version_info list
+(** The retained ring, newest first. *)
 
 val validate : t -> (unit, string) result
 (** The BaseAddr index and the stored tuples must agree exactly. *)

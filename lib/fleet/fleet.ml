@@ -13,6 +13,7 @@ let c_pulled_in = Metrics.counter Metrics.global "fleet.pulled_in"
 let c_shed = Metrics.counter Metrics.global "fleet.shed_full"
 let c_grouped = Metrics.counter Metrics.global "fleet.grouped"
 let c_failures = Metrics.counter Metrics.global "fleet.failures"
+let c_pinned_reads = Metrics.counter Metrics.global "fleet.pinned_reads"
 let g_registered = Metrics.gauge Metrics.global "fleet.registered"
 let g_queue_depth = Metrics.gauge Metrics.global "fleet.queue_depth"
 let h_staleness = Metrics.histogram Metrics.global "fleet.staleness_at_commit_us"
@@ -138,6 +139,8 @@ type t = {
   mutable n_full : int;
   mutable n_diff : int;
   mutable n_log : int;
+  mutable pinned_reads : int;  (* reads served per dispatch at the pre-refresh version *)
+  mutable n_pinned_reads : int;
 }
 
 let create ?(config = default_config) mgr =
@@ -164,9 +167,17 @@ let create ?(config = default_config) mgr =
     n_full = 0;
     n_diff = 0;
     n_log = 0;
+    pinned_reads = 0;
+    n_pinned_reads = 0;
   }
 
 let config t = t.cfg
+
+let set_pinned_reads t n =
+  if n < 0 then invalid_arg "Fleet.set_pinned_reads: negative read count";
+  t.pinned_reads <- n
+
+let pinned_reads t = t.pinned_reads
 
 let manager t = t.mgr
 
@@ -307,6 +318,7 @@ type tick_report = {
   tr_slo_misses : int;
   tr_failures : int;
   tr_queue_depth : int;
+  tr_pinned_reads : int;
 }
 
 let tick t ~now_us =
@@ -419,17 +431,62 @@ let tick t ~now_us =
         (dispatch, n_due, List.length deferred, List.length pulled))
   in
   let shed_n = List.length (List.filter snd dispatch) in
+  (* Pin the pre-refresh version of every member about to be refreshed:
+     readers served from these transactions keep observing the old
+     consistent image while (and after) the refresh commits, without
+     blocking it.  Served and released after the dispatch below. *)
+  let pins =
+    if t.pinned_reads = 0 then []
+    else
+      List.filter_map
+        (fun (e, _) ->
+          match Manager.read_txn t.mgr e.e_name with
+          | Some rt -> Some (rt, Snapshot_table.txn_snaptime rt)
+          | None -> None)
+        dispatch
+  in
+  let release_pins () =
+    List.iter (fun (rt, _) -> Snapshot_table.release_txn rt) pins
+  in
   let results =
     match dispatch with
     | [] -> []
-    | _ ->
-      Trace.with_span "fleet.tick"
-        ~attrs:
-          [ ("now_us", Printf.sprintf "%.0f" t.now);
-            ("dispatch", string_of_int (List.length dispatch)) ]
-        (fun () ->
-          Manager.refresh_all ~only:(List.map (fun (e, _) -> e.e_name) dispatch) t.mgr)
+    | _ -> (
+      try
+        Trace.with_span "fleet.tick"
+          ~attrs:
+            [ ("now_us", Printf.sprintf "%.0f" t.now);
+              ("dispatch", string_of_int (List.length dispatch)) ]
+          (fun () ->
+            Manager.refresh_all ~only:(List.map (fun (e, _) -> e.e_name) dispatch)
+              t.mgr)
+      with exn ->
+        release_pins ();
+        raise exn)
   in
+  (* Serve the configured reads from each pinned transaction.  Each read
+     must still see the pre-refresh snaptime — the version was pinned, so
+     the refresh that just committed cannot have touched it. *)
+  let pinned_served = ref 0 in
+  List.iter
+    (fun (rt, snaptime_before) ->
+      let want = t.pinned_reads in
+      let n = ref 0 in
+      (try
+         Snapshot_table.txn_iter rt (fun _ _ ->
+             incr n;
+             if !n >= want then raise Exit)
+       with Exit -> ());
+      if Snapshot_table.txn_snaptime rt <> snaptime_before then
+        Log.err (fun m ->
+            m "fleet: pinned read transaction drifted from snaptime %d to %d"
+              snaptime_before
+              (Snapshot_table.txn_snaptime rt));
+      pinned_served := !pinned_served + !n)
+    pins;
+  release_pins ();
+  t.n_pinned_reads <- t.n_pinned_reads + !pinned_served;
+  Metrics.add c_pinned_reads !pinned_served;
   Metrics.observe h_batch (float_of_int (List.length dispatch));
   let misses = ref 0 in
   let failures = ref 0 in
@@ -489,6 +546,7 @@ let tick t ~now_us =
     tr_slo_misses = !misses;
     tr_failures = !failures;
     tr_queue_depth = queue_depth;
+    tr_pinned_reads = !pinned_served;
   }
 
 type snapshot_stats = {
@@ -525,6 +583,7 @@ type stats = {
   st_full : int;
   st_differential : int;
   st_log_based : int;
+  st_pinned_reads : int;
 }
 
 let stats t =
@@ -542,6 +601,7 @@ let stats t =
     st_full = t.n_full;
     st_differential = t.n_diff;
     st_log_based = t.n_log;
+    st_pinned_reads = t.n_pinned_reads;
   }
 
 let miss_rate st =

@@ -98,6 +98,17 @@ val deadline_us : t -> string -> float
 val staleness_us : t -> string -> float
 (** [now - last commit] in virtual time. *)
 
+val set_pinned_reads : t -> int -> unit
+(** Serve up to [n] reads per dispatched member from a read transaction
+    pinned at its {e pre-refresh} version (default 0 = off).  The pin is
+    taken before the refresh dispatches and the reads are served after it
+    commits, so every one of them observes the old consistent image — the
+    MVCC epoch ring guarantees the refresh neither blocks on the pinned
+    reader nor mutates what it sees.  Raises [Invalid_argument] on a
+    negative count. *)
+
+val pinned_reads : t -> int
+
 type tick_report = {
   tr_now_us : float;
   tr_due : int;  (** members whose deadline fell within the lookahead *)
@@ -111,6 +122,8 @@ type tick_report = {
   tr_slo_misses : int;  (** refreshes that committed past their deadline *)
   tr_failures : int;
   tr_queue_depth : int;  (** due-but-deferred members left after the tick *)
+  tr_pinned_reads : int;
+      (** reads served from versions pinned before the dispatch *)
 }
 
 val tick : t -> now_us:float -> tick_report
@@ -147,6 +160,7 @@ type stats = {
   st_full : int;  (** dispatches routed to each method… *)
   st_differential : int;
   st_log_based : int;
+  st_pinned_reads : int;  (** reads served at pinned pre-refresh versions *)
 }
 
 val stats : t -> stats

@@ -25,5 +25,6 @@ let () =
       ("concurrency", Test_concurrency.suite);
       ("parallel", Test_parallel.suite);
       ("fleet", Test_fleet.suite);
+      ("mvcc", Test_mvcc.suite);
       ("integration", Test_integration.suite);
     ]
