@@ -1404,14 +1404,21 @@ let wal_bench () =
       let cp = Manager.checkpoint m "emp" in
       let cp_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
       let st = Buffer_pool.stats (Base_table.pool base) in
+      let gating =
+        match cp.Manager.cp_gated with
+        | [] -> "none"
+        | gs ->
+          String.concat ","
+            (List.map Snapdiff_lifecycle.Lease.gating_to_string gs)
+      in
       Printf.printf
         "\nfuzzy checkpoint: %d dirty pages (%d flushed), %d bytes written\n\
          (%d page bytes avoided by sub-page ranges), %.2f ms;\n\
-         log %d -> %d bytes (%d reclaimed, gated: %b)\n"
+         log %d -> %d bytes (%d reclaimed, gated by: %s)\n"
         cp.Manager.cp_pages_snapshotted cp.Manager.cp_pages_flushed
         cp.Manager.cp_bytes_written st.Buffer_pool.writeback_bytes_saved cp_ms
         log_before (Wal.byte_size wal) cp.Manager.cp_log_bytes_reclaimed
-        cp.Manager.cp_gated;
+        gating;
       emit
         ~params:
           [ ("experiment", "checkpoint");
@@ -1420,7 +1427,7 @@ let wal_bench () =
             ("bytes_written", string_of_int cp.Manager.cp_bytes_written);
             ("bytes_saved", string_of_int st.Buffer_pool.writeback_bytes_saved);
             ("log_bytes_reclaimed", string_of_int cp.Manager.cp_log_bytes_reclaimed);
-            ("gated", string_of_bool cp.Manager.cp_gated);
+            ("gated", gating);
             ("checkpoint_ms", Printf.sprintf "%.2f" cp_ms) ]
         ~bytes:cp.Manager.cp_bytes_written ();
       if cp.Manager.cp_pages_flushed = 0 then
@@ -1743,6 +1750,90 @@ let mvcc_bench () =
     \ zigzag shift cost to the 'indirections' read-amplification column)"
 
 (* ------------------------------------------------------------------ *)
+(* Vacuum: how much version memory and WAL tail a vacuum reclaims as a
+   function of the retention window.  Each row builds a WAL-backed base
+   with one differential snapshot retaining K epochs, runs the same
+   mutate+refresh schedule, then vacuums with older-than = now (so the
+   retention window alone decides what survives): wider windows retain
+   more epochs and hand vacuum proportionally more version bytes, while
+   the WAL truncation floor — the lease horizon — is unaffected by K.
+   A vacuum that reclaims nothing for K > 1, or that truncates zero WAL
+   bytes, is a violation. *)
+
+let vacuum_bench () =
+  let module Workload = Snapdiff_workload.Workload in
+  let module Manager = Snapdiff_core.Manager in
+  let module Base_table = Snapdiff_core.Base_table in
+  let module Wal = Snapdiff_wal.Wal in
+  let module Clock = Snapdiff_txn.Clock in
+  let module Rng = Snapdiff_util.Rng in
+  header "vacuum - reclaimed version and WAL bytes vs retention window";
+  let n = if quick then 2_000 else 20_000 in
+  let rounds = if quick then 6 else 10 in
+  let u = 0.2 in
+  let t =
+    Text_table.create
+      [ ("retain", Text_table.Right); ("examined", Text_table.Right);
+        ("reclaimed", Text_table.Right); ("version bytes", Text_table.Right);
+        ("wal bytes", Text_table.Right); ("truncated to", Text_table.Right);
+        ("wall ms", Text_table.Right) ]
+  in
+  List.iter
+    (fun retain ->
+      let rng = Rng.create 0x7ACC in
+      let clock = Clock.create () in
+      let wal = Wal.create () in
+      let base = Workload.make_base ~wal ~clock () in
+      Workload.populate base ~rng ~n;
+      let m = Manager.create () in
+      Manager.register_base m base;
+      ignore
+        (Manager.create_snapshot m ~name:"v" ~base:(Base_table.name base)
+           ~restrict:(Workload.restrict_fraction 0.5)
+           ~method_:Manager.Differential ~version_retain:retain ()
+          : Manager.refresh_report);
+      for _ = 1 to rounds do
+        ignore (Workload.update_fraction base ~rng ~u ~mix:Workload.churn : int);
+        ignore (Manager.refresh m "v" : Manager.refresh_report)
+      done;
+      let t0 = Unix.gettimeofday () in
+      let rep = Manager.vacuum ~older_than:(Clock.now clock) m in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      let sv = List.hd rep.Manager.vac_snapshots in
+      let wv = List.hd rep.Manager.vac_wals in
+      if retain > 1 && sv.Manager.sv_reclaimed = 0 then
+        violations :=
+          Printf.sprintf "vacuum: nothing reclaimed with retain = %d" retain
+          :: !violations;
+      if wv.Manager.wv_log_bytes_reclaimed <= 0 then
+        violations :=
+          Printf.sprintf "vacuum: no WAL bytes truncated with retain = %d" retain
+          :: !violations;
+      Text_table.add_row t
+        [ string_of_int retain; string_of_int sv.Manager.sv_examined;
+          string_of_int sv.Manager.sv_reclaimed; string_of_int sv.Manager.sv_bytes;
+          string_of_int wv.Manager.wv_log_bytes_reclaimed;
+          string_of_int wv.Manager.wv_truncated_to;
+          Printf.sprintf "%.1f" wall_ms ];
+      emit
+        ~params:
+          [ ("retain", string_of_int retain); ("n", string_of_int n);
+            ("rounds", string_of_int rounds); ("u", Printf.sprintf "%.1f" u);
+            ("versions_reclaimed", string_of_int sv.Manager.sv_reclaimed);
+            ("version_bytes", string_of_int sv.Manager.sv_bytes);
+            ("wal_bytes_reclaimed", string_of_int wv.Manager.wv_log_bytes_reclaimed);
+            ("truncated_to", string_of_int wv.Manager.wv_truncated_to);
+            ("wall_ms", Printf.sprintf "%.3f" wall_ms) ]
+        ~entries_scanned:(n * rounds)
+        ~bytes:(sv.Manager.sv_bytes + wv.Manager.wv_log_bytes_reclaimed) ())
+    [ 1; 2; 4; 8 ];
+  Text_table.print t;
+  print_endline
+    "(older-than = now, so the retention window alone decides: a window of\n\
+    \ K epochs hands vacuum K-1 reclaimable versions plus the WAL tail up\n\
+    \ to the lease horizon; the live head always survives)"
+
+(* ------------------------------------------------------------------ *)
 (* The section table: the single source of truth for the usage text,
    the default run list, and dispatch. *)
 
@@ -1773,6 +1864,8 @@ let sections : (string * string * (unit -> unit)) list =
     ("fleet", "fleet scheduler - 1k-10k snapshots under staleness SLOs", fleet_bench);
     ("mvcc", "MVCC epoch ring - pinned readers vs streaming commits, 3 strategies",
      mvcc_bench);
+    ("vacuum", "lifecycle - reclaimed version/WAL bytes vs retention window",
+     vacuum_bench);
     ("timing", "Bechamel wall-clock benches (one per figure/experiment)", timing) ]
 
 let usage () =

@@ -27,13 +27,22 @@ module Model = Snapdiff_analysis.Model
 
 let print_result r = print_string (Database.render_result r)
 
+(* Runs [f], mapping the SQL front end's exceptions to a printed message
+   and exit code 2 (usage/semantic error).  The shell ignores the code and
+   keeps its read-eval loop; script mode propagates it so CI can assert
+   that e.g. an AS OF miss is a clean error, not a success or a crash. *)
 let handle_errors f =
   match f () with
-  | () -> ()
-  | exception Database.Sql_error m -> Printf.printf "error: %s\n%!" m
-  | exception Parser.Parse_error { message; _ } -> Printf.printf "parse error: %s\n%!" message
+  | () -> 0
+  | exception Database.Sql_error m ->
+    Printf.printf "error: %s\n%!" m;
+    2
+  | exception Parser.Parse_error { message; _ } ->
+    Printf.printf "parse error: %s\n%!" message;
+    2
   | exception Snapdiff_sql.Lexer.Lex_error { message; _ } ->
-    Printf.printf "lex error: %s\n%!" message
+    Printf.printf "lex error: %s\n%!" message;
+    2
 
 (* ------------------------------------------------------------------ *)
 (* shell *)
@@ -69,8 +78,10 @@ let shell_cmd verbose trace =
         let text = Buffer.contents buf in
         if String.contains text ';' then begin
           Buffer.clear buf;
-          handle_errors (fun () ->
-              List.iter (fun (_, r) -> print_result r) (Database.run_script db text))
+          ignore
+            (handle_errors (fun () ->
+                 List.iter (fun (_, r) -> print_result r) (Database.run_script db text))
+              : int)
         end;
         loop ()
       end
@@ -90,8 +101,7 @@ let run_cmd verbose trace echo file =
         (fun (stmt, r) ->
           if echo then Format.printf "-- %a@." Snapdiff_sql.Ast.pp_stmt stmt;
           print_result r)
-        (Database.run_script db text));
-  0
+        (Database.run_script db text))
 
 (* ------------------------------------------------------------------ *)
 (* fig *)
@@ -489,6 +499,153 @@ let fleet_cmd verbose trace json tenants snaps_per ticks seed =
   if st.Fleet.st_failures > 0 then 3 else 0
 
 (* ------------------------------------------------------------------ *)
+(* vacuum *)
+
+(* Builds a small SQL workload whose snapshot retains several refresh
+   epochs, proves every retained epoch is readable through SQL time
+   travel (SELECT ... AS OF, compared byte-for-byte against the MVCC
+   read-transaction oracle), then runs [Manager.vacuum]: expired
+   versions are reclaimed and the shared WAL is truncated to the lease
+   horizon in one step.  The oracle check runs again afterwards — the
+   epochs vacuum kept must still read back identically.  Exit 3 if any
+   AS OF result diverges from the oracle. *)
+let vacuum_cmd verbose trace json n rounds retain older_than dry_run =
+  setup_logs verbose trace;
+  let module Manager = Snapdiff_core.Manager in
+  let module Snapshot_table = Snapdiff_core.Snapshot_table in
+  let module VS = Snapdiff_mvcc.Version_store in
+  let module Lease = Snapdiff_lifecycle.Lease in
+  let module Clock = Snapdiff_txn.Clock in
+  let module Text_table = Snapdiff_util.Text_table in
+  let db = Database.create () in
+  let m = Database.manager db in
+  let exec sql = ignore (Database.run db sql : Database.result) in
+  exec "CREATE TABLE emp (id INT NOT NULL, salary INT NOT NULL)";
+  let buf = Buffer.create (n * 12) in
+  Buffer.add_string buf "INSERT INTO emp VALUES ";
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_string buf ", ";
+    Printf.bprintf buf "(%d, %d)" i (i mod 97)
+  done;
+  exec (Buffer.contents buf);
+  exec
+    (Printf.sprintf
+       "CREATE SNAPSHOT lowpay AS SELECT * FROM emp WHERE salary < 40 REFRESH \
+        DIFFERENTIAL RETAIN %d"
+       retain);
+  for r = 1 to rounds do
+    (* Each round nudges a different prefix of the table across the
+       restriction boundary, then publishes a new epoch. *)
+    exec (Printf.sprintf "UPDATE emp SET salary = salary + 3 WHERE id < %d" (r * n / (rounds + 1)));
+    exec "REFRESH SNAPSHOT lowpay"
+  done;
+  (* The oracle: a pinned MVCC read transaction on the same epoch must
+     yield exactly the tuples SQL time travel returns. *)
+  let oracle_tuples epoch =
+    let txn = Manager.read_txn_exn ~epoch m "lowpay" in
+    Fun.protect
+      ~finally:(fun () -> Snapshot_table.release_txn txn)
+      (fun () ->
+        List.rev (Snapshot_table.txn_fold txn ~init:[] ~f:(fun acc _ tup -> tup :: acc)))
+  in
+  let check_epochs () =
+    List.fold_left
+      (fun (ok, checked) vi ->
+        let epoch = vi.VS.vi_epoch in
+        let rows q =
+          match Database.run db q with
+          | Database.Rows (schema, tuples) -> (schema, tuples)
+          | _ -> failwith "AS OF did not return rows"
+        in
+        let schema, by_epoch =
+          rows (Printf.sprintf "SELECT * FROM lowpay AS OF EPOCH %d" epoch)
+        in
+        let _, by_time =
+          rows (Printf.sprintf "SELECT * FROM lowpay AS OF TIMESTAMP %d" vi.VS.vi_snaptime)
+        in
+        let render ts = Database.render_result (Database.Rows (schema, ts)) in
+        let want = render (oracle_tuples epoch) in
+        let good = render by_epoch = want && render by_time = want in
+        if not good then
+          Printf.eprintf
+            "snapshotdb: AS OF EPOCH %d diverges from the read_txn oracle\n%!" epoch;
+        (ok && good, checked + 1))
+      (true, 0)
+      (Manager.snapshot_versions m "lowpay")
+  in
+  let pre_ok, pre_checked = check_epochs () in
+  let older_than = Option.map (fun age -> Clock.now (Database.clock db) - age) older_than in
+  let report = Manager.vacuum ?older_than ~dry_run m in
+  let post_ok, post_checked = check_epochs () in
+  let checks = pre_checked + post_checked in
+  let all_ok = pre_ok && post_ok in
+  if json then begin
+    let b = Buffer.create 512 in
+    Printf.bprintf b "{\"dry_run\": %b, \"snapshots\": [" report.Manager.vac_dry_run;
+    List.iteri
+      (fun i sv ->
+        if i > 0 then Buffer.add_string b ", ";
+        Printf.bprintf b
+          "{\"snapshot\": \"%s\", \"examined\": %d, \"reclaimed\": %d, \"zombied\": %d, \
+           \"kept\": %d, \"bytes\": %d}"
+          sv.Manager.sv_snapshot sv.Manager.sv_examined sv.Manager.sv_reclaimed
+          sv.Manager.sv_zombied sv.Manager.sv_kept sv.Manager.sv_bytes)
+      report.Manager.vac_snapshots;
+    Buffer.add_string b "], \"wals\": [";
+    List.iteri
+      (fun i wv ->
+        if i > 0 then Buffer.add_string b ", ";
+        Printf.bprintf b
+          "{\"bases\": [%s], \"truncated_to\": %d, \"log_bytes_reclaimed\": %d, \
+           \"gated\": [%s]}"
+          (String.concat ", " (List.map (Printf.sprintf "\"%s\"") wv.Manager.wv_bases))
+          wv.Manager.wv_truncated_to wv.Manager.wv_log_bytes_reclaimed
+          (String.concat ", "
+             (List.map
+                (fun g -> Printf.sprintf "\"%s\"" (Lease.gating_to_string g))
+                wv.Manager.wv_gated)))
+      report.Manager.vac_wals;
+    Printf.bprintf b "], \"as_of_checks\": %d, \"as_of_ok\": %b}\n" checks all_ok;
+    print_string (Buffer.contents b)
+  end
+  else begin
+    Printf.printf "vacuum%s: n = %d, %d refresh rounds, RETAIN %d%s\n"
+      (if dry_run then " (dry run)" else "")
+      n rounds retain
+      (match older_than with
+      | Some ts -> Printf.sprintf ", older-than SnapTime %d" ts
+      | None -> "");
+    let t =
+      Text_table.create
+        [ ("snapshot", Text_table.Left); ("examined", Text_table.Right);
+          ("reclaimed", Text_table.Right); ("zombied", Text_table.Right);
+          ("kept (leased)", Text_table.Right); ("bytes", Text_table.Right) ]
+    in
+    List.iter
+      (fun sv ->
+        Text_table.add_row t
+          [ sv.Manager.sv_snapshot; string_of_int sv.Manager.sv_examined;
+            string_of_int sv.Manager.sv_reclaimed; string_of_int sv.Manager.sv_zombied;
+            string_of_int sv.Manager.sv_kept; string_of_int sv.Manager.sv_bytes ])
+      report.Manager.vac_snapshots;
+    Text_table.print t;
+    List.iter
+      (fun wv ->
+        Printf.printf "wal [%s]: truncated to LSN %d, %d log bytes reclaimed%s\n"
+          (String.concat ", " wv.Manager.wv_bases)
+          wv.Manager.wv_truncated_to wv.Manager.wv_log_bytes_reclaimed
+          (match wv.Manager.wv_gated with
+          | [] -> ""
+          | gs ->
+            Printf.sprintf ", gated by %s"
+              (String.concat ", " (List.map Lease.gating_to_string gs))))
+      report.Manager.vac_wals;
+    Printf.printf "as-of oracle: %d epoch reads %s\n" checks
+      (if all_ok then "byte-identical to read_txn" else "DIVERGED")
+  end;
+  if all_ok then 0 else 3
+
+(* ------------------------------------------------------------------ *)
 (* cmdliner wiring *)
 
 let verbose_t =
@@ -633,6 +790,45 @@ let refresh_t =
     const refresh_cmd $ verbose_t $ trace_t $ json $ all $ names $ n $ rounds $ u
     $ chunk_entries $ domains $ version_strategy $ version_retain $ wal_file)
 
+let vacuum_t =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit one JSON object instead of text.")
+  in
+  let n =
+    Arg.(value & opt int 400 & info [ "n" ] ~docv:"ROWS" ~doc:"Base table size.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 6
+      & info [ "rounds" ] ~docv:"K"
+          ~doc:"Mutate+refresh rounds; each publishes a new snapshot epoch.")
+  in
+  let retain =
+    Arg.(
+      value & opt int 4
+      & info [ "retain" ] ~docv:"K"
+          ~doc:"RETAIN clause on the snapshot: epochs kept readable through AS OF.")
+  in
+  let older_than =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "older-than" ] ~docv:"AGE"
+          ~doc:
+            "Also reclaim retained versions whose SnapTime is more than \
+             $(docv) clock ticks old (the head and leased epochs always \
+             survive).  Default: the RETAIN count alone decides.")
+  in
+  let dry_run =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Report what vacuum would reclaim without touching anything.")
+  in
+  Term.(
+    const vacuum_cmd $ verbose_t $ trace_t $ json $ n $ rounds $ retain $ older_than
+    $ dry_run)
+
 let faults_t =
   let n =
     Arg.(value & opt int 10000 & info [ "n" ] ~docv:"ROWS" ~doc:"Base table size.")
@@ -671,6 +867,13 @@ let cmds =
             group path: differential siblings of one base share a single \
             scan.")
       refresh_t;
+    Cmd.v
+      (Cmd.info "vacuum"
+         ~doc:
+           "Run a retained-epoch workload, verify SQL time travel (AS OF) \
+            against the MVCC read-transaction oracle, then reclaim expired \
+            versions and truncate the WAL to the lease horizon.")
+      vacuum_t;
     Cmd.v
       (Cmd.info "faults"
          ~doc:"Drive refreshes over fault-injecting links and report the retry tax.")

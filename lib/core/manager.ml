@@ -12,6 +12,9 @@ module Recovery = Snapdiff_wal.Recovery
 module Wal_checkpoint = Snapdiff_wal.Checkpoint
 module Metrics = Snapdiff_obs.Metrics
 module Trace = Snapdiff_obs.Trace
+module Lease = Snapdiff_lifecycle.Lease
+module Horizon = Snapdiff_lifecycle.Horizon
+module Version_store = Snapdiff_mvcc.Version_store
 
 let m_refreshes = Metrics.counter Metrics.global "refresh.refreshes"
 let m_attempts = Metrics.counter Metrics.global "refresh.attempts"
@@ -119,6 +122,7 @@ type snapshot = {
   mutable selectivity : float;
   mutable cursor_seq : Change_log.seq;
   mutable cursor_lsn : Wal.lsn;
+  mutable cursor_lease : Lease.t option;  (* log-based only: pins cursor_lsn *)
   mutable mutations_at_refresh : int;
   mutable next_epoch : int;  (* every stream attempt gets a fresh epoch *)
   mutable history : refresh_report list;  (* committed refreshes, newest first *)
@@ -142,11 +146,12 @@ type t = {
   mutable arena : bool option;  (* decode-arena override; None = (domains > 1) *)
   mutable on_chunk : (unit -> unit) option;  (* interleave point between chunks *)
   rng : Snapdiff_util.Rng.t;  (* backoff jitter, selectivity sampling *)
-  (* Live-scan WAL pins: each in-flight chunked refresh registers the LSN
-     its catch-up phase will scan from, so checkpoint-driven log truncation
-     never discards records a live scan still needs. *)
-  mutable next_pin : int;
-  scan_pins : (int, Wal.t * Wal.lsn) Hashtbl.t;
+  (* One retention horizon per WAL (keyed by physical identity — several
+     bases may share one log).  Every consumer of historical log state —
+     a chunked scan's catch-up, a log-based cursor, a running checkpoint —
+     holds a lease here, and the horizon's floor is the only truncation
+     gate: neither [checkpoint] nor [vacuum] may discard records below it. *)
+  mutable wal_horizons : (Wal.t * Horizon.t) list;
 }
 
 let key = String.lowercase_ascii
@@ -164,8 +169,7 @@ let create ?(retry = default_retry_policy) ?(seed = 0x5EED) ?(batch_size = 1)
     arena;
     on_chunk = None;
     rng = Snapdiff_util.Rng.create seed;
-    next_pin = 1;
-    scan_pins = Hashtbl.create 8;
+    wal_horizons = [];
   }
 
 let txn_manager t = t.txns
@@ -236,6 +240,8 @@ let snapshot_table t name = (snapshot t name).table
 (* --- Versioned reads ------------------------------------------------------ *)
 
 let read_txn ?epoch t name = Snapshot_table.read_txn ?epoch (snapshot t name).table
+
+let read_txn_exn ?epoch t name = Snapshot_table.read_txn_exn ?epoch (snapshot t name).table
 
 let with_read_txn ?epoch t name f =
   match Snapshot_table.read_txn ?epoch (snapshot t name).table with
@@ -417,15 +423,37 @@ let chunk_walk t txn b ~page_mode ~total ~observe_hold ~scan =
   | None -> ());
   !chunks
 
-let register_pin t wal lsn =
-  let id = t.next_pin in
-  t.next_pin <- id + 1;
-  Hashtbl.replace t.scan_pins id (wal, lsn);
-  id
+let wal_horizon t wal =
+  match List.find_opt (fun (w, _) -> w == wal) t.wal_horizons with
+  | Some (_, h) -> h
+  | None ->
+    let h = Horizon.create () in
+    t.wal_horizons <- (wal, h) :: t.wal_horizons;
+    h
 
-let unregister_pin t = function
-  | None -> ()
-  | Some id -> Hashtbl.remove t.scan_pins id
+(* Log-based cursor leases.  A snapshot refreshing from the WAL keeps a
+   [Log_cursor] lease at its cursor so truncation can never strand it on
+   the forced-full fallback; the lease tracks every cursor advance and is
+   dropped when the snapshot leaves the log-based method (or the catalog). *)
+let set_cursor_lsn s lsn =
+  s.cursor_lsn <- lsn;
+  Option.iter (fun l -> Lease.move_lsn l lsn) s.cursor_lease
+
+let release_cursor_lease s =
+  Option.iter Lease.release s.cursor_lease;
+  s.cursor_lease <- None
+
+let sync_cursor_lease t s =
+  match (s.spec, Base_table.wal (base t s.base_name)) with
+  | Log_based, Some wal -> (
+    match s.cursor_lease with
+    | Some l when Lease.live l -> Lease.move_lsn l s.cursor_lsn
+    | _ ->
+      s.cursor_lease <-
+        Some
+          (Horizon.acquire (wal_horizon t wal) ~kind:Lease.Log_cursor
+             ~holder:("cursor:" ^ s.snap_name) ~lsn:s.cursor_lsn ()))
+  | _ -> release_cursor_lease s
 
 (* Committed net changes to [b] since the LSN captured at scan start.
    Skipped entirely (no log scan) when the per-table LSN map proves the
@@ -475,7 +503,10 @@ let run_chunked_differential t b subs =
   match
     Txn.lock txn (Base_table.lock_resource b) (if deferred then Lock.IX else Lock.IS);
     let lsn0 = Wal.end_lsn wal in
-    pin := Some (register_pin t wal lsn0);
+    pin :=
+      Some
+        (Horizon.acquire (wal_horizon t wal) ~kind:Lease.Scan
+           ~holder:("scan:" ^ Base_table.name b) ~lsn:lsn0 ());
     let cursor = Differential.start ?parallel:(parallel_opt t) ~base:b subs in
     let max_hold = ref 0.0 in
     let observe_hold t0 =
@@ -508,11 +539,11 @@ let run_chunked_differential t b subs =
     (g, stats)
   with
   | v ->
-    unregister_pin t !pin;
+    Option.iter Lease.release !pin;
     ignore (Txn.commit txn : int list);
     v
   | exception e ->
-    unregister_pin t !pin;
+    Option.iter Lease.release !pin;
     if Txn.is_active txn then ignore (Txn.abort txn : int list);
     raise e
 
@@ -531,7 +562,10 @@ let run_chunked_full t b ~restrict ~project ~xmit =
   match
     Txn.lock txn (Base_table.lock_resource b) Lock.IS;
     let lsn0 = Wal.end_lsn wal in
-    pin := Some (register_pin t wal lsn0);
+    pin :=
+      Some
+        (Horizon.acquire (wal_horizon t wal) ~kind:Lease.Scan
+           ~holder:("scan:" ^ Base_table.name b) ~lsn:lsn0 ());
     let now = Clock.tick (Base_table.clock b) in
     xmit Refresh_msg.Clear;
     let scanned = ref 0 in
@@ -573,11 +607,11 @@ let run_chunked_full t b ~restrict ~project ~xmit =
       stats )
   with
   | v ->
-    unregister_pin t !pin;
+    Option.iter Lease.release !pin;
     ignore (Txn.commit txn : int list);
     v
   | exception e ->
-    unregister_pin t !pin;
+    Option.iter Lease.release !pin;
     if Txn.is_active txn then ignore (Txn.abort txn : int list);
     raise e
 
@@ -590,33 +624,19 @@ type checkpoint_report = {
   cp_bytes_written : int;
   cp_truncated_to : Wal.lsn;
   cp_log_bytes_reclaimed : int;
-  cp_gated : bool;
+  cp_gated : Lease.gating list;  (* leases that lowered the truncation floor *)
 }
 
 (* The highest LSN the log may be truncated to, given a checkpoint at
-   [ceiling]: lowered to the oldest LSN any live chunked scan's catch-up
-   still needs (the scan pins) and to the oldest log-based snapshot
-   cursor on this WAL.  This is what keeps [Catchup_truncated] (and the
-   log-based method's forced-full fallback) a managed contract — a
-   checkpoint through this gate can never strand a live reader. *)
+   [ceiling]: the WAL's retention horizon lowers it to the oldest LSN any
+   live lease still needs — a chunked scan's catch-up start, a log-based
+   snapshot's cursor, a checkpoint in flight.  This is what keeps
+   [Catchup_truncated] (and the log-based method's forced-full fallback)
+   a managed contract — truncation through this gate can never strand a
+   live reader. *)
 let truncation_floor t wal ~ceiling =
-  let floor = ref ceiling in
-  let gated = ref false in
-  let lower lsn =
-    if lsn < !floor then begin
-      floor := lsn;
-      gated := true
-    end
-  in
-  Hashtbl.iter (fun _ (w, lsn) -> if w == wal then lower lsn) t.scan_pins;
-  Hashtbl.iter
-    (fun _ s ->
-      if s.spec = Log_based then
-        match Base_table.wal (base t s.base_name) with
-        | Some w when w == wal -> lower s.cursor_lsn
-        | _ -> ())
-    t.snapshots;
-  (max (Wal.oldest_retained wal) !floor, !gated)
+  let floor, gating = Horizon.lsn_floor (wal_horizon t wal) ~ceiling in
+  (max (Wal.oldest_retained wal) floor, gating)
 
 let checkpoint t base_name =
   let b = base t base_name in
@@ -630,10 +650,17 @@ let checkpoint t base_name =
   (* The Begin_checkpoint record carries the transactions genuinely in
      flight at this instant.  WAL-level autocommit (Base_table.log_op)
      appends Begin/op/Commit atomically, so these are the manager's
-     lock-level transactions — refresh scans and writers mid-flight. *)
+     lock-level transactions — refresh scans and writers mid-flight.
+     The checkpoint itself runs under a lease at the current end: a
+     vacuum fired from the yield hook can then never truncate records
+     the fuzzy pass has yet to fence.  Released before the floor below
+     is computed, so a checkpoint never gates itself. *)
   let stats =
-    Wal_checkpoint.run ~wal ~pool:(Base_table.pool b)
-      ~active:(Txn.active_ids t.txns) ?yield:t.on_chunk ()
+    Horizon.with_lease (wal_horizon t wal) ~kind:Lease.Checkpoint
+      ~holder:("checkpoint:" ^ Base_table.name b) ~lsn:(Wal.oldest_retained wal)
+      (fun _ ->
+        Wal_checkpoint.run ~wal ~pool:(Base_table.pool b)
+          ~active:(Txn.active_ids t.txns) ?yield:t.on_chunk ())
   in
   let bytes_before = Wal.byte_size wal in
   let floor, gated = truncation_floor t wal ~ceiling:stats.Wal_checkpoint.begin_lsn in
@@ -649,6 +676,121 @@ let checkpoint t base_name =
     cp_log_bytes_reclaimed = bytes_before - Wal.byte_size wal;
     cp_gated = gated;
   }
+
+(* --- Vacuum --------------------------------------------------------------- *)
+
+type snapshot_vacuum = {
+  sv_snapshot : string;
+  sv_examined : int;
+  sv_reclaimed : int;
+  sv_zombied : int;
+  sv_kept : int;
+  sv_bytes : int;
+}
+
+type wal_vacuum = {
+  wv_bases : string list;  (* bases sharing this physical log, sorted *)
+  wv_truncated_to : Wal.lsn;
+  wv_log_bytes_reclaimed : int;
+  wv_gated : Lease.gating list;
+}
+
+type vacuum_report = {
+  vac_dry_run : bool;
+  vac_snapshots : snapshot_vacuum list;
+  vac_wals : wal_vacuum list;
+}
+
+(* Reclaim everything the retention horizon no longer needs, in one pass:
+   expired snapshot versions first, then the WAL.  Bases sharing one
+   physical log are checkpointed as a group — the log is truncated once,
+   to the minimum checkpoint begin LSN over the group (each base's redo
+   start), lowered by whatever leases are live.  Both halves consult the
+   same horizon, so a pinned read, live scan or log cursor holds back the
+   vacuum exactly as it holds back a checkpoint. *)
+let vacuum ?older_than ?(dry_run = false) t =
+  let snaps =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.snapshots []
+    |> List.sort (fun a b -> compare a.snap_name b.snap_name)
+  in
+  let vac_snapshots =
+    List.map
+      (fun s ->
+        let st = Snapshot_table.vacuum ?older_than ~dry_run s.table in
+        {
+          sv_snapshot = s.snap_name;
+          sv_examined = st.Version_store.vac_examined;
+          sv_reclaimed = st.Version_store.vac_reclaimed;
+          sv_zombied = st.Version_store.vac_zombied;
+          sv_kept = st.Version_store.vac_kept;
+          sv_bytes = st.Version_store.vac_bytes;
+        })
+      snaps
+  in
+  let groups = ref [] in
+  Hashtbl.iter
+    (fun _ bst ->
+      match Base_table.wal bst.base_table with
+      | None -> ()
+      | Some wal -> (
+        match List.find_opt (fun (w, _) -> w == wal) !groups with
+        | Some (_, bases) -> bases := bst.base_table :: !bases
+        | None -> groups := (wal, ref [ bst.base_table ]) :: !groups))
+    t.bases;
+  let vac_wals =
+    List.map
+      (fun (wal, bases) ->
+        let bases =
+          List.sort
+            (fun a b -> compare (Base_table.name a) (Base_table.name b))
+            !bases
+        in
+        let names = List.map Base_table.name bases in
+        if dry_run then begin
+          (* What a vacuum now could reclaim at best: a checkpoint's begin
+             LSN can reach at most the log's current end. *)
+          let floor, gating = truncation_floor t wal ~ceiling:(Wal.end_lsn wal) in
+          {
+            wv_bases = names;
+            wv_truncated_to = floor;
+            (* LSNs are byte offsets, so the reclaimable span is a byte count. *)
+            wv_log_bytes_reclaimed = floor - Wal.oldest_retained wal;
+            wv_gated = gating;
+          }
+        end
+        else begin
+          let bytes_before = Wal.byte_size wal in
+          let h = wal_horizon t wal in
+          let begin_lsns =
+            List.map
+              (fun b ->
+                Horizon.with_lease h ~kind:Lease.Checkpoint
+                  ~holder:("checkpoint:" ^ Base_table.name b)
+                  ~lsn:(Wal.oldest_retained wal)
+                  (fun _ ->
+                    let stats =
+                      Wal_checkpoint.run ~wal ~pool:(Base_table.pool b)
+                        ~active:(Txn.active_ids t.txns) ?yield:t.on_chunk ()
+                    in
+                    stats.Wal_checkpoint.begin_lsn))
+              bases
+          in
+          let ceiling = List.fold_left min (Wal.end_lsn wal) begin_lsns in
+          let floor, gating = truncation_floor t wal ~ceiling in
+          if floor > Wal.oldest_retained wal then Wal.truncate_before wal floor;
+          {
+            wv_bases = names;
+            wv_truncated_to = Wal.oldest_retained wal;
+            wv_log_bytes_reclaimed = bytes_before - Wal.byte_size wal;
+            wv_gated = gating;
+          }
+        end)
+      !groups
+  in
+  let vac_wals =
+    List.sort (fun a b -> compare a.wv_bases b.wv_bases) vac_wals
+  in
+  { vac_dry_run = dry_run; vac_snapshots; vac_wals }
 
 (* Batched transport: buffer batchable (data) messages and frame up to
    [t.batch] of them as one Batch under a single header, sequence number
@@ -776,7 +918,7 @@ let rec run_method t s ~epoch method_used =
           m "snapshot %s: log truncated past its cursor; falling back to full refresh"
             s.snap_name);
       let r, commit_full = run_method t s ~epoch Used_full in
-      (r, fun () -> commit_full (); s.cursor_lsn <- Wal.end_lsn wal)
+      (r, fun () -> commit_full (); set_cursor_lsn s (Wal.end_lsn wal))
     end
     else begin
       let r =
@@ -790,7 +932,7 @@ let rec run_method t s ~epoch method_used =
           data_messages = r.Log_based.data_messages;
           log_records_scanned = r.Log_based.log_records_scanned;
         },
-        fun () -> s.cursor_lsn <- r.Log_based.new_cursor )
+        fun () -> set_cursor_lsn s r.Log_based.new_cursor )
     end
 
 let choose_method t s =
@@ -1011,7 +1153,7 @@ let refresh_with_retries t s ~choose ?(prime = false) ?(send_request = true)
          log-based method replay only the genuine tail.  (The log-based
          method's own on_commit has already set its exact new cursor.) *)
       (match Base_table.wal (base t s.base_name) with
-      | Some wal when s.spec <> Log_based -> s.cursor_lsn <- Wal.end_lsn wal
+      | Some wal when s.spec <> Log_based -> set_cursor_lsn s (Wal.end_lsn wal)
       | _ -> ());
       let report =
         { report with attempts = attempt; aborts = failures; escalated;
@@ -1191,7 +1333,7 @@ let group_refresh_base t b members =
         in
         s.mutations_at_refresh <- Base_table.mutations b;
         (match Base_table.wal b with
-        | Some wal when s.spec <> Log_based -> s.cursor_lsn <- Wal.end_lsn wal
+        | Some wal when s.spec <> Log_based -> set_cursor_lsn s (Wal.end_lsn wal)
         | _ -> ());
         let sr = g.Differential.sub_reports.(i) in
         let report =
@@ -1440,6 +1582,7 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
       selectivity;
       cursor_seq = 0;
       cursor_lsn = Wal.start_lsn;
+      cursor_lease = None;
       mutations_at_refresh = 0;
       next_epoch = 1;
       history = [];
@@ -1473,8 +1616,9 @@ let create_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
   | Some (log, _) -> s.cursor_seq <- Change_log.current_seq log
   | None -> ());
   (match Base_table.wal b with
-  | Some wal -> s.cursor_lsn <- Wal.end_lsn wal
+  | Some wal -> set_cursor_lsn s (Wal.end_lsn wal)
   | None -> ());
+  sync_cursor_lease t s;
   s.mutations_at_refresh <- Base_table.mutations b;
   Log.info (fun m ->
       m "created snapshot %s on %s (%s, selectivity %.3f): %d entries shipped"
@@ -1559,12 +1703,14 @@ let attach_snapshot t ~name ~base:base_name ?(restrict = Expr.ttrue) ?projection
       selectivity;
       cursor_seq = 0;
       cursor_lsn = Wal.start_lsn;
+      cursor_lease = None;
       mutations_at_refresh = 0;
       next_epoch = 1;
       history = [];
     }
   in
   Hashtbl.replace t.snapshots (key name) s;
+  sync_cursor_lease t s;
   Log.info (fun m ->
       m "attached persisted snapshot %s on %s (snaptime %d, %d entries)" name base_name
         (Snapshot_table.snaptime table) (Snapshot_table.count table))
@@ -1576,6 +1722,7 @@ let drop_snapshot t name =
     | None -> raise (Unknown_snapshot name)
   in
   Hashtbl.remove t.snapshots (key name);
+  release_cursor_lease s;
   let bst = base_state t s.base_name in
   match bst.capture with
   | None -> ()
@@ -1619,7 +1766,8 @@ let set_method t name spec =
        refresh, so the first ideal stream would silently lose them. *)
     raise (Bad_definition "cannot switch a snapshot to the ideal method after creation")
   | _ -> ());
-  s.spec <- spec
+  s.spec <- spec;
+  sync_cursor_lease t s
 
 let mutations_since_refresh t name =
   let s = snapshot t name in

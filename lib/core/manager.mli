@@ -297,7 +297,15 @@ val snapshot_table : t -> string -> Snapshot_table.t
 
 val read_txn : ?epoch:int -> t -> string -> Snapshot_table.read_txn option
 (** Pin a retained epoch of the named snapshot (default: latest).
-    [None] if [epoch] is not retained.  Raises {!Unknown_snapshot}. *)
+    [None] if [epoch] is not retained.  Raises {!Unknown_snapshot}.
+    The transaction holds a [Pinned_read] lease on the snapshot's
+    retention horizon until {!Snapshot_table.release_txn}. *)
+
+val read_txn_exn : ?epoch:int -> t -> string -> Snapshot_table.read_txn
+(** {!read_txn}, but a miss raises
+    {!Snapshot_table.Version_store.Epoch_not_retained} (with the
+    requested epoch and the live range) instead of returning [None] —
+    the typed surface the SQL [AS OF] path reports cleanly. *)
 
 val with_read_txn :
   ?epoch:int -> t -> string -> (Snapshot_table.read_txn -> 'a) -> 'a option
@@ -365,13 +373,14 @@ val change_log : t -> string -> Change_log.t option
 (** {1 Checkpointing}
 
     An asynchronous fuzzy checkpoint ({!Snapdiff_wal.Checkpoint}) of a
-    WAL-backed base table, followed by WAL truncation gated on every live
-    log reader: the truncation floor is the checkpoint's begin LSN,
-    lowered to the oldest LSN any in-flight chunked refresh's catch-up
-    phase still needs (registered while its scan runs — a checkpoint
-    invoked from the chunk hook mid-refresh is safe and never triggers
-    the scan's [Catchup_truncated] escalation) and to the oldest
-    log-based snapshot cursor on the same WAL. *)
+    WAL-backed base table, followed by WAL truncation gated on the WAL's
+    retention horizon ({!Snapdiff_lifecycle.Horizon}): the truncation
+    floor is the checkpoint's begin LSN, lowered to the oldest LSN any
+    live lease still needs — an in-flight chunked refresh's catch-up
+    start (leased while its scan runs, so a checkpoint invoked from the
+    chunk hook mid-refresh is safe and never triggers the scan's
+    [Catchup_truncated] escalation) or a log-based snapshot's cursor on
+    the same WAL. *)
 
 type checkpoint_report = {
   cp_base : string;
@@ -382,14 +391,57 @@ type checkpoint_report = {
   cp_bytes_written : int;  (** bytes written (sub-page ranges counted exactly) *)
   cp_truncated_to : Snapdiff_wal.Wal.lsn;  (** the log's new oldest retained LSN *)
   cp_log_bytes_reclaimed : int;
-  cp_gated : bool;
-      (** a live scan pin or log-based cursor held the floor below the
-          checkpoint's begin LSN *)
+  cp_gated : Snapdiff_lifecycle.Lease.gating list;
+      (** the live leases (scan catch-ups, log cursors) that held the
+          floor below the checkpoint's begin LSN; [[]] = ungated *)
 }
 
 val checkpoint : t -> string -> checkpoint_report
 (** [checkpoint t base_name] runs the fuzzy checkpoint on the named base
     table's buffer pool and WAL (yielding to the chunk hook between page
     write-backs, so cooperative updaters never stall), then truncates the
-    WAL to the gated floor.  Raises {!Unknown_table}, or
-    {!Bad_definition} if the table has no WAL. *)
+    WAL to the gated floor.  The checkpoint itself holds a [Checkpoint]
+    lease while running, so a concurrent {!vacuum} cannot truncate under
+    it.  Raises {!Unknown_table}, or {!Bad_definition} if the table has
+    no WAL. *)
+
+(** {1 Vacuum}
+
+    Horizon-driven reclamation: expired snapshot versions and the WAL
+    tail, in one pass.  Both consult the same {!Snapdiff_lifecycle}
+    leases, so a pinned read, a live scan or a log cursor holds back the
+    vacuum exactly as it holds back a checkpoint — vacuum never reclaims
+    a leased epoch and never truncates below a leased LSN. *)
+
+type snapshot_vacuum = {
+  sv_snapshot : string;
+  sv_examined : int;  (** eviction candidates considered *)
+  sv_reclaimed : int;  (** versions freed (or would be, on a dry run) *)
+  sv_zombied : int;  (** pinned candidates parked on the zombie list *)
+  sv_kept : int;  (** unpinned candidates the horizon guard protected *)
+  sv_bytes : int;  (** encoded bytes the freed versions held *)
+}
+
+type wal_vacuum = {
+  wv_bases : string list;  (** bases sharing this physical log, sorted *)
+  wv_truncated_to : Snapdiff_wal.Wal.lsn;
+  wv_log_bytes_reclaimed : int;
+  wv_gated : Snapdiff_lifecycle.Lease.gating list;
+}
+
+type vacuum_report = {
+  vac_dry_run : bool;
+  vac_snapshots : snapshot_vacuum list;  (** sorted by snapshot name *)
+  vac_wals : wal_vacuum list;
+}
+
+val vacuum : ?older_than:Clock.ts -> ?dry_run:bool -> t -> vacuum_report
+(** Reclaim retained snapshot versions the horizon no longer needs
+    ({!Snapshot_table.vacuum} per snapshot; [older_than] vacuums any
+    non-head version with an older snaptime, overriding the retained
+    count), then checkpoint every WAL-backed base and truncate each
+    physical log once, to the minimum checkpoint begin LSN over the bases
+    sharing it, lowered by live leases.  [dry_run] (default false)
+    reports what would be reclaimed without changing anything — the WAL
+    half then reports the reclaimable byte span against the log's
+    current end. *)

@@ -4,6 +4,8 @@ module Int_btree = Snapdiff_index.Btree.Make (Int)
 module Metrics = Snapdiff_obs.Metrics
 module Trace = Snapdiff_obs.Trace
 module Version_store = Snapdiff_mvcc.Version_store
+module Lease = Snapdiff_lifecycle.Lease
+module Horizon = Snapdiff_lifecycle.Horizon
 
 exception Corrupt_snapshot of string
 
@@ -50,6 +52,7 @@ type t = {
   mutable last_abort : string option;
   mutable committed_epoch : int;  (* -1 before any framed commit *)
   versions : Version_store.t;  (* MVCC epoch ring; inert until retained/pinned *)
+  horizon : Horizon.t;  (* epoch leases + retention policy for this snapshot *)
 }
 
 (* The version store's window onto the live image: logical pages keyed by
@@ -92,8 +95,32 @@ let make_versions ?version_strategy ?version_retain ~user ~heap ~index () =
   let live = make_live ~user ~heap ~index in
   Version_store.create ~strategy ~retain ~page_span:version_page_span ~live ()
 
-let create ?(page_size = 4096) ?(frames = 128) ?version_strategy ?version_retain ~name
-    ~schema () =
+(* The horizon's veto on version reclamation: an unpinned version stays
+   as long as a live lease names an epoch at or below its own, or the
+   retention policy's time window (against the snapshot's current
+   SnapTime) has not yet passed it.  Runs with the version-store lock
+   held; touches only the horizon (its own mutex) and [t.time]. *)
+let reclaim_guard t ~epoch ~snaptime =
+  (match Horizon.epoch_floor t.horizon with
+  | Some floor -> epoch < floor
+  | None -> true)
+  &&
+  match (Horizon.policy t.horizon).Horizon.retain_duration with
+  | Some d -> snaptime + d < t.time
+  | None -> true
+
+(* Wire the guard after construction (the closure needs the record). *)
+let with_guard t =
+  Version_store.set_reclaim_guard t.versions (fun ~epoch ~snaptime ->
+      reclaim_guard t ~epoch ~snaptime);
+  t
+
+let make_horizon ?version_retain ?retain_duration () =
+  let retain_epochs = max 1 (Option.value version_retain ~default:1) in
+  Horizon.create ~policy:{ Horizon.retain_epochs; retain_duration } ()
+
+let create ?(page_size = 4096) ?(frames = 128) ?version_strategy ?version_retain
+    ?retain_duration ~name ~schema () =
   let stored =
     Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
   in
@@ -114,9 +141,12 @@ let create ?(page_size = 4096) ?(frames = 128) ?version_strategy ?version_retain
     last_abort = None;
     committed_epoch = -1;
     versions = make_versions ?version_strategy ?version_retain ~user:schema ~heap ~index ();
+    horizon = make_horizon ?version_retain ?retain_duration ();
   }
+  |> with_guard
 
-let on_pool ?(snaptime = Clock.never) ?version_strategy ?version_retain ~name ~schema pool =
+let on_pool ?(snaptime = Clock.never) ?version_strategy ?version_retain ?retain_duration
+    ~name ~schema pool =
   let stored =
     Schema.extend schema [ Schema.col ~nullable:false baseaddr_col Value.Tint ]
   in
@@ -145,7 +175,9 @@ let on_pool ?(snaptime = Clock.never) ?version_strategy ?version_retain ~name ~s
     last_abort = None;
     committed_epoch = -1;
     versions = make_versions ?version_strategy ?version_retain ~user:schema ~heap ~index ();
+    horizon = make_horizon ?version_retain ?retain_duration ();
   }
+  |> with_guard
 
 let flush t = Heap.flush t.heap
 
@@ -408,16 +440,36 @@ let tuples t = List.rev (fold t ~init:[] ~f:(fun acc _ values -> values :: acc))
 (* ------------------------------------------------------------------ *)
 (* Versioned reads: transactions pinned to a retained refresh epoch. *)
 
-type read_txn = { rt_table : t; rt_txn : Version_store.txn }
+type read_txn = { rt_table : t; rt_txn : Version_store.txn; rt_lease : Lease.t }
 
 let version_strategy t = Version_store.strategy t.versions
 let version_retain t = Version_store.retain t.versions
 let versions t = Version_store.versions t.versions
 
-let read_txn ?epoch t =
-  Option.map (fun tx -> { rt_table = t; rt_txn = tx }) (Version_store.pin ?epoch t.versions)
+let horizon t = t.horizon
+let retention_policy t = Horizon.policy t.horizon
+let set_retention_policy t p = Horizon.set_policy t.horizon p
 
-let release_txn rt = Version_store.release rt.rt_txn
+(* Every pinned read holds a Pinned_read lease on the snapshot's horizon
+   for its lifetime, so the epoch floor reflects open readers — the
+   fleet's [set_pinned_reads] transactions come through here and are
+   lease-holders for free. *)
+let lease_txn t tx =
+  let lease =
+    Horizon.acquire t.horizon ~kind:Lease.Pinned_read ~holder:t.snap_name
+      ~epoch:(Version_store.txn_epoch tx) ()
+  in
+  { rt_table = t; rt_txn = tx; rt_lease = lease }
+
+let read_txn ?epoch t = Option.map (lease_txn t) (Version_store.pin ?epoch t.versions)
+
+let read_txn_exn ?epoch t = lease_txn t (Version_store.pin_exn ?epoch t.versions)
+
+let release_txn rt =
+  Version_store.release rt.rt_txn;
+  Lease.release rt.rt_lease
+
+let vacuum ?older_than ?dry_run t = Version_store.vacuum ?older_than ?dry_run t.versions
 let txn_pinned rt = Version_store.txn_pinned rt.rt_txn
 let txn_epoch rt = Version_store.txn_epoch rt.rt_txn
 let txn_snaptime rt = Version_store.txn_snaptime rt.rt_txn

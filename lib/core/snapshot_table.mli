@@ -21,6 +21,8 @@
 open Snapdiff_storage
 open Snapdiff_txn
 module Version_store = Snapdiff_mvcc.Version_store
+module Lease = Snapdiff_lifecycle.Lease
+module Horizon = Snapdiff_lifecycle.Horizon
 
 type t
 
@@ -33,6 +35,7 @@ val create :
   ?frames:int ->
   ?version_strategy:Version_store.strategy ->
   ?version_retain:int ->
+  ?retain_duration:Clock.ts ->
   name:string ->
   schema:Schema.t ->
   unit ->
@@ -44,12 +47,18 @@ val create :
     configure the MVCC epoch ring: each committed framed stream publishes
     an immutable version, the last [version_retain] of which stay readable
     through {!read_txn}.  The defaults are the inert fast path — commits
-    mutate in place exactly as before versioning existed. *)
+    mutate in place exactly as before versioning existed.
+
+    [retain_duration] (clock ticks; default none) is the time half of the
+    retention policy: versions younger than this against the snapshot's
+    own SnapTime are protected from {!vacuum} even once the ring would
+    let them go. *)
 
 val on_pool :
   ?snaptime:Clock.ts ->
   ?version_strategy:Version_store.strategy ->
   ?version_retain:int ->
+  ?retain_duration:Clock.ts ->
   name:string ->
   schema:Schema.t ->
   Snapdiff_storage.Buffer_pool.t ->
@@ -181,10 +190,18 @@ type read_txn
 
 val read_txn : ?epoch:int -> t -> read_txn option
 (** Pin the given retained epoch (default: the latest version).  [None]
-    if that epoch is not retained.  Release with {!release_txn}. *)
+    if that epoch is not retained.  Release with {!release_txn}.  The
+    transaction holds a {!Lease.Pinned_read} lease on the snapshot's
+    {!horizon} for its lifetime, so vacuum and ring eviction see every
+    open reader. *)
+
+val read_txn_exn : ?epoch:int -> t -> read_txn
+(** {!read_txn}, but a miss raises {!Version_store.Epoch_not_retained}
+    with the requested epoch and the retained range — the surface the
+    SQL [AS OF] path reports as a clean error. *)
 
 val release_txn : read_txn -> unit
-(** Idempotent. *)
+(** Idempotent.  Releases the version pin and the lease. *)
 
 val txn_pinned : read_txn -> bool
 
@@ -220,6 +237,28 @@ val version_retain : t -> int
 
 val versions : t -> Version_store.version_info list
 (** The retained ring, newest first. *)
+
+(** {1 Lifecycle}
+
+    The snapshot's retention horizon: epoch leases (one per open
+    {!read_txn}) plus the retention policy
+    [{retain_epochs; retain_duration}].  The version store's reclamation
+    consults it — nothing else holds versions alive. *)
+
+val horizon : t -> Horizon.t
+
+val retention_policy : t -> Horizon.policy
+
+val set_retention_policy : t -> Horizon.policy -> unit
+(** Takes effect at the next eviction/vacuum decision.  Note
+    [retain_epochs] does not resize the already-created version ring; it
+    is the vacuum-facing half of the policy. *)
+
+val vacuum :
+  ?older_than:Clock.ts -> ?dry_run:bool -> t -> Version_store.vacuum_stats
+(** Reclaim retained versions the horizon no longer needs (see
+    {!Version_store.vacuum}); the per-snapshot half of
+    [Manager.vacuum]. *)
 
 val validate : t -> (unit, string) result
 (** The BaseAddr index and the stored tuples must agree exactly. *)

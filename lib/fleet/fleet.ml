@@ -434,7 +434,10 @@ let tick t ~now_us =
   (* Pin the pre-refresh version of every member about to be refreshed:
      readers served from these transactions keep observing the old
      consistent image while (and after) the refresh commits, without
-     blocking it.  Served and released after the dispatch below. *)
+     blocking it.  Each [read_txn] also holds a [Pinned_read] lease on
+     the snapshot's retention horizon, so a concurrent [Manager.vacuum]
+     parks these versions on the zombie list instead of freeing them.
+     Served and released after the dispatch below. *)
   let pins =
     if t.pinned_reads = 0 then []
     else

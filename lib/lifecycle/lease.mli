@@ -1,0 +1,67 @@
+(** A lease: one consumer's claim on historical state.
+
+    Every consumer of state that reclamation could otherwise discard — an
+    in-flight chunked scan replaying the WAL tail, a log-based refresh
+    cursor, a running checkpoint, a pinned MVCC read transaction — holds a
+    lease naming the oldest WAL LSN and/or the oldest snapshot epoch it
+    still needs.  Reclamation ({!Horizon.lsn_floor},
+    {!Horizon.epoch_floor}) computes its floor as the minimum over live
+    leases, so holding a lease is both necessary and sufficient to keep
+    the named state alive: [Catchup_truncated] is impossible for a leased
+    scan because the truncation that would cause it cannot pass the
+    lease's LSN.
+
+    Leases are acquired from a {!Horizon} (which owns the registry) and
+    released here; {!release} is idempotent and exception-safe call sites
+    should pair acquire/release with [Fun.protect] (or use
+    {!Horizon.with_lease}). *)
+
+type kind =
+  | Scan  (** a chunked refresh scan's WAL-tail catch-up window *)
+  | Log_cursor  (** a log-based snapshot's persistent refresh cursor *)
+  | Checkpoint  (** a fuzzy checkpoint's redo window while it runs *)
+  | Pinned_read  (** a pinned MVCC read transaction's epoch *)
+
+val kind_name : kind -> string
+(** ["scan"], ["log-cursor"], ["checkpoint"], ["pinned-read"]. *)
+
+type t
+
+val make : id:int -> kind:kind -> holder:string -> ?lsn:int -> ?epoch:int -> unit -> t
+(** Used by {!Horizon.acquire}; not intended for direct use. *)
+
+val set_on_release : t -> (unit -> unit) -> unit
+(** Installed by the owning horizon to unregister the lease. *)
+
+val id : t -> int
+val kind : t -> kind
+val holder : t -> string
+
+val lsn : t -> int option
+(** The oldest WAL LSN this lease still needs, if any. *)
+
+val epoch : t -> int option
+(** The oldest snapshot epoch this lease still needs, if any. *)
+
+val live : t -> bool
+(** False after {!release}. *)
+
+val release : t -> unit
+(** Idempotent.  Drops the lease from its horizon; the floors recompute
+    on the next query. *)
+
+val move_lsn : t -> int -> unit
+(** Advance (or install) the leased LSN — a log cursor moving forward
+    after a committed refresh.  No-op on a released lease. *)
+
+val move_epoch : t -> int -> unit
+(** Likewise for the leased epoch. *)
+
+(** One lease that held a truncation floor below its ceiling — the
+    operator-facing "what gated this checkpoint" report. *)
+type gating = { g_kind : kind; g_holder : string; g_lsn : int }
+
+val gating_of : t -> lsn:int -> gating
+
+val gating_to_string : gating -> string
+(** ["kind:holder@lsn"]. *)

@@ -12,6 +12,16 @@ let m_zombie_reclaimed = Metrics.counter Metrics.global "mvcc.zombies_reclaimed"
 let m_copyouts = Metrics.counter Metrics.global "mvcc.zigzag_copyouts"
 let m_pins = Metrics.counter Metrics.global "mvcc.pins"
 
+exception Epoch_not_retained of { requested : int; live_lo : int; live_hi : int }
+
+let () =
+  Printexc.register_printer (function
+    | Epoch_not_retained { requested; live_lo; live_hi } ->
+      Some
+        (Printf.sprintf "Epoch_not_retained(epoch %d; retained epochs %d..%d)" requested
+           live_lo live_hi)
+    | _ -> None)
+
 type strategy = Naive | Copy_on_update | Zigzag
 
 let strategy_name = function
@@ -82,6 +92,12 @@ type t = {
   (* Cached "mutations need interception" flag: one unsynchronized read on
      the write path keeps the inert default at zero overhead. *)
   mutable is_active : bool;
+  (* The retention horizon's veto: [guard ~epoch ~snaptime] is false when
+     some live lease or the retention policy still needs that version, in
+     which case eviction keeps it in the ring instead of freeing or
+     zombifying it.  Consulted by ring trimming and {!vacuum}; the default
+     (always reclaimable) is the pre-lifecycle refcount-only behaviour. *)
+  mutable guard : epoch:int -> snaptime:Clock.ts -> bool;
 }
 
 type txn = { tx_store : t; tx_version : version; mutable tx_pinned : bool }
@@ -130,7 +146,10 @@ let create ?(strategy = Naive) ?(retain = 1) ?(page_span = 64) ~live () =
     froze_head = false;
     touched = Hashtbl.create 16;
     is_active = false;
+    guard = (fun ~epoch:_ ~snaptime:_ -> true);
   }
+
+let set_reclaim_guard t g = t.guard <- g
 
 let strategy t = t.strat
 let retain t = t.keep
@@ -347,11 +366,21 @@ let end_commit t ~epoch ~snaptime =
           | [] -> []
           | v :: rest when i >= t.keep ->
             if v.v_pins > 0 then begin
+              (* Evicted but pinned: survives as a zombie until the pins
+                 (and their leases) drain — never reclaimed while held. *)
               v.v_dead <- true;
-              t.zombies <- v :: t.zombies
+              t.zombies <- v :: t.zombies;
+              trim (i + 1) rest
             end
-            else free_version v;
-            trim (i + 1) rest
+            else if not (t.guard ~epoch:v.v_epoch ~snaptime:v.v_snaptime) then
+              (* The retention horizon (a lease, or the retention policy's
+                 time window) still needs this unpinned epoch: it stays in
+                 the ring — pinnable later, vacuumable once released. *)
+              v :: trim (i + 1) rest
+            else begin
+              free_version v;
+              trim (i + 1) rest
+            end
           | v :: rest -> v :: trim (i + 1) rest
         in
         t.ring <- trim 0 ring
@@ -391,6 +420,23 @@ let release tx =
         end;
         refresh_active t)
   end
+
+(* Oldest/newest retained epoch; lock held.  The ring is newest first and
+   never empty (the live head), so the range is its two ends. *)
+let live_range_locked t =
+  let hi = (List.hd t.ring).v_epoch in
+  let rec last = function [ v ] -> v.v_epoch | _ :: tl -> last tl | [] -> hi in
+  (last t.ring, hi)
+
+let live_range t = locked t (fun () -> live_range_locked t)
+
+let pin_exn ?epoch t =
+  match pin ?epoch t with
+  | Some tx -> tx
+  | None ->
+    let live_lo, live_hi = live_range t in
+    let requested = Option.value epoch ~default:live_hi in
+    raise (Epoch_not_retained { requested; live_lo; live_hi })
 
 let txn_epoch tx = tx.tx_version.v_epoch
 let txn_snaptime tx = tx.tx_version.v_snaptime
@@ -549,3 +595,72 @@ let versions t =
         t.ring)
 
 let zombie_count t = locked t (fun () -> List.length t.zombies)
+
+(* ------------------------------------------------------------------ *)
+(* Vacuum: horizon-driven reclamation of retained versions. *)
+
+type vacuum_stats = {
+  vac_examined : int;  (* eviction candidates considered *)
+  vac_reclaimed : int;  (* versions freed (or would be, on a dry run) *)
+  vac_zombied : int;  (* pinned candidates parked on the zombie list *)
+  vac_kept : int;  (* unpinned candidates the horizon guard protected *)
+  vac_bytes : int;  (* encoded bytes the freed versions held *)
+}
+
+let version_bytes v =
+  match v.v_view with
+  | Live -> 0
+  | Frozen_naive pages -> Hashtbl.fold (fun _ p acc -> acc + page_bytes (Some p)) pages 0
+  | Frozen_cou over -> Hashtbl.fold (fun _ p acc -> acc + page_bytes p) over 0
+  | Frozen_zz zv -> Hashtbl.fold (fun _ p acc -> acc + page_bytes p) zv.zv_over 0
+
+let vacuum ?older_than ?(dry_run = false) t =
+  locked t (fun () ->
+      if t.committing then invalid_arg "Version_store.vacuum: commit in flight";
+      let expired v =
+        match older_than with Some ts -> v.v_snaptime < ts | None -> false
+      in
+      let stats =
+        ref { vac_examined = 0; vac_reclaimed = 0; vac_zombied = 0; vac_kept = 0; vac_bytes = 0 }
+      in
+      let bump f = stats := f !stats in
+      (* The live head (position 0) is never a candidate; beyond it a
+         version goes when it has fallen past the retained count (ring
+         overage the guard kept alive earlier) or is explicitly older
+         than the cutoff, which overrides the count.  Pinned candidates
+         are evicted to the zombie list — their readers keep a
+         byte-identical image and the final release reclaims them — and
+         unpinned ones are freed unless the horizon guard (a live lease,
+         or the retention policy's time window) still needs them. *)
+      let rec walk i = function
+        | [] -> []
+        | v :: rest when i = 0 || not (i >= t.keep || expired v) -> v :: walk (i + 1) rest
+        | v :: rest ->
+          bump (fun s -> { s with vac_examined = s.vac_examined + 1 });
+          if v.v_pins > 0 then begin
+            bump (fun s -> { s with vac_zombied = s.vac_zombied + 1 });
+            if dry_run then v :: walk (i + 1) rest
+            else begin
+              v.v_dead <- true;
+              t.zombies <- v :: t.zombies;
+              walk (i + 1) rest
+            end
+          end
+          else if not (t.guard ~epoch:v.v_epoch ~snaptime:v.v_snaptime) then begin
+            bump (fun s -> { s with vac_kept = s.vac_kept + 1 });
+            v :: walk (i + 1) rest
+          end
+          else begin
+            bump (fun s ->
+                { s with vac_reclaimed = s.vac_reclaimed + 1; vac_bytes = s.vac_bytes + version_bytes v });
+            if dry_run then v :: walk (i + 1) rest
+            else begin
+              free_version v;
+              walk (i + 1) rest
+            end
+          end
+      in
+      let ring' = walk 0 t.ring in
+      if not dry_run then t.ring <- ring';
+      refresh_active t;
+      !stats)

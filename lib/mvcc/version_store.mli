@@ -59,6 +59,12 @@
 open Snapdiff_storage
 open Snapdiff_txn
 
+exception Epoch_not_retained of { requested : int; live_lo : int; live_hi : int }
+(** A named epoch is not in the ring — never committed, or already
+    reclaimed.  Carries the requested epoch and the currently retained
+    range (oldest..newest; the head is epoch [-1] before the first
+    commit).  Raised by {!pin_exn}; registered with a printer. *)
+
 type strategy = Naive | Copy_on_update | Zigzag
 
 val strategy_name : strategy -> string
@@ -101,6 +107,18 @@ val active : t -> bool
 (** Whether mutations currently need interception (a frozen version, a
     pinned head, or a zombie exists).  Exposed for tests. *)
 
+val set_reclaim_guard : t -> (epoch:int -> snaptime:Clock.ts -> bool) -> unit
+(** Install the retention horizon's veto: [guard ~epoch ~snaptime] must
+    return [false] while some live lease or the retention policy still
+    needs that version, in which case eviction (ring trimming at commit,
+    {!vacuum}) keeps the version in the ring instead of freeing it.
+    Pinned versions are never freed regardless (they park on the zombie
+    list until released) — the guard extends that protection to unpinned
+    state the {!Snapdiff_lifecycle.Horizon} knows is still wanted.  The
+    default guard always allows reclamation (refcount-only, the
+    pre-lifecycle behaviour).  Called with the store lock held; the guard
+    must not re-enter the store. *)
+
 (** {1 Host write protocol}
 
     The host table routes every mutation through {!write}, and brackets a
@@ -131,6 +149,11 @@ val pin : ?epoch:int -> t -> txn option
     omitted.  [None] if that epoch is not in the ring (never committed,
     or already evicted).  Before the first commit the head carries
     epoch [-1]. *)
+
+val pin_exn : ?epoch:int -> t -> txn
+(** {!pin}, but a miss raises {!Epoch_not_retained} with the requested
+    epoch and the live range instead of returning [None] — the typed
+    surface the SQL [AS OF] path reports cleanly. *)
 
 val release : txn -> unit
 (** Idempotent.  Dropping the last pin of a zombie reclaims it.  Reading
@@ -169,3 +192,31 @@ val versions : t -> version_info list
 
 val zombie_count : t -> int
 (** Evicted versions kept alive only by open pins. *)
+
+val live_range : t -> int * int
+(** Oldest and newest retained epoch (the ring's two ends). *)
+
+(** {1 Vacuum}
+
+    Horizon-driven reclamation, the per-store half of
+    [Manager.vacuum]. *)
+
+type vacuum_stats = {
+  vac_examined : int;  (** eviction candidates considered *)
+  vac_reclaimed : int;  (** versions freed (or would be, on a dry run) *)
+  vac_zombied : int;  (** pinned candidates parked on the zombie list *)
+  vac_kept : int;  (** unpinned candidates the horizon guard protected *)
+  vac_bytes : int;  (** encoded bytes the freed versions held *)
+}
+
+val vacuum : ?older_than:Clock.ts -> ?dry_run:bool -> t -> vacuum_stats
+(** Evict retained versions the horizon no longer needs.  Candidates are
+    frozen ring versions past the retained count, plus — when
+    [older_than] is given — any non-head version whose snaptime is
+    strictly below it (an explicit cutoff overrides the count).  The live
+    head is never touched.  Pinned candidates move to the zombie list
+    (their readers keep a byte-identical image; the final {!release}
+    reclaims them); unpinned candidates are freed unless the reclaim
+    guard vetoes.  [dry_run] (default false) reports what would happen
+    without changing anything.  Raises [Invalid_argument] if called
+    between {!begin_commit} and {!end_commit}. *)

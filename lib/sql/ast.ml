@@ -23,6 +23,13 @@ type refresh_method =
   | Ideal
   | Log_based
 
+(* Time travel: SELECT ... FROM snap AS OF <point>.  An epoch names a
+   retained refresh generation directly; a timestamp resolves to the
+   newest retained version whose SnapTime is at or before it. *)
+type as_of =
+  | As_of_epoch of int
+  | As_of_time of int
+
 type stmt =
   | Create_table of { table : string; columns : Schema.column list }
   | Drop_table of { table : string }
@@ -40,6 +47,7 @@ type stmt =
   | Select of {
       tables : string list;
       columns : select_columns;
+      as_of : as_of option;
       where : Expr.t option;
       group_by : string list;
       order_by : order_by option;
@@ -51,6 +59,7 @@ type stmt =
       columns : select_columns;
       where : Expr.t option;
       method_ : refresh_method;
+      retain : int option;  (* RETAIN k: keep the last k epochs readable *)
     }
   | Create_index of { target : string; column : string }
   | Refresh_snapshot of { snapshot : string }
@@ -91,6 +100,11 @@ let pp_where ppf = function
   | None -> ()
   | Some e -> Format.fprintf ppf " WHERE %a" Expr.pp e
 
+let pp_as_of ppf = function
+  | None -> ()
+  | Some (As_of_epoch e) -> Format.fprintf ppf " AS OF EPOCH %d" e
+  | Some (As_of_time ts) -> Format.fprintf ppf " AS OF TIMESTAMP %d" ts
+
 let pp_stmt ppf = function
   | Create_table { table; columns } ->
     Format.fprintf ppf "CREATE TABLE %s %a" table Schema.pp (Schema.make columns)
@@ -122,9 +136,9 @@ let pp_stmt ppf = function
          (fun ppf (c, e) -> Format.fprintf ppf "%s = %a" c Expr.pp e))
       assignments pp_where where
   | Delete { table; where } -> Format.fprintf ppf "DELETE FROM %s%a" table pp_where where
-  | Select { tables; columns; where; group_by; order_by; limit } ->
-    Format.fprintf ppf "SELECT %a FROM %s%a" pp_columns columns
-      (String.concat ", " tables) pp_where where;
+  | Select { tables; columns; as_of; where; group_by; order_by; limit } ->
+    Format.fprintf ppf "SELECT %a FROM %s%a%a" pp_columns columns
+      (String.concat ", " tables) pp_as_of as_of pp_where where;
     if group_by <> [] then
       Format.fprintf ppf " GROUP BY %s" (String.concat ", " group_by);
     (match order_by with
@@ -132,9 +146,10 @@ let pp_stmt ppf = function
       Format.fprintf ppf " ORDER BY %s%s" column (if descending then " DESC" else "")
     | None -> ());
     (match limit with Some k -> Format.fprintf ppf " LIMIT %d" k | None -> ())
-  | Create_snapshot { snapshot; bases; columns; where; method_ } ->
+  | Create_snapshot { snapshot; bases; columns; where; method_; retain } ->
     Format.fprintf ppf "CREATE SNAPSHOT %s AS SELECT %a FROM %s%a REFRESH %s" snapshot
-      pp_columns columns (String.concat ", " bases) pp_where where (method_name method_)
+      pp_columns columns (String.concat ", " bases) pp_where where (method_name method_);
+    (match retain with Some k -> Format.fprintf ppf " RETAIN %d" k | None -> ())
   | Create_index { target; column } ->
     Format.fprintf ppf "CREATE INDEX ON %s (%s)" target column
   | Refresh_snapshot { snapshot } -> Format.fprintf ppf "REFRESH SNAPSHOT %s" snapshot

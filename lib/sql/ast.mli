@@ -27,6 +27,13 @@ type refresh_method =
   | Ideal
   | Log_based
 
+(** Time travel ([SELECT ... FROM snap AS OF <point>]): an epoch names a
+    retained refresh generation directly; a timestamp resolves to the
+    newest retained version whose SnapTime is at or before it. *)
+type as_of =
+  | As_of_epoch of int
+  | As_of_time of int
+
 type stmt =
   | Create_table of { table : string; columns : Schema.column list }
   | Drop_table of { table : string }
@@ -45,6 +52,8 @@ type stmt =
       tables : string list;
           (** several tables = cross product restricted by [where] *)
       columns : select_columns;
+      as_of : as_of option;
+          (** single-snapshot sources only: read a retained epoch *)
       where : Expr.t option;
       group_by : string list;  (** empty = no grouping *)
       order_by : order_by option;
@@ -60,6 +69,9 @@ type stmt =
       columns : select_columns;
       where : Expr.t option;
       method_ : refresh_method;  (** defaults to [Auto] *)
+      retain : int option;
+          (** [RETAIN k]: keep the last [k] refresh epochs readable
+              through [AS OF] (default 1 — only the live head) *)
     }
   | Create_index of { target : string; column : string }
       (** secondary index on a snapshot ("indices can be defined on a

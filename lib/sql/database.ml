@@ -235,7 +235,40 @@ let rec cross = function
     let tails = cross rest in
     List.concat_map (fun row -> List.map (fun tail -> Array.append row tail) tails) rows
 
-let eval_query t ~tables ~where =
+(* ------------------------------------------------------------------ *)
+(* Time travel: AS OF resolves to a retained epoch of the snapshot's
+   version ring, and the query reads the pinned immutable image through a
+   read transaction instead of the live table. *)
+
+let resolve_as_of snap = function
+  | Ast.As_of_epoch e -> e
+  | Ast.As_of_time ts -> (
+    (* Newest retained version whose SnapTime is at or before the point —
+       the image a reader at that time would have seen. *)
+    match
+      List.find_opt
+        (fun vi -> vi.Snapshot_table.Version_store.vi_snaptime <= ts)
+        (Snapshot_table.versions snap)
+    with
+    | Some vi -> vi.Snapshot_table.Version_store.vi_epoch
+    | None ->
+      err "%s has no retained version at or before timestamp %d"
+        (Snapshot_table.name snap) ts)
+
+let as_of_tuples snap as_of =
+  let epoch = resolve_as_of snap as_of in
+  match Snapshot_table.read_txn_exn ~epoch snap with
+  | txn ->
+    Fun.protect
+      ~finally:(fun () -> Snapshot_table.release_txn txn)
+      (fun () ->
+        List.rev (Snapshot_table.txn_fold txn ~init:[] ~f:(fun acc _ tup -> tup :: acc)))
+  | exception Snapshot_table.Version_store.Epoch_not_retained
+      { requested; live_lo; live_hi } ->
+    err "epoch %d of %s is not retained (retained epochs %d..%d)" requested
+      (Snapshot_table.name snap) live_lo live_hi
+
+let eval_query ?as_of t ~tables ~where =
   match tables with
   | [] -> err "empty FROM clause"
   | [ tname ] ->
@@ -244,16 +277,30 @@ let eval_query t ~tables ~where =
     let resolution = single_source_resolution tname schema in
     let where = Option.map (rewrite_expr resolution.resolve) where in
     let rows =
-      match index_fast_path t src resolution where with
-      | Some rows -> rows
-      | None -> (
+      match as_of with
+      | Some point -> (
+        (* The secondary index reflects the live head only, so the index
+           fast path does not apply to a historical read. *)
+        let tuples =
+          match src with
+          | Base _ -> err "AS OF requires a snapshot; %s is a base table" tname
+          | Snap snap -> as_of_tuples snap point
+        in
         match where with
-        | None -> source_tuples src
-        | Some e ->
-          let pred = compile_checked schema e in
-          List.filter pred (source_tuples src))
+        | None -> tuples
+        | Some e -> List.filter (compile_checked schema e) tuples)
+      | None -> (
+        match index_fast_path t src resolution where with
+        | Some rows -> rows
+        | None -> (
+          match where with
+          | None -> source_tuples src
+          | Some e ->
+            let pred = compile_checked schema e in
+            List.filter pred (source_tuples src)))
     in
     (resolution, rows)
+  | _ when as_of <> None -> err "AS OF applies to a single snapshot, not a join"
   | many ->
     let sources =
       List.map
@@ -698,8 +745,8 @@ let execute t (stmt : Ast.stmt) =
     let victims = List.filter (fun (_, u) -> pred u) (Base_table.to_user_list base) in
     List.iter (fun (addr, _) -> Base_table.delete base addr) victims;
     Affected (List.length victims)
-  | Ast.Select { tables; columns; where; group_by; order_by; limit } ->
-    let resolution, rows = eval_query t ~tables ~where in
+  | Ast.Select { tables; columns; as_of; where; group_by; order_by; limit } ->
+    let resolution, rows = eval_query ?as_of t ~tables ~where in
     let schema, rows =
       if has_aggregate columns || group_by <> [] then begin
         match columns with
@@ -711,8 +758,11 @@ let execute t (stmt : Ast.stmt) =
     let rows = order_rows resolution schema rows order_by in
     let rows = limit_rows rows limit in
     Rows (schema, rows)
-  | Ast.Create_snapshot { snapshot; bases; columns; where; method_ } -> (
+  | Ast.Create_snapshot { snapshot; bases; columns; where; method_; retain } -> (
     check_fresh_name t snapshot;
+    (match retain with
+    | Some k when k < 1 -> err "RETAIN requires at least 1 epoch"
+    | _ -> ());
     match bases with
     | [ b ] when find_table t b <> None -> (
       (* The paper's machinery: single base table. *)
@@ -730,7 +780,7 @@ let execute t (stmt : Ast.stmt) =
       let selectivity = planned_selectivity t b restrict in
       match
         Manager.create_snapshot t.mgr ~name:snapshot ~base:b ?projection ~restrict
-          ~method_:(method_of_ast method_) ?selectivity ()
+          ~method_:(method_of_ast method_) ?selectivity ?version_retain:retain ()
       with
       | report -> Refreshed report
       | exception Manager.Unknown_table n -> err "unknown table %s" n
@@ -741,6 +791,7 @@ let execute t (stmt : Ast.stmt) =
          stream. *)
       if method_ <> Ast.Auto then
         err "cascaded snapshots refresh with their parent; omit the REFRESH clause";
+      if retain <> None then err "RETAIN is not supported on cascaded snapshots";
       let parent = Option.get (find_snapshot t s) in
       let schema = Snapshot_table.schema parent in
       let resolution = single_source_resolution s schema in
@@ -802,7 +853,7 @@ let execute t (stmt : Ast.stmt) =
       | None -> ());
       let schema = disambiguated_result_schema resolution columns in
       let link = Link.create ~name:(String.concat "+" many ^ "->" ^ snapshot) () in
-      let table = Snapshot_table.create ~name:snapshot ~schema () in
+      let table = Snapshot_table.create ?version_retain:retain ~name:snapshot ~schema () in
       Link.attach link (Snapshot_table.apply_bytes table);
       let qs =
         { qs_tables = many; qs_columns = columns; qs_where = where; qs_table = table;
@@ -947,10 +998,15 @@ let execute t (stmt : Ast.stmt) =
               List.exists (fun sn -> key sn = key sname) (Manager.snapshots_on t.mgr bn))
             (Manager.base_names t.mgr)
         in
-        line "CREATE SNAPSHOT %s AS SELECT %s FROM %s WHERE %s REFRESH %s;" sname
+        let retain_sql =
+          match Snapshot_table.version_retain st with
+          | 1 -> ""
+          | k -> Printf.sprintf " RETAIN %d" k
+        in
+        line "CREATE SNAPSHOT %s AS SELECT %s FROM %s WHERE %s REFRESH %s%s;" sname
           (columns_of st) base_name
           (Expr.to_string (Manager.snapshot_restrict t.mgr sname))
-          meth;
+          meth retain_sql;
         List.iter
           (fun col -> line "CREATE INDEX ON %s (%s);" sname col)
           (Snapshot_table.indexed_columns st))

@@ -26,6 +26,7 @@ let keywords =
     "LIKE"; "TRUE"; "FALSE"; "INT"; "FLOAT"; "STRING"; "BOOL"; "ORDER"; "BY";
     "ASC"; "DESC"; "LIMIT"; "FULL"; "DIFFERENTIAL"; "IDEAL"; "LOGBASED"; "AUTO";
     "INDEX"; "ON"; "DUMP"; "GROUP"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "ANALYZE";
+    "OF"; "EPOCH"; "TIMESTAMP"; "RETAIN";
   ]
 
 let keyword_set =

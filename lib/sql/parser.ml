@@ -261,12 +261,34 @@ let select_columns st =
   if accept_symbol st "*" then Ast.Star
   else Ast.Items (comma_separated st select_item)
 
+(* AS OF [EPOCH] <int> | AS OF TIMESTAMP <int>; a bare integer reads as
+   an epoch. *)
+let as_of_clause st =
+  if accept_keyword st "AS" then begin
+    expect_keyword st "OF";
+    let int_lit st =
+      match next st with
+      | Lexer.Int_lit i, _ -> Int64.to_int i
+      | tok, pos -> error pos "expected an integer after AS OF, found %a" Lexer.pp_token tok
+    in
+    match peek st with
+    | Lexer.Keyword "EPOCH", _ ->
+      advance st;
+      Some (Ast.As_of_epoch (int_lit st))
+    | Lexer.Keyword "TIMESTAMP", _ ->
+      advance st;
+      Some (Ast.As_of_time (int_lit st))
+    | _ -> Some (Ast.As_of_epoch (int_lit st))
+  end
+  else None
+
 let select_body st =
   let columns = select_columns st in
   expect_keyword st "FROM";
   let tables = comma_separated st ident in
+  let as_of = as_of_clause st in
   let where = where_clause st in
-  (columns, tables, where)
+  (columns, tables, as_of, where)
 
 let refresh_method st =
   if accept_keyword st "REFRESH" then begin
@@ -294,9 +316,22 @@ let statement st =
       let snapshot = ident st in
       expect_keyword st "AS";
       expect_keyword st "SELECT";
-      let columns, bases, where = select_body st in
+      let columns, bases, as_of, where = select_body st in
+      (match as_of with
+      | Some _ ->
+        error pos "AS OF cannot define a snapshot (time travel applies to queries)"
+      | None -> ());
       let method_ = refresh_method st in
-      Ast.Create_snapshot { snapshot; bases; columns; where; method_ }
+      let retain =
+        if accept_keyword st "RETAIN" then begin
+          match next st with
+          | Lexer.Int_lit k, _ when k >= 1L -> Some (Int64.to_int k)
+          | tok, pos ->
+            error pos "expected an epoch count after RETAIN, found %a" Lexer.pp_token tok
+        end
+        else None
+      in
+      Ast.Create_snapshot { snapshot; bases; columns; where; method_; retain }
     | Lexer.Keyword "INDEX", _ ->
       expect_keyword st "ON";
       let target = ident st in
@@ -349,7 +384,7 @@ let statement st =
     let where = where_clause st in
     Ast.Delete { table; where }
   | Lexer.Keyword "SELECT", _ ->
-    let columns, tables, where = select_body st in
+    let columns, tables, as_of, where = select_body st in
     let group_by =
       if accept_keyword st "GROUP" then begin
         expect_keyword st "BY";
@@ -380,7 +415,7 @@ let statement st =
       end
       else None
     in
-    Ast.Select { tables; columns; where; group_by; order_by; limit }
+    Ast.Select { tables; columns; as_of; where; group_by; order_by; limit }
   | Lexer.Keyword "REFRESH", _ ->
     expect_keyword st "SNAPSHOT";
     Ast.Refresh_snapshot { snapshot = ident st }

@@ -10,6 +10,7 @@ open Snapdiff_storage
 open Snapdiff_txn
 open Snapdiff_core
 module Expr = Snapdiff_expr.Expr
+module Lease = Snapdiff_lifecycle.Lease
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -355,7 +356,11 @@ let test_checkpoint_gates_on_live_scan () =
   let report = Manager.refresh m "s" in
   Manager.set_chunk_hook m None;
   let cp = Option.get !cp_report in
-  checkb "truncation was gated" true cp.Manager.cp_gated;
+  checkb "truncation was gated" true (cp.Manager.cp_gated <> []);
+  checkb "the gate names the live scan's lease" true
+    (List.exists
+       (fun g -> g.Lease.g_kind = Lease.Scan && g.Lease.g_lsn = lsn0)
+       cp.Manager.cp_gated);
   checki "floor = the live scan's start LSN" lsn0 cp.Manager.cp_truncated_to;
   checkb "refresh did not escalate" false report.Manager.escalated;
   checkb "catch-up replayed the tail" true (report.Manager.catchup_records > 0);
@@ -367,7 +372,7 @@ let test_checkpoint_gates_on_live_scan () =
   checkb "snapshot valid" true (Snapshot_table.validate snap = Ok ());
   (* With the scan gone, the next checkpoint truncates past the old floor. *)
   let cp2 = Manager.checkpoint m "emp" in
-  checkb "no gate once the scan is done" false cp2.Manager.cp_gated;
+  checkb "no gate once the scan is done" true (cp2.Manager.cp_gated = []);
   checkb "floor advanced" true (cp2.Manager.cp_truncated_to > lsn0)
 
 (* Fuzzy checkpoint + crash + redo on REAL files, with a mutation landing
@@ -416,7 +421,7 @@ let test_fuzzy_checkpoint_crash_redo () =
           checkb "checkpoint flushed pages" true (cp.Manager.cp_pages_flushed > 0);
           checkb "checkpoint wrote bytes" true (cp.Manager.cp_bytes_written > 0);
           checkb "log was truncated" true (cp.Manager.cp_truncated_to > 0);
-          checkb "ungated" false cp.Manager.cp_gated;
+          checkb "ungated" true (cp.Manager.cp_gated = []);
           (* Restart: durable page image + reopened, truncated segment. *)
           let rlog = Wal.open_file wal_path in
           checki "segment starts at the checkpoint floor" cp.Manager.cp_truncated_to

@@ -1,0 +1,374 @@
+(* The unified retention horizon: leases, floors, and vacuum.
+
+   Three layers under test:
+
+   - Lease/Horizon directly: floors are the minimum over live leases,
+     gating lists name what held a floor down, release/move update them,
+     and with_lease is exception-safe;
+   - Manager.vacuum: dry runs touch nothing, real runs reclaim expired
+     versions and truncate the shared WAL to the lease horizon, pinned
+     epochs survive on the zombie list with byte-identical reads until
+     their last release, and a vacuum fired mid-scan from the chunk hook
+     is gated by the scan's lease — the catch-up tail survives;
+   - the qcheck property the subsystem promises: under a random
+     interleaving of mutations, refreshes, pinned reads, checkpoints,
+     and vacuums, no pinned read ever changes, no leased log cursor is
+     ever truncated away (log-based refresh never falls back to full),
+     and no chunked scan ever escalates. *)
+
+open Snapdiff_storage
+open Snapdiff_txn
+open Snapdiff_core
+module Lease = Snapdiff_lifecycle.Lease
+module Horizon = Snapdiff_lifecycle.Horizon
+module VS = Snapdiff_mvcc.Version_store
+module Wal = Snapdiff_wal.Wal
+module Workload = Snapdiff_workload.Workload
+module Rng = Snapdiff_util.Rng
+module Metrics = Snapdiff_obs.Metrics
+module Gen = QCheck2.Gen
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let qual t =
+  match Tuple.get t 2 with Value.Int q -> Int64.to_int q | _ -> -1
+
+let expected_half base =
+  List.filter
+    (fun (_, u) -> qual u < Workload.qual_domain / 2)
+    (Base_table.to_user_list base)
+
+(* ------------------------------------------------------------------ *)
+(* Horizon unit tests *)
+
+let test_lsn_floor_and_gating () =
+  let h = Horizon.create () in
+  checkb "no leases: floor = ceiling, ungated" true
+    (Horizon.lsn_floor h ~ceiling:100 = (100, []));
+  let a = Horizon.acquire h ~kind:Lease.Scan ~holder:"a" ~lsn:10 () in
+  let b = Horizon.acquire h ~kind:Lease.Log_cursor ~holder:"b" ~lsn:5 () in
+  checki "two live leases" 2 (Horizon.lease_count h);
+  let floor, gating = Horizon.lsn_floor h ~ceiling:100 in
+  checki "floor = oldest leased lsn" 5 floor;
+  checkb "gating names both, sorted by lsn" true
+    (List.map (fun g -> (g.Lease.g_holder, g.Lease.g_lsn)) gating
+    = [ ("b", 5); ("a", 10) ]);
+  Lease.release b;
+  let floor, gating = Horizon.lsn_floor h ~ceiling:100 in
+  checki "release raises the floor" 10 floor;
+  checkb "only the scan gates now" true
+    (List.map (fun g -> g.Lease.g_holder) gating = [ "a" ]);
+  checkb "released lease is dead" false (Lease.live b);
+  Lease.move_lsn a 60;
+  checki "move_lsn advances the floor" 60 (fst (Horizon.lsn_floor h ~ceiling:100));
+  checki "the ceiling still caps" 50 (fst (Horizon.lsn_floor h ~ceiling:50));
+  Lease.release a;
+  Lease.release a;
+  (* idempotent *)
+  checki "all released" 0 (Horizon.lease_count h);
+  checkb "floor back to the ceiling" true (Horizon.lsn_floor h ~ceiling:100 = (100, []))
+
+let test_epoch_floor () =
+  let h = Horizon.create () in
+  checkb "no epoch leases: no floor" true (Horizon.epoch_floor h = None);
+  let a = Horizon.acquire h ~kind:Lease.Pinned_read ~holder:"r1" ~epoch:7 () in
+  let b = Horizon.acquire h ~kind:Lease.Pinned_read ~holder:"r2" ~epoch:3 () in
+  checkb "floor = min leased epoch" true (Horizon.epoch_floor h = Some 3);
+  Lease.release b;
+  checkb "release raises the epoch floor" true (Horizon.epoch_floor h = Some 7);
+  Lease.move_epoch a 9;
+  checkb "move_epoch advances it" true (Horizon.epoch_floor h = Some 9);
+  Lease.release a;
+  checkb "empty again" true (Horizon.epoch_floor h = None)
+
+let test_with_lease_exception_safe () =
+  let h = Horizon.create () in
+  (match Horizon.with_lease h ~kind:Lease.Checkpoint ~lsn:4 (fun _ -> failwith "boom") with
+  | _ -> Alcotest.fail "the exception should propagate"
+  | exception Failure _ -> ());
+  checki "lease released on the exception path" 0 (Horizon.lease_count h);
+  checki "normal path returns the value" 5
+    (Horizon.with_lease h ~kind:Lease.Scan ~lsn:1 (fun _ -> 5));
+  checki "and releases too" 0 (Horizon.lease_count h)
+
+(* ------------------------------------------------------------------ *)
+(* Manager.vacuum over a WAL-backed workload *)
+
+let mk_workload ?(retain = 4) ?(n = 200) ?(rounds = 5) () =
+  let rng = Rng.create 0xACE in
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base = Workload.make_base ~wal ~clock () in
+  Workload.populate base ~rng ~n;
+  let m = Manager.create () in
+  Manager.register_base m base;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:(Base_table.name base)
+       ~restrict:(Workload.restrict_fraction 0.5) ~method_:Manager.Differential
+       ~version_retain:retain ()
+      : Manager.refresh_report);
+  for _ = 1 to rounds do
+    ignore (Workload.update_fraction base ~rng ~u:0.2 ~mix:Workload.churn : int);
+    ignore (Manager.refresh m "s" : Manager.refresh_report)
+  done;
+  (m, base, wal, clock)
+
+let test_vacuum_dry_run_touches_nothing () =
+  let m, _, wal, clock = mk_workload () in
+  let versions0 = Manager.snapshot_versions m "s" in
+  let oldest0 = Wal.oldest_retained wal in
+  let rep = Manager.vacuum ~older_than:(Clock.now clock) ~dry_run:true m in
+  checkb "flagged as a dry run" true rep.Manager.vac_dry_run;
+  let sv = List.hd rep.Manager.vac_snapshots in
+  checkb "reports reclaimable versions" true (sv.Manager.sv_reclaimed > 0);
+  checkb "reports reclaimable bytes" true (sv.Manager.sv_bytes > 0);
+  let wv = List.hd rep.Manager.vac_wals in
+  checkb "reports reclaimable log bytes" true (wv.Manager.wv_log_bytes_reclaimed > 0);
+  checkb "the ring is untouched" true (Manager.snapshot_versions m "s" = versions0);
+  checki "the WAL is untouched" oldest0 (Wal.oldest_retained wal)
+
+let test_vacuum_reclaims_and_truncates () =
+  let m, base, wal, clock = mk_workload ~retain:4 () in
+  let oldest0 = Wal.oldest_retained wal in
+  let rep = Manager.vacuum ~older_than:(Clock.now clock) m in
+  checkb "not a dry run" false rep.Manager.vac_dry_run;
+  let sv = List.hd rep.Manager.vac_snapshots in
+  checki "all non-head versions reclaimed" 3 sv.Manager.sv_reclaimed;
+  checkb "freed bytes counted" true (sv.Manager.sv_bytes > 0);
+  checki "nothing zombied without pins" 0 sv.Manager.sv_zombied;
+  let wv = List.hd rep.Manager.vac_wals in
+  checkb "WAL truncated" true
+    (wv.Manager.wv_log_bytes_reclaimed > 0 && Wal.oldest_retained wal > oldest0);
+  checki "reported floor = the log's oldest retained LSN" (Wal.oldest_retained wal)
+    wv.Manager.wv_truncated_to;
+  checki "only the head survives" 1 (List.length (Manager.snapshot_versions m "s"));
+  let snap = Manager.snapshot_table m "s" in
+  checkb "the live head is still faithful" true
+    (Snapshot_table.contents snap = expected_half base);
+  (* The truncated log still serves the next differential refresh. *)
+  let rng = Rng.create 0xF00 in
+  ignore (Workload.update_fraction base ~rng ~u:0.2 ~mix:Workload.churn : int);
+  let r = Manager.refresh m "s" in
+  checkb "refresh after vacuum does not escalate" false r.Manager.escalated;
+  checkb "and stays faithful" true (Snapshot_table.contents snap = expected_half base)
+
+let test_vacuum_spares_pinned_epoch () =
+  let m, _, _, clock = mk_workload ~retain:3 () in
+  let oldest =
+    match List.rev (Manager.snapshot_versions m "s") with
+    | vi :: _ -> vi
+    | [] -> Alcotest.fail "no retained versions"
+  in
+  let rt = Option.get (Manager.read_txn ~epoch:oldest.VS.vi_epoch m "s") in
+  let image0 = Snapshot_table.txn_contents rt in
+  let zr0 = Metrics.counter_value Metrics.global "mvcc.zombies_reclaimed" in
+  let rep = Manager.vacuum ~older_than:(Clock.now clock) m in
+  let sv = List.hd rep.Manager.vac_snapshots in
+  checki "the pinned candidate was zombied, not freed" 1 sv.Manager.sv_zombied;
+  checkb "its lease also shields newer expired versions" true (sv.Manager.sv_kept > 0);
+  checki "so nothing was freed outright" 0 sv.Manager.sv_reclaimed;
+  checkb "the pinned epoch left the ring" true
+    (not
+       (List.exists
+          (fun vi -> vi.VS.vi_epoch = oldest.VS.vi_epoch)
+          (Manager.snapshot_versions m "s")));
+  checkb "pinned reads stay byte-identical after the vacuum" true
+    (Snapshot_table.txn_contents rt = image0);
+  (* The last release reclaims the zombie and lifts the epoch floor: the
+     next vacuum frees what the lease was shielding. *)
+  Snapshot_table.release_txn rt;
+  checkb "release reclaimed the zombie" true
+    (Metrics.counter_value Metrics.global "mvcc.zombies_reclaimed" > zr0);
+  let rep2 = Manager.vacuum ~older_than:(Clock.now clock) m in
+  let sv2 = List.hd rep2.Manager.vac_snapshots in
+  checkb "release unblocked reclamation" true (sv2.Manager.sv_reclaimed > 0);
+  checki "nothing left shielded" 0 sv2.Manager.sv_kept
+
+let test_vacuum_gated_by_live_scan () =
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let rng = Rng.create 0xBEA7 in
+  let base = Workload.make_base ~wal ~clock () in
+  Workload.populate base ~rng ~n:60;
+  let m = Manager.create ~chunk_entries:8 () in
+  Manager.register_base m base;
+  ignore
+    (Manager.create_snapshot m ~name:"s" ~base:(Base_table.name base)
+       ~restrict:(Workload.restrict_fraction 0.5) ~method_:Manager.Differential ()
+      : Manager.refresh_report);
+  ignore (Workload.update_fraction base ~rng ~u:0.3 ~mix:Workload.churn : int);
+  let lsn0 = Wal.end_lsn wal in
+  let vac_report = ref None in
+  let in_hook = ref false in
+  Manager.set_chunk_hook m
+    (Some
+       (fun () ->
+         (* The vacuum's own checkpoint yields here too; the guard keeps
+            it from recursing. *)
+         if (not !in_hook) && !vac_report = None then begin
+           in_hook := true;
+           (* Mutate mid-scan so the catch-up phase has a WAL tail to
+              replay — a tail the vacuum must NOT truncate away. *)
+           ignore (Workload.update_fraction base ~rng ~u:0.1 ~mix:Workload.churn : int);
+           vac_report := Some (Manager.vacuum ~older_than:(Clock.now clock) m);
+           in_hook := false
+         end));
+  let report = Manager.refresh m "s" in
+  Manager.set_chunk_hook m None;
+  let rep = Option.get !vac_report in
+  let wv = List.hd rep.Manager.vac_wals in
+  checkb "the scan's lease gated the truncation" true
+    (List.exists
+       (fun g -> g.Lease.g_kind = Lease.Scan && g.Lease.g_lsn = lsn0)
+       wv.Manager.wv_gated);
+  checkb "the floor stopped at the scan's start LSN" true
+    (wv.Manager.wv_truncated_to <= lsn0);
+  checkb "the leased scan did not escalate" false report.Manager.escalated;
+  checkb "catch-up found its tail" true (report.Manager.catchup_records > 0);
+  let snap = Manager.snapshot_table m "s" in
+  checkb "snapshot faithful" true (Snapshot_table.contents snap = expected_half base);
+  checkb "snapshot valid" true (Snapshot_table.validate snap = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Fleet pinned reads overlapping a vacuum: the scheduler's pre-refresh
+   pins ride the same epoch leases, so a vacuum between ticks parks
+   their versions on the zombie list and reads stay byte-identical. *)
+
+let test_fleet_pinned_reads_survive_vacuum () =
+  let module Fleet = Snapdiff_fleet.Fleet in
+  let rng = Rng.create 11 in
+  let clock = Clock.create () in
+  let wal = Wal.create () in
+  let base = Workload.make_base ~name:"base0" ~wal ~clock () in
+  Workload.populate base ~rng ~n:150;
+  let m = Manager.create () in
+  Manager.register_base m base;
+  ignore
+    (Manager.create_snapshot m ~name:"s0" ~base:"base0"
+       ~restrict:(Workload.restrict_fraction 0.5) ~version_retain:3 ()
+      : Manager.refresh_report);
+  let f = Fleet.create m in
+  let dt = 50_000.0 in
+  Fleet.register f ~name:"s0" ~slo_us:dt;
+  Fleet.set_pinned_reads f 3;
+  (* Hold our own pin on the pre-tick head across the vacuum too. *)
+  let rt = Option.get (Manager.read_txn m "s0") in
+  let image0 = Snapshot_table.txn_contents rt in
+  for i = 1 to 4 do
+    ignore (Workload.mutate_zipf base ~rng ~ops:40 ~theta:0.8 ~mix:Workload.churn : int);
+    let r = Fleet.tick f ~now_us:(float_of_int i *. dt) in
+    checkb "pinned reads served this tick" true (r.Fleet.tr_pinned_reads > 0);
+    ignore (Manager.vacuum ~older_than:(Clock.now clock) m : Manager.vacuum_report)
+  done;
+  checkb "the held pin still reads its original image" true
+    (Snapshot_table.txn_contents rt = image0);
+  checkb "fleet served pinned reads throughout" true
+    ((Fleet.stats f).Fleet.st_pinned_reads >= 12);
+  checki "no fleet failures" 0 (Fleet.stats f).Fleet.st_failures;
+  Snapshot_table.release_txn rt;
+  (* With every pin gone, one more vacuum leaves just the live head. *)
+  ignore (Manager.vacuum ~older_than:(Clock.now clock) m : Manager.vacuum_report);
+  checki "only the head survives once released" 1
+    (List.length (Manager.snapshot_versions m "s0"))
+
+(* ------------------------------------------------------------------ *)
+(* The qcheck property: a random interleaving of mutations, refreshes,
+   pinned reads, checkpoints, and vacuums never loses a leased epoch
+   (every pinned read stays byte-identical for its lifetime), never
+   truncates a leased log cursor (log-based refresh never falls back to
+   full), and never escalates a chunked differential scan. *)
+
+let prop_interleaving_never_loses_leases =
+  QCheck2.Test.make ~count:25
+    ~name:"interleaved vacuums/checkpoints never lose a leased LSN or epoch"
+    (Gen.list_size (Gen.int_range 8 30) (Gen.int_range 0 999))
+    (fun script ->
+      let rng = Rng.create 0x5EED in
+      let clock = Clock.create () in
+      let wal = Wal.create () in
+      let base = Workload.make_base ~wal ~clock () in
+      Workload.populate base ~rng ~n:120;
+      let m = Manager.create ~chunk_entries:8 () in
+      Manager.register_base m base;
+      ignore
+        (Manager.create_snapshot m ~name:"d" ~base:(Base_table.name base)
+           ~restrict:(Workload.restrict_fraction 0.5) ~method_:Manager.Differential
+           ~version_retain:3 ()
+          : Manager.refresh_report);
+      ignore
+        (Manager.create_snapshot m ~name:"lb" ~base:(Base_table.name base)
+           ~restrict:(Workload.restrict_fraction 0.3) ~method_:Manager.Log_based ()
+          : Manager.refresh_report);
+      let pins = ref [] in
+      let ok = ref true in
+      let why = ref "" in
+      let fail_if ?(reason = "?") c = if c && !ok then (ok := false; why := reason) in
+      let check_pins () =
+        List.iter
+          (fun (rt, img) -> fail_if ~reason:"pin changed" (Snapshot_table.txn_contents rt <> img))
+          !pins
+      in
+      List.iter
+        (fun k ->
+          (match k mod 7 with
+          | 0 | 1 ->
+            ignore (Workload.update_fraction base ~rng ~u:0.15 ~mix:Workload.churn : int)
+          | 2 ->
+            let r = Manager.refresh m "d" in
+            fail_if ~reason:"escalated" r.Manager.escalated;
+            (* The cursor lease keeps the log tail: log-based must never
+               be forced into the truncated-past-cursor full fallback. *)
+            let rl = Manager.refresh m "lb" in
+            fail_if ~reason:"lb fell back" (rl.Manager.method_used <> Manager.Used_log_based)
+          | 3 -> (
+            match Manager.read_txn m "d" with
+            | Some rt -> pins := (rt, Snapshot_table.txn_contents rt) :: !pins
+            | None -> fail_if ~reason:"head pin refused" true)
+          | 4 -> (
+            match !pins with
+            | (rt, _) :: tl ->
+              Snapshot_table.release_txn rt;
+              pins := tl
+            | [] -> ())
+          | 5 ->
+            ignore
+              (Manager.checkpoint m (Base_table.name base) : Manager.checkpoint_report)
+          | _ ->
+            let dry_run = k mod 2 = 0 in
+            ignore
+              (Manager.vacuum ~older_than:(Clock.now clock) ~dry_run m
+                : Manager.vacuum_report));
+          check_pins ())
+        script;
+      (* A closing refresh folds in any trailing mutations before the
+         faithfulness comparison. *)
+      let rf = Manager.refresh m "d" in
+      fail_if ~reason:"final refresh escalated" rf.Manager.escalated;
+      check_pins ();
+      let live_ok =
+        Snapshot_table.contents (Manager.snapshot_table m "d") = expected_half base
+      in
+      List.iter (fun (rt, _) -> Snapshot_table.release_txn rt) !pins;
+      if not !ok then Printf.eprintf "lifecycle prop: %s\n%!" !why;
+      if not live_ok then Printf.eprintf "lifecycle prop: live image diverged\n%!";
+      !ok && live_ok)
+
+let suite =
+  [
+    Alcotest.test_case "horizon: lsn floor and gating" `Quick test_lsn_floor_and_gating;
+    Alcotest.test_case "horizon: epoch floor" `Quick test_epoch_floor;
+    Alcotest.test_case "horizon: with_lease is exception-safe" `Quick
+      test_with_lease_exception_safe;
+    Alcotest.test_case "vacuum: dry run touches nothing" `Quick
+      test_vacuum_dry_run_touches_nothing;
+    Alcotest.test_case "vacuum: reclaims versions and truncates the WAL" `Quick
+      test_vacuum_reclaims_and_truncates;
+    Alcotest.test_case "vacuum: pinned epoch survives as a zombie" `Quick
+      test_vacuum_spares_pinned_epoch;
+    Alcotest.test_case "vacuum: gated by a live chunked scan" `Quick
+      test_vacuum_gated_by_live_scan;
+    Alcotest.test_case "fleet pinned reads survive interleaved vacuums" `Quick
+      test_fleet_pinned_reads_survive_vacuum;
+    QCheck_alcotest.to_alcotest prop_interleaving_never_loses_leases;
+  ]

@@ -26,5 +26,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("fleet", Test_fleet.suite);
       ("mvcc", Test_mvcc.suite);
+      ("lifecycle", Test_lifecycle.suite);
       ("integration", Test_integration.suite);
     ]

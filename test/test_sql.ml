@@ -453,3 +453,184 @@ let suite =
       Alcotest.test_case "analyze feeds planner" `Quick test_analyze_feeds_planner;
       Alcotest.test_case "analyze errors" `Quick test_analyze_errors;
     ]
+
+(* Appended: SQL time travel (SELECT ... AS OF) and the RETAIN clause. *)
+
+module VS = Snapdiff_mvcc.Version_store
+module Manager = Snapdiff_core.Manager
+module Snapshot_table = Snapdiff_core.Snapshot_table
+
+let test_parse_as_of_and_retain () =
+  (match Parser.parse "SELECT * FROM s AS OF EPOCH 3" with
+  | [ Ast.Select { as_of = Some (Ast.As_of_epoch 3); _ } ] -> ()
+  | _ -> Alcotest.fail "AS OF EPOCH");
+  (match Parser.parse "SELECT * FROM s AS OF TIMESTAMP 7 WHERE x < 2" with
+  | [ Ast.Select { as_of = Some (Ast.As_of_time 7); where = Some _; _ } ] -> ()
+  | _ -> Alcotest.fail "AS OF TIMESTAMP");
+  (match Parser.parse "SELECT * FROM s AS OF 5" with
+  | [ Ast.Select { as_of = Some (Ast.As_of_epoch 5); _ } ] -> ()
+  | _ -> Alcotest.fail "a bare AS OF point defaults to an epoch");
+  (match Parser.parse "CREATE SNAPSHOT k AS SELECT * FROM t REFRESH AUTO RETAIN 4" with
+  | [ Ast.Create_snapshot { retain = Some 4; _ } ] -> ()
+  | _ -> Alcotest.fail "RETAIN");
+  (match Parser.parse "CREATE SNAPSHOT k AS SELECT * FROM t REFRESH AUTO" with
+  | [ Ast.Create_snapshot { retain = None; _ } ] -> ()
+  | _ -> Alcotest.fail "RETAIN defaults to None");
+  (* pp round-trips through the parser *)
+  List.iter
+    (fun s ->
+      let st = List.hd (Parser.parse s) in
+      let printed = Format.asprintf "%a" Ast.pp_stmt st in
+      checkb (s ^ " round-trips") true (Parser.parse printed = [ st ]))
+    [ "SELECT * FROM s AS OF EPOCH 3"; "SELECT * FROM s AS OF TIMESTAMP 7";
+      "CREATE SNAPSHOT k AS SELECT * FROM t WHERE x < 2 REFRESH FULL RETAIN 9" ];
+  (* rejected forms *)
+  List.iter
+    (fun s ->
+      match Parser.parse s with
+      | exception Parser.Parse_error _ -> ()
+      | _ -> Alcotest.failf "%s should not parse" s)
+    [ "CREATE SNAPSHOT k AS SELECT * FROM t AS OF EPOCH 1 REFRESH AUTO";
+      "SELECT * FROM s AS OF"; "SELECT * FROM s AS OF EPOCH";
+      "CREATE SNAPSHOT k AS SELECT * FROM t REFRESH AUTO RETAIN 0" ]
+
+let test_db_as_of_time_travel () =
+  let db = Database.create () in
+  let exec s =
+    match Database.run db s with
+    | r -> r
+    | exception Database.Sql_error m -> Alcotest.failf "%s failed: %s" s m
+  in
+  let render = Database.render_result in
+  ignore (exec "CREATE TABLE emp (id INT NOT NULL, salary INT NOT NULL)");
+  ignore (exec "INSERT INTO emp VALUES (1, 5), (2, 15), (3, 25), (4, 35)");
+  ignore
+    (exec
+       "CREATE SNAPSHOT low AS SELECT * FROM emp WHERE salary < 30 REFRESH \
+        DIFFERENTIAL RETAIN 3");
+  let m = Database.manager db in
+  let images = ref [] in
+  let capture () =
+    match Manager.snapshot_versions m "low" with
+    | vi :: _ ->
+      images := (vi.VS.vi_epoch, vi.VS.vi_snaptime, render (exec "SELECT * FROM low")) :: !images
+    | [] -> Alcotest.fail "no live version"
+  in
+  capture ();
+  ignore (exec "UPDATE emp SET salary = 8 WHERE id = 3");
+  ignore (exec "REFRESH SNAPSHOT low");
+  capture ();
+  ignore (exec "DELETE FROM emp WHERE id = 1");
+  ignore (exec "REFRESH SNAPSHOT low");
+  capture ();
+  checki "three distinct epochs captured" 3
+    (List.length (List.sort_uniq compare (List.map (fun (e, _, _) -> e) !images)));
+  List.iter
+    (fun (e, ts, img) ->
+      checkb (Printf.sprintf "AS OF EPOCH %d is byte-identical" e) true
+        (render (exec (Printf.sprintf "SELECT * FROM low AS OF EPOCH %d" e)) = img);
+      checkb (Printf.sprintf "AS OF TIMESTAMP %d resolves to epoch %d" ts e) true
+        (render (exec (Printf.sprintf "SELECT * FROM low AS OF TIMESTAMP %d" ts)) = img);
+      (* The oracle: the same epoch through a pinned MVCC read txn. *)
+      let txn = Manager.read_txn_exn ~epoch:e m "low" in
+      let oracle =
+        Fun.protect
+          ~finally:(fun () -> Snapshot_table.release_txn txn)
+          (fun () ->
+            List.rev
+              (Snapshot_table.txn_fold txn ~init:[] ~f:(fun acc _ t -> t :: acc)))
+      in
+      match exec (Printf.sprintf "SELECT * FROM low AS OF EPOCH %d" e) with
+      | Database.Rows (_, tuples) ->
+        checkb (Printf.sprintf "epoch %d matches the read_txn oracle" e) true
+          (tuples = oracle)
+      | _ -> Alcotest.fail "AS OF did not return rows")
+    !images;
+  (* AS OF composes with WHERE and projection: at the oldest retained
+     epoch (captured before the UPDATE), salaries 15 and 25 qualify. *)
+  let oldest = List.fold_left (fun a (e, _, _) -> min a e) max_int !images in
+  (match exec (Printf.sprintf "SELECT id FROM low AS OF EPOCH %d WHERE salary > 10" oldest) with
+  | Database.Rows (schema, tuples) ->
+    checki "one projected column" 1 (Schema.arity schema);
+    checki "two pre-update qualifiers" 2 (List.length tuples)
+  | _ -> Alcotest.fail "filtered AS OF");
+  (* A fourth refresh rolls the oldest epoch out of the RETAIN 3 window. *)
+  ignore (exec "UPDATE emp SET salary = 2 WHERE id = 2");
+  ignore (exec "REFRESH SNAPSHOT low");
+  match Database.run db (Printf.sprintf "SELECT * FROM low AS OF EPOCH %d" oldest) with
+  | exception Database.Sql_error msg ->
+    checkb "the miss names the epoch and the live range" true
+      (let has needle =
+         let n = String.length needle and l = String.length msg in
+         let rec go i = i + n <= l && (String.sub msg i n = needle || go (i + 1)) in
+         go 0
+       in
+       has (Printf.sprintf "epoch %d" oldest) && has "not retained")
+  | _ -> Alcotest.fail "an evicted epoch should be a clean SQL error"
+
+let test_db_as_of_errors () =
+  let db = Database.create () in
+  let exec s =
+    match Database.run db s with
+    | r -> r
+    | exception Database.Sql_error m -> Alcotest.failf "%s failed: %s" s m
+  in
+  ignore (exec "CREATE TABLE t (a INT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (1), (2)");
+  ignore (exec "CREATE TABLE u (b INT NOT NULL)");
+  ignore (exec "CREATE SNAPSHOT s AS SELECT * FROM t REFRESH AUTO RETAIN 2");
+  (* Roll the pre-refresh seed version (SnapTime 0) out of the window so
+     a pre-history timestamp has nothing left to resolve to. *)
+  ignore (exec "REFRESH SNAPSHOT s");
+  ignore (exec "REFRESH SNAPSHOT s");
+  let expect_error stmt =
+    match Database.run db stmt with
+    | exception Database.Sql_error _ -> ()
+    | _ -> Alcotest.failf "%s should fail" stmt
+  in
+  expect_error "SELECT * FROM t AS OF EPOCH 0";  (* base tables have no history *)
+  expect_error "SELECT * FROM t, u AS OF EPOCH 0";  (* no time travel on joins *)
+  expect_error "SELECT * FROM s AS OF TIMESTAMP 0";  (* before the first version *)
+  expect_error "SELECT * FROM ghost AS OF EPOCH 0";
+  (* A retained epoch reads fine. *)
+  let oldest =
+    List.fold_left
+      (fun a vi -> min a vi.VS.vi_epoch)
+      max_int
+      (Manager.snapshot_versions (Database.manager db) "s")
+  in
+  ignore (exec (Printf.sprintf "SELECT * FROM s AS OF EPOCH %d" oldest))
+
+let test_db_dump_carries_retain () =
+  let db = Database.create () in
+  let exec s = Database.run db s in
+  ignore (exec "CREATE TABLE t (a INT NOT NULL)");
+  ignore (exec "INSERT INTO t VALUES (1)");
+  ignore (exec "CREATE SNAPSHOT keep3 AS SELECT * FROM t REFRESH AUTO RETAIN 3");
+  ignore (exec "CREATE SNAPSHOT keep1 AS SELECT * FROM t REFRESH AUTO");
+  match exec "DUMP" with
+  | Database.Info lines ->
+    let script = String.concat "\n" lines in
+    let has needle =
+      let n = String.length needle and l = String.length script in
+      let rec go i = i + n <= l && (String.sub script i n = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "dump records RETAIN 3" true (has "RETAIN 3");
+    checkb "the inert default stays silent" true (not (has "keep1 AS SELECT * FROM t REFRESH AUTO RETAIN"));
+    (* The dump replays: a fresh database accepts its own output. *)
+    let db2 = Database.create () in
+    ignore (Database.run_script db2 script);
+    checki "replayed retention window" 3
+      (Snapshot_table.version_retain
+         (Manager.snapshot_table (Database.manager db2) "keep3"))
+  | _ -> Alcotest.fail "dump output"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "parse AS OF + RETAIN" `Quick test_parse_as_of_and_retain;
+      Alcotest.test_case "db AS OF time travel" `Quick test_db_as_of_time_travel;
+      Alcotest.test_case "db AS OF errors" `Quick test_db_as_of_errors;
+      Alcotest.test_case "db dump carries RETAIN" `Quick test_db_dump_carries_retain;
+    ]
